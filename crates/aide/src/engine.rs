@@ -1,0 +1,404 @@
+//! The AIDE engine: users, trackers and the snapshot service, wired.
+//!
+//! One engine corresponds to one AIDE deployment: a simulated Web, an
+//! optional site-wide proxy cache, a snapshot service, and any number of
+//! registered users, each with a browser (history + hotlist) and a
+//! personal w3newer instance. §6's flow is reproduced end to end,
+//! including its integration wart: viewing a page through HtmlDiff does
+//! *not* update the browser history, so w3newer keeps reporting the page
+//! until the user visits it directly.
+
+use crate::fetcher::{fetch_page, FetchError};
+use aide_htmldiff::Options as DiffOptions;
+use aide_rcs::archive::{RevId, RevisionMeta};
+use aide_rcs::repo::MemRepository;
+use aide_simweb::browser::Browser;
+use aide_simweb::net::Web;
+use aide_simweb::proxy::ProxyCache;
+use aide_snapshot::service::{DiffOutcome, RememberOutcome, ServiceError, SnapshotService, UserId};
+use aide_util::time::{Clock, Duration};
+use aide_w3newer::checker::RunReport;
+use aide_w3newer::config::ThresholdConfig;
+use aide_w3newer::report::{render_report, ReportOptions};
+use aide_w3newer::W3Newer;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Engine-level errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No such registered user.
+    UnknownUser(String),
+    /// Retrieval failed.
+    Fetch(FetchError),
+    /// The snapshot service failed.
+    Service(ServiceError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            EngineError::Fetch(e) => write!(f, "{e}"),
+            EngineError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<FetchError> for EngineError {
+    fn from(e: FetchError) -> Self {
+        EngineError::Fetch(e)
+    }
+}
+
+impl From<ServiceError> for EngineError {
+    fn from(e: ServiceError) -> Self {
+        EngineError::Service(e)
+    }
+}
+
+struct UserState {
+    browser: Browser,
+    tracker: W3Newer,
+}
+
+/// One AIDE deployment.
+pub struct AideEngine {
+    web: Web,
+    proxy: Option<ProxyCache>,
+    snapshot: Arc<SnapshotService<MemRepository>>,
+    users: Mutex<BTreeMap<UserId, UserState>>,
+}
+
+impl AideEngine {
+    /// Creates an engine on `web` with no proxy.
+    pub fn new(web: Web) -> AideEngine {
+        let clock = web.clock().clone();
+        AideEngine {
+            web,
+            proxy: None,
+            snapshot: Arc::new(SnapshotService::new(
+                MemRepository::new(),
+                clock,
+                256,
+                Duration::hours(8),
+            )),
+            users: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds a site-wide proxy cache with the given TTL (builder style).
+    pub fn with_proxy(mut self, ttl: Duration) -> AideEngine {
+        self.proxy = Some(ProxyCache::new(self.web.clone(), ttl));
+        self
+    }
+
+    /// The underlying Web.
+    pub fn web(&self) -> &Web {
+        &self.web
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Clock {
+        self.web.clock()
+    }
+
+    /// The proxy, if configured.
+    pub fn proxy(&self) -> Option<&ProxyCache> {
+        self.proxy.as_ref()
+    }
+
+    /// The snapshot service.
+    pub fn snapshot(&self) -> &SnapshotService<MemRepository> {
+        &self.snapshot
+    }
+
+    /// A shared handle to the snapshot service, for co-resident services
+    /// (the server tracker, fixed collections, the CGI layer).
+    pub fn snapshot_arc(&self) -> Arc<SnapshotService<MemRepository>> {
+        self.snapshot.clone()
+    }
+
+    /// Registers a user with a w3newer threshold configuration. Returns
+    /// their browser handle (shared: cloning keeps the same history).
+    pub fn register_user(&self, id: &str, config: ThresholdConfig) -> Browser {
+        let browser = match &self.proxy {
+            Some(p) => Browser::with_proxy(p.clone()),
+            None => Browser::new(self.web.clone()),
+        };
+        self.users.lock().insert(
+            UserId::new(id),
+            UserState {
+                browser: browser.clone(),
+                tracker: W3Newer::new(config),
+            },
+        );
+        browser
+    }
+
+    /// Adjusts a registered user's tracker flags (staleness, robots,
+    /// error policy) — the §3.1 "special flags".
+    pub fn set_tracker_flags(
+        &self,
+        id: &str,
+        flags: aide_w3newer::checker::Flags,
+    ) -> Result<(), EngineError> {
+        let mut users = self.users.lock();
+        let state = users
+            .get_mut(&UserId::new(id))
+            .ok_or_else(|| EngineError::UnknownUser(id.to_string()))?;
+        state.tracker.flags = flags;
+        Ok(())
+    }
+
+    /// The browser of a registered user.
+    pub fn browser(&self, id: &str) -> Result<Browser, EngineError> {
+        self.users
+            .lock()
+            .get(&UserId::new(id))
+            .map(|u| u.browser.clone())
+            .ok_or_else(|| EngineError::UnknownUser(id.to_string()))
+    }
+
+    /// Runs w3newer for `id` over their hotlist. Returns the raw report.
+    pub fn run_tracker(&self, id: &str) -> Result<RunReport, EngineError> {
+        let user = UserId::new(id);
+        let mut users = self.users.lock();
+        let state = users
+            .get_mut(&user)
+            .ok_or_else(|| EngineError::UnknownUser(id.to_string()))?;
+        let hotlist = state.browser.hotlist();
+        let browser = state.browser.clone();
+        let report = state.tracker.run(
+            &hotlist,
+            &move |url| browser.last_visited(url),
+            &self.web,
+            self.proxy.as_ref(),
+        );
+        Ok(report)
+    }
+
+    /// Runs w3newer and renders the Figure 1 HTML report.
+    pub fn tracker_report_html(&self, id: &str) -> Result<String, EngineError> {
+        let report = self.run_tracker(id)?;
+        Ok(render_report(&report, &ReportOptions::default()))
+    }
+
+    /// Remember: fetch the page and check it in for `id`.
+    pub fn remember(&self, id: &str, url: &str) -> Result<RememberOutcome, EngineError> {
+        let page = fetch_page(&self.web, self.proxy.as_ref(), url)?;
+        Ok(self.snapshot.remember(&UserId::new(id), url, &page.body)?)
+    }
+
+    /// Diff: fetch the current page and compare with the user's last
+    /// remembered version. Note this does *not* touch the browser
+    /// history (the §6 wart).
+    pub fn diff(&self, id: &str, url: &str, opts: &DiffOptions) -> Result<DiffOutcome, EngineError> {
+        let page = fetch_page(&self.web, self.proxy.as_ref(), url)?;
+        Ok(self
+            .snapshot
+            .diff_since_last(&UserId::new(id), url, &page.body, opts)?)
+    }
+
+    /// Diff between two stored revisions.
+    pub fn diff_versions(
+        &self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts: &DiffOptions,
+    ) -> Result<DiffOutcome, EngineError> {
+        Ok(self.snapshot.diff_versions(url, from, to, opts)?)
+    }
+
+    /// History of a URL with this user's seen flags.
+    pub fn history(&self, id: &str, url: &str) -> Result<Vec<(RevisionMeta, bool)>, EngineError> {
+        Ok(self.snapshot.history(&UserId::new(id), url)?)
+    }
+
+    /// View an archived revision (BASE-rewritten).
+    pub fn view(&self, url: &str, rev: RevId) -> Result<String, EngineError> {
+        Ok(self.snapshot.view(url, rev)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_util::time::Timestamp;
+    use aide_w3newer::checker::UrlStatus;
+
+    fn engine() -> AideEngine {
+        let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 9, 0, 0));
+        let web = Web::new(clock);
+        web.set_page(
+            "http://www.usenix.org/",
+            "<HTML><P>Original home page text here.</HTML>",
+            Timestamp::from_ymd_hms(1995, 9, 20, 0, 0, 0),
+        )
+        .unwrap();
+        AideEngine::new(web)
+    }
+
+    #[test]
+    fn full_remember_diff_cycle() {
+        let e = engine();
+        let b = e.register_user("fred@att.com", ThresholdConfig::default());
+        b.add_bookmark("USENIX", "http://www.usenix.org/");
+
+        // Remember the original.
+        let out = e.remember("fred@att.com", "http://www.usenix.org/").unwrap();
+        assert!(out.created_archive);
+
+        // The page changes.
+        e.clock().advance(Duration::days(3));
+        e.web()
+            .touch_page(
+                "http://www.usenix.org/",
+                "<HTML><P>Original home page text here. Conference registration open!</HTML>",
+                e.clock().now(),
+            )
+            .unwrap();
+
+        // Diff shows the addition.
+        let d = e
+            .diff("fred@att.com", "http://www.usenix.org/", &DiffOptions::default())
+            .unwrap();
+        assert_eq!(d.from, RevId(1));
+        assert_eq!(d.to, RevId(2));
+        assert!(d.html.contains("Conference registration open!"));
+
+        // History shows both versions, both now seen by fred.
+        let h = e.history("fred@att.com", "http://www.usenix.org/").unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.iter().all(|(_, seen)| *seen));
+    }
+
+    #[test]
+    fn tracker_reports_change_after_modification() {
+        let e = engine();
+        let b = e.register_user("fred@att.com", ThresholdConfig::default());
+        b.add_bookmark("USENIX", "http://www.usenix.org/");
+        b.visit("http://www.usenix.org/").unwrap();
+
+        // Nothing changed yet.
+        let r = e.run_tracker("fred@att.com").unwrap();
+        assert!(matches!(r.entries[0].status, UrlStatus::Unchanged { .. }));
+
+        // The page changes; the tracker notices.
+        e.clock().advance(Duration::days(10));
+        e.web()
+            .touch_page("http://www.usenix.org/", "<HTML><P>new</HTML>", e.clock().now())
+            .unwrap();
+        let r = e.run_tracker("fred@att.com").unwrap();
+        assert!(r.entries[0].status.is_changed());
+        let html = e.tracker_report_html("fred@att.com").unwrap();
+        assert!(html.contains("Changed pages"));
+        assert!(html.contains("op=diff"));
+    }
+
+    #[test]
+    fn htmldiff_view_does_not_update_history() {
+        // The §6 wart, reproduced: after viewing a Diff, w3newer still
+        // reports the page as changed, because the browser history only
+        // records direct visits.
+        let e = engine();
+        let b = e.register_user("fred@att.com", ThresholdConfig::default());
+        b.add_bookmark("USENIX", "http://www.usenix.org/");
+        b.visit("http://www.usenix.org/").unwrap();
+        e.remember("fred@att.com", "http://www.usenix.org/").unwrap();
+
+        e.clock().advance(Duration::days(2));
+        e.web()
+            .touch_page("http://www.usenix.org/", "<HTML><P>changed</HTML>", e.clock().now())
+            .unwrap();
+
+        e.diff("fred@att.com", "http://www.usenix.org/", &DiffOptions::default()).unwrap();
+        let r = e.run_tracker("fred@att.com").unwrap();
+        assert!(
+            r.entries[0].status.is_changed(),
+            "still reported changed after Diff view: {:?}",
+            r.entries[0].status
+        );
+
+        // A direct visit clears it.
+        b.visit("http://www.usenix.org/").unwrap();
+        let r = e.run_tracker("fred@att.com").unwrap();
+        assert!(matches!(r.entries[0].status, UrlStatus::Unchanged { .. }));
+    }
+
+    #[test]
+    fn unknown_user_errors() {
+        let e = engine();
+        assert!(matches!(e.run_tracker("ghost"), Err(EngineError::UnknownUser(_))));
+        assert!(e.browser("ghost").is_err());
+    }
+
+    #[test]
+    fn fetch_errors_surface() {
+        let e = engine();
+        e.register_user("u@x", ThresholdConfig::default());
+        assert!(matches!(
+            e.remember("u@x", "http://nonexistent-host/"),
+            Err(EngineError::Fetch(_))
+        ));
+    }
+
+    #[test]
+    fn proxy_backed_engine_shares_cache_with_tracker() {
+        let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 9, 0, 0));
+        let web = Web::new(clock);
+        web.set_page("http://h/p", "<HTML>x</HTML>", Timestamp::from_ymd_hms(1995, 9, 30, 0, 0, 0))
+            .unwrap();
+        let e = AideEngine::new(web).with_proxy(Duration::days(3));
+        let b = e.register_user("u@x", ThresholdConfig::table1());
+        b.add_bookmark("P", "http://h/p");
+        // The user browses the page through the proxy...
+        b.visit("http://h/p").unwrap();
+        e.web().reset_stats();
+        // ...so the tracker can answer from the proxy without origin load.
+        let r = e.run_tracker("u@x").unwrap();
+        assert!(matches!(r.entries[0].status, UrlStatus::Unchanged { .. } | UrlStatus::NotChecked { .. }));
+        assert_eq!(e.web().server_stats("h").unwrap().total(), 0);
+    }
+
+    #[test]
+    fn tracker_flags_adjustable_per_user() {
+        let e = engine();
+        e.register_user("u@x", ThresholdConfig::default());
+        // Distrust the cache entirely: every run re-polls.
+        e.set_tracker_flags(
+            "u@x",
+            aide_w3newer::checker::Flags {
+                staleness: Duration::ZERO,
+                ..aide_w3newer::checker::Flags::default()
+            },
+        )
+        .unwrap();
+        let b = e.browser("u@x").unwrap();
+        b.add_bookmark("U", "http://www.usenix.org/");
+        // Visit so the cached verdict is "unchanged" — the staleness flag
+        // governs how long that verdict is trusted ("known changed" never
+        // needs re-polling).
+        b.visit("http://www.usenix.org/").unwrap();
+        e.run_tracker("u@x").unwrap();
+        let first = e.web().stats().requests;
+        e.run_tracker("u@x").unwrap();
+        assert!(e.web().stats().requests > first, "staleness 0 forces re-polling");
+        assert!(e.set_tracker_flags("ghost", aide_w3newer::checker::Flags::default()).is_err());
+    }
+
+    #[test]
+    fn view_returns_archived_version() {
+        let e = engine();
+        e.register_user("u@x", ThresholdConfig::default());
+        e.remember("u@x", "http://www.usenix.org/").unwrap();
+        let body = e.view("http://www.usenix.org/", RevId(1)).unwrap();
+        assert!(body.contains("Original home page text"));
+        assert!(body.contains("BASE HREF"), "archived copies carry BASE: {body}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Web-aware diffing: referenced-entity change detection (§5.3's stated
+//! extension).
+//!
+//! "HtmlDiff is neither 'version-aware' nor 'web-aware'... if the
+//! contents of an image file are changed but the URL of the file does
+//! not, then the URL in the page will not be flagged as changed. To
+//! support such comparison would require some sort of versioning of
+//! referenced entities... Full versioning of all entities would
+//! dramatically increase storage requirements. A cheaper alternative
+//! would be to store a checksum of each entity and use the checksums to
+//! determine if something has changed."
+//!
+//! This module implements the cheap alternative: an [`EntityChecker`]
+//! stores one checksum per `(page, entity)` pair and reports entities
+//! whose bytes changed behind an unchanged URL.
+
+use aide_htmlkit::lexer::lex;
+use aide_htmlkit::links::{extract_links, LinkKind};
+use aide_htmlkit::url::Url;
+use aide_simweb::http::Request;
+use aide_simweb::net::Web;
+use aide_util::checksum::PageChecksum;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// What happened to one referenced entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntityStatus {
+    /// First time this entity is seen for this page (baseline recorded).
+    Baseline,
+    /// Bytes unchanged since last check.
+    Unchanged,
+    /// Bytes changed although the URL did not — invisible to HtmlDiff.
+    ContentChanged,
+    /// The entity could not be fetched.
+    Unreachable,
+}
+
+/// Report for one entity of one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityReport {
+    /// The entity's absolute URL.
+    pub url: String,
+    /// What kind of reference points at it.
+    pub kind: LinkKind,
+    /// The outcome.
+    pub status: EntityStatus,
+}
+
+/// Checksums of referenced entities, per containing page.
+pub struct EntityChecker {
+    web: Web,
+    /// `(page_url, entity_url)` → checksum.
+    checksums: Mutex<BTreeMap<(String, String), PageChecksum>>,
+    /// Also follow `<A HREF>` targets, not just images. Off by default:
+    /// images are the paper's example; following every link is a
+    /// crawler's worth of traffic.
+    pub include_anchors: bool,
+}
+
+impl EntityChecker {
+    /// Creates a checker against `web`.
+    pub fn new(web: Web) -> EntityChecker {
+        EntityChecker {
+            web,
+            checksums: Mutex::new(BTreeMap::new()),
+            include_anchors: false,
+        }
+    }
+
+    /// Checks every referenced entity of `page_html` (which lives at
+    /// `page_url`), updating stored checksums and reporting each
+    /// entity's status.
+    pub fn check_entities(&self, page_url: &str, page_html: &str) -> Vec<EntityReport> {
+        let base = Url::parse(page_url).ok();
+        let tokens = lex(page_html);
+        let links = extract_links(&tokens, base.as_ref());
+        let mut out = Vec::new();
+        let mut seen: Vec<String> = Vec::new();
+        for link in links {
+            let wanted = match link.kind {
+                LinkKind::Image => true,
+                LinkKind::Anchor => self.include_anchors,
+                _ => false,
+            };
+            if !wanted {
+                continue;
+            }
+            let Some(resolved) = link.resolved else { continue };
+            let entity_url = resolved.without_fragment().to_string();
+            if seen.contains(&entity_url) {
+                continue;
+            }
+            seen.push(entity_url.clone());
+            let status = match self.web.request(&Request::get(&entity_url)) {
+                Ok(resp) if resp.status.is_success() => {
+                    let checksum = PageChecksum::of(resp.body.as_bytes());
+                    let key = (page_url.to_string(), entity_url.clone());
+                    let mut map = self.checksums.lock();
+                    match map.insert(key, checksum) {
+                        None => EntityStatus::Baseline,
+                        Some(prev) if prev == checksum => EntityStatus::Unchanged,
+                        Some(_) => EntityStatus::ContentChanged,
+                    }
+                }
+                _ => EntityStatus::Unreachable,
+            };
+            out.push(EntityReport {
+                url: entity_url,
+                kind: link.kind,
+                status,
+            });
+        }
+        out
+    }
+
+    /// Entities currently tracked for `page_url`.
+    pub fn tracked(&self, page_url: &str) -> Vec<String> {
+        self.checksums
+            .lock()
+            .keys()
+            .filter(|(p, _)| p == page_url)
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_util::time::{Clock, Timestamp};
+
+    const PAGE: &str = r#"<HTML><P>logo: <IMG SRC="/art/logo.gif">
+        photo: <IMG SRC="/art/photo.gif">
+        <A HREF="/next.html">next page</A></HTML>"#;
+
+    fn setup() -> (Web, EntityChecker) {
+        let web = Web::new(Clock::starting_at(Timestamp(1_000)));
+        web.set_page("http://h/art/logo.gif", "GIF89a-logo-bytes-v1", Timestamp(10)).unwrap();
+        web.set_page("http://h/art/photo.gif", "GIF89a-photo-bytes-v1", Timestamp(10)).unwrap();
+        web.set_page("http://h/next.html", "<HTML>next</HTML>", Timestamp(10)).unwrap();
+        let checker = EntityChecker::new(web.clone());
+        (web, checker)
+    }
+
+    #[test]
+    fn first_check_is_baseline() {
+        let (_, checker) = setup();
+        let reports = checker.check_entities("http://h/page.html", PAGE);
+        assert_eq!(reports.len(), 2, "images only by default");
+        assert!(reports.iter().all(|r| r.status == EntityStatus::Baseline));
+        assert_eq!(checker.tracked("http://h/page.html").len(), 2);
+    }
+
+    #[test]
+    fn changed_image_bytes_detected_behind_same_url() {
+        let (web, checker) = setup();
+        checker.check_entities("http://h/page.html", PAGE);
+        // The logo is replaced; its URL stays identical.
+        web.touch_page("http://h/art/logo.gif", "GIF89a-logo-bytes-v2", Timestamp(2_000)).unwrap();
+        let reports = checker.check_entities("http://h/page.html", PAGE);
+        let logo = reports.iter().find(|r| r.url.contains("logo")).unwrap();
+        let photo = reports.iter().find(|r| r.url.contains("photo")).unwrap();
+        assert_eq!(logo.status, EntityStatus::ContentChanged);
+        assert_eq!(photo.status, EntityStatus::Unchanged);
+    }
+
+    #[test]
+    fn anchors_included_on_request() {
+        let (_, checker) = setup();
+        let mut checker = checker;
+        checker.include_anchors = true;
+        let reports = checker.check_entities("http://h/page.html", PAGE);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().any(|r| r.kind == LinkKind::Anchor));
+    }
+
+    #[test]
+    fn unreachable_entities_flagged() {
+        let (web, checker) = setup();
+        web.unregister_host("h");
+        let reports = checker.check_entities("http://h/page.html", PAGE);
+        assert!(reports.iter().all(|r| r.status == EntityStatus::Unreachable));
+    }
+
+    #[test]
+    fn checksums_are_per_page() {
+        // Two pages embedding the same image track it independently.
+        let (web, checker) = setup();
+        checker.check_entities("http://h/a.html", r#"<IMG SRC="http://h/art/logo.gif">"#);
+        web.touch_page("http://h/art/logo.gif", "v2", Timestamp(2_000)).unwrap();
+        // Page B sees it for the first time: baseline, not "changed".
+        let b = checker.check_entities("http://h/b.html", r#"<IMG SRC="http://h/art/logo.gif">"#);
+        assert_eq!(b[0].status, EntityStatus::Baseline);
+        // Page A sees the change.
+        let a = checker.check_entities("http://h/a.html", r#"<IMG SRC="http://h/art/logo.gif">"#);
+        assert_eq!(a[0].status, EntityStatus::ContentChanged);
+    }
+
+    #[test]
+    fn duplicate_references_checked_once() {
+        let (_, checker) = setup();
+        let html = r#"<IMG SRC="/art/logo.gif"><IMG SRC="/art/logo.gif">"#;
+        let reports = checker.check_entities("http://h/p.html", html);
+        assert_eq!(reports.len(), 1);
+    }
+}

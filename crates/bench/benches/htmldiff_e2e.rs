@@ -1,0 +1,90 @@
+//! Criterion bench: HtmlDiff end to end.
+//!
+//! Tokenize + compare + render across document sizes and change rates —
+//! the server-side cost §4.2 worries about ("the need to execute
+//! HtmlDiff on the server can result in high processor loads").
+
+use aide_htmldiff::{html_diff, tokenize, Options};
+use aide_workloads::edits::EditModel;
+use aide_workloads::page::Page;
+use aide_workloads::rng::Rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn pair(bytes: usize, model: EditModel) -> (String, String) {
+    let mut rng = Rng::new(7);
+    let mut page = Page::generate(&mut rng, bytes);
+    let old = page.render();
+    model.apply(&mut page, &mut rng, 1);
+    (old, page.render())
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htmldiff_by_size_small_edit");
+    for kb in [2usize, 8, 32] {
+        let (old, new) = pair(kb * 1024, EditModel::InPlaceEdit { sentences: 2 });
+        group.throughput(Throughput::Bytes((old.len() + new.len()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, _| {
+            b.iter(|| black_box(html_diff(&old, &new, &Options::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_change_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htmldiff_8kb_by_edit_model");
+    for (name, model) in [
+        ("append", EditModel::AppendNews),
+        ("inplace", EditModel::InPlaceEdit { sentences: 3 }),
+        ("reformat", EditModel::Reformat),
+        ("replace", EditModel::FullReplace),
+    ] {
+        let (old, new) = pair(8 * 1024, model);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(html_diff(&old, &new, &Options::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let mut rng = Rng::new(9);
+    let html = Page::generate(&mut rng, 32 * 1024).render();
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("32kb", |b| {
+        b.iter(|| black_box(tokenize(&html)));
+    });
+    group.finish();
+}
+
+fn bench_length_screen(c: &mut Criterion) {
+    // The §5.1 speed-optimization ablation as a wall-clock measurement.
+    use aide_htmldiff::compare::{compare_tokens, CompareOptions};
+    let (old, new) = pair(16 * 1024, EditModel::InPlaceEdit { sentences: 4 });
+    let old_t = tokenize(&old);
+    let new_t = tokenize(&new);
+    let mut group = c.benchmark_group("length_screen_ablation");
+    group.bench_function("screen_on", |b| {
+        b.iter(|| {
+            black_box(compare_tokens(
+                &old_t,
+                &new_t,
+                &CompareOptions { match_threshold: 0.5, length_screen: Some(0.4) },
+            ))
+        });
+    });
+    group.bench_function("screen_off", |b| {
+        b.iter(|| {
+            black_box(compare_tokens(
+                &old_t,
+                &new_t,
+                &CompareOptions { match_threshold: 0.5, length_screen: None },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes, bench_change_rates, bench_tokenize, bench_length_screen);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: the simulated-web substrate itself.
+//!
+//! Dispatch cost for HEAD/GET, proxy cache hits vs misses, and robots
+//! evaluation — making sure the substrate is cheap enough that
+//! experiment results measure AIDE, not the simulator.
+
+use aide_simweb::http::Request;
+use aide_simweb::net::Web;
+use aide_simweb::proxy::ProxyCache;
+use aide_util::robots::RobotsTxt;
+use aide_util::time::{Clock, Duration, Timestamp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn web() -> Web {
+    let w = Web::new(Clock::starting_at(Timestamp(1_000_000)));
+    for i in 0..100 {
+        w.set_page(
+            &format!("http://h{}.com/p{i}.html", i % 10),
+            &format!("<HTML>page {i} body text</HTML>"),
+            Timestamp(1000),
+        )
+        .unwrap();
+    }
+    w
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let w = web();
+    c.bench_function("head_request", |b| {
+        b.iter(|| black_box(w.request(&Request::head("http://h3.com/p13.html")).unwrap()));
+    });
+    c.bench_function("get_request", |b| {
+        b.iter(|| black_box(w.request(&Request::get("http://h3.com/p13.html")).unwrap()));
+    });
+}
+
+fn bench_proxy(c: &mut Criterion) {
+    let w = web();
+    let proxy = ProxyCache::new(w.clone(), Duration::hours(1));
+    proxy.get("http://h3.com/p13.html").unwrap();
+    c.bench_function("proxy_cache_hit", |b| {
+        b.iter(|| black_box(proxy.get("http://h3.com/p13.html").unwrap()));
+    });
+    let cold = ProxyCache::new(w, Duration::ZERO); // TTL 0: always revalidate
+    c.bench_function("proxy_revalidation", |b| {
+        b.iter(|| black_box(cold.get("http://h3.com/p13.html").unwrap()));
+    });
+}
+
+fn bench_robots(c: &mut Criterion) {
+    let robots = RobotsTxt::parse(
+        "User-agent: webcrawler\nDisallow: /\n\nUser-agent: *\nDisallow: /cgi-bin/\nDisallow: /private/\nDisallow: /tmp/\n",
+    );
+    c.bench_function("robots_allows", |b| {
+        b.iter(|| black_box(robots.allows("w3newer/1.0", "/docs/deep/page.html")));
+    });
+}
+
+criterion_group!(benches, bench_dispatch, bench_proxy, bench_robots);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Experiment regenerators live in src/bin; see DESIGN.md.

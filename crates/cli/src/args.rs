@@ -1,0 +1,312 @@
+//! Minimal flag parsing for the CLI binaries — testable without spawning
+//! a process.
+
+/// Parsed `htmldiff` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtmlDiffArgs {
+    /// Path of the old version.
+    pub old: String,
+    /// Path of the new version.
+    pub new: String,
+    /// Presentation selector (`merged` default, `only-differences`,
+    /// `reversed`, `new-only`, `side-by-side`).
+    pub presentation: String,
+    /// `-w` — mark word-level changes inside edited sentences.
+    pub inline_words: bool,
+    /// `-b` — suppress the banner.
+    pub no_banner: bool,
+    /// `-t <ratio>` — the 2W/L match threshold.
+    pub threshold: Option<f64>,
+}
+
+/// Error with a usage string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Usage text for `htmldiff`.
+pub const HTMLDIFF_USAGE: &str = "usage: htmldiff [-p merged|only-differences|reversed|new-only|side-by-side] \
+     [-w] [-b] [-t RATIO] OLD.html NEW.html";
+
+/// Parses `htmldiff` arguments (without the program name).
+pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
+    let mut presentation = "merged".to_string();
+    let mut inline_words = false;
+    let mut no_banner = false;
+    let mut threshold = None;
+    let mut files = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-p" => {
+                presentation = it
+                    .next()
+                    .ok_or_else(|| UsageError(HTMLDIFF_USAGE.to_string()))?
+                    .clone();
+            }
+            "-w" => inline_words = true,
+            "-b" => no_banner = true,
+            "-t" => {
+                let v = it.next().ok_or_else(|| UsageError(HTMLDIFF_USAGE.to_string()))?;
+                threshold = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| UsageError(format!("bad threshold {v:?}\n{HTMLDIFF_USAGE}")))?,
+                );
+            }
+            "-h" | "--help" => return Err(UsageError(HTMLDIFF_USAGE.to_string())),
+            other if other.starts_with('-') => {
+                return Err(UsageError(format!("unknown flag {other}\n{HTMLDIFF_USAGE}")));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        return Err(UsageError(HTMLDIFF_USAGE.to_string()));
+    }
+    if ![
+        "merged",
+        "only-differences",
+        "reversed",
+        "new-only",
+        "side-by-side",
+    ]
+    .contains(&presentation.as_str())
+    {
+        return Err(UsageError(format!(
+            "unknown presentation {presentation:?}\n{HTMLDIFF_USAGE}"
+        )));
+    }
+    Ok(HtmlDiffArgs {
+        old: files[0].clone(),
+        new: files[1].clone(),
+        presentation,
+        inline_words,
+        no_banner,
+        threshold,
+    })
+}
+
+/// Parsed `aide-rcs` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcsCommand {
+    /// `ci ARCHIVE,v FILE -m LOG -u AUTHOR [-d RCSDATE]`
+    Checkin {
+        /// Path of the `,v` archive (created if absent).
+        archive: String,
+        /// Path of the working file to check in.
+        file: String,
+        /// Log message.
+        log: String,
+        /// Author.
+        author: String,
+        /// Optional datestamp (defaults to the archive head date + 1s).
+        date: Option<String>,
+    },
+    /// `co ARCHIVE,v [-r REV | -d RCSDATE]`
+    Checkout {
+        /// Path of the `,v` archive.
+        archive: String,
+        /// Revision (`1.N`), if given.
+        rev: Option<String>,
+        /// Datestamp, if given.
+        date: Option<String>,
+    },
+    /// `rlog ARCHIVE,v`
+    Log {
+        /// Path of the `,v` archive.
+        archive: String,
+    },
+    /// `rcsdiff ARCHIVE,v -r FROM -r TO [--html]`
+    Diff {
+        /// Path of the `,v` archive.
+        archive: String,
+        /// Older revision.
+        from: String,
+        /// Newer revision.
+        to: String,
+        /// Render with HtmlDiff instead of a unified text diff.
+        html: bool,
+    },
+}
+
+/// Usage text for `aide-rcs`.
+pub const RCS_USAGE: &str = "usage: aide-rcs ci ARCHIVE,v FILE -m LOG -u AUTHOR [-d RCSDATE]\n\
+       aide-rcs co ARCHIVE,v [-r REV | -d RCSDATE]\n\
+       aide-rcs rlog ARCHIVE,v\n\
+       aide-rcs rcsdiff ARCHIVE,v -r FROM -r TO [--html]";
+
+/// Parses `aide-rcs` arguments (without the program name).
+pub fn parse_rcs(argv: &[String]) -> Result<RcsCommand, UsageError> {
+    let usage = || UsageError(RCS_USAGE.to_string());
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let rest: Vec<String> = it.cloned().collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        rest.iter()
+            .position(|a| a == flag)
+            .and_then(|i| rest.get(i + 1).cloned())
+    };
+    let positional: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in rest.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with('-') && a != "--html" {
+                skip = rest.get(i + 1).is_some();
+                continue;
+            }
+            if a == "--html" {
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    match cmd.as_str() {
+        "ci" => {
+            if positional.len() != 2 {
+                return Err(usage());
+            }
+            Ok(RcsCommand::Checkin {
+                archive: positional[0].clone(),
+                file: positional[1].clone(),
+                log: flag_value("-m").ok_or_else(usage)?,
+                author: flag_value("-u").ok_or_else(usage)?,
+                date: flag_value("-d"),
+            })
+        }
+        "co" => {
+            if positional.len() != 1 {
+                return Err(usage());
+            }
+            Ok(RcsCommand::Checkout {
+                archive: positional[0].clone(),
+                rev: flag_value("-r"),
+                date: flag_value("-d"),
+            })
+        }
+        "rlog" => {
+            if positional.len() != 1 {
+                return Err(usage());
+            }
+            Ok(RcsCommand::Log {
+                archive: positional[0].clone(),
+            })
+        }
+        "rcsdiff" => {
+            if positional.len() != 1 {
+                return Err(usage());
+            }
+            // Two -r flags: from and to.
+            let revs: Vec<String> = rest
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| *a == "-r")
+                .filter_map(|(i, _)| rest.get(i + 1).cloned())
+                .collect();
+            if revs.len() != 2 {
+                return Err(usage());
+            }
+            Ok(RcsCommand::Diff {
+                archive: positional[0].clone(),
+                from: revs[0].clone(),
+                to: revs[1].clone(),
+                html: rest.iter().any(|a| a == "--html"),
+            })
+        }
+        _ => Err(usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn htmldiff_minimal() {
+        let a = parse_htmldiff(&v(&["old.html", "new.html"])).unwrap();
+        assert_eq!(a.old, "old.html");
+        assert_eq!(a.new, "new.html");
+        assert_eq!(a.presentation, "merged");
+        assert!(!a.inline_words);
+    }
+
+    #[test]
+    fn htmldiff_full_flags() {
+        let a = parse_htmldiff(&v(&["-p", "side-by-side", "-w", "-b", "-t", "0.6", "a", "b"])).unwrap();
+        assert_eq!(a.presentation, "side-by-side");
+        assert!(a.inline_words);
+        assert!(a.no_banner);
+        assert_eq!(a.threshold, Some(0.6));
+    }
+
+    #[test]
+    fn htmldiff_errors() {
+        assert!(parse_htmldiff(&v(&["only-one.html"])).is_err());
+        assert!(parse_htmldiff(&v(&["-p", "bogus", "a", "b"])).is_err());
+        assert!(parse_htmldiff(&v(&["-t", "abc", "a", "b"])).is_err());
+        assert!(parse_htmldiff(&v(&["-x", "a", "b"])).is_err());
+        assert!(parse_htmldiff(&v(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn rcs_ci() {
+        let c = parse_rcs(&v(&["ci", "page,v", "page.html", "-m", "fix typo", "-u", "fred"])).unwrap();
+        assert_eq!(
+            c,
+            RcsCommand::Checkin {
+                archive: "page,v".into(),
+                file: "page.html".into(),
+                log: "fix typo".into(),
+                author: "fred".into(),
+                date: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rcs_co_variants() {
+        let c = parse_rcs(&v(&["co", "page,v", "-r", "1.3"])).unwrap();
+        assert!(matches!(c, RcsCommand::Checkout { rev: Some(r), .. } if r == "1.3"));
+        let c = parse_rcs(&v(&["co", "page,v", "-d", "1995.10.01.00.00.00"])).unwrap();
+        assert!(matches!(c, RcsCommand::Checkout { date: Some(_), .. }));
+        let c = parse_rcs(&v(&["co", "page,v"])).unwrap();
+        assert!(matches!(c, RcsCommand::Checkout { rev: None, date: None, .. }));
+    }
+
+    #[test]
+    fn rcs_rcsdiff() {
+        let c = parse_rcs(&v(&["rcsdiff", "page,v", "-r", "1.1", "-r", "1.4", "--html"])).unwrap();
+        assert_eq!(
+            c,
+            RcsCommand::Diff {
+                archive: "page,v".into(),
+                from: "1.1".into(),
+                to: "1.4".into(),
+                html: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rcs_errors() {
+        assert!(parse_rcs(&v(&[])).is_err());
+        assert!(parse_rcs(&v(&["frobnicate", "x,v"])).is_err());
+        assert!(parse_rcs(&v(&["ci", "x,v"])).is_err());
+        assert!(parse_rcs(&v(&["rcsdiff", "x,v", "-r", "1.1"])).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the CLI binaries, via real process invocation.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aide-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn htmldiff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_htmldiff"))
+}
+
+fn aide_rcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aide-rcs"))
+}
+
+#[test]
+fn htmldiff_merged_output_and_exit_codes() {
+    let dir = scratch_dir("hd");
+    let old = dir.join("old.html");
+    let new = dir.join("new.html");
+    std::fs::write(&old, "<P>alpha stays. doomed goes!").unwrap();
+    std::fs::write(&new, "<P>alpha stays. fresh arrives!").unwrap();
+
+    let out = htmldiff().arg(&old).arg(&new).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "differences exit 1");
+    let html = String::from_utf8(out.stdout).unwrap();
+    assert!(html.contains("<STRIKE>doomed goes!</STRIKE>"));
+    assert!(html.contains("<STRONG><I>fresh arrives!</I></STRONG>"));
+
+    let same = htmldiff().arg(&old).arg(&old).output().unwrap();
+    assert_eq!(same.status.code(), Some(0), "identical exit 0");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn htmldiff_presentations_and_flags() {
+    let dir = scratch_dir("hdp");
+    let old = dir.join("o.html");
+    let new = dir.join("n.html");
+    std::fs::write(&old, "<P>one two three.").unwrap();
+    std::fs::write(&new, "<P>one two four.").unwrap();
+
+    let out = htmldiff().args(["-p", "side-by-side", "-b"]).arg(&old).arg(&new).output().unwrap();
+    let html = String::from_utf8(out.stdout).unwrap();
+    assert!(html.contains("<TABLE"), "{html}");
+    assert!(!html.contains("AIDE HtmlDiff"), "banner suppressed");
+
+    let out = htmldiff().args(["-w"]).arg(&old).arg(&new).output().unwrap();
+    let html = String::from_utf8(out.stdout).unwrap();
+    assert!(html.contains("<STRIKE>three.</STRIKE>"), "{html}");
+
+    let usage = htmldiff().arg("only-one").output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+    assert!(String::from_utf8(usage.stderr).unwrap().contains("usage:"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rcs_roundtrip_through_processes() {
+    let dir = scratch_dir("rcs");
+    let archive = dir.join("page,v");
+    let v1 = dir.join("v1.html");
+    let v2 = dir.join("v2.html");
+    std::fs::write(&v1, "<P>first revision text.\n").unwrap();
+    std::fs::write(&v2, "<P>second revision text, expanded!\n").unwrap();
+
+    // ci twice.
+    let ci1 = aide_rcs()
+        .args(["ci"])
+        .arg(&archive)
+        .arg(&v1)
+        .args(["-m", "init", "-u", "fred", "-d", "1995.10.01.00.00.00"])
+        .output()
+        .unwrap();
+    assert!(ci1.status.success(), "{}", String::from_utf8_lossy(&ci1.stderr));
+    let ci2 = aide_rcs()
+        .args(["ci"])
+        .arg(&archive)
+        .arg(&v2)
+        .args(["-m", "more", "-u", "fred"])
+        .output()
+        .unwrap();
+    assert!(ci2.status.success());
+    assert!(String::from_utf8_lossy(&ci2.stderr).contains("new revision: 1.2"));
+
+    // co old revision matches the original bytes.
+    let co = aide_rcs().args(["co"]).arg(&archive).args(["-r", "1.1"]).output().unwrap();
+    assert_eq!(String::from_utf8(co.stdout).unwrap(), "<P>first revision text.\n");
+
+    // co by date.
+    let co = aide_rcs()
+        .args(["co"])
+        .arg(&archive)
+        .args(["-d", "1995.10.01.00.00.00"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8(co.stdout).unwrap().contains("first revision"));
+
+    // rlog lists both.
+    let log = aide_rcs().args(["rlog"]).arg(&archive).output().unwrap();
+    let text = String::from_utf8(log.stdout).unwrap();
+    assert!(text.contains("revision 1.1"));
+    assert!(text.contains("revision 1.2"));
+
+    // rcsdiff text and html modes.
+    let d = aide_rcs()
+        .args(["rcsdiff"])
+        .arg(&archive)
+        .args(["-r", "1.1", "-r", "1.2"])
+        .output()
+        .unwrap();
+    assert_eq!(d.status.code(), Some(1));
+    assert!(String::from_utf8(d.stdout).unwrap().contains("+<P>second revision text, expanded!"));
+    let d = aide_rcs()
+        .args(["rcsdiff"])
+        .arg(&archive)
+        .args(["-r", "1.1", "-r", "1.2", "--html"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8(d.stdout).unwrap().contains("AIDE HtmlDiff"));
+
+    // Unchanged ci stores nothing.
+    let ci3 = aide_rcs()
+        .args(["ci"])
+        .arg(&archive)
+        .arg(&v2)
+        .args(["-m", "noop", "-u", "fred"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&ci3.stderr).contains("unchanged"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rcs_error_paths() {
+    let missing = aide_rcs().args(["rlog", "/no/such/file,v"]).output().unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+    let usage = aide_rcs().args(["frobnicate"]).output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+    assert!(String::from_utf8(usage.stderr).unwrap().contains("usage:"));
+}

@@ -1,0 +1,115 @@
+//! Token interning: map arbitrary hashable tokens to dense `u32` ids.
+//!
+//! Diffing lines (or words) by string comparison is quadratic in practice;
+//! both UNIX `diff` and RCS first hash lines so the inner loops compare
+//! integers. The [`Interner`] assigns each distinct token a dense id, which
+//! also lets [`crate::myers`] work over plain `&[u32]`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Assigns dense `u32` ids to distinct tokens.
+///
+/// # Examples
+///
+/// ```
+/// use aide_diffcore::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("alpha");
+/// let b = interner.intern("beta");
+/// let a2 = interner.intern("alpha");
+/// assert_eq!(a, a2);
+/// assert_ne!(a, b);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner<T: Hash + Eq + Clone> {
+    map: HashMap<T, u32>,
+}
+
+impl<T: Hash + Eq + Clone> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner { map: HashMap::new() }
+    }
+
+    /// Returns the id for `token`, assigning a fresh one if unseen.
+    pub fn intern(&mut self, token: T) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(token).or_insert(next)
+    }
+
+    /// Interns every element of `seq`, preserving order.
+    pub fn intern_seq(&mut self, seq: impl IntoIterator<Item = T>) -> Vec<u32> {
+        seq.into_iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Returns the id for `token` if it has been interned.
+    pub fn get(&self, token: &T) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no tokens have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Interns two sequences with a shared table, so equal tokens across the
+/// two sides receive equal ids.
+pub fn intern_pair<T: Hash + Eq + Clone>(a: &[T], b: &[T]) -> (Vec<u32>, Vec<u32>) {
+    let mut interner = Interner::new();
+    let ia = a.iter().map(|t| interner.intern(t.clone())).collect();
+    let ib = b.iter().map(|t| interner.intern(t.clone())).collect();
+    (ia, ib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.intern("y"), 1);
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.intern("z"), 2);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn get_without_insert() {
+        let mut i = Interner::new();
+        i.intern("present");
+        assert_eq!(i.get(&"present"), Some(0));
+        assert_eq!(i.get(&"absent"), None);
+    }
+
+    #[test]
+    fn pair_sharing() {
+        let (a, b) = intern_pair(&["x", "y", "x"], &["y", "x", "z"]);
+        assert_eq!(a, vec![0, 1, 0]);
+        assert_eq!(b, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i: Interner<String> = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn intern_seq_preserves_order() {
+        let mut i = Interner::new();
+        let ids = i.intern_seq(vec!["a", "b", "a", "c"]);
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+    }
+}

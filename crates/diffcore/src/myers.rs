@@ -1,0 +1,263 @@
+//! Myers' `O((N+M)D)` greedy diff algorithm.
+//!
+//! For plain equality comparison (the line-diff case, where RCS deltas and
+//! the UNIX `diff` baseline live) the Myers algorithm is far faster than
+//! the LCS dynamic program when the inputs are similar, which is exactly
+//! the common case for successive versions of a Web page. It spends time
+//! proportional to the number of differences `D`, not to `N·M`.
+//!
+//! The implementation records the contour of furthest-reaching paths per
+//! edit distance (the `V` arrays) and backtracks through them to recover
+//! the alignment. That trace costs `O(D²)` memory; above
+//! [`MAX_EDIT_DISTANCE`] the algorithm degrades gracefully to aligning the
+//! common prefix and suffix only — a correct (if non-minimal) edit script,
+//! appropriate for "the page was completely replaced", which §8.2 of the
+//! paper observes defeats differencing anyway.
+
+/// Edit-distance cap before falling back to prefix/suffix alignment.
+pub const MAX_EDIT_DISTANCE: usize = 4096;
+
+/// Computes matched index pairs between `a` and `b` (strictly increasing
+/// in both components), minimizing insertions + deletions.
+///
+/// # Examples
+///
+/// ```
+/// use aide_diffcore::myers::myers_diff;
+///
+/// let a = [1, 2, 3, 4];
+/// let b = [1, 3, 4, 5];
+/// assert_eq!(myers_diff(&a, &b), vec![(0, 0), (2, 1), (3, 2)]);
+/// ```
+pub fn myers_diff<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+    // Trim the common prefix and suffix first; it is both the classic
+    // speed optimization and the fallback skeleton.
+    let n = a.len();
+    let m = b.len();
+    let mut prefix = 0;
+    while prefix < n && prefix < m && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < n - prefix && suffix < m - prefix && a[n - 1 - suffix] == b[m - 1 - suffix] {
+        suffix += 1;
+    }
+    let core_a = &a[prefix..n - suffix];
+    let core_b = &b[prefix..m - suffix];
+
+    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    match myers_core(core_a, core_b) {
+        Some(core_pairs) => {
+            pairs.extend(core_pairs.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
+        }
+        None => {
+            // Edit distance exceeded the cap: treat the middle as a full
+            // replacement (no matches).
+        }
+    }
+    for k in 0..suffix {
+        pairs.push((n - suffix + k, m - suffix + k));
+    }
+    pairs
+}
+
+/// Greedy Myers over the trimmed middle. Returns `None` if the edit
+/// distance exceeds [`MAX_EDIT_DISTANCE`].
+fn myers_core<T: PartialEq>(a: &[T], b: &[T]) -> Option<Vec<(usize, usize)>> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    if n == 0 || m == 0 {
+        return Some(Vec::new());
+    }
+    let max = ((n + m) as usize).min(MAX_EDIT_DISTANCE);
+    let offset = max as isize;
+    let width = 2 * max + 1;
+    let mut v = vec![0isize; width];
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+    let mut found = false;
+
+    'search: for d in 0..=max as isize {
+        // Record V as it stood when depth d began; backtracking reads it.
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1]
+            } else {
+                v[idx - 1] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                found = true;
+                break 'search;
+            }
+            k += 2;
+        }
+    }
+    if !found {
+        return None;
+    }
+
+    // Backtrack through the trace (Myers path recovery): at each depth,
+    // decide whether the last edit was a vertical or horizontal move, and
+    // record the diagonal snake walked after it.
+    let mut pairs = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (0..trace.len() as isize).rev() {
+        let v = &trace[d as usize];
+        let k = x - y;
+        let idx = (k + offset) as usize;
+        let prev_k = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = v[(prev_k + offset) as usize];
+        let prev_y = prev_x - prev_k;
+        while x > prev_x && y > prev_y {
+            x -= 1;
+            y -= 1;
+            pairs.push((x as usize, y as usize));
+        }
+        if d > 0 {
+            x = prev_x;
+            y = prev_y;
+        }
+    }
+    pairs.reverse();
+    Some(pairs)
+}
+
+/// Returns the minimal edit distance (insertions + deletions) between the
+/// sequences, or `None` if it exceeds [`MAX_EDIT_DISTANCE`].
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> Option<usize> {
+    let pairs = myers_diff(a, b);
+    let matched = pairs.len();
+    // The fallback path can under-match, in which case this is an upper
+    // bound rather than the true distance; detect by recomputing honestly.
+    let dist = a.len() + b.len() - 2 * matched;
+    if dist > MAX_EDIT_DISTANCE {
+        None
+    } else {
+        Some(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_valid<T: PartialEq>(pairs: &[(usize, usize)], a: &[T], b: &[T]) {
+        let mut last: Option<(usize, usize)> = None;
+        for &(i, j) in pairs {
+            assert!(i < a.len() && j < b.len());
+            assert!(a[i] == b[j], "pair ({i},{j}) does not match");
+            if let Some((pi, pj)) = last {
+                assert!(i > pi && j > pj, "pairs not increasing");
+            }
+            last = Some((i, j));
+        }
+    }
+
+    #[test]
+    fn identical() {
+        let a = [1, 2, 3];
+        assert_eq!(myers_diff(&a, &a), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(edit_distance(&a, &a), Some(0));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a: [u8; 0] = [];
+        let b = [1u8, 2];
+        assert!(myers_diff(&a, &b).is_empty());
+        assert!(myers_diff(&b, &a).is_empty());
+        assert!(myers_diff(&a, &a).is_empty());
+        assert_eq!(edit_distance(&a, &b), Some(2));
+    }
+
+    #[test]
+    fn single_insert() {
+        let a = [1, 2, 4];
+        let b = [1, 2, 3, 4];
+        let pairs = myers_diff(&a, &b);
+        check_valid(&pairs, &a, &b);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(edit_distance(&a, &b), Some(1));
+    }
+
+    #[test]
+    fn single_delete() {
+        let a = [1, 2, 3, 4];
+        let b = [1, 2, 4];
+        assert_eq!(edit_distance(&a, &b), Some(1));
+    }
+
+    #[test]
+    fn classic_abcabba() {
+        let a: Vec<char> = "ABCABBA".chars().collect();
+        let b: Vec<char> = "CBABAC".chars().collect();
+        let pairs = myers_diff(&a, &b);
+        check_valid(&pairs, &a, &b);
+        // LCS length of ABCABBA/CBABAC is 4, distance 7+6-8 = 5.
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(edit_distance(&a, &b), Some(5));
+    }
+
+    #[test]
+    fn completely_different() {
+        let a = [1, 2, 3];
+        let b = [4, 5, 6, 7];
+        assert!(myers_diff(&a, &b).is_empty());
+        assert_eq!(edit_distance(&a, &b), Some(7));
+    }
+
+    #[test]
+    fn matches_lcs_length_on_random_inputs() {
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for trial in 0..40 {
+            let n = next() % 60;
+            let m = next() % 60;
+            let a: Vec<usize> = (0..n).map(|_| next() % 6).collect();
+            let b: Vec<usize> = (0..m).map(|_| next() % 6).collect();
+            let pairs = myers_diff(&a, &b);
+            check_valid(&pairs, &a, &b);
+            let lcs = crate::lcs::lcs_pairs(&a, &b);
+            assert_eq!(pairs.len(), lcs.len(), "trial {trial}: myers not minimal");
+        }
+    }
+
+    #[test]
+    fn prefix_suffix_trim_consistency() {
+        // Big common prefix and suffix around a small change.
+        let mut a: Vec<u32> = (0..500).collect();
+        let mut b = a.clone();
+        b[250] = 9999;
+        a.insert(100, 7777);
+        let pairs = myers_diff(&a, &b);
+        check_valid(&pairs, &a, &b);
+        assert_eq!(a.len() + b.len() - 2 * pairs.len(), 3); // one insert, one replace
+    }
+
+    #[test]
+    fn long_similar_sequences_are_cheap_and_correct() {
+        let a: Vec<u32> = (0..20_000).collect();
+        let mut b = a.clone();
+        b.remove(10_000);
+        b.insert(5_000, 999_999);
+        let pairs = myers_diff(&a, &b);
+        check_valid(&pairs, &a, &b);
+        assert_eq!(pairs.len(), a.len() - 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the diff substrate.
+//!
+//! Invariants checked:
+//! - Myers alignments are valid (in-bounds, strictly increasing, matching
+//!   tokens) and as long as the true LCS.
+//! - Hirschberg and the DP produce alignments of equal weight.
+//! - Edit scripts tile both sequences exactly and replay old → new.
+//! - Unified diff of identical inputs is empty; a text always equals
+//!   itself under `diff_lines`.
+
+use aide_diffcore::lcs::{alignment_weight, lcs_pairs, weighted_lcs_dp, weighted_lcs_hirschberg};
+use aide_diffcore::lines::diff_lines;
+use aide_diffcore::myers::myers_diff;
+use aide_diffcore::script::{Alignment, EditOp};
+use proptest::prelude::*;
+
+fn small_seq() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..6, 0..50)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just("alpha"), Just("beta"), Just("gamma"), Just("<P>"), Just("")],
+        0..30,
+    )
+    .prop_map(|words| {
+        let mut s = words.join("\n");
+        if !s.is_empty() {
+            s.push('\n');
+        }
+        s
+    })
+}
+
+fn check_alignment_valid<T: PartialEq>(pairs: &[(usize, usize)], a: &[T], b: &[T]) {
+    let mut last: Option<(usize, usize)> = None;
+    for &(i, j) in pairs {
+        assert!(i < a.len() && j < b.len());
+        assert!(a[i] == b[j]);
+        if let Some((pi, pj)) = last {
+            assert!(i > pi && j > pj);
+        }
+        last = Some((i, j));
+    }
+}
+
+proptest! {
+    #[test]
+    fn myers_is_valid_and_minimal(a in small_seq(), b in small_seq()) {
+        let pairs = myers_diff(&a, &b);
+        check_alignment_valid(&pairs, &a, &b);
+        let lcs = lcs_pairs(&a, &b);
+        prop_assert_eq!(pairs.len(), lcs.len());
+    }
+
+    #[test]
+    fn myers_identity(a in small_seq()) {
+        let pairs = myers_diff(&a, &a);
+        prop_assert_eq!(pairs.len(), a.len());
+    }
+
+    #[test]
+    fn myers_symmetry_of_distance(a in small_seq(), b in small_seq()) {
+        let fwd = a.len() + b.len() - 2 * myers_diff(&a, &b).len();
+        let rev = a.len() + b.len() - 2 * myers_diff(&b, &a).len();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn hirschberg_weight_equals_dp_weight(a in small_seq(), b in small_seq()) {
+        let score = |i: usize, j: usize| u64::from(a[i] == b[j]);
+        let dp = weighted_lcs_dp(a.len(), b.len(), &score);
+        let hi = weighted_lcs_hirschberg(a.len(), b.len(), &score);
+        prop_assert_eq!(
+            alignment_weight(&dp, &score),
+            alignment_weight(&hi, &score)
+        );
+        check_alignment_valid(&hi, &a, &b);
+    }
+
+    #[test]
+    fn script_replay_reconstructs_new(a in small_seq(), b in small_seq()) {
+        let alignment = Alignment::new(myers_diff(&a, &b), a.len(), b.len());
+        let mut rebuilt: Vec<u8> = Vec::new();
+        for op in alignment.script().ops {
+            match op {
+                EditOp::Equal { a_start, len, .. } => {
+                    rebuilt.extend_from_slice(&a[a_start..a_start + len]);
+                }
+                EditOp::Insert { b_start, len, .. } => {
+                    rebuilt.extend_from_slice(&b[b_start..b_start + len]);
+                }
+                EditOp::Delete { .. } => {}
+            }
+        }
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn script_tiles_both_sides(a in small_seq(), b in small_seq()) {
+        let alignment = Alignment::new(myers_diff(&a, &b), a.len(), b.len());
+        let mut ai = 0usize;
+        let mut bi = 0usize;
+        for op in alignment.script().ops {
+            match op {
+                EditOp::Equal { a_start, b_start, len } => {
+                    prop_assert_eq!(a_start, ai);
+                    prop_assert_eq!(b_start, bi);
+                    ai += len;
+                    bi += len;
+                }
+                EditOp::Delete { a_start, len, b_pos } => {
+                    prop_assert_eq!(a_start, ai);
+                    prop_assert_eq!(b_pos, bi);
+                    ai += len;
+                }
+                EditOp::Insert { a_pos, b_start, len } => {
+                    prop_assert_eq!(a_pos, ai);
+                    prop_assert_eq!(b_start, bi);
+                    bi += len;
+                }
+            }
+        }
+        prop_assert_eq!(ai, a.len());
+        prop_assert_eq!(bi, b.len());
+    }
+
+    #[test]
+    fn hunks_cover_all_changes(a in small_seq(), b in small_seq(), ctx in 0usize..4) {
+        let alignment = Alignment::new(myers_diff(&a, &b), a.len(), b.len());
+        let in_hunks: usize = alignment
+            .hunks(ctx)
+            .iter()
+            .flat_map(|h| h.ops.iter())
+            .map(|op| match op {
+                EditOp::Delete { len, .. } | EditOp::Insert { len, .. } => *len,
+                EditOp::Equal { .. } => 0,
+            })
+            .sum();
+        prop_assert_eq!(in_hunks, alignment.edit_distance());
+    }
+
+    #[test]
+    fn diff_lines_self_is_identical(t in text_strategy()) {
+        let d = diff_lines(&t, &t);
+        prop_assert!(d.is_identical());
+        prop_assert_eq!(d.unified("a", "b", 3), "");
+    }
+
+    #[test]
+    fn diff_lines_counts_consistent(a in text_strategy(), b in text_strategy()) {
+        let d = diff_lines(&a, &b);
+        let dist = d.alignment.edit_distance();
+        prop_assert_eq!(d.deleted_lines() + d.inserted_lines(), dist);
+    }
+}

@@ -1,0 +1,330 @@
+//! The HtmlDiff comparison algorithm (§5.1).
+//!
+//! A weighted LCS over the token streams, where:
+//!
+//! - sentence-breaking markups match only each other, and only when
+//!   "identical (modulo whitespace, case, and reordering of
+//!   (variable,value) pairs)", with weight 1;
+//! - sentences match only sentences, in two steps: a **length screen**
+//!   ("if the lengths of two sentences are not 'sufficiently close', then
+//!   they do not match") followed by an **inner LCS**: with `W` the
+//!   number of words and content-defining markups in the LCS of the two
+//!   sentences and `L` the sum of their lengths, the pair matches with
+//!   weight `W` iff `2W / L` is sufficiently large.
+//!
+//! Both thresholds are tunable in [`CompareOptions`]; the defaults
+//! reproduce the paper's qualitative behaviour and the ablation
+//! experiment sweeps them.
+
+use crate::token::{DiffToken, Sentence};
+use aide_diffcore::lcs::weighted_lcs;
+use aide_diffcore::metrics::lcs_ratio;
+use aide_diffcore::script::Alignment;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Tunables for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareOptions {
+    /// Minimum `2W / L` ratio for two sentences to match (the paper's
+    /// "sufficiently large" percentage).
+    pub match_threshold: f64,
+    /// Length screen: the shorter sentence must be at least this fraction
+    /// of the longer one ("sufficiently close" lengths). `None` disables
+    /// the screen (the ablation case).
+    pub length_screen: Option<f64>,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            match_threshold: 0.5,
+            length_screen: Some(0.4),
+        }
+    }
+}
+
+/// The result of comparing two token streams.
+#[derive(Debug, Clone)]
+pub struct TokenAlignment {
+    /// Matched token index pairs (old, new), with the standard
+    /// [`Alignment`] invariants.
+    pub alignment: Alignment,
+    /// For each matched pair, whether the two tokens are *identical*
+    /// (as opposed to approximately matched sentences).
+    pub identical: Vec<bool>,
+    /// Number of sentence-pair score evaluations that reached the inner
+    /// LCS (the quantity the length screen exists to reduce).
+    pub inner_lcs_evals: usize,
+    /// Number of pairs rejected by the length screen alone.
+    pub screened_out: usize,
+}
+
+/// Computes the weight with which two sentences match; `0` = no match.
+///
+/// # Examples
+///
+/// ```
+/// use aide_htmldiff::compare::{sentence_match_weight, CompareOptions};
+/// use aide_htmldiff::tokenize::tokenize;
+///
+/// let a = tokenize("the quick brown fox jumps");
+/// let b = tokenize("the quick red fox jumps");
+/// let (sa, sb) = (a[0].as_sentence().unwrap(), b[0].as_sentence().unwrap());
+/// let w = sentence_match_weight(sa, sb, &CompareOptions::default());
+/// assert_eq!(w, 4); // the, quick, fox, jumps
+/// ```
+pub fn sentence_match_weight(a: &Sentence, b: &Sentence, opts: &CompareOptions) -> u64 {
+    let la = a.content_len();
+    let lb = b.content_len();
+    if la == 0 && lb == 0 {
+        // Pure-formatting sentences (e.g. a lone <FONT> run): match only
+        // if identical.
+        return u64::from(a == b);
+    }
+    if a == b {
+        return la.max(1) as u64;
+    }
+    if let Some(screen) = opts.length_screen {
+        let (short, long) = if la < lb { (la, lb) } else { (lb, la) };
+        if long > 0 && (short as f64) < screen * long as f64 {
+            return 0;
+        }
+    }
+    // Inner LCS over sentence items: exact matches only, weight 1 each.
+    let pairs = weighted_lcs(a.items.len(), b.items.len(), &|i, j| {
+        u64::from(a.items[i].matches(&b.items[j]))
+    });
+    // W counts only content items among the matches.
+    let w = pairs
+        .iter()
+        .filter(|&&(i, _)| a.items[i].is_content())
+        .count() as u64;
+    if w == 0 {
+        return 0;
+    }
+    if lcs_ratio(w, la, lb) >= opts.match_threshold {
+        w
+    } else {
+        0
+    }
+}
+
+/// Scores an arbitrary token pair.
+fn token_score(a: &DiffToken, b: &DiffToken, opts: &CompareOptions, evals: &ScoreCounters) -> u64 {
+    match (a, b) {
+        (DiffToken::Break(ta), DiffToken::Break(tb)) => u64::from(ta.matches_modulo_order(tb)),
+        (DiffToken::Sentence(sa), DiffToken::Sentence(sb)) => {
+            // Track screen/inner-LCS traffic for the ablation experiment.
+            let la = sa.content_len();
+            let lb = sb.content_len();
+            if let Some(screen) = opts.length_screen {
+                let (short, long) = if la < lb { (la, lb) } else { (lb, la) };
+                if long > 0 && (short as f64) < screen * long as f64 {
+                    evals.screened.set(evals.screened.get() + 1);
+                    return 0;
+                }
+            }
+            if sa != sb {
+                evals.inner.set(evals.inner.get() + 1);
+            }
+            sentence_match_weight(sa, sb, opts)
+        }
+        _ => 0,
+    }
+}
+
+struct ScoreCounters {
+    inner: std::cell::Cell<usize>,
+    screened: std::cell::Cell<usize>,
+}
+
+/// Aligns two token streams with the weighted LCS.
+///
+/// Scores are memoized per `(i, j)` pair, one of the "several speed
+/// optimizations" §5.1 alludes to: Hirschberg's recursion revisits pairs,
+/// and sentence scoring is the expensive inner loop.
+pub fn compare_tokens(
+    old: &[DiffToken],
+    new: &[DiffToken],
+    opts: &CompareOptions,
+) -> TokenAlignment {
+    let counters = ScoreCounters {
+        inner: std::cell::Cell::new(0),
+        screened: std::cell::Cell::new(0),
+    };
+    let memo: RefCell<HashMap<(usize, usize), u64>> = RefCell::new(HashMap::new());
+    let score = |i: usize, j: usize| -> u64 {
+        if let Some(&w) = memo.borrow().get(&(i, j)) {
+            return w;
+        }
+        let w = token_score(&old[i], &new[j], opts, &counters);
+        memo.borrow_mut().insert((i, j), w);
+        w
+    };
+    let pairs = weighted_lcs(old.len(), new.len(), &score);
+    // Matched breaks are identical by construction (the match predicate
+    // is modulo-order equality); only sentences can match approximately.
+    let identical = pairs
+        .iter()
+        .map(|&(i, j)| match (&old[i], &new[j]) {
+            (DiffToken::Break(_), DiffToken::Break(_)) => true,
+            _ => old[i] == new[j],
+        })
+        .collect();
+    TokenAlignment {
+        alignment: Alignment::new(pairs, old.len(), new.len()),
+        identical,
+        inner_lcs_evals: counters.inner.get(),
+        screened_out: counters.screened.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn first_sentence(html: &str) -> Sentence {
+        tokenize(html)
+            .into_iter()
+            .find_map(|t| match t {
+                DiffToken::Sentence(s) => Some(s),
+                _ => None,
+            })
+            .expect("a sentence")
+    }
+
+    #[test]
+    fn identical_sentences_match_with_full_weight() {
+        let s = first_sentence("five words are in here");
+        assert_eq!(sentence_match_weight(&s, &s, &CompareOptions::default()), 5);
+    }
+
+    #[test]
+    fn one_word_change_still_matches() {
+        let a = first_sentence("the conference starts on Monday");
+        let b = first_sentence("the conference starts on Tuesday");
+        let w = sentence_match_weight(&a, &b, &CompareOptions::default());
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn unrelated_sentences_do_not_match() {
+        let a = first_sentence("alpha beta gamma delta");
+        let b = first_sentence("one two three four");
+        assert_eq!(sentence_match_weight(&a, &b, &CompareOptions::default()), 0);
+    }
+
+    #[test]
+    fn length_screen_rejects_disparate_lengths() {
+        let a = first_sentence("word");
+        let b = first_sentence("word plus nine more words to stretch the length out");
+        let screened = CompareOptions::default();
+        assert_eq!(sentence_match_weight(&a, &b, &screened), 0);
+        let unscreened = CompareOptions { length_screen: None, ..screened };
+        // Without the screen the inner LCS runs; ratio 2*1/11 fails anyway.
+        assert_eq!(sentence_match_weight(&a, &b, &unscreened), 0);
+    }
+
+    #[test]
+    fn threshold_sweep_changes_verdict() {
+        let a = first_sentence("one two three four five six");
+        let b = first_sentence("one two NEW four NEW NEW");
+        // LCS = one,two,four → W=3, L=12, ratio 0.5.
+        let strict = CompareOptions { match_threshold: 0.6, length_screen: None };
+        let lax = CompareOptions { match_threshold: 0.5, length_screen: None };
+        assert_eq!(sentence_match_weight(&a, &b, &strict), 0);
+        assert_eq!(sentence_match_weight(&a, &b, &lax), 3);
+    }
+
+    #[test]
+    fn changed_anchor_url_still_matches_sentence() {
+        // §5.2's example: same text, different HREF.
+        let a = first_sentence(r#"read the <A HREF="old.html">report</A> today"#);
+        let b = first_sentence(r#"read the <A HREF="new.html">report</A> today"#);
+        let w = sentence_match_weight(&a, &b, &CompareOptions::default());
+        // Words all match (4); the <A> markups do not; </A> does.
+        assert!(w >= 4, "weight {w}");
+    }
+
+    #[test]
+    fn markup_only_sentences() {
+        let a = first_sentence("<FONT SIZE=3>x</FONT>");
+        let mut only_markup = a.clone();
+        only_markup.items.retain(|i| !i.is_word());
+        assert_eq!(only_markup.content_len(), 0);
+        assert_eq!(
+            sentence_match_weight(&only_markup, &only_markup, &CompareOptions::default()),
+            1
+        );
+    }
+
+    #[test]
+    fn break_tokens_match_exactly_only() {
+        let old = tokenize("<P>x");
+        let new_same = tokenize("<P>x");
+        let new_diff = tokenize("<UL>x");
+        let al = compare_tokens(&old, &new_same, &CompareOptions::default());
+        assert_eq!(al.alignment.pairs.len(), 2);
+        let al = compare_tokens(&old, &new_diff, &CompareOptions::default());
+        // Only the sentence matches; <P> vs <UL> do not.
+        assert_eq!(al.alignment.pairs.len(), 1);
+    }
+
+    #[test]
+    fn break_attrs_modulo_order() {
+        let old = tokenize(r#"<TABLE BORDER=1 WIDTH="90%">x"#);
+        let new = tokenize(r#"<table width="90%" border=1>x"#);
+        let al = compare_tokens(&old, &new, &CompareOptions::default());
+        assert_eq!(al.alignment.pairs.len(), 2);
+        assert!(al.identical.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn identical_flags_distinguish_approximate_matches() {
+        let old = tokenize("<P>stable sentence here. changed a little bit now");
+        let new = tokenize("<P>stable sentence here. changed a little bit later");
+        let al = compare_tokens(&old, &new, &CompareOptions::default());
+        assert_eq!(al.alignment.pairs.len(), 3); // <P>, sentence, sentence
+        assert_eq!(al.identical, vec![true, true, false]);
+    }
+
+    #[test]
+    fn paragraph_to_list_content_fully_matched() {
+        let old = tokenize("<P>One fish. Two fish. Red fish.");
+        let new = tokenize("<UL><LI>One fish.<LI>Two fish.<LI>Red fish.</UL>");
+        let al = compare_tokens(&old, &new, &CompareOptions::default());
+        let matched_sentences = al
+            .alignment
+            .pairs
+            .iter()
+            .filter(|&&(i, _)| !old[i].is_break())
+            .count();
+        assert_eq!(matched_sentences, 3, "all content matches");
+    }
+
+    #[test]
+    fn screen_counter_reports_savings() {
+        let old = tokenize("tiny. a much longer sentence with many many words inside it.");
+        let new = tokenize("tiny. another much longer sentence with many different words within.");
+        let with = compare_tokens(&old, &new, &CompareOptions::default());
+        let without = compare_tokens(
+            &old,
+            &new,
+            &CompareOptions { length_screen: None, ..CompareOptions::default() },
+        );
+        assert!(with.screened_out > 0);
+        assert!(without.screened_out == 0);
+        assert!(without.inner_lcs_evals >= with.inner_lcs_evals);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let al = compare_tokens(&[], &[], &CompareOptions::default());
+        assert!(al.alignment.pairs.is_empty());
+        let old = tokenize("<P>content here");
+        let al = compare_tokens(&old, &[], &CompareOptions::default());
+        assert!(al.alignment.pairs.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! The interspersion ("muddle") metric of §5.3.
+//!
+//! "If every other line were changed, then the mixture of unrelated
+//! struck-out and emphasized text would be muddled. We are experimenting
+//! with methods for varying the degree to which old and new text can be
+//! interspersed, as well as thresholds to specify when the changes are
+//! too numerous to display meaningfully." This module quantifies both:
+//!
+//! - **changed fraction**: the share of tokens (old + new) that are not
+//!   common;
+//! - **muddle**: how finely changes interleave with common text —
+//!   the number of common↔changed transitions normalized by its maximum.
+
+use crate::merge::Segment;
+
+/// Interspersion analysis of a segment sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MuddleReport {
+    /// Share of all tokens that are old-only, new-only, or edited pairs.
+    pub changed_fraction: f64,
+    /// Transitions between common and changed segments, normalized to
+    /// `[0, 1]` by the maximum possible for the number of segments.
+    pub muddle: f64,
+    /// Number of changed runs.
+    pub changed_runs: usize,
+}
+
+/// Thresholds above which a merged page stops being useful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuddleThresholds {
+    /// A page with more than this fraction changed reads better as a
+    /// whole replacement (§8.2: "when the entire contents are replaced,
+    /// there is no use for HtmlDiff").
+    pub max_changed_fraction: f64,
+    /// Beyond this interleaving, with a substantial changed fraction,
+    /// the mixture is muddled.
+    pub max_muddle: f64,
+    /// Changed fraction above which the muddle test applies.
+    pub muddle_applies_above: f64,
+}
+
+impl Default for MuddleThresholds {
+    fn default() -> Self {
+        MuddleThresholds {
+            max_changed_fraction: 0.8,
+            max_muddle: 0.6,
+            muddle_applies_above: 0.4,
+        }
+    }
+}
+
+/// Analyzes interspersion over the segment sequence.
+pub fn analyze(segments: &[Segment], changed_pairs: usize) -> MuddleReport {
+    let mut changed_tokens = 2 * changed_pairs; // an edited pair counts on both sides
+    let mut common_tokens = 0usize;
+    let mut transitions = 0usize;
+    let mut changed_runs = 0usize;
+    let mut prev_changed: Option<bool> = None;
+    for seg in segments {
+        let (is_changed, tokens) = match seg {
+            Segment::Common(pairs) => (false, pairs.len() * 2),
+            Segment::Old(v) | Segment::New(v) => (true, v.len()),
+        };
+        match seg {
+            Segment::Common(pairs) => common_tokens += pairs.len() * 2,
+            _ => changed_tokens += tokens,
+        }
+        if let Some(p) = prev_changed {
+            if p != is_changed {
+                transitions += 1;
+            }
+        }
+        if is_changed && prev_changed != Some(true) {
+            changed_runs += 1;
+        }
+        prev_changed = Some(is_changed);
+    }
+    // Changed pairs live inside Common segments; do not double count the
+    // common total.
+    common_tokens = common_tokens.saturating_sub(2 * changed_pairs);
+    let total = changed_tokens + common_tokens;
+    let changed_fraction = if total == 0 {
+        0.0
+    } else {
+        changed_tokens as f64 / total as f64
+    };
+    let max_transitions = segments.len().saturating_sub(1);
+    let muddle = if max_transitions == 0 {
+        0.0
+    } else {
+        transitions as f64 / max_transitions as f64
+    };
+    MuddleReport {
+        changed_fraction,
+        muddle,
+        changed_runs,
+    }
+}
+
+impl MuddleReport {
+    /// Applies thresholds: is this comparison "too numerous to display
+    /// meaningfully"?
+    pub fn too_muddled(&self, t: &MuddleThresholds) -> bool {
+        if self.changed_fraction > t.max_changed_fraction {
+            return true;
+        }
+        self.changed_fraction > t.muddle_applies_above && self.muddle > t.max_muddle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{compare_tokens, CompareOptions};
+    use crate::merge::segments;
+    use crate::tokenize::tokenize;
+
+    fn report(old_html: &str, new_html: &str) -> MuddleReport {
+        let old = tokenize(old_html);
+        let new = tokenize(new_html);
+        let al = compare_tokens(&old, &new, &CompareOptions::default());
+        let segs = segments(&al);
+        let changed_pairs = al.identical.iter().filter(|&&b| !b).count();
+        analyze(&segs, changed_pairs)
+    }
+
+    #[test]
+    fn identical_documents_score_zero() {
+        let r = report("<P>alpha. beta. gamma.", "<P>alpha. beta. gamma.");
+        assert_eq!(r.changed_fraction, 0.0);
+        assert_eq!(r.muddle, 0.0);
+        assert_eq!(r.changed_runs, 0);
+    }
+
+    #[test]
+    fn full_replacement_scores_high() {
+        let r = report(
+            "<P>alpha one. beta two. gamma three.",
+            "<P>delta four! epsilon five! zeta six!",
+        );
+        assert!(r.changed_fraction > 0.7, "fraction {}", r.changed_fraction);
+    }
+
+    #[test]
+    fn single_append_is_calm() {
+        let r = report(
+            "<P>one. two. three. four. five. six. seven. eight.",
+            "<P>one. two. three. four. five. six. seven. eight. nine!",
+        );
+        let t = MuddleThresholds::default();
+        assert!(!r.too_muddled(&t));
+        assert_eq!(r.changed_runs, 1);
+        assert!(r.changed_fraction < 0.2);
+    }
+
+    #[test]
+    fn alternating_changes_are_muddled() {
+        // Every other sentence replaced: high interleave.
+        let old = "<P>k1 k1 k1. x1 x1 x1. k2 k2 k2. x2 x2 x2. k3 k3 k3. x3 x3 x3. k4 k4 k4. x4 x4 x4.";
+        let new = "<P>k1 k1 k1. y1 y1 y1. k2 k2 k2. y2 y2 y2. k3 k3 k3. y3 y3 y3. k4 k4 k4. y4 y4 y4.";
+        let r = report(old, new);
+        assert!(r.changed_runs >= 4, "runs {}", r.changed_runs);
+        assert!(r.muddle > 0.6, "muddle {}", r.muddle);
+        assert!(r.too_muddled(&MuddleThresholds::default()), "{r:?}");
+    }
+
+    #[test]
+    fn thresholds_gate_correctly() {
+        let t = MuddleThresholds::default();
+        let calm = MuddleReport { changed_fraction: 0.1, muddle: 0.9, changed_runs: 3 };
+        assert!(!calm.too_muddled(&t), "small change, even scattered, is fine");
+        let replaced = MuddleReport { changed_fraction: 0.95, muddle: 0.1, changed_runs: 1 };
+        assert!(replaced.too_muddled(&t));
+        let woven = MuddleReport { changed_fraction: 0.5, muddle: 0.8, changed_runs: 9 };
+        assert!(woven.too_muddled(&t));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = analyze(&[], 0);
+        assert_eq!(r.changed_fraction, 0.0);
+        assert_eq!(r.muddle, 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The HtmlDiff token model.
+//!
+//! §5.1: "In HtmlDiff, a token is either a sentence-breaking markup or a
+//! sentence, which consists of a sequence of words and non-sentence-
+//! breaking markups. Note that the definition of sentence is not
+//! recursive; sentences cannot contain sentences." Sentence *length* is
+//! "the number of words and 'content-defining' markups such as `<IMG>`
+//! or `<A>` in a sentence. Markups such as `<B>` or `<I>` are not
+//! counted."
+
+use aide_htmlkit::classify::is_content_defining;
+use aide_htmlkit::lexer::Tag;
+use std::fmt;
+
+/// An element of a sentence: a word or an inline (non-breaking) markup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inline {
+    /// A whitespace-delimited word, verbatim.
+    Word(String),
+    /// An inline markup such as `<B>`, `</B>`, `<A HREF=…>`, `<IMG …>`.
+    Markup(Tag),
+}
+
+impl Inline {
+    /// True if this item counts toward sentence length (a word or a
+    /// content-defining markup).
+    pub fn is_content(&self) -> bool {
+        match self {
+            Inline::Word(_) => true,
+            Inline::Markup(tag) => is_content_defining(&tag.name),
+        }
+    }
+
+    /// True for [`Inline::Word`].
+    pub fn is_word(&self) -> bool {
+        matches!(self, Inline::Word(_))
+    }
+
+    /// Exact-match comparison: words compare verbatim; markups compare
+    /// modulo case, whitespace and attribute order.
+    pub fn matches(&self, other: &Inline) -> bool {
+        match (self, other) {
+            (Inline::Word(a), Inline::Word(b)) => a == b,
+            (Inline::Markup(a), Inline::Markup(b)) => a.matches_modulo_order(b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Inline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inline::Word(w) => write!(f, "{w}"),
+            Inline::Markup(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A sentence: at most one English sentence, possibly a fragment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sentence {
+    /// The words and inline markups, in order.
+    pub items: Vec<Inline>,
+}
+
+impl Sentence {
+    /// The paper's sentence length: words + content-defining markups.
+    pub fn content_len(&self) -> usize {
+        self.items.iter().filter(|i| i.is_content()).count()
+    }
+
+    /// Number of words only.
+    pub fn word_count(&self) -> usize {
+        self.items.iter().filter(|i| i.is_word()).count()
+    }
+
+    /// True if the sentence has no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the sentence as HTML, words separated by single spaces.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, item) in self.items.iter().enumerate() {
+            if k > 0 {
+                // Whitespace was discarded at tokenization; a single space
+                // between word items restores readability. No space is
+                // inserted after an opening markup or before a closing one.
+                let prev_is_open_markup = matches!(
+                    &self.items[k - 1],
+                    Inline::Markup(t) if t.kind != aide_htmlkit::lexer::TagKind::Close
+                );
+                let cur_is_close_markup = matches!(
+                    item,
+                    Inline::Markup(t) if t.kind == aide_htmlkit::lexer::TagKind::Close
+                );
+                if !prev_is_open_markup && !cur_is_close_markup {
+                    out.push(' ');
+                }
+            }
+            out.push_str(&item.to_string());
+        }
+        out
+    }
+
+    /// Renders only the words (markups elided) — how *old* sentences
+    /// appear in the merged page, since "old hypertext references and
+    /// images do not appear" (§5.2).
+    pub fn render_words_only(&self) -> String {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                Inline::Word(w) => Some(w.as_str()),
+                Inline::Markup(_) => None,
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// One token of the HtmlDiff comparison stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffToken {
+    /// A sentence-breaking markup (`<P>`, `<HR>`, `<LI>`, `<H1>`, …).
+    Break(Tag),
+    /// A sentence.
+    Sentence(Sentence),
+}
+
+impl DiffToken {
+    /// True for [`DiffToken::Break`].
+    pub fn is_break(&self) -> bool {
+        matches!(self, DiffToken::Break(_))
+    }
+
+    /// The sentence, if this token is one.
+    pub fn as_sentence(&self) -> Option<&Sentence> {
+        match self {
+            DiffToken::Sentence(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The breaking tag, if this token is one.
+    pub fn as_break(&self) -> Option<&Tag> {
+        match self {
+            DiffToken::Break(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_htmlkit::lexer::Tag;
+
+    fn word(w: &str) -> Inline {
+        Inline::Word(w.to_string())
+    }
+
+    #[test]
+    fn content_len_counts_words_and_content_markups() {
+        let s = Sentence {
+            items: vec![
+                word("See"),
+                Inline::Markup(Tag::open("B")),
+                word("this"),
+                Inline::Markup(Tag::close("B")),
+                Inline::Markup(Tag::open("IMG").with_attr("SRC", "x.gif")),
+                Inline::Markup(Tag::open("A").with_attr("HREF", "y.html")),
+                word("link"),
+                Inline::Markup(Tag::close("A")),
+            ],
+        };
+        // Words: See, this, link (3). Content markups: IMG, <A>, </A>... the
+        // closing </A> has the content-defining *name* A, so it counts too,
+        // matching the paper's "all markups are represented and compared".
+        assert_eq!(s.content_len(), 6);
+        assert_eq!(s.word_count(), 3);
+    }
+
+    #[test]
+    fn inline_matching() {
+        assert!(word("x").matches(&word("x")));
+        assert!(!word("x").matches(&word("X")), "words are case-sensitive");
+        let a = Inline::Markup(Tag::open("A").with_attr("HREF", "u"));
+        let b = Inline::Markup(Tag::open("A").with_attr("HREF", "u"));
+        let c = Inline::Markup(Tag::open("A").with_attr("HREF", "v"));
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+        assert!(!a.matches(&word("A")));
+    }
+
+    #[test]
+    fn render_spacing() {
+        let s = Sentence {
+            items: vec![
+                word("plain"),
+                Inline::Markup(Tag::open("B")),
+                word("bold"),
+                Inline::Markup(Tag::close("B")),
+                word("after."),
+            ],
+        };
+        assert_eq!(s.render(), "plain <B>bold</B> after.");
+    }
+
+    #[test]
+    fn render_words_only_drops_markups() {
+        let s = Sentence {
+            items: vec![
+                word("keep"),
+                Inline::Markup(Tag::open("IMG").with_attr("SRC", "gone.gif")),
+                word("these."),
+            ],
+        };
+        assert_eq!(s.render_words_only(), "keep these.");
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let s = Sentence::default();
+        assert!(s.is_empty());
+        assert_eq!(s.content_len(), 0);
+        assert_eq!(s.render(), "");
+    }
+
+    #[test]
+    fn token_accessors() {
+        let b = DiffToken::Break(Tag::open("P"));
+        assert!(b.is_break());
+        assert!(b.as_break().is_some());
+        assert!(b.as_sentence().is_none());
+        let s = DiffToken::Sentence(Sentence { items: vec![word("x")] });
+        assert!(!s.is_break());
+        assert!(s.as_sentence().is_some());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for HtmlDiff.
+//!
+//! Invariants:
+//! - a document diffed against itself is identical, site-free, and emits
+//!   no strike-out or emphasis markers;
+//! - whitespace reflow never produces differences;
+//! - every word of the new document survives into the merged page, and
+//!   no old-only markup (HREF/SRC values) leaks into it;
+//! - stats are internally consistent with the alignment;
+//! - the merged page's own lexing never reveals unbalanced STRIKE tags.
+
+use aide_htmldiff::{html_diff, tokenize, Options};
+use proptest::prelude::*;
+
+/// Generates small synthetic HTML documents from a fixed vocabulary.
+fn html_strategy() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        Just("<P>".to_string()),
+        Just("<HR>".to_string()),
+        Just("<LI>".to_string()),
+        Just("<H2>".to_string()),
+        Just("<B>".to_string()),
+        Just("</B>".to_string()),
+        Just("alpha ".to_string()),
+        Just("beta ".to_string()),
+        Just("gamma. ".to_string()),
+        Just("delta! ".to_string()),
+        Just("epsilon ".to_string()),
+        Just(r#"<A HREF="x.html">link</A> "#.to_string()),
+        Just(r#"<IMG SRC="pic.gif"> "#.to_string()),
+    ];
+    proptest::collection::vec(piece, 0..25).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn self_diff_is_identical(doc in html_strategy()) {
+        let r = html_diff(&doc, &doc, &Options::default());
+        prop_assert!(r.stats.is_identical(), "{:?}", r.stats);
+        prop_assert_eq!(r.stats.difference_sites, 0);
+        prop_assert!(!r.html.contains("<STRIKE>"));
+        prop_assert!(!r.html.contains("<STRONG><I>"));
+    }
+
+    #[test]
+    fn whitespace_reflow_is_invisible(doc in html_strategy()) {
+        let reflowed = doc.replace(' ', "\n  ");
+        let r = html_diff(&doc, &reflowed, &Options::default());
+        prop_assert!(r.stats.is_identical(), "{:?}", r.stats);
+    }
+
+    #[test]
+    fn stats_consistent_with_token_counts(a in html_strategy(), b in html_strategy()) {
+        let r = html_diff(&a, &b, &Options::default());
+        let s = &r.stats;
+        prop_assert_eq!(
+            s.old_tokens,
+            s.common_tokens + s.old_only_sentences + s.old_only_breaks
+        );
+        prop_assert_eq!(
+            s.new_tokens,
+            s.common_tokens + s.new_only_sentences + s.new_only_breaks
+        );
+        prop_assert!(s.changed_pairs <= s.common_tokens);
+        prop_assert!((0.0..=1.0).contains(&s.changed_fraction));
+        prop_assert!((0.0..=1.0).contains(&s.muddle));
+    }
+
+    #[test]
+    fn new_words_survive_into_merged_page(a in html_strategy(), b in html_strategy()) {
+        let r = html_diff(&a, &b, &Options::default());
+        // Every word of the new document must appear in the merged page.
+        for token in tokenize(&b) {
+            if let Some(s) = token.as_sentence() {
+                for item in &s.items {
+                    if let aide_htmldiff::Inline::Word(w) = item {
+                        prop_assert!(
+                            r.html.contains(w.as_str()),
+                            "word {w:?} missing from merged page"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strike_tags_balanced(a in html_strategy(), b in html_strategy()) {
+        let r = html_diff(&a, &b, &Options::default());
+        prop_assert_eq!(
+            r.html.matches("<STRIKE>").count(),
+            r.html.matches("</STRIKE>").count()
+        );
+        prop_assert_eq!(
+            r.html.matches("<STRONG><I>").count(),
+            r.html.matches("</I></STRONG>").count()
+        );
+    }
+
+    #[test]
+    fn arrow_sites_match_stats(a in html_strategy(), b in html_strategy()) {
+        let r = html_diff(&a, &b, &Options::default());
+        let named = (0..).take_while(|i| r.html.contains(&format!("NAME=\"diff{i}\""))).count();
+        prop_assert_eq!(named, r.stats.difference_sites);
+    }
+
+    #[test]
+    fn tokenize_is_deterministic(doc in html_strategy()) {
+        prop_assert_eq!(tokenize(&doc), tokenize(&doc));
+    }
+
+    #[test]
+    fn inline_word_diff_never_panics(a in html_strategy(), b in html_strategy()) {
+        let opts = Options { inline_word_diff: true, ..Options::default() };
+        let _ = html_diff(&a, &b, &opts);
+    }
+}

@@ -1,0 +1,348 @@
+//! RCS edit deltas: the `diff -n` command language.
+//!
+//! An RCS file stores the newest revision in full; each older revision is
+//! reconstructed by applying an *edit script* to its successor. The script
+//! language is that of `diff -n`: `d<line> <count>` deletes `count` lines
+//! starting at 1-based `line` of the input, and `a<line> <count>` appends
+//! `count` following lines of script text after input line `line`. Line
+//! numbers always refer to the *input* text, so commands apply in a single
+//! left-to-right pass.
+
+use aide_diffcore::lines::diff_lines;
+use aide_diffcore::script::EditOp;
+use aide_util::lines::split_keep_newlines;
+use std::fmt;
+
+/// One edit command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Delete `count` input lines starting at 1-based `line`.
+    Delete {
+        /// 1-based first input line to delete.
+        line: usize,
+        /// Number of lines deleted.
+        count: usize,
+    },
+    /// Insert `lines` after 1-based input line `line` (0 = at the top).
+    Add {
+        /// 1-based input line after which to insert.
+        line: usize,
+        /// The inserted lines, each retaining its `\n` (the final one may
+        /// lack it).
+        lines: Vec<String>,
+    },
+}
+
+/// An edit script transforming one text into another.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta {
+    /// Commands in increasing input-line order.
+    pub edits: Vec<Edit>,
+}
+
+/// Error applying a [`Delta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaError(pub String);
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delta apply failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl Delta {
+    /// Computes the delta that transforms `from` into `to`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aide_rcs::delta::Delta;
+    ///
+    /// let d = Delta::compute("a\nb\nc\n", "a\nx\nc\n");
+    /// assert_eq!(d.apply("a\nb\nc\n").unwrap(), "a\nx\nc\n");
+    /// ```
+    pub fn compute(from: &str, to: &str) -> Delta {
+        let diff = diff_lines(from, to);
+        let mut edits = Vec::new();
+        for op in diff.alignment.script().ops {
+            match op {
+                EditOp::Equal { .. } => {}
+                EditOp::Delete { a_start, len, .. } => {
+                    edits.push(Edit::Delete {
+                        line: a_start + 1,
+                        count: len,
+                    });
+                }
+                EditOp::Insert { a_pos, b_start, len } => {
+                    edits.push(Edit::Add {
+                        line: a_pos,
+                        lines: diff.new_lines[b_start..b_start + len].to_vec(),
+                    });
+                }
+            }
+        }
+        Delta { edits }
+    }
+
+    /// True if the delta makes no changes.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Number of lines added across all commands.
+    pub fn lines_added(&self) -> usize {
+        self.edits
+            .iter()
+            .map(|e| match e {
+                Edit::Add { lines, .. } => lines.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of lines deleted across all commands.
+    pub fn lines_deleted(&self) -> usize {
+        self.edits
+            .iter()
+            .map(|e| match e {
+                Edit::Delete { count, .. } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Applies the delta to `input`, producing the transformed text.
+    ///
+    /// Fails if a command references lines the input does not have —
+    /// which indicates a corrupted archive, not bad user input.
+    pub fn apply(&self, input: &str) -> Result<String, DeltaError> {
+        let lines = split_keep_newlines(input);
+        let mut out = String::with_capacity(input.len());
+        let mut cursor = 0usize; // 0-based index of next uncopied input line
+        for edit in &self.edits {
+            match edit {
+                Edit::Delete { line, count } => {
+                    let start = line
+                        .checked_sub(1)
+                        .ok_or_else(|| DeltaError("delete at line 0".into()))?;
+                    if start < cursor {
+                        return Err(DeltaError(format!(
+                            "delete at line {line} overlaps earlier edit"
+                        )));
+                    }
+                    if start + count > lines.len() {
+                        return Err(DeltaError(format!(
+                            "delete {count}@{line} past end of {} lines",
+                            lines.len()
+                        )));
+                    }
+                    for l in &lines[cursor..start] {
+                        out.push_str(l);
+                    }
+                    cursor = start + count;
+                }
+                Edit::Add { line, lines: add } => {
+                    if *line < cursor {
+                        return Err(DeltaError(format!(
+                            "add after line {line} overlaps earlier edit"
+                        )));
+                    }
+                    if *line > lines.len() {
+                        return Err(DeltaError(format!(
+                            "add after line {line} past end of {} lines",
+                            lines.len()
+                        )));
+                    }
+                    for l in &lines[cursor..*line] {
+                        out.push_str(l);
+                    }
+                    cursor = *line;
+                    for l in add {
+                        out.push_str(l);
+                    }
+                }
+            }
+        }
+        for l in &lines[cursor..] {
+            out.push_str(l);
+        }
+        Ok(out)
+    }
+
+    /// Serializes in `diff -n` syntax (the body of an RCS delta).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for edit in &self.edits {
+            match edit {
+                Edit::Delete { line, count } => {
+                    out.push_str(&format!("d{line} {count}\n"));
+                }
+                Edit::Add { line, lines } => {
+                    out.push_str(&format!("a{line} {}\n", lines.len()));
+                    for l in lines {
+                        // Lines are stored verbatim. Only the final line of
+                        // the final command can lack a newline (it can only
+                        // come from the end of the source text), so command
+                        // parsing never misfires on it.
+                        out.push_str(l);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses `diff -n` syntax produced by [`Delta::to_text`].
+    ///
+    /// Added lines are stored verbatim, so a final added line without a
+    /// trailing newline round-trips exactly.
+    pub fn parse(text: &str) -> Result<Delta, DeltaError> {
+        let mut edits = Vec::new();
+        let lines = split_keep_newlines(text);
+        let mut i = 0;
+        while i < lines.len() {
+            let cmd = lines[i].trim_end_matches('\n');
+            i += 1;
+            if cmd.is_empty() {
+                continue;
+            }
+            let (kind, rest) = cmd.split_at(1);
+            let mut nums = rest.split_whitespace();
+            let line: usize = nums
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DeltaError(format!("bad command {cmd:?}")))?;
+            let count: usize = nums
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DeltaError(format!("bad command {cmd:?}")))?;
+            match kind {
+                "d" => edits.push(Edit::Delete { line, count }),
+                "a" => {
+                    if i + count > lines.len() {
+                        return Err(DeltaError(format!(
+                            "add command wants {count} lines, {} remain",
+                            lines.len() - i
+                        )));
+                    }
+                    let add: Vec<String> =
+                        lines[i..i + count].iter().map(|s| s.to_string()).collect();
+                    i += count;
+                    edits.push(Edit::Add { line, lines: add });
+                }
+                other => return Err(DeltaError(format!("unknown command {other:?}"))),
+            }
+        }
+        Ok(Delta { edits })
+    }
+
+    /// Approximate storage cost of this delta in bytes, as stored in an
+    /// archive file.
+    pub fn byte_size(&self) -> usize {
+        self.to_text().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(from: &str, to: &str) {
+        let d = Delta::compute(from, to);
+        assert_eq!(d.apply(from).unwrap(), to, "{from:?} -> {to:?}");
+    }
+
+    #[test]
+    fn identity_delta_is_empty() {
+        let d = Delta::compute("x\ny\n", "x\ny\n");
+        assert!(d.is_empty());
+        assert_eq!(d.apply("x\ny\n").unwrap(), "x\ny\n");
+    }
+
+    #[test]
+    fn simple_edits_roundtrip() {
+        roundtrip("a\nb\nc\n", "a\nx\nc\n");
+        roundtrip("a\nb\nc\n", "b\nc\n");
+        roundtrip("a\nb\n", "a\nb\nc\n");
+        roundtrip("", "new\ncontent\n");
+        roundtrip("old\ncontent\n", "");
+        roundtrip("a\nb\nc\nd\ne\n", "e\nd\nc\nb\na\n");
+    }
+
+    #[test]
+    fn no_trailing_newline_roundtrip() {
+        roundtrip("a\nb", "a\nb\nc");
+        roundtrip("a\nb\nc", "a\nb");
+        roundtrip("x", "y");
+    }
+
+    #[test]
+    fn insert_at_top() {
+        let d = Delta::compute("b\n", "a\nb\n");
+        assert_eq!(d.edits, vec![Edit::Add { line: 0, lines: vec!["a\n".into()] }]);
+    }
+
+    #[test]
+    fn change_is_delete_then_add() {
+        let d = Delta::compute("a\nb\nc\n", "a\nB\nc\n");
+        assert_eq!(d.edits.len(), 2);
+        assert!(matches!(d.edits[0], Edit::Delete { line: 2, count: 1 }));
+        assert!(matches!(&d.edits[1], Edit::Add { line: 2, .. }));
+    }
+
+    #[test]
+    fn text_format_roundtrip() {
+        let d = Delta::compute("one\ntwo\nthree\nfour\n", "one\nTWO\nthree\nfive\nsix\n");
+        let text = d.to_text();
+        let parsed = Delta::parse(&text).unwrap();
+        assert_eq!(parsed.apply("one\ntwo\nthree\nfour\n").unwrap(), "one\nTWO\nthree\nfive\nsix\n");
+    }
+
+    #[test]
+    fn counts() {
+        let d = Delta::compute("a\nb\nc\n", "a\nx\ny\n");
+        assert_eq!(d.lines_deleted(), 2);
+        assert_eq!(d.lines_added(), 2);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range() {
+        let d = Delta {
+            edits: vec![Edit::Delete { line: 5, count: 2 }],
+        };
+        assert!(d.apply("one\n").is_err());
+        let d = Delta {
+            edits: vec![Edit::Add { line: 9, lines: vec!["x\n".into()] }],
+        };
+        assert!(d.apply("one\n").is_err());
+    }
+
+    #[test]
+    fn apply_rejects_overlapping_commands() {
+        let d = Delta {
+            edits: vec![
+                Edit::Delete { line: 2, count: 2 },
+                Edit::Delete { line: 3, count: 1 },
+            ],
+        };
+        assert!(d.apply("a\nb\nc\nd\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Delta::parse("x3 1\n").is_err());
+        assert!(Delta::parse("d\n").is_err());
+        assert!(Delta::parse("a1 5\nonly\n").is_err());
+    }
+
+    #[test]
+    fn delta_smaller_than_full_copy_for_small_edits() {
+        let base: String = (0..200).map(|i| format!("line number {i}\n")).collect();
+        let mut edited = base.clone();
+        edited.push_str("appended line\n");
+        let d = Delta::compute(&base, &edited);
+        assert!(d.byte_size() < base.len() / 10, "delta should be tiny: {}", d.byte_size());
+    }
+}

@@ -1,0 +1,186 @@
+//! RCS keyword expansion: `$Id$`, `$Revision$`, `$Date$`, `$Author$`,
+//! `$Log$` markers in checked-out text.
+//!
+//! §8.1's server-side version control example sets up "a `Last-Modified`
+//! field at the bottom of an HTML document" as a link to the rlog script;
+//! content providers using RCS in 1995 almost universally relied on
+//! keyword expansion to stamp that field. Expansion happens at check-out;
+//! the archive stores the unexpanded (or previously expanded) form and
+//! [`collapse`] strips values so check-ins of expanded text do not create
+//! spurious diffs.
+
+use crate::archive::RevisionMeta;
+
+/// The keywords RCS expands.
+const KEYWORDS: &[&str] = &["Id", "Revision", "Date", "Author", "Source", "Header"];
+
+/// Expands RCS keywords in `text` for a revision.
+///
+/// # Examples
+///
+/// ```
+/// use aide_rcs::archive::{RevId, RevisionMeta};
+/// use aide_rcs::keyword::expand;
+/// use aide_util::time::Timestamp;
+///
+/// let meta = RevisionMeta {
+///     id: RevId(3),
+///     date: Timestamp::from_ymd_hms(1995, 11, 3, 8, 49, 37),
+///     author: "douglis".to_string(),
+///     log: String::new(),
+///     text_len: 0,
+/// };
+/// let out = expand("<!-- $Revision$ -->", &meta, "page.html");
+/// assert_eq!(out, "<!-- $Revision: 1.3 $ -->");
+/// ```
+pub fn expand(text: &str, meta: &RevisionMeta, filename: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find('$') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        match parse_keyword(after) {
+            Some((kw, consumed)) => {
+                out.push('$');
+                out.push_str(kw);
+                out.push_str(": ");
+                out.push_str(&value_for(kw, meta, filename));
+                out.push_str(" $");
+                rest = &after[consumed..];
+            }
+            None => {
+                out.push('$');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Collapses expanded keywords back to their bare `$Keyword$` form, so
+/// that re-checking-in expanded text does not record noise.
+pub fn collapse(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find('$') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        match parse_keyword(after) {
+            Some((kw, consumed)) => {
+                out.push('$');
+                out.push_str(kw);
+                out.push('$');
+                rest = &after[consumed..];
+            }
+            None => {
+                out.push('$');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Recognizes `Keyword$` or `Keyword: value $` at the start of `s`.
+/// Returns the keyword and bytes consumed (through the closing `$`).
+fn parse_keyword(s: &str) -> Option<(&'static str, usize)> {
+    for kw in KEYWORDS {
+        if let Some(rest) = s.strip_prefix(kw) {
+            if let Some(r2) = rest.strip_prefix('$') {
+                let _ = r2;
+                return Some((kw, kw.len() + 1));
+            }
+            if let Some(r2) = rest.strip_prefix(':') {
+                // Expanded form: value runs to the next '$' on the same line.
+                let end = r2.find(['$', '\n'])?;
+                if r2.as_bytes()[end] == b'$' {
+                    return Some((kw, kw.len() + 1 + end + 1));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn value_for(kw: &str, meta: &RevisionMeta, filename: &str) -> String {
+    match kw {
+        "Revision" => meta.id.to_string(),
+        "Date" => format!("{} ", meta.date.to_rcs_date()).trim_end().to_string(),
+        "Author" => meta.author.clone(),
+        "Source" => filename.to_string(),
+        "Id" | "Header" => format!(
+            "{} {} {} {}",
+            filename,
+            meta.id,
+            meta.date.to_rcs_date(),
+            meta.author
+        ),
+        _ => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::RevId;
+    use aide_util::time::Timestamp;
+
+    fn meta() -> RevisionMeta {
+        RevisionMeta {
+            id: RevId(7),
+            date: Timestamp::from_ymd_hms(1995, 12, 24, 18, 0, 0),
+            author: "ball".to_string(),
+            log: String::new(),
+            text_len: 0,
+        }
+    }
+
+    #[test]
+    fn expands_bare_keywords() {
+        let out = expand("rev $Revision$ by $Author$ on $Date$", &meta(), "f.html");
+        assert_eq!(out, "rev $Revision: 1.7 $ by $Author: ball $ on $Date: 1995.12.24.18.00.00 $");
+    }
+
+    #[test]
+    fn expands_id() {
+        let out = expand("$Id$", &meta(), "index.html");
+        assert_eq!(out, "$Id: index.html 1.7 1995.12.24.18.00.00 ball $");
+    }
+
+    #[test]
+    fn reexpands_already_expanded() {
+        let once = expand("$Revision$", &meta(), "f");
+        let mut meta2 = meta();
+        meta2.id = RevId(8);
+        let twice = expand(&once, &meta2, "f");
+        assert_eq!(twice, "$Revision: 1.8 $");
+    }
+
+    #[test]
+    fn collapse_strips_values() {
+        let expanded = expand("a $Id$ b $Date$ c", &meta(), "f");
+        assert_eq!(collapse(&expanded), "a $Id$ b $Date$ c");
+    }
+
+    #[test]
+    fn collapse_of_bare_is_identity() {
+        assert_eq!(collapse("$Revision$ and $Id$"), "$Revision$ and $Id$");
+    }
+
+    #[test]
+    fn non_keywords_untouched() {
+        for s in ["$PATH", "cost $5", "$Unknown$", "a$b$c", "$", "$$"] {
+            assert_eq!(expand(s, &meta(), "f"), s, "{s:?} should not expand");
+        }
+    }
+
+    #[test]
+    fn unterminated_expanded_form_untouched() {
+        // "$Revision: 1.2" with no closing '$' before newline.
+        let s = "$Revision: 1.2\nmore";
+        assert_eq!(expand(s, &meta(), "f"), s);
+    }
+}

@@ -1,0 +1,361 @@
+//! Keyed repositories of archives.
+//!
+//! The snapshot service stores one archive per URL (§2.2: histories are
+//! "addressed by their URLs"). A [`Repository`] maps string keys to
+//! [`Archive`]s; [`MemRepository`] backs tests and simulations,
+//! [`DiskRepository`] persists each archive as a `,v` file the way the
+//! real service kept RCS files in its CGI area. Both report the storage
+//! totals §7 measures ("the archive uses under 8 Mbytes of disk storage
+//! (an average of 14.3 Kbytes/URL)").
+
+use crate::archive::Archive;
+use crate::format::{emit, parse, FormatError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Error from repository operations.
+#[derive(Debug)]
+pub enum RepoError {
+    /// Underlying I/O failure (disk repositories only).
+    Io(io::Error),
+    /// A stored archive failed to parse.
+    Format(FormatError),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io(e) => write!(f, "repository I/O error: {e}"),
+            RepoError::Format(e) => write!(f, "repository format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+impl From<io::Error> for RepoError {
+    fn from(e: io::Error) -> Self {
+        RepoError::Io(e)
+    }
+}
+
+impl From<FormatError> for RepoError {
+    fn from(e: FormatError) -> Self {
+        RepoError::Format(e)
+    }
+}
+
+/// Storage accounting for a repository — the numbers §7 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Number of archives (URLs).
+    pub archives: usize,
+    /// Total revisions across all archives.
+    pub revisions: usize,
+    /// Total stored bytes.
+    pub bytes: usize,
+}
+
+impl StorageStats {
+    /// Average bytes per archive (the paper's "14.3 Kbytes/URL").
+    pub fn bytes_per_archive(&self) -> f64 {
+        if self.archives == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.archives as f64
+        }
+    }
+}
+
+/// A keyed store of [`Archive`]s.
+pub trait Repository {
+    /// Loads the archive for `key`, if present.
+    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError>;
+
+    /// Stores (creates or replaces) the archive for `key`.
+    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError>;
+
+    /// Removes the archive for `key`; returns whether one existed.
+    fn remove(&mut self, key: &str) -> Result<bool, RepoError>;
+
+    /// All keys, sorted.
+    fn keys(&self) -> Result<Vec<String>, RepoError>;
+
+    /// Storage accounting.
+    fn stats(&self) -> Result<StorageStats, RepoError>;
+
+    /// Per-key stored size in bytes, sorted descending — §7 singles out
+    /// the three largest files ("Three files account for 2.7 Mbytes").
+    fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError>;
+}
+
+/// An in-memory repository.
+#[derive(Debug, Default, Clone)]
+pub struct MemRepository {
+    archives: BTreeMap<String, Archive>,
+}
+
+impl MemRepository {
+    /// Creates an empty repository.
+    pub fn new() -> MemRepository {
+        MemRepository::default()
+    }
+}
+
+impl Repository for MemRepository {
+    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError> {
+        Ok(self.archives.get(key).cloned())
+    }
+
+    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+        self.archives.insert(key.to_string(), archive.clone());
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, RepoError> {
+        Ok(self.archives.remove(key).is_some())
+    }
+
+    fn keys(&self) -> Result<Vec<String>, RepoError> {
+        Ok(self.archives.keys().cloned().collect())
+    }
+
+    fn stats(&self) -> Result<StorageStats, RepoError> {
+        let mut s = StorageStats::default();
+        for a in self.archives.values() {
+            s.archives += 1;
+            s.revisions += a.len();
+            s.bytes += emit(a).len();
+        }
+        Ok(s)
+    }
+
+    fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
+        let mut v: Vec<(String, usize)> = self
+            .archives
+            .iter()
+            .map(|(k, a)| (k.clone(), emit(a).len()))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(v)
+    }
+}
+
+/// A repository persisting each archive as `<escaped-key>,v` in a
+/// directory.
+#[derive(Debug)]
+pub struct DiskRepository {
+    dir: PathBuf,
+}
+
+impl DiskRepository {
+    /// Opens (creating if needed) a repository rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DiskRepository, RepoError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(DiskRepository {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The directory backing this repository.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{},v", escape_key(key)))
+    }
+}
+
+/// Escapes a key (URL) into a safe flat filename, reversibly.
+///
+/// Alphanumerics, `-`, `.` and `_` pass through; everything else becomes
+/// `%XX`.
+pub fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for &b in key.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' | b'_' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_key`]. Returns `None` on malformed escapes.
+pub fn unescape_key(escaped: &str) -> Option<String> {
+    let bytes = escaped.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = escaped.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+impl Repository for DiskRepository {
+    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError> {
+        let path = self.path_for(key);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(parse(&text)?)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+        // Write-then-rename so a crash never leaves a torn archive.
+        let path = self.path_for(key);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, emit(archive))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, RepoError> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>, RepoError> {
+        let mut keys = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(",v") {
+                if let Some(key) = unescape_key(stem) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn stats(&self) -> Result<StorageStats, RepoError> {
+        let mut s = StorageStats::default();
+        for key in self.keys()? {
+            if let Some(a) = self.load(&key)? {
+                s.archives += 1;
+                s.revisions += a.len();
+                s.bytes += std::fs::metadata(self.path_for(&key))?.len() as usize;
+            }
+        }
+        Ok(s)
+    }
+
+    fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
+        let mut v = Vec::new();
+        for key in self.keys()? {
+            let len = std::fs::metadata(self.path_for(&key))?.len() as usize;
+            v.push((key, len));
+        }
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_util::time::Timestamp;
+
+    fn archive(text: &str) -> Archive {
+        Archive::create("desc", text, "me", "init", Timestamp(100))
+    }
+
+    #[test]
+    fn mem_store_load_remove() {
+        let mut r = MemRepository::new();
+        assert!(r.load("http://x/").unwrap().is_none());
+        r.store("http://x/", &archive("body\n")).unwrap();
+        assert_eq!(r.load("http://x/").unwrap().unwrap().head_text(), "body\n");
+        assert!(r.remove("http://x/").unwrap());
+        assert!(!r.remove("http://x/").unwrap());
+    }
+
+    #[test]
+    fn mem_keys_sorted() {
+        let mut r = MemRepository::new();
+        r.store("b", &archive("1\n")).unwrap();
+        r.store("a", &archive("2\n")).unwrap();
+        assert_eq!(r.keys().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mem_stats_and_sizes() {
+        let mut r = MemRepository::new();
+        r.store("small", &archive("x\n")).unwrap();
+        r.store("large", &archive(&"line of page text\n".repeat(200))).unwrap();
+        let s = r.stats().unwrap();
+        assert_eq!(s.archives, 2);
+        assert_eq!(s.revisions, 2);
+        assert!(s.bytes > 3000);
+        let sizes = r.sizes().unwrap();
+        assert_eq!(sizes[0].0, "large");
+        assert!(sizes[0].1 > sizes[1].1);
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for key in [
+            "http://www.yahoo.com/",
+            "http://host:600/a b/c?d=e&f=g",
+            "file:/home/user/x.html",
+            "weird%percent",
+            "",
+        ] {
+            assert_eq!(unescape_key(&escape_key(key)).as_deref(), Some(key));
+        }
+    }
+
+    #[test]
+    fn escape_produces_safe_names() {
+        let e = escape_key("http://a/b?c=d");
+        assert!(!e.contains('/'));
+        assert!(!e.contains('?'));
+        assert!(!e.contains(':'));
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert_eq!(unescape_key("%"), None);
+        assert_eq!(unescape_key("%Z9"), None);
+        assert_eq!(unescape_key("%2"), None);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("aide-rcs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = DiskRepository::open(&dir).unwrap();
+        let mut a = archive("v1\n");
+        a.checkin("v2\n", "me", "second", Timestamp(200)).unwrap();
+        r.store("http://host/page.html", &a).unwrap();
+
+        let r2 = DiskRepository::open(&dir).unwrap();
+        let loaded = r2.load("http://host/page.html").unwrap().unwrap();
+        assert_eq!(loaded, a);
+        assert_eq!(r2.keys().unwrap(), vec!["http://host/page.html"]);
+        let stats = r2.stats().unwrap();
+        assert_eq!(stats.archives, 1);
+        assert_eq!(stats.revisions, 2);
+
+        let mut r3 = DiskRepository::open(&dir).unwrap();
+        assert!(r3.remove("http://host/page.html").unwrap());
+        assert!(r3.load("http://host/page.html").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the revision store.
+//!
+//! Invariants:
+//! - `Delta::compute(a, b).apply(a) == b` for arbitrary texts.
+//! - Delta text format round-trips through parse.
+//! - Archives check out every revision exactly as checked in, including
+//!   after an emit/parse round trip of the `,v` format.
+//! - Unchanged check-ins never create revisions.
+
+use aide_rcs::archive::Archive;
+use aide_rcs::delta::Delta;
+use aide_rcs::format::{emit, parse};
+use aide_rcs::repo::{escape_key, unescape_key};
+use aide_util::time::Timestamp;
+use proptest::prelude::*;
+
+/// Arbitrary multi-line texts with tricky content: empty lines, `@` signs
+/// (the RCS quote character), missing trailing newlines.
+fn text_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                Just("line"),
+                Just(""),
+                Just("@"),
+                Just("@@"),
+                Just("text with @ inside"),
+                Just("d1 2"),
+                Just("a3 1"),
+                Just("<P>html</P>"),
+            ],
+            0..20,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(lines, trailing)| {
+            let mut s = lines.join("\n");
+            if trailing && !s.is_empty() {
+                s.push('\n');
+            }
+            s
+        })
+}
+
+proptest! {
+    #[test]
+    fn delta_apply_roundtrip(a in text_strategy(), b in text_strategy()) {
+        let d = Delta::compute(&a, &b);
+        prop_assert_eq!(d.apply(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn delta_text_format_roundtrip(a in text_strategy(), b in text_strategy()) {
+        let d = Delta::compute(&a, &b);
+        let parsed = Delta::parse(&d.to_text()).unwrap();
+        prop_assert_eq!(parsed.apply(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn delta_identity_is_empty(a in text_strategy()) {
+        prop_assert!(Delta::compute(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn archive_checkouts_match_checkins(texts in proptest::collection::vec(text_strategy(), 1..8)) {
+        let mut archive = Archive::create("k", &texts[0], "u", "init", Timestamp(0));
+        // Record the revision each text landed at (dedup-aware).
+        let mut at: Vec<(aide_rcs::archive::RevId, String)> =
+            vec![(archive.head(), texts[0].clone())];
+        for (i, t) in texts.iter().enumerate().skip(1) {
+            let out = archive.checkin(t, "u", "log", Timestamp(i as u64 * 100)).unwrap();
+            at.push((out.rev(), t.clone()));
+        }
+        for (rev, expected) in &at {
+            prop_assert_eq!(&archive.checkout(*rev).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn archive_format_roundtrip(texts in proptest::collection::vec(text_strategy(), 1..8)) {
+        let mut archive = Archive::create("http://host/p?q=@x", &texts[0], "user@host", "init", Timestamp(0));
+        for (i, t) in texts.iter().enumerate().skip(1) {
+            archive.checkin(t, "user@host", "msg @ here", Timestamp(i as u64 * 100)).unwrap();
+        }
+        let parsed = parse(&emit(&archive)).unwrap();
+        prop_assert_eq!(&parsed, &archive);
+        for meta in archive.metas() {
+            prop_assert_eq!(
+                parsed.checkout(meta.id).unwrap(),
+                archive.checkout(meta.id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_checkin_is_noop(a in text_strategy(), b in text_strategy()) {
+        let mut archive = Archive::create("k", &a, "u", "init", Timestamp(0));
+        archive.checkin(&b, "u", "l", Timestamp(10)).unwrap();
+        let len = archive.len();
+        let out = archive.checkin(&b, "u", "l", Timestamp(20)).unwrap();
+        prop_assert!(!out.is_new());
+        prop_assert_eq!(archive.len(), len);
+    }
+
+    #[test]
+    fn key_escape_roundtrip(key in "[ -~]{0,40}") {
+        prop_assert_eq!(unescape_key(&escape_key(&key)), Some(key));
+    }
+}

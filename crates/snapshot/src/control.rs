@@ -1,0 +1,212 @@
+//! Per-user control files.
+//!
+//! "A slight twist on the versioning is that we wish to track the times
+//! at which each user checked in a page, even if the page hasn't changed
+//! between check-ins of that page by different users. This is
+//! accomplished outside of RCS by maintaining a per-user control file,
+//! allowing quick access to a user's access history" (§2.2). The second
+//! prototype keeps "a set of version numbers... for each ⟨user,URL⟩
+//! combination" (§4.1); this module stores both: the version list and the
+//! check-in times.
+//!
+//! The file format is line-oriented text, one URL per line:
+//!
+//! ```text
+//! <url>\t<rev>,<rev>,...\t<time>,<time>,...
+//! ```
+
+use aide_rcs::archive::RevId;
+use aide_util::time::Timestamp;
+use std::collections::BTreeMap;
+
+/// The record for one URL in one user's control file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UserControl {
+    /// Versions this user has checked in / seen, in check-in order.
+    pub revisions: Vec<RevId>,
+    /// The times of those check-ins (same length as `revisions`).
+    pub times: Vec<Timestamp>,
+}
+
+impl UserControl {
+    /// The most recent version this user has seen.
+    pub fn last_seen(&self) -> Option<RevId> {
+        self.revisions.last().copied()
+    }
+
+    /// The time of the user's most recent check-in of this URL.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.times.last().copied()
+    }
+
+    /// Records a check-in. Consecutive duplicates update the time only —
+    /// "the times at which each user checked in a page, even if the page
+    /// hasn't changed".
+    pub fn record(&mut self, rev: RevId, when: Timestamp) {
+        if self.revisions.last() == Some(&rev) {
+            if let Some(t) = self.times.last_mut() {
+                *t = when;
+            }
+            return;
+        }
+        self.revisions.push(rev);
+        self.times.push(when);
+    }
+
+    /// Whether the user has ever seen `rev`.
+    pub fn has_seen(&self, rev: RevId) -> bool {
+        self.revisions.contains(&rev)
+    }
+}
+
+/// One user's complete control file: URL → record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControlFile {
+    entries: BTreeMap<String, UserControl>,
+}
+
+impl ControlFile {
+    /// Creates an empty control file.
+    pub fn new() -> ControlFile {
+        ControlFile::default()
+    }
+
+    /// The record for `url`, if any.
+    pub fn get(&self, url: &str) -> Option<&UserControl> {
+        self.entries.get(url)
+    }
+
+    /// Mutable record for `url`, created on demand.
+    pub fn entry(&mut self, url: &str) -> &mut UserControl {
+        self.entries.entry(url.to_string()).or_default()
+    }
+
+    /// All URLs this user tracks, sorted.
+    pub fn urls(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tracked URLs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the user tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to the text format.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for (url, c) in &self.entries {
+            let revs: Vec<String> = c.revisions.iter().map(|r| r.to_string()).collect();
+            let times: Vec<String> = c.times.iter().map(|t| t.0.to_string()).collect();
+            out.push_str(&format!("{url}\t{}\t{}\n", revs.join(","), times.join(",")));
+        }
+        out
+    }
+
+    /// Parses the text format. Malformed lines are skipped (a corrupted
+    /// entry loses one URL's history, not the whole file).
+    pub fn parse(text: &str) -> ControlFile {
+        let mut out = ControlFile::new();
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            let (Some(url), Some(revs), Some(times)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let revisions: Option<Vec<RevId>> = revs
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(RevId::parse)
+                .collect();
+            let stamps: Option<Vec<Timestamp>> = times
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<u64>().ok().map(Timestamp))
+                .collect();
+            if let (Some(revisions), Some(times)) = (revisions, stamps) {
+                if revisions.len() == times.len() && !revisions.is_empty() {
+                    out.entries.insert(
+                        url.to_string(),
+                        UserControl {
+                            revisions,
+                            times,
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = UserControl::default();
+        assert_eq!(c.last_seen(), None);
+        c.record(RevId(1), Timestamp(100));
+        c.record(RevId(3), Timestamp(200));
+        assert_eq!(c.last_seen(), Some(RevId(3)));
+        assert!(c.has_seen(RevId(1)));
+        assert!(!c.has_seen(RevId(2)));
+    }
+
+    #[test]
+    fn duplicate_record_updates_time_only() {
+        let mut c = UserControl::default();
+        c.record(RevId(2), Timestamp(100));
+        c.record(RevId(2), Timestamp(500));
+        assert_eq!(c.revisions.len(), 1);
+        assert_eq!(c.last_time(), Some(Timestamp(500)));
+    }
+
+    #[test]
+    fn nonconsecutive_repeat_is_recorded() {
+        // Seeing 1.1, then 1.2, then 1.1 again (via History) is three events.
+        let mut c = UserControl::default();
+        c.record(RevId(1), Timestamp(1));
+        c.record(RevId(2), Timestamp(2));
+        c.record(RevId(1), Timestamp(3));
+        assert_eq!(c.revisions.len(), 3);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut f = ControlFile::new();
+        f.entry("http://b/page").record(RevId(1), Timestamp(10));
+        f.entry("http://b/page").record(RevId(2), Timestamp(20));
+        f.entry("http://a/other").record(RevId(5), Timestamp(30));
+        let parsed = ControlFile::parse(&f.emit());
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parse_skips_malformed_lines() {
+        let text = "http://good/\t1.1,1.2\t5,9\ngarbage without tabs\nhttp://bad/\t1.x\t7\nhttp://short/\t1.1\t\n";
+        let f = ControlFile::parse(text);
+        assert_eq!(f.len(), 1);
+        assert!(f.get("http://good/").is_some());
+    }
+
+    #[test]
+    fn urls_sorted() {
+        let mut f = ControlFile::new();
+        f.entry("http://z/").record(RevId(1), Timestamp(1));
+        f.entry("http://a/").record(RevId(1), Timestamp(1));
+        assert_eq!(f.urls(), vec!["http://a/", "http://z/"]);
+    }
+
+    #[test]
+    fn empty_file() {
+        let f = ControlFile::parse("");
+        assert!(f.is_empty());
+        assert_eq!(f.emit(), "");
+    }
+}

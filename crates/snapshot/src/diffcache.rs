@@ -1,0 +1,209 @@
+//! The HtmlDiff output cache (§4.2).
+//!
+//! "The need to execute HtmlDiff on the server can result in high
+//! processor loads if the facility is heavily used. These loads can be
+//! alleviated by caching the output of HtmlDiff for a while, so many
+//! users who have seen versions N and N+1 of a page could retrieve
+//! HtmlDiff(pageN, pageN+1) with a single invocation of HtmlDiff."
+//!
+//! Keys are `(url, old_rev, new_rev, options-fingerprint)`; entries
+//! expire after a TTL and the cache is capacity-bounded with LRU
+//! eviction.
+
+use aide_rcs::archive::RevId;
+use aide_util::checksum::fnv1a64;
+use aide_util::time::{Duration, Timestamp};
+use std::collections::HashMap;
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffCacheStats {
+    /// Lookups that found a fresh entry.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+}
+
+impl DiffCacheStats {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    html: String,
+    stored_at: Timestamp,
+    last_used: Timestamp,
+}
+
+/// A bounded, TTL'd cache of rendered diffs.
+#[derive(Debug)]
+pub struct DiffCache {
+    entries: HashMap<(String, RevId, RevId, u64), Entry>,
+    capacity: usize,
+    ttl: Duration,
+    stats: DiffCacheStats,
+}
+
+impl DiffCache {
+    /// Creates a cache holding up to `capacity` rendered diffs for `ttl`.
+    pub fn new(capacity: usize, ttl: Duration) -> DiffCache {
+        DiffCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            ttl,
+            stats: DiffCacheStats::default(),
+        }
+    }
+
+    /// Fingerprints a rendering-options description (e.g. `format!("{opts:?}")`),
+    /// so differently-rendered diffs do not collide.
+    pub fn options_fingerprint(description: &str) -> u64 {
+        fnv1a64(description.as_bytes())
+    }
+
+    /// Looks up a rendered diff.
+    pub fn get(
+        &mut self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts_fp: u64,
+        now: Timestamp,
+    ) -> Option<String> {
+        let key = (url.to_string(), from, to, opts_fp);
+        match self.entries.get_mut(&key) {
+            Some(e) if now - e.stored_at < self.ttl => {
+                e.last_used = now;
+                self.stats.hits += 1;
+                Some(e.html.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a rendered diff, evicting the least-recently-used entry if
+    /// at capacity.
+    pub fn put(&mut self, url: &str, from: RevId, to: RevId, opts_fp: u64, html: String, now: Timestamp) {
+        if self.entries.len() >= self.capacity
+            && !self
+                .entries
+                .contains_key(&(url.to_string(), from, to, opts_fp))
+        {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            (url.to_string(), from, to, opts_fp),
+            Entry {
+                html,
+                stored_at: now,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DiffCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DiffCache {
+        DiffCache::new(3, Duration::hours(1))
+    }
+
+    #[test]
+    fn put_get_hit() {
+        let mut c = cache();
+        c.put("u", RevId(1), RevId(2), 0, "diff html".into(), Timestamp(0));
+        assert_eq!(c.get("u", RevId(1), RevId(2), 0, Timestamp(10)).as_deref(), Some("diff html"));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let mut c = cache();
+        c.put("u", RevId(1), RevId(2), 0, "a".into(), Timestamp(0));
+        assert!(c.get("u", RevId(2), RevId(1), 0, Timestamp(0)).is_none(), "direction matters");
+        assert!(c.get("u", RevId(1), RevId(2), 99, Timestamp(0)).is_none(), "options matter");
+        assert!(c.get("v", RevId(1), RevId(2), 0, Timestamp(0)).is_none(), "url matters");
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c = cache();
+        c.put("u", RevId(1), RevId(2), 0, "x".into(), Timestamp(0));
+        assert!(c.get("u", RevId(1), RevId(2), 0, Timestamp(3600)).is_none());
+        assert!(c.is_empty(), "expired entry removed");
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = cache();
+        c.put("a", RevId(1), RevId(2), 0, "a".into(), Timestamp(0));
+        c.put("b", RevId(1), RevId(2), 0, "b".into(), Timestamp(1));
+        c.put("c", RevId(1), RevId(2), 0, "c".into(), Timestamp(2));
+        // Touch "a" so "b" becomes LRU.
+        c.get("a", RevId(1), RevId(2), 0, Timestamp(3));
+        c.put("d", RevId(1), RevId(2), 0, "d".into(), Timestamp(4));
+        assert_eq!(c.len(), 3);
+        assert!(c.get("b", RevId(1), RevId(2), 0, Timestamp(5)).is_none(), "b evicted");
+        assert!(c.get("a", RevId(1), RevId(2), 0, Timestamp(5)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = cache();
+        c.put("u", RevId(1), RevId(2), 0, "x".into(), Timestamp(0));
+        c.get("u", RevId(1), RevId(2), 0, Timestamp(1));
+        c.get("u", RevId(1), RevId(3), 0, Timestamp(1));
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_options() {
+        let a = DiffCache::options_fingerprint("Options { merged }");
+        let b = DiffCache::options_fingerprint("Options { only-differences }");
+        assert_ne!(a, b);
+    }
+}

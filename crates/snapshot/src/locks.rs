@@ -1,0 +1,217 @@
+//! Synchronization for the snapshot facility (§4.2).
+//!
+//! "The system must synchronize access to the RCS repository, the locally
+//! cached copy of the HTML document, and the control files that record
+//! the versions of each page a user has checked in. Currently this is
+//! done by using UNIX file locking on both a per-URL lock file and the
+//! per-user control file."
+//!
+//! This module provides that lock table in-process, plus the improvement
+//! the paper wishes for: "Ideally the locks could be queued such that if
+//! multiple users request the same page simultaneously, the second
+//! snapshot process would just wait for the page and then return, rather
+//! than repeating the work" — implemented here as [`LockTable::once`],
+//! a single-flight combinator.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters for lock behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStats {
+    /// Lock acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to wait (the lock was held).
+    pub contended: u64,
+    /// Single-flight executions that performed the work.
+    pub flights: u64,
+    /// Single-flight executions that reused a concurrent caller's work.
+    pub piggybacked: u64,
+}
+
+#[derive(Default)]
+struct TableState {
+    locks: HashMap<String, Arc<Mutex<()>>>,
+    stats: LockStats,
+    /// Results parked for single-flight reuse: key → (generation, value).
+    flights: HashMap<String, (u64, String)>,
+    generation: u64,
+}
+
+/// A named-lock table with per-URL / per-user granularity.
+///
+/// Lock *ordering*: callers that need both a URL lock and a user lock
+/// must take the URL lock first (the service does); this is the
+/// deadlock-avoidance discipline the perl scripts followed implicitly by
+/// their code structure.
+#[derive(Clone, Default)]
+pub struct LockTable {
+    state: Arc<Mutex<TableState>>,
+}
+
+/// A held named lock.
+pub struct NamedGuard {
+    _inner: parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Acquires the lock named `key`, blocking while held elsewhere.
+    pub fn lock(&self, key: &str) -> NamedGuard {
+        let handle = {
+            let mut st = self.state.lock();
+            st.stats.acquisitions += 1;
+            st.locks
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(())))
+                .clone()
+        };
+        // Record contention without holding the table lock.
+        match handle.try_lock_arc() {
+            Some(g) => NamedGuard { _inner: g },
+            None => {
+                self.state.lock().stats.contended += 1;
+                NamedGuard {
+                    _inner: handle.lock_arc(),
+                }
+            }
+        }
+    }
+
+    /// Convenience: the per-URL lock name.
+    pub fn url_key(url: &str) -> String {
+        format!("url:{url}")
+    }
+
+    /// Convenience: the per-user control-file lock name.
+    pub fn user_key(user: &str) -> String {
+        format!("user:{user}")
+    }
+
+    /// Single-flight execution: runs `work` under the lock for `key`. If
+    /// another caller completed the same keyed work while this caller was
+    /// waiting for the lock, its result is returned without re-running
+    /// `work`.
+    ///
+    /// The caller passes the *flight generation* it observed before
+    /// deciding to do the work ([`LockTable::flight_generation`]); a newer
+    /// parked result for the key means someone did the work in between.
+    pub fn once(&self, key: &str, observed_gen: u64, work: impl FnOnce() -> String) -> String {
+        let guard = self.lock(key);
+        {
+            let st = self.state.lock();
+            if let Some((generation, value)) = st.flights.get(key) {
+                if *generation > observed_gen {
+                    let v = value.clone();
+                    drop(st);
+                    drop(guard);
+                    self.state.lock().stats.piggybacked += 1;
+                    return v;
+                }
+            }
+        }
+        let value = work();
+        let mut st = self.state.lock();
+        st.generation += 1;
+        let generation = st.generation;
+        st.flights.insert(key.to_string(), (generation, value.clone()));
+        st.stats.flights += 1;
+        drop(st);
+        drop(guard);
+        value
+    }
+
+    /// The current flight generation; pass to [`LockTable::once`].
+    pub fn flight_generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LockStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_key_excludes() {
+        let t = LockTable::new();
+        let g = t.lock("url:http://x/");
+        // A second acquisition from another thread must block until drop.
+        let t2 = t.clone();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = flag.clone();
+        let h = std::thread::spawn(move || {
+            let _g = t2.lock("url:http://x/");
+            f2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(flag.load(Ordering::SeqCst), 0, "second locker still waiting");
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        assert_eq!(t.stats().contended, 1);
+    }
+
+    #[test]
+    fn different_keys_are_independent() {
+        let t = LockTable::new();
+        let _a = t.lock("url:http://a/");
+        let _b = t.lock("url:http://b/");
+        let _u = t.lock("user:douglis");
+        assert_eq!(t.stats().acquisitions, 3);
+        assert_eq!(t.stats().contended, 0);
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_work() {
+        let t = LockTable::new();
+        let work_count = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = t.clone();
+            let wc = work_count.clone();
+            // All callers observe generation 0 "simultaneously".
+            handles.push(std::thread::spawn(move || {
+                t.once("diff:http://x/:1.1:1.2", 0, || {
+                    wc.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    "rendered diff".to_string()
+                })
+            }));
+        }
+        let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|r| r == "rendered diff"));
+        assert_eq!(work_count.load(Ordering::SeqCst), 1, "work ran once");
+        let s = t.stats();
+        assert_eq!(s.flights, 1);
+        assert_eq!(s.piggybacked, 7);
+    }
+
+    #[test]
+    fn single_flight_reruns_for_new_generation() {
+        let t = LockTable::new();
+        let r1 = t.once("k", t.flight_generation(), || "first".to_string());
+        // A later caller observing the *new* generation gets fresh work.
+        let r2 = t.once("k", t.flight_generation(), || "second".to_string());
+        assert_eq!(r1, "first");
+        assert_eq!(r2, "second");
+        assert_eq!(t.stats().flights, 2);
+    }
+
+    #[test]
+    fn key_helpers() {
+        assert_eq!(LockTable::url_key("http://x/"), "url:http://x/");
+        assert_eq!(LockTable::user_key("a@b"), "user:a@b");
+        assert_ne!(LockTable::url_key("z"), LockTable::user_key("z"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Identity and privacy models (§4.2).
+//!
+//! The deployed prototype was open: "In order to use the facility one
+//! must give an identifier (currently one's email address, which anyone
+//! can specify)... Browsing the repository can therefore indicate which
+//! user has an interest in which page, how often the user has saved a new
+//! checkpoint, and so on." The paper sketches the fix: "By moving to an
+//! authenticated system... The repository would associate impersonal
+//! account identifiers with a set of URLs and version numbers, and
+//! passwords would be needed to access one of these accounts."
+//!
+//! Both models are implemented. [`IdentityModel::Open`] accepts any
+//! email-shaped identifier; [`IdentityModel::Authenticated`] maps
+//! passworded accounts to opaque ids so repository keys no longer name
+//! people.
+
+use aide_util::checksum::fnv1a64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which identity regime the service runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdentityModel {
+    /// Anyone may claim any email-shaped identifier (the prototype).
+    #[default]
+    Open,
+    /// Accounts with passwords and opaque storage identifiers.
+    Authenticated,
+}
+
+/// Errors from the identity layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// The identifier is not email-shaped.
+    BadIdentifier(String),
+    /// Unknown account.
+    NoSuchAccount(String),
+    /// Wrong password.
+    BadPassword,
+    /// Account already exists.
+    AccountExists(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadIdentifier(s) => write!(f, "not an email-shaped identifier: {s:?}"),
+            AuthError::NoSuchAccount(s) => write!(f, "no such account: {s}"),
+            AuthError::BadPassword => write!(f, "bad password"),
+            AuthError::AccountExists(s) => write!(f, "account exists: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Validates the prototype's identifier rule: something email-shaped.
+pub fn validate_email_id(id: &str) -> Result<(), AuthError> {
+    let ok = id.contains('@')
+        && !id.starts_with('@')
+        && !id.ends_with('@')
+        && id.chars().filter(|&c| c == '@').count() == 1
+        && !id.chars().any(|c| c.is_whitespace() || c == '\t');
+    if ok {
+        Ok(())
+    } else {
+        Err(AuthError::BadIdentifier(id.to_string()))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    /// Salted hash of the password. FNV is *not* a cryptographic hash;
+    /// it stands in for crypt(3) here exactly as crypt(3) stood in for a
+    /// real KDF in 1996. The interface is what matters for the model.
+    password_hash: u64,
+    salt: u64,
+    /// The opaque identifier used as the storage key.
+    storage_id: String,
+}
+
+/// The account registry for [`IdentityModel::Authenticated`].
+#[derive(Debug, Clone, Default)]
+pub struct AccountRegistry {
+    accounts: BTreeMap<String, Account>,
+    next_serial: u64,
+}
+
+impl AccountRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> AccountRegistry {
+        AccountRegistry::default()
+    }
+
+    fn hash(password: &str, salt: u64) -> u64 {
+        fnv1a64(format!("{salt:016x}:{password}").as_bytes())
+    }
+
+    /// Creates an account; returns the opaque storage id.
+    pub fn create(&mut self, name: &str, password: &str) -> Result<String, AuthError> {
+        if self.accounts.contains_key(name) {
+            return Err(AuthError::AccountExists(name.to_string()));
+        }
+        self.next_serial += 1;
+        let salt = fnv1a64(format!("{}:{}", self.next_serial, name).as_bytes());
+        let storage_id = format!("acct-{:016x}", fnv1a64(format!("{salt:x}:{}", self.next_serial).as_bytes()));
+        self.accounts.insert(
+            name.to_string(),
+            Account {
+                password_hash: Self::hash(password, salt),
+                salt,
+                storage_id: storage_id.clone(),
+            },
+        );
+        Ok(storage_id)
+    }
+
+    /// Authenticates and returns the opaque storage id.
+    pub fn login(&self, name: &str, password: &str) -> Result<String, AuthError> {
+        let acct = self
+            .accounts
+            .get(name)
+            .ok_or_else(|| AuthError::NoSuchAccount(name.to_string()))?;
+        if Self::hash(password, acct.salt) == acct.password_hash {
+            Ok(acct.storage_id.clone())
+        } else {
+            Err(AuthError::BadPassword)
+        }
+    }
+
+    /// What a repository-browsing attacker learns under this model: the
+    /// opaque ids only — no mapping back to people.
+    pub fn visible_storage_ids(&self) -> Vec<String> {
+        self.accounts.values().map(|a| a.storage_id.clone()).collect()
+    }
+}
+
+/// Resolves a claimed identity to the storage key the service files
+/// control data under.
+pub fn resolve_storage_id(
+    model: IdentityModel,
+    registry: &AccountRegistry,
+    claimed: &str,
+    password: Option<&str>,
+) -> Result<String, AuthError> {
+    match model {
+        IdentityModel::Open => {
+            validate_email_id(claimed)?;
+            // The storage key IS the email — the privacy leak the paper
+            // points out.
+            Ok(claimed.to_string())
+        }
+        IdentityModel::Authenticated => {
+            registry.login(claimed, password.unwrap_or(""))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_validation() {
+        assert!(validate_email_id("douglis@research.att.com").is_ok());
+        assert!(validate_email_id("no-at-sign").is_err());
+        assert!(validate_email_id("@leading").is_err());
+        assert!(validate_email_id("trailing@").is_err());
+        assert!(validate_email_id("two@@ats").is_err());
+        assert!(validate_email_id("has space@x").is_err());
+    }
+
+    #[test]
+    fn open_model_uses_email_as_key() {
+        let reg = AccountRegistry::new();
+        let id = resolve_storage_id(IdentityModel::Open, &reg, "ball@research.att.com", None).unwrap();
+        assert_eq!(id, "ball@research.att.com", "the leak: keys name people");
+    }
+
+    #[test]
+    fn open_model_accepts_impersonation() {
+        // Anyone can claim anyone — the documented weakness.
+        let reg = AccountRegistry::new();
+        assert!(resolve_storage_id(IdentityModel::Open, &reg, "victim@example.com", None).is_ok());
+    }
+
+    #[test]
+    fn authenticated_model_requires_password() {
+        let mut reg = AccountRegistry::new();
+        let sid = reg.create("fred", "difference-engine").unwrap();
+        let ok = resolve_storage_id(
+            IdentityModel::Authenticated,
+            &reg,
+            "fred",
+            Some("difference-engine"),
+        )
+        .unwrap();
+        assert_eq!(ok, sid);
+        assert_eq!(
+            resolve_storage_id(IdentityModel::Authenticated, &reg, "fred", Some("wrong")),
+            Err(AuthError::BadPassword)
+        );
+        assert!(matches!(
+            resolve_storage_id(IdentityModel::Authenticated, &reg, "ghost", Some("x")),
+            Err(AuthError::NoSuchAccount(_))
+        ));
+    }
+
+    #[test]
+    fn storage_ids_are_opaque() {
+        let mut reg = AccountRegistry::new();
+        let sid = reg.create("fred@research.att.com", "pw").unwrap();
+        assert!(!sid.contains("fred"), "opaque id must not embed the name: {sid}");
+        assert!(sid.starts_with("acct-"));
+        for visible in reg.visible_storage_ids() {
+            assert!(!visible.contains("fred"));
+        }
+    }
+
+    #[test]
+    fn duplicate_account_rejected() {
+        let mut reg = AccountRegistry::new();
+        reg.create("a", "1").unwrap();
+        assert!(matches!(reg.create("a", "2"), Err(AuthError::AccountExists(_))));
+    }
+
+    #[test]
+    fn distinct_accounts_get_distinct_ids() {
+        let mut reg = AccountRegistry::new();
+        let a = reg.create("a", "pw").unwrap();
+        let b = reg.create("b", "pw").unwrap();
+        assert_ne!(a, b);
+    }
+}

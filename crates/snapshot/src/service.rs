@@ -1,0 +1,661 @@
+//! The snapshot service proper: remember / diff / history / view.
+//!
+//! §6 names the three entry points AIDE links next to every hotlist item:
+//!
+//! - **Remember**: "send the URL to the snapshot facility, to save a copy
+//!   of the page. Though the page is retrieved, the RCS ci command
+//!   ensures that it is not saved if it is unchanged."
+//! - **Diff**: "have the snapshot facility invoke HtmlDiff to display the
+//!   changes in a page since it was last saved away by the user."
+//! - **History**: "display a full log of versions of this page, with the
+//!   ability to run HtmlDiff on any pair of versions or to view a
+//!   particular version directly."
+//!
+//! The service is transport-agnostic: callers hand it page *bodies* (the
+//! CGI layer in the `aide` crate does the fetching), so the whole archive
+//! machinery is testable without a network.
+
+use crate::control::ControlFile;
+use crate::diffcache::DiffCache;
+use crate::locks::LockTable;
+use aide_htmldiff::{html_diff, Options as DiffOptions};
+use aide_htmlkit::lexer::{lex, serialize};
+use aide_htmlkit::links::rewrite_base;
+use aide_htmlkit::url::Url;
+use aide_rcs::archive::{Archive, ArchiveError, CheckinOutcome, RevId, RevisionMeta};
+use aide_rcs::repo::{RepoError, Repository, StorageStats};
+use aide_util::time::{Clock, Duration, Timestamp};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A user identifier — an email address in the open model, an opaque
+/// account id in the authenticated one.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub String);
+
+impl UserId {
+    /// Convenience constructor.
+    pub fn new(id: &str) -> UserId {
+        UserId(id.to_string())
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Errors from the service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Repository failure.
+    Repo(RepoError),
+    /// Archive-level failure.
+    Archive(ArchiveError),
+    /// The URL has never been remembered by anyone.
+    NeverArchived(String),
+    /// Admission control rejected the request (§4.2's simultaneous-user
+    /// limit); try again shortly.
+    Overloaded {
+        /// The configured concurrency cap.
+        limit: usize,
+    },
+    /// This user has never remembered this URL.
+    NoUserHistory {
+        /// Who asked.
+        user: UserId,
+        /// For what URL.
+        url: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Repo(e) => write!(f, "{e}"),
+            ServiceError::Archive(e) => write!(f, "{e}"),
+            ServiceError::NeverArchived(u) => write!(f, "no snapshots exist for {u}"),
+            ServiceError::Overloaded { limit } => {
+                write!(f, "service busy ({limit} simultaneous requests); try again")
+            }
+            ServiceError::NoUserHistory { user, url } => {
+                write!(f, "{user} has never remembered {url}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// RAII slot held for the duration of an admitted operation.
+struct AdmissionGuard<'a> {
+    counter: &'a std::sync::atomic::AtomicUsize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl From<RepoError> for ServiceError {
+    fn from(e: RepoError) -> Self {
+        ServiceError::Repo(e)
+    }
+}
+
+impl From<ArchiveError> for ServiceError {
+    fn from(e: ArchiveError) -> Self {
+        ServiceError::Archive(e)
+    }
+}
+
+/// Result of a Remember operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RememberOutcome {
+    /// The revision the page body now corresponds to.
+    pub rev: RevId,
+    /// Whether a new revision was created (false = unchanged).
+    pub stored_new_revision: bool,
+    /// Whether this was the first snapshot of the URL anywhere.
+    pub created_archive: bool,
+}
+
+/// Result of a Diff operation.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The rendered HtmlDiff page.
+    pub html: String,
+    /// The older revision compared.
+    pub from: RevId,
+    /// The newer revision compared.
+    pub to: RevId,
+    /// Whether the rendered output came from the diff cache.
+    pub from_cache: bool,
+}
+
+/// Service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Times HtmlDiff actually executed (cache misses).
+    pub htmldiff_invocations: u64,
+    /// Remember operations performed.
+    pub remembers: u64,
+    /// Remember operations that stored nothing (unchanged page).
+    pub unchanged_remembers: u64,
+}
+
+/// The snapshot service.
+pub struct SnapshotService<R: Repository> {
+    repo: Mutex<R>,
+    controls: Mutex<BTreeMap<UserId, ControlFile>>,
+    locks: LockTable,
+    diff_cache: Mutex<DiffCache>,
+    clock: Clock,
+    stats: Mutex<ServiceStats>,
+    /// Admission control (§4.2: "the facility could also impose a limit
+    /// on the number of simultaneous users"). `None` = unlimited.
+    max_concurrent: Mutex<Option<usize>>,
+    in_flight: std::sync::atomic::AtomicUsize,
+}
+
+impl<R: Repository> SnapshotService<R> {
+    /// Creates a service over `repo`, with a diff cache of `cache_slots`
+    /// entries held for `cache_ttl`.
+    pub fn new(repo: R, clock: Clock, cache_slots: usize, cache_ttl: Duration) -> Self {
+        SnapshotService {
+            repo: Mutex::new(repo),
+            controls: Mutex::new(BTreeMap::new()),
+            locks: LockTable::new(),
+            diff_cache: Mutex::new(DiffCache::new(cache_slots, cache_ttl)),
+            clock,
+            stats: Mutex::new(ServiceStats::default()),
+            max_concurrent: Mutex::new(None),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Caps the number of simultaneously executing operations; further
+    /// requests fail with [`ServiceError::Overloaded`] until others
+    /// finish. `None` removes the cap.
+    pub fn set_max_concurrent(&self, limit: Option<usize>) {
+        *self.max_concurrent.lock() = limit;
+    }
+
+    /// Admits one operation, or reports overload.
+    fn admit(&self) -> Result<AdmissionGuard<'_>, ServiceError> {
+        use std::sync::atomic::Ordering;
+        let limit = *self.max_concurrent.lock();
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(cap) = limit {
+            if now > cap {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(ServiceError::Overloaded { limit: cap });
+            }
+        }
+        Ok(AdmissionGuard { counter: &self.in_flight })
+    }
+
+    /// The shared lock table (exposed for contention experiments).
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Remember: checks `body` in as the state of `url` on behalf of
+    /// `user`.
+    pub fn remember(
+        &self,
+        user: &UserId,
+        url: &str,
+        body: &str,
+    ) -> Result<RememberOutcome, ServiceError> {
+        let _slot = self.admit()?;
+        let now = self.clock.now();
+        // Lock ordering: URL first, then user (see `locks`).
+        let _url_guard = self.locks.lock(&LockTable::url_key(url));
+        let mut repo = self.repo.lock();
+        let (outcome, created) = match repo.load(url)? {
+            Some(mut archive) => {
+                let out = archive.checkin(body, &user.0, &format!("checked in by {user}"), now)?;
+                if out.is_new() {
+                    repo.store(url, &archive)?;
+                }
+                (out, false)
+            }
+            None => {
+                let archive = Archive::create(
+                    url,
+                    body,
+                    &user.0,
+                    &format!("initial snapshot by {user}"),
+                    now,
+                );
+                repo.store(url, &archive)?;
+                (CheckinOutcome::NewRevision(RevId::FIRST), true)
+            }
+        };
+        drop(repo);
+        let _user_guard = self.locks.lock(&LockTable::user_key(&user.0));
+        self.controls
+            .lock()
+            .entry(user.clone())
+            .or_default()
+            .entry(url)
+            .record(outcome.rev(), now);
+        let mut stats = self.stats.lock();
+        stats.remembers += 1;
+        if !outcome.is_new() {
+            stats.unchanged_remembers += 1;
+        }
+        Ok(RememberOutcome {
+            rev: outcome.rev(),
+            stored_new_revision: outcome.is_new(),
+            created_archive: created,
+        })
+    }
+
+    /// Diff: renders the changes between `user`'s last-remembered version
+    /// of `url` and `current_body` (the page as it looks now). The
+    /// current body is checked in first (so the comparison target is a
+    /// stable revision), exactly as the CGI retrieved the page before
+    /// comparing.
+    pub fn diff_since_last(
+        &self,
+        user: &UserId,
+        url: &str,
+        current_body: &str,
+        opts: &DiffOptions,
+    ) -> Result<DiffOutcome, ServiceError> {
+        let from = {
+            let controls = self.controls.lock();
+            controls
+                .get(user)
+                .and_then(|c| c.get(url))
+                .and_then(|e| e.last_seen())
+                .ok_or_else(|| ServiceError::NoUserHistory {
+                    user: user.clone(),
+                    url: url.to_string(),
+                })?
+        };
+        let to = self.remember(user, url, current_body)?.rev;
+        self.diff_versions(url, from, to, opts)
+    }
+
+    /// Diff between two stored revisions, via the output cache.
+    pub fn diff_versions(
+        &self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts: &DiffOptions,
+    ) -> Result<DiffOutcome, ServiceError> {
+        let _slot = self.admit()?;
+        let now = self.clock.now();
+        let fp = DiffCache::options_fingerprint(&format!("{opts:?}"));
+        if let Some(html) = self.diff_cache.lock().get(url, from, to, fp, now) {
+            return Ok(DiffOutcome {
+                html,
+                from,
+                to,
+                from_cache: true,
+            });
+        }
+        let repo = self.repo.lock();
+        let archive = repo
+            .load(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        let old = archive.checkout(from)?;
+        let new = archive.checkout(to)?;
+        drop(repo);
+        let mut labeled = opts.clone();
+        labeled.old_label = from.to_string();
+        labeled.new_label = to.to_string();
+        let result = html_diff(&old, &new, &labeled);
+        self.stats.lock().htmldiff_invocations += 1;
+        self.diff_cache
+            .lock()
+            .put(url, from, to, fp, result.html.clone(), now);
+        Ok(DiffOutcome {
+            html: result.html,
+            from,
+            to,
+            from_cache: false,
+        })
+    }
+
+    /// History: the full revision log (newest first), with a per-user
+    /// seen flag for each revision.
+    pub fn history(
+        &self,
+        user: &UserId,
+        url: &str,
+    ) -> Result<Vec<(RevisionMeta, bool)>, ServiceError> {
+        let repo = self.repo.lock();
+        let archive = repo
+            .load(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        let controls = self.controls.lock();
+        let seen = controls.get(user).and_then(|c| c.get(url));
+        Ok(archive
+            .log()
+            .into_iter()
+            .map(|m| {
+                let has = seen.map(|c| c.has_seen(m.id)).unwrap_or(false);
+                (m.clone(), has)
+            })
+            .collect())
+    }
+
+    /// View: the full text of one revision, with a `BASE` tag inserted so
+    /// relative links resolve against the original location (§4.1).
+    pub fn view(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
+        let repo = self.repo.lock();
+        let archive = repo
+            .load(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        let body = archive.checkout(rev)?;
+        drop(repo);
+        match Url::parse(url) {
+            Ok(base) => Ok(serialize(&rewrite_base(&lex(&body), &base))),
+            Err(_) => Ok(body),
+        }
+    }
+
+    /// The pristine text of one revision (no BASE rewriting) — what a
+    /// co-resident service needs to re-remember content on a user's
+    /// behalf.
+    pub fn revision_text(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
+        let repo = self.repo.lock();
+        let archive = repo
+            .load(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        Ok(archive.checkout(rev)?)
+    }
+
+    /// The revision in force at `date` (RCS `co -d`).
+    pub fn view_at(&self, url: &str, date: Timestamp) -> Result<(RevId, String), ServiceError> {
+        let repo = self.repo.lock();
+        let archive = repo
+            .load(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        Ok(archive.checkout_at(date)?)
+    }
+
+    /// The head revision of `url`, if archived.
+    pub fn head(&self, url: &str) -> Result<Option<(RevId, Timestamp)>, ServiceError> {
+        let repo = self.repo.lock();
+        Ok(repo
+            .load(url)?
+            .map(|a| (a.head(), a.metas().last().expect("nonempty").date)))
+    }
+
+    /// The most recent revision `user` has remembered of `url`.
+    pub fn last_seen(&self, user: &UserId, url: &str) -> Option<RevId> {
+        self.controls
+            .lock()
+            .get(user)
+            .and_then(|c| c.get(url))
+            .and_then(|e| e.last_seen())
+    }
+
+    /// All URLs anyone has archived.
+    pub fn archived_urls(&self) -> Result<Vec<String>, ServiceError> {
+        Ok(self.repo.lock().keys()?)
+    }
+
+    /// Repository storage accounting (the §7 numbers).
+    pub fn storage(&self) -> Result<StorageStats, ServiceError> {
+        Ok(self.repo.lock().stats()?)
+    }
+
+    /// Per-URL storage, largest first (§7 singles out the top three).
+    pub fn storage_by_url(&self) -> Result<Vec<(String, usize)>, ServiceError> {
+        Ok(self.repo.lock().sizes()?)
+    }
+
+    /// Service counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// Diff-cache counters.
+    pub fn diff_cache_stats(&self) -> crate::diffcache::DiffCacheStats {
+        self.diff_cache.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_rcs::repo::MemRepository;
+
+    fn service() -> (Clock, SnapshotService<MemRepository>) {
+        let clock = Clock::starting_at(Timestamp(1_000_000));
+        let s = SnapshotService::new(MemRepository::new(), clock.clone(), 64, Duration::hours(4));
+        (clock, s)
+    }
+
+    fn fred() -> UserId {
+        UserId::new("douglis@research.att.com")
+    }
+
+    fn tom() -> UserId {
+        UserId::new("tball@research.att.com")
+    }
+
+    const URL: &str = "http://www.usenix.org/index.html";
+
+    #[test]
+    fn first_remember_creates_archive() {
+        let (_, s) = service();
+        let out = s.remember(&fred(), URL, "<HTML><P>v1 body.</HTML>").unwrap();
+        assert!(out.created_archive);
+        assert!(out.stored_new_revision);
+        assert_eq!(out.rev, RevId(1));
+    }
+
+    #[test]
+    fn unchanged_remember_stores_nothing() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<HTML>same</HTML>").unwrap();
+        clock.advance(Duration::days(1));
+        let out = s.remember(&fred(), URL, "<HTML>same</HTML>").unwrap();
+        assert!(!out.stored_new_revision);
+        assert_eq!(out.rev, RevId(1));
+        assert_eq!(s.service_stats().unchanged_remembers, 1);
+    }
+
+    #[test]
+    fn two_users_share_one_archive() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<HTML>v1</HTML>").unwrap();
+        clock.advance(Duration::hours(1));
+        // Tom remembers the same unchanged page: no new revision, but
+        // Tom's control file now records 1.1.
+        let out = s.remember(&tom(), URL, "<HTML>v1</HTML>").unwrap();
+        assert!(!out.stored_new_revision);
+        assert_eq!(s.last_seen(&tom(), URL), Some(RevId(1)));
+        assert_eq!(s.storage().unwrap().revisions, 1, "saved at most once per change");
+    }
+
+    #[test]
+    fn diff_since_last_compares_and_advances() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<HTML><P>original sentence stays.</HTML>").unwrap();
+        clock.advance(Duration::days(3));
+        let out = s
+            .diff_since_last(
+                &fred(),
+                URL,
+                "<HTML><P>original sentence stays. a new one arrives!</HTML>",
+                &DiffOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(out.from, RevId(1));
+        assert_eq!(out.to, RevId(2));
+        assert!(out.html.contains("<STRONG><I>a new one arrives!</I></STRONG>"));
+        assert!(out.html.contains("1.1"), "banner labels revisions: {}", out.html);
+    }
+
+    #[test]
+    fn diff_without_history_errors() {
+        let (_, s) = service();
+        s.remember(&fred(), URL, "x").unwrap();
+        let err = s
+            .diff_since_last(&tom(), URL, "y", &DiffOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::NoUserHistory { .. }));
+    }
+
+    #[test]
+    fn diff_cache_shares_renderings() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<HTML><P>v1 text.</HTML>").unwrap();
+        clock.advance(Duration::hours(1));
+        s.remember(&fred(), URL, "<HTML><P>v2 text!</HTML>").unwrap();
+        let opts = DiffOptions::default();
+        let a = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
+        assert!(!a.from_cache);
+        let b = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
+        assert!(b.from_cache);
+        assert_eq!(a.html, b.html);
+        assert_eq!(s.service_stats().htmldiff_invocations, 1, "HtmlDiff ran once");
+        assert_eq!(s.diff_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn different_options_bypass_cache() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<P>v1.").unwrap();
+        clock.advance(Duration::hours(1));
+        s.remember(&fred(), URL, "<P>v2.").unwrap();
+        let merged = DiffOptions::default();
+        let only = DiffOptions {
+            presentation: aide_htmldiff::Presentation::OnlyDifferences,
+            ..DiffOptions::default()
+        };
+        s.diff_versions(URL, RevId(1), RevId(2), &merged).unwrap();
+        let b = s.diff_versions(URL, RevId(1), RevId(2), &only).unwrap();
+        assert!(!b.from_cache);
+        assert_eq!(s.service_stats().htmldiff_invocations, 2);
+    }
+
+    #[test]
+    fn history_marks_seen_revisions() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "v1").unwrap();
+        clock.advance(Duration::days(1));
+        s.remember(&tom(), URL, "v2").unwrap();
+        clock.advance(Duration::days(1));
+        s.remember(&fred(), URL, "v3").unwrap();
+        let h = s.history(&fred(), URL).unwrap();
+        // Newest first: 1.3 (seen), 1.2 (not seen by fred), 1.1 (seen).
+        assert_eq!(h.len(), 3);
+        assert_eq!((h[0].0.id, h[0].1), (RevId(3), true));
+        assert_eq!((h[1].0.id, h[1].1), (RevId(2), false));
+        assert_eq!((h[2].0.id, h[2].1), (RevId(1), true));
+    }
+
+    #[test]
+    fn view_inserts_base() {
+        let (_, s) = service();
+        s.remember(&fred(), URL, "<HTML><HEAD></HEAD><BODY><A HREF=\"rel.html\">x</A></BODY></HTML>")
+            .unwrap();
+        let body = s.view(URL, RevId(1)).unwrap();
+        assert!(
+            body.contains(r#"<BASE HREF="http://www.usenix.org/index.html">"#),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn view_at_date() {
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "v1").unwrap();
+        let t1 = clock.now();
+        clock.advance(Duration::days(7));
+        s.remember(&fred(), URL, "v2").unwrap();
+        let (rev, body) = s.view_at(URL, t1 + Duration::days(1)).unwrap();
+        assert_eq!(rev, RevId(1));
+        assert!(body.contains("v1"));
+    }
+
+    #[test]
+    fn errors_for_unknown_urls() {
+        let (_, s) = service();
+        assert!(matches!(
+            s.history(&fred(), "http://never/"),
+            Err(ServiceError::NeverArchived(_))
+        ));
+        assert!(matches!(
+            s.view("http://never/", RevId(1)),
+            Err(ServiceError::NeverArchived(_))
+        ));
+        assert_eq!(s.head("http://never/").unwrap(), None);
+    }
+
+    #[test]
+    fn admission_control_limits_simultaneous_operations() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let clock = Clock::starting_at(Timestamp(1_000_000));
+        let s = Arc::new(SnapshotService::new(
+            MemRepository::new(),
+            clock.clone(),
+            64,
+            Duration::hours(4),
+        ));
+        // A saturated service (cap 0) rejects everything, deterministically.
+        s.set_max_concurrent(Some(0));
+        assert!(matches!(
+            s.remember(&UserId::new("u@x"), "http://h/p", "x"),
+            Err(ServiceError::Overloaded { limit: 0 })
+        ));
+
+        // Under a real cap, concurrent traffic sees only Ok or Overloaded
+        // (never a panic or corruption), and the in-flight count returns
+        // to zero so subsequent requests are admitted.
+        s.set_max_concurrent(Some(2));
+        let outcomes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let s = s.clone();
+            let outcomes = outcomes.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..10 {
+                    match s.remember(
+                        &UserId::new("u@x"),
+                        &format!("http://h{i}/p{k}"),
+                        &format!("body {i} {k}"),
+                    ) {
+                        Ok(_) | Err(ServiceError::Overloaded { .. }) => {
+                            outcomes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => panic!("unexpected error under load: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(outcomes.load(Ordering::SeqCst), 80);
+        // After the storm, the cap can be lifted and service resumes.
+        s.set_max_concurrent(None);
+        assert!(s.remember(&UserId::new("u@x"), "http://after/", "x").is_ok());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let (clock, s) = service();
+        s.remember(&fred(), "http://a/", &"line of text\n".repeat(50)).unwrap();
+        clock.advance(Duration::hours(1));
+        s.remember(&fred(), "http://b/", &"other content\n".repeat(500)).unwrap();
+        let stats = s.storage().unwrap();
+        assert_eq!(stats.archives, 2);
+        let by_url = s.storage_by_url().unwrap();
+        assert_eq!(by_url[0].0, "http://b/", "largest first");
+    }
+}

@@ -1,0 +1,158 @@
+//! Content checksums for change detection.
+//!
+//! URL-minder "uses a checksum of the content of a page, so it can detect
+//! changes in pages that do not provide a `Last-Modified` date, such as
+//! output from CGI scripts" (§2.1); `w3new` falls back to the same trick.
+//! This module provides the two checksums AIDE components use: CRC-32
+//! (IEEE polynomial, as `cksum` would have produced) and 64-bit FNV-1a for
+//! hash-table keys such as diff-cache entries.
+
+/// Combined page checksum: length plus CRC, the fields a 1995 `cksum`
+/// emitted, which together make accidental collisions on page content
+/// vanishingly rare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageChecksum {
+    /// CRC-32 (IEEE) of the content.
+    pub crc: u32,
+    /// Content length in bytes.
+    pub len: u64,
+}
+
+impl PageChecksum {
+    /// Computes the checksum of `content`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aide_util::checksum::PageChecksum;
+    ///
+    /// let a = PageChecksum::of(b"<HTML>hello</HTML>");
+    /// let b = PageChecksum::of(b"<HTML>hello!</HTML>");
+    /// assert_ne!(a, b);
+    /// assert_eq!(a, PageChecksum::of(b"<HTML>hello</HTML>"));
+    /// ```
+    pub fn of(content: &[u8]) -> PageChecksum {
+        PageChecksum {
+            crc: crc32(content),
+            len: content.len() as u64,
+        }
+    }
+}
+
+/// CRC-32 lookup table for the IEEE 802.3 polynomial (reflected 0xEDB88320).
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The catalogued check value for "123456789".
+/// assert_eq!(aide_util::checksum::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Computes the 64-bit FNV-1a hash of `data`.
+///
+/// Used for in-memory cache keys, not for content comparison.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for composite keys.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Creates a new hasher with the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Returns the current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn page_checksum_detects_single_byte_flip() {
+        let base = b"<HTML><BODY>Count: 41</BODY></HTML>".to_vec();
+        let mut flipped = base.clone();
+        flipped[20] = b'2';
+        assert_ne!(PageChecksum::of(&base), PageChecksum::of(&flipped));
+    }
+
+    #[test]
+    fn page_checksum_length_disambiguates() {
+        let a = PageChecksum::of(b"xy");
+        let b = PageChecksum::of(b"xyz");
+        assert_ne!(a.len, b.len);
+    }
+}

@@ -1,0 +1,556 @@
+//! A small regular-expression engine for w3newer configuration patterns.
+//!
+//! Table 1 of the paper shows a w3newer configuration file whose left-hand
+//! column is a perl pattern ("perl syntax requires that `.` be escaped"),
+//! matched against URLs with first-match-wins semantics. This module
+//! implements the subset those configurations use — literals, `.`,
+//! `*`/`+`/`?` repetition, character classes, grouping, alternation and
+//! anchors — as a Thompson-NFA "Pike VM", so matching is linear in the
+//! input and immune to the pathological backtracking a naive engine hits
+//! on patterns like `(a+)+`.
+
+use std::fmt;
+
+/// A compiled pattern.
+///
+/// # Examples
+///
+/// ```
+/// use aide_util::pattern::Pattern;
+///
+/// let p = Pattern::new(r"http://www\.yahoo\.com/.*").unwrap();
+/// assert!(p.matches("http://www.yahoo.com/finance"));
+/// assert!(!p.matches("http://www2yahoo.com/"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    source: String,
+    prog: Vec<Inst>,
+    anchored_start: bool,
+}
+
+/// Error from [`Pattern::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the pattern source where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Quest(Box<Ast>),
+    EndAnchor,
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Split(usize, usize),
+    Jmp(usize),
+    End,
+    Match,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Parser {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: &str) -> PatternError {
+        let offset = self.chars[..self.pos.min(self.chars.len())]
+            .iter()
+            .map(|c| c.len_utf8())
+            .sum();
+        PatternError {
+            message: message.to_string(),
+            offset,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternate(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().expect("one item")),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Ast::Quest(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alternate()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('*') | Some('+') | Some('?') => Err(self.err("repetition with nothing to repeat")),
+            Some('\\') => match self.bump() {
+                None => Err(self.err("trailing backslash")),
+                Some('d') => Ok(Ast::Class {
+                    negated: false,
+                    ranges: vec![('0', '9')],
+                }),
+                Some('w') => Ok(Ast::Class {
+                    negated: false,
+                    ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                }),
+                Some('s') => Ok(Ast::Class {
+                    negated: false,
+                    ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                }),
+                Some(c) => Ok(Ast::Char(c)),
+            },
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !first => break,
+                Some(c) => {
+                    let lo = if c == '\\' {
+                        self.bump().ok_or_else(|| self.err("trailing backslash in class"))?
+                    } else {
+                        c
+                    };
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                    {
+                        self.bump(); // the '-'
+                        let hi = match self.bump() {
+                            Some('\\') => self
+                                .bump()
+                                .ok_or_else(|| self.err("trailing backslash in class"))?,
+                            Some(h) => h,
+                            None => return Err(self.err("unclosed character class")),
+                        };
+                        if hi < lo {
+                            return Err(self.err("inverted range in character class"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(Ast::Class { negated, ranges })
+    }
+}
+
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => prog.push(Inst::Char(*c)),
+        Ast::AnyChar => prog.push(Inst::Any),
+        Ast::Class { negated, ranges } => prog.push(Inst::Class {
+            negated: *negated,
+            ranges: ranges.clone(),
+        }),
+        Ast::EndAnchor => prog.push(Inst::End),
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, prog);
+            }
+        }
+        Ast::Alternate(branches) => {
+            // Chain of splits; each branch jumps to the common exit.
+            let mut jmp_slots = Vec::new();
+            for (i, b) in branches.iter().enumerate() {
+                if i + 1 < branches.len() {
+                    let split_at = prog.len();
+                    prog.push(Inst::Split(0, 0));
+                    compile(b, prog);
+                    jmp_slots.push(prog.len());
+                    prog.push(Inst::Jmp(0));
+                    let next = prog.len();
+                    prog[split_at] = Inst::Split(split_at + 1, next);
+                } else {
+                    compile(b, prog);
+                }
+            }
+            let end = prog.len();
+            for slot in jmp_slots {
+                prog[slot] = Inst::Jmp(end);
+            }
+        }
+        Ast::Star(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split_at));
+            let after = prog.len();
+            prog[split_at] = Inst::Split(split_at + 1, after);
+        }
+        Ast::Plus(inner) => {
+            let body = prog.len();
+            compile(inner, prog);
+            let split_at = prog.len();
+            prog.push(Inst::Split(body, split_at + 1));
+        }
+        Ast::Quest(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            compile(inner, prog);
+            let after = prog.len();
+            prog[split_at] = Inst::Split(split_at + 1, after);
+        }
+    }
+}
+
+impl Pattern {
+    /// Compiles `source` into a pattern.
+    ///
+    /// A leading `^` anchors the match at the start of the input;
+    /// otherwise the pattern may match anywhere (perl search semantics).
+    pub fn new(source: &str) -> Result<Pattern, PatternError> {
+        let (anchored_start, body) = match source.strip_prefix('^') {
+            Some(rest) => (true, rest),
+            None => (false, source),
+        };
+        let mut parser = Parser::new(body);
+        let ast = parser.parse_alternate()?;
+        if parser.pos != parser.chars.len() {
+            return Err(parser.err("unexpected character"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Pattern {
+            source: source.to_string(),
+            prog,
+            anchored_start,
+        })
+    }
+
+    /// Returns the original pattern source.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Returns true if the pattern matches anywhere in `input`
+    /// (or at the start, for `^`-anchored patterns).
+    pub fn matches(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        if self.anchored_start {
+            self.run(&chars, 0)
+        } else {
+            (0..=chars.len()).any(|start| self.run(&chars, start))
+        }
+    }
+
+    /// Returns true if the pattern matches the whole of `input`, as if it
+    /// were written `^pattern$`.
+    pub fn matches_fully(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        self.run_full(&chars)
+    }
+
+    fn add_thread(&self, list: &mut Vec<usize>, on_list: &mut [bool], pc: usize, at_end: bool) {
+        if on_list[pc] {
+            return;
+        }
+        on_list[pc] = true;
+        match &self.prog[pc] {
+            Inst::Jmp(t) => self.add_thread(list, on_list, *t, at_end),
+            Inst::Split(a, b) => {
+                self.add_thread(list, on_list, *a, at_end);
+                self.add_thread(list, on_list, *b, at_end);
+            }
+            Inst::End => {
+                if at_end {
+                    self.add_thread(list, on_list, pc + 1, at_end);
+                }
+            }
+            _ => list.push(pc),
+        }
+    }
+
+    /// Pike-VM simulation from `start`; returns true on the first match
+    /// (unanchored at the end).
+    fn run(&self, chars: &[char], start: usize) -> bool {
+        let n = self.prog.len();
+        let mut clist = Vec::new();
+        let mut on = vec![false; n];
+        self.add_thread(&mut clist, &mut on, 0, start == chars.len());
+        if clist.iter().any(|&pc| matches!(self.prog[pc], Inst::Match)) {
+            return true;
+        }
+        let mut pos = start;
+        while pos < chars.len() {
+            let c = chars[pos];
+            pos += 1;
+            let at_end = pos == chars.len();
+            let mut nlist = Vec::new();
+            let mut non = vec![false; n];
+            for &pc in &clist {
+                let step = match &self.prog[pc] {
+                    Inst::Char(pc_c) => *pc_c == c,
+                    Inst::Any => true,
+                    Inst::Class { negated, ranges } => {
+                        let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                        inside != *negated
+                    }
+                    Inst::Match => {
+                        return true;
+                    }
+                    _ => false,
+                };
+                if step {
+                    self.add_thread(&mut nlist, &mut non, pc + 1, at_end);
+                }
+            }
+            if nlist.iter().any(|&pc| matches!(self.prog[pc], Inst::Match)) {
+                return true;
+            }
+            clist = nlist;
+            if clist.is_empty() {
+                return false;
+            }
+        }
+        clist.iter().any(|&pc| matches!(self.prog[pc], Inst::Match))
+    }
+
+    /// Pike-VM simulation requiring the match to consume all input.
+    fn run_full(&self, chars: &[char]) -> bool {
+        let n = self.prog.len();
+        let mut clist = Vec::new();
+        let mut on = vec![false; n];
+        self.add_thread(&mut clist, &mut on, 0, chars.is_empty());
+        for (pos, &c) in chars.iter().enumerate() {
+            let at_end = pos + 1 == chars.len();
+            let mut nlist = Vec::new();
+            let mut non = vec![false; n];
+            for &pc in &clist {
+                let step = match &self.prog[pc] {
+                    Inst::Char(pc_c) => *pc_c == c,
+                    Inst::Any => true,
+                    Inst::Class { negated, ranges } => {
+                        let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                        inside != *negated
+                    }
+                    _ => false,
+                };
+                if step {
+                    self.add_thread(&mut nlist, &mut non, pc + 1, at_end);
+                }
+            }
+            clist = nlist;
+            if clist.is_empty() {
+                return false;
+            }
+        }
+        clist.iter().any(|&pc| matches!(self.prog[pc], Inst::Match))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pattern {
+        Pattern::new(s).unwrap_or_else(|e| panic!("pattern {s:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_search_is_unanchored() {
+        assert!(p("att").matches("http://www.att.com/"));
+        assert!(!p("att").matches("http://www.mit.edu/"));
+    }
+
+    #[test]
+    fn escaped_dot_is_literal() {
+        assert!(p(r"www\.yahoo\.com").matches("http://www.yahoo.com/"));
+        assert!(!p(r"www\.yahoo\.com").matches("http://wwwXyahooXcom/"));
+        assert!(p("www.yahoo.com").matches("http://wwwXyahooXcom/"), "unescaped dot is wildcard");
+    }
+
+    #[test]
+    fn table1_patterns() {
+        // The actual patterns from Table 1 of the paper.
+        let yahoo = p(r"http://www\.yahoo\.com/.*");
+        assert!(yahoo.matches("http://www.yahoo.com/headlines/"));
+        let att = p(r"http://.*\.att\.com/.*");
+        assert!(att.matches("http://www.research.att.com/people/"));
+        assert!(!att.matches("http://www.ibm.com/"));
+        let file = p("file:.*");
+        assert!(file.matches("file:/home/user/notes.html"));
+        let dilbert = p(r"http://www\.unitedmedia\.com/comics/dilbert/");
+        assert!(dilbert.matches("http://www.unitedmedia.com/comics/dilbert/"));
+    }
+
+    #[test]
+    fn star_plus_quest() {
+        assert!(p("ab*c").matches_fully("ac"));
+        assert!(p("ab*c").matches_fully("abbbc"));
+        assert!(!p("ab+c").matches_fully("ac"));
+        assert!(p("ab+c").matches_fully("abc"));
+        assert!(p("ab?c").matches_fully("ac"));
+        assert!(p("ab?c").matches_fully("abc"));
+        assert!(!p("ab?c").matches_fully("abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let x = p("^http://(www|ftp)\\.example\\.(com|org)/");
+        assert!(x.matches("http://www.example.com/x"));
+        assert!(x.matches("http://ftp.example.org/"));
+        assert!(!x.matches("http://mail.example.com/"));
+        assert!(p("(ab)+").matches_fully("ababab"));
+        assert!(!p("(ab)+").matches_fully("aba"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(p("[a-z]+").matches_fully("hello"));
+        assert!(!p("[a-z]+").matches_fully("Hello"));
+        assert!(p("[^0-9]+").matches_fully("no-digits!"));
+        assert!(!p("[^0-9]+").matches_fully("a1b"));
+        assert!(p(r"[\]]").matches("]"));
+        assert!(p("[-a]").matches("-"), "leading - after ranges is literal");
+    }
+
+    #[test]
+    fn escape_shorthands() {
+        assert!(p(r"\d+").matches_fully("12345"));
+        assert!(p(r"\w+").matches_fully("foo_bar9"));
+        assert!(p(r"a\sb").matches_fully("a b"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(p("^http").matches("http://x/"));
+        assert!(!p("^http").matches("see http://x/"));
+        assert!(p("html$").matches("index.html"));
+        assert!(!p("html$").matches("index.html.bak"));
+        assert!(p("^$").matches(""));
+        assert!(!p("^$").matches("x"));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // A backtracking engine would take exponential time here.
+        let pat = p("(a+)+b");
+        let input = "a".repeat(200);
+        assert!(!pat.matches(&input));
+        assert!(pat.matches(&format!("{input}b")));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Pattern::new("(").is_err());
+        assert!(Pattern::new("a)").is_err());
+        assert!(Pattern::new("[abc").is_err());
+        assert!(Pattern::new("*a").is_err());
+        assert!(Pattern::new("a\\").is_err());
+        assert!(Pattern::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(p("").matches(""));
+        assert!(p("").matches("anything"));
+        assert!(p(".*").matches("anything"));
+    }
+
+    #[test]
+    fn unicode_input() {
+        assert!(p("café").matches("visit café now"));
+        assert!(p(".").matches("é"));
+    }
+}

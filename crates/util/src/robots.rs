@@ -1,0 +1,222 @@
+//! The robot exclusion protocol (`/robots.txt`).
+//!
+//! §3.1 of the paper: a site "may disallow retrieval of this URL by
+//! 'robots'... Currently, programs only voluntarily follow the 'robot
+//! exclusion protocol', the convention that defines the use of
+//! robots.txt. Although w3newer currently obeys this protocol, it is not
+//! clear that it should". This module implements the 1994 convention
+//! ([A Standard for Robot Exclusion]): `User-agent` record groups with
+//! `Disallow` path prefixes, first matching group wins.
+//!
+//! [A Standard for Robot Exclusion]: http://web.nexor.co.uk/mak/doc/robots/norobots.html
+
+/// A parsed `robots.txt` file.
+///
+/// # Examples
+///
+/// ```
+/// use aide_util::robots::RobotsTxt;
+///
+/// let robots = RobotsTxt::parse(
+///     "User-agent: *\nDisallow: /cgi-bin/\nDisallow: /private\n",
+/// );
+/// assert!(!robots.allows("w3newer", "/cgi-bin/counter"));
+/// assert!(robots.allows("w3newer", "/public/index.html"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RobotsTxt {
+    groups: Vec<Group>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Group {
+    agents: Vec<String>,
+    disallow: Vec<String>,
+}
+
+impl RobotsTxt {
+    /// Parses the text of a `robots.txt` file.
+    ///
+    /// Unknown fields and malformed lines are ignored, as the convention
+    /// requires; an unparsable file therefore permits everything rather
+    /// than locking robots out.
+    pub fn parse(text: &str) -> RobotsTxt {
+        let mut groups: Vec<Group> = Vec::new();
+        let mut current: Option<Group> = None;
+        // Per the 1994 convention, a blank line ends a record; consecutive
+        // User-agent lines share one record.
+        let mut last_was_agent = false;
+        for raw in text.lines() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                if let Some(g) = current.take() {
+                    if !g.agents.is_empty() {
+                        groups.push(g);
+                    }
+                }
+                last_was_agent = false;
+                continue;
+            }
+            let Some(colon) = line.find(':') else { continue };
+            let field = line[..colon].trim().to_ascii_lowercase();
+            let value = line[colon + 1..].trim().to_string();
+            match field.as_str() {
+                "user-agent" => {
+                    if !last_was_agent {
+                        if let Some(g) = current.take() {
+                            if !g.agents.is_empty() {
+                                groups.push(g);
+                            }
+                        }
+                        current = Some(Group::default());
+                    }
+                    if let Some(g) = current.as_mut() {
+                        g.agents.push(value.to_ascii_lowercase());
+                    } else {
+                        current = Some(Group {
+                            agents: vec![value.to_ascii_lowercase()],
+                            disallow: Vec::new(),
+                        });
+                    }
+                    last_was_agent = true;
+                }
+                "disallow" => {
+                    last_was_agent = false;
+                    if let Some(g) = current.as_mut() {
+                        // An empty Disallow means "allow everything".
+                        if !value.is_empty() {
+                            g.disallow.push(value);
+                        }
+                    }
+                }
+                _ => {
+                    last_was_agent = false;
+                }
+            }
+        }
+        if let Some(g) = current.take() {
+            if !g.agents.is_empty() {
+                groups.push(g);
+            }
+        }
+        RobotsTxt { groups }
+    }
+
+    /// An empty policy that allows everything.
+    pub fn allow_all() -> RobotsTxt {
+        RobotsTxt::default()
+    }
+
+    /// A policy that disallows all paths for all agents.
+    pub fn deny_all() -> RobotsTxt {
+        RobotsTxt {
+            groups: vec![Group {
+                agents: vec!["*".to_string()],
+                disallow: vec!["/".to_string()],
+            }],
+        }
+    }
+
+    /// Returns whether `agent` may fetch `path`.
+    ///
+    /// The most specific matching `User-agent` group applies: an exact
+    /// (substring) agent match takes precedence over the `*` group. Within
+    /// the chosen group, any `Disallow` prefix match forbids the fetch.
+    pub fn allows(&self, agent: &str, path: &str) -> bool {
+        let agent = agent.to_ascii_lowercase();
+        let specific = self.groups.iter().find(|g| {
+            g.agents
+                .iter()
+                .any(|a| a != "*" && (agent.contains(a.as_str()) || a.contains(agent.as_str())))
+        });
+        let group = specific.or_else(|| self.groups.iter().find(|g| g.agents.iter().any(|a| a == "*")));
+        match group {
+            None => true,
+            Some(g) => !g.disallow.iter().any(|d| path.starts_with(d.as_str())),
+        }
+    }
+
+    /// Returns true if the file contains no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_allows_all() {
+        let r = RobotsTxt::parse("");
+        assert!(r.allows("anybot", "/anything"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wildcard_group() {
+        let r = RobotsTxt::parse("User-agent: *\nDisallow: /tmp/\n");
+        assert!(!r.allows("w3newer", "/tmp/scratch.html"));
+        assert!(r.allows("w3newer", "/docs/tmp.html"));
+    }
+
+    #[test]
+    fn specific_agent_overrides_wildcard() {
+        let r = RobotsTxt::parse(
+            "User-agent: webcrawler\nDisallow: /\n\nUser-agent: *\nDisallow: /private/\n",
+        );
+        assert!(!r.allows("WebCrawler/1.0", "/index.html"));
+        assert!(r.allows("w3newer", "/index.html"));
+        assert!(!r.allows("w3newer", "/private/x"));
+    }
+
+    #[test]
+    fn empty_disallow_allows_everything() {
+        let r = RobotsTxt::parse("User-agent: friendlybot\nDisallow:\n\nUser-agent: *\nDisallow: /\n");
+        assert!(r.allows("friendlybot", "/deep/page.html"));
+        assert!(!r.allows("otherbot", "/deep/page.html"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let r = RobotsTxt::parse(
+            "# keep robots out of cgi\nUser-agent: * # everyone\nDisallow: /cgi-bin/ # scripts\n",
+        );
+        assert!(!r.allows("bot", "/cgi-bin/test"));
+    }
+
+    #[test]
+    fn shared_record_for_multiple_agents() {
+        let r = RobotsTxt::parse("User-agent: alpha\nUser-agent: beta\nDisallow: /x/\n");
+        assert!(!r.allows("alpha", "/x/1"));
+        assert!(!r.allows("beta", "/x/1"));
+        assert!(r.allows("gamma", "/x/1"));
+    }
+
+    #[test]
+    fn blank_line_separates_records() {
+        let r = RobotsTxt::parse("User-agent: a\nDisallow: /one/\n\nUser-agent: b\nDisallow: /two/\n");
+        assert!(!r.allows("a", "/one/p"));
+        assert!(r.allows("a", "/two/p"));
+        assert!(!r.allows("b", "/two/p"));
+        assert!(r.allows("b", "/one/p"));
+    }
+
+    #[test]
+    fn deny_all_constructor() {
+        let r = RobotsTxt::deny_all();
+        assert!(!r.allows("anything", "/"));
+        assert!(!r.allows("anything", "/a/b/c.html"));
+    }
+
+    #[test]
+    fn malformed_lines_ignored() {
+        let r = RobotsTxt::parse("garbage line\nUser-agent *\nDisallow: /x/\n");
+        // "User-agent *" lacks a colon so no record exists; Disallow floats.
+        assert!(r.allows("bot", "/x/p"));
+    }
+}

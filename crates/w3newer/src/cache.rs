@@ -1,0 +1,191 @@
+//! w3newer's persistent per-URL state.
+//!
+//! §3 names "a cached modification date from previous runs of w3newer" as
+//! the cheapest modification source, and §3.1 requires that robot
+//! exclusions be cached ("that fact is cached so the page is not accessed
+//! again unless a special flag is set") and suggests "a running counter
+//! of the number of times an error is encountered for a particular URL".
+//! All of that lives here, with a line-oriented text format so the state
+//! survives between runs the way the perl script's dbm file did.
+
+use aide_util::checksum::PageChecksum;
+use aide_util::time::Timestamp;
+use std::collections::BTreeMap;
+
+/// Cached state for one URL.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UrlRecord {
+    /// Last known `Last-Modified` value.
+    pub last_modified: Option<Timestamp>,
+    /// When the modification information was obtained (staleness base).
+    pub info_obtained: Option<Timestamp>,
+    /// When w3newer last actually checked this URL (threshold base).
+    pub last_checked: Option<Timestamp>,
+    /// Content checksum, for pages without `Last-Modified`.
+    pub checksum: Option<PageChecksum>,
+    /// The URL is excluded by `robots.txt`.
+    pub robots_excluded: bool,
+    /// Consecutive errors encountered checking this URL.
+    pub error_count: u32,
+    /// Description of the most recent error.
+    pub last_error: Option<String>,
+}
+
+/// The whole cache: URL → record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrackerCache {
+    records: BTreeMap<String, UrlRecord>,
+}
+
+impl TrackerCache {
+    /// Creates an empty cache.
+    pub fn new() -> TrackerCache {
+        TrackerCache::default()
+    }
+
+    /// The record for `url`, if cached.
+    pub fn get(&self, url: &str) -> Option<&UrlRecord> {
+        self.records.get(url)
+    }
+
+    /// Mutable record for `url`, created on demand.
+    pub fn entry(&mut self, url: &str) -> &mut UrlRecord {
+        self.records.entry(url.to_string()).or_default()
+    }
+
+    /// Number of cached URLs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes to the text format: one URL per line,
+    /// `url\tfield=value\tfield=value...`.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for (url, r) in &self.records {
+            out.push_str(url);
+            if let Some(t) = r.last_modified {
+                out.push_str(&format!("\tlm={}", t.0));
+            }
+            if let Some(t) = r.info_obtained {
+                out.push_str(&format!("\tio={}", t.0));
+            }
+            if let Some(t) = r.last_checked {
+                out.push_str(&format!("\tlc={}", t.0));
+            }
+            if let Some(c) = r.checksum {
+                out.push_str(&format!("\tck={}:{}", c.crc, c.len));
+            }
+            if r.robots_excluded {
+                out.push_str("\trobots=1");
+            }
+            if r.error_count > 0 {
+                out.push_str(&format!("\terr={}", r.error_count));
+            }
+            if let Some(e) = &r.last_error {
+                out.push_str(&format!("\tmsg={}", e.replace(['\t', '\n'], " ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format; unknown fields and malformed lines are
+    /// skipped.
+    pub fn parse(text: &str) -> TrackerCache {
+        let mut cache = TrackerCache::new();
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            let Some(url) = parts.next() else { continue };
+            if url.is_empty() {
+                continue;
+            }
+            let mut rec = UrlRecord::default();
+            for field in parts {
+                let Some((k, v)) = field.split_once('=') else { continue };
+                match k {
+                    "lm" => rec.last_modified = v.parse().ok().map(Timestamp),
+                    "io" => rec.info_obtained = v.parse().ok().map(Timestamp),
+                    "lc" => rec.last_checked = v.parse().ok().map(Timestamp),
+                    "ck" => {
+                        if let Some((crc, len)) = v.split_once(':') {
+                            if let (Ok(crc), Ok(len)) = (crc.parse(), len.parse()) {
+                                rec.checksum = Some(PageChecksum { crc, len });
+                            }
+                        }
+                    }
+                    "robots" => rec.robots_excluded = v == "1",
+                    "err" => rec.error_count = v.parse().unwrap_or(0),
+                    "msg" => rec.last_error = Some(v.to_string()),
+                    _ => {}
+                }
+            }
+            cache.records.insert(url.to_string(), rec);
+        }
+        cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_creates_and_get_reads() {
+        let mut c = TrackerCache::new();
+        assert!(c.get("http://x/").is_none());
+        c.entry("http://x/").last_modified = Some(Timestamp(99));
+        assert_eq!(c.get("http://x/").unwrap().last_modified, Some(Timestamp(99)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let mut c = TrackerCache::new();
+        {
+            let r = c.entry("http://a/");
+            r.last_modified = Some(Timestamp(100));
+            r.info_obtained = Some(Timestamp(200));
+            r.last_checked = Some(Timestamp(300));
+            r.checksum = Some(PageChecksum { crc: 0xDEAD_BEEF, len: 1234 });
+            r.robots_excluded = true;
+            r.error_count = 3;
+            r.last_error = Some("timeout".to_string());
+        }
+        c.entry("http://b/").last_checked = Some(Timestamp(5));
+        let parsed = TrackerCache::parse(&c.emit());
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let mut c = TrackerCache::new();
+        c.entry("http://bare/");
+        let parsed = TrackerCache::parse(&c.emit());
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn error_message_with_tabs_flattened() {
+        let mut c = TrackerCache::new();
+        c.entry("http://x/").last_error = Some("multi\tfield\nerror".to_string());
+        let parsed = TrackerCache::parse(&c.emit());
+        assert_eq!(
+            parsed.get("http://x/").unwrap().last_error.as_deref(),
+            Some("multi field error")
+        );
+    }
+
+    #[test]
+    fn malformed_lines_skipped() {
+        let c = TrackerCache::parse("\nhttp://ok/\tlm=5\n\tlm=9\nhttp://alsook/\tbogusfield\n");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("http://ok/").unwrap().last_modified, Some(Timestamp(5)));
+        assert_eq!(c.get("http://alsook/").unwrap(), &UrlRecord::default());
+    }
+}

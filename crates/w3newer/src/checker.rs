@@ -1,0 +1,814 @@
+//! The w3newer decision procedure and run driver (§3, §3.1).
+//!
+//! Per URL, the tracker consults modification sources in cost order:
+//!
+//! 1. **its own cache** — "pages already known to be modified since the
+//!    user last saw the page" are reported without touching the network,
+//!    and pages known unchanged are re-verified only when the cached
+//!    information is *stale* (older than one week by default);
+//! 2. **the proxy-caching server's cache**, when its copy is current with
+//!    respect to the URL's threshold;
+//! 3. **a direct `HEAD`** — or, for pages without `Last-Modified` (CGI
+//!    output), a `GET` whose body is checksummed against the previous
+//!    checksum, exactly the URL-minder/w3new fallback.
+//!
+//! Before any network access, the per-pattern threshold gates the check:
+//! pages visited (or checked) within the threshold are skipped. Robot
+//! exclusions are honoured and cached; errors are counted per URL; host
+//! errors can short-circuit the rest of a host; and a run aborts after
+//! too many consecutive network failures ("w3newer should therefore be
+//! able to detect cases when it should abort and try again later").
+
+use crate::cache::TrackerCache;
+use crate::config::{Threshold, ThresholdConfig};
+use aide_htmlkit::url::Url;
+use aide_simweb::browser::Bookmark;
+use aide_simweb::http::{Request, Status};
+use aide_simweb::net::Web;
+use aide_simweb::proxy::ProxyCache;
+use aide_util::checksum::PageChecksum;
+use aide_util::robots::RobotsTxt;
+use aide_util::time::{Duration, Timestamp};
+use std::collections::{HashMap, HashSet};
+
+/// Where the verdict for a URL came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckSource {
+    /// w3newer's own cache from previous runs.
+    Cache,
+    /// The proxy-caching server's cache.
+    ProxyCache,
+    /// A direct `HEAD` request.
+    Head,
+    /// A `GET` plus content checksum (no `Last-Modified` available).
+    GetChecksum,
+    /// A local `file:` stat.
+    FileStat,
+}
+
+/// Why a URL was not checked this run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Its threshold is `never`.
+    NeverThreshold,
+    /// The user viewed it within the threshold.
+    RecentlyVisited,
+    /// w3newer checked it within the threshold.
+    CheckedRecently,
+    /// An earlier URL on the same host hit a host-level error.
+    HostError,
+    /// The run aborted before reaching this URL.
+    RunAborted,
+}
+
+/// The verdict for one URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlStatus {
+    /// Modified since the user last saw it.
+    Changed {
+        /// The modification date, when one is known.
+        modified: Option<Timestamp>,
+        /// Which source produced the verdict.
+        source: CheckSource,
+    },
+    /// Seen by the user since its last modification.
+    Unchanged {
+        /// Which source produced the verdict.
+        source: CheckSource,
+    },
+    /// Not checked this run.
+    NotChecked {
+        /// Why.
+        reason: SkipReason,
+    },
+    /// Excluded by the robot exclusion protocol.
+    RobotExcluded,
+    /// The check failed.
+    Error {
+        /// Human-readable description, shown in the report so "the user
+        /// can take action to remove a URL that no longer exists".
+        message: String,
+    },
+}
+
+impl UrlStatus {
+    /// True for [`UrlStatus::Changed`].
+    pub fn is_changed(&self) -> bool {
+        matches!(self, UrlStatus::Changed { .. })
+    }
+}
+
+/// One hotlist entry's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlReport {
+    /// The URL.
+    pub url: String,
+    /// The hotlist title.
+    pub title: String,
+    /// The verdict.
+    pub status: UrlStatus,
+    /// When the user last viewed it, per the browser history.
+    pub last_visited: Option<Timestamp>,
+}
+
+/// The outcome of one w3newer run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Per-URL outcomes, in hotlist order.
+    pub entries: Vec<UrlReport>,
+    /// When the run started.
+    pub started: Timestamp,
+    /// Whether the run aborted early on consecutive failures.
+    pub aborted: bool,
+}
+
+impl RunReport {
+    /// Number of entries with each changed status.
+    pub fn changed_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.status.is_changed()).count()
+    }
+}
+
+/// Behaviour flags (§3.1's special flags are all here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags {
+    /// Re-verify cached "unchanged" knowledge after this long.
+    pub staleness: Duration,
+    /// "A special flag" to check robot-excluded URLs anyway.
+    pub ignore_robots: bool,
+    /// "Another flag can tell w3newer to treat error conditions as a
+    /// successful check as far as the URL's timestamp goes."
+    pub errors_count_as_checked: bool,
+    /// Skip the rest of a host after a host-level error there.
+    pub skip_host_after_host_error: bool,
+    /// Abort the run after this many consecutive network errors.
+    pub abort_after_consecutive_errors: Option<u32>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            staleness: Duration::days(7),
+            ignore_robots: false,
+            errors_count_as_checked: false,
+            skip_host_after_host_error: false,
+            abort_after_consecutive_errors: Some(10),
+        }
+    }
+}
+
+/// The tracker.
+#[derive(Debug, Clone)]
+pub struct W3Newer {
+    /// Threshold configuration.
+    pub config: ThresholdConfig,
+    /// Persistent per-URL state.
+    pub cache: TrackerCache,
+    /// Behaviour flags.
+    pub flags: Flags,
+    /// The `User-Agent` offered to servers and matched against robots.txt.
+    pub user_agent: String,
+}
+
+impl W3Newer {
+    /// Creates a tracker with the given configuration and empty cache.
+    pub fn new(config: ThresholdConfig) -> W3Newer {
+        W3Newer {
+            config,
+            cache: TrackerCache::new(),
+            flags: Flags::default(),
+            user_agent: "w3newer/1.0".to_string(),
+        }
+    }
+
+    /// Runs one pass over `hotlist`. `last_visited` supplies the browser
+    /// history; `proxy` is consulted for cached modification dates when
+    /// available.
+    pub fn run(
+        &mut self,
+        hotlist: &[Bookmark],
+        last_visited: &dyn Fn(&str) -> Option<Timestamp>,
+        web: &Web,
+        proxy: Option<&ProxyCache>,
+    ) -> RunReport {
+        let now = web.clock().now();
+        let mut entries = Vec::with_capacity(hotlist.len());
+        let mut robots: HashMap<String, RobotsTxt> = HashMap::new();
+        let mut dead_hosts: HashSet<String> = HashSet::new();
+        let mut consecutive_errors = 0u32;
+        let mut aborted = false;
+
+        for mark in hotlist {
+            let visited = last_visited(&mark.url);
+            let status = if aborted {
+                UrlStatus::NotChecked {
+                    reason: SkipReason::RunAborted,
+                }
+            } else {
+                let status =
+                    self.check_url(&mark.url, visited, web, proxy, &mut robots, &mut dead_hosts, now);
+                // Track consecutive network failures for the abort rule.
+                match &status {
+                    UrlStatus::Error { .. } => {
+                        consecutive_errors += 1;
+                        if let Some(limit) = self.flags.abort_after_consecutive_errors {
+                            if consecutive_errors >= limit {
+                                aborted = true;
+                            }
+                        }
+                    }
+                    UrlStatus::NotChecked { .. } => {}
+                    _ => consecutive_errors = 0,
+                }
+                status
+            };
+            entries.push(UrlReport {
+                url: mark.url.clone(),
+                title: mark.title.clone(),
+                status,
+                last_visited: visited,
+            });
+        }
+        RunReport {
+            entries,
+            started: now,
+            aborted,
+        }
+    }
+
+    /// The per-URL decision procedure.
+    #[allow(clippy::too_many_arguments)]
+    fn check_url(
+        &mut self,
+        url: &str,
+        visited: Option<Timestamp>,
+        web: &Web,
+        proxy: Option<&ProxyCache>,
+        robots: &mut HashMap<String, RobotsTxt>,
+        dead_hosts: &mut HashSet<String>,
+        now: Timestamp,
+    ) -> UrlStatus {
+        let threshold = self.config.threshold_for(url);
+        if threshold == Threshold::Never {
+            return UrlStatus::NotChecked {
+                reason: SkipReason::NeverThreshold,
+            };
+        }
+
+        // Cached robot exclusion: "the page is not accessed again unless
+        // a special flag is set".
+        if !self.flags.ignore_robots {
+            if let Some(rec) = self.cache.get(url) {
+                if rec.robots_excluded {
+                    return UrlStatus::RobotExcluded;
+                }
+            }
+        }
+
+        // Source 1: w3newer's own cache.
+        if let Some(rec) = self.cache.get(url) {
+            if let Some(lm) = rec.last_modified {
+                if changed_since(lm, visited) {
+                    // Known modified since last view: no network needed.
+                    return UrlStatus::Changed {
+                        modified: Some(lm),
+                        source: CheckSource::Cache,
+                    };
+                }
+                let obtained = rec.info_obtained.unwrap_or(Timestamp::EPOCH);
+                if now - obtained < self.flags.staleness {
+                    return UrlStatus::Unchanged {
+                        source: CheckSource::Cache,
+                    };
+                }
+            }
+        }
+
+        // Threshold gating of network checks.
+        if let Threshold::Every(d) = threshold {
+            if d > Duration::ZERO {
+                if let Some(v) = visited {
+                    if now - v < d {
+                        return UrlStatus::NotChecked {
+                            reason: SkipReason::RecentlyVisited,
+                        };
+                    }
+                }
+                if let Some(lc) = self.cache.get(url).and_then(|r| r.last_checked) {
+                    if now - lc < d {
+                        return UrlStatus::NotChecked {
+                            reason: SkipReason::CheckedRecently,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Source 2: the proxy-caching server, when current w.r.t. the
+        // threshold.
+        if let (Some(proxy), Threshold::Every(d)) = (proxy, threshold) {
+            if d > Duration::ZERO {
+                if let Some((Some(lm), fetched_at)) = proxy.cached_mod_info(url) {
+                    if now - fetched_at < d {
+                        let rec = self.cache.entry(url);
+                        rec.last_modified = Some(lm);
+                        rec.info_obtained = Some(fetched_at);
+                        return if changed_since(lm, visited) {
+                            UrlStatus::Changed {
+                                modified: Some(lm),
+                                source: CheckSource::ProxyCache,
+                            }
+                        } else {
+                            UrlStatus::Unchanged {
+                                source: CheckSource::ProxyCache,
+                            }
+                        };
+                    }
+                }
+            }
+        }
+
+        // Source 3: the network (or local filesystem for file: URLs).
+        let parsed = match Url::parse(url) {
+            Ok(u) => u,
+            Err(e) => {
+                return self.record_error(url, &format!("bad URL: {e}"), now);
+            }
+        };
+        let is_file = parsed.scheme == "file";
+
+        if !is_file && self.flags.skip_host_after_host_error && dead_hosts.contains(&parsed.host) {
+            return UrlStatus::NotChecked {
+                reason: SkipReason::HostError,
+            };
+        }
+
+        // The robot exclusion protocol (http only).
+        if !is_file && !self.flags.ignore_robots {
+            let policy = robots.entry(parsed.host.clone()).or_insert_with(|| {
+                let robots_url = format!("http://{}/robots.txt", host_port(&parsed));
+                match web.request(&Request::get(&robots_url).user_agent(&self.user_agent)) {
+                    Ok(resp) if resp.status == Status::Ok => RobotsTxt::parse(&resp.body),
+                    _ => RobotsTxt::allow_all(),
+                }
+            });
+            if !policy.allows(&self.user_agent, &parsed.path) {
+                self.cache.entry(url).robots_excluded = true;
+                return UrlStatus::RobotExcluded;
+            }
+        }
+
+        let head = web.request(&Request::head(url).user_agent(&self.user_agent));
+        let resp = match head {
+            Err(e) => {
+                if e.is_host_error() && !is_file {
+                    dead_hosts.insert(parsed.host.clone());
+                }
+                return self.record_error(url, &e.to_string(), now);
+            }
+            Ok(resp) => resp,
+        };
+        match resp.status {
+            Status::Ok => {}
+            Status::MovedPermanently => {
+                let to = resp.location.as_deref().unwrap_or("(unknown)");
+                return self.record_error(url, &format!("moved to {to}"), now);
+            }
+            other => {
+                return self.record_error(url, &format!("HTTP {other}"), now);
+            }
+        }
+
+        let source = if is_file { CheckSource::FileStat } else { CheckSource::Head };
+        {
+            let rec = self.cache.entry(url);
+            rec.last_checked = Some(now);
+            rec.error_count = 0;
+            rec.last_error = None;
+        }
+
+        if let Some(lm) = resp.last_modified {
+            let rec = self.cache.entry(url);
+            rec.last_modified = Some(lm);
+            rec.info_obtained = Some(now);
+            return if changed_since(lm, visited) {
+                UrlStatus::Changed {
+                    modified: Some(lm),
+                    source,
+                }
+            } else {
+                UrlStatus::Unchanged { source }
+            };
+        }
+
+        // No Last-Modified (CGI output): GET + checksum.
+        let get = match web.request(&Request::get(url).user_agent(&self.user_agent)) {
+            Err(e) => return self.record_error(url, &e.to_string(), now),
+            Ok(r) => r,
+        };
+        if get.status != Status::Ok {
+            return self.record_error(url, &format!("HTTP {} on GET", get.status), now);
+        }
+        let checksum = PageChecksum::of(get.body.as_bytes());
+        let rec = self.cache.entry(url);
+        let prior = rec.checksum.replace(checksum);
+        rec.info_obtained = Some(now);
+        match prior {
+            Some(p) if p != checksum => UrlStatus::Changed {
+                modified: None,
+                source: CheckSource::GetChecksum,
+            },
+            Some(_) => UrlStatus::Unchanged {
+                source: CheckSource::GetChecksum,
+            },
+            // First observation establishes the baseline.
+            None => UrlStatus::Unchanged {
+                source: CheckSource::GetChecksum,
+            },
+        }
+    }
+
+    fn record_error(&mut self, url: &str, message: &str, now: Timestamp) -> UrlStatus {
+        let count_as_checked = self.flags.errors_count_as_checked;
+        let rec = self.cache.entry(url);
+        rec.error_count += 1;
+        rec.last_error = Some(message.to_string());
+        if count_as_checked {
+            // "So that a URL with some problem will be checked with the
+            // same frequency as an accessible one."
+            rec.last_checked = Some(now);
+        }
+        UrlStatus::Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Modified after the user's last view? Never-viewed pages count as
+/// changed — they are new to the user.
+fn changed_since(modified: Timestamp, visited: Option<Timestamp>) -> bool {
+    match visited {
+        Some(v) => modified > v,
+        None => true,
+    }
+}
+
+fn host_port(u: &Url) -> String {
+    match u.port {
+        Some(p) => format!("{}:{p}", u.host),
+        None => u.host.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_simweb::resource::Resource;
+    use aide_util::time::Clock;
+
+    fn mark(url: &str) -> Bookmark {
+        Bookmark {
+            title: format!("title of {url}"),
+            url: url.to_string(),
+        }
+    }
+
+    fn setup() -> (Clock, Web) {
+        let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 9, 0, 0));
+        let web = Web::new(clock.clone());
+        (clock, web)
+    }
+
+    fn no_history(_: &str) -> Option<Timestamp> {
+        None
+    }
+
+    #[test]
+    fn unseen_modified_page_is_changed() {
+        let (clock, web) = setup();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(5)).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/p")], &no_history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Changed { source: CheckSource::Head, .. }
+        ));
+    }
+
+    #[test]
+    fn page_seen_after_modification_is_unchanged() {
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(5);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        let visited = clock.now() - Duration::days(1);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/p")], &move |_| Some(visited), &web, None);
+        assert!(matches!(&r.entries[0].status, UrlStatus::Unchanged { .. }));
+    }
+
+    #[test]
+    fn cached_changed_verdict_needs_no_network() {
+        let (clock, web) = setup();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(1)).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        // First run does the HEAD and caches the date.
+        w.run(&[mark("http://h/p")], &no_history, &web, None);
+        let before = web.stats().requests;
+        // Second run: the cache already knows it changed vs. never-seen.
+        let r = w.run(&[mark("http://h/p")], &no_history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Changed { source: CheckSource::Cache, .. }
+        ));
+        assert_eq!(web.stats().requests, before, "no network traffic");
+    }
+
+    #[test]
+    fn fresh_unchanged_knowledge_is_trusted_until_stale() {
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(30);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        let visited = clock.now() - Duration::days(2);
+        let history = move |_: &str| Some(visited);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.run(&[mark("http://h/p")], &history, &web, None);
+        let before = web.stats().requests;
+        // Within staleness (7d default): cache answers.
+        clock.advance(Duration::days(3));
+        let r = w.run(&[mark("http://h/p")], &history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Unchanged { source: CheckSource::Cache }
+        ));
+        assert_eq!(web.stats().requests, before);
+        // Past staleness: w3newer re-verifies over the network.
+        clock.advance(Duration::days(5));
+        let r = w.run(&[mark("http://h/p")], &history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Unchanged { source: CheckSource::Head }
+        ));
+        assert!(web.stats().requests > before);
+    }
+
+    #[test]
+    fn never_threshold_skips() {
+        let (clock, web) = setup();
+        web.set_page("http://www.unitedmedia.com/comics/dilbert/", "strip", clock.now()).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::table1());
+        let r = w.run(
+            &[mark("http://www.unitedmedia.com/comics/dilbert/")],
+            &no_history,
+            &web,
+            None,
+        );
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked { reason: SkipReason::NeverThreshold }
+        );
+        assert_eq!(web.stats().requests, 0);
+    }
+
+    #[test]
+    fn recently_visited_skips_within_threshold() {
+        let (clock, web) = setup();
+        web.set_page("http://other.com/x", "body", clock.now() - Duration::days(9)).unwrap();
+        // Table 1 default is 2d; user visited yesterday.
+        let visited = clock.now() - Duration::days(1);
+        let mut w = W3Newer::new(ThresholdConfig::table1());
+        let r = w.run(&[mark("http://other.com/x")], &move |_| Some(visited), &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked { reason: SkipReason::RecentlyVisited }
+        );
+        assert_eq!(web.stats().requests, 0);
+    }
+
+    #[test]
+    fn checked_recently_skips_within_threshold() {
+        let (clock, web) = setup();
+        web.set_page("http://other.com/x", "body", clock.now() - Duration::days(30)).unwrap();
+        let visited = clock.now() - Duration::days(20);
+        let history = move |_: &str| Some(visited);
+        let mut w = W3Newer::new(ThresholdConfig::table1());
+        w.flags.staleness = Duration::ZERO; // Force the cache to be distrusted.
+        w.run(&[mark("http://other.com/x")], &history, &web, None);
+        let before = web.stats().requests;
+        clock.advance(Duration::hours(12)); // Under the 2d default threshold.
+        let r = w.run(&[mark("http://other.com/x")], &history, &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked { reason: SkipReason::CheckedRecently }
+        );
+        assert_eq!(web.stats().requests, before);
+    }
+
+    #[test]
+    fn proxy_cache_answers_without_origin_traffic() {
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(1);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        let proxy = ProxyCache::new(web.clone(), Duration::days(3));
+        proxy.get("http://h/p").unwrap(); // Someone browsed it through the proxy.
+        clock.advance(Duration::hours(1));
+        let origin_before = web.server_stats("h").unwrap().total();
+        let mut w = W3Newer::new(ThresholdConfig::table1()); // default 2d
+        let r = w.run(&[mark("http://h/p")], &no_history, &web, Some(&proxy));
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Changed { source: CheckSource::ProxyCache, .. }
+        ));
+        assert_eq!(web.server_stats("h").unwrap().total(), origin_before);
+    }
+
+    #[test]
+    fn cgi_pages_use_checksum() {
+        let (_, web) = setup();
+        web.set_resource("http://h/cgi-bin/q", Resource::Cgi {
+            template: "stable result".to_string(),
+            hits: 0,
+        })
+        .unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.staleness = Duration::ZERO;
+        // First run: baseline.
+        let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Unchanged { source: CheckSource::GetChecksum }
+        ));
+        // Content unchanged: still unchanged.
+        let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(matches!(&r.entries[0].status, UrlStatus::Unchanged { .. }));
+        // Content changes: checksum detects it.
+        web.set_resource("http://h/cgi-bin/q", Resource::Cgi {
+            template: "different result".to_string(),
+            hits: 0,
+        })
+        .unwrap();
+        let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum }
+        ));
+    }
+
+    #[test]
+    fn noisy_counter_page_always_changes() {
+        // §3.1's junk-mail problem, reproduced.
+        let (_, web) = setup();
+        web.set_resource("http://h/counter", Resource::hit_counter("visits: {HITS}")).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.staleness = Duration::ZERO;
+        w.run(&[mark("http://h/counter")], &no_history, &web, None);
+        for _ in 0..3 {
+            let r = w.run(&[mark("http://h/counter")], &no_history, &web, None);
+            assert!(r.entries[0].status.is_changed(), "noisy page flagged every run");
+        }
+    }
+
+    #[test]
+    fn robots_exclusion_honoured_and_cached() {
+        let (clock, web) = setup();
+        web.set_page("http://h/private/p", "body", clock.now()).unwrap();
+        web.set_robots_txt("h", "User-agent: *\nDisallow: /private/\n");
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/private/p")], &no_history, &web, None);
+        assert_eq!(r.entries[0].status, UrlStatus::RobotExcluded);
+        // Second run: exclusion is cached — not even robots.txt is fetched.
+        let before = web.stats().requests;
+        let r = w.run(&[mark("http://h/private/p")], &no_history, &web, None);
+        assert_eq!(r.entries[0].status, UrlStatus::RobotExcluded);
+        assert_eq!(web.stats().requests, before);
+    }
+
+    #[test]
+    fn ignore_robots_flag_overrides() {
+        let (clock, web) = setup();
+        web.set_page("http://h/private/p", "body", clock.now() - Duration::days(1)).unwrap();
+        web.set_robots_txt("h", "User-agent: *\nDisallow: /private/\n");
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.run(&[mark("http://h/private/p")], &no_history, &web, None); // caches exclusion
+        w.flags.ignore_robots = true;
+        let r = w.run(&[mark("http://h/private/p")], &no_history, &web, None);
+        assert!(r.entries[0].status.is_changed(), "{:?}", r.entries[0].status);
+    }
+
+    #[test]
+    fn errors_reported_and_counted() {
+        let (_, web) = setup();
+        web.add_server("h");
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/missing")], &no_history, &web, None);
+        assert!(matches!(&r.entries[0].status, UrlStatus::Error { message } if message.contains("404")));
+        w.run(&[mark("http://h/missing")], &no_history, &web, None);
+        assert_eq!(w.cache.get("http://h/missing").unwrap().error_count, 2);
+    }
+
+    #[test]
+    fn moved_url_reports_location() {
+        let (_, web) = setup();
+        web.set_resource("http://h/old", Resource::Moved { location: "http://h/new".into() }).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/old")], &no_history, &web, None);
+        assert!(
+            matches!(&r.entries[0].status, UrlStatus::Error { message } if message.contains("http://h/new"))
+        );
+    }
+
+    #[test]
+    fn errors_count_as_checked_flag() {
+        let (clock, web) = setup();
+        web.add_server("h");
+        let mut w = W3Newer::new(ThresholdConfig::table1()); // 2d default
+        w.flags.errors_count_as_checked = true;
+        w.run(&[mark("http://h/missing")], &no_history, &web, None);
+        clock.advance(Duration::hours(6));
+        let r = w.run(&[mark("http://h/missing")], &no_history, &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked { reason: SkipReason::CheckedRecently },
+            "failed URL polled at the same frequency as a working one"
+        );
+    }
+
+    #[test]
+    fn host_error_skips_rest_of_host() {
+        let (_, web) = setup();
+        web.set_network_up(true);
+        // Host "dead" never registered: unknown host error.
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.skip_host_after_host_error = true;
+        let r = w.run(
+            &[mark("http://dead/a"), mark("http://dead/b"), mark("http://dead/c")],
+            &no_history,
+            &web,
+            None,
+        );
+        assert!(matches!(&r.entries[0].status, UrlStatus::Error { .. }));
+        assert_eq!(
+            r.entries[1].status,
+            UrlStatus::NotChecked { reason: SkipReason::HostError }
+        );
+        assert_eq!(
+            r.entries[2].status,
+            UrlStatus::NotChecked { reason: SkipReason::HostError }
+        );
+    }
+
+    #[test]
+    fn run_aborts_after_consecutive_failures() {
+        let (_, web) = setup();
+        web.set_network_up(false);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.abort_after_consecutive_errors = Some(3);
+        let hotlist: Vec<Bookmark> = (0..6).map(|i| mark(&format!("http://h{i}/p"))).collect();
+        let r = w.run(&hotlist, &no_history, &web, None);
+        assert!(r.aborted);
+        let errors = r.entries.iter().filter(|e| matches!(e.status, UrlStatus::Error { .. })).count();
+        let skipped = r
+            .entries
+            .iter()
+            .filter(|e| e.status == UrlStatus::NotChecked { reason: SkipReason::RunAborted })
+            .count();
+        assert_eq!(errors, 3);
+        assert_eq!(skipped, 3);
+    }
+
+    #[test]
+    fn file_urls_are_cheap_stats() {
+        let (clock, web) = setup();
+        web.write_local_file("/home/me/notes.html", "text", clock.now() - Duration::hours(1));
+        let mut w = W3Newer::new(ThresholdConfig::table1()); // file:.* → 0 (always)
+        let r = w.run(&[mark("file:/home/me/notes.html")], &no_history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Changed { source: CheckSource::FileStat, .. }
+        ));
+        assert_eq!(web.stats().requests, 0, "no network traffic for file:");
+    }
+
+    #[test]
+    fn zero_threshold_checks_every_run() {
+        let (clock, web) = setup();
+        web.set_page("http://www.research.att.com/x", "b", clock.now() - Duration::days(1)).unwrap();
+        let visited = clock.now() - Duration::hours(1);
+        let history = move |_: &str| Some(visited);
+        let mut w = W3Newer::new(ThresholdConfig::table1()); // att.com → 0
+        w.flags.staleness = Duration::ZERO;
+        w.run(&[mark("http://www.research.att.com/x")], &history, &web, None);
+        let before = web.stats().heads;
+        w.run(&[mark("http://www.research.att.com/x")], &history, &web, None);
+        assert!(web.stats().heads > before, "0 threshold ignores recent visit");
+    }
+
+    #[test]
+    fn changed_count_helper() {
+        let (clock, web) = setup();
+        web.set_page("http://h/a", "x", clock.now() - Duration::days(1)).unwrap();
+        web.set_page("http://h/b", "y", clock.now() - Duration::days(1)).unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run(&[mark("http://h/a"), mark("http://h/b")], &no_history, &web, None);
+        assert_eq!(r.changed_count(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! w3newer: the scalable hotlist change tracker (§3).
+//!
+//! w3newer walks a user's hotlist and decides, per URL, whether the page
+//! has changed since the user last saw it — while issuing as few HTTP
+//! requests as possible. "It omits checks of pages already known to be
+//! modified since the user last saw the page, and pages that have been
+//! viewed by the user within some threshold." Modification dates come
+//! from three sources in cost order: w3newer's own cache from previous
+//! runs, the proxy-caching server's cache, and finally a `HEAD` request
+//! (or a full `GET` plus checksum for pages without `Last-Modified`).
+//! Per-URL polling frequency is governed by a pattern-matched threshold
+//! configuration (Table 1), and the robot exclusion protocol is obeyed —
+//! with the paper's own escape hatch flag.
+//!
+//! - [`config`]: the Table 1 threshold file — perl patterns to `2d` /
+//!   `12h` / `0` / `never` thresholds, first match wins.
+//! - [`cache`]: w3newer's persistent per-URL state (dates, checksums,
+//!   robot exclusions, error counts).
+//! - [`checker`]: the per-URL decision procedure and the run driver.
+//! - [`report`]: the Figure 1 HTML status report with
+//!   Remember / Diff / History links.
+
+pub mod cache;
+pub mod checker;
+pub mod config;
+pub mod priority;
+pub mod report;
+
+pub use cache::{TrackerCache, UrlRecord};
+pub use checker::{CheckSource, Flags, RunReport, UrlReport, UrlStatus, W3Newer};
+pub use priority::{Priority, PriorityConfig};
+pub use config::{Threshold, ThresholdConfig};
+pub use report::render_report;

@@ -1,0 +1,319 @@
+//! User-specified URL prioritization (§7's "information overload" fix).
+//!
+//! "Merely sorting URLs by most recent modification dates is not
+//! satisfactory when the number of URLs grows into the hundreds.
+//! Instead, we are moving toward a user-specified prioritization of URLs
+//! along the lines of the Tapestry system, which prioritizes email and
+//! NetNews automatically." The paper left this unimplemented; this
+//! module implements it: a pattern→priority configuration in the same
+//! first-match-wins style as the threshold file, combined with recency
+//! into a ranking over report entries.
+
+use crate::checker::{UrlReport, UrlStatus};
+use aide_util::pattern::{Pattern, PatternError};
+use aide_util::time::Timestamp;
+
+/// Priority levels, Tapestry-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Never show in the ranked section (but still listed at the end).
+    Suppress,
+    /// Background interest.
+    Low,
+    /// Default.
+    Normal,
+    /// Important to this user.
+    High,
+    /// Show first, always.
+    Urgent,
+}
+
+impl Priority {
+    fn rank(self) -> u8 {
+        match self {
+            Priority::Suppress => 0,
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 3,
+            Priority::Urgent => 4,
+        }
+    }
+
+    /// Parses `urgent`/`high`/`normal`/`low`/`suppress` (any case).
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s.to_ascii_lowercase().as_str() {
+            "urgent" => Some(Priority::Urgent),
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            "suppress" => Some(Priority::Suppress),
+            _ => None,
+        }
+    }
+}
+
+/// A pattern→priority rule list with a default, first match wins —
+/// deliberately the same shape as the threshold configuration so users
+/// learn one syntax.
+#[derive(Debug, Clone)]
+pub struct PriorityConfig {
+    rules: Vec<(Pattern, Priority)>,
+    default: Priority,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> Self {
+        PriorityConfig {
+            rules: Vec::new(),
+            default: Priority::Normal,
+        }
+    }
+}
+
+/// Error from [`PriorityConfig::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PriorityConfigError {
+    /// Bad pattern at a 1-based line.
+    BadPattern(usize, PatternError),
+    /// Unknown priority word at a 1-based line.
+    BadPriority(usize, String),
+    /// Missing priority column at a 1-based line.
+    Missing(usize),
+}
+
+impl std::fmt::Display for PriorityConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PriorityConfigError::BadPattern(n, e) => write!(f, "line {n}: {e}"),
+            PriorityConfigError::BadPriority(n, w) => write!(f, "line {n}: unknown priority {w:?}"),
+            PriorityConfigError::Missing(n) => write!(f, "line {n}: missing priority"),
+        }
+    }
+}
+
+impl std::error::Error for PriorityConfigError {}
+
+impl PriorityConfig {
+    /// Builds programmatically (builder style).
+    pub fn rule(mut self, pattern: &str, priority: Priority) -> Result<Self, PatternError> {
+        self.rules.push((Pattern::new(pattern)?, priority));
+        Ok(self)
+    }
+
+    /// Parses the file format: `<pattern> <priority>` lines, `#`
+    /// comments, and `Default <priority>`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aide_w3newer::priority::{Priority, PriorityConfig};
+    ///
+    /// let cfg = PriorityConfig::parse(
+    ///     "http://.*\\.att\\.com/.* urgent\nhttp://www\\.yahoo\\.com/.* low\nDefault normal\n",
+    /// ).unwrap();
+    /// assert_eq!(cfg.priority_for("http://www.att.com/x"), Priority::Urgent);
+    /// assert_eq!(cfg.priority_for("http://elsewhere/"), Priority::Normal);
+    /// ```
+    pub fn parse(text: &str) -> Result<PriorityConfig, PriorityConfigError> {
+        let mut cfg = PriorityConfig::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let pat = parts.next().expect("nonempty");
+            let word = parts.next().ok_or(PriorityConfigError::Missing(lineno))?;
+            let priority = Priority::parse(word)
+                .ok_or_else(|| PriorityConfigError::BadPriority(lineno, word.to_string()))?;
+            if pat == "Default" {
+                cfg.default = priority;
+            } else {
+                cfg.rules.push((
+                    Pattern::new(pat).map_err(|e| PriorityConfigError::BadPattern(lineno, e))?,
+                    priority,
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The priority for `url` (first matching rule, else default).
+    pub fn priority_for(&self, url: &str) -> Priority {
+        for (p, prio) in &self.rules {
+            if p.matches(url) {
+                return *prio;
+            }
+        }
+        self.default
+    }
+}
+
+/// A report entry with its computed rank.
+#[derive(Debug, Clone)]
+pub struct RankedEntry<'a> {
+    /// The underlying report entry.
+    pub entry: &'a UrlReport,
+    /// Its priority class.
+    pub priority: Priority,
+}
+
+/// Ranks the *changed* entries of a report: priority class first, then
+/// recency of modification; suppressed entries are returned separately.
+pub fn rank_changed<'a>(
+    entries: &'a [UrlReport],
+    config: &PriorityConfig,
+) -> (Vec<RankedEntry<'a>>, Vec<&'a UrlReport>) {
+    let mut ranked = Vec::new();
+    let mut suppressed = Vec::new();
+    for entry in entries {
+        if !entry.status.is_changed() {
+            continue;
+        }
+        let priority = config.priority_for(&entry.url);
+        if priority == Priority::Suppress {
+            suppressed.push(entry);
+        } else {
+            ranked.push(RankedEntry { entry, priority });
+        }
+    }
+    ranked.sort_by(|a, b| {
+        b.priority
+            .rank()
+            .cmp(&a.priority.rank())
+            .then_with(|| modified_of(b.entry).cmp(&modified_of(a.entry)))
+            .then_with(|| a.entry.url.cmp(&b.entry.url))
+    });
+    (ranked, suppressed)
+}
+
+fn modified_of(e: &UrlReport) -> Option<Timestamp> {
+    match &e.status {
+        UrlStatus::Changed { modified, .. } => *modified,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckSource;
+
+    fn changed(url: &str, t: u64) -> UrlReport {
+        UrlReport {
+            url: url.to_string(),
+            title: url.to_string(),
+            status: UrlStatus::Changed {
+                modified: Some(Timestamp(t)),
+                source: CheckSource::Head,
+            },
+            last_visited: None,
+        }
+    }
+
+    fn unchanged(url: &str) -> UrlReport {
+        UrlReport {
+            url: url.to_string(),
+            title: url.to_string(),
+            status: UrlStatus::Unchanged { source: CheckSource::Head },
+            last_visited: None,
+        }
+    }
+
+    fn config() -> PriorityConfig {
+        PriorityConfig::default()
+            .rule(r"http://work\..*", Priority::Urgent)
+            .unwrap()
+            .rule(r"http://fun\..*", Priority::Low)
+            .unwrap()
+            .rule(r"http://noise\..*", Priority::Suppress)
+            .unwrap()
+    }
+
+    #[test]
+    fn priority_beats_recency() {
+        let entries = vec![
+            changed("http://fun.example/new", 9_000),
+            changed("http://work.example/old", 1_000),
+        ];
+        let (ranked, _) = rank_changed(&entries, &config());
+        assert_eq!(ranked[0].entry.url, "http://work.example/old");
+        assert_eq!(ranked[0].priority, Priority::Urgent);
+    }
+
+    #[test]
+    fn recency_breaks_ties_within_class() {
+        let entries = vec![
+            changed("http://a.example/older", 1_000),
+            changed("http://b.example/newer", 2_000),
+        ];
+        let (ranked, _) = rank_changed(&entries, &config());
+        assert_eq!(ranked[0].entry.url, "http://b.example/newer");
+    }
+
+    #[test]
+    fn suppressed_split_out() {
+        let entries = vec![
+            changed("http://noise.example/counter", 9_999),
+            changed("http://a.example/real", 1),
+        ];
+        let (ranked, suppressed) = rank_changed(&entries, &config());
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].url, "http://noise.example/counter");
+    }
+
+    #[test]
+    fn unchanged_entries_ignored() {
+        let entries = vec![unchanged("http://work.example/x"), changed("http://a/", 1)];
+        let (ranked, suppressed) = rank_changed(&entries, &config());
+        assert_eq!(ranked.len(), 1);
+        assert!(suppressed.is_empty());
+    }
+
+    #[test]
+    fn parse_file_format() {
+        let cfg = PriorityConfig::parse(
+            "# priorities\nDefault low\nhttp://urgent\\.example/.* URGENT\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.priority_for("http://urgent.example/x"), Priority::Urgent);
+        assert_eq!(cfg.priority_for("http://other/"), Priority::Low);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            PriorityConfig::parse("http://x/\n"),
+            Err(PriorityConfigError::Missing(1))
+        ));
+        assert!(matches!(
+            PriorityConfig::parse("http://x/ mega\n"),
+            Err(PriorityConfigError::BadPriority(1, _))
+        ));
+        assert!(matches!(
+            PriorityConfig::parse("(bad high\n"),
+            Err(PriorityConfigError::BadPattern(1, _))
+        ));
+    }
+
+    #[test]
+    fn priority_word_parsing() {
+        assert_eq!(Priority::parse("Urgent"), Some(Priority::Urgent));
+        assert_eq!(Priority::parse("SUPPRESS"), Some(Priority::Suppress));
+        assert_eq!(Priority::parse("mid"), None);
+    }
+
+    #[test]
+    fn ordering_of_levels() {
+        assert!(Priority::Urgent > Priority::High);
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert!(Priority::Low > Priority::Suppress);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the tracker.
+//!
+//! Invariants:
+//! - a `never` threshold generates zero traffic, whatever the world
+//!   looks like;
+//! - w3newer's traffic never exceeds the every-run baseline's;
+//! - a second run immediately after the first adds no traffic when
+//!   thresholds are positive and the cache is trusted;
+//! - the checker never reports "changed" for a page the user visited
+//!   after its modification (when dates are available);
+//! - config parse/threshold lookup is total for generated files.
+
+use aide_simweb::browser::Bookmark;
+use aide_simweb::net::Web;
+use aide_util::time::{Clock, Duration, Timestamp};
+use aide_w3newer::checker::{Flags, UrlStatus};
+use aide_w3newer::config::{Threshold, ThresholdConfig};
+use aide_w3newer::W3Newer;
+use proptest::prelude::*;
+
+/// A small random world: n pages with assorted ages, some visited.
+#[derive(Debug, Clone)]
+struct World {
+    pages: Vec<(String, u64 /* modified offset (s before now) */, Option<u64> /* visited offset */)>,
+}
+
+fn world_strategy() -> impl Strategy<Value = World> {
+    proptest::collection::vec(
+        (
+            0u64..20_000_000,
+            proptest::option::of(0u64..20_000_000),
+        ),
+        1..12,
+    )
+    .prop_map(|entries| World {
+        pages: entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, v))| (format!("http://host{}/p{i}.html", i % 3), m, v))
+            .collect(),
+    })
+}
+
+fn build(world: &World) -> (Web, Vec<Bookmark>, std::collections::HashMap<String, Timestamp>) {
+    let now = Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0);
+    let clock = Clock::starting_at(now);
+    let web = Web::new(clock);
+    let mut hotlist = Vec::new();
+    let mut history = std::collections::HashMap::new();
+    for (url, mod_off, visit_off) in &world.pages {
+        web.set_page(url, &format!("<HTML>{url}</HTML>"), now - Duration::seconds(*mod_off))
+            .unwrap();
+        hotlist.push(Bookmark { title: url.clone(), url: url.clone() });
+        if let Some(v) = visit_off {
+            history.insert(url.clone(), now - Duration::seconds(*v));
+        }
+    }
+    (web, hotlist, history)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn never_threshold_is_silent(world in world_strategy()) {
+        let (web, hotlist, history) = build(&world);
+        let mut w = W3Newer::new(ThresholdConfig::new(Threshold::Never));
+        let h = history.clone();
+        let report = w.run(&hotlist, &move |u| h.get(u).copied(), &web, None);
+        prop_assert_eq!(web.stats().requests, 0);
+        let all_skipped = report
+            .entries
+            .iter()
+            .all(|e| matches!(e.status, UrlStatus::NotChecked { .. }));
+        prop_assert!(all_skipped);
+    }
+
+    #[test]
+    fn traffic_never_exceeds_baseline(world in world_strategy(), threshold_days in 0u64..5) {
+        // Baseline: every-run, no cache trust.
+        let (web_a, hotlist, history) = build(&world);
+        let mut baseline = W3Newer::new(ThresholdConfig::default());
+        baseline.flags = Flags { staleness: Duration::ZERO, ..Flags::default() };
+        let h = history.clone();
+        let hist_a = move |u: &str| h.get(u).copied();
+        for _ in 0..3 {
+            baseline.run(&hotlist, &hist_a, &web_a, None);
+            web_a.clock().advance(Duration::days(1));
+        }
+        // Tracked: thresholds + cache.
+        let (web_b, hotlist, history) = build(&world);
+        let mut tracked = W3Newer::new(ThresholdConfig::new(Threshold::Every(Duration::days(threshold_days))));
+        let h = history.clone();
+        let hist_b = move |u: &str| h.get(u).copied();
+        for _ in 0..3 {
+            tracked.run(&hotlist, &hist_b, &web_b, None);
+            web_b.clock().advance(Duration::days(1));
+        }
+        prop_assert!(web_b.stats().requests <= web_a.stats().requests);
+    }
+
+    #[test]
+    fn immediate_rerun_is_free_with_thresholds(world in world_strategy()) {
+        let (web, hotlist, history) = build(&world);
+        let mut w = W3Newer::new(ThresholdConfig::new(Threshold::Every(Duration::days(2))));
+        let h = history.clone();
+        let hist = move |u: &str| h.get(u).copied();
+        w.run(&hotlist, &hist, &web, None);
+        let after_first = web.stats().requests;
+        w.run(&hotlist, &hist, &web, None);
+        prop_assert_eq!(web.stats().requests, after_first, "second run must be free");
+    }
+
+    #[test]
+    fn no_false_changed_reports(world in world_strategy()) {
+        let (web, hotlist, history) = build(&world);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.staleness = Duration::ZERO;
+        let h = history.clone();
+        let report = w.run(&hotlist, &move |u| h.get(u).copied(), &web, None);
+        for e in &report.entries {
+            if let UrlStatus::Changed { modified: Some(m), .. } = &e.status {
+                if let Some(v) = e.last_visited {
+                    let url = &e.url;
+                    prop_assert!(
+                        *m > v,
+                        "{url} reported changed (mod {m:?}) though visited at {v:?}"
+                    );
+                }
+            }
+            if let UrlStatus::Unchanged { .. } = &e.status {
+                prop_assert!(e.last_visited.is_some(), "unchanged requires a visit record");
+            }
+        }
+    }
+
+    #[test]
+    fn config_lookup_total(
+        lines in proptest::collection::vec(("[a-z]{1,8}", 0u64..9), 0..6),
+        url in "[a-z]{1,12}",
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(pat, days)| format!("{pat} {days}d\n"))
+            .collect();
+        if let Ok(cfg) = ThresholdConfig::parse(&text) {
+            // Lookup never panics and returns a rule or the default.
+            let _ = cfg.threshold_for(&format!("http://{url}/"));
+        }
+    }
+
+    #[test]
+    fn cache_roundtrip_under_arbitrary_runs(world in world_strategy()) {
+        let (web, hotlist, history) = build(&world);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let h = history.clone();
+        w.run(&hotlist, &move |u| h.get(u).copied(), &web, None);
+        let emitted = w.cache.emit();
+        let parsed = aide_w3newer::cache::TrackerCache::parse(&emitted);
+        prop_assert_eq!(parsed, w.cache);
+    }
+}

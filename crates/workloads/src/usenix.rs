@@ -1,0 +1,123 @@
+//! Reconstructed USENIX Association home pages for the Figure 2
+//! reproduction.
+//!
+//! Figure 2 of the paper shows "the differences between a subset of two
+//! versions of the USENIX Association home page (as of 9/29/95 and
+//! 11/3/95)". The original bytes are lost to history; these two pages
+//! reconstruct the *kinds* of changes visible in the figure: a conference
+//! announcement added, an expired deadline removed, dates edited in
+//! place, and an anchor whose target (but not text) changed.
+
+/// The USENIX home page as of 1995-09-29 (reconstruction).
+pub const USENIX_1995_09_29: &str = r#"<HTML>
+<HEAD><TITLE>USENIX Association</TITLE></HEAD>
+<BODY>
+<H1><IMG SRC="/icons/usenix-logo.gif"> USENIX Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association. Since 1975 the USENIX Association has brought
+together the community of engineers, system administrators, and
+technicians working on the cutting edge of the computing world.
+<HR>
+<H2>Conferences and Symposia</H2>
+<UL>
+<LI><A HREF="/events/lisa95.html">9th Systems Administration Conference (LISA '95)</A>,
+September 17-22, 1995, Monterey, California.
+<LI><A HREF="/events/tcl95.html">Tcl/Tk Workshop</A>, July 6-8, 1995, Toronto, Canada.
+<LI><A HREF="/events/sec96.html">Sixth USENIX Security Symposium</A>,
+submissions due October 10, 1995.
+<LI><A HREF="/events/usenix96.html">1996 USENIX Technical Conference</A>,
+January 22-26, 1996, San Diego, California.
+</UL>
+<H2>Publications</H2>
+<P>Proceedings of past conferences are available to members.
+See the <A HREF="/publications/index.html">publications index</A> for
+ordering information. Computing Systems is published quarterly.
+<H2>Membership</H2>
+<P>Membership information and applications can be requested from the
+USENIX office. Send email to office@usenix.org for details.
+<HR>
+<P>Last updated September 29, 1995.
+</BODY>
+</HTML>
+"#;
+
+/// The USENIX home page as of 1995-11-03 (reconstruction).
+pub const USENIX_1995_11_03: &str = r#"<HTML>
+<HEAD><TITLE>USENIX Association</TITLE></HEAD>
+<BODY>
+<H1><IMG SRC="/icons/usenix-logo.gif"> USENIX Association</H1>
+<P>USENIX is the UNIX and Advanced Computing Systems professional and
+technical association. Since 1975 the USENIX Association has brought
+together the community of engineers, system administrators, and
+technicians working on the cutting edge of the computing world.
+<HR>
+<H2>Conferences and Symposia</H2>
+<UL>
+<LI><A HREF="/events/usenix96.html">1996 USENIX Technical Conference</A>,
+January 22-26, 1996, San Diego, California. Advance registration is now open!
+<LI><A HREF="/events/sec96-program.html">Sixth USENIX Security Symposium</A>,
+July 22-25, 1996, San Jose, California.
+<LI><A HREF="/events/coots96.html">Conference on Object-Oriented Technologies (COOTS)</A>,
+June 17-21, 1996, Toronto, Canada. Submissions due December 1, 1995.
+<LI><A HREF="/events/lisa95.html">9th Systems Administration Conference (LISA '95)</A>,
+September 17-22, 1995, Monterey, California.
+</UL>
+<H2>Publications</H2>
+<P>Proceedings of past conferences are available to members.
+See the <A HREF="/publications/catalog.html">publications index</A> for
+ordering information. Computing Systems is published quarterly.
+<H2>Membership</H2>
+<P>Membership information and applications can be requested from the
+USENIX office. Send email to office@usenix.org for details.
+<HR>
+<P>Last updated November 3, 1995.
+</BODY>
+</HTML>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_htmldiff::{html_diff, Options};
+
+    #[test]
+    fn versions_differ() {
+        assert_ne!(USENIX_1995_09_29, USENIX_1995_11_03);
+    }
+
+    #[test]
+    fn figure2_diff_shape() {
+        let r = html_diff(USENIX_1995_09_29, USENIX_1995_11_03, &Options::default());
+        // New material (COOTS announcement, registration note) appears.
+        assert!(r.stats.new_only_sentences > 0, "{:?}", r.stats);
+        // Old material (Tcl/Tk workshop, expired deadline) was removed.
+        assert!(r.stats.old_only_sentences > 0, "{:?}", r.stats);
+        // Much of the page is common (the intro, membership blurb).
+        assert!(r.stats.common_tokens > 10, "{:?}", r.stats);
+        assert!(r.stats.changed_fraction < 0.8, "{:?}", r.stats);
+        // The merged page carries the Figure 2 furniture.
+        assert!(r.html.contains("<STRIKE>"));
+        assert!(r.html.contains("<STRONG><I>"));
+        assert!(r.html.contains("difftop"));
+    }
+
+    #[test]
+    fn changed_anchor_target_detected() {
+        // publications/index.html -> publications/catalog.html with the
+        // same anchor text: the sentence matches approximately.
+        let r = html_diff(USENIX_1995_09_29, USENIX_1995_11_03, &Options::default());
+        assert!(r.stats.changed_pairs > 0, "{:?}", r.stats);
+        assert!(r.html.contains("catalog.html"));
+        assert!(!r.html.contains("publications/index.html"), "old href elided");
+    }
+
+    #[test]
+    fn deleted_workshop_struck_out() {
+        let r = html_diff(USENIX_1995_09_29, USENIX_1995_11_03, &Options::default());
+        assert!(r.html.contains("Tcl/Tk"), "deleted item text visible");
+        let struck = r.html.split("<STRIKE>").skip(1).any(|seg| {
+            seg.split("</STRIKE>").next().is_some_and(|s| s.contains("Tcl/Tk"))
+        });
+        assert!(struck, "Tcl/Tk workshop should be struck out: {}", r.html);
+    }
+}

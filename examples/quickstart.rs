@@ -1,0 +1,66 @@
+//! Quickstart: track a page, remember it, see what changed.
+//!
+//! Run with: `cargo run -p aide --example quickstart`
+//!
+//! This is the paper's core loop in 40 lines: a page exists, a user
+//! remembers it, the page changes, and HtmlDiff renders a merged page
+//! with the deletion struck out and the addition emphasized.
+
+use aide::engine::AideEngine;
+use aide_htmldiff::Options as DiffOptions;
+use aide_simweb::net::Web;
+use aide_util::time::{Clock, Duration, Timestamp};
+use aide_w3newer::config::ThresholdConfig;
+
+fn main() {
+    // A simulated 1995: one web server, one page, a virtual clock.
+    let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 9, 29, 12, 0, 0));
+    let web = Web::new(clock.clone());
+    web.set_page(
+        "http://www.example.org/status.html",
+        "<HTML><TITLE>Project Status</TITLE>\
+         <H1>Project Status</H1>\
+         <P>The parser is finished. The backend is in progress. \
+         Release is planned for October.</HTML>",
+        clock.now(),
+    )
+    .expect("valid URL");
+
+    // AIDE, with one registered user.
+    let engine = AideEngine::new(web.clone());
+    let browser = engine.register_user("you@example.org", ThresholdConfig::default());
+    browser.add_bookmark("Project status", "http://www.example.org/status.html");
+
+    // Remember today's version.
+    let saved = engine.remember("you@example.org", "http://www.example.org/status.html").unwrap();
+    println!("remembered as revision {}", saved.rev);
+
+    // Two weeks pass; the page is edited: one sentence replaced, one added.
+    clock.advance(Duration::days(14));
+    web.touch_page(
+        "http://www.example.org/status.html",
+        "<HTML><TITLE>Project Status</TITLE>\
+         <H1>Project Status</H1>\
+         <P>The parser is finished. The backend is finished too! \
+         Release is planned for October. Beta binaries are available now.</HTML>",
+        clock.now(),
+    )
+    .expect("valid URL");
+
+    // w3newer notices.
+    let report = engine.run_tracker("you@example.org").unwrap();
+    println!(
+        "w3newer: {} of {} pages changed",
+        report.changed_count(),
+        report.entries.len()
+    );
+
+    // HtmlDiff shows how.
+    let diff = engine
+        .diff("you@example.org", "http://www.example.org/status.html", &DiffOptions::default())
+        .unwrap();
+    println!(
+        "\n===== merged page ({} -> {}) =====\n{}",
+        diff.from, diff.to, diff.html
+    );
+}

@@ -1,0 +1,167 @@
+//! Concurrency integration: the §4.2 synchronization story under real
+//! threads.
+//!
+//! Simultaneous users hammer one snapshot service: per-URL and per-user
+//! locks must keep the archives consistent, the diff cache must dedup
+//! HtmlDiff work, and the single-flight lock queue must prevent repeated
+//! work for the same page.
+
+use aide_htmldiff::Options as DiffOptions;
+use aide_rcs::archive::RevId;
+use aide_rcs::repo::MemRepository;
+use aide_snapshot::service::{SnapshotService, UserId};
+use aide_util::time::{Clock, Duration, Timestamp};
+use std::sync::Arc;
+
+fn service() -> (Clock, Arc<SnapshotService<MemRepository>>) {
+    let clock = Clock::starting_at(Timestamp(1_000_000));
+    let s = Arc::new(SnapshotService::new(
+        MemRepository::new(),
+        clock.clone(),
+        256,
+        Duration::hours(8),
+    ));
+    (clock, s)
+}
+
+#[test]
+fn concurrent_remembers_of_same_content_store_once() {
+    let (_, service) = service();
+    let mut handles = Vec::new();
+    for i in 0..16 {
+        let s = service.clone();
+        handles.push(std::thread::spawn(move || {
+            let user = UserId::new(&format!("user{i}@x"));
+            s.remember(&user, "http://hot/page.html", "<HTML>identical body</HTML>")
+                .unwrap()
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = service.storage().unwrap();
+    assert_eq!(stats.archives, 1);
+    assert_eq!(stats.revisions, 1, "16 users, one revision");
+    // Every user's control file recorded the revision.
+    for i in 0..16 {
+        let user = UserId::new(&format!("user{i}@x"));
+        assert_eq!(service.last_seen(&user, "http://hot/page.html"), Some(RevId(1)));
+    }
+}
+
+#[test]
+fn concurrent_remembers_of_distinct_urls_do_not_interfere() {
+    let (_, service) = service();
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let s = service.clone();
+        handles.push(std::thread::spawn(move || {
+            let user = UserId::new("worker@x");
+            for k in 0..10 {
+                s.remember(
+                    &user,
+                    &format!("http://host{i}/page{k}.html"),
+                    &format!("<HTML>content {i}-{k}</HTML>"),
+                )
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = service.storage().unwrap();
+    assert_eq!(stats.archives, 80);
+    assert_eq!(stats.revisions, 80);
+}
+
+#[test]
+fn interleaved_checkins_keep_every_version_retrievable() {
+    let (clock, service) = service();
+    // Two writers alternate distinct bodies on one URL; whatever the
+    // interleaving, every stored revision must check out to a body one of
+    // them wrote.
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let s = service.clone();
+        let clock = clock.clone();
+        handles.push(std::thread::spawn(move || {
+            let user = UserId::new(&format!("writer{w}@x"));
+            for k in 0..25 {
+                clock.advance(Duration::seconds(1));
+                let _ = s.remember(
+                    &user,
+                    "http://contended/page.html",
+                    &format!("<HTML>writer {w} iteration {k}</HTML>"),
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let history = service
+        .history(&UserId::new("writer0@x"), "http://contended/page.html")
+        .unwrap();
+    assert!(!history.is_empty());
+    for (meta, _) in &history {
+        let body = service.revision_text("http://contended/page.html", meta.id).unwrap();
+        assert!(
+            body.starts_with("<HTML>writer "),
+            "corrupted body at {}: {body}",
+            meta.id
+        );
+    }
+}
+
+#[test]
+fn diff_cache_dedups_concurrent_renderings() {
+    let (clock, service) = service();
+    let user = UserId::new("seed@x");
+    service.remember(&user, "http://d/p.html", "<HTML><P>first version text.</HTML>").unwrap();
+    clock.advance(Duration::hours(1));
+    service
+        .remember(&user, "http://d/p.html", "<HTML><P>second version text, changed!</HTML>")
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let s = service.clone();
+        handles.push(std::thread::spawn(move || {
+            s.diff_versions("http://d/p.html", RevId(1), RevId(2), &DiffOptions::default())
+                .unwrap()
+                .html
+        }));
+    }
+    let outputs: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "all renderings identical");
+    let stats = service.service_stats();
+    assert!(
+        stats.htmldiff_invocations <= 3,
+        "HtmlDiff ran {} times for 12 concurrent requests",
+        stats.htmldiff_invocations
+    );
+}
+
+#[test]
+fn lock_table_single_flight_under_threads() {
+    use aide_snapshot::locks::LockTable;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let table = LockTable::new();
+    let executed = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..10 {
+        let t = table.clone();
+        let e = executed.clone();
+        handles.push(std::thread::spawn(move || {
+            t.once("htmldiff:http://x/:1.1:1.2", 0, || {
+                e.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                "output".to_string()
+            })
+        }));
+    }
+    let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(executed.load(Ordering::SeqCst), 1);
+    assert!(results.iter().all(|r| r == "output"));
+}
