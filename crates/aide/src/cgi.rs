@@ -136,7 +136,11 @@ pub fn dispatch(engine: &AideEngine, user: &str, query: &str) -> CgiResponse {
                 "<HTML><BODY><P>Remembered <A HREF=\"{url}\">{url}</A> as revision {}{}.\
                  </BODY></HTML>\n",
                 out.rev,
-                if out.stored_new_revision { "" } else { " (unchanged)" }
+                if out.stored_new_revision {
+                    ""
+                } else {
+                    " (unchanged)"
+                }
             )),
             Err(e) => CgiResponse::error(502, &e.to_string()),
         },
@@ -216,10 +220,15 @@ pub fn dispatch(engine: &AideEngine, user: &str, query: &str) -> CgiResponse {
                 }
             } else {
                 let snapshot = engine.snapshot();
-                match (snapshot.revision_text(url, from), snapshot.revision_text(url, to)) {
-                    (Ok(a), Ok(b)) => CgiResponse::plain(
-                        diff_lines(&a, &b).unified(&from.to_string(), &to.to_string(), 3),
-                    ),
+                match (
+                    snapshot.revision_text(url, from),
+                    snapshot.revision_text(url, to),
+                ) {
+                    (Ok(a), Ok(b)) => CgiResponse::plain(diff_lines(&a, &b).unified(
+                        &from.to_string(),
+                        &to.to_string(),
+                        3,
+                    )),
                     (Err(e), _) | (_, Err(e)) => CgiResponse::error(404, &e.to_string()),
                 }
             }
@@ -265,9 +274,14 @@ mod tests {
     fn engine() -> AideEngine {
         let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0));
         let web = Web::new(clock);
-        web.set_page("http://h/page.html", "<HTML><P>version one text.</HTML>", Timestamp(100))
+        web.set_page(
+            "http://h/page.html",
+            "<HTML><P>version one text.</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
+        web.set_page("http://h/data.txt", "line1\nline2\n", Timestamp(100))
             .unwrap();
-        web.set_page("http://h/data.txt", "line1\nline2\n", Timestamp(100)).unwrap();
         let e = AideEngine::new(web);
         e.register_user("u@x", ThresholdConfig::default());
         e
@@ -303,7 +317,11 @@ mod tests {
 
         e.clock().advance(Duration::days(1));
         e.web()
-            .touch_page("http://h/page.html", "<HTML><P>version one text. plus more!</HTML>", e.clock().now())
+            .touch_page(
+                "http://h/page.html",
+                "<HTML><P>version one text. plus more!</HTML>",
+                e.clock().now(),
+            )
             .unwrap();
         let r = dispatch(&e, "u@x", "op=diff&url=http%3A%2F%2Fh%2Fpage.html");
         assert_eq!(r.status, 200);
@@ -338,17 +356,31 @@ mod tests {
         dispatch(&e, "u@x", "op=remember&url=http%3A%2F%2Fh%2Fdata.txt");
         e.clock().advance(Duration::days(1));
         e.web()
-            .touch_page("http://h/page.html", "<HTML><P>v2 now.</HTML>", e.clock().now())
+            .touch_page(
+                "http://h/page.html",
+                "<HTML><P>v2 now.</HTML>",
+                e.clock().now(),
+            )
             .unwrap();
-        e.web().touch_page("http://h/data.txt", "line1\nlineTWO\n", e.clock().now()).unwrap();
+        e.web()
+            .touch_page("http://h/data.txt", "line1\nlineTWO\n", e.clock().now())
+            .unwrap();
         dispatch(&e, "u@x", "op=remember&url=http%3A%2F%2Fh%2Fpage.html");
         dispatch(&e, "u@x", "op=remember&url=http%3A%2F%2Fh%2Fdata.txt");
 
-        let html = dispatch(&e, "u@x", "op=rcsdiff&url=http%3A%2F%2Fh%2Fpage.html&from=1.1&to=1.2");
+        let html = dispatch(
+            &e,
+            "u@x",
+            "op=rcsdiff&url=http%3A%2F%2Fh%2Fpage.html&from=1.1&to=1.2",
+        );
         assert_eq!(html.content_type, "text/html");
         assert!(html.body.contains("AIDE HtmlDiff"));
 
-        let plain = dispatch(&e, "u@x", "op=rcsdiff&url=http%3A%2F%2Fh%2Fdata.txt&from=1.1&to=1.2");
+        let plain = dispatch(
+            &e,
+            "u@x",
+            "op=rcsdiff&url=http%3A%2F%2Fh%2Fdata.txt&from=1.1&to=1.2",
+        );
         assert_eq!(plain.content_type, "text/plain");
         assert!(plain.body.contains("-line2"));
         assert!(plain.body.contains("+lineTWO"));
@@ -362,7 +394,11 @@ mod tests {
         let t_between = e.clock().now() + Duration::hours(12);
         e.clock().advance(Duration::days(1));
         e.web()
-            .touch_page("http://h/page.html", "<HTML><P>second edition</HTML>", e.clock().now())
+            .touch_page(
+                "http://h/page.html",
+                "<HTML><P>second edition</HTML>",
+                e.clock().now(),
+            )
             .unwrap();
         dispatch(&e, "u@x", "op=remember&url=http%3A%2F%2Fh%2Fpage.html");
 
@@ -378,7 +414,12 @@ mod tests {
         assert!(r.body.contains("version one text."), "{}", r.body);
         // A bad date is a 400; a date before any revision is a 404.
         assert_eq!(
-            dispatch(&e, "u@x", "op=co&url=http%3A%2F%2Fh%2Fpage.html&date=not-a-date").status,
+            dispatch(
+                &e,
+                "u@x",
+                "op=co&url=http%3A%2F%2Fh%2Fpage.html&date=not-a-date"
+            )
+            .status,
             400
         );
         assert_eq!(
@@ -407,7 +448,12 @@ mod tests {
             502
         );
         assert_eq!(
-            dispatch(&e, "u@x", "op=rcsdiff&url=http%3A%2F%2Fh%2Fpage.html&from=bad&to=1.2").status,
+            dispatch(
+                &e,
+                "u@x",
+                "op=rcsdiff&url=http%3A%2F%2Fh%2Fpage.html&from=bad&to=1.2"
+            )
+            .status,
             400
         );
     }
@@ -439,7 +485,10 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(padding, 36);
         // Without the heartbeat, httpd kills it.
-        let cfg = KeepaliveConfig { server_timeout: Duration::seconds(60), heartbeat: None };
+        let cfg = KeepaliveConfig {
+            server_timeout: Duration::seconds(60),
+            heartbeat: None,
+        };
         let err = dispatch_with_keepalive(
             &e,
             "u@x",

@@ -16,14 +16,16 @@ use aide_simweb::browser::Browser;
 use aide_simweb::net::Web;
 use aide_simweb::proxy::ProxyCache;
 use aide_snapshot::service::{DiffOutcome, RememberOutcome, ServiceError, SnapshotService, UserId};
+use aide_util::checksum::fnv1a64;
+use aide_util::sync::{Mutex, RwLock};
 use aide_util::time::{Clock, Duration};
 use aide_w3newer::checker::RunReport;
 use aide_w3newer::config::ThresholdConfig;
 use aide_w3newer::report::{render_report, ReportOptions};
 use aide_w3newer::W3Newer;
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Engine-level errors.
@@ -66,12 +68,57 @@ struct UserState {
     tracker: W3Newer,
 }
 
+/// Number of buckets in the user table.
+const USER_SHARDS: usize = 16;
+
+/// Registered users in a sharded map. Each user's mutable state sits
+/// behind its own mutex, so trackers for different users run fully in
+/// parallel; the shard guard only protects the map and is never held
+/// across a tracker run.
+struct UserTable {
+    shards: Vec<RwLock<HashMap<UserId, Arc<Mutex<UserState>>>>>,
+}
+
+impl UserTable {
+    fn new() -> UserTable {
+        UserTable {
+            shards: (0..USER_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, id: &UserId) -> &RwLock<HashMap<UserId, Arc<Mutex<UserState>>>> {
+        &self.shards[fnv1a64(id.0.as_bytes()) as usize % USER_SHARDS]
+    }
+
+    fn insert(&self, id: UserId, state: UserState) {
+        self.shard(&id)
+            .write()
+            .insert(id, Arc::new(Mutex::new(state)));
+    }
+
+    fn get(&self, id: &UserId) -> Option<Arc<Mutex<UserState>>> {
+        self.shard(id).read().get(id).cloned()
+    }
+
+    /// All registered user ids, sorted (shards visited in index order).
+    fn ids(&self) -> Vec<UserId> {
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.read().keys().cloned());
+        }
+        ids.sort();
+        ids
+    }
+}
+
 /// One AIDE deployment.
 pub struct AideEngine {
     web: Web,
     proxy: Option<ProxyCache>,
     snapshot: Arc<SnapshotService<MemRepository>>,
-    users: Mutex<BTreeMap<UserId, UserState>>,
+    users: UserTable,
 }
 
 impl AideEngine {
@@ -87,7 +134,7 @@ impl AideEngine {
                 256,
                 Duration::hours(8),
             )),
-            users: Mutex::new(BTreeMap::new()),
+            users: UserTable::new(),
         }
     }
 
@@ -130,7 +177,7 @@ impl AideEngine {
             Some(p) => Browser::with_proxy(p.clone()),
             None => Browser::new(self.web.clone()),
         };
-        self.users.lock().insert(
+        self.users.insert(
             UserId::new(id),
             UserState {
                 browser: browser.clone(),
@@ -147,30 +194,32 @@ impl AideEngine {
         id: &str,
         flags: aide_w3newer::checker::Flags,
     ) -> Result<(), EngineError> {
-        let mut users = self.users.lock();
-        let state = users
-            .get_mut(&UserId::new(id))
+        let state = self
+            .users
+            .get(&UserId::new(id))
             .ok_or_else(|| EngineError::UnknownUser(id.to_string()))?;
-        state.tracker.flags = flags;
+        state.lock().tracker.flags = flags;
         Ok(())
     }
 
     /// The browser of a registered user.
     pub fn browser(&self, id: &str) -> Result<Browser, EngineError> {
         self.users
-            .lock()
             .get(&UserId::new(id))
-            .map(|u| u.browser.clone())
+            .map(|u| u.lock().browser.clone())
             .ok_or_else(|| EngineError::UnknownUser(id.to_string()))
     }
 
     /// Runs w3newer for `id` over their hotlist. Returns the raw report.
+    ///
+    /// Holds only this user's lock: trackers of different users run
+    /// concurrently (see [`AideEngine::poll_all_users`]).
     pub fn run_tracker(&self, id: &str) -> Result<RunReport, EngineError> {
-        let user = UserId::new(id);
-        let mut users = self.users.lock();
-        let state = users
-            .get_mut(&user)
+        let state = self
+            .users
+            .get(&UserId::new(id))
             .ok_or_else(|| EngineError::UnknownUser(id.to_string()))?;
+        let mut state = state.lock();
         let hotlist = state.browser.hotlist();
         let browser = state.browser.clone();
         let report = state.tracker.run(
@@ -180,6 +229,38 @@ impl AideEngine {
             self.proxy.as_ref(),
         );
         Ok(report)
+    }
+
+    /// Polls every registered user's tracker, driving up to the
+    /// machine's parallelism worth of users concurrently, and returns
+    /// the reports in user-id order. Each user's run holds only that
+    /// user's lock, so the batch scales with cores rather than
+    /// serializing on a table-wide mutex — the paper's nightly "w3newer
+    /// runs for every subscriber" sweep as one call.
+    pub fn poll_all_users(&self) -> Vec<(UserId, RunReport)> {
+        let ids = self.users.ids();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 8)
+            .min(ids.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(id) = ids.get(i) else { break };
+                    if let Ok(report) = self.run_tracker(&id.0) {
+                        *slots[i].lock() = Some(report);
+                    }
+                });
+            }
+        });
+        ids.into_iter()
+            .zip(slots)
+            .filter_map(|(id, slot)| slot.into_inner().map(|r| (id, r)))
+            .collect()
     }
 
     /// Runs w3newer and renders the Figure 1 HTML report.
@@ -197,7 +278,12 @@ impl AideEngine {
     /// Diff: fetch the current page and compare with the user's last
     /// remembered version. Note this does *not* touch the browser
     /// history (the §6 wart).
-    pub fn diff(&self, id: &str, url: &str, opts: &DiffOptions) -> Result<DiffOutcome, EngineError> {
+    pub fn diff(
+        &self,
+        id: &str,
+        url: &str,
+        opts: &DiffOptions,
+    ) -> Result<DiffOutcome, EngineError> {
         let page = fetch_page(&self.web, self.proxy.as_ref(), url)?;
         Ok(self
             .snapshot
@@ -251,7 +337,9 @@ mod tests {
         b.add_bookmark("USENIX", "http://www.usenix.org/");
 
         // Remember the original.
-        let out = e.remember("fred@att.com", "http://www.usenix.org/").unwrap();
+        let out = e
+            .remember("fred@att.com", "http://www.usenix.org/")
+            .unwrap();
         assert!(out.created_archive);
 
         // The page changes.
@@ -266,7 +354,11 @@ mod tests {
 
         // Diff shows the addition.
         let d = e
-            .diff("fred@att.com", "http://www.usenix.org/", &DiffOptions::default())
+            .diff(
+                "fred@att.com",
+                "http://www.usenix.org/",
+                &DiffOptions::default(),
+            )
             .unwrap();
         assert_eq!(d.from, RevId(1));
         assert_eq!(d.to, RevId(2));
@@ -292,7 +384,11 @@ mod tests {
         // The page changes; the tracker notices.
         e.clock().advance(Duration::days(10));
         e.web()
-            .touch_page("http://www.usenix.org/", "<HTML><P>new</HTML>", e.clock().now())
+            .touch_page(
+                "http://www.usenix.org/",
+                "<HTML><P>new</HTML>",
+                e.clock().now(),
+            )
             .unwrap();
         let r = e.run_tracker("fred@att.com").unwrap();
         assert!(r.entries[0].status.is_changed());
@@ -310,14 +406,24 @@ mod tests {
         let b = e.register_user("fred@att.com", ThresholdConfig::default());
         b.add_bookmark("USENIX", "http://www.usenix.org/");
         b.visit("http://www.usenix.org/").unwrap();
-        e.remember("fred@att.com", "http://www.usenix.org/").unwrap();
+        e.remember("fred@att.com", "http://www.usenix.org/")
+            .unwrap();
 
         e.clock().advance(Duration::days(2));
         e.web()
-            .touch_page("http://www.usenix.org/", "<HTML><P>changed</HTML>", e.clock().now())
+            .touch_page(
+                "http://www.usenix.org/",
+                "<HTML><P>changed</HTML>",
+                e.clock().now(),
+            )
             .unwrap();
 
-        e.diff("fred@att.com", "http://www.usenix.org/", &DiffOptions::default()).unwrap();
+        e.diff(
+            "fred@att.com",
+            "http://www.usenix.org/",
+            &DiffOptions::default(),
+        )
+        .unwrap();
         let r = e.run_tracker("fred@att.com").unwrap();
         assert!(
             r.entries[0].status.is_changed(),
@@ -334,7 +440,10 @@ mod tests {
     #[test]
     fn unknown_user_errors() {
         let e = engine();
-        assert!(matches!(e.run_tracker("ghost"), Err(EngineError::UnknownUser(_))));
+        assert!(matches!(
+            e.run_tracker("ghost"),
+            Err(EngineError::UnknownUser(_))
+        ));
         assert!(e.browser("ghost").is_err());
     }
 
@@ -352,8 +461,12 @@ mod tests {
     fn proxy_backed_engine_shares_cache_with_tracker() {
         let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 9, 0, 0));
         let web = Web::new(clock);
-        web.set_page("http://h/p", "<HTML>x</HTML>", Timestamp::from_ymd_hms(1995, 9, 30, 0, 0, 0))
-            .unwrap();
+        web.set_page(
+            "http://h/p",
+            "<HTML>x</HTML>",
+            Timestamp::from_ymd_hms(1995, 9, 30, 0, 0, 0),
+        )
+        .unwrap();
         let e = AideEngine::new(web).with_proxy(Duration::days(3));
         let b = e.register_user("u@x", ThresholdConfig::table1());
         b.add_bookmark("P", "http://h/p");
@@ -362,7 +475,10 @@ mod tests {
         e.web().reset_stats();
         // ...so the tracker can answer from the proxy without origin load.
         let r = e.run_tracker("u@x").unwrap();
-        assert!(matches!(r.entries[0].status, UrlStatus::Unchanged { .. } | UrlStatus::NotChecked { .. }));
+        assert!(matches!(
+            r.entries[0].status,
+            UrlStatus::Unchanged { .. } | UrlStatus::NotChecked { .. }
+        ));
         assert_eq!(e.web().server_stats("h").unwrap().total(), 0);
     }
 
@@ -388,8 +504,52 @@ mod tests {
         e.run_tracker("u@x").unwrap();
         let first = e.web().stats().requests;
         e.run_tracker("u@x").unwrap();
-        assert!(e.web().stats().requests > first, "staleness 0 forces re-polling");
-        assert!(e.set_tracker_flags("ghost", aide_w3newer::checker::Flags::default()).is_err());
+        assert!(
+            e.web().stats().requests > first,
+            "staleness 0 forces re-polling"
+        );
+        assert!(e
+            .set_tracker_flags("ghost", aide_w3newer::checker::Flags::default())
+            .is_err());
+    }
+
+    #[test]
+    fn poll_all_users_matches_individual_runs() {
+        let e = engine();
+        // Several users with overlapping and distinct hotlists, plus a
+        // few extra pages so the trackers do real work.
+        for h in 0..4 {
+            e.web()
+                .set_page(
+                    &format!("http://site{h}.example.com/"),
+                    &format!("<HTML><P>site {h}</HTML>"),
+                    Timestamp::from_ymd_hms(1995, 9, 25, 0, 0, 0),
+                )
+                .unwrap();
+        }
+        for u in 0..6 {
+            let id = format!("user{u}@example.com");
+            let b = e.register_user(&id, ThresholdConfig::default());
+            b.add_bookmark("USENIX", "http://www.usenix.org/");
+            b.add_bookmark("site", &format!("http://site{}.example.com/", u % 4));
+        }
+
+        let batch = e.poll_all_users();
+        assert_eq!(batch.len(), 6);
+        let mut ids: Vec<&str> = batch.iter().map(|(id, _)| id.0.as_str()).collect();
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(ids, sorted, "reports come back in user-id order");
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+        for (_, report) in &batch {
+            assert_eq!(report.entries.len(), 2);
+            // Never-visited bookmarks all report as changed-to-the-user.
+            assert_eq!(report.changed_count(), 2);
+        }
     }
 
     #[test]
@@ -399,6 +559,9 @@ mod tests {
         e.remember("u@x", "http://www.usenix.org/").unwrap();
         let body = e.view("http://www.usenix.org/", RevId(1)).unwrap();
         assert!(body.contains("Original home page text"));
-        assert!(body.contains("BASE HREF"), "archived copies carry BASE: {body}");
+        assert!(
+            body.contains("BASE HREF"),
+            "archived copies carry BASE: {body}"
+        );
     }
 }

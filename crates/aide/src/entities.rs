@@ -20,7 +20,7 @@ use aide_htmlkit::url::Url;
 use aide_simweb::http::Request;
 use aide_simweb::net::Web;
 use aide_util::checksum::PageChecksum;
-use parking_lot::Mutex;
+use aide_util::sync::Mutex;
 use std::collections::BTreeMap;
 
 /// What happened to one referenced entity.
@@ -86,7 +86,9 @@ impl EntityChecker {
             if !wanted {
                 continue;
             }
-            let Some(resolved) = link.resolved else { continue };
+            let Some(resolved) = link.resolved else {
+                continue;
+            };
             let entity_url = resolved.without_fragment().to_string();
             if seen.contains(&entity_url) {
                 continue;
@@ -136,9 +138,20 @@ mod tests {
 
     fn setup() -> (Web, EntityChecker) {
         let web = Web::new(Clock::starting_at(Timestamp(1_000)));
-        web.set_page("http://h/art/logo.gif", "GIF89a-logo-bytes-v1", Timestamp(10)).unwrap();
-        web.set_page("http://h/art/photo.gif", "GIF89a-photo-bytes-v1", Timestamp(10)).unwrap();
-        web.set_page("http://h/next.html", "<HTML>next</HTML>", Timestamp(10)).unwrap();
+        web.set_page(
+            "http://h/art/logo.gif",
+            "GIF89a-logo-bytes-v1",
+            Timestamp(10),
+        )
+        .unwrap();
+        web.set_page(
+            "http://h/art/photo.gif",
+            "GIF89a-photo-bytes-v1",
+            Timestamp(10),
+        )
+        .unwrap();
+        web.set_page("http://h/next.html", "<HTML>next</HTML>", Timestamp(10))
+            .unwrap();
         let checker = EntityChecker::new(web.clone());
         (web, checker)
     }
@@ -157,7 +170,12 @@ mod tests {
         let (web, checker) = setup();
         checker.check_entities("http://h/page.html", PAGE);
         // The logo is replaced; its URL stays identical.
-        web.touch_page("http://h/art/logo.gif", "GIF89a-logo-bytes-v2", Timestamp(2_000)).unwrap();
+        web.touch_page(
+            "http://h/art/logo.gif",
+            "GIF89a-logo-bytes-v2",
+            Timestamp(2_000),
+        )
+        .unwrap();
         let reports = checker.check_entities("http://h/page.html", PAGE);
         let logo = reports.iter().find(|r| r.url.contains("logo")).unwrap();
         let photo = reports.iter().find(|r| r.url.contains("photo")).unwrap();
@@ -180,7 +198,9 @@ mod tests {
         let (web, checker) = setup();
         web.unregister_host("h");
         let reports = checker.check_entities("http://h/page.html", PAGE);
-        assert!(reports.iter().all(|r| r.status == EntityStatus::Unreachable));
+        assert!(reports
+            .iter()
+            .all(|r| r.status == EntityStatus::Unreachable));
     }
 
     #[test]
@@ -188,7 +208,8 @@ mod tests {
         // Two pages embedding the same image track it independently.
         let (web, checker) = setup();
         checker.check_entities("http://h/a.html", r#"<IMG SRC="http://h/art/logo.gif">"#);
-        web.touch_page("http://h/art/logo.gif", "v2", Timestamp(2_000)).unwrap();
+        web.touch_page("http://h/art/logo.gif", "v2", Timestamp(2_000))
+            .unwrap();
         // Page B sees it for the first time: baseline, not "changed".
         let b = checker.check_entities("http://h/b.html", r#"<IMG SRC="http://h/art/logo.gif">"#);
         assert_eq!(b[0].status, EntityStatus::Baseline);

@@ -109,7 +109,8 @@ mod tests {
 
     fn web() -> Web {
         let w = Web::new(Clock::starting_at(Timestamp(1_000_000)));
-        w.set_page("http://h/p", "<HTML>content</HTML>", Timestamp(500)).unwrap();
+        w.set_page("http://h/p", "<HTML>content</HTML>", Timestamp(500))
+            .unwrap();
         w
     }
 
@@ -125,7 +126,13 @@ mod tests {
     #[test]
     fn follows_moved() {
         let w = web();
-        w.set_resource("http://h/old", Resource::Moved { location: "http://h/p".into() }).unwrap();
+        w.set_resource(
+            "http://h/old",
+            Resource::Moved {
+                location: "http://h/p".into(),
+            },
+        )
+        .unwrap();
         let p = fetch_page(&w, None, "http://h/old").unwrap();
         assert_eq!(p.final_url, "http://h/p");
     }
@@ -133,8 +140,20 @@ mod tests {
     #[test]
     fn redirect_loop_detected() {
         let w = web();
-        w.set_resource("http://h/a", Resource::Moved { location: "http://h/b".into() }).unwrap();
-        w.set_resource("http://h/b", Resource::Moved { location: "http://h/a".into() }).unwrap();
+        w.set_resource(
+            "http://h/a",
+            Resource::Moved {
+                location: "http://h/b".into(),
+            },
+        )
+        .unwrap();
+        w.set_resource(
+            "http://h/b",
+            Resource::Moved {
+                location: "http://h/a".into(),
+            },
+        )
+        .unwrap();
         assert!(matches!(
             fetch_page(&w, None, "http://h/a"),
             Err(FetchError::TooManyRedirects(_))
@@ -146,12 +165,18 @@ mod tests {
         let w = web();
         assert!(matches!(
             fetch_page(&w, None, "http://h/missing"),
-            Err(FetchError::Http { status: Status::NotFound, .. })
+            Err(FetchError::Http {
+                status: Status::NotFound,
+                ..
+            })
         ));
         w.set_resource("http://h/gone", Resource::Gone).unwrap();
         assert!(matches!(
             fetch_page(&w, None, "http://h/gone"),
-            Err(FetchError::Http { status: Status::Gone, .. })
+            Err(FetchError::Http {
+                status: Status::Gone,
+                ..
+            })
         ));
     }
 
@@ -171,7 +196,11 @@ mod tests {
         fetch_page(&w, Some(&proxy), "http://h/p").unwrap();
         let origin_before = w.server_stats("h").unwrap().total();
         fetch_page(&w, Some(&proxy), "http://h/p").unwrap();
-        assert_eq!(w.server_stats("h").unwrap().total(), origin_before, "cache hit");
+        assert_eq!(
+            w.server_stats("h").unwrap().total(),
+            origin_before,
+            "cache hit"
+        );
         assert_eq!(proxy.stats().hits, 1);
     }
 }

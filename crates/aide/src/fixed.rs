@@ -14,8 +14,8 @@ use aide_rcs::archive::RevId;
 use aide_rcs::repo::MemRepository;
 use aide_simweb::net::Web;
 use aide_snapshot::service::{ServiceError, SnapshotService, UserId};
+use aide_util::sync::Mutex;
 use aide_util::time::Timestamp;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One entry on the community "What's New" page.
@@ -165,8 +165,18 @@ mod tests {
     fn setup() -> (Web, FixedCollection) {
         let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 11, 1, 0, 0, 0));
         let web = Web::new(clock.clone());
-        web.set_page("http://docs/guide.html", "<HTML>guide v1</HTML>", Timestamp(100)).unwrap();
-        web.set_page("http://docs/faq.html", "<HTML>faq v1</HTML>", Timestamp(100)).unwrap();
+        web.set_page(
+            "http://docs/guide.html",
+            "<HTML>guide v1</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
+        web.set_page(
+            "http://docs/faq.html",
+            "<HTML>faq v1</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
         let snapshot = Arc::new(SnapshotService::new(
             MemRepository::new(),
             clock,
@@ -192,7 +202,12 @@ mod tests {
         let (web, c) = setup();
         c.poll();
         web.clock().advance(Duration::days(1));
-        web.touch_page("http://docs/guide.html", "<HTML>guide v2</HTML>", web.clock().now()).unwrap();
+        web.touch_page(
+            "http://docs/guide.html",
+            "<HTML>guide v2</HTML>",
+            web.clock().now(),
+        )
+        .unwrap();
         assert_eq!(c.poll(), 1, "only the changed page re-archived");
         let entries = c.entries().unwrap();
         let guide = entries.iter().find(|e| e.url.contains("guide")).unwrap();
@@ -205,7 +220,12 @@ mod tests {
         let (web, c) = setup();
         c.poll();
         web.clock().advance(Duration::days(2));
-        web.touch_page("http://docs/faq.html", "<HTML>faq v2</HTML>", web.clock().now()).unwrap();
+        web.touch_page(
+            "http://docs/faq.html",
+            "<HTML>faq v2</HTML>",
+            web.clock().now(),
+        )
+        .unwrap();
         c.poll();
         let entries = c.entries().unwrap();
         assert!(entries[0].url.contains("faq"), "freshest change first");
@@ -216,7 +236,12 @@ mod tests {
         let (web, c) = setup();
         c.poll();
         web.clock().advance(Duration::days(1));
-        web.touch_page("http://docs/guide.html", "<HTML>guide v2</HTML>", web.clock().now()).unwrap();
+        web.touch_page(
+            "http://docs/guide.html",
+            "<HTML>guide v2</HTML>",
+            web.clock().now(),
+        )
+        .unwrap();
         c.poll();
         let html = c.render_whats_new("/cgi-bin/snapshot").unwrap();
         assert!(html.contains("What's New in Project Docs"));
@@ -238,7 +263,10 @@ mod tests {
         c.add("Ghost", "http://gone-host/x.html");
         assert_eq!(c.poll(), 2, "reachable members still archived");
         let entries = c.entries().unwrap();
-        let ghost = entries.iter().find(|e| e.url.contains("gone-host")).unwrap();
+        let ghost = entries
+            .iter()
+            .find(|e| e.url.contains("gone-host"))
+            .unwrap();
         assert_eq!(ghost.head, None);
         assert_eq!(ghost.revisions, 0);
     }

@@ -16,7 +16,7 @@
 use aide_simweb::http::{NetError, Request, Status};
 use aide_simweb::net::Web;
 use aide_util::checksum::PageChecksum;
-use parking_lot::Mutex;
+use aide_util::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn stored_input_reaches_the_service() {
         let (_, reg) = setup();
-        reg.register("my-search", "http://search.example/cgi-bin/query", "q=mobile+computing");
+        reg.register(
+            "my-search",
+            "http://search.example/cgi-bin/query",
+            "q=mobile+computing",
+        );
         let body = reg.fetch("my-search").unwrap();
         assert!(body.contains("q=mobile+computing"), "{body}");
     }
@@ -208,7 +212,10 @@ mod tests {
     #[test]
     fn unknown_alias_errors() {
         let (_, reg) = setup();
-        assert!(matches!(reg.fetch("ghost"), Err(FormError::UnknownAlias(_))));
+        assert!(matches!(
+            reg.fetch("ghost"),
+            Err(FormError::UnknownAlias(_))
+        ));
         assert!(!reg.unregister("ghost"));
     }
 
@@ -220,7 +227,10 @@ mod tests {
         assert!(matches!(reg.poll("s"), Err(FormError::Net(_))));
         web.set_network_up(true);
         reg.register("missing", "http://search.example/cgi-bin/other", "q=x");
-        assert!(matches!(reg.poll("missing"), Err(FormError::Http(Status::NotFound))));
+        assert!(matches!(
+            reg.poll("missing"),
+            Err(FormError::Http(Status::NotFound))
+        ));
     }
 
     #[test]

@@ -35,11 +35,51 @@ pub struct JunkReport {
 
 /// Month and weekday names, the vocabulary of embedded dates.
 const DATE_WORDS: &[&str] = &[
-    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
-    "january", "february", "march", "april", "june", "july", "august", "september", "october",
-    "november", "december", "mon", "tue", "wed", "thu", "fri", "sat", "sun", "monday", "tuesday",
-    "wednesday", "thursday", "friday", "saturday", "sunday", "gmt", "est", "edt", "pst", "pdt",
-    "am", "pm", "utc",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "may",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "oct",
+    "nov",
+    "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "mon",
+    "tue",
+    "wed",
+    "thu",
+    "fri",
+    "sat",
+    "sun",
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+    "gmt",
+    "est",
+    "edt",
+    "pst",
+    "pdt",
+    "am",
+    "pm",
+    "utc",
 ];
 
 /// Is `word` a volatile token: a number, a date fragment, or a clock
@@ -57,9 +97,8 @@ const DATE_WORDS: &[&str] = &[
 /// assert!(!is_noise_word("conference"));
 /// ```
 pub fn is_noise_word(word: &str) -> bool {
-    let core = word.trim_matches(|c: char| {
-        c.is_ascii_punctuation() && c != ':' && c != '/' && c != '-'
-    });
+    let core =
+        word.trim_matches(|c: char| c.is_ascii_punctuation() && c != ':' && c != '/' && c != '-');
     if core.is_empty() {
         return true; // pure punctuation is not content
     }
@@ -74,8 +113,10 @@ pub fn is_noise_word(word: &str) -> bool {
     // Ordinals: 1st, 22nd, 3rd, 15th.
     if core.len() > 2 {
         let (head, tail) = core.split_at(core.len() - 2);
-        if matches!(tail.to_ascii_lowercase().as_str(), "st" | "nd" | "rd" | "th")
-            && head.chars().all(|c| c.is_ascii_digit())
+        if matches!(
+            tail.to_ascii_lowercase().as_str(),
+            "st" | "nd" | "rd" | "th"
+        ) && head.chars().all(|c| c.is_ascii_digit())
         {
             return true;
         }
@@ -146,9 +187,8 @@ pub fn classify(old_html: &str, new_html: &str) -> JunkReport {
         }
     }
 
-    let identical = changed_words.is_empty()
-        && old.len() == new.len()
-        && al.alignment.pairs.len() == old.len();
+    let identical =
+        changed_words.is_empty() && old.len() == new.len() && al.alignment.pairs.len() == old.len();
     let noise_words: Vec<String> = changed_words
         .iter()
         .filter(|w| is_noise_word(w))
@@ -220,7 +260,17 @@ mod tests {
 
     #[test]
     fn noise_word_cases() {
-        for w in ["0", "1,234", "22:15", "1995/09/29", "3rd", "21st", "Nov", "GMT", "..."] {
+        for w in [
+            "0",
+            "1,234",
+            "22:15",
+            "1995/09/29",
+            "3rd",
+            "21st",
+            "Nov",
+            "GMT",
+            "...",
+        ] {
             assert!(is_noise_word(w), "{w} should be noise");
         }
         for w in ["paper", "O'Reilly", "x86", "3D", "IPv6"] {

@@ -174,36 +174,83 @@ mod tests {
             Timestamp(100),
         )
         .unwrap();
-        web.set_page("http://hub/a.html", "<HTML><P>page a v1.</HTML>", Timestamp(100)).unwrap();
-        web.set_page("http://hub/b.html", "<HTML><P>page b v1.</HTML>", Timestamp(100)).unwrap();
-        web.set_page("http://elsewhere/x.html", "<HTML><P>external v1.</HTML>", Timestamp(100)).unwrap();
+        web.set_page(
+            "http://hub/a.html",
+            "<HTML><P>page a v1.</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
+        web.set_page(
+            "http://hub/b.html",
+            "<HTML><P>page b v1.</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
+        web.set_page(
+            "http://elsewhere/x.html",
+            "<HTML><P>external v1.</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
         let snapshot = Arc::new(SnapshotService::new(
             MemRepository::new(),
             clock,
             64,
             Duration::hours(4),
         ));
-        (web.clone(), RecursiveDiffer::new(web, snapshot), UserId::new("u@x"))
+        (
+            web.clone(),
+            RecursiveDiffer::new(web, snapshot),
+            UserId::new("u@x"),
+        )
     }
 
     #[test]
     fn first_sweep_is_all_baselines() {
         let (_, differ, user) = setup();
-        let r = differ.diff_hub(&user, "http://hub/index.html", true, &DiffOptions::default()).unwrap();
+        let r = differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                true,
+                &DiffOptions::default(),
+            )
+            .unwrap();
         assert!(matches!(r.hub.1, PageOutcome::Baseline));
         assert_eq!(r.children.len(), 2, "same-host only");
-        assert!(r.children.iter().all(|(_, o)| matches!(o, PageOutcome::Baseline)));
+        assert!(r
+            .children
+            .iter()
+            .all(|(_, o)| matches!(o, PageOutcome::Baseline)));
         assert!(r.changed_urls().is_empty());
     }
 
     #[test]
     fn child_change_detected_on_second_sweep() {
         let (web, differ, user) = setup();
-        differ.diff_hub(&user, "http://hub/index.html", true, &DiffOptions::default()).unwrap();
-        web.clock().advance(Duration::days(1));
-        web.touch_page("http://hub/b.html", "<HTML><P>page b v2, edited!</HTML>", web.clock().now())
+        differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                true,
+                &DiffOptions::default(),
+            )
             .unwrap();
-        let r = differ.diff_hub(&user, "http://hub/index.html", true, &DiffOptions::default()).unwrap();
+        web.clock().advance(Duration::days(1));
+        web.touch_page(
+            "http://hub/b.html",
+            "<HTML><P>page b v2, edited!</HTML>",
+            web.clock().now(),
+        )
+        .unwrap();
+        let r = differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                true,
+                &DiffOptions::default(),
+            )
+            .unwrap();
         assert_eq!(r.changed_urls(), vec!["http://hub/b.html"]);
         let html = r.render();
         assert!(html.contains("No changes since your last visit."));
@@ -213,9 +260,19 @@ mod tests {
     #[test]
     fn external_links_included_when_requested() {
         let (_, differ, user) = setup();
-        let r = differ.diff_hub(&user, "http://hub/index.html", false, &DiffOptions::default()).unwrap();
+        let r = differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                false,
+                &DiffOptions::default(),
+            )
+            .unwrap();
         assert_eq!(r.children.len(), 3);
-        assert!(r.children.iter().any(|(u, _)| u == "http://elsewhere/x.html"));
+        assert!(r
+            .children
+            .iter()
+            .any(|(u, _)| u == "http://elsewhere/x.html"));
     }
 
     #[test]
@@ -227,8 +284,19 @@ mod tests {
             Timestamp(200),
         )
         .unwrap();
-        let r = differ.diff_hub(&user, "http://hub/index.html", false, &DiffOptions::default()).unwrap();
-        let dead = r.children.iter().find(|(u, _)| u.contains("dead-host")).unwrap();
+        let r = differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                false,
+                &DiffOptions::default(),
+            )
+            .unwrap();
+        let dead = r
+            .children
+            .iter()
+            .find(|(u, _)| u.contains("dead-host"))
+            .unwrap();
         assert!(matches!(&dead.1, PageOutcome::Unreachable(_)));
         let html = r.render();
         assert!(html.contains("Unreachable:"));
@@ -245,7 +313,14 @@ mod tests {
     #[test]
     fn hub_changes_also_reported() {
         let (web, differ, user) = setup();
-        differ.diff_hub(&user, "http://hub/index.html", true, &DiffOptions::default()).unwrap();
+        differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                true,
+                &DiffOptions::default(),
+            )
+            .unwrap();
         web.clock().advance(Duration::days(1));
         web.touch_page(
             "http://hub/index.html",
@@ -256,7 +331,14 @@ mod tests {
             web.clock().now(),
         )
         .unwrap();
-        let r = differ.diff_hub(&user, "http://hub/index.html", true, &DiffOptions::default()).unwrap();
+        let r = differ
+            .diff_hub(
+                &user,
+                "http://hub/index.html",
+                true,
+                &DiffOptions::default(),
+            )
+            .unwrap();
         assert!(r.changed_urls().contains(&"http://hub/index.html"));
     }
 }

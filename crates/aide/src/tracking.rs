@@ -16,7 +16,7 @@ use aide_htmlkit::url::Url;
 use aide_rcs::repo::MemRepository;
 use aide_simweb::net::Web;
 use aide_snapshot::service::{ServiceError, SnapshotService, UserId};
-use parking_lot::Mutex;
+use aide_util::sync::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -204,8 +204,10 @@ mod tests {
     fn setup() -> (Web, ServerTracker) {
         let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0));
         let web = Web::new(clock.clone());
-        web.set_page("http://a/1.html", "<HTML>one</HTML>", Timestamp(100)).unwrap();
-        web.set_page("http://a/2.html", "<HTML>two</HTML>", Timestamp(100)).unwrap();
+        web.set_page("http://a/1.html", "<HTML>one</HTML>", Timestamp(100))
+            .unwrap();
+        web.set_page("http://a/2.html", "<HTML>two</HTML>", Timestamp(100))
+            .unwrap();
         let snapshot = Arc::new(SnapshotService::new(
             MemRepository::new(),
             clock,
@@ -242,7 +244,12 @@ mod tests {
         let (web, t) = setup();
         t.register(&alice(), "http://a/1.html");
         t.poll_all();
-        web.touch_page("http://a/1.html", "<HTML>one, updated</HTML>", Timestamp(90_000_000)).unwrap();
+        web.touch_page(
+            "http://a/1.html",
+            "<HTML>one, updated</HTML>",
+            Timestamp(90_000_000),
+        )
+        .unwrap();
         let s = t.poll_all();
         assert_eq!(s.changed, 1);
         // Two revisions now exist.
@@ -274,7 +281,8 @@ mod tests {
         let list = t.whats_new(&alice()).unwrap();
         assert!(!list[0].changed_for_user);
         // Page changes again: new to Alice once re-polled.
-        web.touch_page("http://a/1.html", "<HTML>v3</HTML>", Timestamp(95_000_000)).unwrap();
+        web.touch_page("http://a/1.html", "<HTML>v3</HTML>", Timestamp(95_000_000))
+            .unwrap();
         t.poll_all();
         let list = t.whats_new(&alice()).unwrap();
         assert!(list[0].changed_for_user);
@@ -301,38 +309,57 @@ mod tests {
             Timestamp(100),
         )
         .unwrap();
-        web.set_page("http://hub/a.html", "<HTML>a</HTML>", Timestamp(100)).unwrap();
-        web.set_page("http://hub/b.html", "<HTML>b</HTML>", Timestamp(100)).unwrap();
+        web.set_page("http://hub/a.html", "<HTML>a</HTML>", Timestamp(100))
+            .unwrap();
+        web.set_page("http://hub/b.html", "<HTML>b</HTML>", Timestamp(100))
+            .unwrap();
 
         let regs = t
             .register_hub(&alice(), "http://hub/index.html", 1, true)
             .unwrap();
         assert_eq!(regs.len(), 3, "hub + two same-host links: {regs:?}");
-        assert!(!regs.contains(&"http://a/1.html".to_string()), "external excluded");
+        assert!(
+            !regs.contains(&"http://a/1.html".to_string()),
+            "external excluded"
+        );
 
         let all = t
             .register_hub(&bob(), "http://hub/index.html", 1, false)
             .unwrap();
-        assert_eq!(all.len(), 4, "virtual-library mode follows external links too");
+        assert_eq!(
+            all.len(),
+            4,
+            "virtual-library mode follows external links too"
+        );
     }
 
     #[test]
     fn hub_depth_limits_recursion() {
         let (web, t) = setup();
-        web.set_page("http://d/0.html", r#"<A HREF="1.html">n</A>"#, Timestamp(1)).unwrap();
-        web.set_page("http://d/1.html", r#"<A HREF="2.html">n</A>"#, Timestamp(1)).unwrap();
-        web.set_page("http://d/2.html", r#"<A HREF="3.html">n</A>"#, Timestamp(1)).unwrap();
-        web.set_page("http://d/3.html", "end", Timestamp(1)).unwrap();
-        let regs = t.register_hub(&alice(), "http://d/0.html", 2, true).unwrap();
+        web.set_page("http://d/0.html", r#"<A HREF="1.html">n</A>"#, Timestamp(1))
+            .unwrap();
+        web.set_page("http://d/1.html", r#"<A HREF="2.html">n</A>"#, Timestamp(1))
+            .unwrap();
+        web.set_page("http://d/2.html", r#"<A HREF="3.html">n</A>"#, Timestamp(1))
+            .unwrap();
+        web.set_page("http://d/3.html", "end", Timestamp(1))
+            .unwrap();
+        let regs = t
+            .register_hub(&alice(), "http://d/0.html", 2, true)
+            .unwrap();
         assert_eq!(regs.len(), 3, "depth 2 stops at 2.html: {regs:?}");
     }
 
     #[test]
     fn hub_cycles_terminate() {
         let (web, t) = setup();
-        web.set_page("http://c/x.html", r#"<A HREF="y.html">n</A>"#, Timestamp(1)).unwrap();
-        web.set_page("http://c/y.html", r#"<A HREF="x.html">n</A>"#, Timestamp(1)).unwrap();
-        let regs = t.register_hub(&alice(), "http://c/x.html", 10, true).unwrap();
+        web.set_page("http://c/x.html", r#"<A HREF="y.html">n</A>"#, Timestamp(1))
+            .unwrap();
+        web.set_page("http://c/y.html", r#"<A HREF="x.html">n</A>"#, Timestamp(1))
+            .unwrap();
+        let regs = t
+            .register_hub(&alice(), "http://c/x.html", 10, true)
+            .unwrap();
         assert_eq!(regs.len(), 2);
     }
 }

@@ -70,7 +70,10 @@ fn bench_length_screen(c: &mut Criterion) {
             black_box(compare_tokens(
                 &old_t,
                 &new_t,
-                &CompareOptions { match_threshold: 0.5, length_screen: Some(0.4) },
+                &CompareOptions {
+                    match_threshold: 0.5,
+                    length_screen: Some(0.4),
+                },
             ))
         });
     });
@@ -79,12 +82,21 @@ fn bench_length_screen(c: &mut Criterion) {
             black_box(compare_tokens(
                 &old_t,
                 &new_t,
-                &CompareOptions { match_threshold: 0.5, length_screen: None },
+                &CompareOptions {
+                    match_threshold: 0.5,
+                    length_screen: None,
+                },
             ))
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_sizes, bench_change_rates, bench_tokenize, bench_length_screen);
+criterion_group!(
+    benches,
+    bench_sizes,
+    bench_change_rates,
+    bench_tokenize,
+    bench_length_screen
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn bench_similar(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("lcs_dp", n), &n, |bench, _| {
             bench.iter(|| {
-                black_box(weighted_lcs_dp(a.len(), b.len(), &|i, j| u64::from(a[i] == b[j])))
+                black_box(weighted_lcs_dp(a.len(), b.len(), &|i, j| {
+                    u64::from(a[i] == b[j])
+                }))
             });
         });
         group.bench_with_input(BenchmarkId::new("hirschberg", n), &n, |bench, _| {

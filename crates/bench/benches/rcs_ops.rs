@@ -35,7 +35,8 @@ fn bench_checkin(c: &mut Criterion) {
     c.bench_function("checkin_10kb_small_edit", |b| {
         b.iter(|| {
             let mut a = Archive::create("bench", &base, "u", "init", Timestamp(0));
-            a.checkin(black_box(&edited), "u", "edit", Timestamp(100)).unwrap();
+            a.checkin(black_box(&edited), "u", "edit", Timestamp(100))
+                .unwrap();
             black_box(a)
         });
     });

@@ -25,7 +25,10 @@ fn setup(n: usize) -> (Web, Vec<Bookmark>) {
     let pages = population(&web, 99, &cfg);
     let hotlist = pages
         .iter()
-        .map(|p| Bookmark { title: p.url.clone(), url: p.url.clone() })
+        .map(|p| Bookmark {
+            title: p.url.clone(),
+            url: p.url.clone(),
+        })
         .collect();
     clock.advance(Duration::days(1));
     (web, hotlist)
@@ -37,7 +40,8 @@ fn bench_run(c: &mut Criterion) {
     for n in [50usize, 200, 500] {
         let (web, hotlist) = setup(n);
         group.bench_with_input(BenchmarkId::new("warm_cache", n), &n, |b, _| {
-            let mut tracker = W3Newer::new(ThresholdConfig::new(Threshold::Every(Duration::days(2))));
+            let mut tracker =
+                W3Newer::new(ThresholdConfig::new(Threshold::Every(Duration::days(2))));
             // Warm the cache with one run.
             tracker.run(&hotlist, &|_| None, &web, None);
             b.iter(|| black_box(tracker.run(&hotlist, &|_| None, &web, None)));

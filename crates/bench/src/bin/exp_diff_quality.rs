@@ -101,7 +101,11 @@ fn main() {
             "{name:<28} {:>9.1}% {:>9.1}% {:>14}",
             100.0 * h.stats.changed_fraction,
             100.0 * l,
-            if h.stats.content_changed() { "yes" } else { "no" }
+            if h.stats.content_changed() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!("\n(reflow rows: line diff flags ~everything; HtmlDiff flags 0.");
@@ -138,7 +142,10 @@ fn main() {
     };
     for threshold in [0.2, 0.4, 0.5, 0.6, 0.8, 0.95] {
         let opts = Options {
-            compare: CompareOptions { match_threshold: threshold, length_screen: Some(0.4) },
+            compare: CompareOptions {
+                match_threshold: threshold,
+                length_screen: Some(0.4),
+            },
             ..Options::default()
         };
         let r = html_diff(&old_html, &edited, &opts);
@@ -161,8 +168,16 @@ fn main() {
     );
     let old_tokens = tokenize(&old_html);
     let new_tokens = tokenize(&edited);
-    for (label, screen) in [("off", None), ("0.25", Some(0.25)), ("0.4", Some(0.4)), ("0.6", Some(0.6))] {
-        let opts = CompareOptions { match_threshold: 0.5, length_screen: screen };
+    for (label, screen) in [
+        ("off", None),
+        ("0.25", Some(0.25)),
+        ("0.4", Some(0.4)),
+        ("0.6", Some(0.6)),
+    ] {
+        let opts = CompareOptions {
+            match_threshold: 0.5,
+            length_screen: screen,
+        };
         let al = compare_tokens(&old_tokens, &new_tokens, &opts);
         println!(
             "{label:<18} {:>12} {:>14} {:>12}",

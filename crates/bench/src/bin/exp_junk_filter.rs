@@ -95,15 +95,27 @@ fn main() {
     }
 
     println!("=== §3.1 junk-mail experiment (30 days, 20 honest + 10 noisy pages) ===\n");
-    println!("{:<46} {:>8}", "change notifications without filter", raw_notifications);
-    println!("{:<46} {:>8}", "change notifications with semantic filter", filtered_notifications);
+    println!(
+        "{:<46} {:>8}",
+        "change notifications without filter", raw_notifications
+    );
+    println!(
+        "{:<46} {:>8}",
+        "change notifications with semantic filter", filtered_notifications
+    );
     println!(
         "{:<46} {:>7.0}%",
         "junk mail eliminated",
         100.0 * (raw_notifications - filtered_notifications) as f64 / raw_notifications as f64
     );
-    println!("{:<46} {:>8}", "honest changes wrongly suppressed", false_suppressions);
-    println!("{:<46} {:>8}", "noisy changes that slipped through", missed_noise);
+    println!(
+        "{:<46} {:>8}",
+        "honest changes wrongly suppressed", false_suppressions
+    );
+    println!(
+        "{:<46} {:>8}",
+        "noisy changes that slipped through", missed_noise
+    );
     println!("\n(noisy pages fire every single day without the filter — the");
     println!(" paper's 'junk mail'. The filter classifies a change as junk only");
     println!(" when every changed word is a number, date, or clock time.)");

@@ -47,7 +47,10 @@ fn run(policy: &Policy, n_urls: usize) -> u64 {
     let proxy = ProxyCache::new(web.clone(), Duration::hours(12));
     let hotlist: Vec<Bookmark> = pages
         .iter()
-        .map(|p| Bookmark { title: p.url.clone(), url: p.url.clone() })
+        .map(|p| Bookmark {
+            title: p.url.clone(),
+            url: p.url.clone(),
+        })
         .collect();
 
     let mut tracker = W3Newer::new(ThresholdConfig::new(policy.default_threshold));
@@ -61,7 +64,8 @@ fn run(policy: &Policy, n_urls: usize) -> u64 {
     // AT&T-wide proxy browse a larger slice of the same popular pages —
     // that is what seeds proxy-cache knowledge the tracker can reuse.
     let mut rng = Rng::new(42);
-    let mut history: std::collections::HashMap<String, Timestamp> = std::collections::HashMap::new();
+    let mut history: std::collections::HashMap<String, Timestamp> =
+        std::collections::HashMap::new();
     web.reset_stats();
     let mut tracker_requests = 0u64;
     for _day in 0..30u64 {

@@ -55,7 +55,11 @@ fn diff_cache_sweep() {
             let clock = Clock::starting_at(Timestamp(1_000_000));
             // A cache with 0 effective slots simulates "no cache" by using
             // a TTL of zero.
-            let ttl = if cached { Duration::hours(8) } else { Duration::ZERO };
+            let ttl = if cached {
+                Duration::hours(8)
+            } else {
+                Duration::ZERO
+            };
             let service = SnapshotService::new(MemRepository::new(), clock.clone(), 64, ttl);
             let seed_user = UserId::new("seeder@x");
             let url = "http://h/shared.html";
@@ -109,10 +113,22 @@ fn checkout_depth_cost() {
 
 fn main() {
     println!("=== delta storage vs edit model (50 revisions of a 10 KB page) ===\n");
-    println!("{:<22} {:>12} {:>12} {:>10}", "edit model", "archive B", "full-copy B", "ratio");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "edit model", "archive B", "full-copy B", "ratio"
+    );
     storage_for_model("append-news", EditModel::AppendNews);
-    storage_for_model("in-place (2 sent.)", EditModel::InPlaceEdit { sentences: 2 });
-    storage_for_model("link-churn", EditModel::LinkChurn { added: 3, removed: 1 });
+    storage_for_model(
+        "in-place (2 sent.)",
+        EditModel::InPlaceEdit { sentences: 2 },
+    );
+    storage_for_model(
+        "link-churn",
+        EditModel::LinkChurn {
+            added: 3,
+            removed: 1,
+        },
+    );
     storage_for_model("reformat", EditModel::Reformat);
     storage_for_model("delete-block", EditModel::DeleteBlock);
     storage_for_model("FULL REPLACE", EditModel::FullReplace);

@@ -66,7 +66,10 @@ fn main() {
     println!("=== §7 storage experiment (180 simulated days) ===\n");
     println!("{:<38} {:>14} {:>14}", "metric", "paper (1996)", "measured");
     println!("{}", "-".repeat(70));
-    println!("{:<38} {:>14} {:>14}", "URLs archived", "500+", stats.archives);
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "URLs archived", "500+", stats.archives
+    );
     println!(
         "{:<38} {:>14} {:>14}",
         "total archive size",
@@ -87,9 +90,7 @@ fn main() {
     );
     println!(
         "{:<38} {:>14} {:>14}",
-        "revisions stored",
-        "(n/a)",
-        stats.revisions
+        "revisions stored", "(n/a)", stats.revisions
     );
     println!(
         "{:<38} {:>14} {:>14}",
@@ -101,7 +102,10 @@ fn main() {
         "{:<38} {:>14} {:>14}",
         "delta-storage ratio",
         "\"minimal\"",
-        format!("{:.0}%", 100.0 * stats.bytes as f64 / full_copy_bytes as f64)
+        format!(
+            "{:.0}%",
+            100.0 * stats.bytes as f64 / full_copy_bytes as f64
+        )
     );
     println!("\ntop five archives by size:");
     for (url, bytes) in sizes.iter().take(5) {

@@ -27,7 +27,10 @@ fn main() {
     println!("edited-in-place pairs: {}", s.changed_pairs);
     println!("old-only sentences:    {}", s.old_only_sentences);
     println!("new-only sentences:    {}", s.new_only_sentences);
-    println!("format-only changes:   {}", s.old_only_breaks + s.new_only_breaks);
+    println!(
+        "format-only changes:   {}",
+        s.old_only_breaks + s.new_only_breaks
+    );
     println!("arrow sites:           {}", s.difference_sites);
     println!("changed fraction:      {:.2}", s.changed_fraction);
     println!("muddle:                {:.2}", result.muddle.muddle);
@@ -36,7 +39,10 @@ fn main() {
     let only = html_diff(
         USENIX_1995_09_29,
         USENIX_1995_11_03,
-        &Options { presentation: Presentation::OnlyDifferences, ..opts.clone() },
+        &Options {
+            presentation: Presentation::OnlyDifferences,
+            ..opts.clone()
+        },
     );
     println!("{}", only.html);
 
@@ -44,7 +50,10 @@ fn main() {
     let reversed = html_diff(
         USENIX_1995_09_29,
         USENIX_1995_11_03,
-        &Options { presentation: Presentation::Reversed, ..opts.clone() },
+        &Options {
+            presentation: Presentation::Reversed,
+            ..opts.clone()
+        },
     );
     println!("{}", reversed.html.lines().next().unwrap_or(""));
 
@@ -52,7 +61,11 @@ fn main() {
     let sbs = html_diff(
         USENIX_1995_09_29,
         USENIX_1995_11_03,
-        &Options { presentation: Presentation::SideBySide, banner: false, ..opts.clone() },
+        &Options {
+            presentation: Presentation::SideBySide,
+            banner: false,
+            ..opts.clone()
+        },
     );
     for line in sbs.html.lines().take(8) {
         println!("{line}");
@@ -67,5 +80,8 @@ fn main() {
         line.deleted_lines(),
         line.inserted_lines()
     );
-    println!("{}", line.unified("usenix-0929.html", "usenix-1103.html", 1));
+    println!(
+        "{}",
+        line.unified("usenix-0929.html", "usenix-1103.html", 1)
+    );
 }

@@ -16,7 +16,11 @@ use aide_w3newer::config::ThresholdConfig;
 use aide_workloads::evolve::tick_all;
 use aide_workloads::sites::table1_scenario;
 
-fn run_policy(label: &str, config: ThresholdConfig, trust_cache: bool) -> (String, Vec<(String, u64)>, u64) {
+fn run_policy(
+    label: &str,
+    config: ThresholdConfig,
+    trust_cache: bool,
+) -> (String, Vec<(String, u64)>, u64) {
     let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 7, 30, 0));
     let web = Web::new(clock.clone());
     let mut scenario = table1_scenario(&web, 42);
@@ -78,7 +82,10 @@ fn main() {
         println!("{host:<42} {with:>10} {without:>10}");
     }
     println!("{}", "-".repeat(64));
-    println!("{:<42} {total_thresh:>10} {total_uniform:>10}", "TOTAL network requests");
+    println!(
+        "{:<42} {total_thresh:>10} {total_uniform:>10}",
+        "TOTAL network requests"
+    );
     let savings = 100.0 * (1.0 - total_thresh as f64 / total_uniform as f64);
     println!("\nthreshold policy saves {savings:.0}% of all network requests");
     println!("(paper: thresholds exist to 'reduce unnecessary load'; Dilbert");

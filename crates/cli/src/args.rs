@@ -32,7 +32,8 @@ impl std::fmt::Display for UsageError {
 impl std::error::Error for UsageError {}
 
 /// Usage text for `htmldiff`.
-pub const HTMLDIFF_USAGE: &str = "usage: htmldiff [-p merged|only-differences|reversed|new-only|side-by-side] \
+pub const HTMLDIFF_USAGE: &str =
+    "usage: htmldiff [-p merged|only-differences|reversed|new-only|side-by-side] \
      [-w] [-b] [-t RATIO] OLD.html NEW.html";
 
 /// Parses `htmldiff` arguments (without the program name).
@@ -54,15 +55,19 @@ pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
             "-w" => inline_words = true,
             "-b" => no_banner = true,
             "-t" => {
-                let v = it.next().ok_or_else(|| UsageError(HTMLDIFF_USAGE.to_string()))?;
-                threshold = Some(
-                    v.parse::<f64>()
-                        .map_err(|_| UsageError(format!("bad threshold {v:?}\n{HTMLDIFF_USAGE}")))?,
-                );
+                let v = it
+                    .next()
+                    .ok_or_else(|| UsageError(HTMLDIFF_USAGE.to_string()))?;
+                threshold =
+                    Some(v.parse::<f64>().map_err(|_| {
+                        UsageError(format!("bad threshold {v:?}\n{HTMLDIFF_USAGE}"))
+                    })?);
             }
             "-h" | "--help" => return Err(UsageError(HTMLDIFF_USAGE.to_string())),
             other if other.starts_with('-') => {
-                return Err(UsageError(format!("unknown flag {other}\n{HTMLDIFF_USAGE}")));
+                return Err(UsageError(format!(
+                    "unknown flag {other}\n{HTMLDIFF_USAGE}"
+                )));
             }
             file => files.push(file.to_string()),
         }
@@ -247,7 +252,17 @@ mod tests {
 
     #[test]
     fn htmldiff_full_flags() {
-        let a = parse_htmldiff(&v(&["-p", "side-by-side", "-w", "-b", "-t", "0.6", "a", "b"])).unwrap();
+        let a = parse_htmldiff(&v(&[
+            "-p",
+            "side-by-side",
+            "-w",
+            "-b",
+            "-t",
+            "0.6",
+            "a",
+            "b",
+        ]))
+        .unwrap();
         assert_eq!(a.presentation, "side-by-side");
         assert!(a.inline_words);
         assert!(a.no_banner);
@@ -265,7 +280,16 @@ mod tests {
 
     #[test]
     fn rcs_ci() {
-        let c = parse_rcs(&v(&["ci", "page,v", "page.html", "-m", "fix typo", "-u", "fred"])).unwrap();
+        let c = parse_rcs(&v(&[
+            "ci",
+            "page,v",
+            "page.html",
+            "-m",
+            "fix typo",
+            "-u",
+            "fred",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             RcsCommand::Checkin {
@@ -285,12 +309,22 @@ mod tests {
         let c = parse_rcs(&v(&["co", "page,v", "-d", "1995.10.01.00.00.00"])).unwrap();
         assert!(matches!(c, RcsCommand::Checkout { date: Some(_), .. }));
         let c = parse_rcs(&v(&["co", "page,v"])).unwrap();
-        assert!(matches!(c, RcsCommand::Checkout { rev: None, date: None, .. }));
+        assert!(matches!(
+            c,
+            RcsCommand::Checkout {
+                rev: None,
+                date: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn rcs_rcsdiff() {
-        let c = parse_rcs(&v(&["rcsdiff", "page,v", "-r", "1.1", "-r", "1.4", "--html"])).unwrap();
+        let c = parse_rcs(&v(&[
+            "rcsdiff", "page,v", "-r", "1.1", "-r", "1.4", "--html",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             RcsCommand::Diff {

@@ -49,7 +49,13 @@ fn main() -> ExitCode {
 
 fn run(cmd: RcsCommand) -> Result<ExitCode, String> {
     match cmd {
-        RcsCommand::Checkin { archive, file, log, author, date } => {
+        RcsCommand::Checkin {
+            archive,
+            file,
+            log,
+            author,
+            date,
+        } => {
             let body = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
             let when = match &date {
                 Some(d) => Timestamp::parse_rcs_date(d).ok_or_else(|| format!("bad date {d:?}"))?,
@@ -59,14 +65,22 @@ fn run(cmd: RcsCommand) -> Result<ExitCode, String> {
                 Ok(existing) => {
                     let mut a = parse(&existing).map_err(|e| format!("{archive}: {e}"))?;
                     let head_date = a.metas().last().expect("nonempty").date;
-                    let when = if date.is_some() { when } else { head_date + Duration::seconds(1) };
+                    let when = if date.is_some() {
+                        when
+                    } else {
+                        head_date + Duration::seconds(1)
+                    };
                     let out = a
                         .checkin(&body, &author, &log, when)
                         .map_err(|e| e.to_string())?;
                     eprintln!(
                         "{archive}  <--  {file}\nnew revision: {}{}",
                         out.rev(),
-                        if out.is_new() { "" } else { " (unchanged; nothing stored)" }
+                        if out.is_new() {
+                            ""
+                        } else {
+                            " (unchanged; nothing stored)"
+                        }
                     );
                     emit(&a)
                 }
@@ -117,7 +131,12 @@ fn run(cmd: RcsCommand) -> Result<ExitCode, String> {
             emit_stdout(&out);
             Ok(ExitCode::SUCCESS)
         }
-        RcsCommand::Diff { archive, from, to, html } => {
+        RcsCommand::Diff {
+            archive,
+            from,
+            to,
+            html,
+        } => {
             let a = load(&archive)?;
             let old = a.checkout(rev_of(&from)?).map_err(|e| e.to_string())?;
             let new = a.checkout(rev_of(&to)?).map_err(|e| e.to_string())?;
@@ -131,7 +150,11 @@ fn run(cmd: RcsCommand) -> Result<ExitCode, String> {
             } else {
                 emit_stdout(&diff_lines(&old, &new).unified(&from, &to, 3));
             }
-            Ok(if old == new { ExitCode::SUCCESS } else { ExitCode::from(1) })
+            Ok(if old == new {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
     }
 }

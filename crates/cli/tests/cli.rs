@@ -46,12 +46,22 @@ fn htmldiff_presentations_and_flags() {
     std::fs::write(&old, "<P>one two three.").unwrap();
     std::fs::write(&new, "<P>one two four.").unwrap();
 
-    let out = htmldiff().args(["-p", "side-by-side", "-b"]).arg(&old).arg(&new).output().unwrap();
+    let out = htmldiff()
+        .args(["-p", "side-by-side", "-b"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
     let html = String::from_utf8(out.stdout).unwrap();
     assert!(html.contains("<TABLE"), "{html}");
     assert!(!html.contains("AIDE HtmlDiff"), "banner suppressed");
 
-    let out = htmldiff().args(["-w"]).arg(&old).arg(&new).output().unwrap();
+    let out = htmldiff()
+        .args(["-w"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
     let html = String::from_utf8(out.stdout).unwrap();
     assert!(html.contains("<STRIKE>three.</STRIKE>"), "{html}");
 
@@ -79,7 +89,11 @@ fn rcs_roundtrip_through_processes() {
         .args(["-m", "init", "-u", "fred", "-d", "1995.10.01.00.00.00"])
         .output()
         .unwrap();
-    assert!(ci1.status.success(), "{}", String::from_utf8_lossy(&ci1.stderr));
+    assert!(
+        ci1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ci1.stderr)
+    );
     let ci2 = aide_rcs()
         .args(["ci"])
         .arg(&archive)
@@ -91,8 +105,16 @@ fn rcs_roundtrip_through_processes() {
     assert!(String::from_utf8_lossy(&ci2.stderr).contains("new revision: 1.2"));
 
     // co old revision matches the original bytes.
-    let co = aide_rcs().args(["co"]).arg(&archive).args(["-r", "1.1"]).output().unwrap();
-    assert_eq!(String::from_utf8(co.stdout).unwrap(), "<P>first revision text.\n");
+    let co = aide_rcs()
+        .args(["co"])
+        .arg(&archive)
+        .args(["-r", "1.1"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(co.stdout).unwrap(),
+        "<P>first revision text.\n"
+    );
 
     // co by date.
     let co = aide_rcs()
@@ -101,7 +123,9 @@ fn rcs_roundtrip_through_processes() {
         .args(["-d", "1995.10.01.00.00.00"])
         .output()
         .unwrap();
-    assert!(String::from_utf8(co.stdout).unwrap().contains("first revision"));
+    assert!(String::from_utf8(co.stdout)
+        .unwrap()
+        .contains("first revision"));
 
     // rlog lists both.
     let log = aide_rcs().args(["rlog"]).arg(&archive).output().unwrap();
@@ -117,14 +141,18 @@ fn rcs_roundtrip_through_processes() {
         .output()
         .unwrap();
     assert_eq!(d.status.code(), Some(1));
-    assert!(String::from_utf8(d.stdout).unwrap().contains("+<P>second revision text, expanded!"));
+    assert!(String::from_utf8(d.stdout)
+        .unwrap()
+        .contains("+<P>second revision text, expanded!"));
     let d = aide_rcs()
         .args(["rcsdiff"])
         .arg(&archive)
         .args(["-r", "1.1", "-r", "1.2", "--html"])
         .output()
         .unwrap();
-    assert!(String::from_utf8(d.stdout).unwrap().contains("AIDE HtmlDiff"));
+    assert!(String::from_utf8(d.stdout)
+        .unwrap()
+        .contains("AIDE HtmlDiff"));
 
     // Unchanged ci stores nothing.
     let ci3 = aide_rcs()
@@ -141,7 +169,10 @@ fn rcs_roundtrip_through_processes() {
 
 #[test]
 fn rcs_error_paths() {
-    let missing = aide_rcs().args(["rlog", "/no/such/file,v"]).output().unwrap();
+    let missing = aide_rcs()
+        .args(["rlog", "/no/such/file,v"])
+        .output()
+        .unwrap();
     assert_eq!(missing.status.code(), Some(2));
     let usage = aide_rcs().args(["frobnicate"]).output().unwrap();
     assert_eq!(usage.status.code(), Some(2));

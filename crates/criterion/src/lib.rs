@@ -1,0 +1,272 @@
+//! An offline, in-tree subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model (simpler than real criterion, deliberately): each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a fixed measurement window; the mean per-iteration time is
+//! printed along with throughput when configured. There is no statistical
+//! analysis, plotting, or HTML report. Wall-clock numbers are still
+//! comparable run-to-run on the same machine, which is what the
+//! EXPERIMENTS.md tables need.
+//!
+//! Environment knobs:
+//! - `AIDE_BENCH_MEASURE_MS`: measurement window per benchmark
+//!   (default 300).
+//! - `AIDE_BENCH_WARMUP_MS`: warmup window per benchmark (default 100).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("AIDE_BENCH_WARMUP_MS", 100),
+            measure: env_ms("AIDE_BENCH_MEASURE_MS", 300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.warmup, self.measure, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility: sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &name,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(
+            &name,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// (total elapsed, iterations) of the measured phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured
+    /// window.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup, and calibrate the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Measure in batches sized to roughly 1/10 of the window, so the
+        // clock is read rarely relative to the work.
+        let batch = (self.measure.as_nanos() / 10 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let mut iters: u64 = 0;
+        let begin = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            if begin.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result = Some((begin.elapsed(), iters));
+    }
+}
+
+fn run_one(
+    name: &str,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warmup,
+        measure,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let mbps = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0);
+                    format!("  thrpt: {mbps:>10.2} MiB/s")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let eps = n as f64 / ns * 1e9;
+                    format!("  thrpt: {eps:>10.0} elem/s")
+                }
+                None => String::new(),
+            };
+            println!("{name:<50} time: {} ({iters} iters){rate}", fmt_ns(ns));
+        }
+        None => println!("{name:<50} (no measurement: bencher.iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>9.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>9.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>9.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:>9.3}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Binds benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

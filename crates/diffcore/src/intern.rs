@@ -31,7 +31,9 @@ pub struct Interner<T: Hash + Eq + Clone> {
 impl<T: Hash + Eq + Clone> Interner<T> {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        Interner { map: HashMap::new() }
+        Interner {
+            map: HashMap::new(),
+        }
     }
 
     /// Returns the id for `token`, assigning a fresh one if unseen.

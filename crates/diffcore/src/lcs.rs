@@ -60,7 +60,11 @@ pub const DP_CELL_LIMIT: usize = 1 << 21;
 /// let pairs = weighted_lcs(a.len(), b.len(), &|i, j| u64::from(a[i] == b[j]));
 /// assert_eq!(pairs, vec![(0, 0), (2, 2)]);
 /// ```
-pub fn weighted_lcs(n: usize, m: usize, score: &impl Fn(usize, usize) -> u64) -> Vec<(usize, usize)> {
+pub fn weighted_lcs(
+    n: usize,
+    m: usize,
+    score: &impl Fn(usize, usize) -> u64,
+) -> Vec<(usize, usize)> {
     if n == 0 || m == 0 {
         return Vec::new();
     }
@@ -73,12 +77,20 @@ pub fn weighted_lcs(n: usize, m: usize, score: &impl Fn(usize, usize) -> u64) ->
 
 /// Convenience wrapper: maximum-weight alignment of two slices under a
 /// [`Scorer`].
-pub fn weighted_lcs_slices<A, B, S: Scorer<A, B>>(a: &[A], b: &[B], scorer: &S) -> Vec<(usize, usize)> {
+pub fn weighted_lcs_slices<A, B, S: Scorer<A, B>>(
+    a: &[A],
+    b: &[B],
+    scorer: &S,
+) -> Vec<(usize, usize)> {
     weighted_lcs(a.len(), b.len(), &|i, j| scorer.score(&a[i], &b[j]))
 }
 
 /// Full-matrix weighted LCS: `O(n·m)` time and space.
-pub fn weighted_lcs_dp(n: usize, m: usize, score: &impl Fn(usize, usize) -> u64) -> Vec<(usize, usize)> {
+pub fn weighted_lcs_dp(
+    n: usize,
+    m: usize,
+    score: &impl Fn(usize, usize) -> u64,
+) -> Vec<(usize, usize)> {
     // table[i][j] = best weight aligning a[..i] with b[..j].
     let width = m + 1;
     let mut table = vec![0u64; (n + 1) * width];
@@ -254,7 +266,10 @@ mod tests {
         check_valid(&pairs, a.len(), b.len());
         assert_eq!(pairs.len(), 4, "LCS of ABCBDAB/BDCABA has length 4");
         let common: String = pairs.iter().map(|&(i, _)| a[i]).collect();
-        assert!(["BCAB", "BCBA", "BDAB"].contains(&common.as_str()), "got {common}");
+        assert!(
+            ["BCAB", "BCBA", "BDAB"].contains(&common.as_str()),
+            "got {common}"
+        );
     }
 
     #[test]
@@ -316,7 +331,9 @@ mod tests {
         // Deterministic pseudo-random sequences over a small alphabet.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for trial in 0..30 {
@@ -341,21 +358,21 @@ mod tests {
     fn hirschberg_matches_dp_with_weights() {
         let mut state = 99u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..20 {
             let n = 1 + next() % 25;
             let m = 1 + next() % 25;
-            let weights: Vec<Vec<u64>> =
-                (0..n).map(|_| (0..m).map(|_| (next() % 4) as u64).collect()).collect();
+            let weights: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..m).map(|_| (next() % 4) as u64).collect())
+                .collect();
             let score = |i: usize, j: usize| weights[i][j];
             let dp = weighted_lcs_dp(n, m, &score);
             let hi = weighted_lcs_hirschberg(n, m, &score);
-            assert_eq!(
-                alignment_weight(&dp, &score),
-                alignment_weight(&hi, &score)
-            );
+            assert_eq!(alignment_weight(&dp, &score), alignment_weight(&hi, &score));
             check_valid(&hi, n, m);
         }
     }

@@ -36,11 +36,23 @@ pub struct LineDiff {
 /// assert!(!d.is_identical());
 /// ```
 pub fn diff_lines(old: &str, new: &str) -> LineDiff {
-    let old_lines: Vec<String> = split_keep_newlines(old).into_iter().map(str::to_string).collect();
-    let new_lines: Vec<String> = split_keep_newlines(new).into_iter().map(str::to_string).collect();
+    let old_lines: Vec<String> = split_keep_newlines(old)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let new_lines: Vec<String> = split_keep_newlines(new)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     let mut interner = Interner::new();
-    let ia: Vec<u32> = old_lines.iter().map(|l| interner.intern(l.clone())).collect();
-    let ib: Vec<u32> = new_lines.iter().map(|l| interner.intern(l.clone())).collect();
+    let ia: Vec<u32> = old_lines
+        .iter()
+        .map(|l| interner.intern(l.clone()))
+        .collect();
+    let ib: Vec<u32> = new_lines
+        .iter()
+        .map(|l| interner.intern(l.clone()))
+        .collect();
     let pairs = myers_diff(&ia, &ib);
     let alignment = Alignment::new(pairs, ia.len(), ib.len());
     LineDiff {
@@ -77,9 +89,17 @@ impl LineDiff {
         for h in self.alignment.hunks(context) {
             out.push_str(&format!(
                 "@@ -{},{} +{},{} @@\n",
-                if h.a_len == 0 { h.a_start } else { h.a_start + 1 },
+                if h.a_len == 0 {
+                    h.a_start
+                } else {
+                    h.a_start + 1
+                },
                 h.a_len,
-                if h.b_len == 0 { h.b_start } else { h.b_start + 1 },
+                if h.b_len == 0 {
+                    h.b_start
+                } else {
+                    h.b_start + 1
+                },
                 h.b_len
             ));
             for op in &h.ops {
@@ -120,10 +140,15 @@ impl LineDiff {
                 EditOp::Equal { .. } => {
                     k += 1;
                 }
-                EditOp::Delete { a_start, len, b_pos } => {
+                EditOp::Delete {
+                    a_start,
+                    len,
+                    b_pos,
+                } => {
                     // A delete followed immediately by an insert is a change.
-                    if let Some(EditOp::Insert { b_start, len: ilen, .. }) =
-                        script.ops.get(k + 1).copied()
+                    if let Some(EditOp::Insert {
+                        b_start, len: ilen, ..
+                    }) = script.ops.get(k + 1).copied()
                     {
                         out.push_str(&format!(
                             "{}c{}\n",
@@ -149,7 +174,11 @@ impl LineDiff {
                         k += 1;
                     }
                 }
-                EditOp::Insert { a_pos, b_start, len } => {
+                EditOp::Insert {
+                    a_pos,
+                    b_start,
+                    len,
+                } => {
                     out.push_str(&format!("{}a{}\n", a_pos, range(b_start, len)));
                     for line in &self.new_lines[b_start..b_start + len] {
                         out.push_str("> ");

@@ -45,7 +45,10 @@ pub fn jaccard<T: PartialEq + Clone>(a: &[T], b: &[T]) -> f64 {
     let mut b_pool: Vec<Option<&T>> = b.iter().map(Some).collect();
     let mut inter = 0usize;
     for x in a {
-        if let Some(slot) = b_pool.iter_mut().find(|s| s.map(|y| y == x).unwrap_or(false)) {
+        if let Some(slot) = b_pool
+            .iter_mut()
+            .find(|s| s.map(|y| y == x).unwrap_or(false))
+        {
             *slot = None;
             inter += 1;
         }

@@ -48,7 +48,11 @@ pub fn myers_diff<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
     let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
     match myers_core(core_a, core_b) {
         Some(core_pairs) => {
-            pairs.extend(core_pairs.into_iter().map(|(i, j)| (i + prefix, j + prefix)));
+            pairs.extend(
+                core_pairs
+                    .into_iter()
+                    .map(|(i, j)| (i + prefix, j + prefix)),
+            );
         }
         None => {
             // Edit distance exceeded the cap: treat the middle as a full
@@ -223,7 +227,9 @@ mod tests {
     fn matches_lcs_length_on_random_inputs() {
         let mut state = 0xC0FFEEu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for trial in 0..40 {

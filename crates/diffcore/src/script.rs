@@ -92,9 +92,15 @@ impl Alignment {
     pub fn new(pairs: Vec<(usize, usize)>, n: usize, m: usize) -> Alignment {
         let mut last: Option<(usize, usize)> = None;
         for &(i, j) in &pairs {
-            assert!(i < n && j < m, "alignment pair ({i},{j}) out of bounds ({n},{m})");
+            assert!(
+                i < n && j < m,
+                "alignment pair ({i},{j}) out of bounds ({n},{m})"
+            );
             if let Some((pi, pj)) = last {
-                assert!(i > pi && j > pj, "alignment pairs must be strictly increasing");
+                assert!(
+                    i > pi && j > pj,
+                    "alignment pairs must be strictly increasing"
+                );
             }
             last = Some((i, j));
         }
@@ -186,7 +192,11 @@ impl Alignment {
 
         for (idx, op) in script.ops.iter().enumerate() {
             match *op {
-                EditOp::Equal { a_start, b_start, len } => {
+                EditOp::Equal {
+                    a_start,
+                    b_start,
+                    len,
+                } => {
                     if let Some(h) = current.as_mut() {
                         if len <= 2 * context && idx + 1 < script.ops.len() {
                             // Short equal run between changes: keep inside.
@@ -209,14 +219,22 @@ impl Alignment {
                         }
                     }
                 }
-                EditOp::Delete { a_start, len, b_pos } => {
+                EditOp::Delete {
+                    a_start,
+                    len,
+                    b_pos,
+                } => {
                     let h = current.get_or_insert_with(|| {
                         open_hunk(&script.ops[..idx], a_start, b_pos, context)
                     });
                     h.ops.push(*op);
                     h.a_len += len;
                 }
-                EditOp::Insert { a_pos, b_start, len } => {
+                EditOp::Insert {
+                    a_pos,
+                    b_start,
+                    len,
+                } => {
                     let h = current.get_or_insert_with(|| {
                         open_hunk(&script.ops[..idx], a_pos, b_start, context)
                     });
@@ -242,7 +260,12 @@ fn open_hunk(prior_ops: &[EditOp], a_pos: usize, b_pos: usize, context: usize) -
         b_len: 0,
         ops: Vec::new(),
     };
-    if let Some(EditOp::Equal { a_start, b_start, len }) = prior_ops.last().copied() {
+    if let Some(EditOp::Equal {
+        a_start,
+        b_start,
+        len,
+    }) = prior_ops.last().copied()
+    {
         let take = len.min(context);
         if take > 0 {
             h.a_start = a_start + len - take;
@@ -306,7 +329,14 @@ mod tests {
     fn identity_script_is_one_equal_op() {
         let a = [1, 2, 3];
         let s = align(&a, &a).script();
-        assert_eq!(s.ops, vec![EditOp::Equal { a_start: 0, b_start: 0, len: 3 }]);
+        assert_eq!(
+            s.ops,
+            vec![EditOp::Equal {
+                a_start: 0,
+                b_start: 0,
+                len: 3
+            }]
+        );
         assert!(align(&a, &a).is_identity());
     }
 
@@ -315,9 +345,23 @@ mod tests {
         let a: [i32; 0] = [];
         let b = [1, 2];
         let s = align(&a, &b).script();
-        assert_eq!(s.ops, vec![EditOp::Insert { a_pos: 0, b_start: 0, len: 2 }]);
+        assert_eq!(
+            s.ops,
+            vec![EditOp::Insert {
+                a_pos: 0,
+                b_start: 0,
+                len: 2
+            }]
+        );
         let s = align(&b, &a).script();
-        assert_eq!(s.ops, vec![EditOp::Delete { a_start: 0, len: 2, b_pos: 0 }]);
+        assert_eq!(
+            s.ops,
+            vec![EditOp::Delete {
+                a_start: 0,
+                len: 2,
+                b_pos: 0
+            }]
+        );
     }
 
     #[test]
@@ -333,16 +377,28 @@ mod tests {
         let mut bi = 0;
         for op in &s.ops {
             match *op {
-                EditOp::Equal { a_start, b_start, len } => {
+                EditOp::Equal {
+                    a_start,
+                    b_start,
+                    len,
+                } => {
                     assert_eq!((a_start, b_start), (ai, bi));
                     ai += len;
                     bi += len;
                 }
-                EditOp::Delete { a_start, len, b_pos } => {
+                EditOp::Delete {
+                    a_start,
+                    len,
+                    b_pos,
+                } => {
                     assert_eq!((a_start, b_pos), (ai, bi));
                     ai += len;
                 }
-                EditOp::Insert { a_pos, b_start, len } => {
+                EditOp::Insert {
+                    a_pos,
+                    b_start,
+                    len,
+                } => {
                     assert_eq!((a_pos, b_start), (ai, bi));
                     bi += len;
                 }
@@ -380,7 +436,11 @@ mod tests {
         b[10] = 99;
         b[14] = 98; // gap of 3 equals, context 3 → merged
         let hunks = align(&a, &b).hunks(3);
-        assert_eq!(hunks.len(), 1, "changes 4 apart with context 3 share a hunk");
+        assert_eq!(
+            hunks.len(),
+            1,
+            "changes 4 apart with context 3 share a hunk"
+        );
     }
 
     #[test]

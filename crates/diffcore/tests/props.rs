@@ -20,7 +20,13 @@ fn small_seq() -> impl Strategy<Value = Vec<u8>> {
 
 fn text_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec(
-        prop_oneof![Just("alpha"), Just("beta"), Just("gamma"), Just("<P>"), Just("")],
+        prop_oneof![
+            Just("alpha"),
+            Just("beta"),
+            Just("gamma"),
+            Just("<P>"),
+            Just("")
+        ],
         0..30,
     )
     .prop_map(|words| {

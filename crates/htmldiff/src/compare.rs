@@ -222,7 +222,10 @@ mod tests {
         let b = first_sentence("word plus nine more words to stretch the length out");
         let screened = CompareOptions::default();
         assert_eq!(sentence_match_weight(&a, &b, &screened), 0);
-        let unscreened = CompareOptions { length_screen: None, ..screened };
+        let unscreened = CompareOptions {
+            length_screen: None,
+            ..screened
+        };
         // Without the screen the inner LCS runs; ratio 2*1/11 fails anyway.
         assert_eq!(sentence_match_weight(&a, &b, &unscreened), 0);
     }
@@ -232,8 +235,14 @@ mod tests {
         let a = first_sentence("one two three four five six");
         let b = first_sentence("one two NEW four NEW NEW");
         // LCS = one,two,four → W=3, L=12, ratio 0.5.
-        let strict = CompareOptions { match_threshold: 0.6, length_screen: None };
-        let lax = CompareOptions { match_threshold: 0.5, length_screen: None };
+        let strict = CompareOptions {
+            match_threshold: 0.6,
+            length_screen: None,
+        };
+        let lax = CompareOptions {
+            match_threshold: 0.5,
+            length_screen: None,
+        };
         assert_eq!(sentence_match_weight(&a, &b, &strict), 0);
         assert_eq!(sentence_match_weight(&a, &b, &lax), 3);
     }
@@ -312,7 +321,10 @@ mod tests {
         let without = compare_tokens(
             &old,
             &new,
-            &CompareOptions { length_screen: None, ..CompareOptions::default() },
+            &CompareOptions {
+                length_screen: None,
+                ..CompareOptions::default()
+            },
         );
         assert!(with.screened_out > 0);
         assert!(without.screened_out == 0);

@@ -82,10 +82,18 @@ pub fn segments(alignment: &TokenAlignment) -> Vec<Segment> {
     let mut pair_idx = 0usize;
     for op in script.ops {
         match op {
-            EditOp::Equal { a_start, b_start, len } => {
+            EditOp::Equal {
+                a_start,
+                b_start,
+                len,
+            } => {
                 let mut pairs = Vec::with_capacity(len);
                 for k in 0..len {
-                    let identical = alignment.identical.get(pair_idx + k).copied().unwrap_or(false);
+                    let identical = alignment
+                        .identical
+                        .get(pair_idx + k)
+                        .copied()
+                        .unwrap_or(false);
                     pairs.push((a_start + k, b_start + k, identical));
                 }
                 pair_idx += len;
@@ -114,7 +122,8 @@ pub fn old_run_has_content(old: &[DiffToken], idxs: &[usize]) -> bool {
 
 /// Whether a new-only run contains content (sentences with any items).
 pub fn new_run_has_content(new: &[DiffToken], idxs: &[usize]) -> bool {
-    idxs.iter().any(|&i| matches!(&new[i], DiffToken::Sentence(s) if !s.is_empty()))
+    idxs.iter()
+        .any(|&i| matches!(&new[i], DiffToken::Sentence(s) if !s.is_empty()))
 }
 
 /// Renders markup for an arrow site: a named anchor chained to the next
@@ -220,7 +229,10 @@ mod tests {
         assert!(a0.contains("NAME=\"diff0\""));
         assert!(a0.contains("HREF=\"#diff1\""));
         let last = arrow(2, 3, "red.gif", "old");
-        assert!(last.contains("HREF=\"#difftop\""), "last arrow wraps to banner: {last}");
+        assert!(
+            last.contains("HREF=\"#difftop\""),
+            "last arrow wraps to banner: {last}"
+        );
     }
 
     #[test]

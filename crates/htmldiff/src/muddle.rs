@@ -156,8 +156,10 @@ mod tests {
     #[test]
     fn alternating_changes_are_muddled() {
         // Every other sentence replaced: high interleave.
-        let old = "<P>k1 k1 k1. x1 x1 x1. k2 k2 k2. x2 x2 x2. k3 k3 k3. x3 x3 x3. k4 k4 k4. x4 x4 x4.";
-        let new = "<P>k1 k1 k1. y1 y1 y1. k2 k2 k2. y2 y2 y2. k3 k3 k3. y3 y3 y3. k4 k4 k4. y4 y4 y4.";
+        let old =
+            "<P>k1 k1 k1. x1 x1 x1. k2 k2 k2. x2 x2 x2. k3 k3 k3. x3 x3 x3. k4 k4 k4. x4 x4 x4.";
+        let new =
+            "<P>k1 k1 k1. y1 y1 y1. k2 k2 k2. y2 y2 y2. k3 k3 k3. y3 y3 y3. k4 k4 k4. y4 y4 y4.";
         let r = report(old, new);
         assert!(r.changed_runs >= 4, "runs {}", r.changed_runs);
         assert!(r.muddle > 0.6, "muddle {}", r.muddle);
@@ -167,11 +169,26 @@ mod tests {
     #[test]
     fn thresholds_gate_correctly() {
         let t = MuddleThresholds::default();
-        let calm = MuddleReport { changed_fraction: 0.1, muddle: 0.9, changed_runs: 3 };
-        assert!(!calm.too_muddled(&t), "small change, even scattered, is fine");
-        let replaced = MuddleReport { changed_fraction: 0.95, muddle: 0.1, changed_runs: 1 };
+        let calm = MuddleReport {
+            changed_fraction: 0.1,
+            muddle: 0.9,
+            changed_runs: 3,
+        };
+        assert!(
+            !calm.too_muddled(&t),
+            "small change, even scattered, is fine"
+        );
+        let replaced = MuddleReport {
+            changed_fraction: 0.95,
+            muddle: 0.1,
+            changed_runs: 1,
+        };
         assert!(replaced.too_muddled(&t));
-        let woven = MuddleReport { changed_fraction: 0.5, muddle: 0.8, changed_runs: 9 };
+        let woven = MuddleReport {
+            changed_fraction: 0.5,
+            muddle: 0.8,
+            changed_runs: 9,
+        };
         assert!(woven.too_muddled(&t));
     }
 

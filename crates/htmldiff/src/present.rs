@@ -317,7 +317,11 @@ fn render_only_differences(
 ) -> String {
     let mut out = String::new();
     if opts.banner {
-        out.push_str(&banner(stats.difference_sites, &opts.old_label, &opts.new_label));
+        out.push_str(&banner(
+            stats.difference_sites,
+            &opts.old_label,
+            &opts.new_label,
+        ));
     }
     let mut in_change = false;
     for seg in segs {
@@ -394,7 +398,11 @@ fn render_side_by_side(
 ) -> String {
     let mut out = String::new();
     if opts.banner {
-        out.push_str(&banner(stats.difference_sites, &opts.old_label, &opts.new_label));
+        out.push_str(&banner(
+            stats.difference_sites,
+            &opts.old_label,
+            &opts.new_label,
+        ));
     }
     out.push_str("<TABLE BORDER=1 WIDTH=\"100%\">\n");
     out.push_str(&format!(
@@ -569,7 +577,9 @@ mod tests {
         let r = diff("<P>old stays.", "<P>old stays. brand new sentence!");
         assert_eq!(r.stats.new_only_sentences, 1);
         assert_eq!(r.stats.difference_sites, 1);
-        assert!(r.html.contains("<STRONG><I>brand new sentence!</I></STRONG>"));
+        assert!(r
+            .html
+            .contains("<STRONG><I>brand new sentence!</I></STRONG>"));
         assert!(r.html.contains("aide-green-arrow"));
         assert!(!r.html.contains("aide-red-arrow"));
     }
@@ -588,7 +598,11 @@ mod tests {
             r#"<P>keep this. also <A HREF="dead.html">a doomed link</A> went away."#,
             "<P>keep this.",
         );
-        assert!(!r.html.contains("dead.html"), "old hrefs must be elided: {}", r.html);
+        assert!(
+            !r.html.contains("dead.html"),
+            "old hrefs must be elided: {}",
+            r.html
+        );
         assert!(r.html.contains("<STRIKE>"));
     }
 
@@ -635,7 +649,10 @@ mod tests {
 
     #[test]
     fn inline_word_diff_marks_words() {
-        let opts = Options { inline_word_diff: true, ..Options::default() };
+        let opts = Options {
+            inline_word_diff: true,
+            ..Options::default()
+        };
         let r = html_diff(
             "<P>the meeting is on Monday at noon.",
             "<P>the meeting is on Friday at noon.",
@@ -668,7 +685,11 @@ mod tests {
             presentation: Presentation::NewOnly,
             ..Options::default()
         };
-        let r = html_diff("<P>stays. vanishes entirely!", "<P>stays. appears now!", &opts);
+        let r = html_diff(
+            "<P>stays. vanishes entirely!",
+            "<P>stays. appears now!",
+            &opts,
+        );
         assert!(!r.html.contains("STRIKE"));
         assert!(!r.html.contains("vanishes"));
         assert!(r.html.contains("<STRONG><I>appears now!</I></STRONG>"));
@@ -687,11 +708,14 @@ mod tests {
         );
         // Reversed: the *new* text is struck out, the *old* emphasized.
         assert!(
-            r.html.contains("<STRIKE>utterly fresh material arrives!</STRIKE>"),
+            r.html
+                .contains("<STRIKE>utterly fresh material arrives!</STRIKE>"),
             "{}",
             r.html
         );
-        assert!(r.html.contains("<STRONG><I>completely doomed sentence!</I></STRONG>"));
+        assert!(r
+            .html
+            .contains("<STRONG><I>completely doomed sentence!</I></STRONG>"));
     }
 
     #[test]
@@ -725,7 +749,10 @@ mod tests {
         );
         // Common text appears in both columns of one row.
         assert_eq!(r.html.matches("shared context.").count(), 2, "{}", r.html);
-        assert_eq!(r.html.matches("<TR>").count(), r.html.matches("</TR>").count());
+        assert_eq!(
+            r.html.matches("<TR>").count(),
+            r.html.matches("</TR>").count()
+        );
     }
 
     #[test]
@@ -761,7 +788,10 @@ mod tests {
 
     #[test]
     fn banner_can_be_disabled() {
-        let opts = Options { banner: false, ..Options::default() };
+        let opts = Options {
+            banner: false,
+            ..Options::default()
+        };
         let r = html_diff("<P>a b c.", "<P>a b d.", &opts);
         assert!(!r.html.contains("AIDE HtmlDiff"));
     }

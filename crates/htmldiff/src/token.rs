@@ -233,7 +233,9 @@ mod tests {
         assert!(b.is_break());
         assert!(b.as_break().is_some());
         assert!(b.as_sentence().is_none());
-        let s = DiffToken::Sentence(Sentence { items: vec![word("x")] });
+        let s = DiffToken::Sentence(Sentence {
+            items: vec![word("x")],
+        });
         assert!(!s.is_break());
         assert!(s.as_sentence().is_some());
     }

@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn sentences_split_on_punctuation() {
         let tokens = tokenize("First one. Second one! Third?");
-        assert_eq!(sentences(&tokens), vec!["First one.", "Second one!", "Third?"]);
+        assert_eq!(
+            sentences(&tokens),
+            vec!["First one.", "Second one!", "Third?"]
+        );
     }
 
     #[test]

@@ -25,10 +25,52 @@ pub struct MarkupClass {
 
 /// Block-level / structural tags that break sentences.
 const SENTENCE_BREAKING: &[&str] = &[
-    "HTML", "HEAD", "BODY", "TITLE", "P", "BR", "HR", "H1", "H2", "H3", "H4", "H5", "H6", "UL",
-    "OL", "LI", "DL", "DT", "DD", "DIR", "MENU", "PRE", "BLOCKQUOTE", "ADDRESS", "TABLE", "TR",
-    "TD", "TH", "CAPTION", "FORM", "CENTER", "DIV", "ISINDEX", "META", "LINK", "BASE", "XMP",
-    "LISTING", "PLAINTEXT", "FRAME", "FRAMESET", "NOFRAMES", "MAP", "AREA", "SELECT", "OPTION",
+    "HTML",
+    "HEAD",
+    "BODY",
+    "TITLE",
+    "P",
+    "BR",
+    "HR",
+    "H1",
+    "H2",
+    "H3",
+    "H4",
+    "H5",
+    "H6",
+    "UL",
+    "OL",
+    "LI",
+    "DL",
+    "DT",
+    "DD",
+    "DIR",
+    "MENU",
+    "PRE",
+    "BLOCKQUOTE",
+    "ADDRESS",
+    "TABLE",
+    "TR",
+    "TD",
+    "TH",
+    "CAPTION",
+    "FORM",
+    "CENTER",
+    "DIV",
+    "ISINDEX",
+    "META",
+    "LINK",
+    "BASE",
+    "XMP",
+    "LISTING",
+    "PLAINTEXT",
+    "FRAME",
+    "FRAMESET",
+    "NOFRAMES",
+    "MAP",
+    "AREA",
+    "SELECT",
+    "OPTION",
     "TEXTAREA",
 ];
 

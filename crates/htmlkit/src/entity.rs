@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn unterminated_entity_passes_through() {
-        assert_eq!(decode_entities("&ampersand with no semi"), "&ampersand with no semi");
+        assert_eq!(
+            decode_entities("&ampersand with no semi"),
+            "&ampersand with no semi"
+        );
     }
 
     #[test]

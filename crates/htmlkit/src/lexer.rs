@@ -57,7 +57,8 @@ impl Tag {
 
     /// Adds an attribute (builder style).
     pub fn with_attr(mut self, name: &str, value: &str) -> Tag {
-        self.attrs.push((name.to_ascii_uppercase(), Some(value.to_string())));
+        self.attrs
+            .push((name.to_ascii_uppercase(), Some(value.to_string())));
         self
     }
 
@@ -86,7 +87,9 @@ impl Tag {
     /// sentence-breaking markup match uses: "identical (modulo whitespace,
     /// case, and reordering of (variable,value) pairs)".
     pub fn matches_modulo_order(&self, other: &Tag) -> bool {
-        if self.name != other.name || self.kind != other.kind || self.attrs.len() != other.attrs.len()
+        if self.name != other.name
+            || self.kind != other.kind
+            || self.attrs.len() != other.attrs.len()
         {
             return false;
         }
@@ -252,7 +255,8 @@ fn parse_tag(html: &str, start: usize) -> Option<(Tag, usize)> {
         i += 1;
     }
     let name_start = i;
-    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'.')
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'.')
     {
         i += 1;
     }
@@ -398,7 +402,13 @@ mod tests {
         assert_eq!(tag.attr("SRC"), Some("a.gif"));
         assert_eq!(tag.attr("ALT"), Some("red arrow"));
         assert_eq!(tag.attr("WIDTH"), Some("16"));
-        assert_eq!(tag.attrs.iter().find(|(n, _)| n == "ISMAP").map(|(_, v)| v.clone()), Some(None));
+        assert_eq!(
+            tag.attrs
+                .iter()
+                .find(|(n, _)| n == "ISMAP")
+                .map(|(_, v)| v.clone()),
+            Some(None)
+        );
     }
 
     #[test]
@@ -469,10 +479,19 @@ mod tests {
 
     #[test]
     fn matches_modulo_order() {
-        let a = lex(r#"<TABLE BORDER=1 WIDTH="90%">"#)[0].as_tag().unwrap().clone();
-        let b = lex(r#"<table width="90%" border=1>"#)[0].as_tag().unwrap().clone();
+        let a = lex(r#"<TABLE BORDER=1 WIDTH="90%">"#)[0]
+            .as_tag()
+            .unwrap()
+            .clone();
+        let b = lex(r#"<table width="90%" border=1>"#)[0]
+            .as_tag()
+            .unwrap()
+            .clone();
         assert!(a.matches_modulo_order(&b));
-        let c = lex(r#"<TABLE BORDER=2 WIDTH="90%">"#)[0].as_tag().unwrap().clone();
+        let c = lex(r#"<TABLE BORDER=2 WIDTH="90%">"#)[0]
+            .as_tag()
+            .unwrap()
+            .clone();
         assert!(!a.matches_modulo_order(&c));
     }
 

@@ -183,11 +183,19 @@ mod tests {
 
     #[test]
     fn base_tag_overrides() {
-        let tokens = lex(r#"<A HREF="one.html">1</A><BASE HREF="http://other/sub/"><A HREF="two.html">2</A>"#);
+        let tokens = lex(
+            r#"<A HREF="one.html">1</A><BASE HREF="http://other/sub/"><A HREF="two.html">2</A>"#,
+        );
         let links = extract_links(&tokens, Some(&base()));
-        let anchors: Vec<_> = links.iter().filter(|l| l.kind == LinkKind::Anchor).collect();
+        let anchors: Vec<_> = links
+            .iter()
+            .filter(|l| l.kind == LinkKind::Anchor)
+            .collect();
         assert_eq!(anchors[0].resolved.as_ref().unwrap().host, "host");
-        assert_eq!(anchors[1].resolved.as_ref().unwrap().to_string(), "http://other/sub/two.html");
+        assert_eq!(
+            anchors[1].resolved.as_ref().unwrap().to_string(),
+            "http://other/sub/two.html"
+        );
     }
 
     #[test]
@@ -200,11 +208,9 @@ mod tests {
 
     #[test]
     fn followable_dedups_and_drops_fragments() {
-        let tokens = lex(
-            r#"<A HREF="x.html#a">1</A><A HREF="x.html#b">2</A>
+        let tokens = lex(r#"<A HREF="x.html#a">1</A><A HREF="x.html#b">2</A>
                <A HREF="mailto:douglis@research.att.com">mail</A>
-               <IMG SRC="pic.gif">"#,
-        );
+               <IMG SRC="pic.gif">"#);
         let urls = extract_followable(&tokens, &base());
         assert_eq!(urls.len(), 1);
         assert_eq!(urls[0].to_string(), "http://host/dir/x.html");

@@ -125,8 +125,14 @@ mod tests {
     #[test]
     fn split_counts_and_flags() {
         let w = split_words("One two. Three");
-        assert_eq!(w.iter().map(|x| x.text.as_str()).collect::<Vec<_>>(), vec!["One", "two.", "Three"]);
-        assert_eq!(w.iter().map(|x| x.ends_sentence).collect::<Vec<_>>(), vec![false, true, false]);
+        assert_eq!(
+            w.iter().map(|x| x.text.as_str()).collect::<Vec<_>>(),
+            vec!["One", "two.", "Three"]
+        );
+        assert_eq!(
+            w.iter().map(|x| x.ends_sentence).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
     }
 
     #[test]

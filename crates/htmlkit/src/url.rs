@@ -65,15 +65,16 @@ impl Url {
             || !scheme
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
-            || !scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+            || !scheme
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
         {
             return Err(UrlError(format!("{s:?}: invalid scheme")));
         }
         let rest = &s[colon + 1..];
         let (host, port, after_authority) = if let Some(auth_rest) = rest.strip_prefix("//") {
-            let auth_end = auth_rest
-                .find(['/', '?', '#'])
-                .unwrap_or(auth_rest.len());
+            let auth_end = auth_rest.find(['/', '?', '#']).unwrap_or(auth_rest.len());
             let authority = &auth_rest[..auth_end];
             let (host, port) = match authority.rfind(':') {
                 Some(i) => {
@@ -161,7 +162,10 @@ impl Url {
         if let Some(colon) = reference.find(':') {
             let scheme = &reference[..colon];
             if !scheme.is_empty()
-                && scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+                && scheme
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic())
                 && scheme
                     .chars()
                     .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
@@ -321,14 +325,21 @@ mod tests {
     #[test]
     fn join_relative_document() {
         let base = Url::parse("http://h/dir/page.html").unwrap();
-        assert_eq!(base.join("other.html").unwrap().to_string(), "http://h/dir/other.html");
+        assert_eq!(
+            base.join("other.html").unwrap().to_string(),
+            "http://h/dir/other.html"
+        );
     }
 
     #[test]
     fn join_dotdot_chains() {
         let base = Url::parse("http://h/a/b/c/d.html").unwrap();
         assert_eq!(base.join("../../x.html").unwrap().path, "/a/x.html");
-        assert_eq!(base.join("../../../../x.html").unwrap().path, "/x.html", "over-popping clamps at root");
+        assert_eq!(
+            base.join("../../../../x.html").unwrap().path,
+            "/x.html",
+            "over-popping clamps at root"
+        );
         assert_eq!(base.join("./y.html").unwrap().path, "/a/b/c/y.html");
     }
 
@@ -351,7 +362,10 @@ mod tests {
     #[test]
     fn join_query_and_fragment() {
         let base = Url::parse("http://h/cgi-bin/s").unwrap();
-        assert_eq!(base.join("?q=web").unwrap().to_string(), "http://h/cgi-bin/s?q=web");
+        assert_eq!(
+            base.join("?q=web").unwrap().to_string(),
+            "http://h/cgi-bin/s?q=web"
+        );
         let f = base.join("#middle").unwrap();
         assert_eq!(f.fragment.as_deref(), Some("middle"));
         assert_eq!(f.path, "/cgi-bin/s");

@@ -1,0 +1,26 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element` values with lengths in `size`
+/// (half-open, like proptest's `SizeRange` from a `Range`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,258 @@
+//! An offline, in-tree subset of the [proptest](https://crates.io/crates/proptest)
+//! API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of proptest its property tests
+//! actually use: the [`proptest!`] macro, `prop_assert*` / `prop_assume`,
+//! [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`], `Just`,
+//! integer-range and regex-string strategies, `collection::vec`,
+//! `option::of` and `any::<T>()`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its case index and seed;
+//!   cases are deterministic per (test name, case index), so failures
+//!   reproduce exactly under `cargo test`.
+//! - **Regex strategies** support the subset the tests use: literals,
+//!   escapes, `.`, character classes with ranges, groups, and the
+//!   `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers. No alternation.
+//! - `ProptestConfig` carries only `cases`.
+
+pub mod collection;
+pub mod option;
+pub mod regex;
+pub mod rng;
+pub mod strategy;
+
+pub use rng::TestRng;
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried with new
+    /// inputs and does not count against the case budget.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    name: &'static str,
+    cases: u32,
+    passed: u32,
+    attempts: u32,
+    current_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        TestRunner {
+            name,
+            cases: config.cases,
+            passed: 0,
+            attempts: 0,
+            current_seed: 0,
+        }
+    }
+
+    /// The RNG for the next case, or `None` when the budget is met.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.passed >= self.cases {
+            return None;
+        }
+        if self.attempts >= self.cases.saturating_mul(20).max(100) {
+            panic!(
+                "{}: too many prop_assume! rejections ({} attempts for {} cases)",
+                self.name, self.attempts, self.cases
+            );
+        }
+        // Deterministic per (test name, attempt): failures reproduce.
+        let seed =
+            rng::hash_seed(self.name) ^ (self.attempts as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.attempts += 1;
+        self.current_seed = seed;
+        Some(TestRng::new(seed))
+    }
+
+    /// Records the outcome of the case issued by the last `next_case`.
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "{}: property failed at case {} (seed {:#x}): {}",
+                self.name, self.attempts, self.current_seed, msg
+            ),
+        }
+    }
+}
+
+/// The strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// That strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = ::std::ops::Range<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..<$t>::MAX
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, TestCaseError, TestRunner,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+                while let Some(mut rng) = runner.next_case() {
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    runner.finish_case(outcome);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property test; failures report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case's inputs; the runner retries with new ones.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $s;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    }};
+}

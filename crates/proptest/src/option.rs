@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A strategy for `Option<T>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some(value)` three times out of four, `None` otherwise
+/// (mirroring proptest's some-biased default).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) < 3 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! A generator for the regex subset the workspace's string strategies
+//! use: literals, `\`-escapes, `.`, character classes with ranges,
+//! non-capturing use of `(...)` groups, and the `{m,n}` / `{n}` / `?` /
+//! `*` / `+` quantifiers. Alternation (`|`) and anchors are not
+//! supported — no strategy in the tree uses them.
+
+use crate::TestRng;
+
+const PRINTABLE: (char, char) = (' ', '~');
+/// Open repetition operators (`*`, `+`) are capped here.
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Expanded character alternatives.
+    Class(Vec<char>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled generator for one pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    seq: Vec<Quantified>,
+}
+
+impl RegexGen {
+    /// Compiles `pattern`; panics on syntax outside the supported subset
+    /// (a test-authoring error, not a runtime condition).
+    pub fn compile(pattern: &str) -> RegexGen {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.reverse(); // pop() from the front
+        let seq = parse_seq(&mut chars, pattern);
+        assert!(
+            chars.is_empty(),
+            "unbalanced ')' in regex strategy {pattern:?}"
+        );
+        RegexGen { seq }
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+fn emit_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let n = rng.in_range(q.min as u64, q.max as u64 + 1) as u32;
+        for _ in 0..n {
+            match &q.node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(alts) => {
+                    let i = rng.below(alts.len() as u64) as usize;
+                    out.push(alts[i]);
+                }
+                Node::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses until end of input or a closing `)` (which is consumed by the
+/// `(`-handling caller's recursion exit).
+fn parse_seq(chars: &mut Vec<char>, pattern: &str) -> Vec<Quantified> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c == ')' {
+            break;
+        }
+        chars.pop();
+        let node = match c {
+            '[' => Node::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(
+                    chars.pop(),
+                    Some(')'),
+                    "unclosed '(' in regex strategy {pattern:?}"
+                );
+                Node::Group(inner)
+            }
+            '\\' => {
+                Node::Lit(unescape(chars.pop().unwrap_or_else(|| {
+                    panic!("dangling '\\' in regex strategy {pattern:?}")
+                })))
+            }
+            '.' => {
+                let (lo, hi) = PRINTABLE;
+                Node::Class((lo..=hi).collect())
+            }
+            '|' => panic!("alternation is not supported in regex strategy {pattern:?}"),
+            other => Node::Lit(other),
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        seq.push(Quantified { node, min, max });
+    }
+    seq
+}
+
+fn parse_class(chars: &mut Vec<char>, pattern: &str) -> Vec<char> {
+    let mut alts = Vec::new();
+    loop {
+        let c = chars
+            .pop()
+            .unwrap_or_else(|| panic!("unclosed '[' in regex strategy {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => alts.push(unescape(chars.pop().unwrap_or_else(|| {
+                panic!("dangling '\\' in class in regex strategy {pattern:?}")
+            }))),
+            lo => {
+                // Range `lo-hi` when a '-' follows with a bound after it;
+                // otherwise a literal (covers trailing '-' and "[a-z .]").
+                if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']' {
+                    chars.pop();
+                    let hi = chars.pop().expect("checked above");
+                    assert!(lo <= hi, "inverted range in regex strategy {pattern:?}");
+                    alts.extend(lo..=hi);
+                } else {
+                    alts.push(lo);
+                }
+            }
+        }
+    }
+    assert!(
+        !alts.is_empty(),
+        "empty class in regex strategy {pattern:?}"
+    );
+    alts
+}
+
+fn parse_quantifier(chars: &mut Vec<char>, pattern: &str) -> (u32, u32) {
+    match chars.last() {
+        Some('?') => {
+            chars.pop();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.pop();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.pop();
+            (1, UNBOUNDED_MAX)
+        }
+        Some('{') => {
+            chars.pop();
+            let mut body = String::new();
+            loop {
+                match chars.pop() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("unclosed '{{' in regex strategy {pattern:?}"),
+                }
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad bound {s:?} in regex strategy {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        RegexGen::compile(pattern).generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}", seed);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        for seed in 0..50 {
+            let s = gen("[ -~]{0,40}", seed);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_dot() {
+        for seed in 0..50 {
+            let s = gen("[a-z0-9./]{0,20}", seed);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '/'));
+        }
+    }
+
+    #[test]
+    fn optional_group_with_escape() {
+        let mut saw_domain = false;
+        let mut saw_bare = false;
+        for seed in 0..80 {
+            let s = gen("[a-z]{1,8}(\\.[a-z]{2,3})?", seed);
+            if let Some((host, tld)) = s.split_once('.') {
+                assert!((1..=8).contains(&host.len()));
+                assert!((2..=3).contains(&tld.len()));
+                saw_domain = true;
+            } else {
+                saw_bare = true;
+            }
+        }
+        assert!(saw_domain && saw_bare, "both arms of '?' exercised");
+    }
+
+    #[test]
+    fn repeated_group() {
+        for seed in 0..50 {
+            let s = gen("(/[a-z0-9]{1,6}){0,4}", seed);
+            if !s.is_empty() {
+                assert!(s.starts_with('/'));
+                assert!(s.split('/').skip(1).all(|seg| (1..=6).contains(&seg.len())));
+                assert!(s.split('/').skip(1).count() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let s = gen("ab[01]{3}z", 7);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+    }
+}

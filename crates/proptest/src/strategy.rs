@@ -1,0 +1,164 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::regex::RegexGen;
+use crate::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A strategy generating exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// One type-erased variant of a [`Union`].
+pub type UnionVariant<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// The result of [`prop_oneof!`](crate::prop_oneof): a uniform choice
+/// among type-erased strategies.
+pub struct Union<T> {
+    variants: Vec<UnionVariant<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `variants` (must be nonempty).
+    pub fn new(variants: Vec<UnionVariant<T>>) -> Union<T> {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        (self.variants[i])(rng)
+    }
+}
+
+/// `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if self.is_empty() {
+                    return self.start;
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.below(span as u64) as u128
+                };
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals are regex strategies: `"[a-z]{1,8}" ` generates
+/// matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexGen::compile(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexGen::compile(self).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

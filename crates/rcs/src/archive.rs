@@ -323,8 +323,10 @@ mod tests {
 
     fn sample() -> Archive {
         let mut a = Archive::create("http://x/", "v1 line\ncommon\n", "alice", "first", t(0));
-        a.checkin("v2 line\ncommon\n", "bob", "second", t(1)).unwrap();
-        a.checkin("v3 line\ncommon\nextra\n", "alice", "third", t(2)).unwrap();
+        a.checkin("v2 line\ncommon\n", "bob", "second", t(1))
+            .unwrap();
+        a.checkin("v3 line\ncommon\nextra\n", "alice", "third", t(2))
+            .unwrap();
         a
     }
 
@@ -348,7 +350,9 @@ mod tests {
     fn unchanged_checkin_stores_nothing() {
         let mut a = sample();
         let before = a.len();
-        let out = a.checkin("v3 line\ncommon\nextra\n", "carol", "noop", t(3)).unwrap();
+        let out = a
+            .checkin("v3 line\ncommon\nextra\n", "carol", "noop", t(3))
+            .unwrap();
         assert_eq!(out, CheckinOutcome::Unchanged(RevId(3)));
         assert_eq!(a.len(), before);
     }
@@ -359,7 +363,10 @@ mod tests {
         assert_eq!(a.checkout(RevId(1)).unwrap(), "v1 line\ncommon\n");
         assert_eq!(a.checkout(RevId(2)).unwrap(), "v2 line\ncommon\n");
         assert_eq!(a.checkout(RevId(3)).unwrap(), "v3 line\ncommon\nextra\n");
-        assert!(matches!(a.checkout(RevId(9)), Err(ArchiveError::NoSuchRevision(_))));
+        assert!(matches!(
+            a.checkout(RevId(9)),
+            Err(ArchiveError::NoSuchRevision(_))
+        ));
     }
 
     #[test]
@@ -368,7 +375,9 @@ mod tests {
         assert_eq!(a.checkout_at(t(0)).unwrap().0, RevId(1));
         // Between rev 2 and rev 3.
         assert_eq!(
-            a.checkout_at(t(1) + aide_util::time::Duration::hours(5)).unwrap().0,
+            a.checkout_at(t(1) + aide_util::time::Duration::hours(5))
+                .unwrap()
+                .0,
             RevId(2)
         );
         assert_eq!(a.checkout_at(t(10)).unwrap().0, RevId(3));
@@ -388,7 +397,10 @@ mod tests {
     #[test]
     fn equal_date_checkin_allowed() {
         let mut a = sample();
-        assert!(a.checkin("same day edit\n", "x", "l", t(2)).unwrap().is_new());
+        assert!(a
+            .checkin("same day edit\n", "x", "l", t(2))
+            .unwrap()
+            .is_new());
     }
 
     #[test]
@@ -402,7 +414,10 @@ mod tests {
     fn diff_between_revisions() {
         let a = sample();
         let d = a.diff(RevId(1), RevId(3)).unwrap();
-        assert_eq!(d.apply("v1 line\ncommon\n").unwrap(), "v3 line\ncommon\nextra\n");
+        assert_eq!(
+            d.apply("v1 line\ncommon\n").unwrap(),
+            "v3 line\ncommon\nextra\n"
+        );
         let d_self = a.diff(RevId(2), RevId(2)).unwrap();
         assert!(d_self.is_empty());
     }
@@ -411,7 +426,9 @@ mod tests {
     fn storage_grows_sublinearly_for_small_edits() {
         // 50 revisions of a 100-line page, one line changed per revision:
         // reverse-delta storage must be far below 50 full copies.
-        let base: Vec<String> = (0..100).map(|i| format!("line {i} stable content here\n")).collect();
+        let base: Vec<String> = (0..100)
+            .map(|i| format!("line {i} stable content here\n"))
+            .collect();
         let mut a = Archive::create("u", &base.concat(), "w", "init", t(0));
         for rev in 1..50u64 {
             let mut lines = base.clone();
@@ -447,7 +464,10 @@ mod tests {
     #[test]
     fn text_len_recorded() {
         let a = sample();
-        assert_eq!(a.meta(RevId(1)).unwrap().text_len, "v1 line\ncommon\n".len());
+        assert_eq!(
+            a.meta(RevId(1)).unwrap().text_len,
+            "v1 line\ncommon\n".len()
+        );
         assert_eq!(a.meta(RevId(3)).unwrap().text_len, a.head_text().len());
     }
 }

@@ -75,7 +75,11 @@ impl Delta {
                         count: len,
                     });
                 }
-                EditOp::Insert { a_pos, b_start, len } => {
+                EditOp::Insert {
+                    a_pos,
+                    b_start,
+                    len,
+                } => {
                     edits.push(Edit::Add {
                         line: a_pos,
                         lines: diff.new_lines[b_start..b_start + len].to_vec(),
@@ -281,7 +285,13 @@ mod tests {
     #[test]
     fn insert_at_top() {
         let d = Delta::compute("b\n", "a\nb\n");
-        assert_eq!(d.edits, vec![Edit::Add { line: 0, lines: vec!["a\n".into()] }]);
+        assert_eq!(
+            d.edits,
+            vec![Edit::Add {
+                line: 0,
+                lines: vec!["a\n".into()]
+            }]
+        );
     }
 
     #[test]
@@ -297,7 +307,10 @@ mod tests {
         let d = Delta::compute("one\ntwo\nthree\nfour\n", "one\nTWO\nthree\nfive\nsix\n");
         let text = d.to_text();
         let parsed = Delta::parse(&text).unwrap();
-        assert_eq!(parsed.apply("one\ntwo\nthree\nfour\n").unwrap(), "one\nTWO\nthree\nfive\nsix\n");
+        assert_eq!(
+            parsed.apply("one\ntwo\nthree\nfour\n").unwrap(),
+            "one\nTWO\nthree\nfive\nsix\n"
+        );
     }
 
     #[test]
@@ -314,7 +327,10 @@ mod tests {
         };
         assert!(d.apply("one\n").is_err());
         let d = Delta {
-            edits: vec![Edit::Add { line: 9, lines: vec!["x\n".into()] }],
+            edits: vec![Edit::Add {
+                line: 9,
+                lines: vec!["x\n".into()],
+            }],
         };
         assert!(d.apply("one\n").is_err());
     }
@@ -343,6 +359,10 @@ mod tests {
         let mut edited = base.clone();
         edited.push_str("appended line\n");
         let d = Delta::compute(&base, &edited);
-        assert!(d.byte_size() < base.len() / 10, "delta should be tiny: {}", d.byte_size());
+        assert!(
+            d.byte_size() < base.len() / 10,
+            "delta should be tiny: {}",
+            d.byte_size()
+        );
     }
 }

@@ -115,9 +115,7 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -228,8 +226,7 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
     let mut c = Cursor { src: text, pos: 0 };
 
     c.expect_keyword("head")?;
-    let head = RevId::parse(c.word()?)
-        .ok_or_else(|| FormatError::new("bad head revision"))?;
+    let head = RevId::parse(c.word()?).ok_or_else(|| FormatError::new("bad head revision"))?;
     c.expect(';')?;
 
     // Optional admin phrases until the first revision number.
@@ -264,8 +261,8 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
         let rev = RevId::parse(c.word()?)
             .ok_or_else(|| FormatError::new("bad revision in delta table"))?;
         c.expect_keyword("date")?;
-        let date = Timestamp::parse_rcs_date(c.word()?)
-            .ok_or_else(|| FormatError::new("bad date"))?;
+        let date =
+            Timestamp::parse_rcs_date(c.word()?).ok_or_else(|| FormatError::new("bad date"))?;
         c.expect(';')?;
         c.expect_keyword("author")?;
         c.skip_ws();
@@ -315,8 +312,8 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
     let head_text = blocks.last().expect("nonempty").2.clone();
     let mut reverse_deltas = Vec::new();
     for (rev, _, body) in blocks.iter().take(blocks.len() - 1) {
-        let delta = Delta::parse(body)
-            .map_err(|e| FormatError::new(format!("delta for {rev}: {e}")))?;
+        let delta =
+            Delta::parse(body).map_err(|e| FormatError::new(format!("delta for {rev}: {e}")))?;
         reverse_deltas.push(delta);
     }
 
@@ -335,13 +332,15 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
         .into_iter()
         .zip(blocks.iter())
         .zip(lens)
-        .map(|(((id, date, author), (_, log, _)), text_len)| RevisionMeta {
-            id,
-            date,
-            author,
-            log: log.clone(),
-            text_len,
-        })
+        .map(
+            |(((id, date, author), (_, log, _)), text_len)| RevisionMeta {
+                id,
+                date,
+                author,
+                log: log.clone(),
+                text_len,
+            },
+        )
         .collect();
 
     Ok(Archive {
@@ -417,10 +416,14 @@ mod tests {
             "log with @ sign",
             t(0),
         );
-        a.checkin("now with @@ doubled already\n", "x@y", "l@g", t(1)).unwrap();
+        a.checkin("now with @@ doubled already\n", "x@y", "l@g", t(1))
+            .unwrap();
         let parsed = parse(&emit(&a)).unwrap();
         assert_eq!(parsed, a);
-        assert_eq!(parsed.checkout(RevId(1)).unwrap(), "email me @ douglis@research.att.com\n");
+        assert_eq!(
+            parsed.checkout(RevId(1)).unwrap(),
+            "email me @ douglis@research.att.com\n"
+        );
     }
 
     #[test]
@@ -432,11 +435,15 @@ mod tests {
     #[test]
     fn text_without_trailing_newline_roundtrips() {
         let mut a = Archive::create("d", "no newline at end", "me", "init", t(0));
-        a.checkin("still no newline at end, but changed", "me", "l", t(1)).unwrap();
+        a.checkin("still no newline at end, but changed", "me", "l", t(1))
+            .unwrap();
         a.checkin("now with newline\n", "me", "l", t(2)).unwrap();
         let parsed = parse(&emit(&a)).unwrap();
         assert_eq!(parsed.checkout(RevId(1)).unwrap(), "no newline at end");
-        assert_eq!(parsed.checkout(RevId(2)).unwrap(), "still no newline at end, but changed");
+        assert_eq!(
+            parsed.checkout(RevId(2)).unwrap(),
+            "still no newline at end, but changed"
+        );
     }
 
     #[test]
@@ -473,7 +480,13 @@ mod tests {
     fn many_revisions_roundtrip() {
         let mut a = Archive::create("d", "r1\n", "u", "init", t(0));
         for i in 2..=40u64 {
-            a.checkin(&format!("r{i}\nshared tail\n"), "u", &format!("rev {i}"), t(i)).unwrap();
+            a.checkin(
+                &format!("r{i}\nshared tail\n"),
+                "u",
+                &format!("rev {i}"),
+                t(i),
+            )
+            .unwrap();
         }
         let parsed = parse(&emit(&a)).unwrap();
         assert_eq!(parsed.len(), 40);

@@ -108,7 +108,9 @@ fn parse_keyword(s: &str) -> Option<(&'static str, usize)> {
 fn value_for(kw: &str, meta: &RevisionMeta, filename: &str) -> String {
     match kw {
         "Revision" => meta.id.to_string(),
-        "Date" => format!("{} ", meta.date.to_rcs_date()).trim_end().to_string(),
+        "Date" => format!("{} ", meta.date.to_rcs_date())
+            .trim_end()
+            .to_string(),
         "Author" => meta.author.clone(),
         "Source" => filename.to_string(),
         "Id" | "Header" => format!(
@@ -141,7 +143,10 @@ mod tests {
     #[test]
     fn expands_bare_keywords() {
         let out = expand("rev $Revision$ by $Author$ on $Date$", &meta(), "f.html");
-        assert_eq!(out, "rev $Revision: 1.7 $ by $Author: ball $ on $Date: 1995.12.24.18.00.00 $");
+        assert_eq!(
+            out,
+            "rev $Revision: 1.7 $ by $Author: ball $ on $Date: 1995.12.24.18.00.00 $"
+        );
     }
 
     #[test]

@@ -7,13 +7,34 @@
 //! real service kept RCS files in its CGI area. Both report the storage
 //! totals §7 measures ("the archive uses under 8 Mbytes of disk storage
 //! (an average of 14.3 Kbytes/URL)").
+//!
+//! # Concurrency
+//!
+//! Repositories are shared across the snapshot service's worker threads,
+//! so every operation takes `&self` and implementations must be
+//! [`Send`] + [`Sync`]. Archives come back as [`Arc<Archive>`] handles:
+//! readers (diff, history, view) share the stored revision data without
+//! copying it, and a check-in builds a new `Arc` that replaces the old
+//! one atomically — per-URL readers never observe a half-updated
+//! archive.
+//!
+//! [`MemRepository`] keeps its map in fixed shards, each behind its own
+//! `RwLock`, so operations on different URLs almost never touch the same
+//! lock. *Exclusion* between two writers of the same URL is not the
+//! repository's job: callers that read-modify-write an archive (the
+//! snapshot service's Remember path) serialize per URL with their own
+//! named locks, in shard-index order when they must span shards (see
+//! `aide-snapshot`'s `locks` module for the full ordering invariant).
 
 use crate::archive::Archive;
 use crate::format::{emit, parse, FormatError};
+use aide_util::checksum::fnv1a64;
+use aide_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Error from repository operations.
 #[derive(Debug)]
@@ -69,16 +90,17 @@ impl StorageStats {
     }
 }
 
-/// A keyed store of [`Archive`]s.
-pub trait Repository {
-    /// Loads the archive for `key`, if present.
-    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError>;
+/// A keyed, concurrently shareable store of [`Archive`]s.
+pub trait Repository: Send + Sync {
+    /// Loads a shared handle to the archive for `key`, if present.
+    fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError>;
 
-    /// Stores (creates or replaces) the archive for `key`.
-    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError>;
+    /// Stores (creates or replaces) the archive for `key`. Callers that
+    /// load-modify-store must provide their own per-key exclusion.
+    fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError>;
 
     /// Removes the archive for `key`; returns whether one existed.
-    fn remove(&mut self, key: &str) -> Result<bool, RepoError>;
+    fn remove(&self, key: &str) -> Result<bool, RepoError>;
 
     /// All keys, sorted.
     fn keys(&self) -> Result<Vec<String>, RepoError>;
@@ -91,52 +113,105 @@ pub trait Repository {
     fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError>;
 }
 
-/// An in-memory repository.
-#[derive(Debug, Default, Clone)]
+/// Number of independent buckets in [`MemRepository`]. Power of two,
+/// comfortably above typical core counts, so URL-distinct operations
+/// rarely share a lock.
+const MEM_SHARDS: usize = 64;
+
+/// An in-memory repository, sharded for concurrent access.
 pub struct MemRepository {
-    archives: BTreeMap<String, Archive>,
+    shards: Vec<RwLock<BTreeMap<String, Arc<Archive>>>>,
+}
+
+impl Default for MemRepository {
+    fn default() -> Self {
+        MemRepository::new()
+    }
 }
 
 impl MemRepository {
     /// Creates an empty repository.
     pub fn new() -> MemRepository {
-        MemRepository::default()
+        MemRepository {
+            shards: (0..MEM_SHARDS)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<BTreeMap<String, Arc<Archive>>> {
+        &self.shards[fnv1a64(key.as_bytes()) as usize % MEM_SHARDS]
+    }
+
+    /// A point-in-time snapshot of every (key, archive) pair, visiting
+    /// shards in index order and never holding more than one shard guard.
+    fn snapshot(&self) -> Vec<(String, Arc<Archive>)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            all.extend(guard.iter().map(|(k, a)| (k.clone(), a.clone())));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+impl Clone for MemRepository {
+    fn clone(&self) -> Self {
+        let copy = MemRepository::new();
+        for (k, a) in self.snapshot() {
+            copy.shard(&k).write().insert(k, a);
+        }
+        copy
+    }
+}
+
+impl fmt::Debug for MemRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keys = self.keys().map_err(|_| fmt::Error)?;
+        f.debug_struct("MemRepository")
+            .field("keys", &keys)
+            .finish()
     }
 }
 
 impl Repository for MemRepository {
-    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError> {
-        Ok(self.archives.get(key).cloned())
+    fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError> {
+        Ok(self.shard(key).read().get(key).cloned())
     }
 
-    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError> {
-        self.archives.insert(key.to_string(), archive.clone());
+    fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+        let handle = Arc::new(archive.clone());
+        self.shard(key).write().insert(key.to_string(), handle);
         Ok(())
     }
 
-    fn remove(&mut self, key: &str) -> Result<bool, RepoError> {
-        Ok(self.archives.remove(key).is_some())
+    fn remove(&self, key: &str) -> Result<bool, RepoError> {
+        Ok(self.shard(key).write().remove(key).is_some())
     }
 
     fn keys(&self) -> Result<Vec<String>, RepoError> {
-        Ok(self.archives.keys().cloned().collect())
+        Ok(self.snapshot().into_iter().map(|(k, _)| k).collect())
     }
 
     fn stats(&self) -> Result<StorageStats, RepoError> {
         let mut s = StorageStats::default();
-        for a in self.archives.values() {
+        // Sizes are computed outside the shard guards: emit() can be
+        // expensive and must not block writers (ordering invariant:
+        // bucket guards are never held across serialization).
+        for (_, a) in self.snapshot() {
             s.archives += 1;
             s.revisions += a.len();
-            s.bytes += emit(a).len();
+            s.bytes += emit(&a).len();
         }
         Ok(s)
     }
 
     fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
         let mut v: Vec<(String, usize)> = self
-            .archives
-            .iter()
-            .map(|(k, a)| (k.clone(), emit(a).len()))
+            .snapshot()
+            .into_iter()
+            .map(|(k, a)| (k, emit(&a).len()))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Ok(v)
@@ -145,6 +220,10 @@ impl Repository for MemRepository {
 
 /// A repository persisting each archive as `<escaped-key>,v` in a
 /// directory.
+///
+/// Distinct keys map to distinct files, so concurrent operations on
+/// different URLs are naturally independent; same-key writers rely on
+/// the caller's per-URL exclusion, like [`MemRepository`].
 #[derive(Debug)]
 pub struct DiskRepository {
     dir: PathBuf,
@@ -203,16 +282,16 @@ pub fn unescape_key(escaped: &str) -> Option<String> {
 }
 
 impl Repository for DiskRepository {
-    fn load(&self, key: &str) -> Result<Option<Archive>, RepoError> {
+    fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError> {
         let path = self.path_for(key);
         match std::fs::read_to_string(&path) {
-            Ok(text) => Ok(Some(parse(&text)?)),
+            Ok(text) => Ok(Some(Arc::new(parse(&text)?))),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
     }
 
-    fn store(&mut self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+    fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
         // Write-then-rename so a crash never leaves a torn archive.
         let path = self.path_for(key);
         let tmp = path.with_extension("tmp");
@@ -221,7 +300,7 @@ impl Repository for DiskRepository {
         Ok(())
     }
 
-    fn remove(&mut self, key: &str) -> Result<bool, RepoError> {
+    fn remove(&self, key: &str) -> Result<bool, RepoError> {
         match std::fs::remove_file(self.path_for(key)) {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
@@ -278,7 +357,7 @@ mod tests {
 
     #[test]
     fn mem_store_load_remove() {
-        let mut r = MemRepository::new();
+        let r = MemRepository::new();
         assert!(r.load("http://x/").unwrap().is_none());
         r.store("http://x/", &archive("body\n")).unwrap();
         assert_eq!(r.load("http://x/").unwrap().unwrap().head_text(), "body\n");
@@ -288,7 +367,7 @@ mod tests {
 
     #[test]
     fn mem_keys_sorted() {
-        let mut r = MemRepository::new();
+        let r = MemRepository::new();
         r.store("b", &archive("1\n")).unwrap();
         r.store("a", &archive("2\n")).unwrap();
         assert_eq!(r.keys().unwrap(), vec!["a", "b"]);
@@ -296,9 +375,10 @@ mod tests {
 
     #[test]
     fn mem_stats_and_sizes() {
-        let mut r = MemRepository::new();
+        let r = MemRepository::new();
         r.store("small", &archive("x\n")).unwrap();
-        r.store("large", &archive(&"line of page text\n".repeat(200))).unwrap();
+        r.store("large", &archive(&"line of page text\n".repeat(200)))
+            .unwrap();
         let s = r.stats().unwrap();
         assert_eq!(s.archives, 2);
         assert_eq!(s.revisions, 2);
@@ -306,6 +386,40 @@ mod tests {
         let sizes = r.sizes().unwrap();
         assert_eq!(sizes[0].0, "large");
         assert!(sizes[0].1 > sizes[1].1);
+    }
+
+    #[test]
+    fn mem_clone_is_deep_snapshot() {
+        let r = MemRepository::new();
+        r.store("a", &archive("one\n")).unwrap();
+        let snap = r.clone();
+        r.store("b", &archive("two\n")).unwrap();
+        assert_eq!(
+            snap.keys().unwrap(),
+            vec!["a"],
+            "clone unaffected by later stores"
+        );
+        assert_eq!(r.keys().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mem_concurrent_distinct_keys() {
+        let r = std::sync::Arc::new(MemRepository::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..20 {
+                    let key = format!("http://h{t}/p{k}");
+                    r.store(&key, &archive(&format!("body {t} {k}\n"))).unwrap();
+                    assert!(r.load(&key).unwrap().is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.stats().unwrap().archives, 160);
     }
 
     #[test]
@@ -340,20 +454,20 @@ mod tests {
     fn disk_roundtrip() {
         let dir = std::env::temp_dir().join(format!("aide-rcs-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut r = DiskRepository::open(&dir).unwrap();
+        let r = DiskRepository::open(&dir).unwrap();
         let mut a = archive("v1\n");
         a.checkin("v2\n", "me", "second", Timestamp(200)).unwrap();
         r.store("http://host/page.html", &a).unwrap();
 
         let r2 = DiskRepository::open(&dir).unwrap();
         let loaded = r2.load("http://host/page.html").unwrap().unwrap();
-        assert_eq!(loaded, a);
+        assert_eq!(*loaded, a);
         assert_eq!(r2.keys().unwrap(), vec!["http://host/page.html"]);
         let stats = r2.stats().unwrap();
         assert_eq!(stats.archives, 1);
         assert_eq!(stats.revisions, 2);
 
-        let mut r3 = DiskRepository::open(&dir).unwrap();
+        let r3 = DiskRepository::open(&dir).unwrap();
         assert!(r3.remove("http://host/page.html").unwrap());
         assert!(r3.load("http://host/page.html").unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);

@@ -15,8 +15,8 @@
 use crate::http::{NetError, Request, Response};
 use crate::net::Web;
 use crate::proxy::ProxyCache;
+use aide_util::sync::Mutex;
 use aide_util::time::Timestamp;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -219,8 +219,7 @@ pub fn parse_mosaic_hotlist(text: &str) -> Vec<Bookmark> {
     }
     let _list_name = lines.next();
     let mut out = Vec::new();
-    loop {
-        let Some(url_line) = lines.next() else { break };
+    while let Some(url_line) = lines.next() {
         let Some(title) = lines.next() else { break };
         // The URL is the first whitespace-delimited token; the rest of
         // the line is the add date, which the hotlist consumer ignores.
@@ -260,8 +259,10 @@ mod tests {
     fn setup() -> (Clock, Web, Browser) {
         let clock = Clock::starting_at(Timestamp(1_000_000));
         let web = Web::new(clock.clone());
-        web.set_page("http://h/a.html", "<HTML>A</HTML>", Timestamp(10)).unwrap();
-        web.set_page("http://h/b.html", "<HTML>B</HTML>", Timestamp(20)).unwrap();
+        web.set_page("http://h/a.html", "<HTML>A</HTML>", Timestamp(10))
+            .unwrap();
+        web.set_page("http://h/b.html", "<HTML>B</HTML>", Timestamp(20))
+            .unwrap();
         let browser = Browser::new(web.clone());
         (clock, web, browser)
     }
@@ -281,7 +282,10 @@ mod tests {
         let first = b.last_visited("http://h/a.html").unwrap();
         clock.advance(Duration::days(2));
         b.visit("http://h/a.html").unwrap();
-        assert_eq!(b.last_visited("http://h/a.html").unwrap() - first, Duration::days(2));
+        assert_eq!(
+            b.last_visited("http://h/a.html").unwrap() - first,
+            Duration::days(2)
+        );
     }
 
     #[test]
@@ -310,7 +314,10 @@ mod tests {
     fn bookmark_file_roundtrip() {
         let (_, _, b) = setup();
         b.add_bookmark("USENIX & friends", "http://www.usenix.org/");
-        b.add_bookmark("Mobile page", "http://snapple.cs.washington.edu:600/mobile/");
+        b.add_bookmark(
+            "Mobile page",
+            "http://snapple.cs.washington.edu:600/mobile/",
+        );
         let file = b.bookmark_file();
         assert!(file.starts_with("<!DOCTYPE NETSCAPE-Bookmark-file-1>"));
         let parsed = parse_bookmark_file(&file);
@@ -350,7 +357,8 @@ mod tests {
 
     #[test]
     fn parse_bookmark_file_tolerates_noise() {
-        let text = "<H1>Bookmarks</H1><DL><DT><A HREF=\"http://x/\">X &amp; Y</A><DD>description\n</DL>";
+        let text =
+            "<H1>Bookmarks</H1><DL><DT><A HREF=\"http://x/\">X &amp; Y</A><DD>description\n</DL>";
         let marks = parse_bookmark_file(text);
         assert_eq!(marks.len(), 1);
         assert_eq!(marks[0].title, "X & Y");

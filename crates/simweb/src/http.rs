@@ -112,7 +112,9 @@ impl NetError {
     pub fn is_host_error(&self) -> bool {
         matches!(
             self,
-            NetError::HostUnreachable(_) | NetError::UnknownHost(_) | NetError::ConnectionRefused(_)
+            NetError::HostUnreachable(_)
+                | NetError::UnknownHost(_)
+                | NetError::ConnectionRefused(_)
         )
     }
 }
@@ -221,7 +223,9 @@ mod tests {
         let r = Request::head("http://h/p");
         assert_eq!(r.method, Method::Head);
         assert_eq!(r.timeout_secs, Request::DEFAULT_TIMEOUT_SECS);
-        let r = Request::get("http://h/p").if_modified_since(Timestamp(5)).timeout_secs(3);
+        let r = Request::get("http://h/p")
+            .if_modified_since(Timestamp(5))
+            .timeout_secs(3);
         assert_eq!(r.method, Method::Get);
         assert_eq!(r.if_modified_since, Some(Timestamp(5)));
         assert_eq!(r.timeout_secs, 3);

@@ -13,8 +13,8 @@ use crate::http::{Method, NetError, Request, Response, Status};
 use crate::resource::Resource;
 use crate::server::{OriginServer, ServerState, ServerStats};
 use aide_htmlkit::url::Url;
+use aide_util::sync::Mutex;
 use aide_util::time::{Clock, Timestamp};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -100,7 +100,12 @@ impl Web {
     }
 
     /// Installs a static page at `url`, creating its server if needed.
-    pub fn set_page(&self, url: &str, body: &str, last_modified: Timestamp) -> Result<(), NetError> {
+    pub fn set_page(
+        &self,
+        url: &str,
+        body: &str,
+        last_modified: Timestamp,
+    ) -> Result<(), NetError> {
         self.with_resource(url, Resource::page(body, last_modified))
     }
 
@@ -163,7 +168,11 @@ impl Web {
     /// Removes a host entirely — its name stops resolving (§3.1: "the
     /// server for a URL can be deactivated or renamed").
     pub fn unregister_host(&self, host: &str) -> bool {
-        self.state.lock().servers.remove(&host.to_ascii_lowercase()).is_some()
+        self.state
+            .lock()
+            .servers
+            .remove(&host.to_ascii_lowercase())
+            .is_some()
     }
 
     /// Turns the client-side network on or off.
@@ -312,8 +321,10 @@ mod tests {
 
     fn web() -> Web {
         let w = Web::new(Clock::starting_at(Timestamp(10_000)));
-        w.set_page("http://a.com/x.html", "<HTML>ax</HTML>", Timestamp(100)).unwrap();
-        w.set_page("http://b.com/y.html", "<HTML>by</HTML>", Timestamp(200)).unwrap();
+        w.set_page("http://a.com/x.html", "<HTML>ax</HTML>", Timestamp(100))
+            .unwrap();
+        w.set_page("http://b.com/y.html", "<HTML>by</HTML>", Timestamp(200))
+            .unwrap();
         w
     }
 
@@ -334,7 +345,9 @@ mod tests {
             w.request(&Request::head("http://nowhere.com/")),
             Err(NetError::UnknownHost(_))
         ));
-        let r = w.request(&Request::head("http://a.com/missing.html")).unwrap();
+        let r = w
+            .request(&Request::head("http://a.com/missing.html"))
+            .unwrap();
         assert_eq!(r.status, Status::NotFound);
     }
 
@@ -387,10 +400,14 @@ mod tests {
         let w = web();
         w.set_resource(
             "http://a.com/old.html",
-            Resource::Moved { location: "http://b.com/y.html".into() },
+            Resource::Moved {
+                location: "http://b.com/y.html".into(),
+            },
         )
         .unwrap();
-        let (final_url, resp) = w.get_following_redirects("http://a.com/old.html", 3).unwrap();
+        let (final_url, resp) = w
+            .get_following_redirects("http://a.com/old.html", 3)
+            .unwrap();
         assert_eq!(final_url, "http://b.com/y.html");
         assert_eq!(resp.body, "<HTML>by</HTML>");
     }
@@ -398,8 +415,20 @@ mod tests {
     #[test]
     fn redirect_loop_errors() {
         let w = web();
-        w.set_resource("http://a.com/l1", Resource::Moved { location: "http://a.com/l2".into() }).unwrap();
-        w.set_resource("http://a.com/l2", Resource::Moved { location: "http://a.com/l1".into() }).unwrap();
+        w.set_resource(
+            "http://a.com/l1",
+            Resource::Moved {
+                location: "http://a.com/l2".into(),
+            },
+        )
+        .unwrap();
+        w.set_resource(
+            "http://a.com/l2",
+            Resource::Moved {
+                location: "http://a.com/l1".into(),
+            },
+        )
+        .unwrap();
         assert!(w.get_following_redirects("http://a.com/l1", 5).is_err());
     }
 
@@ -407,11 +436,19 @@ mod tests {
     fn file_urls_hit_local_fs() {
         let w = web();
         w.write_local_file("/home/me/notes.html", "<HTML>notes</HTML>", Timestamp(77));
-        let r = w.request(&Request::head("file:/home/me/notes.html")).unwrap();
+        let r = w
+            .request(&Request::head("file:/home/me/notes.html"))
+            .unwrap();
         assert_eq!(r.last_modified, Some(Timestamp(77)));
         let before = w.stats().requests;
-        let _ = w.request(&Request::get("file:/home/me/notes.html")).unwrap();
-        assert_eq!(w.stats().requests, before, "file access is not network traffic");
+        let _ = w
+            .request(&Request::get("file:/home/me/notes.html"))
+            .unwrap();
+        assert_eq!(
+            w.stats().requests,
+            before,
+            "file access is not network traffic"
+        );
         assert!(w.stats().file_stats >= 2);
     }
 
@@ -435,11 +472,19 @@ mod tests {
     #[test]
     fn cgi_with_query_string() {
         let w = web();
-        w.set_resource("http://a.com/cgi-bin/q?topic=web", Resource::hit_counter("result {HITS}")).unwrap();
-        let r = w.request(&Request::get("http://a.com/cgi-bin/q?topic=web")).unwrap();
+        w.set_resource(
+            "http://a.com/cgi-bin/q?topic=web",
+            Resource::hit_counter("result {HITS}"),
+        )
+        .unwrap();
+        let r = w
+            .request(&Request::get("http://a.com/cgi-bin/q?topic=web"))
+            .unwrap();
         assert_eq!(r.body, "result 1");
         // A different query is a different resource.
-        let miss = w.request(&Request::get("http://a.com/cgi-bin/q?topic=mail")).unwrap();
+        let miss = w
+            .request(&Request::get("http://a.com/cgi-bin/q?topic=mail"))
+            .unwrap();
         assert_eq!(miss.status, Status::NotFound);
     }
 
@@ -461,7 +506,8 @@ mod tests {
     #[test]
     fn touch_page_updates_date_and_body() {
         let w = web();
-        w.touch_page("http://a.com/x.html", "<HTML>v2</HTML>", Timestamp(300)).unwrap();
+        w.touch_page("http://a.com/x.html", "<HTML>v2</HTML>", Timestamp(300))
+            .unwrap();
         let r = w.request(&Request::get("http://a.com/x.html")).unwrap();
         assert_eq!(r.last_modified, Some(Timestamp(300)));
         assert_eq!(r.body, "<HTML>v2</HTML>");

@@ -10,8 +10,8 @@
 
 use crate::http::{Method, NetError, Request, Response, Status};
 use crate::net::Web;
+use aide_util::sync::Mutex;
 use aide_util::time::{Duration, Timestamp};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -154,7 +154,11 @@ impl ProxyCache {
                     last_modified: lm,
                     location: None,
                     content_length: body.len(),
-                    body: if method == Method::Head { String::new() } else { body },
+                    body: if method == Method::Head {
+                        String::new()
+                    } else {
+                        body
+                    },
                     date: now,
                 })
             }
@@ -224,7 +228,8 @@ mod tests {
     fn setup() -> (Clock, Web, ProxyCache) {
         let clock = Clock::starting_at(Timestamp(100_000));
         let web = Web::new(clock.clone());
-        web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(50_000)).unwrap();
+        web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(50_000))
+            .unwrap();
         let proxy = ProxyCache::new(web.clone(), Duration::hours(1));
         (clock, web, proxy)
     }
@@ -236,7 +241,11 @@ mod tests {
         let origin_before = web.server_stats("h").unwrap().total();
         let r = proxy.get("http://h/p.html").unwrap();
         assert_eq!(r.body, "<HTML>v1</HTML>");
-        assert_eq!(web.server_stats("h").unwrap().total(), origin_before, "served from cache");
+        assert_eq!(
+            web.server_stats("h").unwrap().total(),
+            origin_before,
+            "served from cache"
+        );
         assert_eq!(proxy.stats().hits, 1);
     }
 
@@ -257,7 +266,8 @@ mod tests {
         let (clock, web, proxy) = setup();
         proxy.get("http://h/p.html").unwrap();
         clock.advance(Duration::hours(2));
-        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now()).unwrap();
+        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now())
+            .unwrap();
         let r = proxy.get("http://h/p.html").unwrap();
         assert_eq!(r.body, "<HTML>v2</HTML>");
         assert_eq!(proxy.stats().revalidated, 0);
@@ -269,7 +279,8 @@ mod tests {
         // stale data.
         let (clock, web, proxy) = setup();
         proxy.get("http://h/p.html").unwrap();
-        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now()).unwrap();
+        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now())
+            .unwrap();
         let r = proxy.get("http://h/p.html").unwrap();
         assert_eq!(r.body, "<HTML>v1</HTML>", "stale but within TTL");
     }
@@ -278,7 +289,8 @@ mod tests {
     fn reload_forces_revalidation() {
         let (clock, web, proxy) = setup();
         proxy.get("http://h/p.html").unwrap();
-        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now()).unwrap();
+        web.touch_page("http://h/p.html", "<HTML>v2</HTML>", clock.now())
+            .unwrap();
         let r = proxy.reload("http://h/p.html").unwrap();
         assert_eq!(r.body, "<HTML>v2</HTML>");
     }

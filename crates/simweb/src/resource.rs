@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn moved_and_gone_serve_nothing() {
         assert_eq!(Resource::Gone.materialize(Timestamp(1)), "");
-        let mut m = Resource::Moved { location: "http://new/".into() };
+        let mut m = Resource::Moved {
+            location: "http://new/".into(),
+        };
         assert_eq!(m.materialize(Timestamp(1)), "");
         assert!(!m.provides_last_modified());
     }

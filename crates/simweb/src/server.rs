@@ -174,7 +174,10 @@ impl OriginServer {
                 body: String::new(),
                 date: now,
             },
-            Resource::Page { body, last_modified } => {
+            Resource::Page {
+                body,
+                last_modified,
+            } => {
                 // Conditional GET: 304 if unmodified since the client's date.
                 if let Some(since) = req.if_modified_since {
                     if *last_modified <= since && req.method != Method::Head {
@@ -213,7 +216,11 @@ impl OriginServer {
                     status: Status::Ok,
                     last_modified: None,
                     location: None,
-                    content_length: if req.method == Method::Head { len } else { body.len() },
+                    content_length: if req.method == Method::Head {
+                        len
+                    } else {
+                        body.len()
+                    },
                     body,
                     date: now,
                 }
@@ -228,9 +235,17 @@ mod tests {
 
     fn server() -> OriginServer {
         let mut s = OriginServer::new("WWW.Example.COM");
-        s.set_resource("/index.html", Resource::page("<HTML>home</HTML>", Timestamp(500)));
+        s.set_resource(
+            "/index.html",
+            Resource::page("<HTML>home</HTML>", Timestamp(500)),
+        );
         s.set_resource("/cgi-bin/count", Resource::hit_counter("hits={HITS}"));
-        s.set_resource("/old.html", Resource::Moved { location: "http://www.example.com/new.html".into() });
+        s.set_resource(
+            "/old.html",
+            Resource::Moved {
+                location: "http://www.example.com/new.html".into(),
+            },
+        );
         s.set_resource("/dead.html", Resource::Gone);
         s
     }
@@ -260,10 +275,18 @@ mod tests {
     #[test]
     fn conditional_get_304() {
         let mut s = server();
-        let fresh = s.serve(&Request::get("u").if_modified_since(Timestamp(600)), "/index.html", Timestamp(1000));
+        let fresh = s.serve(
+            &Request::get("u").if_modified_since(Timestamp(600)),
+            "/index.html",
+            Timestamp(1000),
+        );
         assert_eq!(fresh.status, Status::NotModified);
         assert!(fresh.body.is_empty());
-        let stale = s.serve(&Request::get("u").if_modified_since(Timestamp(400)), "/index.html", Timestamp(1000));
+        let stale = s.serve(
+            &Request::get("u").if_modified_since(Timestamp(400)),
+            "/index.html",
+            Timestamp(1000),
+        );
         assert_eq!(stale.status, Status::Ok);
         assert_eq!(s.stats().not_modified, 1);
     }
@@ -290,9 +313,20 @@ mod tests {
         let mut s = server();
         let m = s.serve(&Request::head("u"), "/old.html", Timestamp(1));
         assert_eq!(m.status, Status::MovedPermanently);
-        assert_eq!(m.location.as_deref(), Some("http://www.example.com/new.html"));
-        assert_eq!(s.serve(&Request::head("u"), "/dead.html", Timestamp(1)).status, Status::Gone);
-        assert_eq!(s.serve(&Request::head("u"), "/missing", Timestamp(1)).status, Status::NotFound);
+        assert_eq!(
+            m.location.as_deref(),
+            Some("http://www.example.com/new.html")
+        );
+        assert_eq!(
+            s.serve(&Request::head("u"), "/dead.html", Timestamp(1))
+                .status,
+            Status::Gone
+        );
+        assert_eq!(
+            s.serve(&Request::head("u"), "/missing", Timestamp(1))
+                .status,
+            Status::NotFound
+        );
     }
 
     #[test]
@@ -307,7 +341,11 @@ mod tests {
     #[test]
     fn missing_robots_txt_is_404() {
         let mut s = server();
-        assert_eq!(s.serve(&Request::get("u"), "/robots.txt", Timestamp(1)).status, Status::NotFound);
+        assert_eq!(
+            s.serve(&Request::get("u"), "/robots.txt", Timestamp(1))
+                .status,
+            Status::NotFound
+        );
     }
 
     #[test]
@@ -327,7 +365,11 @@ mod tests {
     #[test]
     fn resource_mut_allows_evolution() {
         let mut s = server();
-        if let Some(Resource::Page { body, last_modified }) = s.resource_mut("/index.html") {
+        if let Some(Resource::Page {
+            body,
+            last_modified,
+        }) = s.resource_mut("/index.html")
+        {
             *body = "<HTML>v2</HTML>".to_string();
             *last_modified = Timestamp(900);
         }

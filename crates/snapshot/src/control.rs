@@ -129,13 +129,8 @@ impl ControlFile {
                 .collect();
             if let (Some(revisions), Some(times)) = (revisions, stamps) {
                 if revisions.len() == times.len() && !revisions.is_empty() {
-                    out.entries.insert(
-                        url.to_string(),
-                        UserControl {
-                            revisions,
-                            times,
-                        },
-                    );
+                    out.entries
+                        .insert(url.to_string(), UserControl { revisions, times });
                 }
             }
         }

@@ -12,6 +12,7 @@
 
 use aide_rcs::archive::RevId;
 use aide_util::checksum::fnv1a64;
+use aide_util::sync::Mutex;
 use aide_util::time::{Duration, Timestamp};
 use std::collections::HashMap;
 
@@ -101,7 +102,15 @@ impl DiffCache {
 
     /// Stores a rendered diff, evicting the least-recently-used entry if
     /// at capacity.
-    pub fn put(&mut self, url: &str, from: RevId, to: RevId, opts_fp: u64, html: String, now: Timestamp) {
+    pub fn put(
+        &mut self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts_fp: u64,
+        html: String,
+        now: Timestamp,
+    ) {
         if self.entries.len() >= self.capacity
             && !self
                 .entries
@@ -143,6 +152,92 @@ impl DiffCache {
     }
 }
 
+/// Number of independent buckets in [`ShardedDiffCache`].
+const CACHE_SHARDS: usize = 16;
+
+/// A concurrently shareable diff cache: [`DiffCache`] split into shards
+/// keyed by URL, each behind its own mutex, so renderings of different
+/// pages never serialize on a common cache lock.
+///
+/// Shard guards are held only for the map operation itself — never
+/// across diffing — per the lock-ordering invariant in [`crate::locks`].
+#[derive(Debug)]
+pub struct ShardedDiffCache {
+    shards: Vec<Mutex<DiffCache>>,
+}
+
+impl ShardedDiffCache {
+    /// Creates a cache holding up to `capacity` rendered diffs in total
+    /// (distributed across shards) for `ttl`.
+    pub fn new(capacity: usize, ttl: Duration) -> ShardedDiffCache {
+        let per_shard = capacity.div_ceil(CACHE_SHARDS).max(1);
+        ShardedDiffCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(DiffCache::new(per_shard, ttl)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, url: &str) -> &Mutex<DiffCache> {
+        &self.shards[fnv1a64(url.as_bytes()) as usize % CACHE_SHARDS]
+    }
+
+    /// See [`DiffCache::options_fingerprint`].
+    pub fn options_fingerprint(description: &str) -> u64 {
+        DiffCache::options_fingerprint(description)
+    }
+
+    /// Looks up a rendered diff. See [`DiffCache::get`].
+    pub fn get(
+        &self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts_fp: u64,
+        now: Timestamp,
+    ) -> Option<String> {
+        self.shard(url).lock().get(url, from, to, opts_fp, now)
+    }
+
+    /// Stores a rendered diff. See [`DiffCache::put`].
+    pub fn put(
+        &self,
+        url: &str,
+        from: RevId,
+        to: RevId,
+        opts_fp: u64,
+        html: String,
+        now: Timestamp,
+    ) {
+        self.shard(url)
+            .lock()
+            .put(url, from, to, opts_fp, html, now);
+    }
+
+    /// Total cached entries across shards (shards visited in index
+    /// order).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters summed across shards.
+    pub fn stats(&self) -> DiffCacheStats {
+        let mut total = DiffCacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +250,10 @@ mod tests {
     fn put_get_hit() {
         let mut c = cache();
         c.put("u", RevId(1), RevId(2), 0, "diff html".into(), Timestamp(0));
-        assert_eq!(c.get("u", RevId(1), RevId(2), 0, Timestamp(10)).as_deref(), Some("diff html"));
+        assert_eq!(
+            c.get("u", RevId(1), RevId(2), 0, Timestamp(10)).as_deref(),
+            Some("diff html")
+        );
         assert_eq!(c.stats().hits, 1);
     }
 
@@ -163,9 +261,18 @@ mod tests {
     fn distinct_keys_do_not_collide() {
         let mut c = cache();
         c.put("u", RevId(1), RevId(2), 0, "a".into(), Timestamp(0));
-        assert!(c.get("u", RevId(2), RevId(1), 0, Timestamp(0)).is_none(), "direction matters");
-        assert!(c.get("u", RevId(1), RevId(2), 99, Timestamp(0)).is_none(), "options matter");
-        assert!(c.get("v", RevId(1), RevId(2), 0, Timestamp(0)).is_none(), "url matters");
+        assert!(
+            c.get("u", RevId(2), RevId(1), 0, Timestamp(0)).is_none(),
+            "direction matters"
+        );
+        assert!(
+            c.get("u", RevId(1), RevId(2), 99, Timestamp(0)).is_none(),
+            "options matter"
+        );
+        assert!(
+            c.get("v", RevId(1), RevId(2), 0, Timestamp(0)).is_none(),
+            "url matters"
+        );
     }
 
     #[test]
@@ -186,7 +293,10 @@ mod tests {
         c.get("a", RevId(1), RevId(2), 0, Timestamp(3));
         c.put("d", RevId(1), RevId(2), 0, "d".into(), Timestamp(4));
         assert_eq!(c.len(), 3);
-        assert!(c.get("b", RevId(1), RevId(2), 0, Timestamp(5)).is_none(), "b evicted");
+        assert!(
+            c.get("b", RevId(1), RevId(2), 0, Timestamp(5)).is_none(),
+            "b evicted"
+        );
         assert!(c.get("a", RevId(1), RevId(2), 0, Timestamp(5)).is_some());
         assert_eq!(c.stats().evictions, 1);
     }
@@ -205,5 +315,48 @@ mod tests {
         let a = DiffCache::options_fingerprint("Options { merged }");
         let b = DiffCache::options_fingerprint("Options { only-differences }");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sharded_cache_behaves_like_flat() {
+        let c = ShardedDiffCache::new(64, Duration::hours(1));
+        c.put("http://a/", RevId(1), RevId(2), 0, "a".into(), Timestamp(0));
+        c.put("http://b/", RevId(1), RevId(2), 0, "b".into(), Timestamp(0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.get("http://a/", RevId(1), RevId(2), 0, Timestamp(1))
+                .as_deref(),
+            Some("a")
+        );
+        assert!(
+            c.get("http://a/", RevId(1), RevId(2), 0, Timestamp(3600))
+                .is_none(),
+            "ttl applies"
+        );
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_distinct_urls() {
+        let c = std::sync::Arc::new(ShardedDiffCache::new(256, Duration::hours(1)));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..20u64 {
+                    let url = format!("http://h{t}/p{k}");
+                    c.put(&url, RevId(1), RevId(2), 0, url.clone(), Timestamp(k));
+                    assert_eq!(
+                        c.get(&url, RevId(1), RevId(2), 0, Timestamp(k)).as_deref(),
+                        Some(url.as_str())
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().hits, 160);
     }
 }

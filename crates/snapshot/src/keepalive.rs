@@ -61,7 +61,9 @@ pub enum KeepaliveOutcome {
 pub fn run(cfg: &KeepaliveConfig, work: Duration) -> KeepaliveOutcome {
     let timeout = cfg.server_timeout.as_secs();
     if timeout == 0 {
-        return KeepaliveOutcome::TimedOut { after: Duration::ZERO };
+        return KeepaliveOutcome::TimedOut {
+            after: Duration::ZERO,
+        };
     }
     match cfg.heartbeat {
         None => {
@@ -105,13 +107,22 @@ mod tests {
 
     #[test]
     fn fast_work_needs_no_heartbeat() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: None };
-        assert_eq!(run(&cfg, Duration::seconds(5)), KeepaliveOutcome::Completed { padding: 0 });
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: None,
+        };
+        assert_eq!(
+            run(&cfg, Duration::seconds(5)),
+            KeepaliveOutcome::Completed { padding: 0 }
+        );
     }
 
     #[test]
     fn slow_work_without_heartbeat_dies() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: None };
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: None,
+        };
         assert_eq!(
             run(&cfg, Duration::seconds(61)),
             KeepaliveOutcome::TimedOut { after: T60 }
@@ -120,13 +131,19 @@ mod tests {
 
     #[test]
     fn boundary_work_equal_to_timeout_dies() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: None };
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: None,
+        };
         assert!(matches!(run(&cfg, T60), KeepaliveOutcome::TimedOut { .. }));
     }
 
     #[test]
     fn heartbeat_saves_long_work() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: Some(Duration::seconds(10)) };
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: Some(Duration::seconds(10)),
+        };
         assert_eq!(
             run(&cfg, Duration::minutes(10)),
             KeepaliveOutcome::Completed { padding: 60 }
@@ -135,19 +152,34 @@ mod tests {
 
     #[test]
     fn heartbeat_slower_than_timeout_does_not_help() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: Some(Duration::seconds(90)) };
-        assert!(matches!(run(&cfg, Duration::minutes(5)), KeepaliveOutcome::TimedOut { .. }));
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: Some(Duration::seconds(90)),
+        };
+        assert!(matches!(
+            run(&cfg, Duration::minutes(5)),
+            KeepaliveOutcome::TimedOut { .. }
+        ));
     }
 
     #[test]
     fn zero_timeout_always_dies() {
-        let cfg = KeepaliveConfig { server_timeout: Duration::ZERO, heartbeat: Some(Duration::seconds(1)) };
-        assert!(matches!(run(&cfg, Duration::seconds(1)), KeepaliveOutcome::TimedOut { .. }));
+        let cfg = KeepaliveConfig {
+            server_timeout: Duration::ZERO,
+            heartbeat: Some(Duration::seconds(1)),
+        };
+        assert!(matches!(
+            run(&cfg, Duration::seconds(1)),
+            KeepaliveOutcome::TimedOut { .. }
+        ));
     }
 
     #[test]
     fn padding_scales_with_work() {
-        let cfg = KeepaliveConfig { server_timeout: T60, heartbeat: Some(Duration::seconds(5)) };
+        let cfg = KeepaliveConfig {
+            server_timeout: T60,
+            heartbeat: Some(Duration::seconds(5)),
+        };
         let KeepaliveOutcome::Completed { padding: p1 } = run(&cfg, Duration::minutes(1)) else {
             panic!("should complete");
         };

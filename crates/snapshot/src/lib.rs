@@ -33,6 +33,6 @@ pub mod security;
 pub mod service;
 
 pub use control::{ControlFile, UserControl};
-pub use diffcache::DiffCache;
+pub use diffcache::{DiffCache, ShardedDiffCache};
 pub use locks::LockTable;
 pub use service::{DiffOutcome, RememberOutcome, ServiceError, SnapshotService, UserId};

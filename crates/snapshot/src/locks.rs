@@ -12,10 +12,45 @@
 //! snapshot process would just wait for the page and then return, rather
 //! than repeating the work" — implemented here as [`LockTable::once`],
 //! a single-flight combinator.
+//!
+//! # Lock-ordering invariant
+//!
+//! The named locks in this table are the *only* exclusion mechanism in
+//! the snapshot service — there is no repository-wide lock behind them —
+//! so the ordering discipline below is what makes the service
+//! deadlock-free. Every caller must respect it:
+//!
+//! 1. **URL key before user key.** An operation that needs both a
+//!    per-URL lock ([`LockTable::url_key`]) and a per-user control-file
+//!    lock ([`LockTable::user_key`]) must acquire the URL lock first and
+//!    may hold at most one lock of each kind at a time. This is the
+//!    discipline the paper's perl scripts followed implicitly by their
+//!    code structure (snapshot the page, then update the control file).
+//! 2. **At most one URL key and one user key held simultaneously.**
+//!    Multi-URL operations (storage sweeps, `keys`) must not hold any
+//!    named lock while iterating; they rely on shard snapshots instead.
+//! 3. **Shard index order for multi-shard operations.** Code that must
+//!    visit several internal shards (the lock table's own buckets, the
+//!    sharded repository, the sharded diff cache) takes shard guards in
+//!    ascending index order and never holds two shards of *different*
+//!    structures at once.
+//! 4. **Named locks are leaves with respect to structure locks.** While
+//!    holding a shard/bucket guard of any sharded structure, never block
+//!    on a named lock; bucket guards are held only for map lookups and
+//!    insertions, never across I/O, diffing, or archive mutation.
+//!
+//! The table itself is sharded so that lock lookups for different keys
+//! rarely contend; entries are created on first use and retained for the
+//! lifetime of the table (the working set is bounded by the number of
+//! distinct URLs and users, exactly like the lock files the 1996 service
+//! left in its spool directory).
 
-use parking_lot::Mutex;
+use aide_util::checksum::fnv1a64;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+const SHARDS: usize = 64;
 
 /// Counters for lock behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,57 +65,120 @@ pub struct LockStats {
     pub piggybacked: u64,
 }
 
+/// One queued named lock: a flag plus a wait queue.
 #[derive(Default)]
-struct TableState {
-    locks: HashMap<String, Arc<Mutex<()>>>,
-    stats: LockStats,
+struct RawLock {
+    state: Mutex<bool>,
+    queue: Condvar,
+}
+
+impl RawLock {
+    /// Acquires; returns whether the caller had to wait.
+    fn acquire(&self) -> bool {
+        let mut held = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !*held {
+            *held = true;
+            return false;
+        }
+        while *held {
+            held = self.queue.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        *held = true;
+        true
+    }
+
+    fn release(&self) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        self.queue.notify_one();
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Key → its queued lock.
+    locks: Mutex<HashMap<String, Arc<RawLock>>>,
     /// Results parked for single-flight reuse: key → (generation, value).
-    flights: HashMap<String, (u64, String)>,
-    generation: u64,
+    flights: Mutex<HashMap<String, (u64, String)>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    flights: AtomicU64,
+    piggybacked: AtomicU64,
+}
+
+struct TableInner {
+    shards: Vec<Shard>,
+    counters: Counters,
+    generation: AtomicU64,
 }
 
 /// A named-lock table with per-URL / per-user granularity.
 ///
-/// Lock *ordering*: callers that need both a URL lock and a user lock
-/// must take the URL lock first (the service does); this is the
-/// deadlock-avoidance discipline the perl scripts followed implicitly by
-/// their code structure.
-#[derive(Clone, Default)]
+/// See the module docs for the lock-ordering invariant every caller must
+/// follow.
+#[derive(Clone)]
 pub struct LockTable {
-    state: Arc<Mutex<TableState>>,
+    inner: Arc<TableInner>,
 }
 
-/// A held named lock.
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable::new()
+    }
+}
+
+/// A held named lock; released on drop.
 pub struct NamedGuard {
-    _inner: parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>,
+    raw: Arc<RawLock>,
+}
+
+impl Drop for NamedGuard {
+    fn drop(&mut self) {
+        self.raw.release();
+    }
 }
 
 impl LockTable {
     /// Creates an empty table.
     pub fn new() -> LockTable {
-        LockTable::default()
+        LockTable {
+            inner: Arc::new(TableInner {
+                shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+                counters: Counters::default(),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        &self.inner.shards[fnv1a64(key.as_bytes()) as usize % SHARDS]
     }
 
     /// Acquires the lock named `key`, blocking while held elsewhere.
+    /// Waiters are queued on a condition variable, not spinning.
     pub fn lock(&self, key: &str) -> NamedGuard {
         let handle = {
-            let mut st = self.state.lock();
-            st.stats.acquisitions += 1;
-            st.locks
-                .entry(key.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new(())))
-                .clone()
+            let mut locks = self
+                .shard(key)
+                .locks
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            locks.entry(key.to_string()).or_default().clone()
         };
-        // Record contention without holding the table lock.
-        match handle.try_lock_arc() {
-            Some(g) => NamedGuard { _inner: g },
-            None => {
-                self.state.lock().stats.contended += 1;
-                NamedGuard {
-                    _inner: handle.lock_arc(),
-                }
-            }
+        self.inner
+            .counters
+            .acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        if handle.acquire() {
+            self.inner
+                .counters
+                .contended
+                .fetch_add(1, Ordering::Relaxed);
         }
+        NamedGuard { raw: handle }
     }
 
     /// Convenience: the per-URL lock name.
@@ -104,36 +202,49 @@ impl LockTable {
     pub fn once(&self, key: &str, observed_gen: u64, work: impl FnOnce() -> String) -> String {
         let guard = self.lock(key);
         {
-            let st = self.state.lock();
-            if let Some((generation, value)) = st.flights.get(key) {
+            let flights = self
+                .shard(key)
+                .flights
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some((generation, value)) = flights.get(key) {
                 if *generation > observed_gen {
                     let v = value.clone();
-                    drop(st);
+                    drop(flights);
                     drop(guard);
-                    self.state.lock().stats.piggybacked += 1;
+                    self.inner
+                        .counters
+                        .piggybacked
+                        .fetch_add(1, Ordering::Relaxed);
                     return v;
                 }
             }
         }
         let value = work();
-        let mut st = self.state.lock();
-        st.generation += 1;
-        let generation = st.generation;
-        st.flights.insert(key.to_string(), (generation, value.clone()));
-        st.stats.flights += 1;
-        drop(st);
+        let generation = self.inner.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shard(key)
+            .flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_string(), (generation, value.clone()));
+        self.inner.counters.flights.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         value
     }
 
     /// The current flight generation; pass to [`LockTable::once`].
     pub fn flight_generation(&self) -> u64 {
-        self.state.lock().generation
+        self.inner.generation.load(Ordering::Relaxed)
     }
 
-    /// Counters.
+    /// Counters (a consistent-enough snapshot; each field is exact).
     pub fn stats(&self) -> LockStats {
-        self.state.lock().stats
+        LockStats {
+            acquisitions: self.inner.counters.acquisitions.load(Ordering::Relaxed),
+            contended: self.inner.counters.contended.load(Ordering::Relaxed),
+            flights: self.inner.counters.flights.load(Ordering::Relaxed),
+            piggybacked: self.inner.counters.piggybacked.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -155,7 +266,11 @@ mod tests {
             f2.store(1, Ordering::SeqCst);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
-        assert_eq!(flag.load(Ordering::SeqCst), 0, "second locker still waiting");
+        assert_eq!(
+            flag.load(Ordering::SeqCst),
+            0,
+            "second locker still waiting"
+        );
         drop(g);
         h.join().unwrap();
         assert_eq!(flag.load(Ordering::SeqCst), 1);
@@ -213,5 +328,25 @@ mod tests {
         assert_eq!(LockTable::url_key("http://x/"), "url:http://x/");
         assert_eq!(LockTable::user_key("a@b"), "user:a@b");
         assert_ne!(LockTable::url_key("z"), LockTable::user_key("z"));
+    }
+
+    #[test]
+    fn many_threads_many_keys_no_deadlock() {
+        let t = LockTable::new();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50 {
+                    // URL before user, per the module invariant.
+                    let _u = t.lock(&LockTable::url_key(&format!("http://h{}/", k % 5)));
+                    let _c = t.lock(&LockTable::user_key(&format!("user{}", i % 3)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.stats().acquisitions, 8 * 50 * 2);
     }
 }

@@ -103,7 +103,10 @@ impl AccountRegistry {
         }
         self.next_serial += 1;
         let salt = fnv1a64(format!("{}:{}", self.next_serial, name).as_bytes());
-        let storage_id = format!("acct-{:016x}", fnv1a64(format!("{salt:x}:{}", self.next_serial).as_bytes()));
+        let storage_id = format!(
+            "acct-{:016x}",
+            fnv1a64(format!("{salt:x}:{}", self.next_serial).as_bytes())
+        );
         self.accounts.insert(
             name.to_string(),
             Account {
@@ -131,7 +134,10 @@ impl AccountRegistry {
     /// What a repository-browsing attacker learns under this model: the
     /// opaque ids only — no mapping back to people.
     pub fn visible_storage_ids(&self) -> Vec<String> {
-        self.accounts.values().map(|a| a.storage_id.clone()).collect()
+        self.accounts
+            .values()
+            .map(|a| a.storage_id.clone())
+            .collect()
     }
 }
 
@@ -150,9 +156,7 @@ pub fn resolve_storage_id(
             // points out.
             Ok(claimed.to_string())
         }
-        IdentityModel::Authenticated => {
-            registry.login(claimed, password.unwrap_or(""))
-        }
+        IdentityModel::Authenticated => registry.login(claimed, password.unwrap_or("")),
     }
 }
 
@@ -173,7 +177,8 @@ mod tests {
     #[test]
     fn open_model_uses_email_as_key() {
         let reg = AccountRegistry::new();
-        let id = resolve_storage_id(IdentityModel::Open, &reg, "ball@research.att.com", None).unwrap();
+        let id =
+            resolve_storage_id(IdentityModel::Open, &reg, "ball@research.att.com", None).unwrap();
         assert_eq!(id, "ball@research.att.com", "the leak: keys name people");
     }
 
@@ -210,7 +215,10 @@ mod tests {
     fn storage_ids_are_opaque() {
         let mut reg = AccountRegistry::new();
         let sid = reg.create("fred@research.att.com", "pw").unwrap();
-        assert!(!sid.contains("fred"), "opaque id must not embed the name: {sid}");
+        assert!(
+            !sid.contains("fred"),
+            "opaque id must not embed the name: {sid}"
+        );
         assert!(sid.starts_with("acct-"));
         for visible in reg.visible_storage_ids() {
             assert!(!visible.contains("fred"));
@@ -221,7 +229,10 @@ mod tests {
     fn duplicate_account_rejected() {
         let mut reg = AccountRegistry::new();
         reg.create("a", "1").unwrap();
-        assert!(matches!(reg.create("a", "2"), Err(AuthError::AccountExists(_))));
+        assert!(matches!(
+            reg.create("a", "2"),
+            Err(AuthError::AccountExists(_))
+        ));
     }
 
     #[test]

@@ -14,9 +14,31 @@
 //! The service is transport-agnostic: callers hand it page *bodies* (the
 //! CGI layer in the `aide` crate does the fetching), so the whole archive
 //! machinery is testable without a network.
+//!
+//! # Concurrency
+//!
+//! Exclusion is fine-grained, mirroring the paper's per-URL lock file and
+//! per-user control file (§4.2) rather than any global lock:
+//!
+//! - The repository is shared directly (no service-level repository
+//!   mutex); [`Repository`] implementations are internally sharded and
+//!   return [`std::sync::Arc`] archive handles, so reads never block
+//!   writers of other URLs.
+//! - Read-modify-write of one URL's archive is serialized by that URL's
+//!   named lock in the [`LockTable`]; control-file updates by the user's
+//!   named lock, acquired *after* the URL lock per the ordering invariant
+//!   documented in [`crate::locks`].
+//! - Control files live in a sharded user map; the diff cache is a
+//!   [`ShardedDiffCache`]. Shard guards are held only for map access.
+//! - Counters are atomics ([`SnapshotService::snapshot_stats`] reads
+//!   them without taking any lock), and admission control is a
+//!   compare-and-swap gate rather than a mutex-protected option.
+//!
+//! The result: two operations on different URLs by different users share
+//! no exclusive lock at all.
 
 use crate::control::ControlFile;
-use crate::diffcache::DiffCache;
+use crate::diffcache::ShardedDiffCache;
 use crate::locks::LockTable;
 use aide_htmldiff::{html_diff, Options as DiffOptions};
 use aide_htmlkit::lexer::{lex, serialize};
@@ -24,10 +46,12 @@ use aide_htmlkit::links::rewrite_base;
 use aide_htmlkit::url::Url;
 use aide_rcs::archive::{Archive, ArchiveError, CheckinOutcome, RevId, RevisionMeta};
 use aide_rcs::repo::{RepoError, Repository, StorageStats};
+use aide_util::checksum::fnv1a64;
+use aide_util::sync::RwLock;
 use aide_util::time::{Clock, Duration, Timestamp};
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A user identifier — an email address in the open model, an opaque
 /// account id in the authenticated one.
@@ -89,17 +113,6 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// RAII slot held for the duration of an admitted operation.
-struct AdmissionGuard<'a> {
-    counter: &'a std::sync::atomic::AtomicUsize,
-}
-
-impl Drop for AdmissionGuard<'_> {
-    fn drop(&mut self) {
-        self.counter.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-    }
-}
-
 impl From<RepoError> for ServiceError {
     fn from(e: RepoError) -> Self {
         ServiceError::Repo(e)
@@ -147,18 +160,75 @@ pub struct ServiceStats {
     pub unchanged_remembers: u64,
 }
 
+/// Lock-free counter cells behind [`ServiceStats`].
+#[derive(Default)]
+struct StatCells {
+    htmldiff_invocations: AtomicU64,
+    remembers: AtomicU64,
+    unchanged_remembers: AtomicU64,
+}
+
+/// Sentinel for "no concurrency cap".
+const UNLIMITED: usize = usize::MAX;
+
+/// RAII slot held for the duration of an admitted operation.
+struct AdmissionGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Number of buckets in the per-user control map.
+const CONTROL_SHARDS: usize = 64;
+
+/// Per-user control files in a sharded map. Mutation of one user's file
+/// is serialized by that user's named lock; the shard guard only
+/// protects the map structure and is never held across I/O or diffing.
+struct UserControls {
+    shards: Vec<RwLock<HashMap<UserId, ControlFile>>>,
+}
+
+impl UserControls {
+    fn new() -> UserControls {
+        UserControls {
+            shards: (0..CONTROL_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, user: &UserId) -> &RwLock<HashMap<UserId, ControlFile>> {
+        &self.shards[fnv1a64(user.0.as_bytes()) as usize % CONTROL_SHARDS]
+    }
+
+    /// Reads `user`'s control file (if any) under the shard guard.
+    fn read<T>(&self, user: &UserId, f: impl FnOnce(Option<&ControlFile>) -> T) -> T {
+        f(self.shard(user).read().get(user))
+    }
+
+    /// Updates `user`'s control file (created on demand) under the shard
+    /// guard. Callers hold the user's named lock.
+    fn update<T>(&self, user: &UserId, f: impl FnOnce(&mut ControlFile) -> T) -> T {
+        f(self.shard(user).write().entry(user.clone()).or_default())
+    }
+}
+
 /// The snapshot service.
 pub struct SnapshotService<R: Repository> {
-    repo: Mutex<R>,
-    controls: Mutex<BTreeMap<UserId, ControlFile>>,
+    repo: R,
+    controls: UserControls,
     locks: LockTable,
-    diff_cache: Mutex<DiffCache>,
+    diff_cache: ShardedDiffCache,
     clock: Clock,
-    stats: Mutex<ServiceStats>,
+    stats: StatCells,
     /// Admission control (§4.2: "the facility could also impose a limit
-    /// on the number of simultaneous users"). `None` = unlimited.
-    max_concurrent: Mutex<Option<usize>>,
-    in_flight: std::sync::atomic::AtomicUsize,
+    /// on the number of simultaneous users"). [`UNLIMITED`] = no cap.
+    max_concurrent: AtomicUsize,
+    in_flight: AtomicUsize,
 }
 
 impl<R: Repository> SnapshotService<R> {
@@ -166,14 +236,14 @@ impl<R: Repository> SnapshotService<R> {
     /// entries held for `cache_ttl`.
     pub fn new(repo: R, clock: Clock, cache_slots: usize, cache_ttl: Duration) -> Self {
         SnapshotService {
-            repo: Mutex::new(repo),
-            controls: Mutex::new(BTreeMap::new()),
+            repo,
+            controls: UserControls::new(),
             locks: LockTable::new(),
-            diff_cache: Mutex::new(DiffCache::new(cache_slots, cache_ttl)),
+            diff_cache: ShardedDiffCache::new(cache_slots, cache_ttl),
             clock,
-            stats: Mutex::new(ServiceStats::default()),
-            max_concurrent: Mutex::new(None),
-            in_flight: std::sync::atomic::AtomicUsize::new(0),
+            stats: StatCells::default(),
+            max_concurrent: AtomicUsize::new(UNLIMITED),
+            in_flight: AtomicUsize::new(0),
         }
     }
 
@@ -181,21 +251,40 @@ impl<R: Repository> SnapshotService<R> {
     /// requests fail with [`ServiceError::Overloaded`] until others
     /// finish. `None` removes the cap.
     pub fn set_max_concurrent(&self, limit: Option<usize>) {
-        *self.max_concurrent.lock() = limit;
+        self.max_concurrent
+            .store(limit.unwrap_or(UNLIMITED), Ordering::SeqCst);
     }
 
-    /// Admits one operation, or reports overload.
+    /// Admits one operation, or reports overload. The slot is reserved
+    /// with a compare-and-swap, so an over-cap burst never transiently
+    /// counts rejected callers against admitted ones.
     fn admit(&self) -> Result<AdmissionGuard<'_>, ServiceError> {
-        use std::sync::atomic::Ordering;
-        let limit = *self.max_concurrent.lock();
-        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-        if let Some(cap) = limit {
-            if now > cap {
-                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let cap = self.max_concurrent.load(Ordering::SeqCst);
+        if cap == UNLIMITED {
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            return Ok(AdmissionGuard {
+                counter: &self.in_flight,
+            });
+        }
+        let mut current = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            if current >= cap {
                 return Err(ServiceError::Overloaded { limit: cap });
             }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Ok(AdmissionGuard {
+                        counter: &self.in_flight,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
         }
-        Ok(AdmissionGuard { counter: &self.in_flight })
     }
 
     /// The shared lock table (exposed for contention experiments).
@@ -205,6 +294,11 @@ impl<R: Repository> SnapshotService<R> {
 
     /// Remember: checks `body` in as the state of `url` on behalf of
     /// `user`.
+    ///
+    /// Locking: the URL's named lock covers the archive
+    /// load-modify-store; the user's named lock (taken after the URL lock
+    /// is released) covers the control-file update. Remembers of
+    /// different URLs by different users share no exclusive lock.
     pub fn remember(
         &self,
         user: &UserId,
@@ -213,16 +307,22 @@ impl<R: Repository> SnapshotService<R> {
     ) -> Result<RememberOutcome, ServiceError> {
         let _slot = self.admit()?;
         let now = self.clock.now();
-        // Lock ordering: URL first, then user (see `locks`).
-        let _url_guard = self.locks.lock(&LockTable::url_key(url));
-        let mut repo = self.repo.lock();
-        let (outcome, created) = match repo.load(url)? {
-            Some(mut archive) => {
-                let out = archive.checkin(body, &user.0, &format!("checked in by {user}"), now)?;
-                if out.is_new() {
-                    repo.store(url, &archive)?;
+        let url_guard = self.locks.lock(&LockTable::url_key(url));
+        let (outcome, created) = match self.repo.load(url)? {
+            Some(existing) => {
+                if existing.head_text() == body {
+                    // Unchanged: no clone, no store — the same early-out
+                    // `Archive::checkin` would take.
+                    (CheckinOutcome::Unchanged(existing.head()), false)
+                } else {
+                    let mut archive = (*existing).clone();
+                    let out =
+                        archive.checkin(body, &user.0, &format!("checked in by {user}"), now)?;
+                    if out.is_new() {
+                        self.repo.store(url, &archive)?;
+                    }
+                    (out, false)
                 }
-                (out, false)
             }
             None => {
                 let archive = Archive::create(
@@ -232,22 +332,19 @@ impl<R: Repository> SnapshotService<R> {
                     &format!("initial snapshot by {user}"),
                     now,
                 );
-                repo.store(url, &archive)?;
+                self.repo.store(url, &archive)?;
                 (CheckinOutcome::NewRevision(RevId::FIRST), true)
             }
         };
-        drop(repo);
+        drop(url_guard);
         let _user_guard = self.locks.lock(&LockTable::user_key(&user.0));
         self.controls
-            .lock()
-            .entry(user.clone())
-            .or_default()
-            .entry(url)
-            .record(outcome.rev(), now);
-        let mut stats = self.stats.lock();
-        stats.remembers += 1;
+            .update(user, |c| c.entry(url).record(outcome.rev(), now));
+        self.stats.remembers.fetch_add(1, Ordering::Relaxed);
         if !outcome.is_new() {
-            stats.unchanged_remembers += 1;
+            self.stats
+                .unchanged_remembers
+                .fetch_add(1, Ordering::Relaxed);
         }
         Ok(RememberOutcome {
             rev: outcome.rev(),
@@ -268,17 +365,15 @@ impl<R: Repository> SnapshotService<R> {
         current_body: &str,
         opts: &DiffOptions,
     ) -> Result<DiffOutcome, ServiceError> {
-        let from = {
-            let controls = self.controls.lock();
-            controls
-                .get(user)
-                .and_then(|c| c.get(url))
-                .and_then(|e| e.last_seen())
-                .ok_or_else(|| ServiceError::NoUserHistory {
-                    user: user.clone(),
-                    url: url.to_string(),
-                })?
-        };
+        let from = self
+            .controls
+            .read(user, |c| {
+                c.and_then(|c| c.get(url)).and_then(|e| e.last_seen())
+            })
+            .ok_or_else(|| ServiceError::NoUserHistory {
+                user: user.clone(),
+                url: url.to_string(),
+            })?;
         let to = self.remember(user, url, current_body)?.rev;
         self.diff_versions(url, from, to, opts)
     }
@@ -293,8 +388,8 @@ impl<R: Repository> SnapshotService<R> {
     ) -> Result<DiffOutcome, ServiceError> {
         let _slot = self.admit()?;
         let now = self.clock.now();
-        let fp = DiffCache::options_fingerprint(&format!("{opts:?}"));
-        if let Some(html) = self.diff_cache.lock().get(url, from, to, fp, now) {
+        let fp = ShardedDiffCache::options_fingerprint(&format!("{opts:?}"));
+        if let Some(html) = self.diff_cache.get(url, from, to, fp, now) {
             return Ok(DiffOutcome {
                 html,
                 from,
@@ -302,20 +397,21 @@ impl<R: Repository> SnapshotService<R> {
                 from_cache: true,
             });
         }
-        let repo = self.repo.lock();
-        let archive = repo
+        let archive = self
+            .repo
             .load(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         let old = archive.checkout(from)?;
         let new = archive.checkout(to)?;
-        drop(repo);
+        drop(archive);
         let mut labeled = opts.clone();
         labeled.old_label = from.to_string();
         labeled.new_label = to.to_string();
         let result = html_diff(&old, &new, &labeled);
-        self.stats.lock().htmldiff_invocations += 1;
+        self.stats
+            .htmldiff_invocations
+            .fetch_add(1, Ordering::Relaxed);
         self.diff_cache
-            .lock()
             .put(url, from, to, fp, result.html.clone(), now);
         Ok(DiffOutcome {
             html: result.html,
@@ -332,31 +428,32 @@ impl<R: Repository> SnapshotService<R> {
         user: &UserId,
         url: &str,
     ) -> Result<Vec<(RevisionMeta, bool)>, ServiceError> {
-        let repo = self.repo.lock();
-        let archive = repo
+        let archive = self
+            .repo
             .load(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
-        let controls = self.controls.lock();
-        let seen = controls.get(user).and_then(|c| c.get(url));
-        Ok(archive
-            .log()
-            .into_iter()
-            .map(|m| {
-                let has = seen.map(|c| c.has_seen(m.id)).unwrap_or(false);
-                (m.clone(), has)
-            })
-            .collect())
+        Ok(self.controls.read(user, |c| {
+            let seen = c.and_then(|c| c.get(url));
+            archive
+                .log()
+                .into_iter()
+                .map(|m| {
+                    let has = seen.map(|c| c.has_seen(m.id)).unwrap_or(false);
+                    (m.clone(), has)
+                })
+                .collect()
+        }))
     }
 
     /// View: the full text of one revision, with a `BASE` tag inserted so
     /// relative links resolve against the original location (§4.1).
     pub fn view(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
-        let repo = self.repo.lock();
-        let archive = repo
+        let archive = self
+            .repo
             .load(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         let body = archive.checkout(rev)?;
-        drop(repo);
+        drop(archive);
         match Url::parse(url) {
             Ok(base) => Ok(serialize(&rewrite_base(&lex(&body), &base))),
             Err(_) => Ok(body),
@@ -367,8 +464,8 @@ impl<R: Repository> SnapshotService<R> {
     /// co-resident service needs to re-remember content on a user's
     /// behalf.
     pub fn revision_text(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
-        let repo = self.repo.lock();
-        let archive = repo
+        let archive = self
+            .repo
             .load(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         Ok(archive.checkout(rev)?)
@@ -376,8 +473,8 @@ impl<R: Repository> SnapshotService<R> {
 
     /// The revision in force at `date` (RCS `co -d`).
     pub fn view_at(&self, url: &str, date: Timestamp) -> Result<(RevId, String), ServiceError> {
-        let repo = self.repo.lock();
-        let archive = repo
+        let archive = self
+            .repo
             .load(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         Ok(archive.checkout_at(date)?)
@@ -385,44 +482,52 @@ impl<R: Repository> SnapshotService<R> {
 
     /// The head revision of `url`, if archived.
     pub fn head(&self, url: &str) -> Result<Option<(RevId, Timestamp)>, ServiceError> {
-        let repo = self.repo.lock();
-        Ok(repo
+        Ok(self
+            .repo
             .load(url)?
             .map(|a| (a.head(), a.metas().last().expect("nonempty").date)))
     }
 
     /// The most recent revision `user` has remembered of `url`.
     pub fn last_seen(&self, user: &UserId, url: &str) -> Option<RevId> {
-        self.controls
-            .lock()
-            .get(user)
-            .and_then(|c| c.get(url))
-            .and_then(|e| e.last_seen())
+        self.controls.read(user, |c| {
+            c.and_then(|c| c.get(url)).and_then(|e| e.last_seen())
+        })
     }
 
     /// All URLs anyone has archived.
     pub fn archived_urls(&self) -> Result<Vec<String>, ServiceError> {
-        Ok(self.repo.lock().keys()?)
+        Ok(self.repo.keys()?)
     }
 
     /// Repository storage accounting (the §7 numbers).
     pub fn storage(&self) -> Result<StorageStats, ServiceError> {
-        Ok(self.repo.lock().stats()?)
+        Ok(self.repo.stats()?)
     }
 
     /// Per-URL storage, largest first (§7 singles out the top three).
     pub fn storage_by_url(&self) -> Result<Vec<(String, usize)>, ServiceError> {
-        Ok(self.repo.lock().sizes()?)
+        Ok(self.repo.sizes()?)
     }
 
-    /// Service counters.
+    /// A consistent-enough snapshot of the service counters, read from
+    /// atomics without taking any lock.
+    pub fn snapshot_stats(&self) -> ServiceStats {
+        ServiceStats {
+            htmldiff_invocations: self.stats.htmldiff_invocations.load(Ordering::Relaxed),
+            remembers: self.stats.remembers.load(Ordering::Relaxed),
+            unchanged_remembers: self.stats.unchanged_remembers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Service counters (alias of [`SnapshotService::snapshot_stats`]).
     pub fn service_stats(&self) -> ServiceStats {
-        *self.stats.lock()
+        self.snapshot_stats()
     }
 
     /// Diff-cache counters.
     pub fn diff_cache_stats(&self) -> crate::diffcache::DiffCacheStats {
-        self.diff_cache.lock().stats()
+        self.diff_cache.stats()
     }
 }
 
@@ -450,7 +555,9 @@ mod tests {
     #[test]
     fn first_remember_creates_archive() {
         let (_, s) = service();
-        let out = s.remember(&fred(), URL, "<HTML><P>v1 body.</HTML>").unwrap();
+        let out = s
+            .remember(&fred(), URL, "<HTML><P>v1 body.</HTML>")
+            .unwrap();
         assert!(out.created_archive);
         assert!(out.stored_new_revision);
         assert_eq!(out.rev, RevId(1));
@@ -464,7 +571,7 @@ mod tests {
         let out = s.remember(&fred(), URL, "<HTML>same</HTML>").unwrap();
         assert!(!out.stored_new_revision);
         assert_eq!(out.rev, RevId(1));
-        assert_eq!(s.service_stats().unchanged_remembers, 1);
+        assert_eq!(s.snapshot_stats().unchanged_remembers, 1);
     }
 
     #[test]
@@ -477,13 +584,18 @@ mod tests {
         let out = s.remember(&tom(), URL, "<HTML>v1</HTML>").unwrap();
         assert!(!out.stored_new_revision);
         assert_eq!(s.last_seen(&tom(), URL), Some(RevId(1)));
-        assert_eq!(s.storage().unwrap().revisions, 1, "saved at most once per change");
+        assert_eq!(
+            s.storage().unwrap().revisions,
+            1,
+            "saved at most once per change"
+        );
     }
 
     #[test]
     fn diff_since_last_compares_and_advances() {
         let (clock, s) = service();
-        s.remember(&fred(), URL, "<HTML><P>original sentence stays.</HTML>").unwrap();
+        s.remember(&fred(), URL, "<HTML><P>original sentence stays.</HTML>")
+            .unwrap();
         clock.advance(Duration::days(3));
         let out = s
             .diff_since_last(
@@ -495,8 +607,14 @@ mod tests {
             .unwrap();
         assert_eq!(out.from, RevId(1));
         assert_eq!(out.to, RevId(2));
-        assert!(out.html.contains("<STRONG><I>a new one arrives!</I></STRONG>"));
-        assert!(out.html.contains("1.1"), "banner labels revisions: {}", out.html);
+        assert!(out
+            .html
+            .contains("<STRONG><I>a new one arrives!</I></STRONG>"));
+        assert!(
+            out.html.contains("1.1"),
+            "banner labels revisions: {}",
+            out.html
+        );
     }
 
     #[test]
@@ -512,16 +630,22 @@ mod tests {
     #[test]
     fn diff_cache_shares_renderings() {
         let (clock, s) = service();
-        s.remember(&fred(), URL, "<HTML><P>v1 text.</HTML>").unwrap();
+        s.remember(&fred(), URL, "<HTML><P>v1 text.</HTML>")
+            .unwrap();
         clock.advance(Duration::hours(1));
-        s.remember(&fred(), URL, "<HTML><P>v2 text!</HTML>").unwrap();
+        s.remember(&fred(), URL, "<HTML><P>v2 text!</HTML>")
+            .unwrap();
         let opts = DiffOptions::default();
         let a = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
         assert!(!a.from_cache);
         let b = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
         assert!(b.from_cache);
         assert_eq!(a.html, b.html);
-        assert_eq!(s.service_stats().htmldiff_invocations, 1, "HtmlDiff ran once");
+        assert_eq!(
+            s.snapshot_stats().htmldiff_invocations,
+            1,
+            "HtmlDiff ran once"
+        );
         assert_eq!(s.diff_cache_stats().hits, 1);
     }
 
@@ -539,7 +663,7 @@ mod tests {
         s.diff_versions(URL, RevId(1), RevId(2), &merged).unwrap();
         let b = s.diff_versions(URL, RevId(1), RevId(2), &only).unwrap();
         assert!(!b.from_cache);
-        assert_eq!(s.service_stats().htmldiff_invocations, 2);
+        assert_eq!(s.snapshot_stats().htmldiff_invocations, 2);
     }
 
     #[test]
@@ -561,8 +685,12 @@ mod tests {
     #[test]
     fn view_inserts_base() {
         let (_, s) = service();
-        s.remember(&fred(), URL, "<HTML><HEAD></HEAD><BODY><A HREF=\"rel.html\">x</A></BODY></HTML>")
-            .unwrap();
+        s.remember(
+            &fred(),
+            URL,
+            "<HTML><HEAD></HEAD><BODY><A HREF=\"rel.html\">x</A></BODY></HTML>",
+        )
+        .unwrap();
         let body = s.view(URL, RevId(1)).unwrap();
         assert!(
             body.contains(r#"<BASE HREF="http://www.usenix.org/index.html">"#),
@@ -644,15 +772,65 @@ mod tests {
         assert_eq!(outcomes.load(Ordering::SeqCst), 80);
         // After the storm, the cap can be lifted and service resumes.
         s.set_max_concurrent(None);
-        assert!(s.remember(&UserId::new("u@x"), "http://after/", "x").is_ok());
+        assert!(s
+            .remember(&UserId::new("u@x"), "http://after/", "x")
+            .is_ok());
+    }
+
+    #[test]
+    fn cas_admission_never_penalizes_admitted_callers() {
+        // With a cap of 1, a rejected caller must not consume the slot:
+        // a subsequent caller is admitted immediately (the old
+        // fetch_add-then-check gate could transiently over-count).
+        let (_, s) = service();
+        s.set_max_concurrent(Some(1));
+        for k in 0..20 {
+            s.remember(&fred(), &format!("http://seq/{k}"), "body")
+                .unwrap();
+        }
+        assert_eq!(s.snapshot_stats().remembers, 20);
+    }
+
+    #[test]
+    fn concurrent_remembers_of_distinct_urls() {
+        use std::sync::Arc;
+        let clock = Clock::starting_at(Timestamp(1_000_000));
+        let s = Arc::new(SnapshotService::new(
+            MemRepository::new(),
+            clock.clone(),
+            64,
+            Duration::hours(4),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let user = UserId::new(&format!("user{t}@x"));
+                for k in 0..10 {
+                    let url = format!("http://h{t}/p{k}");
+                    let out = s.remember(&user, &url, &format!("body {t} {k}")).unwrap();
+                    assert!(out.created_archive);
+                    assert_eq!(s.last_seen(&user, &url), Some(RevId(1)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.storage().unwrap().archives, 80);
+        assert_eq!(s.snapshot_stats().remembers, 80);
+        // Distinct keys: the named locks never collided.
+        assert_eq!(s.locks().stats().contended, 0);
     }
 
     #[test]
     fn storage_accounting() {
         let (clock, s) = service();
-        s.remember(&fred(), "http://a/", &"line of text\n".repeat(50)).unwrap();
+        s.remember(&fred(), "http://a/", &"line of text\n".repeat(50))
+            .unwrap();
         clock.advance(Duration::hours(1));
-        s.remember(&fred(), "http://b/", &"other content\n".repeat(500)).unwrap();
+        s.remember(&fred(), "http://b/", &"other content\n".repeat(500))
+            .unwrap();
         let stats = s.storage().unwrap();
         assert_eq!(stats.archives, 2);
         let by_url = s.storage_by_url().unwrap();

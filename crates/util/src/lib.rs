@@ -15,11 +15,15 @@
 //! - [`robots`]: the robot exclusion protocol (`robots.txt`), which
 //!   w3newer voluntarily obeys (§3.1).
 //! - [`lines`]: line splitting helpers shared by the diff and RCS crates.
+//! - [`sync`]: poison-free `Mutex`/`RwLock` wrappers shared by every
+//!   concurrent component (the build environment is offline, so no
+//!   external lock crate is available).
 
 pub mod checksum;
 pub mod lines;
 pub mod pattern;
 pub mod robots;
+pub mod sync;
 pub mod time;
 
 pub use checksum::{crc32, fnv1a64, PageChecksum};

@@ -49,7 +49,11 @@ pub fn split_lines(text: &str) -> (Vec<&str>, bool) {
         return (Vec::new(), false);
     }
     let trailing = text.ends_with('\n');
-    let body = if trailing { &text[..text.len() - 1] } else { text };
+    let body = if trailing {
+        &text[..text.len() - 1]
+    } else {
+        text
+    };
     (body.split('\n').collect(), trailing)
 }
 
@@ -75,7 +79,11 @@ mod tests {
     #[test]
     fn keep_newlines_roundtrip() {
         for text in ["", "a", "a\n", "a\nb", "a\nb\n", "\n", "\n\n", "a\n\nb"] {
-            assert_eq!(split_keep_newlines(text).concat(), text, "roundtrip {text:?}");
+            assert_eq!(
+                split_keep_newlines(text).concat(),
+                text,
+                "roundtrip {text:?}"
+            );
         }
     }
 

@@ -51,7 +51,10 @@ enum Ast {
     Empty,
     Char(char),
     AnyChar,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Concat(Vec<Ast>),
     Alternate(Vec<Ast>),
     Star(Box<Ast>),
@@ -64,7 +67,10 @@ enum Ast {
 enum Inst {
     Char(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Split(usize, usize),
     Jmp(usize),
     End,
@@ -203,12 +209,17 @@ impl Parser {
                 Some(']') if !first => break,
                 Some(c) => {
                     let lo = if c == '\\' {
-                        self.bump().ok_or_else(|| self.err("trailing backslash in class"))?
+                        self.bump()
+                            .ok_or_else(|| self.err("trailing backslash in class"))?
                     } else {
                         c
                     };
                     if self.peek() == Some('-')
-                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                        && self
+                            .chars
+                            .get(self.pos + 1)
+                            .copied()
+                            .is_some_and(|n| n != ']')
                     {
                         self.bump(); // the '-'
                         let hi = match self.bump() {
@@ -457,7 +468,10 @@ mod tests {
     fn escaped_dot_is_literal() {
         assert!(p(r"www\.yahoo\.com").matches("http://www.yahoo.com/"));
         assert!(!p(r"www\.yahoo\.com").matches("http://wwwXyahooXcom/"));
-        assert!(p("www.yahoo.com").matches("http://wwwXyahooXcom/"), "unescaped dot is wildcard");
+        assert!(
+            p("www.yahoo.com").matches("http://wwwXyahooXcom/"),
+            "unescaped dot is wildcard"
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl RobotsTxt {
                 last_was_agent = false;
                 continue;
             }
-            let Some(colon) = line.find(':') else { continue };
+            let Some(colon) = line.find(':') else {
+                continue;
+            };
             let field = line[..colon].trim().to_ascii_lowercase();
             let value = line[colon + 1..].trim().to_string();
             match field.as_str() {
@@ -133,7 +135,11 @@ impl RobotsTxt {
                 .iter()
                 .any(|a| a != "*" && (agent.contains(a.as_str()) || a.contains(agent.as_str())))
         });
-        let group = specific.or_else(|| self.groups.iter().find(|g| g.agents.iter().any(|a| a == "*")));
+        let group = specific.or_else(|| {
+            self.groups
+                .iter()
+                .find(|g| g.agents.iter().any(|a| a == "*"))
+        });
         match group {
             None => true,
             Some(g) => !g.disallow.iter().any(|d| path.starts_with(d.as_str())),
@@ -176,7 +182,8 @@ mod tests {
 
     #[test]
     fn empty_disallow_allows_everything() {
-        let r = RobotsTxt::parse("User-agent: friendlybot\nDisallow:\n\nUser-agent: *\nDisallow: /\n");
+        let r =
+            RobotsTxt::parse("User-agent: friendlybot\nDisallow:\n\nUser-agent: *\nDisallow: /\n");
         assert!(r.allows("friendlybot", "/deep/page.html"));
         assert!(!r.allows("otherbot", "/deep/page.html"));
     }
@@ -199,7 +206,8 @@ mod tests {
 
     #[test]
     fn blank_line_separates_records() {
-        let r = RobotsTxt::parse("User-agent: a\nDisallow: /one/\n\nUser-agent: b\nDisallow: /two/\n");
+        let r =
+            RobotsTxt::parse("User-agent: a\nDisallow: /one/\n\nUser-agent: b\nDisallow: /two/\n");
         assert!(!r.allows("a", "/one/p"));
         assert!(r.allows("a", "/two/p"));
         assert!(!r.allows("b", "/two/p"));

@@ -338,7 +338,10 @@ impl Timestamp {
         if parts.len() != 6 {
             return None;
         }
-        let nums: Vec<u64> = parts.iter().map(|p| p.parse().ok()).collect::<Option<_>>()?;
+        let nums: Vec<u64> = parts
+            .iter()
+            .map(|p| p.parse().ok())
+            .collect::<Option<_>>()?;
         let (y, mo, d, h, mi, se) = (nums[0], nums[1], nums[2], nums[3], nums[4], nums[5]);
         if !(1..=12).contains(&mo) || h >= 24 || mi >= 60 || se >= 60 || y < 1970 {
             return None;
@@ -459,7 +462,10 @@ mod tests {
     fn epoch_calendar() {
         let c = Timestamp::EPOCH.calendar();
         assert_eq!((c.year, c.month, c.day), (1970, 1, 1));
-        assert_eq!(Timestamp::EPOCH.to_http_date(), "Thu, 01 Jan 1970 00:00:00 GMT");
+        assert_eq!(
+            Timestamp::EPOCH.to_http_date(),
+            "Thu, 01 Jan 1970 00:00:00 GMT"
+        );
     }
 
     #[test]

@@ -53,6 +53,16 @@ impl TrackerCache {
         self.records.entry(url.to_string()).or_default()
     }
 
+    /// Inserts (replacing) the record for `url`.
+    pub fn insert(&mut self, url: &str, rec: UrlRecord) {
+        self.records.insert(url.to_string(), rec);
+    }
+
+    /// All `(url, record)` pairs, in URL order.
+    pub fn records(&self) -> impl Iterator<Item = (&str, &UrlRecord)> {
+        self.records.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Number of cached URLs.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -107,7 +117,9 @@ impl TrackerCache {
             }
             let mut rec = UrlRecord::default();
             for field in parts {
-                let Some((k, v)) = field.split_once('=') else { continue };
+                let Some((k, v)) = field.split_once('=') else {
+                    continue;
+                };
                 match k {
                     "lm" => rec.last_modified = v.parse().ok().map(Timestamp),
                     "io" => rec.info_obtained = v.parse().ok().map(Timestamp),
@@ -140,7 +152,10 @@ mod tests {
         let mut c = TrackerCache::new();
         assert!(c.get("http://x/").is_none());
         c.entry("http://x/").last_modified = Some(Timestamp(99));
-        assert_eq!(c.get("http://x/").unwrap().last_modified, Some(Timestamp(99)));
+        assert_eq!(
+            c.get("http://x/").unwrap().last_modified,
+            Some(Timestamp(99))
+        );
         assert_eq!(c.len(), 1);
     }
 
@@ -152,7 +167,10 @@ mod tests {
             r.last_modified = Some(Timestamp(100));
             r.info_obtained = Some(Timestamp(200));
             r.last_checked = Some(Timestamp(300));
-            r.checksum = Some(PageChecksum { crc: 0xDEAD_BEEF, len: 1234 });
+            r.checksum = Some(PageChecksum {
+                crc: 0xDEAD_BEEF,
+                len: 1234,
+            });
             r.robots_excluded = true;
             r.error_count = 3;
             r.last_error = Some("timeout".to_string());
@@ -185,7 +203,10 @@ mod tests {
     fn malformed_lines_skipped() {
         let c = TrackerCache::parse("\nhttp://ok/\tlm=5\n\tlm=9\nhttp://alsook/\tbogusfield\n");
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("http://ok/").unwrap().last_modified, Some(Timestamp(5)));
+        assert_eq!(
+            c.get("http://ok/").unwrap().last_modified,
+            Some(Timestamp(5))
+        );
         assert_eq!(c.get("http://alsook/").unwrap(), &UrlRecord::default());
     }
 }

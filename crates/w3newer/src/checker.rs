@@ -30,6 +30,7 @@ use aide_util::checksum::PageChecksum;
 use aide_util::robots::RobotsTxt;
 use aide_util::time::{Duration, Timestamp};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Where the verdict for a URL came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,7 +126,10 @@ pub struct RunReport {
 impl RunReport {
     /// Number of entries with each changed status.
     pub fn changed_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.status.is_changed()).count()
+        self.entries
+            .iter()
+            .filter(|e| e.status.is_changed())
+            .count()
     }
 }
 
@@ -184,14 +188,31 @@ impl W3Newer {
     /// Runs one pass over `hotlist`. `last_visited` supplies the browser
     /// history; `proxy` is consulted for cached modification dates when
     /// available.
+    ///
+    /// This is the worker-pool driver ([`W3Newer::run_pooled`]) at the
+    /// machine's default width; the report is byte-identical to
+    /// [`W3Newer::run_serial`].
     pub fn run(
         &mut self,
         hotlist: &[Bookmark],
-        last_visited: &dyn Fn(&str) -> Option<Timestamp>,
+        last_visited: &(dyn Fn(&str) -> Option<Timestamp> + Sync),
+        web: &Web,
+        proxy: Option<&ProxyCache>,
+    ) -> RunReport {
+        self.run_pooled(hotlist, last_visited, web, proxy, default_workers())
+    }
+
+    /// Runs one pass strictly serially, in hotlist order — the reference
+    /// implementation the worker pool must reproduce byte-for-byte.
+    pub fn run_serial(
+        &mut self,
+        hotlist: &[Bookmark],
+        last_visited: &(dyn Fn(&str) -> Option<Timestamp> + Sync),
         web: &Web,
         proxy: Option<&ProxyCache>,
     ) -> RunReport {
         let now = web.clock().now();
+        let mut cache = std::mem::take(&mut self.cache);
         let mut entries = Vec::with_capacity(hotlist.len());
         let mut robots: HashMap<String, RobotsTxt> = HashMap::new();
         let mut dead_hosts: HashSet<String> = HashSet::new();
@@ -205,8 +226,16 @@ impl W3Newer {
                     reason: SkipReason::RunAborted,
                 }
             } else {
-                let status =
-                    self.check_url(&mark.url, visited, web, proxy, &mut robots, &mut dead_hosts, now);
+                let status = self.check_url(
+                    &mut cache,
+                    &mark.url,
+                    visited,
+                    web,
+                    proxy,
+                    &mut robots,
+                    &mut dead_hosts,
+                    now,
+                );
                 // Track consecutive network failures for the abort rule.
                 match &status {
                     UrlStatus::Error { .. } => {
@@ -229,6 +258,7 @@ impl W3Newer {
                 last_visited: visited,
             });
         }
+        self.cache = cache;
         RunReport {
             entries,
             started: now,
@@ -236,10 +266,177 @@ impl W3Newer {
         }
     }
 
-    /// The per-URL decision procedure.
+    /// Runs one pass with up to `workers` concurrent host pipelines.
+    ///
+    /// The hotlist is partitioned by host (first-appearance order); each
+    /// host's entries are checked in hotlist order by a single worker at
+    /// a time, so a server never sees two simultaneous requests from the
+    /// tracker (per-host politeness), while different hosts proceed in
+    /// parallel on a bounded pool of scoped threads. Workers mutate only
+    /// host-local copies of the per-URL records, merged back
+    /// deterministically afterwards.
+    ///
+    /// The report is byte-identical to [`W3Newer::run_serial`]: entries
+    /// come back in hotlist order, and the consecutive-error abort rule
+    /// is applied to the ordered results as a post-process. The one
+    /// observable difference is internal: a run that aborts may still
+    /// have checked (and cached state for) URLs past the abort point,
+    /// which the serial tracker never reached.
+    ///
+    /// `last_visited` is called once per hotlist entry, in no particular
+    /// order — it should be a pure view of the browser history.
+    pub fn run_pooled(
+        &mut self,
+        hotlist: &[Bookmark],
+        last_visited: &(dyn Fn(&str) -> Option<Timestamp> + Sync),
+        web: &Web,
+        proxy: Option<&ProxyCache>,
+        workers: usize,
+    ) -> RunReport {
+        // Partition by host; unparseable URLs group under their own text.
+        let mut group_of: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, mark) in hotlist.iter().enumerate() {
+            let key = match Url::parse(&mark.url) {
+                Ok(u) => format!("{}://{}", u.scheme, u.host),
+                Err(_) => mark.url.clone(),
+            };
+            let g = *group_of.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+        let pool = workers.min(groups.len());
+        if pool <= 1 {
+            // One host (or one worker): the serial path is already
+            // optimal and keeps exact serial cache semantics.
+            return self.run_serial(hotlist, last_visited, web, proxy);
+        }
+
+        let now = web.clock().now();
+        let this = &*self;
+        let next = AtomicUsize::new(0);
+        let groups_ref = &groups;
+        type WorkerOutput = (Vec<(usize, UrlReport)>, Vec<(usize, TrackerCache)>);
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..pool)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut reports = Vec::new();
+                        let mut deltas = Vec::new();
+                        loop {
+                            let g = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(group) = groups_ref.get(g) else {
+                                break;
+                            };
+                            // Host-local working cache, seeded with the
+                            // host's existing records.
+                            let mut local = TrackerCache::new();
+                            for &i in group {
+                                if let Some(rec) = this.cache.get(&hotlist[i].url) {
+                                    local.insert(&hotlist[i].url, rec.clone());
+                                }
+                            }
+                            let mut robots: HashMap<String, RobotsTxt> = HashMap::new();
+                            let mut dead_hosts: HashSet<String> = HashSet::new();
+                            for &i in group {
+                                let mark = &hotlist[i];
+                                let visited = last_visited(&mark.url);
+                                let status = this.check_url(
+                                    &mut local,
+                                    &mark.url,
+                                    visited,
+                                    web,
+                                    proxy,
+                                    &mut robots,
+                                    &mut dead_hosts,
+                                    now,
+                                );
+                                reports.push((
+                                    i,
+                                    UrlReport {
+                                        url: mark.url.clone(),
+                                        title: mark.title.clone(),
+                                        status,
+                                        last_visited: visited,
+                                    },
+                                ));
+                            }
+                            deltas.push((g, local));
+                        }
+                        (reports, deltas)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("w3newer worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: reports back into hotlist order, cache
+        // deltas in group (first-appearance) order. Hosts own disjoint
+        // URL sets, so merge order cannot change the result — ordering
+        // it anyway keeps runs bit-reproducible.
+        let mut slots: Vec<Option<UrlReport>> = vec![None; hotlist.len()];
+        let mut deltas: Vec<(usize, TrackerCache)> = Vec::new();
+        for (reports, ds) in outputs {
+            for (i, r) in reports {
+                slots[i] = Some(r);
+            }
+            deltas.extend(ds);
+        }
+        deltas.sort_by_key(|(g, _)| *g);
+        for (_, local) in deltas {
+            for (url, rec) in local.records() {
+                self.cache.insert(url, rec.clone());
+            }
+        }
+        let mut entries: Vec<UrlReport> = slots
+            .into_iter()
+            .map(|r| r.expect("every hotlist entry produced a report"))
+            .collect();
+
+        // The serial consecutive-error abort rule, applied to the
+        // ordered results.
+        let mut consecutive_errors = 0u32;
+        let mut aborted = false;
+        for e in entries.iter_mut() {
+            if aborted {
+                e.status = UrlStatus::NotChecked {
+                    reason: SkipReason::RunAborted,
+                };
+                continue;
+            }
+            match &e.status {
+                UrlStatus::Error { .. } => {
+                    consecutive_errors += 1;
+                    if let Some(limit) = self.flags.abort_after_consecutive_errors {
+                        if consecutive_errors >= limit {
+                            aborted = true;
+                        }
+                    }
+                }
+                UrlStatus::NotChecked { .. } => {}
+                _ => consecutive_errors = 0,
+            }
+        }
+        RunReport {
+            entries,
+            started: now,
+            aborted,
+        }
+    }
+
+    /// The per-URL decision procedure. Reads configuration from `self`
+    /// and mutates only `cache` (plus the per-run `robots` /
+    /// `dead_hosts` scratch maps), so host pipelines can run it
+    /// concurrently against host-local caches.
     #[allow(clippy::too_many_arguments)]
     fn check_url(
-        &mut self,
+        &self,
+        cache: &mut TrackerCache,
         url: &str,
         visited: Option<Timestamp>,
         web: &Web,
@@ -258,7 +455,7 @@ impl W3Newer {
         // Cached robot exclusion: "the page is not accessed again unless
         // a special flag is set".
         if !self.flags.ignore_robots {
-            if let Some(rec) = self.cache.get(url) {
+            if let Some(rec) = cache.get(url) {
                 if rec.robots_excluded {
                     return UrlStatus::RobotExcluded;
                 }
@@ -266,7 +463,7 @@ impl W3Newer {
         }
 
         // Source 1: w3newer's own cache.
-        if let Some(rec) = self.cache.get(url) {
+        if let Some(rec) = cache.get(url) {
             if let Some(lm) = rec.last_modified {
                 if changed_since(lm, visited) {
                     // Known modified since last view: no network needed.
@@ -294,7 +491,7 @@ impl W3Newer {
                         };
                     }
                 }
-                if let Some(lc) = self.cache.get(url).and_then(|r| r.last_checked) {
+                if let Some(lc) = cache.get(url).and_then(|r| r.last_checked) {
                     if now - lc < d {
                         return UrlStatus::NotChecked {
                             reason: SkipReason::CheckedRecently,
@@ -310,7 +507,7 @@ impl W3Newer {
             if d > Duration::ZERO {
                 if let Some((Some(lm), fetched_at)) = proxy.cached_mod_info(url) {
                     if now - fetched_at < d {
-                        let rec = self.cache.entry(url);
+                        let rec = cache.entry(url);
                         rec.last_modified = Some(lm);
                         rec.info_obtained = Some(fetched_at);
                         return if changed_since(lm, visited) {
@@ -332,7 +529,7 @@ impl W3Newer {
         let parsed = match Url::parse(url) {
             Ok(u) => u,
             Err(e) => {
-                return self.record_error(url, &format!("bad URL: {e}"), now);
+                return self.record_error(cache, url, &format!("bad URL: {e}"), now);
             }
         };
         let is_file = parsed.scheme == "file";
@@ -353,7 +550,7 @@ impl W3Newer {
                 }
             });
             if !policy.allows(&self.user_agent, &parsed.path) {
-                self.cache.entry(url).robots_excluded = true;
+                cache.entry(url).robots_excluded = true;
                 return UrlStatus::RobotExcluded;
             }
         }
@@ -364,7 +561,7 @@ impl W3Newer {
                 if e.is_host_error() && !is_file {
                     dead_hosts.insert(parsed.host.clone());
                 }
-                return self.record_error(url, &e.to_string(), now);
+                return self.record_error(cache, url, &e.to_string(), now);
             }
             Ok(resp) => resp,
         };
@@ -372,23 +569,27 @@ impl W3Newer {
             Status::Ok => {}
             Status::MovedPermanently => {
                 let to = resp.location.as_deref().unwrap_or("(unknown)");
-                return self.record_error(url, &format!("moved to {to}"), now);
+                return self.record_error(cache, url, &format!("moved to {to}"), now);
             }
             other => {
-                return self.record_error(url, &format!("HTTP {other}"), now);
+                return self.record_error(cache, url, &format!("HTTP {other}"), now);
             }
         }
 
-        let source = if is_file { CheckSource::FileStat } else { CheckSource::Head };
+        let source = if is_file {
+            CheckSource::FileStat
+        } else {
+            CheckSource::Head
+        };
         {
-            let rec = self.cache.entry(url);
+            let rec = cache.entry(url);
             rec.last_checked = Some(now);
             rec.error_count = 0;
             rec.last_error = None;
         }
 
         if let Some(lm) = resp.last_modified {
-            let rec = self.cache.entry(url);
+            let rec = cache.entry(url);
             rec.last_modified = Some(lm);
             rec.info_obtained = Some(now);
             return if changed_since(lm, visited) {
@@ -403,14 +604,14 @@ impl W3Newer {
 
         // No Last-Modified (CGI output): GET + checksum.
         let get = match web.request(&Request::get(url).user_agent(&self.user_agent)) {
-            Err(e) => return self.record_error(url, &e.to_string(), now),
+            Err(e) => return self.record_error(cache, url, &e.to_string(), now),
             Ok(r) => r,
         };
         if get.status != Status::Ok {
-            return self.record_error(url, &format!("HTTP {} on GET", get.status), now);
+            return self.record_error(cache, url, &format!("HTTP {} on GET", get.status), now);
         }
         let checksum = PageChecksum::of(get.body.as_bytes());
-        let rec = self.cache.entry(url);
+        let rec = cache.entry(url);
         let prior = rec.checksum.replace(checksum);
         rec.info_obtained = Some(now);
         match prior {
@@ -428,9 +629,15 @@ impl W3Newer {
         }
     }
 
-    fn record_error(&mut self, url: &str, message: &str, now: Timestamp) -> UrlStatus {
+    fn record_error(
+        &self,
+        cache: &mut TrackerCache,
+        url: &str,
+        message: &str,
+        now: Timestamp,
+    ) -> UrlStatus {
         let count_as_checked = self.flags.errors_count_as_checked;
-        let rec = self.cache.entry(url);
+        let rec = cache.entry(url);
         rec.error_count += 1;
         rec.last_error = Some(message.to_string());
         if count_as_checked {
@@ -442,6 +649,16 @@ impl W3Newer {
             message: message.to_string(),
         }
     }
+}
+
+/// Worker-pool width for [`W3Newer::run`]: the machine's parallelism,
+/// bounded so a large hotlist does not open dozens of connections at
+/// once.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
 }
 
 /// Modified after the user's last view? Never-viewed pages count as
@@ -486,12 +703,16 @@ mod tests {
     #[test]
     fn unseen_modified_page_is_changed() {
         let (clock, web) = setup();
-        web.set_page("http://h/p", "body", clock.now() - Duration::days(5)).unwrap();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(5))
+            .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
         let r = w.run(&[mark("http://h/p")], &no_history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Changed { source: CheckSource::Head, .. }
+            UrlStatus::Changed {
+                source: CheckSource::Head,
+                ..
+            }
         ));
     }
 
@@ -509,7 +730,8 @@ mod tests {
     #[test]
     fn cached_changed_verdict_needs_no_network() {
         let (clock, web) = setup();
-        web.set_page("http://h/p", "body", clock.now() - Duration::days(1)).unwrap();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(1))
+            .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
         // First run does the HEAD and caches the date.
         w.run(&[mark("http://h/p")], &no_history, &web, None);
@@ -518,7 +740,10 @@ mod tests {
         let r = w.run(&[mark("http://h/p")], &no_history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Changed { source: CheckSource::Cache, .. }
+            UrlStatus::Changed {
+                source: CheckSource::Cache,
+                ..
+            }
         ));
         assert_eq!(web.stats().requests, before, "no network traffic");
     }
@@ -538,7 +763,9 @@ mod tests {
         let r = w.run(&[mark("http://h/p")], &history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Unchanged { source: CheckSource::Cache }
+            UrlStatus::Unchanged {
+                source: CheckSource::Cache
+            }
         ));
         assert_eq!(web.stats().requests, before);
         // Past staleness: w3newer re-verifies over the network.
@@ -546,7 +773,9 @@ mod tests {
         let r = w.run(&[mark("http://h/p")], &history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Unchanged { source: CheckSource::Head }
+            UrlStatus::Unchanged {
+                source: CheckSource::Head
+            }
         ));
         assert!(web.stats().requests > before);
     }
@@ -554,7 +783,12 @@ mod tests {
     #[test]
     fn never_threshold_skips() {
         let (clock, web) = setup();
-        web.set_page("http://www.unitedmedia.com/comics/dilbert/", "strip", clock.now()).unwrap();
+        web.set_page(
+            "http://www.unitedmedia.com/comics/dilbert/",
+            "strip",
+            clock.now(),
+        )
+        .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::table1());
         let r = w.run(
             &[mark("http://www.unitedmedia.com/comics/dilbert/")],
@@ -564,7 +798,9 @@ mod tests {
         );
         assert_eq!(
             r.entries[0].status,
-            UrlStatus::NotChecked { reason: SkipReason::NeverThreshold }
+            UrlStatus::NotChecked {
+                reason: SkipReason::NeverThreshold
+            }
         );
         assert_eq!(web.stats().requests, 0);
     }
@@ -572,14 +808,26 @@ mod tests {
     #[test]
     fn recently_visited_skips_within_threshold() {
         let (clock, web) = setup();
-        web.set_page("http://other.com/x", "body", clock.now() - Duration::days(9)).unwrap();
+        web.set_page(
+            "http://other.com/x",
+            "body",
+            clock.now() - Duration::days(9),
+        )
+        .unwrap();
         // Table 1 default is 2d; user visited yesterday.
         let visited = clock.now() - Duration::days(1);
         let mut w = W3Newer::new(ThresholdConfig::table1());
-        let r = w.run(&[mark("http://other.com/x")], &move |_| Some(visited), &web, None);
+        let r = w.run(
+            &[mark("http://other.com/x")],
+            &move |_| Some(visited),
+            &web,
+            None,
+        );
         assert_eq!(
             r.entries[0].status,
-            UrlStatus::NotChecked { reason: SkipReason::RecentlyVisited }
+            UrlStatus::NotChecked {
+                reason: SkipReason::RecentlyVisited
+            }
         );
         assert_eq!(web.stats().requests, 0);
     }
@@ -587,7 +835,12 @@ mod tests {
     #[test]
     fn checked_recently_skips_within_threshold() {
         let (clock, web) = setup();
-        web.set_page("http://other.com/x", "body", clock.now() - Duration::days(30)).unwrap();
+        web.set_page(
+            "http://other.com/x",
+            "body",
+            clock.now() - Duration::days(30),
+        )
+        .unwrap();
         let visited = clock.now() - Duration::days(20);
         let history = move |_: &str| Some(visited);
         let mut w = W3Newer::new(ThresholdConfig::table1());
@@ -598,7 +851,9 @@ mod tests {
         let r = w.run(&[mark("http://other.com/x")], &history, &web, None);
         assert_eq!(
             r.entries[0].status,
-            UrlStatus::NotChecked { reason: SkipReason::CheckedRecently }
+            UrlStatus::NotChecked {
+                reason: SkipReason::CheckedRecently
+            }
         );
         assert_eq!(web.stats().requests, before);
     }
@@ -616,7 +871,10 @@ mod tests {
         let r = w.run(&[mark("http://h/p")], &no_history, &web, Some(&proxy));
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Changed { source: CheckSource::ProxyCache, .. }
+            UrlStatus::Changed {
+                source: CheckSource::ProxyCache,
+                ..
+            }
         ));
         assert_eq!(web.server_stats("h").unwrap().total(), origin_before);
     }
@@ -624,10 +882,13 @@ mod tests {
     #[test]
     fn cgi_pages_use_checksum() {
         let (_, web) = setup();
-        web.set_resource("http://h/cgi-bin/q", Resource::Cgi {
-            template: "stable result".to_string(),
-            hits: 0,
-        })
+        web.set_resource(
+            "http://h/cgi-bin/q",
+            Resource::Cgi {
+                template: "stable result".to_string(),
+                hits: 0,
+            },
+        )
         .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
         w.flags.staleness = Duration::ZERO;
@@ -635,21 +896,29 @@ mod tests {
         let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Unchanged { source: CheckSource::GetChecksum }
+            UrlStatus::Unchanged {
+                source: CheckSource::GetChecksum
+            }
         ));
         // Content unchanged: still unchanged.
         let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
         assert!(matches!(&r.entries[0].status, UrlStatus::Unchanged { .. }));
         // Content changes: checksum detects it.
-        web.set_resource("http://h/cgi-bin/q", Resource::Cgi {
-            template: "different result".to_string(),
-            hits: 0,
-        })
+        web.set_resource(
+            "http://h/cgi-bin/q",
+            Resource::Cgi {
+                template: "different result".to_string(),
+                hits: 0,
+            },
+        )
         .unwrap();
         let r = w.run(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum }
+            UrlStatus::Changed {
+                modified: None,
+                source: CheckSource::GetChecksum
+            }
         ));
     }
 
@@ -657,20 +926,25 @@ mod tests {
     fn noisy_counter_page_always_changes() {
         // §3.1's junk-mail problem, reproduced.
         let (_, web) = setup();
-        web.set_resource("http://h/counter", Resource::hit_counter("visits: {HITS}")).unwrap();
+        web.set_resource("http://h/counter", Resource::hit_counter("visits: {HITS}"))
+            .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
         w.flags.staleness = Duration::ZERO;
         w.run(&[mark("http://h/counter")], &no_history, &web, None);
         for _ in 0..3 {
             let r = w.run(&[mark("http://h/counter")], &no_history, &web, None);
-            assert!(r.entries[0].status.is_changed(), "noisy page flagged every run");
+            assert!(
+                r.entries[0].status.is_changed(),
+                "noisy page flagged every run"
+            );
         }
     }
 
     #[test]
     fn robots_exclusion_honoured_and_cached() {
         let (clock, web) = setup();
-        web.set_page("http://h/private/p", "body", clock.now()).unwrap();
+        web.set_page("http://h/private/p", "body", clock.now())
+            .unwrap();
         web.set_robots_txt("h", "User-agent: *\nDisallow: /private/\n");
         let mut w = W3Newer::new(ThresholdConfig::default());
         let r = w.run(&[mark("http://h/private/p")], &no_history, &web, None);
@@ -685,13 +959,22 @@ mod tests {
     #[test]
     fn ignore_robots_flag_overrides() {
         let (clock, web) = setup();
-        web.set_page("http://h/private/p", "body", clock.now() - Duration::days(1)).unwrap();
+        web.set_page(
+            "http://h/private/p",
+            "body",
+            clock.now() - Duration::days(1),
+        )
+        .unwrap();
         web.set_robots_txt("h", "User-agent: *\nDisallow: /private/\n");
         let mut w = W3Newer::new(ThresholdConfig::default());
         w.run(&[mark("http://h/private/p")], &no_history, &web, None); // caches exclusion
         w.flags.ignore_robots = true;
         let r = w.run(&[mark("http://h/private/p")], &no_history, &web, None);
-        assert!(r.entries[0].status.is_changed(), "{:?}", r.entries[0].status);
+        assert!(
+            r.entries[0].status.is_changed(),
+            "{:?}",
+            r.entries[0].status
+        );
     }
 
     #[test]
@@ -700,7 +983,9 @@ mod tests {
         web.add_server("h");
         let mut w = W3Newer::new(ThresholdConfig::default());
         let r = w.run(&[mark("http://h/missing")], &no_history, &web, None);
-        assert!(matches!(&r.entries[0].status, UrlStatus::Error { message } if message.contains("404")));
+        assert!(
+            matches!(&r.entries[0].status, UrlStatus::Error { message } if message.contains("404"))
+        );
         w.run(&[mark("http://h/missing")], &no_history, &web, None);
         assert_eq!(w.cache.get("http://h/missing").unwrap().error_count, 2);
     }
@@ -708,7 +993,13 @@ mod tests {
     #[test]
     fn moved_url_reports_location() {
         let (_, web) = setup();
-        web.set_resource("http://h/old", Resource::Moved { location: "http://h/new".into() }).unwrap();
+        web.set_resource(
+            "http://h/old",
+            Resource::Moved {
+                location: "http://h/new".into(),
+            },
+        )
+        .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
         let r = w.run(&[mark("http://h/old")], &no_history, &web, None);
         assert!(
@@ -727,7 +1018,9 @@ mod tests {
         let r = w.run(&[mark("http://h/missing")], &no_history, &web, None);
         assert_eq!(
             r.entries[0].status,
-            UrlStatus::NotChecked { reason: SkipReason::CheckedRecently },
+            UrlStatus::NotChecked {
+                reason: SkipReason::CheckedRecently
+            },
             "failed URL polled at the same frequency as a working one"
         );
     }
@@ -740,7 +1033,11 @@ mod tests {
         let mut w = W3Newer::new(ThresholdConfig::default());
         w.flags.skip_host_after_host_error = true;
         let r = w.run(
-            &[mark("http://dead/a"), mark("http://dead/b"), mark("http://dead/c")],
+            &[
+                mark("http://dead/a"),
+                mark("http://dead/b"),
+                mark("http://dead/c"),
+            ],
             &no_history,
             &web,
             None,
@@ -748,11 +1045,15 @@ mod tests {
         assert!(matches!(&r.entries[0].status, UrlStatus::Error { .. }));
         assert_eq!(
             r.entries[1].status,
-            UrlStatus::NotChecked { reason: SkipReason::HostError }
+            UrlStatus::NotChecked {
+                reason: SkipReason::HostError
+            }
         );
         assert_eq!(
             r.entries[2].status,
-            UrlStatus::NotChecked { reason: SkipReason::HostError }
+            UrlStatus::NotChecked {
+                reason: SkipReason::HostError
+            }
         );
     }
 
@@ -765,11 +1066,20 @@ mod tests {
         let hotlist: Vec<Bookmark> = (0..6).map(|i| mark(&format!("http://h{i}/p"))).collect();
         let r = w.run(&hotlist, &no_history, &web, None);
         assert!(r.aborted);
-        let errors = r.entries.iter().filter(|e| matches!(e.status, UrlStatus::Error { .. })).count();
+        let errors = r
+            .entries
+            .iter()
+            .filter(|e| matches!(e.status, UrlStatus::Error { .. }))
+            .count();
         let skipped = r
             .entries
             .iter()
-            .filter(|e| e.status == UrlStatus::NotChecked { reason: SkipReason::RunAborted })
+            .filter(|e| {
+                e.status
+                    == UrlStatus::NotChecked {
+                        reason: SkipReason::RunAborted,
+                    }
+            })
             .count();
         assert_eq!(errors, 3);
         assert_eq!(skipped, 3);
@@ -778,12 +1088,19 @@ mod tests {
     #[test]
     fn file_urls_are_cheap_stats() {
         let (clock, web) = setup();
-        web.write_local_file("/home/me/notes.html", "text", clock.now() - Duration::hours(1));
+        web.write_local_file(
+            "/home/me/notes.html",
+            "text",
+            clock.now() - Duration::hours(1),
+        );
         let mut w = W3Newer::new(ThresholdConfig::table1()); // file:.* → 0 (always)
         let r = w.run(&[mark("file:/home/me/notes.html")], &no_history, &web, None);
         assert!(matches!(
             &r.entries[0].status,
-            UrlStatus::Changed { source: CheckSource::FileStat, .. }
+            UrlStatus::Changed {
+                source: CheckSource::FileStat,
+                ..
+            }
         ));
         assert_eq!(web.stats().requests, 0, "no network traffic for file:");
     }
@@ -791,24 +1108,170 @@ mod tests {
     #[test]
     fn zero_threshold_checks_every_run() {
         let (clock, web) = setup();
-        web.set_page("http://www.research.att.com/x", "b", clock.now() - Duration::days(1)).unwrap();
+        web.set_page(
+            "http://www.research.att.com/x",
+            "b",
+            clock.now() - Duration::days(1),
+        )
+        .unwrap();
         let visited = clock.now() - Duration::hours(1);
         let history = move |_: &str| Some(visited);
         let mut w = W3Newer::new(ThresholdConfig::table1()); // att.com → 0
         w.flags.staleness = Duration::ZERO;
-        w.run(&[mark("http://www.research.att.com/x")], &history, &web, None);
+        w.run(
+            &[mark("http://www.research.att.com/x")],
+            &history,
+            &web,
+            None,
+        );
         let before = web.stats().heads;
-        w.run(&[mark("http://www.research.att.com/x")], &history, &web, None);
-        assert!(web.stats().heads > before, "0 threshold ignores recent visit");
+        w.run(
+            &[mark("http://www.research.att.com/x")],
+            &history,
+            &web,
+            None,
+        );
+        assert!(
+            web.stats().heads > before,
+            "0 threshold ignores recent visit"
+        );
+    }
+
+    /// A workload spanning many hosts and every verdict class: normal
+    /// changed/unchanged pages, a CGI checksum page, a robots-excluded
+    /// path, a 404, a moved page, and a dead host.
+    fn mixed_world() -> (Clock, Web, Vec<Bookmark>) {
+        let (clock, web) = setup();
+        let mut hotlist = Vec::new();
+        for h in 0..6 {
+            for p in 0..4 {
+                let url = format!("http://host{h}.example.com/page{p}.html");
+                web.set_page(
+                    &url,
+                    &format!("body {h}/{p}"),
+                    clock.now() - Duration::days(p + 1),
+                )
+                .unwrap();
+                hotlist.push(mark(&url));
+            }
+        }
+        web.set_resource(
+            "http://host0.example.com/cgi-bin/q",
+            Resource::Cgi {
+                template: "cgi output".to_string(),
+                hits: 0,
+            },
+        )
+        .unwrap();
+        hotlist.push(mark("http://host0.example.com/cgi-bin/q"));
+        web.set_page("http://host1.example.com/private/p", "secret", clock.now())
+            .unwrap();
+        web.set_robots_txt("host1.example.com", "User-agent: *\nDisallow: /private/\n");
+        hotlist.push(mark("http://host1.example.com/private/p"));
+        hotlist.push(mark("http://host2.example.com/missing.html"));
+        web.set_resource(
+            "http://host3.example.com/old",
+            Resource::Moved {
+                location: "http://host3.example.com/new".into(),
+            },
+        )
+        .unwrap();
+        hotlist.push(mark("http://host3.example.com/old"));
+        hotlist.push(mark("http://unregistered-host.example.com/x"));
+        (clock, web, hotlist)
+    }
+
+    #[test]
+    fn pooled_report_byte_identical_to_serial() {
+        use crate::report::{render_report, ReportOptions};
+        let (clock, web, hotlist) = mixed_world();
+        let visited = clock.now() - Duration::days(2);
+        let history = move |url: &str| {
+            // Half the pages were visited recently, half never.
+            if url.ends_with("2.html") || url.ends_with("3.html") {
+                Some(visited)
+            } else {
+                None
+            }
+        };
+
+        let mut serial = W3Newer::new(ThresholdConfig::default());
+        serial.flags.skip_host_after_host_error = true;
+        let mut pooled = serial.clone();
+
+        let reference = serial.run_serial(&hotlist, &history, &web, None);
+        let parallel = pooled.run_pooled(&hotlist, &history, &web, None, 4);
+        assert_eq!(parallel, reference, "reports structurally identical");
+        let opts = ReportOptions::default();
+        assert_eq!(
+            render_report(&parallel, &opts),
+            render_report(&reference, &opts),
+            "rendered reports byte-identical"
+        );
+        assert_eq!(
+            pooled.cache, serial.cache,
+            "caches converge on a non-aborted run"
+        );
+
+        // Second pass (now with warm caches) must agree too.
+        clock.advance(Duration::days(10));
+        let reference = serial.run_serial(&hotlist, &history, &web, None);
+        let parallel = pooled.run_pooled(&hotlist, &history, &web, None, 8);
+        assert_eq!(parallel, reference);
+        assert_eq!(pooled.cache, serial.cache);
+    }
+
+    #[test]
+    fn pooled_abort_report_matches_serial() {
+        let (_, web, _) = mixed_world();
+        web.set_network_up(false);
+        let hotlist: Vec<Bookmark> = (0..9)
+            .map(|i| mark(&format!("http://down{i}.example.com/p")))
+            .collect();
+        let mut serial = W3Newer::new(ThresholdConfig::default());
+        serial.flags.abort_after_consecutive_errors = Some(4);
+        let mut pooled = serial.clone();
+        let reference = serial.run_serial(&hotlist, &no_history, &web, None);
+        let parallel = pooled.run_pooled(&hotlist, &no_history, &web, None, 4);
+        assert!(reference.aborted);
+        assert_eq!(
+            parallel, reference,
+            "abort rule replays identically on ordered results"
+        );
+    }
+
+    #[test]
+    fn pooled_single_host_stays_serial() {
+        let (clock, web) = setup();
+        web.set_page("http://h/a", "x", clock.now() - Duration::days(1))
+            .unwrap();
+        web.set_page("http://h/b", "y", clock.now() - Duration::days(1))
+            .unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run_pooled(
+            &[mark("http://h/a"), mark("http://h/b")],
+            &no_history,
+            &web,
+            None,
+            8,
+        );
+        assert_eq!(r.changed_count(), 2);
     }
 
     #[test]
     fn changed_count_helper() {
         let (clock, web) = setup();
-        web.set_page("http://h/a", "x", clock.now() - Duration::days(1)).unwrap();
-        web.set_page("http://h/b", "y", clock.now() - Duration::days(1)).unwrap();
+        web.set_page("http://h/a", "x", clock.now() - Duration::days(1))
+            .unwrap();
+        web.set_page("http://h/b", "y", clock.now() - Duration::days(1))
+            .unwrap();
         let mut w = W3Newer::new(ThresholdConfig::default());
-        let r = w.run(&[mark("http://h/a"), mark("http://h/b")], &no_history, &web, None);
+        let r = w.run(
+            &[mark("http://h/a"), mark("http://h/b")],
+            &no_history,
+            &web,
+            None,
+        );
         assert_eq!(r.changed_count(), 2);
     }
 }

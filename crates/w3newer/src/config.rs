@@ -149,9 +149,7 @@ impl ThresholdConfig {
             }
             let mut parts = line.split_whitespace();
             let pattern_src = parts.next().expect("non-empty line has a first token");
-            let threshold_src = parts
-                .next()
-                .ok_or(ConfigError::MissingThreshold(lineno))?;
+            let threshold_src = parts.next().ok_or(ConfigError::MissingThreshold(lineno))?;
             let threshold = if threshold_src.eq_ignore_ascii_case("never") {
                 Threshold::Never
             } else {
@@ -231,7 +229,10 @@ mod tests {
     fn table1_thresholds_match_the_paper() {
         let cfg = ThresholdConfig::table1();
         assert_eq!(cfg.default_threshold(), Threshold::Every(Duration::days(2)));
-        assert_eq!(cfg.threshold_for("file:/home/douglis/x.html"), Threshold::ALWAYS);
+        assert_eq!(
+            cfg.threshold_for("file:/home/douglis/x.html"),
+            Threshold::ALWAYS
+        );
         assert_eq!(
             cfg.threshold_for("http://www.yahoo.com/headlines/current/"),
             Threshold::Every(Duration::days(7))
@@ -276,14 +277,20 @@ mod tests {
     #[test]
     fn default_line_anywhere() {
         let cfg = ThresholdConfig::parse("http://x/.* 1d\nDefault 3d\n").unwrap();
-        assert_eq!(cfg.threshold_for("http://y/"), Threshold::Every(Duration::days(3)));
+        assert_eq!(
+            cfg.threshold_for("http://y/"),
+            Threshold::Every(Duration::days(3))
+        );
     }
 
     #[test]
     fn comments_and_blanks() {
         let cfg = ThresholdConfig::parse("\n# full comment\nhttp://x/ 1d # trailing\n\n").unwrap();
         assert_eq!(cfg.len(), 1);
-        assert_eq!(cfg.threshold_for("http://x/"), Threshold::Every(Duration::days(1)));
+        assert_eq!(
+            cfg.threshold_for("http://x/"),
+            Threshold::Every(Duration::days(1))
+        );
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod report;
 
 pub use cache::{TrackerCache, UrlRecord};
 pub use checker::{CheckSource, Flags, RunReport, UrlReport, UrlStatus, W3Newer};
-pub use priority::{Priority, PriorityConfig};
 pub use config::{Threshold, ThresholdConfig};
+pub use priority::{Priority, PriorityConfig};
 pub use report::render_report;

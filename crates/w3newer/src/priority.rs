@@ -220,7 +220,9 @@ mod tests {
         UrlReport {
             url: url.to_string(),
             title: url.to_string(),
-            status: UrlStatus::Unchanged { source: CheckSource::Head },
+            status: UrlStatus::Unchanged {
+                source: CheckSource::Head,
+            },
             last_visited: None,
         }
     }
@@ -278,11 +280,13 @@ mod tests {
 
     #[test]
     fn parse_file_format() {
-        let cfg = PriorityConfig::parse(
-            "# priorities\nDefault low\nhttp://urgent\\.example/.* URGENT\n",
-        )
-        .unwrap();
-        assert_eq!(cfg.priority_for("http://urgent.example/x"), Priority::Urgent);
+        let cfg =
+            PriorityConfig::parse("# priorities\nDefault low\nhttp://urgent\\.example/.* URGENT\n")
+                .unwrap();
+        assert_eq!(
+            cfg.priority_for("http://urgent.example/x"),
+            Priority::Urgent
+        );
         assert_eq!(cfg.priority_for("http://other/"), Priority::Low);
     }
 

@@ -57,7 +57,9 @@ fn action_links(url: &str, opts: &ReportOptions) -> String {
 
 fn status_note(status: &UrlStatus) -> String {
     match status {
-        UrlStatus::Changed { modified: Some(t), .. } => {
+        UrlStatus::Changed {
+            modified: Some(t), ..
+        } => {
             format!("<B>changed</B> {}", t.to_http_date())
         }
         UrlStatus::Changed { modified: None, .. } => "<B>changed</B> (content differs)".to_string(),
@@ -255,9 +257,27 @@ mod tests {
     #[test]
     fn changed_sorted_newest_first() {
         let r = report(vec![
-            entry("http://old/", UrlStatus::Changed { modified: Some(Timestamp(100)), source: CheckSource::Head }),
-            entry("http://new/", UrlStatus::Changed { modified: Some(Timestamp(900)), source: CheckSource::Head }),
-            entry("http://nodate/", UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum }),
+            entry(
+                "http://old/",
+                UrlStatus::Changed {
+                    modified: Some(Timestamp(100)),
+                    source: CheckSource::Head,
+                },
+            ),
+            entry(
+                "http://new/",
+                UrlStatus::Changed {
+                    modified: Some(Timestamp(900)),
+                    source: CheckSource::Head,
+                },
+            ),
+            entry(
+                "http://nodate/",
+                UrlStatus::Changed {
+                    modified: None,
+                    source: CheckSource::GetChecksum,
+                },
+            ),
         ]);
         let html = render_report(&r, &ReportOptions::default());
         let new_pos = html.find("http://new/").unwrap();
@@ -270,9 +290,25 @@ mod tests {
     #[test]
     fn groups_rendered_in_order() {
         let r = report(vec![
-            entry("http://ok/", UrlStatus::Unchanged { source: CheckSource::Cache }),
-            entry("http://err/", UrlStatus::Error { message: "HTTP 404".to_string() }),
-            entry("http://ch/", UrlStatus::Changed { modified: Some(Timestamp(5)), source: CheckSource::Head }),
+            entry(
+                "http://ok/",
+                UrlStatus::Unchanged {
+                    source: CheckSource::Cache,
+                },
+            ),
+            entry(
+                "http://err/",
+                UrlStatus::Error {
+                    message: "HTTP 404".to_string(),
+                },
+            ),
+            entry(
+                "http://ch/",
+                UrlStatus::Changed {
+                    modified: Some(Timestamp(5)),
+                    source: CheckSource::Head,
+                },
+            ),
         ]);
         let html = render_report(&r, &ReportOptions::default());
         let c = html.find("Changed pages").unwrap();
@@ -285,7 +321,10 @@ mod tests {
     fn three_action_links_per_entry() {
         let r = report(vec![entry(
             "http://x/page?a=1",
-            UrlStatus::Changed { modified: Some(Timestamp(5)), source: CheckSource::Head },
+            UrlStatus::Changed {
+                modified: Some(Timestamp(5)),
+                source: CheckSource::Head,
+            },
         )]);
         let html = render_report(&r, &ReportOptions::default());
         assert!(html.contains("op=remember&url=http%3A%2F%2Fx%2Fpage%3Fa%3D1"));
@@ -295,15 +334,28 @@ mod tests {
 
     #[test]
     fn action_links_can_be_disabled() {
-        let r = report(vec![entry("http://x/", UrlStatus::Unchanged { source: CheckSource::Head })]);
-        let opts = ReportOptions { action_links: false, ..ReportOptions::default() };
+        let r = report(vec![entry(
+            "http://x/",
+            UrlStatus::Unchanged {
+                source: CheckSource::Head,
+            },
+        )]);
+        let opts = ReportOptions {
+            action_links: false,
+            ..ReportOptions::default()
+        };
         let html = render_report(&r, &opts);
         assert!(!html.contains("Remember"));
     }
 
     #[test]
     fn titles_are_entity_encoded() {
-        let r = report(vec![entry("http://x/", UrlStatus::Unchanged { source: CheckSource::Head })]);
+        let r = report(vec![entry(
+            "http://x/",
+            UrlStatus::Unchanged {
+                source: CheckSource::Head,
+            },
+        )]);
         let html = render_report(&r, &ReportOptions::default());
         assert!(html.contains("Title &lt;http://x/&gt;"));
     }
@@ -312,10 +364,31 @@ mod tests {
     fn statuses_described() {
         let cases = vec![
             (UrlStatus::RobotExcluded, "robot exclusion"),
-            (UrlStatus::NotChecked { reason: SkipReason::NeverThreshold }, "configured never"),
-            (UrlStatus::NotChecked { reason: SkipReason::RecentlyVisited }, "visited recently"),
-            (UrlStatus::Error { message: "timeout".to_string() }, "timeout"),
-            (UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum }, "content differs"),
+            (
+                UrlStatus::NotChecked {
+                    reason: SkipReason::NeverThreshold,
+                },
+                "configured never",
+            ),
+            (
+                UrlStatus::NotChecked {
+                    reason: SkipReason::RecentlyVisited,
+                },
+                "visited recently",
+            ),
+            (
+                UrlStatus::Error {
+                    message: "timeout".to_string(),
+                },
+                "timeout",
+            ),
+            (
+                UrlStatus::Changed {
+                    modified: None,
+                    source: CheckSource::GetChecksum,
+                },
+                "content differs",
+            ),
         ];
         for (status, needle) in cases {
             let r = report(vec![entry("http://x/", status)]);
@@ -341,10 +414,33 @@ mod tests {
             .rule(r"http://noise\..*", Priority::Suppress)
             .unwrap();
         let r = report(vec![
-            entry("http://fun.example/", UrlStatus::Changed { modified: Some(Timestamp(900)), source: CheckSource::Head }),
-            entry("http://work.example/", UrlStatus::Changed { modified: Some(Timestamp(100)), source: CheckSource::Head }),
-            entry("http://noise.example/", UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum }),
-            entry("http://quiet.example/", UrlStatus::Unchanged { source: CheckSource::Cache }),
+            entry(
+                "http://fun.example/",
+                UrlStatus::Changed {
+                    modified: Some(Timestamp(900)),
+                    source: CheckSource::Head,
+                },
+            ),
+            entry(
+                "http://work.example/",
+                UrlStatus::Changed {
+                    modified: Some(Timestamp(100)),
+                    source: CheckSource::Head,
+                },
+            ),
+            entry(
+                "http://noise.example/",
+                UrlStatus::Changed {
+                    modified: None,
+                    source: CheckSource::GetChecksum,
+                },
+            ),
+            entry(
+                "http://quiet.example/",
+                UrlStatus::Unchanged {
+                    source: CheckSource::Cache,
+                },
+            ),
         ]);
         let html = render_prioritized_report(&r, &cfg, &ReportOptions::default());
         let urgent = html.find("Urgent priority").unwrap();

@@ -21,15 +21,16 @@ use proptest::prelude::*;
 /// A small random world: n pages with assorted ages, some visited.
 #[derive(Debug, Clone)]
 struct World {
-    pages: Vec<(String, u64 /* modified offset (s before now) */, Option<u64> /* visited offset */)>,
+    pages: Vec<(
+        String,
+        u64,         /* modified offset (s before now) */
+        Option<u64>, /* visited offset */
+    )>,
 }
 
 fn world_strategy() -> impl Strategy<Value = World> {
     proptest::collection::vec(
-        (
-            0u64..20_000_000,
-            proptest::option::of(0u64..20_000_000),
-        ),
+        (0u64..20_000_000, proptest::option::of(0u64..20_000_000)),
         1..12,
     )
     .prop_map(|entries| World {
@@ -41,16 +42,29 @@ fn world_strategy() -> impl Strategy<Value = World> {
     })
 }
 
-fn build(world: &World) -> (Web, Vec<Bookmark>, std::collections::HashMap<String, Timestamp>) {
+fn build(
+    world: &World,
+) -> (
+    Web,
+    Vec<Bookmark>,
+    std::collections::HashMap<String, Timestamp>,
+) {
     let now = Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0);
     let clock = Clock::starting_at(now);
     let web = Web::new(clock);
     let mut hotlist = Vec::new();
     let mut history = std::collections::HashMap::new();
     for (url, mod_off, visit_off) in &world.pages {
-        web.set_page(url, &format!("<HTML>{url}</HTML>"), now - Duration::seconds(*mod_off))
-            .unwrap();
-        hotlist.push(Bookmark { title: url.clone(), url: url.clone() });
+        web.set_page(
+            url,
+            &format!("<HTML>{url}</HTML>"),
+            now - Duration::seconds(*mod_off),
+        )
+        .unwrap();
+        hotlist.push(Bookmark {
+            title: url.clone(),
+            url: url.clone(),
+        });
         if let Some(v) = visit_off {
             history.insert(url.clone(), now - Duration::seconds(*v));
         }

@@ -123,7 +123,12 @@ impl EditModel {
                 }
                 for k in 0..added {
                     page.blocks.push(Block::Link {
-                        href: format!("http://www.site{}.org/new{}-{}.html", rng.below(99), step, k),
+                        href: format!(
+                            "http://www.site{}.org/new{}-{}.html",
+                            rng.below(99),
+                            step,
+                            k
+                        ),
                         text: title(rng),
                     });
                 }
@@ -206,10 +211,17 @@ mod tests {
     fn link_churn_adds_links() {
         let mut p = base_page(7);
         let count_links = |p: &Page| {
-            p.blocks.iter().filter(|b| matches!(b, Block::Link { .. })).count()
+            p.blocks
+                .iter()
+                .filter(|b| matches!(b, Block::Link { .. }))
+                .count()
         };
         let before = count_links(&p);
-        EditModel::LinkChurn { added: 5, removed: 1 }.apply(&mut p, &mut Rng::new(8), 1);
+        EditModel::LinkChurn {
+            added: 5,
+            removed: 1,
+        }
+        .apply(&mut p, &mut Rng::new(8), 1);
         let after = count_links(&p);
         assert!(after >= before + 4, "{before} -> {after}");
     }
@@ -225,14 +237,20 @@ mod tests {
 
     #[test]
     fn edits_on_tiny_pages_do_not_panic() {
-        let mut p = Page { title: "t".to_string(), blocks: vec![] };
+        let mut p = Page {
+            title: "t".to_string(),
+            blocks: vec![],
+        };
         let mut rng = Rng::new(11);
         for model in [
             EditModel::AppendNews,
             EditModel::InPlaceEdit { sentences: 1 },
             EditModel::DeleteBlock,
             EditModel::Reformat,
-            EditModel::LinkChurn { added: 1, removed: 1 },
+            EditModel::LinkChurn {
+                added: 1,
+                removed: 1,
+            },
         ] {
             model.apply(&mut p, &mut rng, 0);
         }

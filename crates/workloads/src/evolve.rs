@@ -114,7 +114,9 @@ mod tests {
     use aide_util::time::Clock;
 
     fn setup() -> Web {
-        Web::new(Clock::starting_at(Timestamp::from_ymd_hms(1995, 9, 1, 0, 0, 0)))
+        Web::new(Clock::starting_at(Timestamp::from_ymd_hms(
+            1995, 9, 1, 0, 0, 0,
+        )))
     }
 
     fn page(seed: u64) -> Page {
@@ -217,15 +219,35 @@ mod tests {
             Rng::new(4),
             &web,
         );
-        assert_ne!(a.next_change(), b.next_change(), "different seeds, different phase");
+        assert_ne!(
+            a.next_change(),
+            b.next_change(),
+            "different seeds, different phase"
+        );
     }
 
     #[test]
     fn tick_all_sums() {
         let web = setup();
         let mut pages = vec![
-            EvolvingPage::publish("http://h/1", page(1), EditModel::AppendNews, Duration::days(1), 0.0, Rng::new(5), &web),
-            EvolvingPage::publish("http://h/2", page(2), EditModel::AppendNews, Duration::days(2), 0.0, Rng::new(6), &web),
+            EvolvingPage::publish(
+                "http://h/1",
+                page(1),
+                EditModel::AppendNews,
+                Duration::days(1),
+                0.0,
+                Rng::new(5),
+                &web,
+            ),
+            EvolvingPage::publish(
+                "http://h/2",
+                page(2),
+                EditModel::AppendNews,
+                Duration::days(2),
+                0.0,
+                Rng::new(6),
+                &web,
+            ),
         ];
         web.clock().advance(Duration::days(2));
         let n = tick_all(&mut pages, &web);

@@ -92,19 +92,27 @@ impl Page {
             match rng.below(10) {
                 0 => page.blocks.push(Block::Heading(title(rng))),
                 1 => {
-                    let items = (0..rng.range(2, 6)).map(|_| natural_sentence(rng)).collect();
+                    let items = (0..rng.range(2, 6))
+                        .map(|_| natural_sentence(rng))
+                        .collect();
                     page.blocks.push(Block::List(items));
                 }
                 2 => page.blocks.push(Block::Rule),
                 3 => page.blocks.push(Block::Link {
-                    href: format!("http://www.site{}.com/page{}.html", rng.below(40), rng.below(200)),
+                    href: format!(
+                        "http://www.site{}.com/page{}.html",
+                        rng.below(40),
+                        rng.below(200)
+                    ),
                     text: title(rng),
                 }),
                 4 => page.blocks.push(Block::Image {
                     src: format!("/icons/pic{}.gif", rng.below(30)),
                 }),
                 _ => {
-                    let sentences = (0..rng.range(2, 6)).map(|_| natural_sentence(rng)).collect();
+                    let sentences = (0..rng.range(2, 6))
+                        .map(|_| natural_sentence(rng))
+                        .collect();
                     page.blocks.push(Block::Para(sentences));
                 }
             }
@@ -145,7 +153,10 @@ mod tests {
             let p = Page::generate(&mut rng, target);
             let size = p.byte_size();
             assert!(size >= target, "size {size} under target {target}");
-            assert!(size < target + 2_000, "size {size} far over target {target}");
+            assert!(
+                size < target + 2_000,
+                "size {size} far over target {target}"
+            );
         }
     }
 

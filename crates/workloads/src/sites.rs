@@ -38,18 +38,27 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
     pages.push(EvolvingPage::publish(
         yahoo,
         Page::generate(&mut rng.fork(1), 12_000),
-        EditModel::LinkChurn { added: 6, removed: 1 },
+        EditModel::LinkChurn {
+            added: 6,
+            removed: 1,
+        },
         Duration::days(2),
         0.3,
         rng.fork(2),
         web,
     ));
-    hotlist.push(Bookmark { title: "Yahoo".to_string(), url: yahoo.to_string() });
+    hotlist.push(Bookmark {
+        title: "Yahoo".to_string(),
+        url: yahoo.to_string(),
+    });
 
     // Two att.com pages: checked every run (threshold 0), modest edits.
-    for (i, path) in ["http://www.research.att.com/orgs/ssr/", "http://www.att.com/news.html"]
-        .iter()
-        .enumerate()
+    for (i, path) in [
+        "http://www.research.att.com/orgs/ssr/",
+        "http://www.att.com/news.html",
+    ]
+    .iter()
+    .enumerate()
     {
         pages.push(EvolvingPage::publish(
             path,
@@ -60,7 +69,10 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
             rng.fork(20 + i as u64),
             web,
         ));
-        hotlist.push(Bookmark { title: format!("AT&T page {}", i + 1), url: path.to_string() });
+        hotlist.push(Bookmark {
+            title: format!("AT&T page {}", i + 1),
+            url: path.to_string(),
+        });
     }
 
     // The NCSA What's New page: append-mostly, changes twice a day.
@@ -74,7 +86,10 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
         rng.fork(31),
         web,
     ));
-    hotlist.push(Bookmark { title: "What's New in Mosaic".to_string(), url: ncsa.to_string() });
+    hotlist.push(Bookmark {
+        title: "What's New in Mosaic".to_string(),
+        url: ncsa.to_string(),
+    });
 
     // The mobile-computing page: weekly edits.
     let mobile = "http://snapple.cs.washington.edu:600/mobile/";
@@ -87,7 +102,10 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
         rng.fork(41),
         web,
     ));
-    hotlist.push(Bookmark { title: "Mobile Computing".to_string(), url: mobile.to_string() });
+    hotlist.push(Bookmark {
+        title: "Mobile Computing".to_string(),
+        url: mobile.to_string(),
+    });
 
     // Dilbert: full replacement every day — "will always be different".
     let dilbert = "http://www.unitedmedia.com/comics/dilbert/";
@@ -100,7 +118,10 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
         rng.fork(51),
         web,
     ));
-    hotlist.push(Bookmark { title: "Dilbert".to_string(), url: dilbert.to_string() });
+    hotlist.push(Bookmark {
+        title: "Dilbert".to_string(),
+        url: dilbert.to_string(),
+    });
 
     // A local file, stat'ed for free on every run.
     let local = "file:/home/user/projects.html";
@@ -109,7 +130,10 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
         &Page::generate(&mut rng.fork(60), 2_000).render(),
         web.clock().now(),
     );
-    hotlist.push(Bookmark { title: "My projects".to_string(), url: local.to_string() });
+    hotlist.push(Bookmark {
+        title: "My projects".to_string(),
+        url: local.to_string(),
+    });
 
     // A CGI page on one of the hosts, for checksum-path coverage.
     web.set_resource(
@@ -174,7 +198,10 @@ pub fn population(web: &Web, seed: u64, cfg: &PopulationConfig) -> Vec<EvolvingP
             let model = match rng.below(10) {
                 0..=3 => EditModel::AppendNews,
                 4..=6 => EditModel::InPlaceEdit { sentences: 2 },
-                7 => EditModel::LinkChurn { added: 3, removed: 1 },
+                7 => EditModel::LinkChurn {
+                    added: 3,
+                    removed: 1,
+                },
                 8 => EditModel::Reformat,
                 _ => EditModel::DeleteBlock,
             };
@@ -203,7 +230,9 @@ mod tests {
     use aide_util::time::{Clock, Timestamp};
 
     fn web() -> Web {
-        Web::new(Clock::starting_at(Timestamp::from_ymd_hms(1995, 9, 1, 0, 0, 0)))
+        Web::new(Clock::starting_at(Timestamp::from_ymd_hms(
+            1995, 9, 1, 0, 0, 0,
+        )))
     }
 
     #[test]
@@ -230,7 +259,11 @@ mod tests {
     #[test]
     fn population_publishes_requested_count() {
         let web = web();
-        let cfg = PopulationConfig { urls: 40, hosts: 5, ..PopulationConfig::default() };
+        let cfg = PopulationConfig {
+            urls: 40,
+            hosts: 5,
+            ..PopulationConfig::default()
+        };
         let pages = population(&web, 7, &cfg);
         assert_eq!(pages.len(), 40);
         assert_eq!(web.urls().len(), 40);
@@ -239,7 +272,12 @@ mod tests {
     #[test]
     fn population_churners_are_big_and_fast() {
         let web = web();
-        let cfg = PopulationConfig { urls: 30, hosts: 3, churners: 3, ..PopulationConfig::default() };
+        let cfg = PopulationConfig {
+            urls: 30,
+            hosts: 3,
+            churners: 3,
+            ..PopulationConfig::default()
+        };
         let pages = population(&web, 8, &cfg);
         for p in pages.iter().take(3) {
             assert!(p.page.byte_size() >= cfg.churner_bytes, "churner too small");
@@ -253,7 +291,11 @@ mod tests {
     fn population_is_deterministic() {
         let w1 = web();
         let w2 = web();
-        let cfg = PopulationConfig { urls: 10, hosts: 2, ..PopulationConfig::default() };
+        let cfg = PopulationConfig {
+            urls: 10,
+            hosts: 2,
+            ..PopulationConfig::default()
+        };
         let a = population(&w1, 9, &cfg);
         let b = population(&w2, 9, &cfg);
         for (x, y) in a.iter().zip(&b) {

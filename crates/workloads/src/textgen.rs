@@ -10,17 +10,101 @@ use crate::rng::Rng;
 
 /// The generation vocabulary (order matters: earlier = more frequent).
 pub const VOCABULARY: &[&str] = &[
-    "the", "of", "and", "to", "a", "in", "for", "is", "on", "that", "with", "are", "as", "be",
-    "this", "will", "can", "page", "web", "server", "system", "file", "user", "time", "new",
-    "information", "version", "access", "network", "data", "service", "pages", "users", "html",
-    "documents", "changes", "conference", "technical", "paper", "research", "internet", "browser",
-    "protocol", "cache", "proxy", "archive", "release", "software", "available", "update",
-    "mosaic", "netscape", "hypertext", "links", "session", "workshop", "tutorial", "program",
-    "registration", "proceedings", "association", "members", "systems", "administration",
-    "security", "distributed", "computing", "performance", "storage", "unix", "laboratory",
-    "announcement", "schedule", "abstracts", "submissions", "deadline", "committee", "keynote",
-    "symposium", "track", "presentation", "authors", "papers", "notes", "volume", "mailing",
-    "list", "gopher", "ftp", "telnet", "directory", "index", "home", "site", "resources",
+    "the",
+    "of",
+    "and",
+    "to",
+    "a",
+    "in",
+    "for",
+    "is",
+    "on",
+    "that",
+    "with",
+    "are",
+    "as",
+    "be",
+    "this",
+    "will",
+    "can",
+    "page",
+    "web",
+    "server",
+    "system",
+    "file",
+    "user",
+    "time",
+    "new",
+    "information",
+    "version",
+    "access",
+    "network",
+    "data",
+    "service",
+    "pages",
+    "users",
+    "html",
+    "documents",
+    "changes",
+    "conference",
+    "technical",
+    "paper",
+    "research",
+    "internet",
+    "browser",
+    "protocol",
+    "cache",
+    "proxy",
+    "archive",
+    "release",
+    "software",
+    "available",
+    "update",
+    "mosaic",
+    "netscape",
+    "hypertext",
+    "links",
+    "session",
+    "workshop",
+    "tutorial",
+    "program",
+    "registration",
+    "proceedings",
+    "association",
+    "members",
+    "systems",
+    "administration",
+    "security",
+    "distributed",
+    "computing",
+    "performance",
+    "storage",
+    "unix",
+    "laboratory",
+    "announcement",
+    "schedule",
+    "abstracts",
+    "submissions",
+    "deadline",
+    "committee",
+    "keynote",
+    "symposium",
+    "track",
+    "presentation",
+    "authors",
+    "papers",
+    "notes",
+    "volume",
+    "mailing",
+    "list",
+    "gopher",
+    "ftp",
+    "telnet",
+    "directory",
+    "index",
+    "home",
+    "site",
+    "resources",
 ];
 
 /// Generates one word.

@@ -108,7 +108,10 @@ mod tests {
         let r = html_diff(USENIX_1995_09_29, USENIX_1995_11_03, &Options::default());
         assert!(r.stats.changed_pairs > 0, "{:?}", r.stats);
         assert!(r.html.contains("catalog.html"));
-        assert!(!r.html.contains("publications/index.html"), "old href elided");
+        assert!(
+            !r.html.contains("publications/index.html"),
+            "old href elided"
+        );
     }
 
     #[test]
@@ -116,7 +119,9 @@ mod tests {
         let r = html_diff(USENIX_1995_09_29, USENIX_1995_11_03, &Options::default());
         assert!(r.html.contains("Tcl/Tk"), "deleted item text visible");
         let struck = r.html.split("<STRIKE>").skip(1).any(|seg| {
-            seg.split("</STRIKE>").next().is_some_and(|s| s.contains("Tcl/Tk"))
+            seg.split("</STRIKE>")
+                .next()
+                .is_some_and(|s| s.contains("Tcl/Tk"))
         });
         assert!(struck, "Tcl/Tk workshop should be struck out: {}", r.html);
     }

@@ -39,24 +39,46 @@ fn main() {
     )
     .unwrap();
     let before = web
-        .request(&aide_simweb::http::Request::get("http://stats.example/counter"))
+        .request(&aide_simweb::http::Request::get(
+            "http://stats.example/counter",
+        ))
         .unwrap()
         .body;
     let after = web
-        .request(&aide_simweb::http::Request::get("http://stats.example/counter"))
+        .request(&aide_simweb::http::Request::get(
+            "http://stats.example/counter",
+        ))
         .unwrap()
         .body;
     let verdict = classify(&before, &after);
-    println!("junk filter: counter page change junk={} (changed words: {:?})", verdict.junk, verdict.changed_words);
+    println!(
+        "junk filter: counter page change junk={} (changed words: {:?})",
+        verdict.junk, verdict.changed_words
+    );
 
     // --- §5.3: entity checksums ------------------------------------------
-    web.set_page("http://news.example/front.html", r#"<HTML><IMG SRC="/today.gif"> Front page.</HTML>"#, clock.now()).unwrap();
-    web.set_page("http://news.example/today.gif", "GIF-bytes-monday", clock.now()).unwrap();
+    web.set_page(
+        "http://news.example/front.html",
+        r#"<HTML><IMG SRC="/today.gif"> Front page.</HTML>"#,
+        clock.now(),
+    )
+    .unwrap();
+    web.set_page(
+        "http://news.example/today.gif",
+        "GIF-bytes-monday",
+        clock.now(),
+    )
+    .unwrap();
     let checker = EntityChecker::new(web.clone());
     let page_body = r#"<HTML><IMG SRC="/today.gif"> Front page.</HTML>"#;
     checker.check_entities("http://news.example/front.html", page_body);
     clock.advance(Duration::days(1));
-    web.touch_page("http://news.example/today.gif", "GIF-bytes-tuesday", clock.now()).unwrap();
+    web.touch_page(
+        "http://news.example/today.gif",
+        "GIF-bytes-tuesday",
+        clock.now(),
+    )
+    .unwrap();
     let reports = checker.check_entities("http://news.example/front.html", page_body);
     println!(
         "entity checksums: {} — {:?}",
@@ -73,10 +95,16 @@ fn main() {
     )
     .unwrap();
     let forms = FormRegistry::new(web.clone());
-    forms.register("mobile-search", "http://search.example/cgi-bin/find", "q=mobile+computing");
+    forms.register(
+        "mobile-search",
+        "http://search.example/cgi-bin/find",
+        "q=mobile+computing",
+    );
     let (status, body) = forms.poll("mobile-search").unwrap();
     println!("stored form: first poll {status:?}");
-    snapshot.remember(&user, "aide-form:mobile-search", &body).unwrap();
+    snapshot
+        .remember(&user, "aide-form:mobile-search", &body)
+        .unwrap();
     web.set_resource(
         "http://search.example/cgi-bin/find",
         Resource::Cgi {
@@ -88,7 +116,12 @@ fn main() {
     let (status, body) = forms.poll("mobile-search").unwrap();
     println!("stored form: service output now {status:?}");
     let diff = snapshot
-        .diff_since_last(&user, "aide-form:mobile-search", &body, &DiffOptions::default())
+        .diff_since_last(
+            &user,
+            "aide-form:mobile-search",
+            &body,
+            &DiffOptions::default(),
+        )
         .unwrap();
     println!("stored form: diff rendered ({} -> {})", diff.from, diff.to);
 
@@ -101,14 +134,41 @@ fn main() {
         clock.now(),
     )
     .unwrap();
-    web.set_page("http://vlib.example/sprite.html", "<HTML><P>Sprite overview v1.</HTML>", clock.now()).unwrap();
-    web.set_page("http://vlib.example/plan9.html", "<HTML><P>Plan 9 overview v1.</HTML>", clock.now()).unwrap();
+    web.set_page(
+        "http://vlib.example/sprite.html",
+        "<HTML><P>Sprite overview v1.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
+    web.set_page(
+        "http://vlib.example/plan9.html",
+        "<HTML><P>Plan 9 overview v1.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
     let differ = RecursiveDiffer::new(web.clone(), snapshot.clone());
-    differ.diff_hub(&user, "http://vlib.example/os.html", true, &DiffOptions::default()).unwrap();
+    differ
+        .diff_hub(
+            &user,
+            "http://vlib.example/os.html",
+            true,
+            &DiffOptions::default(),
+        )
+        .unwrap();
     clock.advance(Duration::days(2));
-    web.touch_page("http://vlib.example/plan9.html", "<HTML><P>Plan 9 overview v2 — new release!</HTML>", clock.now()).unwrap();
+    web.touch_page(
+        "http://vlib.example/plan9.html",
+        "<HTML><P>Plan 9 overview v2 — new release!</HTML>",
+        clock.now(),
+    )
+    .unwrap();
     let sweep = differ
-        .diff_hub(&user, "http://vlib.example/os.html", true, &DiffOptions::default())
+        .diff_hub(
+            &user,
+            "http://vlib.example/os.html",
+            true,
+            &DiffOptions::default(),
+        )
         .unwrap();
     println!("recursive diff: changed pages = {:?}", sweep.changed_urls());
 
@@ -126,7 +186,10 @@ fn main() {
             UrlReport {
                 url: "http://fun.example/comics.html".to_string(),
                 title: "Comics".to_string(),
-                status: UrlStatus::Changed { modified: Some(clock.now()), source: CheckSource::Head },
+                status: UrlStatus::Changed {
+                    modified: Some(clock.now()),
+                    source: CheckSource::Head,
+                },
                 last_visited: None,
             },
             UrlReport {
@@ -141,7 +204,10 @@ fn main() {
             UrlReport {
                 url: "http://stats.example/counter".to_string(),
                 title: "Hit counter".to_string(),
-                status: UrlStatus::Changed { modified: None, source: CheckSource::GetChecksum },
+                status: UrlStatus::Changed {
+                    modified: None,
+                    source: CheckSource::GetChecksum,
+                },
                 last_visited: None,
             },
         ],
@@ -150,7 +216,10 @@ fn main() {
     };
     let html = render_prioritized_report(&report, &priorities, &ReportOptions::default());
     println!("\nprioritized report:\n");
-    for line in html.lines().filter(|l| l.starts_with("<H2>") || l.starts_with("<LI>") || l.starts_with("<P><SMALL>")) {
+    for line in html
+        .lines()
+        .filter(|l| l.starts_with("<H2>") || l.starts_with("<LI>") || l.starts_with("<P><SMALL>"))
+    {
         println!("  {line}");
     }
 }

@@ -32,7 +32,9 @@ fn main() {
     browser.add_bookmark("Project status", "http://www.example.org/status.html");
 
     // Remember today's version.
-    let saved = engine.remember("you@example.org", "http://www.example.org/status.html").unwrap();
+    let saved = engine
+        .remember("you@example.org", "http://www.example.org/status.html")
+        .unwrap();
     println!("remembered as revision {}", saved.rev);
 
     // Two weeks pass; the page is edited: one sentence replaced, one added.
@@ -57,7 +59,11 @@ fn main() {
 
     // HtmlDiff shows how.
     let diff = engine
-        .diff("you@example.org", "http://www.example.org/status.html", &DiffOptions::default())
+        .diff(
+            "you@example.org",
+            "http://www.example.org/status.html",
+            &DiffOptions::default(),
+        )
         .unwrap();
     println!(
         "\n===== merged page ({} -> {}) =====\n{}",

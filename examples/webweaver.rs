@@ -59,7 +59,9 @@ fn main() {
     // Alice asks: what changed in DesignNotes since my last edit?
     let head = wiki.head(page).unwrap().expect("archived").0;
     let mine = wiki.last_seen(&alice, page).expect("alice has history");
-    let diff = wiki.diff_versions(page, mine, head, &DiffOptions::default()).unwrap();
+    let diff = wiki
+        .diff_versions(page, mine, head, &DiffOptions::default())
+        .unwrap();
     println!("\n===== changes since alice's last edit ({mine} -> {head}) =====");
     println!("{}", diff.html);
 

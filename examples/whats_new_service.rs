@@ -21,9 +21,24 @@ fn main() {
     let web = Web::new(clock.clone());
 
     // The documentation site.
-    web.set_page("http://docs.att.com/guide.html", "<HTML><H1>User Guide</H1><P>Version 1.0 of the guide.</HTML>", clock.now()).unwrap();
-    web.set_page("http://docs.att.com/faq.html", "<HTML><H1>FAQ</H1><P>Ten questions answered.</HTML>", clock.now()).unwrap();
-    web.set_page("http://docs.att.com/release.html", "<HTML><H1>Releases</H1><P>Current release is 2.3.</HTML>", clock.now()).unwrap();
+    web.set_page(
+        "http://docs.att.com/guide.html",
+        "<HTML><H1>User Guide</H1><P>Version 1.0 of the guide.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
+    web.set_page(
+        "http://docs.att.com/faq.html",
+        "<HTML><H1>FAQ</H1><P>Ten questions answered.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
+    web.set_page(
+        "http://docs.att.com/release.html",
+        "<HTML><H1>Releases</H1><P>Current release is 2.3.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
 
     // A Virtual-Library-style hub elsewhere.
     web.set_page(
@@ -34,10 +49,25 @@ fn main() {
         clock.now(),
     )
     .unwrap();
-    web.set_page("http://site-a.org/rfc-index.html", "<HTML>RFCs through 1850.</HTML>", clock.now()).unwrap();
-    web.set_page("http://site-b.org/tools.html", "<HTML>tcpdump, traceroute.</HTML>", clock.now()).unwrap();
+    web.set_page(
+        "http://site-a.org/rfc-index.html",
+        "<HTML>RFCs through 1850.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
+    web.set_page(
+        "http://site-b.org/tools.html",
+        "<HTML>tcpdump, traceroute.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
 
-    let snapshot = Arc::new(SnapshotService::new(MemRepository::new(), clock.clone(), 128, Duration::hours(8)));
+    let snapshot = Arc::new(SnapshotService::new(
+        MemRepository::new(),
+        clock.clone(),
+        128,
+        Duration::hours(8),
+    ));
 
     // Fixed collection over the docs.
     let docs = FixedCollection::new("AT&T Documentation", web.clone(), snapshot.clone());
@@ -49,7 +79,9 @@ fn main() {
     let tracker = ServerTracker::new(web.clone(), snapshot.clone());
     let alice = UserId::new("alice@att.com");
     let bob = UserId::new("bob@att.com");
-    let regs = tracker.register_hub(&alice, "http://vlib.org/networking.html", 1, false).unwrap();
+    let regs = tracker
+        .register_hub(&alice, "http://vlib.org/networking.html", 1, false)
+        .unwrap();
     for url in &regs {
         tracker.register(&bob, url);
     }
@@ -59,11 +91,26 @@ fn main() {
     for day in 1..=14u64 {
         clock.advance(Duration::days(1));
         if day == 3 {
-            web.touch_page("http://docs.att.com/release.html", "<HTML><H1>Releases</H1><P>Current release is 2.4!</HTML>", clock.now()).unwrap();
+            web.touch_page(
+                "http://docs.att.com/release.html",
+                "<HTML><H1>Releases</H1><P>Current release is 2.4!</HTML>",
+                clock.now(),
+            )
+            .unwrap();
         }
         if day == 7 {
-            web.touch_page("http://docs.att.com/guide.html", "<HTML><H1>User Guide</H1><P>Version 1.1 of the guide. Now with an index.</HTML>", clock.now()).unwrap();
-            web.touch_page("http://site-a.org/rfc-index.html", "<HTML>RFCs through 1883 (IPv6!).</HTML>", clock.now()).unwrap();
+            web.touch_page(
+                "http://docs.att.com/guide.html",
+                "<HTML><H1>User Guide</H1><P>Version 1.1 of the guide. Now with an index.</HTML>",
+                clock.now(),
+            )
+            .unwrap();
+            web.touch_page(
+                "http://site-a.org/rfc-index.html",
+                "<HTML>RFCs through 1883 (IPv6!).</HTML>",
+                clock.now(),
+            )
+            .unwrap();
         }
         let archived = docs.poll();
         let summary = tracker.poll_all();
@@ -93,7 +140,15 @@ fn main() {
             for url in &fresh {
                 tracker.mark_seen(user, url).unwrap();
             }
-            println!("alice catches up; unseen now: {}", tracker.whats_new(user).unwrap().iter().filter(|s| s.changed_for_user).count());
+            println!(
+                "alice catches up; unseen now: {}",
+                tracker
+                    .whats_new(user)
+                    .unwrap()
+                    .iter()
+                    .filter(|s| s.changed_for_user)
+                    .count()
+            );
         }
     }
 

@@ -61,7 +61,10 @@ fn six_month_deployment_runs_clean() {
             }
         }
     }
-    assert!(total_changed_reports > 50, "got {total_changed_reports} change reports");
+    assert!(
+        total_changed_reports > 50,
+        "got {total_changed_reports} change reports"
+    );
     assert!(diffs_rendered > 3, "got {diffs_rendered} diffs");
 
     // The archive holds history for the remembered URLs.
@@ -95,24 +98,38 @@ fn dilbert_never_checked_but_archive_still_grows_if_remembered() {
         engine.remember("u@x", dilbert).unwrap();
     }
     let h = engine.history("u@x", dilbert).unwrap();
-    assert!(h.len() >= 13, "daily full replacements archived: {}", h.len());
+    assert!(
+        h.len() >= 13,
+        "daily full replacements archived: {}",
+        h.len()
+    );
 }
 
 #[test]
 fn two_users_share_archives_but_see_personal_diffs() {
     let clock = start_clock();
     let web = Web::new(clock.clone());
-    web.set_page("http://shared/page.html", "<HTML><P>day zero content.</HTML>", clock.now())
-        .unwrap();
+    web.set_page(
+        "http://shared/page.html",
+        "<HTML><P>day zero content.</HTML>",
+        clock.now(),
+    )
+    .unwrap();
     let engine = AideEngine::new(web.clone());
     engine.register_user("alice@x", ThresholdConfig::default());
     engine.register_user("bob@x", ThresholdConfig::default());
 
-    engine.remember("alice@x", "http://shared/page.html").unwrap();
+    engine
+        .remember("alice@x", "http://shared/page.html")
+        .unwrap();
 
     clock.advance(Duration::days(1));
-    web.touch_page("http://shared/page.html", "<HTML><P>day zero content. day one addition!</HTML>", clock.now())
-        .unwrap();
+    web.touch_page(
+        "http://shared/page.html",
+        "<HTML><P>day zero content. day one addition!</HTML>",
+        clock.now(),
+    )
+    .unwrap();
     engine.remember("bob@x", "http://shared/page.html").unwrap();
 
     clock.advance(Duration::days(1));
@@ -124,10 +141,18 @@ fn two_users_share_archives_but_see_personal_diffs() {
     .unwrap();
 
     // Alice diffs from rev 1 (sees both additions); Bob from rev 2.
-    let a = engine.diff("alice@x", "http://shared/page.html", &DiffOptions::default()).unwrap();
+    let a = engine
+        .diff(
+            "alice@x",
+            "http://shared/page.html",
+            &DiffOptions::default(),
+        )
+        .unwrap();
     assert!(a.html.contains("day one addition!"));
     assert!(a.html.contains("day two more?"));
-    let b = engine.diff("bob@x", "http://shared/page.html", &DiffOptions::default()).unwrap();
+    let b = engine
+        .diff("bob@x", "http://shared/page.html", &DiffOptions::default())
+        .unwrap();
     assert!(!b.html.contains("<STRONG><I>day one addition!</I></STRONG>"));
     assert!(b.html.contains("day two more?"));
 
@@ -141,15 +166,27 @@ fn two_users_share_archives_but_see_personal_diffs() {
 fn error_conditions_survive_a_full_run() {
     let clock = start_clock();
     let web = Web::new(clock.clone());
-    web.set_page("http://good/a.html", "<HTML>fine</HTML>", clock.now() - Duration::days(1)).unwrap();
-    web.set_resource(
-        "http://good/moved.html",
-        aide_simweb::resource::Resource::Moved { location: "http://good/a.html".into() },
+    web.set_page(
+        "http://good/a.html",
+        "<HTML>fine</HTML>",
+        clock.now() - Duration::days(1),
     )
     .unwrap();
-    web.set_resource("http://good/gone.html", aide_simweb::resource::Resource::Gone).unwrap();
+    web.set_resource(
+        "http://good/moved.html",
+        aide_simweb::resource::Resource::Moved {
+            location: "http://good/a.html".into(),
+        },
+    )
+    .unwrap();
+    web.set_resource(
+        "http://good/gone.html",
+        aide_simweb::resource::Resource::Gone,
+    )
+    .unwrap();
     web.set_robots_txt("fortress", "User-agent: *\nDisallow: /\n");
-    web.set_page("http://fortress/secret.html", "<HTML>x</HTML>", clock.now()).unwrap();
+    web.set_page("http://fortress/secret.html", "<HTML>x</HTML>", clock.now())
+        .unwrap();
 
     let engine = AideEngine::new(web.clone());
     let browser = engine.register_user("u@x", ThresholdConfig::default());
@@ -168,10 +205,20 @@ fn error_conditions_survive_a_full_run() {
             .unwrap_or_else(|| panic!("missing {u}"))
     };
     assert!(by_url("http://good/a.html").status.is_changed());
-    assert!(matches!(&by_url("http://good/moved.html").status, UrlStatus::Error { message } if message.contains("moved")));
-    assert!(matches!(&by_url("http://good/gone.html").status, UrlStatus::Error { message } if message.contains("410")));
-    assert!(matches!(&by_url("http://no-such-host/x").status, UrlStatus::Error { .. }));
-    assert_eq!(by_url("http://fortress/secret.html").status, UrlStatus::RobotExcluded);
+    assert!(
+        matches!(&by_url("http://good/moved.html").status, UrlStatus::Error { message } if message.contains("moved"))
+    );
+    assert!(
+        matches!(&by_url("http://good/gone.html").status, UrlStatus::Error { message } if message.contains("410"))
+    );
+    assert!(matches!(
+        &by_url("http://no-such-host/x").status,
+        UrlStatus::Error { .. }
+    ));
+    assert_eq!(
+        by_url("http://fortress/secret.html").status,
+        UrlStatus::RobotExcluded
+    );
 
     // The rendered report presents all of them.
     let html = engine.tracker_report_html("u@x").unwrap();

@@ -36,16 +36,24 @@ fn junk_filter_suppresses_only_noise_in_mixed_tracking() {
         Resource::hit_counter("<HTML><P>Accesses: {HITS}. Content is stable here.</HTML>"),
     )
     .unwrap();
-    web.set_page("http://honest/page.html", "<HTML><P>Original statement.</HTML>", web.clock().now())
-        .unwrap();
+    web.set_page(
+        "http://honest/page.html",
+        "<HTML><P>Original statement.</HTML>",
+        web.clock().now(),
+    )
+    .unwrap();
 
     let grab = |url: &str| web.request(&Request::get(url)).unwrap().body;
     let noisy_a = grab("http://noisy/counter");
     let honest_a = grab("http://honest/page.html");
 
     web.clock().advance(Duration::days(1));
-    web.touch_page("http://honest/page.html", "<HTML><P>Revised statement entirely rewritten!</HTML>", web.clock().now())
-        .unwrap();
+    web.touch_page(
+        "http://honest/page.html",
+        "<HTML><P>Revised statement entirely rewritten!</HTML>",
+        web.clock().now(),
+    )
+    .unwrap();
     let noisy_b = grab("http://noisy/counter");
     let honest_b = grab("http://honest/page.html");
 
@@ -57,14 +65,17 @@ fn junk_filter_suppresses_only_noise_in_mixed_tracking() {
 fn entity_change_invisible_to_htmldiff_caught_by_checksums() {
     let (web, _, _) = setup();
     let page = r#"<HTML><P>The weather map: <IMG SRC="/map.gif"></HTML>"#;
-    web.set_page("http://wx/index.html", page, web.clock().now()).unwrap();
-    web.set_page("http://wx/map.gif", "GIF-monday", web.clock().now()).unwrap();
+    web.set_page("http://wx/index.html", page, web.clock().now())
+        .unwrap();
+    web.set_page("http://wx/map.gif", "GIF-monday", web.clock().now())
+        .unwrap();
 
     let checker = EntityChecker::new(web.clone());
     checker.check_entities("http://wx/index.html", page);
 
     web.clock().advance(Duration::days(1));
-    web.touch_page("http://wx/map.gif", "GIF-tuesday", web.clock().now()).unwrap();
+    web.touch_page("http://wx/map.gif", "GIF-tuesday", web.clock().now())
+        .unwrap();
 
     // HtmlDiff sees nothing: the page text is identical.
     let diff = aide_htmldiff::html_diff(page, page, &DiffOptions::default());
@@ -95,7 +106,8 @@ fn stored_form_tracks_post_service_into_archive() {
     web.set_resource(
         "http://svc/cgi-bin/report",
         Resource::Cgi {
-            template: "<HTML><P>Report for {INPUT}: status degraded, two incidents!</HTML>".to_string(),
+            template: "<HTML><P>Report for {INPUT}: status degraded, two incidents!</HTML>"
+                .to_string(),
             hits: 0,
         },
     )
@@ -119,8 +131,12 @@ fn recursive_diff_with_side_by_side_rendering() {
         web.clock().now(),
     )
     .unwrap();
-    web.set_page("http://hub/child.html", "<HTML><P>Child page, first words.</HTML>", web.clock().now())
-        .unwrap();
+    web.set_page(
+        "http://hub/child.html",
+        "<HTML><P>Child page, first words.</HTML>",
+        web.clock().now(),
+    )
+    .unwrap();
     let differ = RecursiveDiffer::new(web.clone(), snapshot);
     let opts = DiffOptions {
         presentation: Presentation::SideBySide,
@@ -128,10 +144,17 @@ fn recursive_diff_with_side_by_side_rendering() {
     };
     differ.diff_hub(&user, "http://hub/", true, &opts).unwrap();
     web.clock().advance(Duration::days(1));
-    web.touch_page("http://hub/child.html", "<HTML><P>Child page, utterly different content now!</HTML>", web.clock().now())
-        .unwrap();
+    web.touch_page(
+        "http://hub/child.html",
+        "<HTML><P>Child page, utterly different content now!</HTML>",
+        web.clock().now(),
+    )
+    .unwrap();
     let sweep = differ.diff_hub(&user, "http://hub/", true, &opts).unwrap();
     assert_eq!(sweep.changed_urls(), vec!["http://hub/child.html"]);
     let html = sweep.render();
-    assert!(html.contains("<TABLE"), "side-by-side options flow through: {html}");
+    assert!(
+        html.contains("<TABLE"),
+        "side-by-side options flow through: {html}"
+    );
 }

@@ -28,7 +28,12 @@ fn setup() -> (Web, ServerTracker) {
 fn polls_scale_with_urls_not_users() {
     let (web, tracker) = setup();
     for i in 0..5 {
-        web.set_page(&format!("http://pop/{i}.html"), "<HTML>v1</HTML>", Timestamp(100)).unwrap();
+        web.set_page(
+            &format!("http://pop/{i}.html"),
+            "<HTML>v1</HTML>",
+            Timestamp(100),
+        )
+        .unwrap();
     }
     // 40 users all interested in the same 5 URLs.
     for u in 0..40 {
@@ -50,10 +55,18 @@ fn polls_scale_with_urls_not_users() {
     for s in &fresh {
         tracker.mark_seen(&u7, &s.url).unwrap();
     }
-    assert!(tracker.whats_new(&u7).unwrap().iter().all(|s| !s.changed_for_user));
+    assert!(tracker
+        .whats_new(&u7)
+        .unwrap()
+        .iter()
+        .all(|s| !s.changed_for_user));
     // Another user's view is unaffected.
     let u8 = UserId::new("user8@site");
-    assert!(tracker.whats_new(&u8).unwrap().iter().all(|s| s.changed_for_user));
+    assert!(tracker
+        .whats_new(&u8)
+        .unwrap()
+        .iter()
+        .all(|s| s.changed_for_user));
 }
 
 #[test]
@@ -76,7 +89,8 @@ fn virtual_library_hub_tracks_linked_pages() {
             "site-b" => "http://site-b/languages.html",
             _ => "http://site-c/theory.html",
         };
-        web.set_page(page, "<HTML>subject page v1</HTML>", Timestamp(100)).unwrap();
+        web.set_page(page, "<HTML>subject page v1</HTML>", Timestamp(100))
+            .unwrap();
     }
     let alice = UserId::new("alice@x");
     let regs = tracker
@@ -90,8 +104,12 @@ fn virtual_library_hub_tracks_linked_pages() {
         tracker.mark_seen(&alice, &s.url).unwrap();
     }
     web.clock().advance(Duration::days(1));
-    web.touch_page("http://site-b/languages.html", "<HTML>subject page v2</HTML>", web.clock().now())
-        .unwrap();
+    web.touch_page(
+        "http://site-b/languages.html",
+        "<HTML>subject page v2</HTML>",
+        web.clock().now(),
+    )
+    .unwrap();
     tracker.poll_all();
     let news: Vec<_> = tracker
         .whats_new(&alice)
@@ -111,7 +129,8 @@ fn decoupled_history_wart() {
     // indication of this and might present the page as having been
     // modified." Reproduce exactly that.
     let (web, tracker) = setup();
-    web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(100)).unwrap();
+    web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(100))
+        .unwrap();
     let user = UserId::new("u@x");
     tracker.register(&user, "http://h/p.html");
     tracker.poll_all();
@@ -130,15 +149,18 @@ fn decoupled_history_wart() {
 #[test]
 fn archival_happens_at_change_detection() {
     let (web, tracker) = setup();
-    web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(100)).unwrap();
+    web.set_page("http://h/p.html", "<HTML>v1</HTML>", Timestamp(100))
+        .unwrap();
     tracker.register(&UserId::new("u@x"), "http://h/p.html");
     tracker.poll_all();
     // Page changes twice between polls: only the state at poll time is
     // captured (polling is sampling, not a change log).
     web.clock().advance(Duration::hours(1));
-    web.touch_page("http://h/p.html", "<HTML>v2</HTML>", web.clock().now()).unwrap();
+    web.touch_page("http://h/p.html", "<HTML>v2</HTML>", web.clock().now())
+        .unwrap();
     web.clock().advance(Duration::hours(1));
-    web.touch_page("http://h/p.html", "<HTML>v3</HTML>", web.clock().now()).unwrap();
+    web.touch_page("http://h/p.html", "<HTML>v3</HTML>", web.clock().now())
+        .unwrap();
     let s = tracker.poll_all();
     assert_eq!(s.changed, 1);
 }

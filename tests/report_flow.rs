@@ -28,8 +28,13 @@ fn setup() -> AideEngine {
 /// Extracts the first CGI query string (`op=...`) for `op` from HTML.
 fn find_query(html: &str, op: &str) -> String {
     let needle = format!("op={op}&");
-    let start = html.find(&needle).unwrap_or_else(|| panic!("no {op} link in: {html}"));
-    let end = html[start..].find('"').map(|i| start + i).unwrap_or(html.len());
+    let start = html
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {op} link in: {html}"));
+    let end = html[start..]
+        .find('"')
+        .map(|i| start + i)
+        .unwrap_or(html.len());
     html[start..end].to_string()
 }
 
@@ -65,7 +70,10 @@ fn report_links_drive_the_full_cycle() {
     let resp = dispatch(&e, user, &diff_q);
     assert_eq!(resp.status, 200);
     assert!(resp.body.contains("AIDE HtmlDiff"));
-    assert!(resp.body.contains("<STRIKE>"), "Figure 2 strike-outs present");
+    assert!(
+        resp.body.contains("<STRIKE>"),
+        "Figure 2 strike-outs present"
+    );
     assert!(resp.body.contains("COOTS"), "new conference appears");
 
     // 5. Click History; two revisions listed, with a diff-to-previous link.
@@ -95,7 +103,11 @@ fn figure1_report_structure() {
     let b = e.browser(user).unwrap();
     // Add more bookmarks in assorted states.
     e.web()
-        .set_page("http://seen/page.html", "<HTML>x</HTML>", Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0))
+        .set_page(
+            "http://seen/page.html",
+            "<HTML>x</HTML>",
+            Timestamp::from_ymd_hms(1995, 10, 1, 0, 0, 0),
+        )
         .unwrap();
     b.add_bookmark("Already seen", "http://seen/page.html");
     b.visit("http://seen/page.html").unwrap();

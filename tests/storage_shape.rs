@@ -93,7 +93,12 @@ fn archive_storage_has_the_section7_shape() {
 fn unchanged_pages_cost_one_revision_forever() {
     let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 6, 1, 0, 0, 0));
     let web = Web::new(clock.clone());
-    web.set_page("http://quiet/page.html", "<HTML>never changes</HTML>", clock.now()).unwrap();
+    web.set_page(
+        "http://quiet/page.html",
+        "<HTML>never changes</HTML>",
+        clock.now(),
+    )
+    .unwrap();
     let service = SnapshotService::new(MemRepository::new(), clock.clone(), 16, Duration::hours(1));
     let daemon = UserId::new("archive@daemon");
     let mut size_after_first = 0;
@@ -103,7 +108,9 @@ fn unchanged_pages_cost_one_revision_forever() {
             .request(&aide_simweb::http::Request::get("http://quiet/page.html"))
             .unwrap()
             .body;
-        service.remember(&daemon, "http://quiet/page.html", &body).unwrap();
+        service
+            .remember(&daemon, "http://quiet/page.html", &body)
+            .unwrap();
         if day == 0 {
             size_after_first = service.storage().unwrap().bytes;
         }
