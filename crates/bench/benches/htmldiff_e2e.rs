@@ -73,6 +73,7 @@ fn bench_length_screen(c: &mut Criterion) {
                 &CompareOptions {
                     match_threshold: 0.5,
                     length_screen: Some(0.4),
+                    ..CompareOptions::default()
                 },
             ))
         });
@@ -85,10 +86,34 @@ fn bench_length_screen(c: &mut Criterion) {
                 &CompareOptions {
                     match_threshold: 0.5,
                     length_screen: None,
+                    ..CompareOptions::default()
                 },
             ))
         });
     });
+    group.finish();
+}
+
+fn bench_anchored_vs_naive(c: &mut Criterion) {
+    // The PR's headline number: the anchored + hashed alignment fast
+    // path against the plain full-DP alignment it must match
+    // byte-for-byte, on the 32KB small-edit pair.
+    use aide_htmldiff::CompareOptions;
+    let (old, new) = pair(32 * 1024, EditModel::InPlaceEdit { sentences: 2 });
+    let mut group = c.benchmark_group("htmldiff_32kb_anchored_vs_naive");
+    group.throughput(Throughput::Bytes((old.len() + new.len()) as u64));
+    for (name, force_naive) in [("anchored", false), ("naive", true)] {
+        let opts = Options {
+            compare: CompareOptions {
+                force_naive,
+                ..CompareOptions::default()
+            },
+            ..Options::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(html_diff(&old, &new, &opts)));
+        });
+    }
     group.finish();
 }
 
@@ -97,6 +122,7 @@ criterion_group!(
     bench_sizes,
     bench_change_rates,
     bench_tokenize,
-    bench_length_screen
+    bench_length_screen,
+    bench_anchored_vs_naive
 );
 criterion_main!(benches);

@@ -145,6 +145,7 @@ fn main() {
             compare: CompareOptions {
                 match_threshold: threshold,
                 length_screen: Some(0.4),
+                ..CompareOptions::default()
             },
             ..Options::default()
         };
@@ -174,9 +175,14 @@ fn main() {
         ("0.4", Some(0.4)),
         ("0.6", Some(0.6)),
     ] {
+        // The probe counters below report the paper's algorithm, so the
+        // ablation runs the naive DP: the anchored fast path deliberately
+        // avoids most probes, which would make the screen look idle.
         let opts = CompareOptions {
             match_threshold: 0.5,
             length_screen: screen,
+            force_naive: true,
+            ..CompareOptions::default()
         };
         let al = compare_tokens(&old_tokens, &new_tokens, &opts);
         println!(

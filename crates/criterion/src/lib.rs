@@ -19,8 +19,15 @@
 //! - `AIDE_BENCH_MEASURE_MS`: measurement window per benchmark
 //!   (default 300).
 //! - `AIDE_BENCH_WARMUP_MS`: warmup window per benchmark (default 100).
+//! - `AIDE_BENCH_SMOKE`: when set (to anything non-empty), skip warmup
+//!   and run each benchmark body exactly once — a CI-speed check that
+//!   every bench still compiles and executes, not a measurement.
+//! - `AIDE_BENCH_JSON`: when set to a path, `criterion_main!` writes all
+//!   results there as a JSON array of
+//!   `{"name": ..., "ns_per_iter": ..., "iters": ...}` records.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -179,6 +186,13 @@ impl Bencher {
     /// Times `f`, first warming up, then measuring for the configured
     /// window.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if smoke_mode() {
+            // Smoke mode: prove the bench runs; the time is incidental.
+            let begin = Instant::now();
+            black_box(f());
+            self.result = Some((begin.elapsed(), 1));
+            return;
+        }
         // Warmup, and calibrate the per-iteration cost.
         let start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -205,6 +219,39 @@ impl Bencher {
     }
 }
 
+fn smoke_mode() -> bool {
+    std::env::var("AIDE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// Results accumulated across every benchmark of the process, drained by
+/// [`write_json_report`]: `(name, ns_per_iter, iters)`.
+static REPORT: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// Writes all results recorded so far to the path named by
+/// `AIDE_BENCH_JSON`, if set. `criterion_main!` calls this after the
+/// groups run; harnesses that hand-roll `main` can call it directly.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("AIDE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let rows = REPORT.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, (name, ns, iters)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{sep}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write bench report {path}: {e}");
+    }
+}
+
 fn run_one(
     name: &str,
     warmup: Duration,
@@ -221,6 +268,7 @@ fn run_one(
     match b.result {
         Some((elapsed, iters)) => {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
+            REPORT.lock().unwrap().push((name.to_string(), ns, iters));
             let rate = match throughput {
                 Some(Throughput::Bytes(bytes)) => {
                     let mbps = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0);
@@ -267,6 +315,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

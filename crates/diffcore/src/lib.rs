@@ -11,6 +11,11 @@
 //!   divide-and-conquer for large ones. Weights are what distinguish the
 //!   paper's algorithm from plain diff: a pair of *sentences* can match
 //!   partially, with weight equal to the number of common words.
+//! - [`anchor`]: anchored decomposition of the weighted LCS — trim the
+//!   common suffix, split the middle at verified unique-hash anchor
+//!   tokens (patience-style), and align only the gaps with the same
+//!   canonical backtrack, so the result is pair-for-pair identical to
+//!   the full DP on edit-structured inputs.
 //! - [`myers`]: the Myers `O((N+M)D)` greedy diff for plain equality
 //!   comparison, used on the line-diff fast path.
 //! - [`intern`]: token interning so line comparison is integer comparison.
@@ -21,6 +26,7 @@
 //!   with unified and ed-script output.
 //! - [`metrics`]: similarity ratios such as the paper's `2W/L` test.
 
+pub mod anchor;
 pub mod intern;
 pub mod lcs;
 pub mod lines;
@@ -28,6 +34,7 @@ pub mod metrics;
 pub mod myers;
 pub mod script;
 
+pub use anchor::{anchored_weighted_lcs, AnchorConfig, AnchorStats};
 pub use intern::Interner;
 pub use lcs::{weighted_lcs, weighted_lcs_dp, weighted_lcs_hirschberg, Scorer};
 pub use lines::{diff_lines, LineDiff};

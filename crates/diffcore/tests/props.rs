@@ -7,7 +7,11 @@
 //! - Edit scripts tile both sequences exactly and replay old → new.
 //! - Unified diff of identical inputs is empty; a text always equals
 //!   itself under `diff_lines`.
+//! - The anchored fast path returns the *same pairs* as the full DP on
+//!   edit-structured token streams, for any worker count and any
+//!   decomposition config.
 
+use aide_diffcore::anchor::{anchored_weighted_lcs, AnchorConfig};
 use aide_diffcore::lcs::{alignment_weight, lcs_pairs, weighted_lcs_dp, weighted_lcs_hirschberg};
 use aide_diffcore::lines::diff_lines;
 use aide_diffcore::myers::myers_diff;
@@ -35,6 +39,58 @@ fn text_strategy() -> impl Strategy<Value = String> {
             s.push('\n');
         }
         s
+    })
+}
+
+/// An edit-structured pair of token-id streams: the old stream mixes
+/// high-entropy "sentence" ids (fresh value per position) with a few
+/// repeated "break" ids, and the new stream is the old one with 1–3
+/// block edits (delete / insert / replace) spliced in — the shape real
+/// revisions of a page take, and the regime in which the anchored
+/// decomposition promises DP-identical output.
+fn edit_structured_pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let base = proptest::collection::vec(0u8..4, 10..120);
+    let edits = proptest::collection::vec((0usize..3, 0usize..1000, 1usize..8), 1..4);
+    (base, edits).prop_map(|(kinds, edits)| {
+        let mut next = 1_000u64;
+        let mut a = Vec::with_capacity(kinds.len());
+        for (i, k) in kinds.iter().enumerate() {
+            if *k == 0 {
+                a.push((i % 4) as u64); // repeated break-like id
+            } else {
+                next += 1;
+                a.push(next); // fresh sentence-like id
+            }
+        }
+        let mut b = a.clone();
+        for (kind, pos, len) in edits {
+            let at = if b.is_empty() { 0 } else { pos % b.len() };
+            let end = (at + len).min(b.len());
+            match kind {
+                0 => {
+                    b.drain(at..end);
+                }
+                1 => {
+                    let block: Vec<u64> = (0..len)
+                        .map(|_| {
+                            next += 1;
+                            next
+                        })
+                        .collect();
+                    b.splice(at..at, block);
+                }
+                _ => {
+                    let block: Vec<u64> = (0..end - at)
+                        .map(|_| {
+                            next += 1;
+                            next
+                        })
+                        .collect();
+                    b.splice(at..end, block);
+                }
+            }
+        }
+        (a, b)
     })
 }
 
@@ -158,5 +214,64 @@ proptest! {
         let d = diff_lines(&a, &b);
         let dist = d.alignment.edit_distance();
         prop_assert_eq!(d.deleted_lines() + d.inserted_lines(), dist);
+    }
+}
+
+// A second block: the in-tree proptest! macro recurses per property, and
+// one block holding every test in this file exceeds the default macro
+// recursion limit.
+proptest! {
+    #[test]
+    fn anchored_equals_dp_on_edit_structured_streams(ab in edit_structured_pair()) {
+        let (a, b) = ab;
+        let score = |i: usize, j: usize| u64::from(a[i] == b[j]);
+        let verify = |i: usize, j: usize| a[i] == b[j];
+        let unit_a = vec![true; a.len()];
+        let unit_b = vec![true; b.len()];
+        let dp = weighted_lcs_dp(a.len(), b.len(), &score);
+        // Every decomposition config must reproduce the DP pairs exactly:
+        // eager anchoring with plain gap DP, eager anchoring with the
+        // banded unit-gap DP engaged, and the production default.
+        for cfg in [
+            AnchorConfig { small_cells: 0, myers_min_cells: usize::MAX, workers: 1 },
+            AnchorConfig { small_cells: 0, myers_min_cells: 16, workers: 1 },
+            AnchorConfig::default(),
+        ] {
+            let (pairs, _) =
+                anchored_weighted_lcs(&a, &b, &unit_a, &unit_b, &cfg, &score, &verify);
+            prop_assert_eq!(&pairs, &dp, "config {:?}", cfg);
+        }
+    }
+
+    #[test]
+    fn anchored_weighted_equals_dp_on_edit_structured_streams(ab in edit_structured_pair()) {
+        let (a, b) = ab;
+        // Weights vary by token class (like sentence length) but are
+        // equal for equal ids, so the exactness premise still holds.
+        let weight = |id: u64| 1 + id % 3;
+        let score = |i: usize, j: usize| if a[i] == b[j] { weight(a[i]) } else { 0 };
+        let verify = |i: usize, j: usize| a[i] == b[j];
+        let unit_a: Vec<bool> = a.iter().map(|&id| weight(id) == 1).collect();
+        let unit_b: Vec<bool> = b.iter().map(|&id| weight(id) == 1).collect();
+        let dp = weighted_lcs_dp(a.len(), b.len(), &score);
+        let cfg = AnchorConfig { small_cells: 0, ..AnchorConfig::default() };
+        let (pairs, _) = anchored_weighted_lcs(&a, &b, &unit_a, &unit_b, &cfg, &score, &verify);
+        prop_assert_eq!(&pairs, &dp);
+    }
+
+    #[test]
+    fn anchored_workers_do_not_change_output(ab in edit_structured_pair()) {
+        let (a, b) = ab;
+        let score = |i: usize, j: usize| u64::from(a[i] == b[j]);
+        let verify = |i: usize, j: usize| a[i] == b[j];
+        let unit_a = vec![true; a.len()];
+        let unit_b = vec![true; b.len()];
+        let serial = AnchorConfig { small_cells: 0, workers: 1, ..AnchorConfig::default() };
+        let parallel = AnchorConfig { small_cells: 0, workers: 4, ..AnchorConfig::default() };
+        let (p1, s1) = anchored_weighted_lcs(&a, &b, &unit_a, &unit_b, &serial, &score, &verify);
+        let (p4, s4) =
+            anchored_weighted_lcs(&a, &b, &unit_a, &unit_b, &parallel, &score, &verify);
+        prop_assert_eq!(p1, p4);
+        prop_assert_eq!(s1, s4);
     }
 }

@@ -15,13 +15,33 @@
 //! Both thresholds are tunable in [`CompareOptions`]; the defaults
 //! reproduce the paper's qualitative behaviour and the ablation
 //! experiment sweeps them.
+//!
+//! # The fast path
+//!
+//! By default the outer alignment runs through the anchored
+//! decomposition of [`aide_diffcore::anchor`] over per-token metadata
+//! precomputed once per stream: a match-class hash, the cached content
+//! length, and interned `u32` ids for every sentence item. Score probes
+//! are then O(1) screens plus an integer-compare inner LCS instead of
+//! deep re-walks of the item lists. The output is byte-identical to the
+//! naive full DP on edit-structured inputs (the property suite asserts
+//! it across the workload edit models); every hash equality that feeds
+//! an alignment decision is confirmed with a deep comparison first, so
+//! hash collisions cannot corrupt the result. Ablation experiments that
+//! must measure the paper's algorithm (probe counts, screen traffic) set
+//! [`CompareOptions::force_naive`], which runs the full DP with
+//! unchanged counter semantics.
 
-use crate::token::{DiffToken, Sentence};
+use crate::token::{token_class_hash, DiffToken, Inline, Sentence};
+use aide_diffcore::anchor::{anchored_weighted_lcs, AnchorConfig};
 use aide_diffcore::lcs::weighted_lcs;
 use aide_diffcore::metrics::lcs_ratio;
 use aide_diffcore::script::Alignment;
-use std::cell::RefCell;
+use aide_diffcore::Interner;
+use aide_htmlkit::lexer::TagKind;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tunables for the comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +53,16 @@ pub struct CompareOptions {
     /// of the longer one ("sufficiently close" lengths). `None` disables
     /// the screen (the ablation case).
     pub length_screen: Option<f64>,
+    /// Bypass the anchored fast path and run the naive full DP.
+    ///
+    /// The fast path produces byte-identical output on real revision
+    /// histories, but only the naive DP probes every token pair — so
+    /// ablations that report probe counters (`inner_lcs_evals`,
+    /// `screened_out`) must set this to measure what the paper measured.
+    pub force_naive: bool,
+    /// Worker threads for scoring independent anchor gaps (1 = serial).
+    /// Has no effect with `force_naive`.
+    pub gap_workers: usize,
 }
 
 impl Default for CompareOptions {
@@ -40,6 +70,8 @@ impl Default for CompareOptions {
         CompareOptions {
             match_threshold: 0.5,
             length_screen: Some(0.4),
+            force_naive: false,
+            gap_workers: 1,
         }
     }
 }
@@ -58,6 +90,18 @@ pub struct TokenAlignment {
     pub inner_lcs_evals: usize,
     /// Number of pairs rejected by the length screen alone.
     pub screened_out: usize,
+}
+
+/// The single home of the paper's "sufficiently close" length test —
+/// evaluated exactly once per score probe.
+fn length_screened(la: usize, lb: usize, opts: &CompareOptions) -> bool {
+    match opts.length_screen {
+        Some(screen) => {
+            let (short, long) = if la < lb { (la, lb) } else { (lb, la) };
+            long > 0 && (short as f64) < screen * long as f64
+        }
+        None => false,
+    }
 }
 
 /// Computes the weight with which two sentences match; `0` = no match.
@@ -85,11 +129,8 @@ pub fn sentence_match_weight(a: &Sentence, b: &Sentence, opts: &CompareOptions) 
     if a == b {
         return la.max(1) as u64;
     }
-    if let Some(screen) = opts.length_screen {
-        let (short, long) = if la < lb { (la, lb) } else { (lb, la) };
-        if long > 0 && (short as f64) < screen * long as f64 {
-            return 0;
-        }
+    if length_screened(la, lb, opts) {
+        return 0;
     }
     // Inner LCS over sentence items: exact matches only, weight 1 each.
     let pairs = weighted_lcs(a.items.len(), b.items.len(), &|i, j| {
@@ -110,73 +151,227 @@ pub fn sentence_match_weight(a: &Sentence, b: &Sentence, opts: &CompareOptions) 
     }
 }
 
-/// Scores an arbitrary token pair.
-fn token_score(a: &DiffToken, b: &DiffToken, opts: &CompareOptions, evals: &ScoreCounters) -> u64 {
-    match (a, b) {
-        (DiffToken::Break(ta), DiffToken::Break(tb)) => u64::from(ta.matches_modulo_order(tb)),
+/// The equivalence class of one sentence item under [`Inline::matches`]:
+/// words verbatim, markups modulo attribute order. Interning these gives
+/// dense ids whose equality *is* `matches`, so the inner LCS compares
+/// integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ItemKey {
+    Word(String),
+    Markup(String, TagKind, Vec<(String, Option<String>)>),
+}
+
+fn item_key(item: &Inline) -> ItemKey {
+    match item {
+        Inline::Word(w) => ItemKey::Word(w.clone()),
+        Inline::Markup(tag) => {
+            let mut attrs = tag.attrs.clone();
+            attrs.sort();
+            ItemKey::Markup(tag.name.clone(), tag.kind, attrs)
+        }
+    }
+}
+
+/// Per-token comparison metadata, precomputed once per stream so score
+/// probes never re-walk item lists.
+struct TokenMeta {
+    /// [`token_class_hash`]: equal is necessary for a maximal-weight
+    /// identical match, unequal proves tokens differ.
+    class_hash: u64,
+    /// Cached [`Sentence::content_len`] (0 for breaks).
+    content_len: usize,
+    /// Interned item ids (empty for breaks); ids are shared across both
+    /// streams, so `id == id` ⇔ `Inline::matches`.
+    item_ids: Vec<u32>,
+    /// Per-item [`Inline::is_content`].
+    item_is_content: Vec<bool>,
+    /// True for break tokens (max match weight 1).
+    is_break: bool,
+}
+
+fn build_meta(tokens: &[DiffToken], interner: &mut Interner<ItemKey>) -> Vec<TokenMeta> {
+    tokens
+        .iter()
+        .map(|t| match t {
+            DiffToken::Break(_) => TokenMeta {
+                class_hash: token_class_hash(t),
+                content_len: 0,
+                item_ids: Vec::new(),
+                item_is_content: Vec::new(),
+                is_break: true,
+            },
+            DiffToken::Sentence(s) => TokenMeta {
+                class_hash: token_class_hash(t),
+                content_len: s.content_len(),
+                item_ids: s
+                    .items
+                    .iter()
+                    .map(|it| interner.intern(item_key(it)))
+                    .collect(),
+                item_is_content: s.items.iter().map(Inline::is_content).collect(),
+                is_break: false,
+            },
+        })
+        .collect()
+}
+
+/// Probe counters; atomic so the parallel gap scorers can share them.
+/// Values are deterministic for a given probe set regardless of worker
+/// count (gap rectangles are disjoint and each gap memoizes).
+#[derive(Default)]
+struct ScoreCounters {
+    inner: AtomicUsize,
+    screened: AtomicUsize,
+}
+
+/// Scores token pair `(i, j)` through the precomputed metadata. Pure
+/// (same inputs → same output) and thread-safe; exact-match decisions
+/// gate on hashes but confirm with deep comparison, so the score
+/// function — and therefore the alignment — is collision-proof.
+#[allow(clippy::too_many_arguments)]
+fn score_with_meta(
+    old: &[DiffToken],
+    new: &[DiffToken],
+    mo: &[TokenMeta],
+    mn: &[TokenMeta],
+    i: usize,
+    j: usize,
+    opts: &CompareOptions,
+    counters: &ScoreCounters,
+) -> u64 {
+    match (&old[i], &new[j]) {
+        (DiffToken::Break(ta), DiffToken::Break(tb)) => {
+            u64::from(mo[i].class_hash == mn[j].class_hash && ta.matches_modulo_order(tb))
+        }
         (DiffToken::Sentence(sa), DiffToken::Sentence(sb)) => {
             // Track screen/inner-LCS traffic for the ablation experiment.
-            let la = sa.content_len();
-            let lb = sb.content_len();
-            if let Some(screen) = opts.length_screen {
-                let (short, long) = if la < lb { (la, lb) } else { (lb, la) };
-                if long > 0 && (short as f64) < screen * long as f64 {
-                    evals.screened.set(evals.screened.get() + 1);
-                    return 0;
-                }
+            let la = mo[i].content_len;
+            let lb = mn[j].content_len;
+            if length_screened(la, lb, opts) {
+                counters.screened.fetch_add(1, Ordering::Relaxed);
+                return 0;
             }
-            if sa != sb {
-                evals.inner.set(evals.inner.get() + 1);
+            let eq = mo[i].class_hash == mn[j].class_hash && sa == sb;
+            if !eq {
+                counters.inner.fetch_add(1, Ordering::Relaxed);
             }
-            sentence_match_weight(sa, sb, opts)
+            if la == 0 && lb == 0 {
+                return u64::from(eq);
+            }
+            if eq {
+                return la.max(1) as u64;
+            }
+            let aid = &mo[i].item_ids;
+            let bid = &mn[j].item_ids;
+            let pairs = weighted_lcs(aid.len(), bid.len(), &|x, y| u64::from(aid[x] == bid[y]));
+            let w = pairs
+                .iter()
+                .filter(|&&(x, _)| mo[i].item_is_content[x])
+                .count() as u64;
+            if w == 0 {
+                return 0;
+            }
+            if lcs_ratio(w, la, lb) >= opts.match_threshold {
+                w
+            } else {
+                0
+            }
         }
         _ => 0,
     }
 }
 
-struct ScoreCounters {
-    inner: std::cell::Cell<usize>,
-    screened: std::cell::Cell<usize>,
+/// Deep equality for alignment decisions: breaks modulo attribute order
+/// (their match predicate), sentences exactly.
+fn tokens_identical(a: &DiffToken, b: &DiffToken) -> bool {
+    match (a, b) {
+        (DiffToken::Break(ta), DiffToken::Break(tb)) => ta.matches_modulo_order(tb),
+        (DiffToken::Sentence(_), DiffToken::Sentence(_)) => a == b,
+        _ => false,
+    }
+}
+
+/// The naive full DP with a flat memo (the pre-fast-path algorithm,
+/// preserved exactly for the ablation experiments): every probe the
+/// dispatcher makes is recorded once per distinct pair.
+fn naive_pairs(n: usize, m: usize, score: &impl Fn(usize, usize) -> u64) -> Vec<(usize, usize)> {
+    let cells = n.saturating_mul(m);
+    if cells == 0 {
+        return Vec::new();
+    }
+    // Dense memo when it fits; the sparse fallback keeps memory bounded
+    // for pathological inputs under Hirschberg.
+    const DENSE_MEMO_CELL_LIMIT: usize = 1 << 24;
+    if cells <= DENSE_MEMO_CELL_LIMIT {
+        let memo: Vec<Cell<u64>> = vec![Cell::new(u64::MAX); cells];
+        let memoized = |i: usize, j: usize| {
+            let c = &memo[i * m + j];
+            if c.get() == u64::MAX {
+                c.set(score(i, j));
+            }
+            c.get()
+        };
+        weighted_lcs(n, m, &memoized)
+    } else {
+        let memo: RefCell<HashMap<(usize, usize), u64>> = RefCell::new(HashMap::new());
+        let memoized = |i: usize, j: usize| {
+            if let Some(&w) = memo.borrow().get(&(i, j)) {
+                return w;
+            }
+            let w = score(i, j);
+            memo.borrow_mut().insert((i, j), w);
+            w
+        };
+        weighted_lcs(n, m, &memoized)
+    }
 }
 
 /// Aligns two token streams with the weighted LCS.
 ///
-/// Scores are memoized per `(i, j)` pair, one of the "several speed
-/// optimizations" §5.1 alludes to: Hirschberg's recursion revisits pairs,
-/// and sentence scoring is the expensive inner loop.
+/// Runs the anchored fast path by default and the naive full DP under
+/// [`CompareOptions::force_naive`]; both produce the same output on real
+/// inputs (see the module docs for the exact guarantee).
 pub fn compare_tokens(
     old: &[DiffToken],
     new: &[DiffToken],
     opts: &CompareOptions,
 ) -> TokenAlignment {
-    let counters = ScoreCounters {
-        inner: std::cell::Cell::new(0),
-        screened: std::cell::Cell::new(0),
+    let mut interner = Interner::new();
+    let mo = build_meta(old, &mut interner);
+    let mn = build_meta(new, &mut interner);
+    let counters = ScoreCounters::default();
+    let score = |i: usize, j: usize| score_with_meta(old, new, &mo, &mn, i, j, opts, &counters);
+
+    let pairs = if opts.force_naive {
+        naive_pairs(old.len(), new.len(), &score)
+    } else {
+        let a_ids: Vec<u64> = mo.iter().map(|m| m.class_hash).collect();
+        let b_ids: Vec<u64> = mn.iter().map(|m| m.class_hash).collect();
+        let a_unit: Vec<bool> = mo.iter().map(|m| m.is_break).collect();
+        let b_unit: Vec<bool> = mn.iter().map(|m| m.is_break).collect();
+        let verify = |i: usize, j: usize| tokens_identical(&old[i], &new[j]);
+        let cfg = AnchorConfig {
+            workers: opts.gap_workers.max(1),
+            ..AnchorConfig::default()
+        };
+        anchored_weighted_lcs(&a_ids, &b_ids, &a_unit, &b_unit, &cfg, &score, &verify).0
     };
-    let memo: RefCell<HashMap<(usize, usize), u64>> = RefCell::new(HashMap::new());
-    let score = |i: usize, j: usize| -> u64 {
-        if let Some(&w) = memo.borrow().get(&(i, j)) {
-            return w;
-        }
-        let w = token_score(&old[i], &new[j], opts, &counters);
-        memo.borrow_mut().insert((i, j), w);
-        w
-    };
-    let pairs = weighted_lcs(old.len(), new.len(), &score);
+
     // Matched breaks are identical by construction (the match predicate
-    // is modulo-order equality); only sentences can match approximately.
+    // is modulo-order equality); sentence identity gates on the class
+    // hash before paying for the deep comparison.
     let identical = pairs
         .iter()
         .map(|&(i, j)| match (&old[i], &new[j]) {
             (DiffToken::Break(_), DiffToken::Break(_)) => true,
-            _ => old[i] == new[j],
+            _ => mo[i].class_hash == mn[j].class_hash && old[i] == new[j],
         })
         .collect();
     TokenAlignment {
         alignment: Alignment::new(pairs, old.len(), new.len()),
         identical,
-        inner_lcs_evals: counters.inner.get(),
-        screened_out: counters.screened.get(),
+        inner_lcs_evals: counters.inner.load(Ordering::Relaxed),
+        screened_out: counters.screened.load(Ordering::Relaxed),
     }
 }
 
@@ -193,6 +388,13 @@ mod tests {
                 _ => None,
             })
             .expect("a sentence")
+    }
+
+    fn naive_opts() -> CompareOptions {
+        CompareOptions {
+            force_naive: true,
+            ..CompareOptions::default()
+        }
     }
 
     #[test]
@@ -238,10 +440,12 @@ mod tests {
         let strict = CompareOptions {
             match_threshold: 0.6,
             length_screen: None,
+            ..CompareOptions::default()
         };
         let lax = CompareOptions {
             match_threshold: 0.5,
             length_screen: None,
+            ..CompareOptions::default()
         };
         assert_eq!(sentence_match_weight(&a, &b, &strict), 0);
         assert_eq!(sentence_match_weight(&a, &b, &lax), 3);
@@ -315,15 +519,19 @@ mod tests {
 
     #[test]
     fn screen_counter_reports_savings() {
+        // Probe-count assertions describe the paper's algorithm, so both
+        // arms run the naive DP: the fast path trims/anchors away most
+        // probes, making its counters a property of the optimization
+        // rather than of the screen.
         let old = tokenize("tiny. a much longer sentence with many many words inside it.");
         let new = tokenize("tiny. another much longer sentence with many different words within.");
-        let with = compare_tokens(&old, &new, &CompareOptions::default());
+        let with = compare_tokens(&old, &new, &naive_opts());
         let without = compare_tokens(
             &old,
             &new,
             &CompareOptions {
                 length_screen: None,
-                ..CompareOptions::default()
+                ..naive_opts()
             },
         );
         assert!(with.screened_out > 0);
@@ -338,5 +546,98 @@ mod tests {
         let old = tokenize("<P>content here");
         let al = compare_tokens(&old, &[], &CompareOptions::default());
         assert!(al.alignment.pairs.is_empty());
+    }
+
+    /// Edit-structured document pairs on which fast and naive paths must
+    /// agree exactly.
+    fn revision_pairs() -> Vec<(String, String)> {
+        let base = "<H1>Weekly notes</H1>\
+            <P>The quick brown fox jumps over the lazy dog near the river bank. \
+            Monday brings a staff meeting at ten with coffee and agendas. \
+            <P>Tuesday the build system gets upgraded to the new release. \
+            Wednesday is reserved for design review of the cache layer. \
+            <UL><LI>first item stays<LI>second item stays<LI>third item stays</UL>\
+            <P>Thursday we measure throughput under the synthetic workload mix. \
+            Friday wraps up with a retrospective and planning for next week.";
+        vec![
+            // In-place sentence edit.
+            (
+                base.to_string(),
+                base.replace("staff meeting at ten", "staff meeting at noon"),
+            ),
+            // Deleted block.
+            (base.to_string(), base.replace("<LI>second item stays", "")),
+            // Inserted block.
+            (
+                base.to_string(),
+                base.replace(
+                    "<P>Thursday",
+                    "<P>A new paragraph appears here with fresh words. <P>Thursday",
+                ),
+            ),
+            // Attribute churn on a break plus a reword.
+            (
+                base.replace("<UL>", r#"<UL TYPE="disc" COMPACT>"#),
+                base.replace("<UL>", r#"<UL COMPACT TYPE="disc">"#)
+                    .replace("lazy dog", "sleepy dog"),
+            ),
+            // Full replace.
+            (
+                base.to_string(),
+                "<P>Entirely different content with no overlap at all here.".to_string(),
+            ),
+            // Identical.
+            (base.to_string(), base.to_string()),
+        ]
+    }
+
+    #[test]
+    fn fast_path_matches_naive_on_edit_structured_inputs() {
+        for (old_html, new_html) in revision_pairs() {
+            let old = tokenize(&old_html);
+            let new = tokenize(&new_html);
+            let fast = compare_tokens(&old, &new, &CompareOptions::default());
+            let naive = compare_tokens(&old, &new, &naive_opts());
+            assert_eq!(fast.alignment.pairs, naive.alignment.pairs);
+            assert_eq!(fast.identical, naive.identical);
+        }
+    }
+
+    #[test]
+    fn gap_workers_do_not_change_output() {
+        for (old_html, new_html) in revision_pairs() {
+            let old = tokenize(&old_html);
+            let new = tokenize(&new_html);
+            let serial = compare_tokens(&old, &new, &CompareOptions::default());
+            let parallel = compare_tokens(
+                &old,
+                &new,
+                &CompareOptions {
+                    gap_workers: 4,
+                    ..CompareOptions::default()
+                },
+            );
+            assert_eq!(serial.alignment.pairs, parallel.alignment.pairs);
+            assert_eq!(serial.identical, parallel.identical);
+        }
+    }
+
+    #[test]
+    fn fast_path_probes_fewer_pairs() {
+        // The point of the optimization: trims and anchors skip most
+        // score probes on a mostly-unchanged document.
+        let (old_html, new_html) = revision_pairs().remove(0);
+        let old = tokenize(&old_html);
+        let new = tokenize(&new_html);
+        let fast = compare_tokens(&old, &new, &CompareOptions::default());
+        let naive = compare_tokens(&old, &new, &naive_opts());
+        assert!(
+            fast.inner_lcs_evals + fast.screened_out < naive.inner_lcs_evals + naive.screened_out,
+            "fast {}+{} vs naive {}+{}",
+            fast.inner_lcs_evals,
+            fast.screened_out,
+            naive.inner_lcs_evals,
+            naive.screened_out
+        );
     }
 }

@@ -9,7 +9,8 @@
 //! counted."
 
 use aide_htmlkit::classify::is_content_defining;
-use aide_htmlkit::lexer::Tag;
+use aide_htmlkit::lexer::{Tag, TagKind};
+use aide_util::checksum::Fnv1a;
 use std::fmt;
 
 /// An element of a sentence: a word or an inline (non-breaking) markup.
@@ -151,6 +152,106 @@ impl DiffToken {
     }
 }
 
+fn kind_byte(kind: TagKind) -> u8 {
+    match kind {
+        TagKind::Open => 0,
+        TagKind::Close => 1,
+        TagKind::SelfClose => 2,
+    }
+}
+
+/// Feeds a tag into `h`. With `modulo_order`, attributes are hashed in
+/// sorted order, so two tags hash equally iff the inputs to
+/// [`Tag::matches_modulo_order`] are equal; without it, attributes are
+/// hashed in source order, matching derived `Tag` equality.
+pub(crate) fn hash_tag_into(h: &mut Fnv1a, tag: &Tag, modulo_order: bool) {
+    h.update(tag.name.as_bytes())
+        .update(&[0xFE, kind_byte(tag.kind)]);
+    let mut hash_attr = |name: &String, value: &Option<String>| {
+        h.update(&[0xFD]).update(name.as_bytes());
+        match value {
+            Some(v) => h.update(&[1]).update(v.as_bytes()),
+            None => h.update(&[0]),
+        };
+    };
+    if modulo_order {
+        let mut attrs: Vec<_> = tag.attrs.iter().collect();
+        attrs.sort();
+        for (name, value) in attrs {
+            hash_attr(name, value);
+        }
+    } else {
+        for (name, value) in &tag.attrs {
+            hash_attr(name, value);
+        }
+    }
+}
+
+/// Feeds a sentence's items into `h`, deeply (word bytes verbatim,
+/// markup attributes in source order), so two sentences hash equally iff
+/// derived `Sentence` equality holds — hash inequality proves `a != b`.
+pub(crate) fn hash_sentence_into(h: &mut Fnv1a, s: &Sentence) {
+    for item in &s.items {
+        match item {
+            Inline::Word(w) => {
+                h.update(&[0xF1]).update(w.as_bytes());
+            }
+            Inline::Markup(tag) => {
+                h.update(&[0xF2]);
+                hash_tag_into(h, tag, false);
+            }
+        }
+        h.update(&[0xFF]);
+    }
+}
+
+/// The match-equivalence class of a token, as a hash (PR 2 fast path).
+///
+/// Two tokens of equal class hash *may* be interchangeable for alignment
+/// purposes — breaks that match modulo attribute order, sentences with
+/// deeply equal content — and unequal hashes prove they are not. Break
+/// and sentence classes never collide by construction.
+pub fn token_class_hash(token: &DiffToken) -> u64 {
+    let mut h = Fnv1a::new();
+    match token {
+        DiffToken::Break(tag) => {
+            h.update(&[0xB0]);
+            hash_tag_into(&mut h, tag, true);
+        }
+        DiffToken::Sentence(s) => {
+            h.update(&[0x50]);
+            hash_sentence_into(&mut h, s);
+        }
+    }
+    h.finish()
+}
+
+/// A deep, order-sensitive hash of a whole token stream.
+///
+/// Unlike [`token_class_hash`], break attributes are hashed in source
+/// order: rendered output prints tags verbatim, so streams that differ
+/// only in attribute order must hash differently. Equal hashes identify
+/// streams that render identically under the same options — the snapshot
+/// service's content-addressed diff-cache key.
+pub fn token_stream_hash(tokens: &[DiffToken]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&(tokens.len() as u64).to_le_bytes());
+    for token in tokens {
+        match token {
+            DiffToken::Break(tag) => {
+                h.update(&[0xB1]);
+                hash_tag_into(&mut h, tag, false);
+            }
+            DiffToken::Sentence(s) => {
+                h.update(&[0x51]);
+                hash_sentence_into(&mut h, s);
+            }
+        }
+        h.update(&[0xEE]);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +326,76 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.content_len(), 0);
         assert_eq!(s.render(), "");
+    }
+
+    #[test]
+    fn class_hash_respects_attr_order_rules() {
+        let a = DiffToken::Break(
+            Tag::open("TABLE")
+                .with_attr("BORDER", "1")
+                .with_attr("WIDTH", "90%"),
+        );
+        let b = DiffToken::Break(
+            Tag::open("TABLE")
+                .with_attr("WIDTH", "90%")
+                .with_attr("BORDER", "1"),
+        );
+        let c = DiffToken::Break(
+            Tag::open("TABLE")
+                .with_attr("BORDER", "2")
+                .with_attr("WIDTH", "90%"),
+        );
+        assert_eq!(token_class_hash(&a), token_class_hash(&b), "modulo order");
+        assert_ne!(token_class_hash(&a), token_class_hash(&c));
+        // The deep stream hash distinguishes attribute order (rendering
+        // prints tags verbatim).
+        assert_ne!(
+            token_stream_hash(std::slice::from_ref(&a)),
+            token_stream_hash(std::slice::from_ref(&b))
+        );
+        assert_eq!(
+            token_stream_hash(std::slice::from_ref(&a)),
+            token_stream_hash(std::slice::from_ref(&a))
+        );
+    }
+
+    #[test]
+    fn sentence_hashes_are_deep() {
+        let s1 = DiffToken::Sentence(Sentence {
+            items: vec![word("alpha"), word("beta")],
+        });
+        let s2 = DiffToken::Sentence(Sentence {
+            items: vec![word("alpha"), word("gamma")],
+        });
+        let s3 = DiffToken::Sentence(Sentence {
+            items: vec![word("alpha beta")], // concatenation must not collide
+        });
+        assert_ne!(token_class_hash(&s1), token_class_hash(&s2));
+        assert_ne!(token_class_hash(&s1), token_class_hash(&s3));
+        assert_eq!(token_class_hash(&s1), token_class_hash(&s1.clone()));
+    }
+
+    #[test]
+    fn break_and_sentence_classes_never_collide() {
+        let b = DiffToken::Break(Tag::open("P"));
+        let s = DiffToken::Sentence(Sentence { items: vec![] });
+        assert_ne!(token_class_hash(&b), token_class_hash(&s));
+    }
+
+    #[test]
+    fn stream_hash_sensitive_to_order_and_length() {
+        let t1 = DiffToken::Sentence(Sentence {
+            items: vec![word("x")],
+        });
+        let t2 = DiffToken::Sentence(Sentence {
+            items: vec![word("y")],
+        });
+        let ab = token_stream_hash(&[t1.clone(), t2.clone()]);
+        let ba = token_stream_hash(&[t2.clone(), t1.clone()]);
+        let a = token_stream_hash(std::slice::from_ref(&t1));
+        assert_ne!(ab, ba);
+        assert_ne!(ab, a);
+        assert_ne!(a, token_stream_hash(&[]));
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! - every word of the new document survives into the merged page, and
 //!   no old-only markup (HREF/SRC values) leaks into it;
 //! - stats are internally consistent with the alignment;
-//! - the merged page's own lexing never reveals unbalanced STRIKE tags.
+//! - the merged page's own lexing never reveals unbalanced STRIKE tags;
+//! - on edit-structured revisions the anchored fast path renders the
+//!   byte-identical merged page (and identical stats) as the naive full
+//!   DP, for any gap-worker count.
 
-use aide_htmldiff::{html_diff, tokenize, Options};
+use aide_htmldiff::{html_diff, tokenize, CompareOptions, Options};
 use proptest::prelude::*;
 
 /// Generates small synthetic HTML documents from a fixed vocabulary.
@@ -115,5 +118,90 @@ proptest! {
     fn inline_word_diff_never_panics(a in html_strategy(), b in html_strategy()) {
         let opts = Options { inline_word_diff: true, ..Options::default() };
         let _ = html_diff(&a, &b, &opts);
+    }
+}
+
+/// One building block of an edit-structured document; the index keeps
+/// word content high-entropy (real sentences rarely repeat verbatim).
+fn piece(i: usize, sel: u8) -> String {
+    match sel {
+        0 => "<P>".to_string(),
+        1 => "<HR>".to_string(),
+        2 => "<LI>".to_string(),
+        3 => format!("word{i} common tail. "),
+        4 => format!("item{i} stays mostly put! "),
+        5 => format!(r#"<A HREF="x{i}.html">link{i}</A> "#),
+        _ => format!("sentence{i} with a few more words here. "),
+    }
+}
+
+/// An old/new HTML pair where the new page is the old one plus 1–3
+/// spliced block edits — the revision structure the anchored fast path
+/// promises to render byte-identically to the naive DP. (Two
+/// *independent* random documents would be a full-replacement workload,
+/// which the dedicated crossing-anchor fallback tests already cover.)
+fn edit_structured_html_pair() -> impl Strategy<Value = (String, String)> {
+    let base = proptest::collection::vec(0u8..7, 5..40);
+    let edits = proptest::collection::vec((0usize..3, 0usize..1000, 1usize..6, 0u8..7), 1..4);
+    (base, edits).prop_map(|(sels, edits)| {
+        let old: Vec<String> = sels.iter().enumerate().map(|(i, &s)| piece(i, s)).collect();
+        let mut new = old.clone();
+        let mut fresh = 10_000usize;
+        for (kind, pos, len, sel) in edits {
+            let at = if new.is_empty() { 0 } else { pos % new.len() };
+            let end = (at + len).min(new.len());
+            let mut block = |n: usize| -> Vec<String> {
+                (0..n)
+                    .map(|_| {
+                        fresh += 1;
+                        piece(fresh, sel)
+                    })
+                    .collect()
+            };
+            match kind {
+                0 => {
+                    new.drain(at..end);
+                }
+                1 => {
+                    let b = block(len);
+                    new.splice(at..at, b);
+                }
+                _ => {
+                    let b = block(end - at);
+                    new.splice(at..end, b);
+                }
+            }
+        }
+        (old.concat(), new.concat())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_path_renders_byte_identical_to_naive(ab in edit_structured_html_pair()) {
+        let (a, b) = ab;
+        let fast = html_diff(&a, &b, &Options::default());
+        let naive_opts = Options {
+            compare: CompareOptions { force_naive: true, ..CompareOptions::default() },
+            ..Options::default()
+        };
+        let naive = html_diff(&a, &b, &naive_opts);
+        prop_assert_eq!(&fast.html, &naive.html);
+        prop_assert_eq!(format!("{:?}", fast.stats), format!("{:?}", naive.stats));
+    }
+
+    #[test]
+    fn gap_workers_render_byte_identical(ab in edit_structured_html_pair()) {
+        let (a, b) = ab;
+        let par = Options {
+            compare: CompareOptions { gap_workers: 4, ..CompareOptions::default() },
+            ..Options::default()
+        };
+        prop_assert_eq!(
+            html_diff(&a, &b, &Options::default()).html,
+            html_diff(&a, &b, &par).html
+        );
     }
 }

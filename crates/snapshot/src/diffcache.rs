@@ -136,6 +136,23 @@ impl DiffCache {
         );
     }
 
+    /// Looks up a rendered diff by *content key* — a hash of the two
+    /// token streams, the revision labels baked into the rendering, and
+    /// the options fingerprint. Content keys give a second, cheaper hit
+    /// path: two URLs (or two revision pairs of one URL) whose bodies are
+    /// identical share one rendering. Stored under a synthetic primary
+    /// key (`("", RevId(0), RevId(0), content_key)`), which cannot
+    /// collide with real entries because URLs are never empty.
+    pub fn get_by_content(&mut self, content_key: u64, now: Timestamp) -> Option<String> {
+        self.get("", RevId(0), RevId(0), content_key, now)
+    }
+
+    /// Stores a rendered diff under its content key. See
+    /// [`DiffCache::get_by_content`].
+    pub fn put_by_content(&mut self, content_key: u64, html: String, now: Timestamp) {
+        self.put("", RevId(0), RevId(0), content_key, html, now);
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -212,6 +229,22 @@ impl ShardedDiffCache {
         self.shard(url)
             .lock()
             .put(url, from, to, opts_fp, html, now);
+    }
+
+    /// Looks up a rendered diff by content key (sharded by the key, not
+    /// by URL). See [`DiffCache::get_by_content`].
+    pub fn get_by_content(&self, content_key: u64, now: Timestamp) -> Option<String> {
+        self.shards[content_key as usize % CACHE_SHARDS]
+            .lock()
+            .get_by_content(content_key, now)
+    }
+
+    /// Stores a rendered diff under its content key. See
+    /// [`DiffCache::put_by_content`].
+    pub fn put_by_content(&self, content_key: u64, html: String, now: Timestamp) {
+        self.shards[content_key as usize % CACHE_SHARDS]
+            .lock()
+            .put_by_content(content_key, html, now);
     }
 
     /// Total cached entries across shards (shards visited in index
@@ -315,6 +348,52 @@ mod tests {
         let a = DiffCache::options_fingerprint("Options { merged }");
         let b = DiffCache::options_fingerprint("Options { only-differences }");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn content_keys_round_trip_and_expire() {
+        let mut c = cache();
+        c.put_by_content(0xDEAD_BEEF, "shared".into(), Timestamp(0));
+        assert_eq!(
+            c.get_by_content(0xDEAD_BEEF, Timestamp(10)).as_deref(),
+            Some("shared")
+        );
+        assert!(c.get_by_content(0xBAD, Timestamp(10)).is_none());
+        assert!(c.get_by_content(0xDEAD_BEEF, Timestamp(3600)).is_none());
+    }
+
+    #[test]
+    fn content_keys_never_collide_with_real_urls() {
+        // A real entry whose fingerprint equals a content key stays
+        // distinct: the synthetic primary key uses the empty URL, which
+        // no archived page can have.
+        let mut c = cache();
+        c.put("u", RevId(0), RevId(0), 7, "by url".into(), Timestamp(0));
+        c.put_by_content(7, "by content".into(), Timestamp(0));
+        assert_eq!(
+            c.get("u", RevId(0), RevId(0), 7, Timestamp(1)).as_deref(),
+            Some("by url")
+        );
+        assert_eq!(
+            c.get_by_content(7, Timestamp(1)).as_deref(),
+            Some("by content")
+        );
+    }
+
+    #[test]
+    fn sharded_content_keys_round_trip() {
+        let c = ShardedDiffCache::new(64, Duration::hours(1));
+        // Keys spread across shards; each must find its own entry.
+        for k in 0..64u64 {
+            c.put_by_content(k * 0x9E37, format!("r{k}"), Timestamp(0));
+        }
+        for k in 0..64u64 {
+            assert_eq!(
+                c.get_by_content(k * 0x9E37, Timestamp(1)).as_deref(),
+                Some(format!("r{k}").as_str())
+            );
+        }
+        assert_eq!(c.stats().hits, 64);
     }
 
     #[test]

@@ -40,13 +40,14 @@
 use crate::control::ControlFile;
 use crate::diffcache::ShardedDiffCache;
 use crate::locks::LockTable;
-use aide_htmldiff::{html_diff, Options as DiffOptions};
+use aide_htmldiff::present::diff_tokens;
+use aide_htmldiff::{token_stream_hash, tokenize, Options as DiffOptions};
 use aide_htmlkit::lexer::{lex, serialize};
 use aide_htmlkit::links::rewrite_base;
 use aide_htmlkit::url::Url;
 use aide_rcs::archive::{Archive, ArchiveError, CheckinOutcome, RevId, RevisionMeta};
 use aide_rcs::repo::{RepoError, Repository, StorageStats};
-use aide_util::checksum::fnv1a64;
+use aide_util::checksum::{fnv1a64, Fnv1a};
 use aide_util::sync::RwLock;
 use aide_util::time::{Clock, Duration, Timestamp};
 use std::collections::HashMap;
@@ -407,12 +408,45 @@ impl<R: Repository> SnapshotService<R> {
         let mut labeled = opts.clone();
         labeled.old_label = from.to_string();
         labeled.new_label = to.to_string();
-        let result = html_diff(&old, &new, &labeled);
+        // Second, content-keyed cache probe: the rendering depends only on
+        // the two token streams, the revision labels baked into the banner,
+        // and the options — not on the URL. Two URLs (mirrors, re-archived
+        // copies) with identical bodies share one HtmlDiff run. Tokenizing
+        // is linear and cheap next to alignment, so a hit still wins big;
+        // on a miss the tokens feed straight into `diff_tokens` and are
+        // not re-lexed.
+        let old_tokens = tokenize(&old);
+        let new_tokens = tokenize(&new);
+        let content_key = {
+            let mut h = Fnv1a::new();
+            h.update(&token_stream_hash(&old_tokens).to_le_bytes())
+                .update(&token_stream_hash(&new_tokens).to_le_bytes())
+                .update(labeled.old_label.as_bytes())
+                .update(&[0xFF])
+                .update(labeled.new_label.as_bytes())
+                .update(&[0xFF])
+                .update(&fp.to_le_bytes());
+            h.finish()
+        };
+        if let Some(html) = self.diff_cache.get_by_content(content_key, now) {
+            // Promote under the primary key so the next probe for this
+            // exact (url, from, to) pair hits on the first lookup.
+            self.diff_cache.put(url, from, to, fp, html.clone(), now);
+            return Ok(DiffOutcome {
+                html,
+                from,
+                to,
+                from_cache: true,
+            });
+        }
+        let result = diff_tokens(&old_tokens, &new_tokens, &labeled);
         self.stats
             .htmldiff_invocations
             .fetch_add(1, Ordering::Relaxed);
         self.diff_cache
             .put(url, from, to, fp, result.html.clone(), now);
+        self.diff_cache
+            .put_by_content(content_key, result.html.clone(), now);
         Ok(DiffOutcome {
             html: result.html,
             from,
@@ -647,6 +681,56 @@ mod tests {
             "HtmlDiff ran once"
         );
         assert_eq!(s.diff_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn content_key_shares_renderings_across_urls() {
+        // Two URLs carry the same bodies at the same revision numbers
+        // (mirror sites). The second diff finds the first one's rendering
+        // through the content-keyed cache path: HtmlDiff runs once.
+        let (clock, s) = service();
+        const MIRROR: &str = "http://mirror.usenix.org/index.html";
+        for url in [URL, MIRROR] {
+            s.remember(&fred(), url, "<HTML><P>v1 text.</HTML>")
+                .unwrap();
+        }
+        clock.advance(Duration::hours(1));
+        for url in [URL, MIRROR] {
+            s.remember(&fred(), url, "<HTML><P>v2 text!</HTML>")
+                .unwrap();
+        }
+        let opts = DiffOptions::default();
+        let a = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
+        assert!(!a.from_cache);
+        let b = s.diff_versions(MIRROR, RevId(1), RevId(2), &opts).unwrap();
+        assert!(b.from_cache, "mirror body should hit via content key");
+        assert_eq!(a.html, b.html);
+        assert_eq!(s.snapshot_stats().htmldiff_invocations, 1);
+        // The hit was promoted under the mirror's primary key: the next
+        // probe short-circuits before tokenizing anything.
+        let c = s.diff_versions(MIRROR, RevId(1), RevId(2), &opts).unwrap();
+        assert!(c.from_cache);
+        assert_eq!(s.snapshot_stats().htmldiff_invocations, 1);
+    }
+
+    #[test]
+    fn content_key_distinguishes_revision_labels() {
+        // Same bodies but different revision pairs render different
+        // banners, so the content key must not conflate them.
+        let (clock, s) = service();
+        s.remember(&fred(), URL, "<P>a.").unwrap();
+        clock.advance(Duration::hours(1));
+        s.remember(&fred(), URL, "<P>b.").unwrap();
+        clock.advance(Duration::hours(1));
+        s.remember(&fred(), URL, "<P>a.").unwrap();
+        let opts = DiffOptions::default();
+        // 1→2 and 3→2 compare the same two bodies in opposite roles with
+        // different labels; 1→2 and 1→2 would share. Use 1→2 then 3→2.
+        let a = s.diff_versions(URL, RevId(1), RevId(2), &opts).unwrap();
+        let b = s.diff_versions(URL, RevId(3), RevId(2), &opts).unwrap();
+        assert!(!a.from_cache);
+        assert!(!b.from_cache, "different labels must miss the content key");
+        assert_eq!(s.snapshot_stats().htmldiff_invocations, 2);
     }
 
     #[test]
