@@ -11,6 +11,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+echo "== fault-injection determinism (same seed => byte-identical reports)"
+AIDE_FAULT_DUMP="$PWD/target/fault_report_a.html" \
+    cargo test -q -p aide --test fault_tolerance >/dev/null
+AIDE_FAULT_DUMP="$PWD/target/fault_report_b.html" \
+    cargo test -q -p aide --test fault_tolerance >/dev/null
+cmp target/fault_report_a.html target/fault_report_b.html
+
 echo "== bench smoke (single-iteration, compile-and-run check)"
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench htmldiff_e2e >/dev/null
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench snapshot_contention >/dev/null

@@ -19,9 +19,11 @@ use aide_snapshot::service::{DiffOutcome, RememberOutcome, ServiceError, Snapsho
 use aide_util::checksum::fnv1a64;
 use aide_util::sync::{Mutex, RwLock};
 use aide_util::time::{Clock, Duration};
+use aide_w3newer::breaker::{BreakerConfig, BreakerStats, CircuitBreaker};
 use aide_w3newer::checker::RunReport;
 use aide_w3newer::config::ThresholdConfig;
 use aide_w3newer::report::{render_report, ReportOptions};
+use aide_w3newer::retry::{RetryPolicy, RetrySnapshot};
 use aide_w3newer::W3Newer;
 use std::collections::HashMap;
 use std::fmt;
@@ -113,12 +115,27 @@ impl UserTable {
     }
 }
 
+/// Aggregate network health across a deployment: the sum of every
+/// user's retry accounting plus the shared breaker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetHealth {
+    /// Per-user [`RetrySnapshot`]s, summed.
+    pub retries: RetrySnapshot,
+    /// The shared circuit breaker's counters (zero when robustness is
+    /// off).
+    pub breaker: BreakerStats,
+}
+
 /// One AIDE deployment.
 pub struct AideEngine {
     web: Web,
     proxy: Option<ProxyCache>,
     snapshot: Arc<SnapshotService<MemRepository>>,
     users: UserTable,
+    /// Site-wide robustness settings, applied to every current and
+    /// future user when enabled. `None` = the paper's fail-fast
+    /// behaviour (the default).
+    robustness: Mutex<Option<(RetryPolicy, Arc<CircuitBreaker>)>>,
 }
 
 impl AideEngine {
@@ -135,7 +152,46 @@ impl AideEngine {
                 Duration::hours(8),
             )),
             users: UserTable::new(),
+            robustness: Mutex::new(None),
         }
+    }
+
+    /// Turns on the robustness layer deployment-wide: every registered
+    /// user's tracker (and every user registered afterwards) gets the
+    /// retry `policy` and a share of one per-host circuit breaker, so
+    /// what one user's tracker learns about a dead host spares everyone
+    /// else's. Returns the shared breaker handle for inspection.
+    pub fn enable_robustness(
+        &self,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> Arc<CircuitBreaker> {
+        let shared = Arc::new(CircuitBreaker::new(breaker));
+        *self.robustness.lock() = Some((policy, shared.clone()));
+        for id in self.users.ids() {
+            if let Some(state) = self.users.get(&id) {
+                let mut state = state.lock();
+                state.tracker.retry = policy;
+                state.tracker.breaker = Some(shared.clone());
+            }
+        }
+        shared
+    }
+
+    /// Aggregate retry/breaker accounting across all users. All-zero
+    /// unless [`AideEngine::enable_robustness`] was called.
+    pub fn net_health(&self) -> NetHealth {
+        let mut retries = RetrySnapshot::default();
+        for id in self.users.ids() {
+            if let Some(state) = self.users.get(&id) {
+                retries = retries.plus(&state.lock().tracker.net_stats());
+            }
+        }
+        let breaker = match &*self.robustness.lock() {
+            Some((_, b)) => b.stats(),
+            None => BreakerStats::default(),
+        };
+        NetHealth { retries, breaker }
     }
 
     /// Adds a site-wide proxy cache with the given TTL (builder style).
@@ -177,11 +233,16 @@ impl AideEngine {
             Some(p) => Browser::with_proxy(p.clone()),
             None => Browser::new(self.web.clone()),
         };
+        let mut tracker = W3Newer::new(config);
+        if let Some((policy, breaker)) = &*self.robustness.lock() {
+            tracker.retry = *policy;
+            tracker.breaker = Some(breaker.clone());
+        }
         self.users.insert(
             UserId::new(id),
             UserState {
                 browser: browser.clone(),
-                tracker: W3Newer::new(config),
+                tracker,
             },
         );
         browser
@@ -550,6 +611,48 @@ mod tests {
             // Never-visited bookmarks all report as changed-to-the-user.
             assert_eq!(report.changed_count(), 2);
         }
+    }
+
+    #[test]
+    fn robustness_applies_to_existing_and_future_users() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let e = engine();
+        let before = e.register_user("early@x", ThresholdConfig::default());
+        before.add_bookmark("U", "http://www.usenix.org/");
+        let breaker = e.enable_robustness(RetryPolicy::standard(42), BreakerConfig::default());
+        let after = e.register_user("late@x", ThresholdConfig::default());
+        after.add_bookmark("U", "http://www.usenix.org/");
+
+        // A short full outage: the retry backoff carries both trackers
+        // past it.
+        let now = e.clock().now();
+        e.web().install_fault_plan(FaultPlan::new(5).for_host(
+            "www.usenix.org",
+            FaultEpisode::rate(1.0, FaultKind::Timeout).between(now, now + Duration::seconds(4)),
+        ));
+        let reports = e.poll_all_users();
+        assert_eq!(reports.len(), 2);
+        for (id, r) in &reports {
+            assert!(
+                r.entries[0].status.is_changed(),
+                "{}: recovered through retries, got {:?}",
+                id.0,
+                r.entries[0].status
+            );
+        }
+        let health = e.net_health();
+        assert!(health.retries.retries > 0, "retries aggregated: {health:?}");
+        assert_eq!(health.retries.exhausted, 0);
+        assert_eq!(breaker.stats().opened, 0, "no circuit tripped");
+    }
+
+    #[test]
+    fn net_health_zero_without_robustness() {
+        let e = engine();
+        let b = e.register_user("u@x", ThresholdConfig::default());
+        b.add_bookmark("U", "http://www.usenix.org/");
+        e.run_tracker("u@x").unwrap();
+        assert_eq!(e.net_health(), NetHealth::default());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod junk;
 pub mod recursive;
 pub mod tracking;
 
-pub use engine::{AideEngine, EngineError};
+pub use engine::{AideEngine, EngineError, NetHealth};
 pub use entities::EntityChecker;
 pub use fetcher::{fetch_page, FetchError, FetchedPage};
 pub use fixed::FixedCollection;

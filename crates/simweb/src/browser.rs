@@ -211,9 +211,14 @@ pub fn parse_bookmark_file(text: &str) -> Vec<Bookmark> {
 /// assert_eq!(marks[0].title, "USENIX");
 /// ```
 pub fn parse_mosaic_hotlist(text: &str) -> Vec<Bookmark> {
-    let mut lines = text.lines();
-    // Two header lines: the format marker and the list name.
-    let header = lines.next().unwrap_or_default();
+    // `str::lines` strips `\r\n`; stripping a stray `\r` again tolerates
+    // files whose lines were split on `\n` alone before reaching us.
+    let mut lines = text.lines().map(|l| l.strip_suffix('\r').unwrap_or(l));
+    // Two header lines: the format marker and the list name. An empty
+    // file has neither.
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
     if !header.starts_with("ncsa-xmosaic-hotlist-format") {
         return Vec::new();
     }
@@ -387,6 +392,39 @@ mod tests {
         // A URL line with no following title line is dropped.
         let file = "ncsa-xmosaic-hotlist-format-1\nDefault\nhttp://x/ Mon Oct 2 1995\n";
         assert!(parse_mosaic_hotlist(file).is_empty());
+    }
+
+    #[test]
+    fn mosaic_hotlist_empty_file() {
+        // Regression: the header line used to be read with
+        // `unwrap_or_default()`; an empty file must yield an empty
+        // hotlist, not a panic or a phantom entry.
+        assert!(parse_mosaic_hotlist("").is_empty());
+        assert!(parse_mosaic_hotlist("\n").is_empty());
+    }
+
+    #[test]
+    fn mosaic_hotlist_crlf_file_parses() {
+        let file = "ncsa-xmosaic-hotlist-format-1\r\nDefault\r\n\
+                    http://www.usenix.org/ Fri Sep 29 12:00:00 1995\r\nUSENIX\r\n";
+        let marks = parse_mosaic_hotlist(file);
+        assert_eq!(marks.len(), 1);
+        assert_eq!(marks[0].url, "http://www.usenix.org/");
+        assert_eq!(marks[0].title, "USENIX", "no trailing CR in titles");
+    }
+
+    #[test]
+    fn mosaic_hotlist_header_with_trailing_cr() {
+        // `str::lines` only strips `\r` when it precedes a `\n`; a CRLF
+        // file missing its final newline (or a header-only fragment)
+        // leaves a bare `\r` on the last line. Both must parse clean.
+        let header_only = "ncsa-xmosaic-hotlist-format-1\r";
+        assert!(parse_mosaic_hotlist(header_only).is_empty());
+        let file = "ncsa-xmosaic-hotlist-format-1\r\nDefault\r\nhttp://h/p X\r\nTitle\r";
+        let marks = parse_mosaic_hotlist(file);
+        assert_eq!(marks.len(), 1);
+        assert_eq!(marks[0].url, "http://h/p");
+        assert_eq!(marks[0].title, "Title", "bare trailing CR stripped");
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Scripted, deterministic fault injection for the simulated Web.
+//!
+//! The static knobs ([`ServerState`](crate::server::ServerState),
+//! [`Web::set_network_up`](crate::net::Web::set_network_up)) flip a whole
+//! host between healthy and broken. Real webs fail *probabilistically and
+//! episodically*: a fraction of requests time out, a host disappears for
+//! an afternoon, an overloaded CGI returns 503 with a `Retry-After`, a
+//! proxy truncates a body mid-transfer. A [`FaultPlan`] scripts exactly
+//! that, and does it deterministically: every injection decision is a
+//! pure function of `(seed, host, path, draw-index, episode-index)` plus
+//! the virtual clock for episode windows, so a run with a given seed
+//! replays the same faults request for request — the property the
+//! fault-tolerance suite and CI determinism check rely on.
+//!
+//! The draw index is a per-`(host, path)` counter kept by the [`Web`]:
+//! the n-th request to a resource always sees the n-th draw, regardless
+//! of how other hosts' traffic interleaves, so per-host request streams
+//! are schedule-independent (the tracker's per-host politeness serializes
+//! each host's requests within a run).
+//!
+//! [`Web`]: crate::net::Web
+
+use crate::http::Status;
+use aide_util::checksum::fnv1a64;
+use aide_util::rng::Rng;
+use aide_util::time::Timestamp;
+use std::collections::BTreeMap;
+
+/// What a triggered fault does to the request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The request never completes within the client timeout.
+    Timeout,
+    /// The host resolves but nothing answers.
+    ConnectionRefused,
+    /// No route to the host.
+    HostUnreachable,
+    /// The server answers, but `delay_secs` late — requests whose client
+    /// timeout is smaller fail with a timeout, patient ones succeed.
+    Slow {
+        /// Added response delay in seconds.
+        delay_secs: u64,
+    },
+    /// The server answers with a transient HTTP failure (500/503)
+    /// instead of consulting the resource.
+    Transient {
+        /// The status to return (`ServerError` or `ServiceUnavailable`).
+        status: Status,
+        /// `Retry-After` seconds attached to the response, if any.
+        retry_after_secs: Option<u64>,
+    },
+    /// The body is cut off after `keep_bytes`, while `Content-Length`
+    /// still advertises the full size — the checksum-corruption case.
+    Truncate {
+        /// Bytes of the real body to keep.
+        keep_bytes: usize,
+    },
+}
+
+/// One scripted failure mode: a fault, how often, and (optionally) when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEpisode {
+    /// Active only while `window.0 <= now < window.1`; `None` = always.
+    pub window: Option<(Timestamp, Timestamp)>,
+    /// Probability a matching request triggers the fault (1.0 = every
+    /// request while the episode is active).
+    pub rate: f64,
+    /// What happens when it triggers.
+    pub kind: FaultKind,
+}
+
+impl FaultEpisode {
+    /// An always-active episode firing on a fraction of requests.
+    pub fn rate(rate: f64, kind: FaultKind) -> FaultEpisode {
+        FaultEpisode {
+            window: None,
+            rate,
+            kind,
+        }
+    }
+
+    /// A hard outage: `kind` on every request inside `[from, until)`.
+    pub fn outage(from: Timestamp, until: Timestamp, kind: FaultKind) -> FaultEpisode {
+        FaultEpisode {
+            window: Some((from, until)),
+            rate: 1.0,
+            kind,
+        }
+    }
+
+    /// Restricts the episode to `[from, until)` (builder style).
+    pub fn between(mut self, from: Timestamp, until: Timestamp) -> FaultEpisode {
+        self.window = Some((from, until));
+        self
+    }
+
+    fn active(&self, now: Timestamp) -> bool {
+        match self.window {
+            Some((from, until)) => from <= now && now < until,
+            None => true,
+        }
+    }
+}
+
+/// A deterministic fault script for a whole [`Web`](crate::net::Web).
+///
+/// Per-host episodes are consulted first (in insertion order), then
+/// episodes applying to every host; the first active episode whose draw
+/// fires wins.
+///
+/// # Examples
+///
+/// ```
+/// use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+/// use aide_util::time::Timestamp;
+///
+/// let plan = FaultPlan::new(42)
+///     .everywhere(FaultEpisode::rate(0.2, FaultKind::Timeout))
+///     .for_host(
+///         "flaky.example.com",
+///         FaultEpisode::outage(Timestamp(100), Timestamp(300), FaultKind::ConnectionRefused),
+///     );
+/// // Decisions are pure: same inputs, same outcome.
+/// let a = plan.decide("flaky.example.com", "/p", 0, Timestamp(150));
+/// let b = plan.decide("flaky.example.com", "/p", 0, Timestamp(150));
+/// assert_eq!(a, b);
+/// assert_eq!(a, Some(FaultKind::ConnectionRefused));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    hosts: BTreeMap<String, Vec<FaultEpisode>>,
+    global: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan drawing from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            hosts: BTreeMap::new(),
+            global: Vec::new(),
+        }
+    }
+
+    /// Adds an episode for one host (builder style).
+    pub fn for_host(mut self, host: &str, episode: FaultEpisode) -> FaultPlan {
+        self.hosts
+            .entry(host.to_ascii_lowercase())
+            .or_default()
+            .push(episode);
+        self
+    }
+
+    /// Adds an episode applying to every host (builder style).
+    pub fn everywhere(mut self, episode: FaultEpisode) -> FaultPlan {
+        self.global.push(episode);
+        self
+    }
+
+    /// True if the plan contains no episodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty() && self.global.is_empty()
+    }
+
+    /// Decides whether the `draw`-th request to `(host, path)` at time
+    /// `now` faults, and how. Pure: no internal state is consumed.
+    pub fn decide(&self, host: &str, path: &str, draw: u64, now: Timestamp) -> Option<FaultKind> {
+        let per_host = self.hosts.get(host).map(Vec::as_slice).unwrap_or(&[]);
+        for (idx, ep) in per_host.iter().chain(self.global.iter()).enumerate() {
+            if !ep.active(now) {
+                continue;
+            }
+            if ep.rate >= 1.0 || self.draw(host, path, draw, idx).chance(ep.rate) {
+                return Some(ep.kind);
+            }
+        }
+        None
+    }
+
+    /// The deterministic per-decision generator: every `(seed, host,
+    /// path, draw, episode)` combination owns an independent stream.
+    fn draw(&self, host: &str, path: &str, draw: u64, episode: usize) -> Rng {
+        let mut h = self.seed ^ fnv1a64(host.as_bytes());
+        h = h.rotate_left(13) ^ fnv1a64(path.as_bytes());
+        h = h
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(draw)
+            .rotate_left(31)
+            ^ episode as u64;
+        Rng::new(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .everywhere(FaultEpisode::rate(0.5, FaultKind::Timeout))
+            .for_host(
+                "down.example.com",
+                FaultEpisode::outage(Timestamp(100), Timestamp(200), FaultKind::HostUnreachable),
+            )
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = plan();
+        for draw in 0..50 {
+            assert_eq!(
+                p.decide("h.example.com", "/p", draw, Timestamp(10)),
+                p.decide("h.example.com", "/p", draw, Timestamp(10)),
+            );
+        }
+    }
+
+    #[test]
+    fn rate_roughly_respected() {
+        let p = FaultPlan::new(1).everywhere(FaultEpisode::rate(0.25, FaultKind::Timeout));
+        let hits = (0..4000)
+            .filter(|&d| p.decide("h", "/p", d, Timestamp(0)).is_some())
+            .count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_zero_never() {
+        let always = FaultPlan::new(2).everywhere(FaultEpisode::rate(1.0, FaultKind::Timeout));
+        let never = FaultPlan::new(2).everywhere(FaultEpisode::rate(0.0, FaultKind::Timeout));
+        for d in 0..100 {
+            assert!(always.decide("h", "/", d, Timestamp(0)).is_some());
+            assert!(never.decide("h", "/", d, Timestamp(0)).is_none());
+        }
+    }
+
+    #[test]
+    fn windows_bound_episodes() {
+        let p = FaultPlan::new(9).for_host(
+            "down.example.com",
+            FaultEpisode::outage(Timestamp(100), Timestamp(200), FaultKind::HostUnreachable),
+        );
+        let host = "down.example.com";
+        assert_eq!(p.decide(host, "/p", 0, Timestamp(99)), None);
+        assert_eq!(
+            p.decide(host, "/p", 0, Timestamp(100)),
+            Some(FaultKind::HostUnreachable)
+        );
+        assert_eq!(
+            p.decide(host, "/p", 0, Timestamp(199)),
+            Some(FaultKind::HostUnreachable)
+        );
+        assert_eq!(p.decide(host, "/p", 0, Timestamp(200)), None);
+        // Outside the window, other hosts are untouched too.
+        assert_eq!(p.decide("healthy", "/p", 0, Timestamp(150)), None);
+        // The half-rate global episode from `plan()` still draws
+        // deterministically alongside a window.
+        let q = plan();
+        assert_eq!(
+            q.decide(host, "/p", 3, Timestamp(150)),
+            Some(FaultKind::HostUnreachable),
+            "outage wins inside its window"
+        );
+    }
+
+    #[test]
+    fn different_paths_draw_independently() {
+        let p = FaultPlan::new(3).everywhere(FaultEpisode::rate(0.5, FaultKind::Timeout));
+        let a: Vec<bool> = (0..64)
+            .map(|d| p.decide("h", "/a", d, Timestamp(0)).is_some())
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|d| p.decide("h", "/b", d, Timestamp(0)).is_some())
+            .collect();
+        assert_ne!(a, b, "independent streams per path");
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a = FaultPlan::new(10).everywhere(FaultEpisode::rate(0.5, FaultKind::Timeout));
+        let b = FaultPlan::new(11).everywhere(FaultEpisode::rate(0.5, FaultKind::Timeout));
+        let da: Vec<bool> = (0..64)
+            .map(|d| a.decide("h", "/p", d, Timestamp(0)).is_some())
+            .collect();
+        let db: Vec<bool> = (0..64)
+            .map(|d| b.decide("h", "/p", d, Timestamp(0)).is_some())
+            .collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn host_episodes_take_precedence() {
+        let p = FaultPlan::new(4)
+            .for_host("h", FaultEpisode::rate(1.0, FaultKind::ConnectionRefused))
+            .everywhere(FaultEpisode::rate(1.0, FaultKind::Timeout));
+        assert_eq!(
+            p.decide("h", "/p", 0, Timestamp(0)),
+            Some(FaultKind::ConnectionRefused)
+        );
+        assert_eq!(
+            p.decide("other", "/p", 0, Timestamp(0)),
+            Some(FaultKind::Timeout)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::new(5);
+        assert!(p.is_empty());
+        assert_eq!(p.decide("h", "/p", 0, Timestamp(0)), None);
+    }
+}

@@ -205,12 +205,24 @@ pub struct Response {
     pub body: String,
     /// `Date` — when the origin produced this response.
     pub date: Timestamp,
+    /// `Retry-After`, in seconds — overloaded servers attach it to 503
+    /// responses so well-behaved clients back off at least this long.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// True if this response carries a usable modification date.
     pub fn has_last_modified(&self) -> bool {
         self.last_modified.is_some()
+    }
+
+    /// True for transient server-side failures (500/503) that a client
+    /// may retry; everything else is either success or terminal.
+    pub fn is_transient_failure(&self) -> bool {
+        matches!(
+            self.status,
+            Status::ServerError | Status::ServiceUnavailable
+        )
     }
 }
 

@@ -19,6 +19,9 @@
 //! - [`net`]: the [`Web`] itself — the host registry, request dispatch,
 //!   conditional GET semantics, failure injection and global request
 //!   accounting (the quantity the §3 scalability experiments count).
+//! - [`fault`]: scripted, deterministic fault plans — probabilistic
+//!   per-host fault rates and time-windowed outage episodes layered over
+//!   the static server-state knobs.
 //! - [`proxy`]: a caching proxy with TTL semantics — both a page source
 //!   and, for w3newer, a source of cached modification dates.
 //! - [`browser`]: a simulated user browser with a history file and a
@@ -32,6 +35,7 @@
 //! [`Clock`]: aide_util::time::Clock
 
 pub mod browser;
+pub mod fault;
 pub mod http;
 pub mod net;
 pub mod proxy;
@@ -39,6 +43,7 @@ pub mod resource;
 pub mod server;
 
 pub use browser::Browser;
+pub use fault::{FaultEpisode, FaultKind, FaultPlan};
 pub use http::{Method, NetError, Request, Response, Status};
 pub use net::{NetStats, Web};
 pub use proxy::ProxyCache;

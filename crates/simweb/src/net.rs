@@ -9,6 +9,7 @@
 //! conditions, and counts every request — the denominator of the
 //! scalability experiments.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::http::{Method, NetError, Request, Response, Status};
 use crate::resource::Resource;
 use crate::server::{OriginServer, ServerState, ServerStats};
@@ -33,6 +34,9 @@ pub struct NetStats {
     pub net_errors: u64,
     /// `file:` accesses (cheap `stat` calls, not network traffic).
     pub file_stats: u64,
+    /// Requests whose outcome was altered by an installed
+    /// [`FaultPlan`] (every kind: errors, 5xx, slowness, truncation).
+    pub faults_injected: u64,
 }
 
 /// Resources (CGI especially) are keyed by path plus query string, so
@@ -52,6 +56,11 @@ struct WebState {
     /// When false, every network request fails (local connectivity loss).
     network_up: bool,
     stats: NetStats,
+    /// Scripted fault injection, layered over the static knobs.
+    fault_plan: Option<FaultPlan>,
+    /// Per-(host, path+query) request counters: the draw index fed to the
+    /// plan, so the n-th request to a resource always sees the n-th draw.
+    fault_draws: BTreeMap<(String, String), u64>,
 }
 
 /// Handle to the simulated Web.
@@ -180,6 +189,22 @@ impl Web {
         self.state.lock().network_up = up;
     }
 
+    /// Installs a scripted [`FaultPlan`]; replaces any previous plan.
+    /// Draw counters are reset so the plan starts from draw zero.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        st.fault_draws.clear();
+        st.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    /// Removes the fault plan; the Web is healthy again (static knobs
+    /// like [`ServerState`] still apply).
+    pub fn clear_fault_plan(&self) {
+        let mut st = self.state.lock();
+        st.fault_plan = None;
+        st.fault_draws.clear();
+    }
+
     /// Writes a simulated local file (for `file:` URLs).
     pub fn write_local_file(&self, path: &str, content: &str, mtime: Timestamp) {
         self.state
@@ -209,6 +234,7 @@ impl Web {
                         content.clone()
                     },
                     date: now,
+                    retry_after: None,
                 },
                 None => Response {
                     status: Status::NotFound,
@@ -217,11 +243,13 @@ impl Web {
                     content_length: 0,
                     body: String::new(),
                     date: now,
+                    retry_after: None,
                 },
             });
         }
 
         let mut st = self.state.lock();
+        let st = &mut *st;
         st.stats.requests += 1;
         match req.method {
             Method::Head => st.stats.heads += 1,
@@ -232,6 +260,7 @@ impl Web {
             st.stats.net_errors += 1;
             return Err(NetError::HostUnreachable(url.host.clone()));
         }
+        let path = resource_key(&url);
         let Some(server) = st.servers.get_mut(&url.host) else {
             st.stats.net_errors += 1;
             return Err(NetError::UnknownHost(url.host.clone()));
@@ -247,7 +276,81 @@ impl Web {
             }
             _ => {}
         }
-        Ok(server.serve(req, &resource_key(&url), now))
+
+        // Scripted fault injection, layered after the static knobs so a
+        // Web without a plan behaves exactly as before.
+        let fault = match &st.fault_plan {
+            Some(plan) => {
+                let draw = st
+                    .fault_draws
+                    .entry((url.host.clone(), path.clone()))
+                    .or_insert(0);
+                let d = *draw;
+                *draw += 1;
+                plan.decide(&url.host, &path, d, now)
+            }
+            None => None,
+        };
+        match fault {
+            Some(FaultKind::Timeout) => {
+                st.stats.faults_injected += 1;
+                st.stats.net_errors += 1;
+                return Err(NetError::Timeout);
+            }
+            Some(FaultKind::ConnectionRefused) => {
+                st.stats.faults_injected += 1;
+                st.stats.net_errors += 1;
+                return Err(NetError::ConnectionRefused(url.host.clone()));
+            }
+            Some(FaultKind::HostUnreachable) => {
+                st.stats.faults_injected += 1;
+                st.stats.net_errors += 1;
+                return Err(NetError::HostUnreachable(url.host.clone()));
+            }
+            Some(FaultKind::Slow { delay_secs }) => {
+                st.stats.faults_injected += 1;
+                if delay_secs >= req.timeout_secs {
+                    st.stats.net_errors += 1;
+                    return Err(NetError::Timeout);
+                }
+                // Latency below the client timeout: the response still
+                // arrives (the virtual clock is not advanced — workers
+                // sleeping on it would interleave nondeterministically).
+            }
+            Some(FaultKind::Transient {
+                status,
+                retry_after_secs,
+            }) => {
+                st.stats.faults_injected += 1;
+                return Ok(Response {
+                    status,
+                    last_modified: None,
+                    location: None,
+                    content_length: 0,
+                    body: String::new(),
+                    date: now,
+                    retry_after: retry_after_secs,
+                });
+            }
+            _ => {}
+        }
+        let mut resp = server.serve(req, &path, now);
+        if let Some(FaultKind::Truncate { keep_bytes }) = fault {
+            if req.method == Method::Get
+                && resp.status == Status::Ok
+                && resp.body.len() > keep_bytes
+            {
+                // Cut the body but keep the advertised Content-Length:
+                // the client sees a short read it can detect.
+                let mut keep = keep_bytes;
+                while keep > 0 && !resp.body.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                resp.body.truncate(keep);
+                st.stats.faults_injected += 1;
+            }
+        }
+        Ok(resp)
     }
 
     /// GETs `url`, following up to `max_redirects` 301s.

@@ -126,6 +126,7 @@ impl ProxyCache {
                                 e.body.clone()
                             },
                             date: e.fetched_at,
+                            retry_after: None,
                         });
                     }
                 }
@@ -160,6 +161,7 @@ impl ProxyCache {
                         body
                     },
                     date: now,
+                    retry_after: None,
                 })
             }
             Status::Ok => {

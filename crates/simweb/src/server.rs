@@ -143,6 +143,7 @@ impl OriginServer {
                         text.clone()
                     },
                     date: now,
+                    retry_after: None,
                 };
             }
             // Fall through: a literal resource may shadow it, else 404.
@@ -155,6 +156,7 @@ impl OriginServer {
                 content_length: 0,
                 body: String::new(),
                 date: now,
+                retry_after: None,
             };
         };
         match resource {
@@ -165,6 +167,7 @@ impl OriginServer {
                 content_length: 0,
                 body: String::new(),
                 date: now,
+                retry_after: None,
             },
             Resource::Gone => Response {
                 status: Status::Gone,
@@ -173,6 +176,7 @@ impl OriginServer {
                 content_length: 0,
                 body: String::new(),
                 date: now,
+                retry_after: None,
             },
             Resource::Page {
                 body,
@@ -189,6 +193,7 @@ impl OriginServer {
                             content_length: body.len(),
                             body: String::new(),
                             date: now,
+                            retry_after: None,
                         };
                     }
                 }
@@ -203,6 +208,7 @@ impl OriginServer {
                         body.clone()
                     },
                     date: now,
+                    retry_after: None,
                 }
             }
             cgi @ Resource::Cgi { .. } => {
@@ -223,6 +229,7 @@ impl OriginServer {
                     },
                     body,
                     date: now,
+                    retry_after: None,
                 }
             }
         }

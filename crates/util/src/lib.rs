@@ -18,15 +18,19 @@
 //! - [`sync`]: poison-free `Mutex`/`RwLock` wrappers shared by every
 //!   concurrent component (the build environment is offline, so no
 //!   external lock crate is available).
+//! - [`rng`]: the deterministic xorshift64* PRNG shared by the workload
+//!   generators and the simulated Web's fault injection.
 
 pub mod checksum;
 pub mod lines;
 pub mod pattern;
+pub mod rng;
 pub mod robots;
 pub mod sync;
 pub mod time;
 
 pub use checksum::{crc32, fnv1a64, PageChecksum};
 pub use pattern::Pattern;
+pub use rng::Rng;
 pub use robots::RobotsTxt;
 pub use time::{Clock, Duration, Timestamp};

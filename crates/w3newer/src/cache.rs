@@ -29,6 +29,9 @@ pub struct UrlRecord {
     pub error_count: u32,
     /// Description of the most recent error.
     pub last_error: Option<String>,
+    /// Consecutive runs this URL was reported stale (robustness layer's
+    /// graceful degradation) rather than checked or errored.
+    pub degraded_count: u32,
 }
 
 /// The whole cache: URL → record.
@@ -97,6 +100,9 @@ impl TrackerCache {
             if r.error_count > 0 {
                 out.push_str(&format!("\terr={}", r.error_count));
             }
+            if r.degraded_count > 0 {
+                out.push_str(&format!("\tdeg={}", r.degraded_count));
+            }
             if let Some(e) = &r.last_error {
                 out.push_str(&format!("\tmsg={}", e.replace(['\t', '\n'], " ")));
             }
@@ -133,6 +139,7 @@ impl TrackerCache {
                     }
                     "robots" => rec.robots_excluded = v == "1",
                     "err" => rec.error_count = v.parse().unwrap_or(0),
+                    "deg" => rec.degraded_count = v.parse().unwrap_or(0),
                     "msg" => rec.last_error = Some(v.to_string()),
                     _ => {}
                 }
@@ -174,6 +181,7 @@ mod tests {
             r.robots_excluded = true;
             r.error_count = 3;
             r.last_error = Some("timeout".to_string());
+            r.degraded_count = 2;
         }
         c.entry("http://b/").last_checked = Some(Timestamp(5));
         let parsed = TrackerCache::parse(&c.emit());

@@ -19,11 +19,15 @@
 //! too many consecutive network failures ("w3newer should therefore be
 //! able to detect cases when it should abort and try again later").
 
+use crate::breaker::{Admission, CircuitBreaker};
 use crate::cache::TrackerCache;
 use crate::config::{Threshold, ThresholdConfig};
+use crate::retry::{
+    retryable_net_error, FetchFailure, RetryPolicy, RetrySnapshot, RetryStats, TransientFailure,
+};
 use aide_htmlkit::url::Url;
 use aide_simweb::browser::Bookmark;
-use aide_simweb::http::{Request, Status};
+use aide_simweb::http::{Method, Request, Response, Status};
 use aide_simweb::net::Web;
 use aide_simweb::proxy::ProxyCache;
 use aide_util::checksum::PageChecksum;
@@ -31,6 +35,7 @@ use aide_util::robots::RobotsTxt;
 use aide_util::time::{Duration, Timestamp};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Where the verdict for a URL came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +95,19 @@ pub enum UrlStatus {
         /// can take action to remove a URL that no longer exists".
         message: String,
     },
+    /// The check could not complete this run (retries exhausted on a
+    /// transient failure, or the host's circuit is open), so the tracker
+    /// fell back to its cached knowledge. Distinct from
+    /// [`UrlStatus::Unchanged`] — the page was *not verified* — and from
+    /// [`UrlStatus::Error`] — the failure was transient, not a verdict
+    /// about the URL. Only produced when the robustness layer is on.
+    Degraded {
+        /// What went wrong, human-readable.
+        message: String,
+        /// The last modification date on record, if any — the stale
+        /// knowledge the report falls back to.
+        last_known_modified: Option<Timestamp>,
+    },
 }
 
 impl UrlStatus {
@@ -121,6 +139,9 @@ pub struct RunReport {
     pub started: Timestamp,
     /// Whether the run aborted early on consecutive failures.
     pub aborted: bool,
+    /// Retry/breaker activity during this run. All-zero when the
+    /// robustness layer is off (the default).
+    pub net: RetrySnapshot,
 }
 
 impl RunReport {
@@ -162,7 +183,7 @@ impl Default for Flags {
 }
 
 /// The tracker.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct W3Newer {
     /// Threshold configuration.
     pub config: ThresholdConfig,
@@ -172,6 +193,33 @@ pub struct W3Newer {
     pub flags: Flags,
     /// The `User-Agent` offered to servers and matched against robots.txt.
     pub user_agent: String,
+    /// Retry policy for transient network failures. The default,
+    /// [`RetryPolicy::disabled`], reproduces the paper's behaviour: one
+    /// attempt, any failure is final.
+    pub retry: RetryPolicy,
+    /// Optional per-host circuit breaker, shared across the worker pool
+    /// (and, via [`Arc`], across trackers polling the same Web).
+    pub breaker: Option<Arc<CircuitBreaker>>,
+    /// Retry/breaker accounting, shared with the worker pool.
+    stats: Arc<RetryStats>,
+}
+
+impl Clone for W3Newer {
+    /// Clones configuration and cache but gives the clone its own
+    /// zeroed [`RetryStats`], so independently-run trackers do not mix
+    /// their accounting. The breaker handle *is* shared — breaker state
+    /// is per-host knowledge about the Web, not about one tracker.
+    fn clone(&self) -> W3Newer {
+        W3Newer {
+            config: self.config.clone(),
+            cache: self.cache.clone(),
+            flags: self.flags,
+            user_agent: self.user_agent.clone(),
+            retry: self.retry,
+            breaker: self.breaker.clone(),
+            stats: Arc::new(RetryStats::default()),
+        }
+    }
 }
 
 impl W3Newer {
@@ -182,7 +230,22 @@ impl W3Newer {
             cache: TrackerCache::new(),
             flags: Flags::default(),
             user_agent: "w3newer/1.0".to_string(),
+            retry: RetryPolicy::disabled(),
+            breaker: None,
+            stats: Arc::new(RetryStats::default()),
         }
+    }
+
+    /// True when any part of the robustness layer is active. Stats are
+    /// only recorded (and degradation only applies) in robust mode, so
+    /// a default tracker behaves — and reports — exactly as before.
+    fn robust(&self) -> bool {
+        self.retry.enabled() || self.breaker.is_some()
+    }
+
+    /// Cumulative retry/breaker accounting for this tracker.
+    pub fn net_stats(&self) -> RetrySnapshot {
+        self.stats.snapshot()
     }
 
     /// Runs one pass over `hotlist`. `last_visited` supplies the browser
@@ -212,6 +275,7 @@ impl W3Newer {
         proxy: Option<&ProxyCache>,
     ) -> RunReport {
         let now = web.clock().now();
+        let stats_before = self.stats.snapshot();
         let mut cache = std::mem::take(&mut self.cache);
         let mut entries = Vec::with_capacity(hotlist.len());
         let mut robots: HashMap<String, RobotsTxt> = HashMap::new();
@@ -263,6 +327,7 @@ impl W3Newer {
             entries,
             started: now,
             aborted,
+            net: self.stats.snapshot().since(&stats_before),
         }
     }
 
@@ -315,6 +380,7 @@ impl W3Newer {
         }
 
         let now = web.clock().now();
+        let stats_before = self.stats.snapshot();
         let this = &*self;
         let next = AtomicUsize::new(0);
         let groups_ref = &groups;
@@ -426,6 +492,7 @@ impl W3Newer {
             entries,
             started: now,
             aborted,
+            net: self.stats.snapshot().since(&stats_before),
         }
     }
 
@@ -540,11 +607,14 @@ impl W3Newer {
             };
         }
 
-        // The robot exclusion protocol (http only).
+        // The robot exclusion protocol (http only). The fetch goes
+        // through the retry layer so a transiently-failing robots.txt
+        // does not silently downgrade to allow-all in robust mode.
         if !is_file && !self.flags.ignore_robots {
             let policy = robots.entry(parsed.host.clone()).or_insert_with(|| {
                 let robots_url = format!("http://{}/robots.txt", host_port(&parsed));
-                match web.request(&Request::get(&robots_url).user_agent(&self.user_agent)) {
+                let req = Request::get(&robots_url).user_agent(&self.user_agent);
+                match self.fetch_with_retry(web, &req, Some(&parsed.host)) {
                     Ok(resp) if resp.status == Status::Ok => RobotsTxt::parse(&resp.body),
                     _ => RobotsTxt::allow_all(),
                 }
@@ -555,13 +625,24 @@ impl W3Newer {
             }
         }
 
-        let head = web.request(&Request::head(url).user_agent(&self.user_agent));
+        let breaker_host = if is_file {
+            None
+        } else {
+            Some(parsed.host.as_str())
+        };
+        let head = self.fetch_with_retry(
+            web,
+            &Request::head(url).user_agent(&self.user_agent),
+            breaker_host,
+        );
         let resp = match head {
-            Err(e) => {
-                if e.is_host_error() && !is_file {
-                    dead_hosts.insert(parsed.host.clone());
+            Err(fail) => {
+                if let Some(e) = fail.net_error() {
+                    if e.is_host_error() && !is_file {
+                        dead_hosts.insert(parsed.host.clone());
+                    }
                 }
-                return self.record_error(cache, url, &e.to_string(), now);
+                return self.fail_url(cache, url, &fail, false, now);
             }
             Ok(resp) => resp,
         };
@@ -585,6 +666,7 @@ impl W3Newer {
             let rec = cache.entry(url);
             rec.last_checked = Some(now);
             rec.error_count = 0;
+            rec.degraded_count = 0;
             rec.last_error = None;
         }
 
@@ -603,8 +685,12 @@ impl W3Newer {
         }
 
         // No Last-Modified (CGI output): GET + checksum.
-        let get = match web.request(&Request::get(url).user_agent(&self.user_agent)) {
-            Err(e) => return self.record_error(cache, url, &e.to_string(), now),
+        let get = match self.fetch_with_retry(
+            web,
+            &Request::get(url).user_agent(&self.user_agent),
+            breaker_host,
+        ) {
+            Err(fail) => return self.fail_url(cache, url, &fail, true, now),
             Ok(r) => r,
         };
         if get.status != Status::Ok {
@@ -648,6 +734,175 @@ impl W3Newer {
         UrlStatus::Error {
             message: message.to_string(),
         }
+    }
+
+    /// Graceful degradation: retries exhausted (or circuit open) on a
+    /// *transient* failure. The entry keeps its cached knowledge and is
+    /// reported stale rather than errored — "the check didn't complete"
+    /// is a different fact from "the URL is broken".
+    fn degrade(
+        &self,
+        cache: &mut TrackerCache,
+        url: &str,
+        message: &str,
+        now: Timestamp,
+    ) -> UrlStatus {
+        self.stats.bump(&self.stats.degraded);
+        let count_as_checked = self.flags.errors_count_as_checked;
+        let rec = cache.entry(url);
+        rec.degraded_count += 1;
+        rec.last_error = Some(message.to_string());
+        if count_as_checked {
+            rec.last_checked = Some(now);
+        }
+        UrlStatus::Degraded {
+            message: message.to_string(),
+            last_known_modified: rec.last_modified,
+        }
+    }
+
+    /// Routes a fetch failure: transient failures degrade in robust
+    /// mode, everything else records a plain error with the same message
+    /// the pre-robustness tracker produced.
+    fn fail_url(
+        &self,
+        cache: &mut TrackerCache,
+        url: &str,
+        fail: &FetchFailure,
+        on_get: bool,
+        now: Timestamp,
+    ) -> UrlStatus {
+        let message = failure_message(fail, on_get);
+        if self.robust() && fail.is_degradable() {
+            self.degrade(cache, url, &message, now)
+        } else {
+            self.record_error(cache, url, &message, now)
+        }
+    }
+
+    /// Issues `req` with retry, backoff and breaker admission according
+    /// to `self.retry` / `self.breaker`. With both at their defaults this
+    /// is exactly one `web.request` and zero bookkeeping.
+    ///
+    /// Backoff sleeps *advance the virtual clock* — the simulation's
+    /// stand-in for blocking — and honour `Retry-After` as a delay
+    /// floor. `host` is the breaker key; `None` (file: URLs) bypasses
+    /// admission control.
+    fn fetch_with_retry(
+        &self,
+        web: &Web,
+        req: &Request,
+        host: Option<&str>,
+    ) -> Result<Response, FetchFailure> {
+        let robust = self.robust();
+        let clock = web.clock();
+        let mut slept = Duration::ZERO;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if let (Some(b), Some(h)) = (&self.breaker, host) {
+                if b.admit(h, clock.now()) == Admission::Denied {
+                    if robust {
+                        self.stats.bump(&self.stats.breaker_denied);
+                    }
+                    return Err(FetchFailure::CircuitOpen {
+                        host: h.to_string(),
+                    });
+                }
+            }
+            if robust {
+                self.stats.bump(&self.stats.attempts);
+            }
+            let failure = match web.request(req) {
+                Ok(resp) => {
+                    if resp.is_transient_failure() {
+                        if robust {
+                            self.stats.bump(&self.stats.http_failures);
+                        }
+                        TransientFailure::Http {
+                            status: resp.status,
+                            retry_after: resp.retry_after,
+                        }
+                    } else if req.method == Method::Get
+                        && resp.status == Status::Ok
+                        && resp.body.len() < resp.content_length
+                    {
+                        // A body shorter than Content-Length advertises is
+                        // a corrupted transfer: checksumming it would
+                        // manufacture a phantom "change".
+                        if robust {
+                            self.stats.bump(&self.stats.truncated);
+                        }
+                        TransientFailure::Truncated {
+                            expected: resp.content_length,
+                            got: resp.body.len(),
+                        }
+                    } else {
+                        if let (Some(b), Some(h)) = (&self.breaker, host) {
+                            b.record_success(h);
+                        }
+                        if robust && attempt > 1 {
+                            self.stats.bump(&self.stats.recovered);
+                        }
+                        return Ok(resp);
+                    }
+                }
+                Err(e) => {
+                    if robust {
+                        self.stats.bump(&self.stats.net_failures);
+                    }
+                    if !retryable_net_error(&e) {
+                        if let (Some(b), Some(h)) = (&self.breaker, host) {
+                            b.record_failure(h, clock.now());
+                        }
+                        return Err(FetchFailure::Terminal(e));
+                    }
+                    TransientFailure::Net(e)
+                }
+            };
+            if let (Some(b), Some(h)) = (&self.breaker, host) {
+                b.record_failure(h, clock.now());
+            }
+            if attempt >= self.retry.max_attempts {
+                if robust && self.retry.enabled() {
+                    self.stats.bump(&self.stats.exhausted);
+                }
+                return Err(FetchFailure::Exhausted(failure));
+            }
+            let mut delay = self.retry.delay_for(&req.url, attempt);
+            if let TransientFailure::Http {
+                retry_after: Some(secs),
+                ..
+            } = failure
+            {
+                delay = delay.max(Duration::seconds(secs));
+            }
+            if slept + delay > self.retry.budget {
+                self.stats.bump(&self.stats.exhausted);
+                return Err(FetchFailure::Exhausted(failure));
+            }
+            clock.advance(delay);
+            slept = slept + delay;
+            self.stats.bump(&self.stats.retries);
+            self.stats
+                .slept_secs
+                .fetch_add(delay.as_secs(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// The report/cache message for a failed fetch — chosen to be
+/// byte-identical to the pre-robustness tracker's messages when the
+/// robustness layer is off. `on_get` appends the " on GET" context the
+/// checksum path always used.
+fn failure_message(fail: &FetchFailure, on_get: bool) -> String {
+    match fail {
+        FetchFailure::Terminal(e) => e.to_string(),
+        FetchFailure::Exhausted(TransientFailure::Http { status, .. }) if on_get => {
+            format!("HTTP {status} on GET")
+        }
+        FetchFailure::Exhausted(f) => f.message(),
+        FetchFailure::CircuitOpen { host } => format!("circuit open: {host}"),
     }
 }
 
@@ -1256,6 +1511,276 @@ mod tests {
             8,
         );
         assert_eq!(r.changed_count(), 2);
+    }
+
+    #[test]
+    fn retry_recovers_from_windowed_outage() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (clock, web) = setup();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(2))
+            .unwrap();
+        // Every request times out for the next 6 virtual seconds; the
+        // backoff sleeps carry the retry loop past the window.
+        let now = clock.now();
+        web.install_fault_plan(FaultPlan::new(1).for_host(
+            "h",
+            FaultEpisode::rate(1.0, FaultKind::Timeout).between(now, now + Duration::seconds(6)),
+        ));
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.retry = crate::retry::RetryPolicy::standard(42);
+        let r = w.run_serial(&[mark("http://h/p")], &no_history, &web, None);
+        assert!(
+            r.entries[0].status.is_changed(),
+            "recovered after the outage window: {:?}",
+            r.entries[0].status
+        );
+        assert!(r.net.retries > 0, "at least one retry happened");
+        assert!(r.net.recovered > 0);
+        assert_eq!(r.net.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_stale_not_error() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(2);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        // Seen after modification, so the cache's verdict is "unchanged"
+        // — which staleness 0 refuses to trust, forcing a network check.
+        let visited = clock.now() - Duration::days(1);
+        let history = move |_: &str| Some(visited);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.retry = crate::retry::RetryPolicy::standard(7);
+        w.flags.staleness = Duration::ZERO;
+        // Clean first run caches the modification date.
+        w.run_serial(&[mark("http://h/p")], &history, &web, None);
+        // Then the host goes permanently flaky.
+        web.install_fault_plan(
+            FaultPlan::new(2).for_host("h", FaultEpisode::rate(1.0, FaultKind::Timeout)),
+        );
+        let r = w.run_serial(&[mark("http://h/p")], &history, &web, None);
+        match &r.entries[0].status {
+            UrlStatus::Degraded {
+                message,
+                last_known_modified,
+            } => {
+                assert_eq!(message, "timeout");
+                assert_eq!(*last_known_modified, Some(modified), "stale fallback kept");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert!(r.net.exhausted > 0);
+        assert_eq!(r.net.degraded, 1);
+        assert_eq!(w.cache.get("http://h/p").unwrap().degraded_count, 1);
+        // The cached modification date survived the failed check.
+        assert_eq!(
+            w.cache.get("http://h/p").unwrap().last_modified,
+            Some(modified)
+        );
+    }
+
+    #[test]
+    fn transient_faults_never_fabricate_changes() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        use aide_simweb::http::Status;
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(5);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        let visited = clock.now() - Duration::days(1); // seen after modification
+        web.install_fault_plan(FaultPlan::new(3).for_host(
+            "h",
+            FaultEpisode::rate(
+                1.0,
+                FaultKind::Transient {
+                    status: Status::ServiceUnavailable,
+                    retry_after_secs: Some(30),
+                },
+            ),
+        ));
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.retry = crate::retry::RetryPolicy::standard(9);
+        let r = w.run_serial(&[mark("http://h/p")], &move |_| Some(visited), &web, None);
+        assert!(
+            !r.entries[0].status.is_changed(),
+            "a 503 storm must not read as a content change: {:?}",
+            r.entries[0].status
+        );
+        assert!(matches!(&r.entries[0].status, UrlStatus::Degraded { .. }));
+        assert!(r.net.http_failures > 0);
+        // Retry-After (30s) floors the backoff: at least one 30s sleep
+        // per retry.
+        assert!(r.net.slept_secs >= 30 * r.net.retries.min(1));
+    }
+
+    #[test]
+    fn truncated_body_never_corrupts_the_checksum_baseline() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (_, web) = setup();
+        web.set_resource(
+            "http://h/cgi-bin/q",
+            Resource::Cgi {
+                template: "a perfectly stable twenty-byte-plus output".to_string(),
+                hits: 0,
+            },
+        )
+        .unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.staleness = Duration::ZERO;
+        // Clean baseline.
+        w.run_serial(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        // Bodies now come back cut off mid-transfer.
+        web.install_fault_plan(FaultPlan::new(4).for_host(
+            "h",
+            FaultEpisode::rate(1.0, FaultKind::Truncate { keep_bytes: 5 }),
+        ));
+        w.retry = crate::retry::RetryPolicy::standard(11);
+        let r = w.run_serial(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(
+            !r.entries[0].status.is_changed(),
+            "truncated transfer must not look like a change: {:?}",
+            r.entries[0].status
+        );
+        assert!(r.net.truncated > 0);
+        // The healthy checksum baseline survived.
+        web.clear_fault_plan();
+        let r = w.run_serial(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(
+            matches!(
+                &r.entries[0].status,
+                UrlStatus::Unchanged {
+                    source: CheckSource::GetChecksum
+                }
+            ),
+            "baseline intact after the fault clears: {:?}",
+            r.entries[0].status
+        );
+    }
+
+    #[test]
+    fn truncation_detected_even_without_retries() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (_, web) = setup();
+        web.set_resource(
+            "http://h/cgi-bin/q",
+            Resource::Cgi {
+                template: "a perfectly stable twenty-byte-plus output".to_string(),
+                hits: 0,
+            },
+        )
+        .unwrap();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.flags.staleness = Duration::ZERO;
+        w.run_serial(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        web.install_fault_plan(FaultPlan::new(4).for_host(
+            "h",
+            FaultEpisode::rate(1.0, FaultKind::Truncate { keep_bytes: 5 }),
+        ));
+        // Robustness off: the corrupt transfer surfaces as an error, not
+        // a phantom change.
+        let r = w.run_serial(&[mark("http://h/cgi-bin/q")], &no_history, &web, None);
+        assert!(
+            matches!(&r.entries[0].status, UrlStatus::Error { message } if message.starts_with("truncated body")),
+            "got {:?}",
+            r.entries[0].status
+        );
+    }
+
+    #[test]
+    fn breaker_cuts_off_a_dead_host() {
+        use crate::breaker::{BreakerConfig, CircuitBreaker};
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (_, web) = setup();
+        for p in 0..8 {
+            web.set_page(
+                &format!("http://h/p{p}"),
+                "body",
+                web.clock().now() - Duration::days(1),
+            )
+            .unwrap();
+        }
+        web.install_fault_plan(
+            FaultPlan::new(5).for_host("h", FaultEpisode::rate(1.0, FaultKind::ConnectionRefused)),
+        );
+        let hotlist: Vec<Bookmark> = (0..8).map(|p| mark(&format!("http://h/p{p}"))).collect();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.breaker = Some(Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::minutes(5),
+            max_cooldown: Duration::hours(1),
+        })));
+        w.flags.abort_after_consecutive_errors = None;
+        let r = w.run_serial(&hotlist, &no_history, &web, None);
+        assert!(r.net.breaker_denied > 0, "circuit opened mid-run");
+        let denied = r
+            .entries
+            .iter()
+            .filter(|e| {
+                matches!(&e.status, UrlStatus::Degraded { message, .. } if message.starts_with("circuit open"))
+            })
+            .count();
+        assert!(denied > 0, "later URLs denied without network traffic");
+        // Total traffic is bounded by the threshold (robots + HEADs up to
+        // the trip point), far below one request per URL.
+        assert!(
+            web.stats().requests <= 4,
+            "{} requests reached a dead host",
+            web.stats().requests
+        );
+    }
+
+    #[test]
+    fn retry_stats_reconcile_with_web_net_errors() {
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (clock, web) = setup();
+        for p in 0..4 {
+            web.set_page(
+                &format!("http://h/p{p}"),
+                "body",
+                clock.now() - Duration::days(1),
+            )
+            .unwrap();
+        }
+        web.install_fault_plan(
+            FaultPlan::new(6).for_host("h", FaultEpisode::rate(0.4, FaultKind::Timeout)),
+        );
+        let hotlist: Vec<Bookmark> = (0..4).map(|p| mark(&format!("http://h/p{p}"))).collect();
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.retry = crate::retry::RetryPolicy::standard(13);
+        w.flags.abort_after_consecutive_errors = None;
+        let r = w.run_serial(&hotlist, &no_history, &web, None);
+        assert_eq!(
+            r.net.net_failures,
+            web.stats().net_errors,
+            "every network error the Web counted flowed through the retry layer"
+        );
+        assert_eq!(
+            r.net,
+            w.net_stats(),
+            "run delta equals lifetime stats on a fresh tracker"
+        );
+    }
+
+    #[test]
+    fn disabled_robustness_reports_match_pre_retry_behaviour() {
+        // With the robustness layer off, a faulty world still produces
+        // plain Error entries with the legacy messages and an all-zero
+        // net snapshot — nothing about the report format changes.
+        use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+        let (clock, web) = setup();
+        web.set_page("http://h/p", "body", clock.now() - Duration::days(1))
+            .unwrap();
+        web.install_fault_plan(
+            FaultPlan::new(8).for_host("h", FaultEpisode::rate(1.0, FaultKind::Timeout)),
+        );
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let r = w.run_serial(&[mark("http://h/p")], &no_history, &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::Error {
+                message: "timeout".to_string()
+            }
+        );
+        assert!(r.net.is_zero(), "no accounting with the layer off");
     }
 
     #[test]

@@ -17,17 +17,26 @@
 //! - [`cache`]: w3newer's persistent per-URL state (dates, checksums,
 //!   robot exclusions, error counts).
 //! - [`checker`]: the per-URL decision procedure and the run driver.
+//! - [`retry`]: capped exponential backoff with deterministic jitter for
+//!   transient network failures, plus the retry accounting surfaced in
+//!   run reports.
+//! - [`breaker`]: a shared per-host circuit breaker so a dead host stops
+//!   absorbing the worker pool's time.
 //! - [`report`]: the Figure 1 HTML status report with
 //!   Remember / Diff / History links.
 
+pub mod breaker;
 pub mod cache;
 pub mod checker;
 pub mod config;
 pub mod priority;
 pub mod report;
+pub mod retry;
 
+pub use breaker::{Admission, BreakerConfig, BreakerStats, CircuitBreaker};
 pub use cache::{TrackerCache, UrlRecord};
 pub use checker::{CheckSource, Flags, RunReport, UrlReport, UrlStatus, W3Newer};
 pub use config::{Threshold, ThresholdConfig};
 pub use priority::{Priority, PriorityConfig};
 pub use report::render_report;
+pub use retry::{FetchFailure, RetryPolicy, RetrySnapshot, RetryStats, TransientFailure};

@@ -73,6 +73,19 @@ fn status_note(status: &UrlStatus) -> String {
         },
         UrlStatus::RobotExcluded => "not checked (robot exclusion)".to_string(),
         UrlStatus::Error { message } => format!("<B>error</B>: {}", encode_entities(message)),
+        UrlStatus::Degraded {
+            message,
+            last_known_modified,
+        } => {
+            let mut note = format!(
+                "<B>stale</B> (check incomplete: {})",
+                encode_entities(message)
+            );
+            if let Some(t) = last_known_modified {
+                note.push_str(&format!("; last known modification {}", t.to_http_date()));
+            }
+            note
+        }
     }
 }
 
@@ -83,6 +96,7 @@ fn status_note(status: &UrlStatus) -> String {
 /// ```
 /// use aide_w3newer::checker::{RunReport, UrlReport, UrlStatus, CheckSource};
 /// use aide_w3newer::report::{render_report, ReportOptions};
+/// use aide_w3newer::retry::RetrySnapshot;
 /// use aide_util::time::Timestamp;
 ///
 /// let report = RunReport {
@@ -97,6 +111,7 @@ fn status_note(status: &UrlStatus) -> String {
 ///     }],
 ///     started: Timestamp(812400000),
 ///     aborted: false,
+///     net: RetrySnapshot::default(),
 /// };
 /// let html = render_report(&report, &ReportOptions::default());
 /// assert!(html.contains("USENIX"));
@@ -136,15 +151,27 @@ pub fn render_report(report: &RunReport, opts: &ReportOptions) -> String {
         .iter()
         .filter(|e| matches!(e.status, UrlStatus::Error { .. }))
         .collect();
+    let stale: Vec<_> = report
+        .entries
+        .iter()
+        .filter(|e| matches!(e.status, UrlStatus::Degraded { .. }))
+        .collect();
     let rest: Vec<_> = report
         .entries
         .iter()
-        .filter(|e| !e.status.is_changed() && !matches!(e.status, UrlStatus::Error { .. }))
+        .filter(|e| {
+            !e.status.is_changed()
+                && !matches!(
+                    e.status,
+                    UrlStatus::Error { .. } | UrlStatus::Degraded { .. }
+                )
+        })
         .collect();
 
     for (heading, group) in [
         ("Changed pages", changed),
         ("Problems", errors),
+        ("Stale pages", stale),
         ("Everything else", rest),
     ] {
         if group.is_empty() {
@@ -161,6 +188,29 @@ pub fn render_report(report: &RunReport, opts: &ReportOptions) -> String {
             ));
         }
         out.push_str("</UL>\n");
+    }
+
+    // Robustness-layer accounting, only when anything was recorded —
+    // with the layer off (the default) the footer vanishes and the
+    // report stays byte-identical to the original format.
+    if !report.net.is_zero() {
+        let n = &report.net;
+        out.push_str(&format!(
+            "<P><SMALL>Network health: {} attempt(s), {} retried, \
+             {} recovered, {} exhausted; {} net / {} HTTP / {} truncated \
+             failure(s); {} denied by open circuits; {} page(s) reported \
+             stale; {}s spent backing off.</SMALL>\n",
+            n.attempts,
+            n.retries,
+            n.recovered,
+            n.exhausted,
+            n.net_failures,
+            n.http_failures,
+            n.truncated,
+            n.breaker_denied,
+            n.degraded,
+            n.slept_secs,
+        ));
     }
     out.push_str("</BODY></HTML>\n");
     out
@@ -251,6 +301,7 @@ mod tests {
             entries,
             started: Timestamp(800_000_000),
             aborted: false,
+            net: crate::retry::RetrySnapshot::default(),
         }
     }
 
@@ -451,6 +502,62 @@ mod tests {
         );
         assert!(html.contains("1 suppressed change(s) hidden"));
         assert!(html.contains("Everything else"));
+    }
+
+    #[test]
+    fn degraded_entries_get_their_own_stale_group() {
+        let r = report(vec![
+            entry(
+                "http://ok/",
+                UrlStatus::Unchanged {
+                    source: CheckSource::Cache,
+                },
+            ),
+            entry(
+                "http://flaky/",
+                UrlStatus::Degraded {
+                    message: "timeout".to_string(),
+                    last_known_modified: Some(Timestamp(812_345_678)),
+                },
+            ),
+            entry(
+                "http://err/",
+                UrlStatus::Error {
+                    message: "HTTP 404".to_string(),
+                },
+            ),
+        ]);
+        let html = render_report(&r, &ReportOptions::default());
+        let p = html.find("Problems").unwrap();
+        let s = html.find("Stale pages").unwrap();
+        let e = html.find("Everything else").unwrap();
+        assert!(p < s && s < e, "Stale pages between Problems and the rest");
+        assert!(html.contains("<B>stale</B> (check incomplete: timeout)"));
+        assert!(
+            html.contains("last known modification"),
+            "stale entries fall back to cached knowledge"
+        );
+    }
+
+    #[test]
+    fn net_footer_only_when_stats_recorded() {
+        let quiet = report(vec![entry(
+            "http://x/",
+            UrlStatus::Unchanged {
+                source: CheckSource::Cache,
+            },
+        )]);
+        let html = render_report(&quiet, &ReportOptions::default());
+        assert!(
+            !html.contains("Network health"),
+            "no footer with the robustness layer off"
+        );
+        let mut busy = quiet.clone();
+        busy.net.attempts = 12;
+        busy.net.retries = 3;
+        busy.net.recovered = 2;
+        let html = render_report(&busy, &ReportOptions::default());
+        assert!(html.contains("Network health: 12 attempt(s), 3 retried, 2 recovered"));
     }
 
     #[test]

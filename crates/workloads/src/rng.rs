@@ -1,243 +1,18 @@
 //! A small deterministic PRNG.
 //!
-//! Xorshift64* seeded through splitmix64. Statistically fine for workload
-//! generation, stable forever (unlike external crates whose streams shift
-//! between versions), and trivially cloneable for forked substreams.
+//! The generator itself now lives in [`aide_util::rng`] so the simulated
+//! Web's fault injection and the workload drivers share one algorithm
+//! and one stream shape; this module re-exports it under the historical
+//! path. Seeds produce exactly the streams they always have.
+//!
+//! # Examples
+//!
+//! ```
+//! use aide_workloads::rng::Rng;
+//!
+//! let mut a = Rng::new(42);
+//! let mut b = Rng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
 
-/// Deterministic pseudo-random number generator.
-///
-/// # Examples
-///
-/// ```
-/// use aide_workloads::rng::Rng;
-///
-/// let mut a = Rng::new(42);
-/// let mut b = Rng::new(42);
-/// assert_eq!(a.next_u64(), b.next_u64());
-/// ```
-#[derive(Debug, Clone)]
-pub struct Rng {
-    state: u64,
-}
-
-impl Rng {
-    /// Creates a generator from a seed (any value, including 0).
-    pub fn new(seed: u64) -> Rng {
-        // splitmix64 scrambles weak seeds.
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        Rng { state: z | 1 }
-    }
-
-    /// Forks an independent substream (e.g. one per URL).
-    pub fn fork(&mut self, stream: u64) -> Rng {
-        Rng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        // xorshift64*
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform in `[0, n)`. `n` must be nonzero.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    pub fn below(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "below(0)");
-        // Multiply-shift rejection-free mapping (tiny bias acceptable for
-        // workloads).
-        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
-    }
-
-    /// Uniform usize in `[0, n)`.
-    pub fn index(&mut self, n: usize) -> usize {
-        self.below(n as u64) as usize
-    }
-
-    /// Uniform in `[lo, hi]` inclusive.
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.below(hi - lo + 1)
-    }
-
-    /// Uniform float in `[0, 1)`.
-    pub fn f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Bernoulli trial.
-    pub fn chance(&mut self, p: f64) -> bool {
-        self.f64() < p
-    }
-
-    /// Picks a random element of a nonempty slice.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty slice.
-    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.index(items.len())]
-    }
-
-    /// Zipf-like rank sample over `n` items with exponent ~1: small ranks
-    /// are much more likely — the classic popularity skew of web pages.
-    pub fn zipf(&mut self, n: usize) -> usize {
-        debug_assert!(n > 0);
-        // Inverse-CDF approximation for s=1: harmonic weights.
-        let h = (n as f64).ln() + 0.5772;
-        let target = self.f64() * h;
-        let r = target.exp().floor() as usize;
-        r.min(n - 1)
-    }
-
-    /// Geometric-ish sample: number of failures before success with
-    /// probability `p`, capped at `max`.
-    pub fn geometric(&mut self, p: f64, max: u64) -> u64 {
-        let mut k = 0;
-        while k < max && !self.chance(p) {
-            k += 1;
-        }
-        k
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        for i in (1..items.len()).rev() {
-            let j = self.index(i + 1);
-            items.swap(i, j);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_streams() {
-        let mut a = Rng::new(7);
-        let mut b = Rng::new(7);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let mut a = Rng::new(1);
-        let mut b = Rng::new(2);
-        assert_ne!(a.next_u64(), b.next_u64());
-    }
-
-    #[test]
-    fn zero_seed_works() {
-        let mut r = Rng::new(0);
-        let x = r.next_u64();
-        let y = r.next_u64();
-        assert_ne!(x, 0);
-        assert_ne!(x, y);
-    }
-
-    #[test]
-    fn below_bounds() {
-        let mut r = Rng::new(3);
-        for _ in 0..1000 {
-            assert!(r.below(10) < 10);
-        }
-        for _ in 0..100 {
-            assert_eq!(r.below(1), 0);
-        }
-    }
-
-    #[test]
-    fn range_inclusive() {
-        let mut r = Rng::new(4);
-        let mut seen_lo = false;
-        let mut seen_hi = false;
-        for _ in 0..2000 {
-            let v = r.range(5, 8);
-            assert!((5..=8).contains(&v));
-            seen_lo |= v == 5;
-            seen_hi |= v == 8;
-        }
-        assert!(seen_lo && seen_hi);
-    }
-
-    #[test]
-    fn f64_in_unit_interval() {
-        let mut r = Rng::new(5);
-        for _ in 0..1000 {
-            let v = r.f64();
-            assert!((0.0..1.0).contains(&v));
-        }
-    }
-
-    #[test]
-    fn below_is_roughly_uniform() {
-        let mut r = Rng::new(6);
-        let mut counts = [0u32; 4];
-        for _ in 0..40_000 {
-            counts[r.below(4) as usize] += 1;
-        }
-        for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
-        }
-    }
-
-    #[test]
-    fn zipf_skews_to_small_ranks() {
-        let mut r = Rng::new(8);
-        let mut low = 0;
-        for _ in 0..10_000 {
-            if r.zipf(1000) < 10 {
-                low += 1;
-            }
-        }
-        // Zipf s=1 over 1000 items puts a large share of mass on the top
-        // ten ranks.
-        assert!(low > 2_000, "low-rank mass {low}");
-    }
-
-    #[test]
-    fn shuffle_is_a_permutation() {
-        let mut r = Rng::new(9);
-        let mut v: Vec<u32> = (0..50).collect();
-        r.shuffle(&mut v);
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(
-            v,
-            (0..50).collect::<Vec<_>>(),
-            "astronomically unlikely to be identity"
-        );
-    }
-
-    #[test]
-    fn fork_streams_are_independent() {
-        let mut root = Rng::new(10);
-        let mut a = root.fork(1);
-        let mut b = root.fork(2);
-        assert_ne!(a.next_u64(), b.next_u64());
-    }
-
-    #[test]
-    fn geometric_capped() {
-        let mut r = Rng::new(11);
-        for _ in 0..100 {
-            assert!(r.geometric(0.01, 5) <= 5);
-        }
-        for _ in 0..100 {
-            assert_eq!(r.geometric(1.0, 5), 0);
-        }
-    }
-}
+pub use aide_util::rng::Rng;

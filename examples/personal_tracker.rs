@@ -45,7 +45,7 @@ fn main() {
                 Changed { .. } => changed += 1,
                 Unchanged { .. } => unchanged += 1,
                 NotChecked { .. } | RobotExcluded => skipped += 1,
-                Error { .. } => errors += 1,
+                Error { .. } | Degraded { .. } => errors += 1,
             }
             // The user follows up on some changed pages by visiting them.
             if e.status.is_changed() && rng.chance(0.5) {

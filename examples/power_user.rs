@@ -213,6 +213,7 @@ fn main() {
         ],
         started: clock.now(),
         aborted: false,
+        net: aide_w3newer::retry::RetrySnapshot::default(),
     };
     let html = render_prioritized_report(&report, &priorities, &ReportOptions::default());
     println!("\nprioritized report:\n");

@@ -1,0 +1,271 @@
+//! Fault-tolerance integration suite: scripted fault injection on the
+//! simulated Web versus the tracker's retry/backoff/circuit-breaker
+//! robustness layer.
+//!
+//! Everything here is deterministic: fault decisions are pure functions
+//! of `(seed, host, path, draw-index, episode-index)` and the virtual
+//! clock, and backoff jitter is a pure function of `(seed, url,
+//! attempt)`. The same seed therefore produces byte-identical HTML
+//! reports, which `ci.sh` exploits by running this suite twice and
+//! diffing the dumped reports.
+//!
+//! Knobs (both optional):
+//! - `AIDE_FAULT_SEED`: fault-plan seed (default 42);
+//! - `AIDE_FAULT_DUMP`: path to write the rendered determinism report.
+
+use aide_simweb::browser::Bookmark;
+use aide_simweb::fault::{FaultEpisode, FaultKind, FaultPlan};
+use aide_simweb::http::Status;
+use aide_simweb::net::Web;
+use aide_util::time::{Clock, Duration, Timestamp};
+use aide_w3newer::breaker::{BreakerConfig, CircuitBreaker};
+use aide_w3newer::checker::UrlStatus;
+use aide_w3newer::config::ThresholdConfig;
+use aide_w3newer::report::{render_report, ReportOptions};
+use aide_w3newer::retry::RetryPolicy;
+use aide_w3newer::W3Newer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fault_seed() -> u64 {
+    std::env::var("AIDE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A mid-sized world: 5 hosts x 4 pages, all modified well in the past
+/// and visited yesterday, so a fault-free run reports every page
+/// unchanged. Any "changed" entry under fault injection is a fabrication.
+fn quiet_world() -> (Clock, Web, Vec<Bookmark>, HashMap<String, Timestamp>) {
+    let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 10, 1, 9, 0, 0));
+    let web = Web::new(clock.clone());
+    let mut hotlist = Vec::new();
+    let mut history = HashMap::new();
+    let visited = clock.now() - Duration::days(1);
+    for h in 0..5 {
+        for p in 0..4 {
+            let url = format!("http://host{h}.example.com/page{p}.html");
+            web.set_page(
+                &url,
+                &format!("<HTML><P>stable body {h}/{p}</HTML>"),
+                clock.now() - Duration::days(10),
+            )
+            .unwrap();
+            history.insert(url.clone(), visited);
+            hotlist.push(Bookmark {
+                title: format!("Page {h}/{p}"),
+                url,
+            });
+        }
+    }
+    (clock, web, hotlist, history)
+}
+
+/// The >=10% transient-fault storm from the acceptance criteria: global
+/// timeouts plus one host serving 503s with Retry-After.
+fn storm_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .everywhere(FaultEpisode::rate(0.15, FaultKind::Timeout))
+        .for_host(
+            "host2.example.com",
+            FaultEpisode::rate(
+                0.5,
+                FaultKind::Transient {
+                    status: Status::ServiceUnavailable,
+                    retry_after_secs: Some(20),
+                },
+            ),
+        )
+}
+
+fn robust_tracker() -> W3Newer {
+    let mut w = W3Newer::new(ThresholdConfig::default());
+    w.retry = RetryPolicy::standard(7);
+    w.flags.staleness = Duration::ZERO;
+    w.flags.abort_after_consecutive_errors = None;
+    w
+}
+
+fn run_storm(seed: u64) -> String {
+    let (_clock, web, hotlist, history) = quiet_world();
+    web.install_fault_plan(storm_plan(seed));
+    let mut w = robust_tracker();
+    let report = w.run_serial(&hotlist, &move |u| history.get(u).copied(), &web, None);
+    render_report(&report, &ReportOptions::default())
+}
+
+#[test]
+fn same_seed_yields_byte_identical_reports() {
+    let seed = fault_seed();
+    let a = run_storm(seed);
+    let b = run_storm(seed);
+    assert_eq!(a, b, "two identically-seeded runs must render identically");
+    if let Ok(path) = std::env::var("AIDE_FAULT_DUMP") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &a).expect("write AIDE_FAULT_DUMP report");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_fault_pattern() {
+    let a = run_storm(fault_seed());
+    let b = run_storm(fault_seed() ^ 0xDEAD_BEEF);
+    assert_ne!(a, b, "a different seed replays different faults");
+}
+
+#[test]
+fn transient_faults_never_render_as_content_changes() {
+    let (_clock, web, hotlist, history) = quiet_world();
+    web.install_fault_plan(storm_plan(fault_seed()));
+    let mut w = robust_tracker();
+    let report = w.run_serial(&hotlist, &move |u| history.get(u).copied(), &web, None);
+    assert!(
+        web.stats().faults_injected > 0,
+        "the storm actually injected faults"
+    );
+    assert_eq!(
+        report.changed_count(),
+        0,
+        "no transient fault may be reported as a change: {:?}",
+        report
+            .entries
+            .iter()
+            .filter(|e| e.status.is_changed())
+            .map(|e| &e.url)
+            .collect::<Vec<_>>()
+    );
+    let html = render_report(&report, &ReportOptions::default());
+    assert!(!html.contains("Changed pages"));
+
+    // Every entry that could not be verified is explicitly labeled
+    // stale, never silently folded into "unchanged".
+    let degraded = report
+        .entries
+        .iter()
+        .filter(|e| matches!(e.status, UrlStatus::Degraded { .. }))
+        .count();
+    if degraded > 0 {
+        assert!(html.contains("Stale pages"));
+        assert!(html.contains("<B>stale</B>"));
+    }
+    assert_eq!(report.net.degraded as usize, degraded);
+}
+
+#[test]
+fn windowed_outage_degrades_then_recovers() {
+    let (clock, web, hotlist, history) = quiet_world();
+    let now = clock.now();
+    // host1 drops off the network for an hour.
+    web.install_fault_plan(FaultPlan::new(fault_seed()).for_host(
+        "host1.example.com",
+        FaultEpisode::outage(now, now + Duration::hours(1), FaultKind::HostUnreachable),
+    ));
+    let mut w = robust_tracker();
+    let hist = move |u: &str| history.get(u).copied();
+    let during = w.run_serial(&hotlist, &hist, &web, None);
+    let stale_during = during
+        .entries
+        .iter()
+        .filter(|e| matches!(e.status, UrlStatus::Degraded { .. }))
+        .count();
+    assert_eq!(stale_during, 4, "all four host1 pages degraded");
+    assert_eq!(during.changed_count(), 0);
+
+    // Past the outage window everything verifies again.
+    clock.advance(Duration::hours(2));
+    let after = w.run_serial(&hotlist, &hist, &web, None);
+    let stale_after = after
+        .entries
+        .iter()
+        .filter(|e| matches!(e.status, UrlStatus::Degraded { .. }))
+        .count();
+    assert_eq!(stale_after, 0, "outage over, no stale entries");
+    assert!(after
+        .entries
+        .iter()
+        .all(|e| matches!(e.status, UrlStatus::Unchanged { .. })));
+    // Recovery also clears the per-URL degradation counters.
+    assert!(hotlist
+        .iter()
+        .all(|m| w.cache.get(&m.url).map(|r| r.degraded_count) == Some(0)));
+}
+
+#[test]
+fn breaker_bounds_traffic_to_a_dead_host() {
+    let (_clock, web, hotlist, history) = quiet_world();
+    web.install_fault_plan(FaultPlan::new(fault_seed()).for_host(
+        "host3.example.com",
+        FaultEpisode::rate(1.0, FaultKind::ConnectionRefused),
+    ));
+    let mut w = robust_tracker();
+    w.breaker = Some(Arc::new(CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 3,
+        cooldown: Duration::hours(4),
+        max_cooldown: Duration::hours(8),
+    })));
+    let hist = move |u: &str| history.get(u).copied();
+    let report = w.run_serial(&hotlist, &hist, &web, None);
+    // The dead host absorbed at most threshold attempts per retry cycle;
+    // once open, the remaining URLs there were denied without traffic.
+    assert!(report.net.breaker_denied > 0, "{:?}", report.net);
+    let dead_traffic = web.server_stats("host3.example.com").unwrap().total();
+    assert!(
+        dead_traffic <= 3,
+        "dead host saw {dead_traffic} requests despite an open circuit"
+    );
+    // Healthy hosts were checked normally.
+    assert!(report
+        .entries
+        .iter()
+        .filter(|e| !e.url.contains("host3"))
+        .all(|e| matches!(e.status, UrlStatus::Unchanged { .. })));
+}
+
+#[test]
+fn retry_accounting_reconciles_with_web_accounting() {
+    let (_clock, web, hotlist, history) = quiet_world();
+    web.install_fault_plan(storm_plan(fault_seed()));
+    let mut w = robust_tracker();
+    let report = w.run_serial(&hotlist, &move |u| history.get(u).copied(), &web, None);
+    let net = web.stats();
+    assert_eq!(
+        report.net.net_failures, net.net_errors,
+        "all tracker traffic flows through the retry layer, so its \
+         failure count must reconcile with the Web's"
+    );
+    assert_eq!(
+        report.net.attempts, net.requests,
+        "every attempt the retry layer made is a request the Web saw"
+    );
+    assert!(report.net.attempts > hotlist.len() as u64);
+}
+
+#[test]
+fn faults_disabled_is_byte_identical_to_no_fault_layer() {
+    // An installed-then-cleared plan (and an empty plan) must leave the
+    // Web indistinguishable from one that never had a fault layer.
+    let run = |configure: &dyn Fn(&Web)| {
+        let (_clock, web, hotlist, history) = quiet_world();
+        configure(&web);
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        let report = w.run_serial(&hotlist, &move |u| history.get(u).copied(), &web, None);
+        (
+            render_report(&report, &ReportOptions::default()),
+            web.stats(),
+        )
+    };
+    let (plain_html, plain_stats) = run(&|_| {});
+    let (empty_html, empty_stats) = run(&|web| web.install_fault_plan(FaultPlan::new(9)));
+    let (cleared_html, cleared_stats) = run(&|web| {
+        web.install_fault_plan(storm_plan(fault_seed()));
+        web.clear_fault_plan();
+    });
+    assert_eq!(plain_html, empty_html);
+    assert_eq!(plain_html, cleared_html);
+    assert_eq!(plain_stats, empty_stats);
+    assert_eq!(plain_stats, cleared_stats);
+    assert_eq!(plain_stats.faults_injected, 0);
+}
