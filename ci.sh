@@ -8,6 +8,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo test"
 cargo test -q
 
@@ -17,6 +20,13 @@ AIDE_FAULT_DUMP="$PWD/target/fault_report_a.html" \
 AIDE_FAULT_DUMP="$PWD/target/fault_report_b.html" \
     cargo test -q -p aide --test fault_tolerance >/dev/null
 cmp target/fault_report_a.html target/fault_report_b.html
+
+echo "== observability determinism (same seed => byte-identical metrics)"
+AIDE_OBS_JSON="$PWD/target/obs_a.json" \
+    cargo test -q -p aide --test observability >/dev/null
+AIDE_OBS_JSON="$PWD/target/obs_b.json" \
+    cargo test -q -p aide --test observability >/dev/null
+cmp target/obs_a.json target/obs_b.json
 
 echo "== bench smoke (single-iteration, compile-and-run check)"
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench htmldiff_e2e >/dev/null

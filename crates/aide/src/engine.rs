@@ -194,6 +194,37 @@ impl AideEngine {
         NetHealth { retries, breaker }
     }
 
+    /// Creates a fresh [`aide_obs::MetricsRegistry`], installs it as
+    /// the process-wide observability subscriber, and returns it.
+    /// From here on every instrumented site in the stack (tracker
+    /// decisions, snapshot cache probes, HtmlDiff alignment work,
+    /// simulated-network faults) records into the returned registry;
+    /// call [`aide_obs::uninstall`] to stop. With no subscriber
+    /// installed instrumentation is a single atomic load per site and
+    /// all outputs are byte-identical to an uninstrumented build.
+    pub fn enable_observability(&self) -> Arc<aide_obs::MetricsRegistry> {
+        let registry = Arc::new(aide_obs::MetricsRegistry::new());
+        aide_obs::install(registry.clone());
+        registry
+    }
+
+    /// Publishes the engine's aggregate counters — simulated-web
+    /// traffic, snapshot service/lock/diff-cache stats, and
+    /// [`NetHealth`] — as gauges on the installed observability
+    /// subscriber; no-op without one. Call this right before exporting
+    /// (the gauges are export-time mirrors of the bespoke atomic
+    /// structs, not hot-path duplicates).
+    pub fn publish_obs(&self) {
+        if !aide_obs::enabled() {
+            return;
+        }
+        self.web.stats().publish_obs();
+        self.snapshot.publish_obs();
+        let health = self.net_health();
+        health.retries.publish_obs();
+        health.breaker.publish_obs();
+    }
+
     /// Adds a site-wide proxy cache with the given TTL (builder style).
     pub fn with_proxy(mut self, ttl: Duration) -> AideEngine {
         self.proxy = Some(ProxyCache::new(self.web.clone(), ttl));
@@ -283,12 +314,14 @@ impl AideEngine {
         let mut state = state.lock();
         let hotlist = state.browser.hotlist();
         let browser = state.browser.clone();
+        let start = self.web.clock().now_secs();
         let report = state.tracker.run(
             &hotlist,
             &move |url| browser.last_visited(url),
             &self.web,
             self.proxy.as_ref(),
         );
+        aide_obs::span("aide.run_tracker", start, self.web.clock().now_secs());
         Ok(report)
     }
 

@@ -41,6 +41,9 @@ pub mod junk;
 pub mod recursive;
 pub mod tracking;
 
+/// The observability layer, re-exported so engine users can install,
+/// inspect, and export metric registries without naming the crate.
+pub use aide_obs as obs;
 pub use engine::{AideEngine, EngineError, NetHealth};
 pub use entities::EntityChecker;
 pub use fetcher::{fetch_page, FetchError, FetchedPage};

@@ -17,6 +17,8 @@ pub struct HtmlDiffArgs {
     pub no_banner: bool,
     /// `-t <ratio>` — the 2W/L match threshold.
     pub threshold: Option<f64>,
+    /// `--obs` — print an `aide_obs` metrics dump to stderr after diffing.
+    pub obs: bool,
 }
 
 /// Error with a usage string.
@@ -34,7 +36,7 @@ impl std::error::Error for UsageError {}
 /// Usage text for `htmldiff`.
 pub const HTMLDIFF_USAGE: &str =
     "usage: htmldiff [-p merged|only-differences|reversed|new-only|side-by-side] \
-     [-w] [-b] [-t RATIO] OLD.html NEW.html";
+     [-w] [-b] [-t RATIO] [--obs] OLD.html NEW.html";
 
 /// Parses `htmldiff` arguments (without the program name).
 pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
@@ -42,6 +44,7 @@ pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
     let mut inline_words = false;
     let mut no_banner = false;
     let mut threshold = None;
+    let mut obs = false;
     let mut files = Vec::new();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -63,6 +66,7 @@ pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
                         UsageError(format!("bad threshold {v:?}\n{HTMLDIFF_USAGE}"))
                     })?);
             }
+            "--obs" => obs = true,
             "-h" | "--help" => return Err(UsageError(HTMLDIFF_USAGE.to_string())),
             other if other.starts_with('-') => {
                 return Err(UsageError(format!(
@@ -95,6 +99,7 @@ pub fn parse_htmldiff(argv: &[String]) -> Result<HtmlDiffArgs, UsageError> {
         inline_words,
         no_banner,
         threshold,
+        obs,
     })
 }
 
@@ -248,6 +253,7 @@ mod tests {
         assert_eq!(a.new, "new.html");
         assert_eq!(a.presentation, "merged");
         assert!(!a.inline_words);
+        assert!(!a.obs);
     }
 
     #[test]
@@ -259,6 +265,7 @@ mod tests {
             "-b",
             "-t",
             "0.6",
+            "--obs",
             "a",
             "b",
         ]))
@@ -267,6 +274,7 @@ mod tests {
         assert!(a.inline_words);
         assert!(a.no_banner);
         assert_eq!(a.threshold, Some(0.6));
+        assert!(a.obs);
     }
 
     #[test]

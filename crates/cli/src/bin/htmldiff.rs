@@ -54,7 +54,20 @@ fn main() -> ExitCode {
         new_label: parsed.new.clone(),
         ..Options::default()
     };
+    // `--obs`: record tokenizer/anchoring metrics for this one diff and
+    // dump them to stderr, keeping stdout pure HTML.
+    let registry = if parsed.obs {
+        let r = std::sync::Arc::new(aide_obs::MetricsRegistry::new());
+        aide_obs::install(r.clone());
+        Some(r)
+    } else {
+        None
+    };
     let result = html_diff(&old, &new, &opts);
+    if let Some(r) = registry {
+        aide_obs::uninstall();
+        eprint!("{}", r.render_text());
+    }
     // A closed pipe (e.g. `| head`) is a normal way to consume diffs.
     if std::io::stdout().write_all(result.html.as_bytes()).is_err() {
         return ExitCode::SUCCESS;

@@ -108,6 +108,21 @@ pub struct AnchorStats {
     pub full_cells: usize,
 }
 
+impl AnchorStats {
+    /// Fraction of the naive DP the anchored path avoided, in permille:
+    /// `1000 · (full_cells − gap_cells) / full_cells`. Degenerate
+    /// (empty) inputs with `full_cells == 0` count as fully covered.
+    /// This is the per-diff "anchor coverage" number the observability
+    /// layer histograms.
+    pub fn coverage_permille(&self) -> u64 {
+        if self.full_cells == 0 {
+            return 1000;
+        }
+        let avoided = self.full_cells.saturating_sub(self.gap_cells) as u64;
+        avoided * 1000 / self.full_cells as u64
+    }
+}
+
 /// Dense-memo size cap per gap; larger gaps fall back to a hash-map memo
 /// so memory stays bounded on pathological inputs.
 const DENSE_MEMO_CELL_LIMIT: usize = 1 << 24;

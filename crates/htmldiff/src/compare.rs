@@ -342,7 +342,9 @@ pub fn compare_tokens(
     let counters = ScoreCounters::default();
     let score = |i: usize, j: usize| score_with_meta(old, new, &mo, &mn, i, j, opts, &counters);
 
+    aide_obs::counter("htmldiff.compare", 1);
     let pairs = if opts.force_naive {
+        aide_obs::observe("htmldiff.naive.cells", (old.len() * new.len()) as u64);
         naive_pairs(old.len(), new.len(), &score)
     } else {
         let a_ids: Vec<u64> = mo.iter().map(|m| m.class_hash).collect();
@@ -354,7 +356,22 @@ pub fn compare_tokens(
             workers: opts.gap_workers.max(1),
             ..AnchorConfig::default()
         };
-        anchored_weighted_lcs(&a_ids, &b_ids, &a_unit, &b_unit, &cfg, &score, &verify).0
+        let (pairs, astats) =
+            anchored_weighted_lcs(&a_ids, &b_ids, &a_unit, &b_unit, &cfg, &score, &verify);
+        if aide_obs::enabled() {
+            // Per-diff alignment work, in deterministic units: the
+            // virtual clock never advances during CPU work, so cell and
+            // anchor counts stand in for stage timings.
+            aide_obs::observe("htmldiff.anchor.anchors", astats.anchors as u64);
+            aide_obs::observe("htmldiff.anchor.gaps", astats.gaps as u64);
+            aide_obs::observe("htmldiff.anchor.gap_cells", astats.gap_cells as u64);
+            aide_obs::observe("htmldiff.anchor.full_cells", astats.full_cells as u64);
+            aide_obs::observe(
+                "htmldiff.anchor.coverage_permille",
+                astats.coverage_permille(),
+            );
+        }
+        pairs
     };
 
     // Matched breaks are identical by construction (the match predicate
@@ -367,6 +384,16 @@ pub fn compare_tokens(
             _ => mo[i].class_hash == mn[j].class_hash && old[i] == new[j],
         })
         .collect();
+    if aide_obs::enabled() {
+        aide_obs::observe(
+            "htmldiff.compare.inner_lcs_evals",
+            counters.inner.load(Ordering::Relaxed) as u64,
+        );
+        aide_obs::observe(
+            "htmldiff.compare.screened_out",
+            counters.screened.load(Ordering::Relaxed) as u64,
+        );
+    }
     TokenAlignment {
         alignment: Alignment::new(pairs, old.len(), new.len()),
         identical,

@@ -83,6 +83,10 @@ pub fn tokenize(html: &str) -> Vec<DiffToken> {
         }
     }
     flush(&mut current, &mut out);
+    if aide_obs::enabled() {
+        aide_obs::counter("htmldiff.tokenize", 1);
+        aide_obs::observe("htmldiff.tokenize.tokens", out.len() as u64);
+    }
     out
 }
 

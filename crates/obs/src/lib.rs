@@ -1,0 +1,698 @@
+//! Deterministic observability for the AIDE pipeline: metrics and spans.
+//!
+//! This crate is the measurement layer ISSUE 4 asked for — a
+//! zero-dependency (std-only, mirroring how `aide_util::sync` replaced
+//! parking_lot) registry of **counters**, **gauges**, and fixed-bucket
+//! **histograms**, plus lightweight **span** records driven by the
+//! repository's virtual clock. It has two jobs:
+//!
+//! 1. **Cost nothing when off.** Instrumentation sites across the
+//!    workspace call the free functions in this crate
+//!    ([`counter`], [`observe`], [`span`], …). With no subscriber
+//!    installed each call is a single relaxed atomic load and an
+//!    immediate return, and every report, diff, and experiment output
+//!    stays byte-identical to an uninstrumented build.
+//! 2. **Be deterministic when on.** All recorded quantities are derived
+//!    from deterministic work (token counts, DP cells, retry backoff
+//!    computed from seeded jitter, virtual-clock seconds) — never from
+//!    wall-clock time — so two same-seed runs produce *identical*
+//!    snapshots, and exports are rendered in sorted order so the
+//!    serialized form is byte-identical too. This is the same
+//!    replayability contract the simulated web and the fault planner
+//!    already obey.
+//!
+//! # Architecture
+//!
+//! The global subscriber follows the `log`/`tracing` pattern: a process
+//! holds at most one [`MetricsRegistry`] installed via [`install`], and
+//! instrumented code records through free functions that bail out on a
+//! single `AtomicBool` when nothing is installed. Tests and tools that
+//! want isolation instead create a private `MetricsRegistry` and record
+//! into it directly — the registry API and the global API are the same.
+//!
+//! Because this crate must sit *below* `aide-util` in the dependency
+//! graph (everything links it), it cannot see the virtual `Clock` type;
+//! span timestamps are plain `u64` seconds that callers read off their
+//! own clock handle (`clock.now_secs()`).
+//!
+//! # Example
+//!
+//! ```
+//! use aide_obs::MetricsRegistry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let previous = aide_obs::install(registry.clone());
+//! aide_obs::counter("demo.widgets", 3);
+//! aide_obs::observe("demo.sizes", 42);
+//! aide_obs::span("demo.run", 100, 160);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["demo.widgets"], 3);
+//! assert_eq!(snap.histograms["demo.sizes"].count, 1);
+//! aide_obs::uninstall();
+//! # let _ = previous;
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default histogram bucket upper bounds: roughly exponential, wide
+/// enough for token counts, DP cell counts, and backoff seconds alike.
+pub const DEFAULT_BOUNDS: &[u64] = &[
+    1, 2, 4, 8, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 1_048_576,
+];
+
+/// A completed span: a named interval on the virtual timeline.
+///
+/// Spans nest by dotted name (`aide.run_tracker` contains
+/// `w3newer.run`); the hierarchy is a naming convention, not a pointer
+/// graph, which keeps recording allocation-light and export trivially
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanEvent {
+    /// Dotted span name, e.g. `w3newer.run`.
+    pub name: String,
+    /// Virtual-clock second the span started at.
+    pub start_secs: u64,
+    /// Virtual-clock second the span ended at (CPU-only spans end at
+    /// their start second — the virtual clock does not advance for
+    /// computation, only for simulated waiting).
+    pub end_secs: u64,
+}
+
+/// A fixed-bucket histogram: monotone upper bounds plus an overflow
+/// bucket, a total count, and a running sum.
+#[derive(Debug)]
+struct Histogram {
+    /// Strictly increasing bucket upper bounds (inclusive).
+    bounds: Vec<u64>,
+    /// One counter per bound plus a final overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value view of one histogram, produced by
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Strictly increasing bucket upper bounds (inclusive).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `buckets.len() == bounds.len() + 1`,
+    /// the last entry counting observations above every bound.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Plain-value snapshot of an entire registry: `BTreeMap`s so iteration
+/// (and therefore every export) is in sorted, deterministic order, and
+/// spans sorted by `(name, start, end)` so worker interleaving cannot
+/// perturb the serialized form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values published at export time.
+    pub gauges: BTreeMap<String, u64>,
+    /// Distributions of per-event quantities.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Completed spans, sorted.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as sorted plain text, one metric per line:
+    ///
+    /// ```text
+    /// counter w3newer.url.changed 3
+    /// gauge snapshot.diff_cache.hits 17
+    /// histogram htmldiff.tokenize.tokens count=4 sum=5120 mean=1280 buckets=[...]
+    /// span w3newer.run 100..160
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} sum={} mean={} buckets=[",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            for (i, (bound, n)) in h.bounds.iter().zip(&h.buckets).enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&format!("le{bound}:{n}"));
+            }
+            if !h.bounds.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&format!(
+                "inf:{}]\n",
+                h.buckets.last().copied().unwrap_or(0)
+            ));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span {} {}..{}\n",
+                s.name, s.start_secs, s.end_secs
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a deterministic JSON document (sorted
+    /// keys, no whitespace dependence on insertion order). Metric names
+    /// are dotted identifiers; arbitrary strings are escaped anyway.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k.as_str(), v.to_string())),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+                let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                (
+                    k.as_str(),
+                    format!(
+                        "{{\"count\": {}, \"sum\": {}, \"bounds\": [{}], \"buckets\": [{}]}}",
+                        h.count,
+                        h.sum,
+                        bounds.join(", "),
+                        buckets.join(", ")
+                    ),
+                )
+            }),
+        );
+        out.push_str("},\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"start\": {}, \"end\": {}}}",
+                json_string(&s.name),
+                s.start_secs,
+                s.end_secs
+            ));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    let mut any = false;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        any = true;
+        out.push_str(&format!("\n    {}: {v}", json_string(k)));
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// FNV-1a. Metric names are short (~20-byte) dotted identifiers chosen
+/// by this workspace, not attacker-controlled keys, so the default
+/// SipHash's DoS resistance buys nothing here and its per-record cost
+/// is the single largest term in the enabled hot path.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type FnvMap<V> = HashMap<String, V, std::hash::BuildHasherDefault<Fnv>>;
+
+/// A registry of counters, gauges, histograms, and spans.
+///
+/// Metrics are created lazily on first use and keyed by name; snapshots
+/// and exports iterate names in sorted order, so serialized output is
+/// independent of registration and recording order. All recording
+/// methods take `&self` and are safe to call from many threads.
+///
+/// Internally the maps are hashed, not ordered — a record is one hash
+/// lookup, not a string-compare tree walk — and
+/// [`snapshot`](MetricsRegistry::snapshot) sorts into `BTreeMap`s at
+/// export time, which is where the determinism contract actually lives.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<FnvMap<Arc<AtomicU64>>>,
+    gauges: RwLock<FnvMap<Arc<AtomicU64>>>,
+    histograms: RwLock<FnvMap<Arc<Histogram>>>,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first if
+    /// needed.
+    pub fn counter(&self, name: &str, delta: u64) {
+        // Record in place under the read guard — the common case pays
+        // one hash lookup and one atomic add, no `Arc` refcount
+        // traffic. (The guard is released before the miss path takes
+        // the write lock: the `if let` has no else branch.)
+        if let Some(c) = read_lock(&self.counters).get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        write_lock(&self.counters)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: u64) {
+        if let Some(g) = read_lock(&self.gauges).get(name) {
+            g.store(value, Ordering::Relaxed);
+            return;
+        }
+        write_lock(&self.gauges)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` into the histogram `name` using
+    /// [`DEFAULT_BOUNDS`].
+    pub fn observe(&self, name: &str, value: u64) {
+        self.observe_with(name, value, DEFAULT_BOUNDS);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with
+    /// `bounds` on first use. A histogram's bounds are fixed at
+    /// creation; later calls with different bounds record into the
+    /// existing buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a new histogram's `bounds` are not strictly
+    /// increasing.
+    pub fn observe_with(&self, name: &str, value: u64, bounds: &[u64]) {
+        // Same shape as `counter`: record under the read guard, and
+        // release it (end of the else-less `if let`) before the miss
+        // path takes the write lock — an `if let … else` here would
+        // hold the read guard into the else branch and self-deadlock.
+        if let Some(h) = read_lock(&self.histograms).get(name) {
+            h.observe(value);
+            return;
+        }
+        write_lock(&self.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .observe(value);
+    }
+
+    /// Records a completed span. `start_secs`/`end_secs` are virtual
+    /// clock readings supplied by the caller.
+    pub fn span(&self, name: &str, start_secs: u64, end_secs: u64) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanEvent {
+                name: name.to_string(),
+                start_secs,
+                end_secs,
+            });
+    }
+
+    /// Takes a plain-value snapshot; spans come back sorted by
+    /// `(name, start, end)` so the result is order-independent.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = read_lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = read_lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = read_lock(&self.histograms)
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        spans.sort();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Shorthand for `snapshot().render_text()`.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+
+    /// Shorthand for `snapshot().render_json()`.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: RwLock<Option<Arc<MetricsRegistry>>> = RwLock::new(None);
+/// Bumped under the `SUBSCRIBER` write lock on every install/uninstall,
+/// so a thread-local cache can validate its `Arc` with one atomic load
+/// instead of taking the `RwLock` on every record.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static CACHED: std::cell::RefCell<(u64, Option<Arc<MetricsRegistry>>)> =
+        const { std::cell::RefCell::new((0, None)) };
+}
+
+/// Installs `registry` as the process-wide subscriber, returning any
+/// previous one. Instrumentation across the workspace records into it
+/// until [`uninstall`] (or another `install`) replaces it.
+pub fn install(registry: Arc<MetricsRegistry>) -> Option<Arc<MetricsRegistry>> {
+    let mut slot = write_lock(&SUBSCRIBER);
+    let prev = slot.replace(registry);
+    EPOCH.fetch_add(1, Ordering::Release);
+    ENABLED.store(true, Ordering::SeqCst);
+    prev
+}
+
+/// Removes the process-wide subscriber, returning it. After this,
+/// instrumentation is back to its single-atomic-load fast path.
+pub fn uninstall() -> Option<Arc<MetricsRegistry>> {
+    let mut slot = write_lock(&SUBSCRIBER);
+    ENABLED.store(false, Ordering::SeqCst);
+    EPOCH.fetch_add(1, Ordering::Release);
+    slot.take()
+}
+
+/// True when a subscriber is installed. This is the fast path every
+/// instrumentation site checks first: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The currently installed subscriber, if any. Exporters use this to
+/// render the registry that instrumentation has been feeding.
+pub fn current() -> Option<Arc<MetricsRegistry>> {
+    if !enabled() {
+        return None;
+    }
+    read_lock(&SUBSCRIBER).clone()
+}
+
+#[inline]
+fn with<F: FnOnce(&MetricsRegistry)>(f: F) {
+    if !enabled() {
+        return;
+    }
+    let mut f = Some(f);
+    let handled = CACHED
+        .try_with(|cache| {
+            let Ok(mut cache) = cache.try_borrow_mut() else {
+                return false;
+            };
+            if cache.0 != EPOCH.load(Ordering::Acquire) {
+                // Refresh under the read lock; the epoch only moves
+                // under the write lock, so re-reading it here pins the
+                // epoch of the value we cloned.
+                let slot = read_lock(&SUBSCRIBER);
+                cache.1 = slot.clone();
+                cache.0 = EPOCH.load(Ordering::Acquire);
+            }
+            if let (Some(r), Some(f)) = (&cache.1, f.take()) {
+                f(r);
+            }
+            true
+        })
+        .unwrap_or(false);
+    if handled {
+        return;
+    }
+    // TLS destructor or reentrancy edge: fall back to the direct path.
+    if let (Some(r), Some(f)) = (&*read_lock(&SUBSCRIBER), f.take()) {
+        f(r);
+    }
+}
+
+/// Adds `delta` to counter `name` on the installed subscriber; no-op
+/// without one.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    with(|r| r.counter(name, delta));
+}
+
+/// Sets gauge `name` to `value` on the installed subscriber; no-op
+/// without one.
+#[inline]
+pub fn gauge(name: &str, value: u64) {
+    with(|r| r.gauge(name, value));
+}
+
+/// Records `value` into histogram `name` ([`DEFAULT_BOUNDS`]) on the
+/// installed subscriber; no-op without one.
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    with(|r| r.observe(name, value));
+}
+
+/// Records `value` into histogram `name` with explicit `bounds` on the
+/// installed subscriber; no-op without one.
+#[inline]
+pub fn observe_with(name: &str, value: u64, bounds: &[u64]) {
+    with(|r| r.observe_with(name, value, bounds));
+}
+
+/// Records a completed span on the installed subscriber; no-op without
+/// one. Timestamps are virtual-clock seconds from the caller's clock.
+#[inline]
+pub fn span(name: &str, start_secs: u64, end_secs: u64) {
+    with(|r| r.span(name, start_secs, end_secs));
+}
+
+/// If the environment variable `var` names a path, writes the installed
+/// subscriber's JSON snapshot there and returns `true`. Mirrors the
+/// `AIDE_FAULT_DUMP` convention used by the fault-tolerance suite; the
+/// conventional variable is `AIDE_OBS_JSON`.
+pub fn dump_json_env(var: &str) -> std::io::Result<bool> {
+    let Ok(path) = std::env::var(var) else {
+        return Ok(false);
+    };
+    if path.is_empty() {
+        return Ok(false);
+    }
+    let Some(reg) = current() else {
+        return Ok(false);
+    };
+    std::fs::write(&path, reg.render_json())?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b.two", 2);
+        r.counter("a.one", 1);
+        r.counter("b.two", 3);
+        let s = r.snapshot();
+        let names: Vec<&String> = s.counters.keys().collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+        assert_eq!(s.counters["b.two"], 5);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = MetricsRegistry::new();
+        r.gauge("g", 10);
+        r.gauge("g", 7);
+        assert_eq!(r.snapshot().gauges["g"], 7);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let r = MetricsRegistry::new();
+        for v in [0, 1, 2, 3, 100, 2_000_000] {
+            r.observe_with("h", v, &[1, 10, 1000]);
+        }
+        let h = &r.snapshot().histograms["h"];
+        assert_eq!(h.buckets, vec![2, 2, 1, 1]);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 2_000_106);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let r = MetricsRegistry::new();
+        r.observe_with("bad", 1, &[10, 5]);
+    }
+
+    #[test]
+    fn spans_sort_deterministically() {
+        let r = MetricsRegistry::new();
+        r.span("z", 5, 6);
+        r.span("a", 9, 9);
+        r.span("a", 1, 2);
+        let spans = r.snapshot().spans;
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[0].start_secs, 1);
+        assert_eq!(spans[2].name, "z");
+    }
+
+    #[test]
+    fn text_and_json_are_deterministic_across_recording_order() {
+        let ab = MetricsRegistry::new();
+        ab.counter("a", 1);
+        ab.counter("b", 2);
+        ab.observe("h", 3);
+        let ba = MetricsRegistry::new();
+        ba.observe("h", 3);
+        ba.counter("b", 2);
+        ba.counter("a", 1);
+        assert_eq!(ab.render_text(), ba.render_text());
+        assert_eq!(ab.render_json(), ba.render_json());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn global_free_functions_are_inert_without_subscriber() {
+        // Must not panic or record anywhere.
+        counter("x", 1);
+        gauge("x", 1);
+        observe("x", 1);
+        span("x", 0, 1);
+        assert!(current().is_none() || enabled());
+    }
+}

@@ -266,6 +266,11 @@ impl Archive {
             .iter()
             .position(|m| m.id == rev)
             .ok_or(ArchiveError::NoSuchRevision(rev))?;
+        // Deltas applied, i.e. the checkout's distance from the head.
+        aide_obs::observe(
+            "rcs.checkout.chain",
+            (self.reverse_deltas.len() - pos) as u64,
+        );
         let mut text = self.head_text.clone();
         // Walk backwards from the head applying reverse deltas.
         for k in (pos..self.reverse_deltas.len()).rev() {

@@ -39,6 +39,25 @@ pub struct NetStats {
     pub faults_injected: u64,
 }
 
+impl NetStats {
+    /// Publishes every field as a `simweb.*` gauge on the installed
+    /// observability subscriber; no-op without one. Export-time
+    /// publishing keeps the request hot path free of per-field
+    /// instrumentation.
+    pub fn publish_obs(&self) {
+        if !aide_obs::enabled() {
+            return;
+        }
+        aide_obs::gauge("simweb.requests", self.requests);
+        aide_obs::gauge("simweb.heads", self.heads);
+        aide_obs::gauge("simweb.gets", self.gets);
+        aide_obs::gauge("simweb.posts", self.posts);
+        aide_obs::gauge("simweb.net_errors", self.net_errors);
+        aide_obs::gauge("simweb.file_stats", self.file_stats);
+        aide_obs::gauge("simweb.faults_injected", self.faults_injected);
+    }
+}
+
 /// Resources (CGI especially) are keyed by path plus query string, so
 /// `?topic=web` and `?topic=mail` are distinct resources.
 fn resource_key(u: &Url) -> String {
@@ -295,20 +314,24 @@ impl Web {
             Some(FaultKind::Timeout) => {
                 st.stats.faults_injected += 1;
                 st.stats.net_errors += 1;
+                aide_obs::counter("simweb.fault.timeout", 1);
                 return Err(NetError::Timeout);
             }
             Some(FaultKind::ConnectionRefused) => {
                 st.stats.faults_injected += 1;
                 st.stats.net_errors += 1;
+                aide_obs::counter("simweb.fault.connection_refused", 1);
                 return Err(NetError::ConnectionRefused(url.host.clone()));
             }
             Some(FaultKind::HostUnreachable) => {
                 st.stats.faults_injected += 1;
                 st.stats.net_errors += 1;
+                aide_obs::counter("simweb.fault.host_unreachable", 1);
                 return Err(NetError::HostUnreachable(url.host.clone()));
             }
             Some(FaultKind::Slow { delay_secs }) => {
                 st.stats.faults_injected += 1;
+                aide_obs::counter("simweb.fault.slow", 1);
                 if delay_secs >= req.timeout_secs {
                     st.stats.net_errors += 1;
                     return Err(NetError::Timeout);
@@ -322,6 +345,7 @@ impl Web {
                 retry_after_secs,
             }) => {
                 st.stats.faults_injected += 1;
+                aide_obs::counter("simweb.fault.transient", 1);
                 return Ok(Response {
                     status,
                     last_modified: None,
@@ -348,6 +372,7 @@ impl Web {
                 }
                 resp.body.truncate(keep);
                 st.stats.faults_injected += 1;
+                aide_obs::counter("simweb.fault.truncated", 1);
             }
         }
         Ok(resp)

@@ -347,6 +347,13 @@ impl<R: Repository> SnapshotService<R> {
                 .unchanged_remembers
                 .fetch_add(1, Ordering::Relaxed);
         }
+        if aide_obs::enabled() {
+            aide_obs::counter("snapshot.remember", 1);
+            if !outcome.is_new() {
+                aide_obs::counter("snapshot.remember.unchanged", 1);
+            }
+            aide_obs::observe("snapshot.remember.body_bytes", body.len() as u64);
+        }
         Ok(RememberOutcome {
             rev: outcome.rev(),
             stored_new_revision: outcome.is_new(),
@@ -389,8 +396,10 @@ impl<R: Repository> SnapshotService<R> {
     ) -> Result<DiffOutcome, ServiceError> {
         let _slot = self.admit()?;
         let now = self.clock.now();
+        aide_obs::counter("snapshot.diff", 1);
         let fp = ShardedDiffCache::options_fingerprint(&format!("{opts:?}"));
         if let Some(html) = self.diff_cache.get(url, from, to, fp, now) {
+            aide_obs::counter("snapshot.diff.cache_hit.primary", 1);
             return Ok(DiffOutcome {
                 html,
                 from,
@@ -404,6 +413,15 @@ impl<R: Repository> SnapshotService<R> {
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         let old = archive.checkout(from)?;
         let new = archive.checkout(to)?;
+        if aide_obs::enabled() {
+            // Chain length of the older checkout dominates archive cost:
+            // RCS reverse deltas make the head free and ancient
+            // revisions linear in their distance from it.
+            aide_obs::observe(
+                "snapshot.diff.delta_chain",
+                u64::from(archive.head().0.saturating_sub(from.0)),
+            );
+        }
         drop(archive);
         let mut labeled = opts.clone();
         labeled.old_label = from.to_string();
@@ -428,7 +446,12 @@ impl<R: Repository> SnapshotService<R> {
                 .update(&fp.to_le_bytes());
             h.finish()
         };
+        aide_obs::observe(
+            "snapshot.diff.tokens",
+            (old_tokens.len() + new_tokens.len()) as u64,
+        );
         if let Some(html) = self.diff_cache.get_by_content(content_key, now) {
+            aide_obs::counter("snapshot.diff.cache_hit.content", 1);
             // Promote under the primary key so the next probe for this
             // exact (url, from, to) pair hits on the first lookup.
             self.diff_cache.put(url, from, to, fp, html.clone(), now);
@@ -443,6 +466,7 @@ impl<R: Repository> SnapshotService<R> {
         self.stats
             .htmldiff_invocations
             .fetch_add(1, Ordering::Relaxed);
+        aide_obs::counter("snapshot.diff.cache_miss", 1);
         self.diff_cache
             .put(url, from, to, fp, result.html.clone(), now);
         self.diff_cache
@@ -462,6 +486,7 @@ impl<R: Repository> SnapshotService<R> {
         user: &UserId,
         url: &str,
     ) -> Result<Vec<(RevisionMeta, bool)>, ServiceError> {
+        aide_obs::counter("snapshot.history", 1);
         let archive = self
             .repo
             .load(url)?
@@ -482,6 +507,7 @@ impl<R: Repository> SnapshotService<R> {
     /// View: the full text of one revision, with a `BASE` tag inserted so
     /// relative links resolve against the original location (§4.1).
     pub fn view(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
+        aide_obs::counter("snapshot.view", 1);
         let archive = self
             .repo
             .load(url)?
@@ -562,6 +588,36 @@ impl<R: Repository> SnapshotService<R> {
     /// Diff-cache counters.
     pub fn diff_cache_stats(&self) -> crate::diffcache::DiffCacheStats {
         self.diff_cache.stats()
+    }
+
+    /// Publishes the service's aggregate counters — [`ServiceStats`],
+    /// [`LockStats`](crate::locks::LockStats), and
+    /// [`DiffCacheStats`](crate::diffcache::DiffCacheStats) — as
+    /// `snapshot.*` gauges on the installed observability subscriber;
+    /// no-op without one. The bespoke atomic structs remain the source
+    /// of truth; this mirrors them into the registry at export time so
+    /// the hot paths stay uninstrumented.
+    pub fn publish_obs(&self) {
+        if !aide_obs::enabled() {
+            return;
+        }
+        let s = self.snapshot_stats();
+        aide_obs::gauge("snapshot.remembers", s.remembers);
+        aide_obs::gauge("snapshot.unchanged_remembers", s.unchanged_remembers);
+        aide_obs::gauge("snapshot.htmldiff_invocations", s.htmldiff_invocations);
+        let l = self.locks.stats();
+        aide_obs::gauge("snapshot.locks.acquisitions", l.acquisitions);
+        aide_obs::gauge("snapshot.locks.contended", l.contended);
+        aide_obs::gauge("snapshot.locks.flights", l.flights);
+        aide_obs::gauge("snapshot.locks.piggybacked", l.piggybacked);
+        let d = self.diff_cache.stats();
+        aide_obs::gauge("snapshot.diff_cache.hits", d.hits);
+        aide_obs::gauge("snapshot.diff_cache.misses", d.misses);
+        aide_obs::gauge("snapshot.diff_cache.evictions", d.evictions);
+        aide_obs::gauge(
+            "snapshot.diff_cache.hit_permille",
+            (d.hit_ratio() * 1000.0).round() as u64,
+        );
     }
 }
 

@@ -399,6 +399,14 @@ impl Clock {
         Timestamp(self.now.load(Ordering::SeqCst))
     }
 
+    /// The current virtual time as raw seconds since the epoch — the
+    /// form the observability layer's span API takes (`aide_obs` sits
+    /// below this crate in the dependency graph and cannot see
+    /// [`Timestamp`]).
+    pub fn now_secs(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
     /// Advances the clock by `d`.
     pub fn advance(&self, d: Duration) {
         self.now.fetch_add(d.0, Ordering::SeqCst);

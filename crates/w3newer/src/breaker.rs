@@ -97,6 +97,23 @@ pub struct BreakerStats {
     pub probes: u64,
 }
 
+impl BreakerStats {
+    /// Publishes every field as a `w3newer.breaker.*` gauge on the
+    /// installed observability subscriber; no-op without one. The
+    /// breaker's own atomics stay the source of truth — this mirrors
+    /// them into the registry at export time.
+    pub fn publish_obs(&self) {
+        if !aide_obs::enabled() {
+            return;
+        }
+        aide_obs::gauge("w3newer.breaker.opened", self.opened);
+        aide_obs::gauge("w3newer.breaker.reopened", self.reopened);
+        aide_obs::gauge("w3newer.breaker.closed", self.closed);
+        aide_obs::gauge("w3newer.breaker.denials", self.denials);
+        aide_obs::gauge("w3newer.breaker.probes", self.probes);
+    }
+}
+
 /// A shared per-host circuit breaker.
 #[derive(Debug)]
 pub struct CircuitBreaker {
@@ -156,6 +173,7 @@ impl CircuitBreaker {
             Some(state @ HostState::HalfOpen { .. }) => {
                 *state = HostState::Closed { fails: 0 };
                 self.counters.closed.fetch_add(1, Ordering::Relaxed);
+                aide_obs::counter("w3newer.breaker.transition.closed", 1);
             }
             Some(HostState::Closed { fails }) => *fails = 0,
             // A success while open can only come from a request admitted
@@ -179,6 +197,7 @@ impl CircuitBreaker {
                         cooldown: self.config.cooldown,
                     };
                     self.counters.opened.fetch_add(1, Ordering::Relaxed);
+                    aide_obs::counter("w3newer.breaker.transition.opened", 1);
                 } else {
                     *state = HostState::Closed { fails };
                 }
@@ -192,6 +211,7 @@ impl CircuitBreaker {
                     cooldown: doubled,
                 };
                 self.counters.reopened.fetch_add(1, Ordering::Relaxed);
+                aide_obs::counter("w3newer.breaker.transition.reopened", 1);
             }
             // Already open: nothing to escalate.
             HostState::Open { .. } => {}

@@ -323,6 +323,8 @@ impl W3Newer {
             });
         }
         self.cache = cache;
+        obs_record_entries(&entries);
+        aide_obs::span("w3newer.run", now.0, web.clock().now_secs());
         RunReport {
             entries,
             started: now,
@@ -381,6 +383,14 @@ impl W3Newer {
 
         let now = web.clock().now();
         let stats_before = self.stats.snapshot();
+        if aide_obs::enabled() {
+            aide_obs::gauge("w3newer.pool.workers", pool as u64);
+            // Host-group sizes are the deterministic proxy for per-host
+            // queue pressure: a worker serializes each group.
+            for g in &groups {
+                aide_obs::observe("w3newer.pool.host_group_urls", g.len() as u64);
+            }
+        }
         let this = &*self;
         let next = AtomicUsize::new(0);
         let groups_ref = &groups;
@@ -488,6 +498,8 @@ impl W3Newer {
                 _ => consecutive_errors = 0,
             }
         }
+        obs_record_entries(&entries);
+        aide_obs::span("w3newer.run", now.0, web.clock().now_secs());
         RunReport {
             entries,
             started: now,
@@ -881,6 +893,10 @@ impl W3Newer {
                 self.stats.bump(&self.stats.exhausted);
                 return Err(FetchFailure::Exhausted(failure));
             }
+            // `delay` is computed from seeded jitter (plus any
+            // Retry-After floor), so this histogram is deterministic
+            // even when workers interleave.
+            aide_obs::observe("w3newer.retry.backoff_secs", delay.as_secs());
             clock.advance(delay);
             slept = slept + delay;
             self.stats.bump(&self.stats.retries);
@@ -888,6 +904,69 @@ impl W3Newer {
                 .slept_secs
                 .fetch_add(delay.as_secs(), Ordering::Relaxed);
         }
+    }
+}
+
+/// Maps a finished run's entries onto `w3newer.url.*` /
+/// `w3newer.source.*` / `w3newer.skip.*` observability counters.
+///
+/// Counting the *final* entries — after the consecutive-error abort
+/// post-process — rather than instrumenting each `check_url` return
+/// keeps serial and pooled runs in exact agreement: the pool checks
+/// URLs past an abort point that the serial tracker never reaches, but
+/// both report them as `RunAborted`.
+fn obs_record_entries(entries: &[UrlReport]) {
+    if !aide_obs::enabled() {
+        return;
+    }
+    // Aggregate locally and emit one counter call per distinct name:
+    // a hotlist has hundreds of entries but only ~16 possible names,
+    // and each emit is a registry lock round-trip.
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let mut bump = |name: &'static str| *counts.entry(name).or_insert(0) += 1;
+    for e in entries {
+        match &e.status {
+            UrlStatus::Changed { source, .. } => {
+                bump("w3newer.url.changed");
+                bump(obs_source_name(*source));
+            }
+            UrlStatus::Unchanged { source } => {
+                bump("w3newer.url.unchanged");
+                bump(obs_source_name(*source));
+            }
+            UrlStatus::NotChecked { reason } => {
+                bump("w3newer.url.not_checked");
+                bump(obs_skip_name(*reason));
+            }
+            UrlStatus::RobotExcluded => bump("w3newer.url.robot_excluded"),
+            UrlStatus::Error { .. } => bump("w3newer.url.error"),
+            UrlStatus::Degraded { .. } => bump("w3newer.url.degraded"),
+        }
+    }
+    for (name, n) in counts {
+        aide_obs::counter(name, n);
+    }
+}
+
+/// Counter name for how a verdict was reached (§3's decision ladder).
+fn obs_source_name(source: CheckSource) -> &'static str {
+    match source {
+        CheckSource::Cache => "w3newer.source.cache",
+        CheckSource::ProxyCache => "w3newer.source.proxy_cache",
+        CheckSource::Head => "w3newer.source.head",
+        CheckSource::GetChecksum => "w3newer.source.get_checksum",
+        CheckSource::FileStat => "w3newer.source.file_stat",
+    }
+}
+
+/// Counter name for why a URL was skipped without network traffic.
+fn obs_skip_name(reason: SkipReason) -> &'static str {
+    match reason {
+        SkipReason::NeverThreshold => "w3newer.skip.never_threshold",
+        SkipReason::RecentlyVisited => "w3newer.skip.recently_visited",
+        SkipReason::CheckedRecently => "w3newer.skip.checked_recently",
+        SkipReason::HostError => "w3newer.skip.host_error",
+        SkipReason::RunAborted => "w3newer.skip.run_aborted",
     }
 }
 

@@ -212,6 +212,14 @@ pub fn render_report(report: &RunReport, opts: &ReportOptions) -> String {
             n.slept_secs,
         ));
     }
+    // Observability footer, only when a metrics subscriber is
+    // installed — same contract as the robustness footer above: with
+    // none (the default) the report stays byte-identical.
+    if let Some(registry) = aide_obs::current() {
+        out.push_str("<H2>Observability</H2>\n<PRE>\n");
+        out.push_str(&encode_entities(&registry.render_text()));
+        out.push_str("</PRE>\n");
+    }
     out.push_str("</BODY></HTML>\n");
     out
 }

@@ -300,6 +300,26 @@ impl RetrySnapshot {
     pub fn is_zero(&self) -> bool {
         *self == RetrySnapshot::default()
     }
+
+    /// Publishes every field as a `w3newer.retry.*` gauge on the
+    /// installed observability subscriber; no-op without one. This
+    /// wires the existing atomic [`RetryStats`] into the metrics
+    /// registry without duplicating counts on the fetch hot path.
+    pub fn publish_obs(&self) {
+        if !aide_obs::enabled() {
+            return;
+        }
+        aide_obs::gauge("w3newer.retry.attempts", self.attempts);
+        aide_obs::gauge("w3newer.retry.retries", self.retries);
+        aide_obs::gauge("w3newer.retry.recovered", self.recovered);
+        aide_obs::gauge("w3newer.retry.exhausted", self.exhausted);
+        aide_obs::gauge("w3newer.retry.net_failures", self.net_failures);
+        aide_obs::gauge("w3newer.retry.http_failures", self.http_failures);
+        aide_obs::gauge("w3newer.retry.truncated", self.truncated);
+        aide_obs::gauge("w3newer.retry.slept_secs", self.slept_secs);
+        aide_obs::gauge("w3newer.retry.degraded", self.degraded);
+        aide_obs::gauge("w3newer.retry.breaker_denied", self.breaker_denied);
+    }
 }
 
 #[cfg(test)]

@@ -5,12 +5,15 @@
 //! Reproduces the daily-crontab usage of §3/§6: the Table 1 hotlist and
 //! threshold configuration, pages evolving on their own schedules, the
 //! user occasionally reading pages, and a printed end-of-month report —
-//! plus the polling-traffic statistics that motivate the thresholds.
+//! plus the polling-traffic statistics that motivate the thresholds and
+//! the deployment-wide network-health accounting.
 
 use aide::engine::AideEngine;
 use aide_simweb::net::Web;
 use aide_util::time::{Clock, Duration, Timestamp};
+use aide_w3newer::breaker::BreakerConfig;
 use aide_w3newer::config::ThresholdConfig;
+use aide_w3newer::retry::RetryPolicy;
 use aide_workloads::evolve::tick_all;
 use aide_workloads::rng::Rng;
 use aide_workloads::sites::table1_scenario;
@@ -21,6 +24,10 @@ fn main() {
     let mut scenario = table1_scenario(&web, 42);
 
     let engine = AideEngine::new(web.clone()).with_proxy(Duration::hours(6));
+    // A crontab tracker should ride out flaky mornings: retries with
+    // backoff plus a shared circuit breaker, accounted in the report's
+    // Network-health footer and in `net_health()` below.
+    engine.enable_robustness(RetryPolicy::standard(7), BreakerConfig::default());
     let user = "douglis@research.att.com";
     let browser = engine.register_user(user, ThresholdConfig::table1());
     for mark in &scenario.hotlist {
@@ -68,4 +75,18 @@ fn main() {
             println!("  {line}");
         }
     }
+
+    let health = engine.net_health();
+    println!("\n30-day network health:");
+    println!(
+        "  {} fetch attempt(s), {} retried, {} recovered, {} exhausted",
+        health.retries.attempts,
+        health.retries.retries,
+        health.retries.recovered,
+        health.retries.exhausted
+    );
+    println!(
+        "  breaker: {} circuit(s) opened, {} request(s) denied",
+        health.breaker.opened, health.breaker.denials
+    );
 }

@@ -6,9 +6,11 @@
 //! sketched but never built: Tapestry-style priorities over the report
 //! (§7), the semantic junk filter for noisy pages (§3.1), entity
 //! checksums catching an image swap behind a stable URL (§5.3), a stored
-//! form tracking a POST search service (§8.4), and a recursive diff over
-//! a hub page (§8.3).
+//! form tracking a POST search service (§8.4), a recursive diff over
+//! a hub page (§8.3) — and, tying them together, a tracked sweep through
+//! the [`AideEngine`] with its deployment-wide network-health readout.
 
+use aide::engine::AideEngine;
 use aide::entities::EntityChecker;
 use aide::forms::FormRegistry;
 use aide::junk::classify;
@@ -223,4 +225,25 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    // --- §6/§7: an engine-backed sweep with network-health accounting ----
+    use aide_w3newer::breaker::BreakerConfig;
+    use aide_w3newer::config::ThresholdConfig;
+    use aide_w3newer::retry::RetryPolicy;
+    let engine = AideEngine::new(web.clone());
+    engine.enable_robustness(RetryPolicy::standard(9), BreakerConfig::default());
+    let browser = engine.register_user("poweruser@research.att.com", ThresholdConfig::default());
+    browser.add_bookmark("VL: Operating Systems", "http://vlib.example/os.html");
+    browser.add_bookmark("Front page", "http://news.example/front.html");
+    let sweep = engine.run_tracker("poweruser@research.att.com").unwrap();
+    let health = engine.net_health();
+    println!(
+        "\nengine sweep: {} URL(s) checked; net health: {} attempt(s), \
+         {} retried, {} recovered, {} denied by open circuits",
+        sweep.entries.len(),
+        health.retries.attempts,
+        health.retries.retries,
+        health.retries.recovered,
+        health.breaker.denials
+    );
 }
