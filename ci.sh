@@ -11,6 +11,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "== aide-lint (deny-by-default; see LINTS.md)"
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --deny
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --waivers \
+    --max-waivers "$(cat .aide-lint-waivers)"
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --json \
+    > target/aide-lint.json
+
 echo "== cargo test"
 cargo test -q
 

@@ -1,0 +1,411 @@
+//! A minimal Rust lexer sufficient for lexical lint passes.
+//!
+//! The lints in this crate do not need a parse tree; they need to know
+//! which bytes of a source file are *code* as opposed to comment or
+//! literal text. [`lex`] produces a byte-for-byte *masked* copy of the
+//! input in which the bodies of comments, string literals (plain, raw,
+//! and byte), and character literals are replaced by spaces — newlines
+//! and literal delimiters are preserved, so offsets, line numbers, and
+//! patterns like `.expect("` survive masking — plus the list of comments
+//! (for waiver parsing).
+//!
+//! The tricky corners of Rust's lexical grammar that matter here are all
+//! handled: nested `/* /* */ */` block comments, raw strings with
+//! arbitrary `#` fencing (`r##"…"##`), byte and byte-raw strings, escape
+//! sequences inside string/char literals, and the `'a` lifetime versus
+//! `'a'` character-literal ambiguity.
+
+/// One comment extracted from a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment text without its delimiters (`//`, `/* */`).
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// Whether only whitespace precedes the comment on its first line.
+    pub standalone: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// The masked source: same byte length as the input, with comment
+    /// bodies and literal contents blanked to spaces (newlines kept).
+    pub masked: String,
+    /// All comments, in file order.
+    pub comments: Vec<Comment>,
+}
+
+/// Returns whether `b` can appear in an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Masks comments and literals out of `src`. See the module docs.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut line_start = 0usize;
+    let mut i = 0usize;
+
+    // Blanks out[lo..hi], preserving newlines (and counting them).
+    fn blank(out: &mut [u8], lo: usize, hi: usize, line: &mut u32, line_start: &mut usize) {
+        for (j, b) in out.iter_mut().enumerate().take(hi).skip(lo) {
+            if *b == b'\n' {
+                *line += 1;
+                *line_start = j + 1;
+            } else {
+                *b = b' ';
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_start = i + 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                let start_line = line;
+                let standalone = src[line_start..i].chars().all(char::is_whitespace);
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: src[start + 2..i].to_string(),
+                    line: start_line,
+                    standalone,
+                });
+                blank(&mut out, start, i, &mut line, &mut line_start);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let standalone = src[line_start..i].chars().all(char::is_whitespace);
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text_end = i.saturating_sub(2).max(start + 2);
+                comments.push(Comment {
+                    text: src[start + 2..text_end].to_string(),
+                    line: start_line,
+                    standalone,
+                });
+                blank(&mut out, start, i, &mut line, &mut line_start);
+            }
+            b'"' => {
+                i = mask_plain_string(bytes, &mut out, i, &mut line, &mut line_start);
+            }
+            b'r' | b'b' if starts_literal_prefix(bytes, i) => {
+                // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`.
+                let prefix_end = literal_prefix_end(bytes, i);
+                match bytes.get(prefix_end) {
+                    Some(&b'"') | Some(&b'#') if has_raw_marker(bytes, i, prefix_end) => {
+                        i = mask_raw_string(
+                            bytes,
+                            &mut out,
+                            prefix_end,
+                            &mut line,
+                            &mut line_start,
+                        );
+                    }
+                    Some(&b'"') => {
+                        i = mask_plain_string(
+                            bytes,
+                            &mut out,
+                            prefix_end,
+                            &mut line,
+                            &mut line_start,
+                        );
+                    }
+                    Some(&b'\'') => {
+                        i = mask_char_literal(bytes, &mut out, prefix_end);
+                    }
+                    _ => i += 1,
+                }
+            }
+            b'\'' => {
+                if char_literal_len(bytes, i).is_some() {
+                    i = mask_char_literal(bytes, &mut out, i);
+                } else {
+                    // A lifetime (`'a`) or loop label: leave it as code.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Masking only ever writes ASCII spaces over complete masked regions;
+    // multibyte characters either survive untouched or are fully blanked,
+    // so the result is valid UTF-8. Fall back to lossy decoding rather
+    // than aborting if that reasoning is ever wrong.
+    let masked = match String::from_utf8(out) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    };
+    Lexed { masked, comments }
+}
+
+/// Whether the `r`/`b` at `i` starts a literal prefix rather than being
+/// part of an identifier like `for` or `b2`.
+fn starts_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let end = literal_prefix_end(bytes, i);
+    if end == i {
+        return false;
+    }
+    matches!(bytes.get(end), Some(&b'"') | Some(&b'#') | Some(&b'\''))
+}
+
+/// Returns the index just past a `r` / `b` / `br` literal prefix at `i`,
+/// or `i` if none applies.
+fn literal_prefix_end(bytes: &[u8], i: usize) -> usize {
+    match bytes[i] {
+        b'r' => i + 1,
+        b'b' => match bytes.get(i + 1) {
+            Some(&b'r') => i + 2,
+            Some(&b'"') | Some(&b'\'') => i + 1,
+            _ => i,
+        },
+        _ => i,
+    }
+}
+
+/// Whether the prefix spanning `start..prefix_end` contains an `r`
+/// (i.e. the literal is raw).
+fn has_raw_marker(bytes: &[u8], start: usize, prefix_end: usize) -> bool {
+    bytes[start..prefix_end].contains(&b'r')
+}
+
+/// Masks `"…"` starting at the opening quote `open`; returns the index
+/// past the closing quote. Keeps both quote bytes.
+fn mask_plain_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    open: usize,
+    line: &mut u32,
+    line_start: &mut usize,
+) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                for j in open + 1..i {
+                    if bytes[j] == b'\n' {
+                        *line += 1;
+                        *line_start = j + 1;
+                    } else {
+                        out[j] = b' ';
+                    }
+                }
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Unterminated string: blank to EOF.
+    for ob in out.iter_mut().skip(open + 1).filter(|ob| **ob != b'\n') {
+        *ob = b' ';
+    }
+    bytes.len()
+}
+
+/// Masks `r#"…"#`-style raw strings whose first `#`/`"` is at `fence`;
+/// returns the index past the closing fence.
+fn mask_raw_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    fence: usize,
+    line: &mut u32,
+    line_start: &mut usize,
+) -> usize {
+    let mut hashes = 0usize;
+    let mut i = fence;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return fence + 1;
+    }
+    let body_start = i + 1;
+    let mut j = body_start;
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                for (p, ob) in out.iter_mut().enumerate().take(j).skip(body_start) {
+                    if bytes[p] == b'\n' {
+                        *line += 1;
+                        *line_start = p + 1;
+                    } else {
+                        *ob = b' ';
+                    }
+                }
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    for (p, ob) in out.iter_mut().enumerate().skip(body_start) {
+        if bytes[p] == b'\n' {
+            *line += 1;
+            *line_start = p + 1;
+        } else {
+            *ob = b' ';
+        }
+    }
+    bytes.len()
+}
+
+/// If a character literal starts at the `'` at `i`, returns its total
+/// byte length; `None` means `i` starts a lifetime or label.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escape: scan to the closing quote (handles `'\n'`, `'\\'`,
+            // `'\u{1F600}'` …).
+            let mut j = i + 2;
+            while j < bytes.len() && j < i + 12 {
+                if bytes[j] == b'\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        b'\'' => None, // `''` is not a char literal
+        first => {
+            // One character (possibly multibyte) then a closing quote.
+            let ch_len = match first {
+                0x00..=0x7F => 1,
+                0xC0..=0xDF => 2,
+                0xE0..=0xEF => 3,
+                _ => 4,
+            };
+            if bytes.get(i + 1 + ch_len) == Some(&b'\'') {
+                Some(ch_len + 2)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Masks a char literal at `open`; returns the index past it.
+fn mask_char_literal(bytes: &[u8], out: &mut [u8], open: usize) -> usize {
+    match char_literal_len(bytes, open) {
+        Some(len) => {
+            for ob in out.iter_mut().take(open + len - 1).skip(open + 1) {
+                *ob = b' ';
+            }
+            open + len
+        }
+        None => open + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let l = lex("let x = 1; // SystemTime here\n/* thread_rng */ let y = 2;\n");
+        assert!(!l.masked.contains("SystemTime"));
+        assert!(!l.masked.contains("thread_rng"));
+        assert!(l.masked.contains("let y = 2;"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, " SystemTime here");
+        assert!(!l.comments[0].standalone);
+        assert!(l.comments[1].standalone);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        assert!(l.masked.starts_with('a'));
+        assert!(l.masked.ends_with('b'));
+        assert!(!l.masked.contains("inner"));
+        assert!(!l.masked.contains("still"));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let l = lex(r#"x.expect("SystemTime broke"); y("ok");"#);
+        assert!(l.masked.contains("x.expect(\""));
+        assert!(!l.masked.contains("SystemTime"));
+        assert_eq!(
+            l.masked.len(),
+            r#"x.expect("SystemTime broke"); y("ok");"#.len()
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l =
+            lex(r###"let p = r#"panic!("inside")"#; let b = b"unwrap()"; let br = br##"x"##;"###);
+        assert!(!l.masked.contains("panic!"));
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("let b ="));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(l.masked.contains("<'a>"));
+        assert!(l.masked.contains("&'a str"));
+        assert!(!l.masked.contains("'x'"));
+        assert!(!l.masked.contains("\\n"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let l = lex(r#"let s = "he said \"unwrap()\" loudly"; done();"#);
+        assert!(!l.masked.contains("unwrap"));
+        assert!(l.masked.contains("done();"));
+    }
+
+    #[test]
+    fn multiline_strings_preserve_line_numbers() {
+        let src = "let a = \"line1\nline2\nline3\";\n// after\nlet b = 1;\n";
+        let l = lex(src);
+        assert_eq!(l.masked.len(), src.len());
+        assert_eq!(
+            l.masked.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines preserved"
+        );
+        assert_eq!(l.comments[0].line, 4);
+    }
+
+    #[test]
+    fn identifier_r_is_not_raw_string() {
+        let l = lex("for r in rs { r.f(); } let var_b = b; expr\"s\"");
+        assert!(l.masked.contains("for r in rs"));
+        assert!(l.masked.contains("let var_b = b;"));
+    }
+}

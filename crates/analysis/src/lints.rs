@@ -1,0 +1,807 @@
+//! The five lint passes. Each works purely on the masked source (see
+//! [`crate::lexer`]) plus the structural indexes in [`crate::scope`].
+//!
+//! These are *lexical* checks: they trade type-level precision for zero
+//! dependencies and total workspace coverage, and rely on the waiver
+//! mechanism (see [`crate::waivers`]) for the handful of sites where the
+//! heuristic is wrong or the violation is deliberate. LINTS.md documents
+//! each rule, its rationale, and its known blind spots.
+
+use crate::config::{panic_checked, wallclock_allowed, Config};
+use crate::scope::{ident_occurrences, FileMap};
+use aide_util::sync::lockrank;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint family name.
+    pub lint: &'static str,
+    /// What was found.
+    pub message: String,
+    /// One-line fix suggestion.
+    pub hint: &'static str,
+}
+
+/// Runs every enabled lint over one file. Findings are returned in file
+/// order; waivers are applied by the caller.
+pub fn lint_file(fm: &FileMap, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.enabled("determinism") {
+        determinism(fm, &mut out);
+    }
+    if cfg.enabled("hash-iter") {
+        hash_iter(fm, &mut out);
+    }
+    if cfg.enabled("lock-order") {
+        lock_order(fm, &mut out);
+    }
+    if cfg.enabled("no-panic") {
+        no_panic(fm, &mut out);
+    }
+    if cfg.enabled("seqcst") {
+        seqcst(fm, &mut out);
+    }
+    out.sort_by_key(|f| (f.line, f.col));
+    out
+}
+
+fn push(
+    fm: &FileMap,
+    out: &mut Vec<Finding>,
+    off: usize,
+    lint: &'static str,
+    message: String,
+    hint: &'static str,
+) {
+    let (line, col) = fm.line_col(off);
+    out.push(Finding {
+        file: fm.rel.clone(),
+        line,
+        col,
+        lint,
+        message,
+        hint,
+    });
+}
+
+// ---------------------------------------------------------------- lint 1
+
+/// Identifiers whose presence means code is reading ambient time,
+/// randomness, or environment — the things that break the virtual-clock
+/// determinism contract (DESIGN.md §4e–§4g).
+const AMBIENT: &[&str] = &[
+    "SystemTime",
+    "Instant",
+    "std::time",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "getrandom",
+    "std::env",
+];
+
+fn determinism(fm: &FileMap, out: &mut Vec<Finding>) {
+    if wallclock_allowed(&fm.rel) {
+        return;
+    }
+    for needle in AMBIENT {
+        for off in ident_occurrences(&fm.masked, needle) {
+            if fm.in_test(off) {
+                continue;
+            }
+            push(
+                fm,
+                out,
+                off,
+                "determinism",
+                format!("ambient time/randomness/environment source `{needle}`"),
+                "route time through aide_util::time::Clock and randomness through aide_util::Rng; \
+                 only crates/util/src/time.rs and the bench harness may touch the real world",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lint 2
+
+/// Iterator-draw method calls whose order is arbitrary on a hash
+/// container.
+const HASH_DRAWS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Tokens that mean a function renders or serializes output.
+const SINKS: &[&str] = &[
+    "format!",
+    "write!",
+    "writeln!",
+    "push_str",
+    "print!",
+    "println!",
+    "serialize",
+    "to_json",
+];
+
+/// Order-insensitive consumers: iteration feeding one of these within
+/// the suppression window is fine regardless of hash order.
+const ORDER_FREE: &[&str] = &[
+    ".sort",
+    ".sum(",
+    ".count(",
+    ".fold(",
+    ".all(",
+    ".any(",
+    ".max",
+    ".min",
+    ".product(",
+    "BTreeMap",
+    "BTreeSet",
+    ".len(",
+];
+
+/// How far past an iteration draw to look for a sort or an
+/// order-insensitive reduction (covers the `let mut v: Vec<_> = …;
+/// v.sort();` idiom).
+const SUPPRESS_WINDOW: usize = 400;
+
+fn hash_iter(fm: &FileMap, out: &mut Vec<Finding>) {
+    let names = hash_container_names(fm);
+    if names.is_empty() {
+        return;
+    }
+    let masked = &fm.masked;
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let mut candidates: Vec<(usize, String)> = Vec::new();
+    for draw in HASH_DRAWS {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(draw) {
+            let at = from + pos;
+            from = at + draw.len();
+            let chain = receiver_chain(masked, at);
+            if let Some(name) = chain.iter().find(|c| names.contains(c)) {
+                candidates.push((at, name.clone()));
+            }
+        }
+    }
+    // `for pat in expr {` draws.
+    for at in ident_occurrences(masked, "for") {
+        let Some(rest) = masked.get(at..(at + 200).min(masked.len())) else {
+            continue;
+        };
+        let Some(in_rel) = rest.find(" in ") else {
+            continue;
+        };
+        let Some(brace_rel) = rest.find('{') else {
+            continue;
+        };
+        if brace_rel <= in_rel {
+            continue;
+        }
+        let expr = &rest[in_rel + 4..brace_rel];
+        for name in &names {
+            if ident_occurrences(expr, name).is_empty() {
+                continue;
+            }
+            candidates.push((at, name.clone()));
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+    for (at, name) in candidates {
+        if fm.in_test(at) {
+            continue;
+        }
+        let Some(f) = fm.enclosing_fn(at) else {
+            continue;
+        };
+        let body = &masked[f.body.0..f.body.1];
+        if !SINKS.iter().any(|s| body.contains(s)) {
+            continue;
+        }
+        let window_end = (at + SUPPRESS_WINDOW).min(f.body.1);
+        let window = &masked[at..window_end];
+        if ORDER_FREE.iter().any(|s| window.contains(s)) {
+            continue;
+        }
+        let (line, _) = fm.line_col(at);
+        if flagged_lines.contains(&line) {
+            continue;
+        }
+        flagged_lines.push(line);
+        push(
+            fm,
+            out,
+            at,
+            "hash-iter",
+            format!("iteration over hash container `{name}` in a function that formats/serializes output"),
+            "sort before rendering (collect + sort, or a BTreeMap) so output is byte-stable, \
+             as aide-obs's sorted-at-export renderers do",
+        );
+    }
+}
+
+/// Collects identifiers in this file that are (or produce) `HashMap` /
+/// `HashSet` values: `let` bindings, typed fields/params, and functions
+/// whose return type mentions a hash container.
+fn hash_container_names(fm: &FileMap) -> Vec<String> {
+    let masked = &fm.masked;
+    let b = masked.as_bytes();
+    let mut names = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in ident_occurrences(masked, ty) {
+            // Walk back to the start of the declaration segment.
+            let mut i = at;
+            let mut segment_start = 0usize;
+            while i > 0 {
+                let c = b[i - 1];
+                if c == b';' || c == b'{' || c == b'}' || c == b'(' || c == b',' {
+                    segment_start = i;
+                    break;
+                }
+                i -= 1;
+            }
+            let seg = &masked[segment_start..at];
+            if let Some(name) = declared_name(seg) {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    // Functions returning hash containers: `fn shard(…) -> &RwLock<HashMap<…>>`.
+    for f in &fm.fns {
+        let sig = &masked[f.sig_start..f.body.0];
+        if let Some(arrow) = sig.find("->") {
+            let ret = &sig[arrow..];
+            if (ret.contains("HashMap") || ret.contains("HashSet")) && !names.contains(&f.name) {
+                names.push(f.name.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Extracts the declared identifier from a declaration segment ending
+/// just before a `HashMap`/`HashSet` token: `name: …`, `let [mut] name
+/// [: …] = …`, or `name = …`.
+fn declared_name(seg: &str) -> Option<String> {
+    // `let mut name = HashMap::new()` / `let name: HashMap<…> = …`
+    let trimmed = seg.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("let ") {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        return if name.is_empty() || name == "_" {
+            None
+        } else {
+            Some(name)
+        };
+    }
+    // `name: Type<HashMap<…>>` (field or parameter). Find the first
+    // single `:` that is not part of `::`.
+    let bytes = seg.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b':' {
+            if bytes.get(i + 1) == Some(&b':') || (i > 0 && bytes[i - 1] == b':') {
+                i += 1;
+                continue;
+            }
+            // A `)` after the colon means the colon types a parameter and
+            // the hash container sits in a return type; the
+            // function-return rule in the caller handles that case.
+            if seg[i..].contains(')') {
+                return None;
+            }
+            let before = seg[..i].trim_end();
+            let name: String = before
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            return if name.is_empty() { None } else { Some(name) };
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks the method-call chain leftward from the `.` at `dot_at`,
+/// collecting the base identifiers (`self.diff_cache.shard(url).lock()`
+/// → `["lock", "shard", "diff_cache", "self"]`-ish, minus `self`).
+fn receiver_chain(masked: &str, dot_at: usize) -> Vec<String> {
+    let b = masked.as_bytes();
+    let mut idents = Vec::new();
+    let mut i = dot_at;
+    loop {
+        // Skip whitespace backwards.
+        while i > 0 && b[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        match b[i - 1] {
+            b')' | b']' => {
+                // Skip a balanced group backwards.
+                let close = b[i - 1];
+                let open = if close == b')' { b'(' } else { b'[' };
+                let mut depth = 0usize;
+                while i > 0 {
+                    let c = b[i - 1];
+                    if c == close {
+                        depth += 1;
+                    } else if c == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            i -= 1;
+                            break;
+                        }
+                    }
+                    i -= 1;
+                }
+            }
+            c if crate::lexer::is_ident_byte(c) => {
+                let end = i;
+                while i > 0 && crate::lexer::is_ident_byte(b[i - 1]) {
+                    i -= 1;
+                }
+                idents.push(masked[i..end].to_string());
+            }
+            b'.' => {
+                i -= 1;
+            }
+            b':' if i > 1 && b[i - 2] == b':' => {
+                i -= 2;
+            }
+            _ => break,
+        }
+    }
+    idents
+}
+
+// ---------------------------------------------------------------- lint 3
+
+#[derive(Debug, Clone)]
+struct HeldGuard {
+    class: &'static lockrank::LockClass,
+    receiver: String,
+    binding: Option<String>,
+    depth: usize,
+    line: u32,
+}
+
+fn lock_order(fm: &FileMap, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        if fm.in_test(f.body.0) {
+            continue;
+        }
+        lock_order_fn(fm, f.body, out);
+    }
+}
+
+/// Classifies one acquisition site; `None` means "not an acquisition".
+fn classify_acquisition(masked: &str, at: usize, stmt: &str) -> Option<&'static str> {
+    let after = &masked[at..];
+    if after.starts_with(".lock()") || after.starts_with(".read()") || after.starts_with(".write()")
+    {
+        return Some("structure");
+    }
+    if after.starts_with(".once(") {
+        return Some("flight");
+    }
+    if after.starts_with(".lock(") {
+        // Named lock with a key argument.
+        if stmt.contains("url_key") {
+            return Some("url");
+        }
+        if stmt.contains("user_key") {
+            return Some("user");
+        }
+        return Some("flight");
+    }
+    None
+}
+
+fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
+    let masked = &fm.masked;
+    let b = masked.as_bytes();
+
+    // Pre-collect acquisition and drop sites inside the body.
+    let mut events: Vec<usize> = Vec::new();
+    for pat in [".lock(", ".read()", ".write()", ".once("] {
+        let mut from = body.0;
+        while let Some(pos) = masked[from..body.1].find(pat) {
+            let at = from + pos;
+            events.push(at);
+            from = at + pat.len();
+        }
+    }
+    events.sort_unstable();
+    events.dedup();
+
+    let mut held: Vec<HeldGuard> = Vec::new();
+    let mut depth = 0usize;
+    let mut ev = events.iter().peekable();
+    let mut i = body.0;
+    while i < body.1 {
+        // Handle any acquisition event at this offset.
+        if let Some(&&at) = ev.peek() {
+            if at == i {
+                ev.next();
+                let (stmt_start, stmt_end) = statement_bounds(masked, body, at);
+                let stmt = &masked[stmt_start..stmt_end];
+                if let Some(class_name) = classify_acquisition(masked, at, stmt) {
+                    let class = lockrank::class(class_name).unwrap_or(&lockrank::TABLE[0]);
+                    let receiver = normalize(&receiver_text(masked, at, stmt_start));
+                    let (line, _) = fm.line_col(at);
+                    for g in &held {
+                        if g.class.rank > class.rank {
+                            push(
+                                fm,
+                                out,
+                                at,
+                                "lock-order",
+                                format!(
+                                    "lock-order inversion: acquiring `{}` (rank {}) while `{}` (rank {}) from line {} is held",
+                                    class.name, class.rank, g.class.name, g.class.rank, g.line
+                                ),
+                                "acquire locks in ascending rank order (flight, url, user, then structure guards); \
+                                 see the shared rank table in aide_util::sync::lockrank",
+                            );
+                        } else if class.exclusive && g.class.name == class.name {
+                            push(
+                                fm,
+                                out,
+                                at,
+                                "lock-order",
+                                format!(
+                                    "second `{}` lock acquired while the one from line {} is still held",
+                                    class.name, g.line
+                                ),
+                                "hold at most one lock of each named kind; drop the first guard before taking another",
+                            );
+                        } else if class.name == "structure"
+                            && g.class.name == "structure"
+                            && !g.receiver.is_empty()
+                            && g.receiver == receiver
+                        {
+                            push(
+                                fm,
+                                out,
+                                at,
+                                "lock-order",
+                                format!(
+                                    "re-acquiring `{}` while the guard from line {} is still held (self-deadlock)",
+                                    receiver, g.line
+                                ),
+                                "reuse the existing guard instead of locking the same structure twice",
+                            );
+                        }
+                    }
+                    if let Some(binding) = let_binding(stmt) {
+                        if binding_holds_guard(masked, at, (stmt_start, stmt_end)) {
+                            held.push(HeldGuard {
+                                class,
+                                receiver,
+                                binding: Some(binding),
+                                depth,
+                                line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+            }
+            b'd' if masked[i..].starts_with("drop(") => {
+                let arg_end = masked[i + 5..body.1]
+                    .find(')')
+                    .map(|p| i + 5 + p)
+                    .unwrap_or(body.1);
+                let arg = normalize(&masked[i + 5..arg_end]);
+                held.retain(|g| g.binding.as_deref() != Some(arg.as_str()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Finds the statement containing `at` within `body`: bounded by `;`,
+/// `{`, or `}` at the statement's own nesting level.
+fn statement_bounds(masked: &str, body: (usize, usize), at: usize) -> (usize, usize) {
+    let b = masked.as_bytes();
+    // Backward: stop at `;`/`{`/`}` at depth 0 (counting groups we back
+    // over).
+    let mut depth = 0i32;
+    let mut start = body.0;
+    let mut i = at;
+    while i > body.0 {
+        let c = b[i - 1];
+        match c {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => depth -= 1,
+            b';' | b'{' | b'}' if depth <= 0 => {
+                start = i;
+                break;
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    // Forward: stop at `;` or `{` or `}` at depth 0.
+    let mut depth = 0i32;
+    let mut end = body.1;
+    let mut j = at;
+    while j < body.1 {
+        match b[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' | b'{' | b'}' if depth <= 0 => {
+                end = j;
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (start, end.max(start))
+}
+
+/// The receiver expression text before the `.` at `at` (for
+/// self-deadlock detection), bounded by the statement start.
+fn receiver_text(masked: &str, at: usize, stmt_start: usize) -> String {
+    let b = masked.as_bytes();
+    let mut i = at;
+    let mut depth = 0usize;
+    while i > stmt_start {
+        let c = b[i - 1];
+        match c {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b'=' | b';' | b',' | b'&' if depth == 0 => break,
+            c if c.is_ascii_whitespace() && depth == 0 => break,
+            _ => {}
+        }
+        i -= 1;
+    }
+    masked[i..at].to_string()
+}
+
+/// Whether a `let` binding whose right-hand side contains the
+/// acquisition at `at` actually binds the *guard*, as opposed to a value
+/// derived from it (`let v = m.lock().entries.get(k).cloned()` drops the
+/// temporary guard at the end of the statement). The guard survives only
+/// when nothing but unwrap-style adapters follow the lock call.
+fn binding_holds_guard(masked: &str, at: usize, stmt: (usize, usize)) -> bool {
+    let b = masked.as_bytes();
+    // Find the close of the acquisition call's argument list.
+    let Some(open_rel) = masked[at..stmt.1].find('(') else {
+        return true;
+    };
+    let mut i = at + open_rel;
+    let mut depth = 0usize;
+    while i < stmt.1 {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Skip chained `.unwrap()` / `.expect(…)` / `.unwrap_or_else(…)`
+    // adapters; anything else after the call means the guard is a
+    // temporary.
+    loop {
+        while i < stmt.1 && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= stmt.1 {
+            return true;
+        }
+        if b[i] != b'.' {
+            return false;
+        }
+        let ident_start = i + 1;
+        let mut j = ident_start;
+        while j < stmt.1 && crate::lexer::is_ident_byte(b[j]) {
+            j += 1;
+        }
+        let name = &masked[ident_start..j];
+        if !matches!(name, "unwrap" | "expect" | "unwrap_or_else") {
+            return false;
+        }
+        // Skip the adapter's argument list.
+        let mut depth = 0usize;
+        i = j;
+        while i < stmt.1 {
+            match b[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// If `stmt` is a `let` binding, returns the bound name (`None` for `_`
+/// or destructuring patterns, which cannot be tracked).
+fn let_binding(stmt: &str) -> Option<String> {
+    let t = stmt.trim_start();
+    let rest = t.strip_prefix("let ")?.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+// ---------------------------------------------------------------- lint 4
+
+fn no_panic(fm: &FileMap, out: &mut Vec<Finding>) {
+    if !panic_checked(&fm.rel) {
+        return;
+    }
+    let masked = &fm.masked;
+    // `.unwrap()` — never matches `unwrap_or*` because of the closing paren.
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find(".unwrap()") {
+        let at = from + pos;
+        from = at + ".unwrap()".len();
+        if fm.in_test(at) {
+            continue;
+        }
+        push(
+            fm,
+            out,
+            at,
+            "no-panic",
+            "`.unwrap()` in library code".to_string(),
+            "propagate a typed error (`?` / ok_or_else) or justify with `// aide-lint: allow(no-panic): why`",
+        );
+    }
+    // `.expect("…")` — only when the first argument is a string literal,
+    // so parser methods like `Cursor::expect(char)` don't trip it.
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find(".expect(") {
+        let at = from + pos;
+        from = at + ".expect(".len();
+        if fm.in_test(at) {
+            continue;
+        }
+        let after = masked[at + ".expect(".len()..].trim_start();
+        if !after.starts_with('"') {
+            continue;
+        }
+        push(
+            fm,
+            out,
+            at,
+            "no-panic",
+            "`.expect(\"…\")` in library code".to_string(),
+            "propagate a typed error (`?` / ok_or_else) or justify with `// aide-lint: allow(no-panic): why`",
+        );
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for at in ident_occurrences(masked, mac) {
+            if fm.in_test(at) {
+                continue;
+            }
+            push(
+                fm,
+                out,
+                at,
+                "no-panic",
+                format!("`{mac}` in library code"),
+                "return a typed error, or justify with `// aide-lint: allow(no-panic): why`",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lint 5
+
+fn seqcst(fm: &FileMap, out: &mut Vec<Finding>) {
+    for at in ident_occurrences(&fm.masked, "SeqCst") {
+        if fm.in_test(at) {
+            continue;
+        }
+        push(
+            fm,
+            out,
+            at,
+            "seqcst",
+            "`Ordering::SeqCst` outside tests".to_string(),
+            "plain stat counters use Relaxed (repo convention); if the stronger ordering is \
+             load-bearing, say why in an `// aide-lint: allow(seqcst): why` waiver",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let fm = FileMap::new("crates/x/src/lib.rs", src);
+        lint_file(&fm, &Config::default())
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let f = run("pub fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn receiver_chain_walks_calls_and_fields() {
+        let c = receiver_chain("x = self.cache.shard(url).lock()", 25);
+        assert!(c.contains(&"shard".to_string()));
+        assert!(c.contains(&"cache".to_string()));
+        assert!(c.contains(&"self".to_string()));
+    }
+
+    #[test]
+    fn declared_name_forms() {
+        assert_eq!(declared_name("let mut seen = "), Some("seen".to_string()));
+        assert_eq!(declared_name("    entries: "), Some("entries".to_string()));
+        assert_eq!(
+            declared_name(" pages: Vec<RwLock<"),
+            Some("pages".to_string())
+        );
+        assert_eq!(declared_name("Foo::<"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! The `aide-lint` command-line driver.
+//!
+//! ```text
+//! aide-lint [--root DIR] [--deny] [--json] [--waivers] [--max-waivers N]
+//!           [--lint NAME]... [--list]
+//! ```
+//!
+//! Default mode prints human-readable diagnostics and exits 0; `--deny`
+//! exits 1 if any unwaived violation exists (the CI gate). `--waivers`
+//! prints the waiver accounting, and `--max-waivers N` exits 1 if the
+//! waived-violation count exceeds the committed baseline.
+
+use aide_analysis::config::{Config, LINTS};
+use aide_analysis::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aide-lint [--root DIR] [--deny] [--json] [--waivers] \
+         [--max-waivers N] [--lint NAME]... [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    // aide-lint: allow(determinism): a CLI entry point must read its own argv
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = false;
+    let mut waivers = false;
+    let mut max_waivers: Option<usize> = None;
+    let mut only: Vec<String> = Vec::new();
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--waivers" => waivers = true,
+            "--max-waivers" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                max_waivers = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--lint" => only.push(it.next().unwrap_or_else(|| usage()).clone()),
+            "--list" => {
+                for l in LINTS {
+                    println!("{:12} {}", l.name, l.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = Config::default();
+    if !only.is_empty() {
+        for name in &only {
+            if !LINTS.iter().any(|l| l.name == name) {
+                eprintln!("aide-lint: unknown lint {name:?} (try --list)");
+                return ExitCode::from(2);
+            }
+        }
+        cfg.lints.retain(|l| only.iter().any(|o| o == l));
+    }
+
+    let report = match lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aide-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else if waivers {
+        print!("{}", report.render_waivers());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if let Some(cap) = max_waivers {
+        if report.waived.len() > cap {
+            eprintln!(
+                "aide-lint: waiver count {} exceeds the committed baseline {cap}; \
+                 fix the new violation or bump .aide-lint-waivers with justification",
+                report.waived.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,119 @@
+//! Waiver comments: `// aide-lint: allow(lint-name, …): reason`.
+//!
+//! A waiver on the same line as a violation suppresses it; a waiver
+//! comment standing alone on its own line suppresses violations on the
+//! next code line (consecutive standalone comment lines — stacked
+//! waivers or a multi-line justification — are skipped over). Waivers are counted, reported
+//! by `aide-lint --waivers`, and capped in CI by `--max-waivers`, so the
+//! waiver set can only shrink without an explicit baseline bump. Unused
+//! waivers are reported too — a waiver that suppresses nothing is stale
+//! and should be deleted.
+
+use crate::lexer::Comment;
+
+/// One parsed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Line the waiver comment itself is on (1-based).
+    pub line: u32,
+    /// The code line the waiver applies to.
+    pub applies_to: u32,
+    /// Lint names this waiver suppresses.
+    pub lints: Vec<String>,
+}
+
+/// Extracts waivers from a file's comments.
+pub fn parse(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out: Vec<Waiver> = Vec::new();
+    for c in comments {
+        let Some(lints) = parse_comment(&c.text) else {
+            continue;
+        };
+        let applies_to = if c.standalone { c.line + 1 } else { c.line };
+        out.push(Waiver {
+            line: c.line,
+            applies_to,
+            lints,
+        });
+    }
+    // A standalone waiver applies to the next *code* line: push its
+    // target past any following standalone comment lines (further
+    // waivers in a run, or the waiver's own explanation continuing onto
+    // more comment lines).
+    let standalone_lines: Vec<u32> = comments
+        .iter()
+        .filter(|c| c.standalone)
+        .map(|c| c.line)
+        .collect();
+    for w in &mut out {
+        while w.applies_to != w.line && standalone_lines.contains(&w.applies_to) {
+            w.applies_to += 1;
+        }
+    }
+    out
+}
+
+/// Parses one comment body; returns the waived lint names, if any.
+fn parse_comment(text: &str) -> Option<Vec<String>> {
+    let at = text.find("aide-lint:")?;
+    let rest = text[at + "aide-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let names: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn same_line_waiver() {
+        let l = lex("foo.unwrap(); // aide-lint: allow(no-panic): startup only\n");
+        let w = parse(&l.comments);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].applies_to, 1);
+        assert_eq!(w[0].lints, ["no-panic"]);
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_line() {
+        let l = lex("// aide-lint: allow(determinism, seqcst)\nlet t = now();\n");
+        let w = parse(&l.comments);
+        assert_eq!(w[0].line, 1);
+        assert_eq!(w[0].applies_to, 2);
+        assert_eq!(w[0].lints, ["determinism", "seqcst"]);
+    }
+
+    #[test]
+    fn stacked_standalone_waivers_share_a_target() {
+        let l = lex("// aide-lint: allow(no-panic)\n// aide-lint: allow(seqcst)\ncode();\n");
+        let w = parse(&l.comments);
+        assert_eq!(w[0].applies_to, 3);
+        assert_eq!(w[1].applies_to, 3);
+    }
+
+    #[test]
+    fn continuation_comment_lines_are_skipped() {
+        let l = lex("// aide-lint: allow(seqcst): this justification\n// runs onto a second line\ncode();\n");
+        let w = parse(&l.comments);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].applies_to, 3);
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_waivers() {
+        let l = lex("// aide-lint is great\n// allow(no-panic) but no prefix\nx();\n");
+        assert!(parse(&l.comments).is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: time flows in through the injected virtual clock,
+//! never from the ambient environment. Expected: no findings.
+
+use aide_util::time::Clock;
+
+pub fn stamp(clock: &Clock) -> u64 {
+    clock.now_secs()
+}
+
+/// Mentioning wall-clock types in a doc comment or a string is fine:
+/// "SystemTime::now() is banned" is prose, not code.
+pub fn describe() -> &'static str {
+    "SystemTime::now() and std::env::var() are banned outside the allowlist"
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: ambient wall-clock and environment reads in
+//! library code. Expected: `determinism` fires.
+
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn from_env() -> Option<String> {
+    std::env::var("AIDE_SECRET_KNOB").ok()
+}

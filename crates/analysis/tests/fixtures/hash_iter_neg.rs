@@ -1,0 +1,19 @@
+//! Negative fixture: hash iteration is fine when the result is sorted
+//! before rendering (or consumed order-insensitively). Expected: no
+//! findings.
+
+use std::collections::HashMap;
+
+pub fn render_sorted(counts: &HashMap<String, u32>) -> String {
+    let mut pairs: Vec<(&String, &u32)> = counts.iter().collect();
+    pairs.sort();
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn total(counts: &HashMap<String, u32>) -> u64 {
+    counts.values().map(|v| u64::from(*v)).sum()
+}

@@ -1,0 +1,12 @@
+//! Positive fixture: iterating a `HashMap` straight into rendered
+//! output. Expected: `hash-iter` fires.
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,26 @@
+//! Negative fixture: nested acquisitions in documented order (url rank
+//! 10, then user rank 20), and sequential — not nested — reacquisition
+//! after an explicit drop. Expected: no findings.
+
+use crate::locks::LockTable;
+
+pub fn ordered(table: &LockTable, user: &str, url: &str) {
+    let url_guard = table.lock(&url_key(url));
+    let user_guard = table.lock(&user_key(user));
+    drop(user_guard);
+    drop(url_guard);
+}
+
+pub fn sequential(shard: &std::sync::RwLock<Vec<u32>>) -> usize {
+    let first = shard.read().len();
+    let second = shard.read().len();
+    first + second
+}
+
+fn user_key(u: &str) -> String {
+    format!("user:{u}")
+}
+
+fn url_key(u: &str) -> String {
+    format!("url:{u}")
+}

@@ -1,0 +1,24 @@
+//! Positive fixture: nested acquisitions that violate the documented
+//! lock-rank table (url rank 10 must be taken before user rank 20).
+//! Expected: `lock-order` fires.
+
+use crate::locks::LockTable;
+
+pub fn inverted(table: &LockTable, user: &str, url: &str) {
+    let _user_guard = table.lock(&user_key(user));
+    let _url_guard = table.lock(&url_key(url));
+}
+
+pub fn double_structure(shard: &std::sync::RwLock<Vec<u32>>) -> usize {
+    let first = shard.read();
+    let second = shard.read();
+    first.len() + second.len()
+}
+
+fn user_key(u: &str) -> String {
+    format!("user:{u}")
+}
+
+fn url_key(u: &str) -> String {
+    format!("url:{u}")
+}

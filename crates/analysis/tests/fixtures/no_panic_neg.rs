@@ -1,0 +1,42 @@
+//! Negative fixture: typed errors in library code; unwrap only inside
+//! `#[cfg(test)]`. A single-char `expect` (parser-cursor style) takes
+//! no message string and is not the panicking `Option::expect`.
+//! Expected: no findings.
+
+pub struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug)]
+pub struct ParseError;
+
+impl Cursor<'_> {
+    pub fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        match self.src[self.pos..].chars().next() {
+            Some(c) if c == want => {
+                self.pos += c.len_utf8();
+                Ok(())
+            }
+            _ => Err(ParseError),
+        }
+    }
+}
+
+pub fn first(xs: &[u32]) -> Result<u32, ParseError> {
+    xs.first().copied().ok_or(ParseError)
+}
+
+pub fn open_paren(c: &mut Cursor<'_>) -> Result<(), ParseError> {
+    c.expect('(')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_of_nonempty() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

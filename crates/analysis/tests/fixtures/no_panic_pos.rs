@@ -1,0 +1,17 @@
+//! Positive fixture: panicking constructs in library code. Expected:
+//! `no-panic` fires (three times).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller promised a number")
+}
+
+pub fn limit(n: u32) -> u32 {
+    if n > 100 {
+        panic!("limit exceeded");
+    }
+    n
+}

@@ -1,0 +1,22 @@
+//! Negative fixture: stat counters use `Relaxed` (the repo convention);
+//! `SeqCst` inside `#[cfg(test)]` is exempt. Expected: no findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn record_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_counts() {
+        HITS.store(0, Ordering::SeqCst);
+        record_hit();
+        assert_eq!(HITS.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Positive fixture: a plain stat counter bumped with `SeqCst`.
+//! Expected: `seqcst` fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn record_hit() {
+    HITS.fetch_add(1, Ordering::SeqCst);
+}

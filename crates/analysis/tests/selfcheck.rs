@@ -1,0 +1,46 @@
+//! Self-run: the workspace this crate lives in must be lint-clean with
+//! the committed waiver set, and that set must not drift past the
+//! committed baseline or accumulate stale entries.
+
+use aide_analysis::config::Config;
+use aide_analysis::lint_workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report =
+        lint_workspace(workspace_root(), &Config::default()).expect("workspace walk succeeds");
+    assert!(report.files > 50, "walked only {} files", report.files);
+    assert!(
+        report.findings.is_empty(),
+        "aide-lint violations in the workspace:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn waivers_within_committed_baseline() {
+    let report =
+        lint_workspace(workspace_root(), &Config::default()).expect("workspace walk succeeds");
+    let baseline: usize = std::fs::read_to_string(workspace_root().join(".aide-lint-waivers"))
+        .expect(".aide-lint-waivers baseline file exists")
+        .trim()
+        .parse()
+        .expect("baseline is a number");
+    assert!(
+        report.waived.len() <= baseline,
+        "waiver count {} exceeds committed baseline {}; fix the new \
+         violation or bump .aide-lint-waivers with justification",
+        report.waived.len(),
+        baseline
+    );
+    assert!(
+        report.unused_waivers.is_empty(),
+        "stale waivers should be deleted: {:?}",
+        report.unused_waivers
+    );
+}

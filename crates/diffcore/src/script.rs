@@ -215,7 +215,9 @@ impl Alignment {
                                 h.a_len += take;
                                 h.b_len += take;
                             }
-                            hunks.push(current.take().expect("current hunk"));
+                            if let Some(done) = current.take() {
+                                hunks.push(done);
+                            }
                         }
                     }
                 }

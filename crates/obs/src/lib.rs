@@ -495,7 +495,9 @@ pub fn install(registry: Arc<MetricsRegistry>) -> Option<Arc<MetricsRegistry>> {
     let mut slot = write_lock(&SUBSCRIBER);
     let prev = slot.replace(registry);
     EPOCH.fetch_add(1, Ordering::Release);
-    ENABLED.store(true, Ordering::SeqCst);
+    // The registry itself is published by the SUBSCRIBER lock; the flag
+    // only gates the fast path, so Release (pairing with EPOCH) is enough.
+    ENABLED.store(true, Ordering::Release);
     prev
 }
 
@@ -503,7 +505,7 @@ pub fn install(registry: Arc<MetricsRegistry>) -> Option<Arc<MetricsRegistry>> {
 /// instrumentation is back to its single-atomic-load fast path.
 pub fn uninstall() -> Option<Arc<MetricsRegistry>> {
     let mut slot = write_lock(&SUBSCRIBER);
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Release);
     EPOCH.fetch_add(1, Ordering::Release);
     slot.take()
 }
@@ -598,6 +600,8 @@ pub fn span(name: &str, start_secs: u64, end_secs: u64) {
 /// `AIDE_FAULT_DUMP` convention used by the fault-tolerance suite; the
 /// conventional variable is `AIDE_OBS_JSON`.
 pub fn dump_json_env(var: &str) -> std::io::Result<bool> {
+    // aide-lint: allow(determinism): the AIDE_OBS_JSON escape hatch is
+    // the documented env-driven dump convention (§4g); callers opt in
     let Ok(path) = std::env::var(var) else {
         return Ok(false);
     };

@@ -231,7 +231,10 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
 
     // Optional admin phrases until the first revision number.
     for kw in ["access", "symbols", "locks", "strict", "comment", "expand"] {
-        if c.peek_is(kw.chars().next().expect("keyword")) {
+        let Some(first) = kw.chars().next() else {
+            continue;
+        };
+        if c.peek_is(first) {
             let save = c.pos;
             match c.word() {
                 Ok(w) if w == kw => {
@@ -303,13 +306,16 @@ pub fn parse(text: &str) -> Result<Archive, FormatError> {
     // Assemble: metas oldest-first; deltas for non-head revisions.
     metas_desc.sort_by_key(|(rev, _, _)| *rev);
     blocks.sort_by_key(|(rev, _, _)| *rev);
-    if metas_desc.len() != blocks.len() || metas_desc.is_empty() {
+    if metas_desc.len() != blocks.len() {
         return Err(FormatError::new("delta table and text blocks disagree"));
     }
-    if metas_desc.last().expect("nonempty").0 != head {
+    let (Some(newest_meta), Some(newest_block)) = (metas_desc.last(), blocks.last()) else {
+        return Err(FormatError::new("delta table and text blocks disagree"));
+    };
+    if newest_meta.0 != head {
         return Err(FormatError::new("head does not match newest revision"));
     }
-    let head_text = blocks.last().expect("nonempty").2.clone();
+    let head_text = newest_block.2.clone();
     let mut reverse_deltas = Vec::new();
     for (rev, _, body) in blocks.iter().take(blocks.len() - 1) {
         let delta =

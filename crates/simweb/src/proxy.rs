@@ -146,7 +146,13 @@ impl ProxyCache {
             Status::NotModified => {
                 let mut st = self.state.lock();
                 st.stats.revalidated += 1;
-                let e = st.entries.get_mut(url).expect("revalidated entry exists");
+                // A 304 implies we sent If-Modified-Since, which implies
+                // a prior entry; stay total if it vanished anyway.
+                let e = st.entries.entry(url.to_string()).or_insert_with(|| Entry {
+                    body: prior.as_ref().map(|p| p.body.clone()).unwrap_or_default(),
+                    last_modified: prior.as_ref().and_then(|p| p.last_modified),
+                    fetched_at: now,
+                });
                 e.fetched_at = now;
                 let body = e.body.clone();
                 let lm = e.last_modified;

@@ -46,6 +46,7 @@
 //! left in its spool directory).
 
 use aide_util::checksum::fnv1a64;
+use aide_util::sync::lockrank;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -133,11 +134,27 @@ impl Default for LockTable {
 /// A held named lock; released on drop.
 pub struct NamedGuard {
     raw: Arc<RawLock>,
+    /// Debug-build held-lock record; popped from the thread's lock-order
+    /// stack when the guard drops.
+    _rank: lockrank::Held,
 }
 
 impl Drop for NamedGuard {
     fn drop(&mut self) {
         self.raw.release();
+    }
+}
+
+/// Maps a named-lock key to its class in the shared lock-rank table
+/// (`aide_util::sync::lockrank`): `url:*` and `user:*` are the two
+/// paper-mandated named kinds; anything else is a single-flight key.
+fn rank_class(key: &str) -> &'static str {
+    if key.starts_with("url:") {
+        "url"
+    } else if key.starts_with("user:") {
+        "user"
+    } else {
+        "flight"
     }
 }
 
@@ -160,6 +177,10 @@ impl LockTable {
     /// Acquires the lock named `key`, blocking while held elsewhere.
     /// Waiters are queued on a condition variable, not spinning.
     pub fn lock(&self, key: &str) -> NamedGuard {
+        // Validate against the thread's held-lock stack *before* blocking,
+        // so an ordering bug aborts with a diagnostic instead of
+        // deadlocking (debug builds only; a no-op in release).
+        let rank = lockrank::acquire(rank_class(key), key);
         let handle = {
             let mut locks = self
                 .shard(key)
@@ -178,7 +199,10 @@ impl LockTable {
                 .contended
                 .fetch_add(1, Ordering::Relaxed);
         }
-        NamedGuard { raw: handle }
+        NamedGuard {
+            raw: handle,
+            _rank: rank,
+        }
     }
 
     /// Convenience: the per-URL lock name.
@@ -280,9 +304,15 @@ mod tests {
     #[test]
     fn different_keys_are_independent() {
         let t = LockTable::new();
-        let _a = t.lock("url:http://a/");
+        // Different keys never contend: sequential same-class locks and a
+        // simultaneously held lock of the other kind all acquire
+        // immediately. (Holding two URL locks at once would violate the
+        // module's ordering invariant and abort in debug builds.)
+        let a = t.lock("url:http://a/");
+        let u = t.lock("user:douglis");
+        drop(u);
+        drop(a);
         let _b = t.lock("url:http://b/");
-        let _u = t.lock("user:douglis");
         assert_eq!(t.stats().acquisitions, 3);
         assert_eq!(t.stats().contended, 0);
     }

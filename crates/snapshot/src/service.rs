@@ -179,6 +179,8 @@ struct AdmissionGuard<'a> {
 
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
+        // aide-lint: allow(seqcst): admission gate is a synchronization
+        // protocol (CAS reserve / release), not a stat counter
         self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -253,6 +255,8 @@ impl<R: Repository> SnapshotService<R> {
     /// finish. `None` removes the cap.
     pub fn set_max_concurrent(&self, limit: Option<usize>) {
         self.max_concurrent
+            // aide-lint: allow(seqcst): cap changes must be totally
+            // ordered against concurrent admissions
             .store(limit.unwrap_or(UNLIMITED), Ordering::SeqCst);
     }
 
@@ -260,13 +264,17 @@ impl<R: Repository> SnapshotService<R> {
     /// with a compare-and-swap, so an over-cap burst never transiently
     /// counts rejected callers against admitted ones.
     fn admit(&self) -> Result<AdmissionGuard<'_>, ServiceError> {
+        // aide-lint: allow(seqcst): the gate's reserve protocol, not a
+        // stat counter — every access shares one total order
         let cap = self.max_concurrent.load(Ordering::SeqCst);
         if cap == UNLIMITED {
+            // aide-lint: allow(seqcst): see above
             self.in_flight.fetch_add(1, Ordering::SeqCst);
             return Ok(AdmissionGuard {
                 counter: &self.in_flight,
             });
         }
+        // aide-lint: allow(seqcst): see above
         let mut current = self.in_flight.load(Ordering::SeqCst);
         loop {
             if current >= cap {
@@ -275,8 +283,8 @@ impl<R: Repository> SnapshotService<R> {
             match self.in_flight.compare_exchange_weak(
                 current,
                 current + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
+                Ordering::SeqCst, // aide-lint: allow(seqcst): see above
+                Ordering::SeqCst, // aide-lint: allow(seqcst): see above
             ) {
                 Ok(_) => {
                     return Ok(AdmissionGuard {
@@ -545,7 +553,7 @@ impl<R: Repository> SnapshotService<R> {
         Ok(self
             .repo
             .load(url)?
-            .map(|a| (a.head(), a.metas().last().expect("nonempty").date)))
+            .and_then(|a| a.metas().last().map(|m| (m.id, m.date))))
     }
 
     /// The most recent revision `user` has remembered of `url`.

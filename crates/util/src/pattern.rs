@@ -119,10 +119,13 @@ impl Parser {
             self.bump();
             branches.push(self.parse_concat()?);
         }
-        if branches.len() == 1 {
-            Ok(branches.pop().expect("one branch"))
-        } else {
-            Ok(Ast::Alternate(branches))
+        match branches.pop() {
+            Some(only) if branches.is_empty() => Ok(only),
+            Some(last) => {
+                branches.push(last);
+                Ok(Ast::Alternate(branches))
+            }
+            None => Ok(Ast::Empty),
         }
     }
 
@@ -134,10 +137,13 @@ impl Parser {
             }
             items.push(self.parse_repeat()?);
         }
-        match items.len() {
-            0 => Ok(Ast::Empty),
-            1 => Ok(items.pop().expect("one item")),
-            _ => Ok(Ast::Concat(items)),
+        match items.pop() {
+            None => Ok(Ast::Empty),
+            Some(only) if items.is_empty() => Ok(only),
+            Some(last) => {
+                items.push(last);
+                Ok(Ast::Concat(items))
+            }
         }
     }
 

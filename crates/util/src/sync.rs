@@ -66,6 +66,8 @@ where
             })
             .collect();
         for h in handles {
+            // aide-lint: allow(no-panic): a worker panic must propagate
+            // to the caller, not be swallowed into a partial result
             indexed.extend(h.join().expect("parallel_map worker panicked"));
         }
     });
@@ -223,6 +225,161 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+pub mod lockrank {
+    //! The workspace lock-order table and a debug-build runtime checker.
+    //!
+    //! [`TABLE`] is the single source of truth for the lock-ordering
+    //! discipline documented in DESIGN.md §4d/§4h: a thread may only
+    //! acquire locks of non-decreasing rank, and at most one lock of any
+    //! `exclusive` class at a time. The static checker (`aide-lint`'s
+    //! `lock-order` pass) enforces the same table lexically; this module
+    //! enforces it dynamically on every named-lock acquisition when
+    //! `debug_assertions` are on, and compiles to nothing in release
+    //! builds.
+
+    /// One class of lock in the global acquisition order.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct LockClass {
+        /// Class name, as used by waiver comments and diagnostics.
+        pub name: &'static str,
+        /// Acquisition rank: a thread holding rank `r` may only acquire
+        /// locks of rank `>= r`.
+        pub rank: u32,
+        /// Whether at most one lock of this class may be held per thread.
+        pub exclusive: bool,
+    }
+
+    /// The lock-rank table (DESIGN.md §4h). Order of acquisition is
+    /// ascending rank: single-flight key, then per-URL named lock, then
+    /// per-user named lock, then structure (shard/bucket) guards, which
+    /// are leaves.
+    pub const TABLE: &[LockClass] = &[
+        LockClass {
+            name: "flight",
+            rank: 5,
+            exclusive: true,
+        },
+        LockClass {
+            name: "url",
+            rank: 10,
+            exclusive: true,
+        },
+        LockClass {
+            name: "user",
+            rank: 20,
+            exclusive: true,
+        },
+        LockClass {
+            name: "structure",
+            rank: 30,
+            exclusive: false,
+        },
+    ];
+
+    /// Looks up a class by name.
+    pub fn class(name: &str) -> Option<&'static LockClass> {
+        TABLE.iter().find(|c| c.name == name)
+    }
+
+    #[cfg(debug_assertions)]
+    mod dynamic {
+        use super::LockClass;
+        use std::cell::RefCell;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+        thread_local! {
+            static HELD: RefCell<Vec<(u64, &'static LockClass, String)>> =
+                const { RefCell::new(Vec::new()) };
+        }
+
+        pub(super) fn note_acquire(class: &'static LockClass, key: &str) -> u64 {
+            let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                for (_, c, k) in held.iter() {
+                    if c.rank > class.rank {
+                        // aide-lint: allow(no-panic): the runtime checker's whole job is to abort on a lock-order violation
+                        panic!(
+                            "lock-order inversion: acquiring {} lock {key:?} while holding {} lock {k:?} (rank {} > {})",
+                            class.name, c.name, c.rank, class.rank
+                        );
+                    }
+                    if class.exclusive && c.name == class.name {
+                        // aide-lint: allow(no-panic): the runtime checker's whole job is to abort on a double acquisition
+                        panic!(
+                            "double acquisition of exclusive {} lock class: already hold {k:?}, acquiring {key:?}",
+                            class.name
+                        );
+                    }
+                }
+                held.push((token, class, key.to_string()));
+            });
+            token
+        }
+
+        pub(super) fn note_release(token: u64) {
+            // The guard may be dropped on a different thread than it was
+            // acquired on; in that case the entry is simply not found and
+            // tracking for that lock ends at the acquiring thread.
+            let _ = HELD.try_with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(i) = held.iter().position(|(t, _, _)| *t == token) {
+                    held.remove(i);
+                }
+            });
+        }
+    }
+
+    /// A held-lock record; popping happens on drop. Zero-sized and inert
+    /// in release builds.
+    #[derive(Debug)]
+    pub struct Held {
+        #[cfg(debug_assertions)]
+        token: u64,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            #[cfg(debug_assertions)]
+            dynamic::note_release(self.token);
+        }
+    }
+
+    /// Records the acquisition of a lock of class `name` for `key`,
+    /// validating it against the locks this thread already holds. In
+    /// debug builds a rank inversion or exclusive-class double
+    /// acquisition aborts immediately with a diagnostic; in release
+    /// builds this is a no-op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aide_util::sync::lockrank;
+    ///
+    /// let url = lockrank::acquire("url", "url:http://x/");
+    /// let user = lockrank::acquire("user", "user:fred");
+    /// drop(user);
+    /// drop(url);
+    /// ```
+    pub fn acquire(name: &'static str, key: &str) -> Held {
+        #[cfg(debug_assertions)]
+        {
+            // aide-lint: allow(no-panic): unknown class names are a checker-integration bug, not a runtime condition
+            let class = class(name).unwrap_or_else(|| panic!("unknown lock class {name:?}"));
+            Held {
+                token: dynamic::note_acquire(class, key),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (name, key);
+            Held {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +434,79 @@ mod tests {
             live.fetch_sub(1, Ordering::SeqCst);
         });
         assert!(peak.load(Ordering::SeqCst) >= 2, "no overlap observed");
+    }
+
+    /// Runs `f` on its own thread so a panicking lock-order check cannot
+    /// pollute this thread's held-lock stack for later tests.
+    fn on_thread(f: impl FnOnce() + Send + 'static) -> std::thread::Result<()> {
+        std::thread::spawn(f).join()
+    }
+
+    #[test]
+    fn lockrank_accepts_documented_order() {
+        on_thread(|| {
+            let f = lockrank::acquire("flight", "diff:k");
+            drop(f);
+            let url = lockrank::acquire("url", "url:http://x/");
+            let user = lockrank::acquire("user", "user:fred");
+            let s1 = lockrank::acquire("structure", "shard:3");
+            let s2 = lockrank::acquire("structure", "shard:4");
+            drop((s1, s2, user, url));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lockrank_release_unwinds_exclusivity() {
+        on_thread(|| {
+            for i in 0..3 {
+                let _g = lockrank::acquire("url", &format!("url:http://h{i}/"));
+            }
+        })
+        .unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockrank_rejects_inversion() {
+        let r = on_thread(|| {
+            let _user = lockrank::acquire("user", "user:fred");
+            let _url = lockrank::acquire("url", "url:http://x/");
+        });
+        assert!(r.is_err(), "user-then-url must abort in debug builds");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockrank_rejects_double_exclusive() {
+        let r = on_thread(|| {
+            let _a = lockrank::acquire("url", "url:http://a/");
+            let _b = lockrank::acquire("url", "url:http://b/");
+        });
+        assert!(
+            r.is_err(),
+            "two URL locks at once must abort in debug builds"
+        );
+    }
+
+    #[test]
+    fn lockrank_structure_is_shared() {
+        on_thread(|| {
+            let _a = lockrank::acquire("structure", "shard:0");
+            let _b = lockrank::acquire("structure", "shard:1");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn lockrank_table_is_sorted_and_named() {
+        let mut prev = 0;
+        for c in lockrank::TABLE {
+            assert!(c.rank >= prev, "table must be rank-sorted");
+            prev = c.rank;
+            assert!(lockrank::class(c.name).is_some());
+        }
+        assert!(lockrank::class("nonesuch").is_none());
     }
 
     #[test]

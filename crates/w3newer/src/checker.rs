@@ -447,6 +447,8 @@ impl W3Newer {
                 .collect();
             handles
                 .into_iter()
+                // aide-lint: allow(no-panic): a worker panic must
+                // propagate to the caller, not vanish into a partial run
                 .map(|h| h.join().expect("w3newer worker panicked"))
                 .collect()
         });
@@ -471,6 +473,9 @@ impl W3Newer {
         }
         let mut entries: Vec<UrlReport> = slots
             .into_iter()
+            // aide-lint: allow(no-panic): each hotlist index is written
+            // exactly once by the host group that owns it; a hole here
+            // is a merge bug that must not be silently dropped
             .map(|r| r.expect("every hotlist entry produced a report"))
             .collect();
 

@@ -127,7 +127,9 @@ impl PriorityConfig {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let pat = parts.next().expect("nonempty");
+            let Some(pat) = parts.next() else {
+                continue; // unreachable: the trimmed line is non-empty
+            };
             let word = parts.next().ok_or(PriorityConfigError::Missing(lineno))?;
             let priority = Priority::parse(word)
                 .ok_or_else(|| PriorityConfigError::BadPriority(lineno, word.to_string()))?;

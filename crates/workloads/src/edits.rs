@@ -99,7 +99,8 @@ impl EditModel {
                 page.blocks[i] = match &page.blocks[i] {
                     Block::Para(s) => Block::List(s.clone()),
                     Block::List(items) => Block::Para(items.clone()),
-                    _ => unreachable!("candidates are paras or lists"),
+                    // Candidates are filtered to paras and lists above.
+                    other => other.clone(),
                 };
             }
             EditModel::FullReplace => {

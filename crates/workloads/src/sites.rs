@@ -143,6 +143,8 @@ pub fn table1_scenario(web: &Web, seed: u64) -> Table1Scenario {
             hits: 0,
         },
     )
+    // aide-lint: allow(no-panic): scenario URLs are statically
+    // known-valid; a bad one is a workload-definition bug
     .expect("valid URL");
 
     Table1Scenario { hotlist, pages }
