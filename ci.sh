@@ -35,8 +35,16 @@ AIDE_OBS_JSON="$PWD/target/obs_b.json" \
     cargo test -q -p aide --test observability >/dev/null
 cmp target/obs_a.json target/obs_b.json
 
+echo "== crash-recovery determinism (every kill point, twice, byte-identical)"
+AIDE_STORE_DUMP="$PWD/target/store_crash_a.txt" \
+    cargo test -q -p aide-store --test crash >/dev/null
+AIDE_STORE_DUMP="$PWD/target/store_crash_b.txt" \
+    cargo test -q -p aide-store --test crash >/dev/null
+cmp target/store_crash_a.txt target/store_crash_b.txt
+
 echo "== bench smoke (single-iteration, compile-and-run check)"
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench htmldiff_e2e >/dev/null
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench snapshot_contention >/dev/null
+AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench storage_engine >/dev/null
 
 echo "CI green."

@@ -11,7 +11,7 @@
 use crate::fetcher::{fetch_page, FetchError};
 use aide_htmldiff::Options as DiffOptions;
 use aide_rcs::archive::{RevId, RevisionMeta};
-use aide_rcs::repo::MemRepository;
+use aide_rcs::repo::{MemRepository, Repository};
 use aide_simweb::browser::Browser;
 use aide_simweb::net::Web;
 use aide_simweb::proxy::ProxyCache;
@@ -126,11 +126,14 @@ pub struct NetHealth {
     pub breaker: BreakerStats,
 }
 
-/// One AIDE deployment.
-pub struct AideEngine {
+/// One AIDE deployment, generic over its storage backend. The default
+/// `MemRepository` keeps the historical in-memory behaviour (tests,
+/// simulations); handing `with_repository` an
+/// `aide_store::DiskRepository` makes every Remember durable.
+pub struct AideEngine<R: Repository = MemRepository> {
     web: Web,
     proxy: Option<ProxyCache>,
-    snapshot: Arc<SnapshotService<MemRepository>>,
+    snapshot: Arc<SnapshotService<R>>,
     users: UserTable,
     /// Site-wide robustness settings, applied to every current and
     /// future user when enabled. `None` = the paper's fail-fast
@@ -138,19 +141,23 @@ pub struct AideEngine {
     robustness: Mutex<Option<(RetryPolicy, Arc<CircuitBreaker>)>>,
 }
 
-impl AideEngine {
-    /// Creates an engine on `web` with no proxy.
+impl AideEngine<MemRepository> {
+    /// Creates an engine on `web` with no proxy, storing archives in
+    /// memory.
     pub fn new(web: Web) -> AideEngine {
+        AideEngine::with_repository(web, MemRepository::new())
+    }
+}
+
+impl<R: Repository> AideEngine<R> {
+    /// Creates an engine on `web` whose snapshot service persists into
+    /// `repo` — any [`Repository`] backend.
+    pub fn with_repository(web: Web, repo: R) -> AideEngine<R> {
         let clock = web.clock().clone();
         AideEngine {
             web,
             proxy: None,
-            snapshot: Arc::new(SnapshotService::new(
-                MemRepository::new(),
-                clock,
-                256,
-                Duration::hours(8),
-            )),
+            snapshot: Arc::new(SnapshotService::new(repo, clock, 256, Duration::hours(8))),
             users: UserTable::new(),
             robustness: Mutex::new(None),
         }
@@ -226,7 +233,7 @@ impl AideEngine {
     }
 
     /// Adds a site-wide proxy cache with the given TTL (builder style).
-    pub fn with_proxy(mut self, ttl: Duration) -> AideEngine {
+    pub fn with_proxy(mut self, ttl: Duration) -> AideEngine<R> {
         self.proxy = Some(ProxyCache::new(self.web.clone(), ttl));
         self
     }
@@ -247,13 +254,13 @@ impl AideEngine {
     }
 
     /// The snapshot service.
-    pub fn snapshot(&self) -> &SnapshotService<MemRepository> {
+    pub fn snapshot(&self) -> &SnapshotService<R> {
         &self.snapshot
     }
 
     /// A shared handle to the snapshot service, for co-resident services
     /// (the server tracker, fixed collections, the CGI layer).
-    pub fn snapshot_arc(&self) -> Arc<SnapshotService<MemRepository>> {
+    pub fn snapshot_arc(&self) -> Arc<SnapshotService<R>> {
         self.snapshot.clone()
     }
 

@@ -11,7 +11,7 @@
 use crate::fetcher::fetch_page;
 use aide_htmlkit::entity::encode_entities;
 use aide_rcs::archive::RevId;
-use aide_rcs::repo::MemRepository;
+use aide_rcs::repo::{MemRepository, Repository};
 use aide_simweb::net::Web;
 use aide_snapshot::service::{ServiceError, SnapshotService, UserId};
 use aide_util::sync::Mutex;
@@ -33,23 +33,20 @@ pub struct CollectionEntry {
     pub revisions: usize,
 }
 
-/// A named, fixed set of automatically archived URLs.
-pub struct FixedCollection {
+/// A named, fixed set of automatically archived URLs, generic over
+/// the snapshot service's storage backend.
+pub struct FixedCollection<R: Repository = MemRepository> {
     /// The collection's display name.
     pub name: String,
     web: Web,
-    snapshot: Arc<SnapshotService<MemRepository>>,
+    snapshot: Arc<SnapshotService<R>>,
     members: Mutex<Vec<(String, String)>>, // (url, title)
     archivist: UserId,
 }
 
-impl FixedCollection {
+impl<R: Repository> FixedCollection<R> {
     /// Creates a collection writing into `snapshot`.
-    pub fn new(
-        name: &str,
-        web: Web,
-        snapshot: Arc<SnapshotService<MemRepository>>,
-    ) -> FixedCollection {
+    pub fn new(name: &str, web: Web, snapshot: Arc<SnapshotService<R>>) -> FixedCollection<R> {
         FixedCollection {
             name: name.to_string(),
             web,

@@ -14,7 +14,7 @@ use aide_htmldiff::Options as DiffOptions;
 use aide_htmlkit::lexer::lex;
 use aide_htmlkit::links::extract_followable;
 use aide_htmlkit::url::Url;
-use aide_rcs::repo::MemRepository;
+use aide_rcs::repo::{MemRepository, Repository};
 use aide_simweb::net::Web;
 use aide_snapshot::service::{ServiceError, SnapshotService, UserId};
 use std::sync::Arc;
@@ -87,15 +87,16 @@ impl RecursiveDiff {
     }
 }
 
-/// The recursive differ.
-pub struct RecursiveDiffer {
+/// The recursive differ, generic over the snapshot service's storage
+/// backend.
+pub struct RecursiveDiffer<R: Repository = MemRepository> {
     web: Web,
-    snapshot: Arc<SnapshotService<MemRepository>>,
+    snapshot: Arc<SnapshotService<R>>,
 }
 
-impl RecursiveDiffer {
+impl<R: Repository> RecursiveDiffer<R> {
     /// Creates a differ over `web` and `snapshot`.
-    pub fn new(web: Web, snapshot: Arc<SnapshotService<MemRepository>>) -> RecursiveDiffer {
+    pub fn new(web: Web, snapshot: Arc<SnapshotService<R>>) -> RecursiveDiffer<R> {
         RecursiveDiffer { web, snapshot }
     }
 

@@ -13,7 +13,7 @@ use crate::fetcher::{fetch_page, FetchError};
 use aide_htmlkit::lexer::lex;
 use aide_htmlkit::links::extract_followable;
 use aide_htmlkit::url::Url;
-use aide_rcs::repo::MemRepository;
+use aide_rcs::repo::{MemRepository, Repository};
 use aide_simweb::net::Web;
 use aide_snapshot::service::{ServiceError, SnapshotService, UserId};
 use aide_util::sync::Mutex;
@@ -44,17 +44,18 @@ pub struct TrackedStatus {
     pub changed_for_user: bool,
 }
 
-/// The centralized tracker.
-pub struct ServerTracker {
+/// The centralized tracker, generic over the snapshot service's
+/// storage backend.
+pub struct ServerTracker<R: Repository = MemRepository> {
     web: Web,
-    snapshot: Arc<SnapshotService<MemRepository>>,
+    snapshot: Arc<SnapshotService<R>>,
     registrations: Mutex<BTreeMap<String, BTreeSet<UserId>>>,
     daemon: UserId,
 }
 
-impl ServerTracker {
+impl<R: Repository> ServerTracker<R> {
     /// Creates a tracker writing into `snapshot`.
-    pub fn new(web: Web, snapshot: Arc<SnapshotService<MemRepository>>) -> ServerTracker {
+    pub fn new(web: Web, snapshot: Arc<SnapshotService<R>>) -> ServerTracker<R> {
         ServerTracker {
             web,
             snapshot,

@@ -34,6 +34,10 @@ pub const LINTS: &[LintInfo] = &[
         name: "seqcst",
         description: "stat counters use Relaxed ordering; SeqCst needs a justifying waiver",
     },
+    LintInfo {
+        name: "vfs-boundary",
+        description: "std::fs/std::io stay behind the Vfs trait; only crates/store/src/vfs.rs touches the real filesystem",
+    },
 ];
 
 /// Which lints to run (all by default).
@@ -80,9 +84,39 @@ pub fn panic_checked(rel: &str) -> bool {
     !rel.contains("/src/bin/") && !rel.ends_with("/src/main.rs")
 }
 
+/// Whether the VFS-boundary lint covers `rel`. Library code must route
+/// file I/O through `aide_util::vfs::Vfs` so the fault-injection and
+/// crash-recovery suites can interpose; the exemptions are the one
+/// sanctioned implementation (`RealVfs`), binary targets (CLI tools and
+/// bench drivers talk to the user's files by design), and the lint tool
+/// itself (which exists to read source files).
+pub fn vfs_boundary_checked(rel: &str) -> bool {
+    if is_vendored(rel)
+        || rel.starts_with("crates/bench/")
+        || rel.starts_with("crates/cli/")
+        || rel.starts_with("crates/analysis/")
+    {
+        return false;
+    }
+    if rel == "crates/store/src/vfs.rs" {
+        return false;
+    }
+    !rel.contains("/src/bin/") && !rel.ends_with("/src/main.rs")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vfs_boundary_policy() {
+        assert!(vfs_boundary_checked("crates/rcs/src/repo.rs"));
+        assert!(vfs_boundary_checked("crates/store/src/repo.rs"));
+        assert!(!vfs_boundary_checked("crates/store/src/vfs.rs"));
+        assert!(!vfs_boundary_checked("crates/cli/src/bin/htmldiff.rs"));
+        assert!(!vfs_boundary_checked("crates/analysis/src/lib.rs"));
+        assert!(!vfs_boundary_checked("crates/criterion/src/lib.rs"));
+    }
 
     #[test]
     fn policy_classification() {

@@ -1,4 +1,4 @@
-//! The five lint passes. Each works purely on the masked source (see
+//! The six lint passes. Each works purely on the masked source (see
 //! [`crate::lexer`]) plus the structural indexes in [`crate::scope`].
 //!
 //! These are *lexical* checks: they trade type-level precision for zero
@@ -7,7 +7,7 @@
 //! heuristic is wrong or the violation is deliberate. LINTS.md documents
 //! each rule, its rationale, and its known blind spots.
 
-use crate::config::{panic_checked, wallclock_allowed, Config};
+use crate::config::{panic_checked, vfs_boundary_checked, wallclock_allowed, Config};
 use crate::scope::{ident_occurrences, FileMap};
 use aide_util::sync::lockrank;
 
@@ -46,6 +46,9 @@ pub fn lint_file(fm: &FileMap, cfg: &Config) -> Vec<Finding> {
     }
     if cfg.enabled("seqcst") {
         seqcst(fm, &mut out);
+    }
+    if cfg.enabled("vfs-boundary") {
+        vfs_boundary(fm, &mut out);
     }
     out.sort_by_key(|f| (f.line, f.col));
     out
@@ -410,6 +413,10 @@ fn classify_acquisition(masked: &str, at: usize, stmt: &str) -> Option<&'static 
     if after.starts_with(".once(") {
         return Some("flight");
     }
+    if after.starts_with(".lock_shard(") {
+        // aide-store's shard acquisition (rank-checked mutex per shard).
+        return Some("store");
+    }
     if after.starts_with(".lock(") {
         // Named lock with a key argument.
         if stmt.contains("url_key") {
@@ -429,7 +436,7 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
 
     // Pre-collect acquisition and drop sites inside the body.
     let mut events: Vec<usize> = Vec::new();
-    for pat in [".lock(", ".read()", ".write()", ".once("] {
+    for pat in [".lock(", ".lock_shard(", ".read()", ".write()", ".once("] {
         let mut from = body.0;
         while let Some(pos) = masked[from..body.1].find(pat) {
             let at = from + pos;
@@ -768,6 +775,36 @@ fn seqcst(fm: &FileMap, out: &mut Vec<Finding>) {
             "plain stat counters use Relaxed (repo convention); if the stronger ordering is \
              load-bearing, say why in an `// aide-lint: allow(seqcst): why` waiver",
         );
+    }
+}
+
+// ---------------------------------------------------------------- lint 6
+
+/// Direct-I/O paths that bypass the `Vfs` trait. Everything the storage
+/// engine persists must flow through a `Vfs` so the fault-injecting
+/// implementation can interpose (torn writes, lying fsync, kill points);
+/// a stray `std::fs` call is invisible to the crash-recovery suite.
+const DIRECT_IO: &[&str] = &["std::fs", "std::io"];
+
+fn vfs_boundary(fm: &FileMap, out: &mut Vec<Finding>) {
+    if !vfs_boundary_checked(&fm.rel) {
+        return;
+    }
+    for needle in DIRECT_IO {
+        for off in ident_occurrences(&fm.masked, needle) {
+            if fm.in_test(off) {
+                continue;
+            }
+            push(
+                fm,
+                out,
+                off,
+                "vfs-boundary",
+                format!("`{needle}` outside the VFS boundary"),
+                "route file I/O through aide_util::vfs::Vfs so fault injection and crash tests \
+                 can interpose; only crates/store/src/vfs.rs (RealVfs) touches the real filesystem",
+            );
+        }
     }
 }
 

@@ -102,6 +102,55 @@ fn seqcst_family() {
 }
 
 #[test]
+fn vfs_boundary_family() {
+    check_family(
+        "vfs-boundary",
+        include_str!("fixtures/vfs_boundary_pos.rs"),
+        include_str!("fixtures/vfs_boundary_neg.rs"),
+    );
+}
+
+#[test]
+fn vfs_boundary_exempts_the_real_vfs_module() {
+    let (active, _, _) = lint_source(
+        "crates/store/src/vfs.rs",
+        include_str!("fixtures/vfs_boundary_pos.rs"),
+        &Config::default(),
+    );
+    assert!(
+        active.is_empty(),
+        "RealVfs's module is the sanctioned home for std::fs: {active:?}"
+    );
+}
+
+#[test]
+fn lock_order_knows_the_store_shard_class() {
+    // A store-shard acquisition (rank 25) while a structure guard
+    // (rank 30) is held inverts the table and must fire.
+    let src = "pub fn bad(repo: &Repo) -> usize {\n\
+               \x20   let guard = repo.table.read();\n\
+               \x20   let (_held, sh) = repo.lock_shard(3);\n\
+               \x20   guard.len() + sh.len()\n\
+               }\n";
+    let (active, _, _) = lint_source(REL, src, &Config::default());
+    assert!(
+        active
+            .iter()
+            .any(|f| f.lint == "lock-order" && f.message.contains("`store` (rank")),
+        "expected a store-class inversion, got {active:?}"
+    );
+    // The rank-respecting order — shard mutex first, structure guard
+    // after — is clean.
+    let ok = "pub fn good(repo: &Repo) -> usize {\n\
+              \x20   let (_held, sh) = repo.lock_shard(3);\n\
+              \x20   let guard = repo.table.read();\n\
+              \x20   guard.len() + sh.len()\n\
+              }\n";
+    let (active, _, _) = lint_source(REL, ok, &Config::default());
+    assert!(active.is_empty(), "rank-ordered code misfired: {active:?}");
+}
+
+#[test]
 fn lock_order_reports_both_shapes() {
     let (active, _, _) = lint_source(
         REL,

@@ -1,0 +1,10 @@
+//! Negative fixture: file I/O routed through the `Vfs` trait, which the
+//! fault-injecting implementation can interpose on. Expected: clean.
+
+use aide_util::vfs::{Vfs, VfsError};
+use std::sync::Arc;
+
+pub fn persist(vfs: &Arc<dyn Vfs>, path: &str, body: &str) -> Result<(), VfsError> {
+    vfs.append(path, body.as_bytes())?;
+    vfs.sync(path)
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: library code reaching past the `Vfs` trait to the
+//! real filesystem. Expected: `vfs-boundary` fires.
+
+pub fn persist(path: &str, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body)
+}

@@ -16,8 +16,10 @@
 //!   by revision or by date, and idempotent check-in of unchanged text.
 //! - [`format`](mod@crate::format): the RCS `,v` file format (emit and parse), so archives
 //!   survive round trips through storage.
-//! - [`repo`]: keyed repositories of archives — in-memory and on-disk —
-//!   with the storage accounting the paper's §7 reports on.
+//! - [`repo`]: the keyed [`Repository`] abstraction over archives, its
+//!   in-memory reference implementation, and the storage accounting the
+//!   paper's §7 reports on (the crash-safe on-disk engine lives in
+//!   `aide-store`).
 //! - [`keyword`]: `$Id$` / `$Revision$` / `$Date$` keyword expansion.
 
 pub mod archive;
@@ -28,4 +30,4 @@ pub mod repo;
 
 pub use archive::{Archive, CheckinOutcome, RevId, RevisionMeta};
 pub use delta::Delta;
-pub use repo::{DiskRepository, MemRepository, Repository};
+pub use repo::{MemRepository, Repository};

@@ -2,11 +2,11 @@
 //!
 //! The snapshot service stores one archive per URL (§2.2: histories are
 //! "addressed by their URLs"). A [`Repository`] maps string keys to
-//! [`Archive`]s; [`MemRepository`] backs tests and simulations,
-//! [`DiskRepository`] persists each archive as a `,v` file the way the
-//! real service kept RCS files in its CGI area. Both report the storage
-//! totals §7 measures ("the archive uses under 8 Mbytes of disk storage
-//! (an average of 14.3 Kbytes/URL)").
+//! [`Archive`]s; [`MemRepository`] backs tests and simulations, and the
+//! `aide-store` crate provides `DiskRepository`, the crash-safe on-disk
+//! engine (WAL + append-only segments) behind the same trait. Both report
+//! the storage totals §7 measures ("the archive uses under 8 Mbytes of
+//! disk storage (an average of 14.3 Kbytes/URL)").
 //!
 //! # Concurrency
 //!
@@ -25,15 +25,24 @@
 //! snapshot service's Remember path) serialize per URL with their own
 //! named locks, in shard-index order when they must span shards (see
 //! `aide-snapshot`'s `locks` module for the full ordering invariant).
+//!
+//! # Accounting
+//!
+//! Each shard carries running byte/revision counters maintained on every
+//! store/remove, so [`Repository::stats`] is O(shards), not O(data) — a
+//! serving-path requirement once archives hold years of history. The
+//! counted size of an archive is `emit(&archive).len()`: the bytes its
+//! `,v` serialization occupies, which is also exactly what `aide-store`
+//! keeps on disk, so both backends agree byte-for-byte.
 
 use crate::archive::Archive;
-use crate::format::{emit, parse, FormatError};
+use crate::format::{emit, FormatError};
 use aide_util::checksum::fnv1a64;
 use aide_util::sync::RwLock;
+use aide_util::vfs::VfsError;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io;
-use std::path::{Path, PathBuf};
+use std::io; // aide-lint: allow(vfs-boundary): error *type* only, no I/O
 use std::sync::Arc;
 
 /// Error from repository operations.
@@ -43,6 +52,29 @@ pub enum RepoError {
     Io(io::Error),
     /// A stored archive failed to parse.
     Format(FormatError),
+    /// The storage backend's virtual filesystem failed.
+    Storage(VfsError),
+    /// The stored record for `key` is unreadable (checksum mismatch,
+    /// torn frame, or unparseable archive text). The rest of the
+    /// repository is still serviceable; callers that can degrade should
+    /// treat the key as absent rather than failing the request (see
+    /// `SnapshotService`).
+    Corrupt {
+        /// The key whose record is damaged.
+        key: String,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+}
+
+impl RepoError {
+    /// Builds a [`RepoError::Corrupt`] for `key`.
+    pub fn corrupt(key: &str, detail: impl Into<String>) -> RepoError {
+        RepoError::Corrupt {
+            key: key.to_string(),
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for RepoError {
@@ -50,6 +82,10 @@ impl fmt::Display for RepoError {
         match self {
             RepoError::Io(e) => write!(f, "repository I/O error: {e}"),
             RepoError::Format(e) => write!(f, "repository format error: {e}"),
+            RepoError::Storage(e) => write!(f, "repository storage error: {e}"),
+            RepoError::Corrupt { key, detail } => {
+                write!(f, "corrupt archive record for {key:?}: {detail}")
+            }
         }
     }
 }
@@ -65,6 +101,12 @@ impl From<io::Error> for RepoError {
 impl From<FormatError> for RepoError {
     fn from(e: FormatError) -> Self {
         RepoError::Format(e)
+    }
+}
+
+impl From<VfsError> for RepoError {
+    fn from(e: VfsError) -> Self {
+        RepoError::Storage(e)
     }
 }
 
@@ -113,14 +155,60 @@ pub trait Repository: Send + Sync {
     fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError>;
 }
 
+/// Smart pointers delegate, so a shared backend (e.g. one disk store
+/// serving both a snapshot service and its background compactor) and a
+/// boxed-dynamic backend both satisfy `R: Repository` directly.
+macro_rules! delegate_repository {
+    ($($ptr:ty),*) => {$(
+        impl<T: Repository + ?Sized> Repository for $ptr {
+            fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError> {
+                (**self).load(key)
+            }
+            fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+                (**self).store(key, archive)
+            }
+            fn remove(&self, key: &str) -> Result<bool, RepoError> {
+                (**self).remove(key)
+            }
+            fn keys(&self) -> Result<Vec<String>, RepoError> {
+                (**self).keys()
+            }
+            fn stats(&self) -> Result<StorageStats, RepoError> {
+                (**self).stats()
+            }
+            fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
+                (**self).sizes()
+            }
+        }
+    )*};
+}
+
+delegate_repository!(Box<T>, Arc<T>);
+
 /// Number of independent buckets in [`MemRepository`]. Power of two,
 /// comfortably above typical core counts, so URL-distinct operations
 /// rarely share a lock.
 const MEM_SHARDS: usize = 64;
 
-/// An in-memory repository, sharded for concurrent access.
+/// One stored archive plus its serialized size, computed once at store
+/// time so accounting never re-emits.
+struct Stored {
+    archive: Arc<Archive>,
+    bytes: usize,
+}
+
+/// One bucket of the map plus its running accounting totals.
+#[derive(Default)]
+struct MemShard {
+    map: BTreeMap<String, Stored>,
+    bytes: usize,
+    revisions: usize,
+}
+
+/// An in-memory repository, sharded for concurrent access, with O(shards)
+/// storage accounting.
 pub struct MemRepository {
-    shards: Vec<RwLock<BTreeMap<String, Arc<Archive>>>>,
+    shards: Vec<RwLock<MemShard>>,
 }
 
 impl Default for MemRepository {
@@ -134,12 +222,12 @@ impl MemRepository {
     pub fn new() -> MemRepository {
         MemRepository {
             shards: (0..MEM_SHARDS)
-                .map(|_| RwLock::new(BTreeMap::new()))
+                .map(|_| RwLock::new(MemShard::default()))
                 .collect(),
         }
     }
 
-    fn shard(&self, key: &str) -> &RwLock<BTreeMap<String, Arc<Archive>>> {
+    fn shard(&self, key: &str) -> &RwLock<MemShard> {
         &self.shards[fnv1a64(key.as_bytes()) as usize % MEM_SHARDS]
     }
 
@@ -149,18 +237,53 @@ impl MemRepository {
         let mut all = Vec::new();
         for shard in &self.shards {
             let guard = shard.read();
-            all.extend(guard.iter().map(|(k, a)| (k.clone(), a.clone())));
+            all.extend(
+                guard
+                    .map
+                    .iter()
+                    .map(|(k, s)| (k.clone(), s.archive.clone())),
+            );
         }
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
+    }
+
+    /// The counters' ground truth: a full scan that re-emits every
+    /// archive. O(data); used by the debug-build reconciliation in
+    /// [`stats`](Repository::stats) and directly by tests.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn scan_stats(&self) -> StorageStats {
+        let mut s = StorageStats::default();
+        // Sizes are computed outside the shard guards: emit() can be
+        // expensive and must not block writers (ordering invariant:
+        // bucket guards are never held across serialization).
+        for (_, a) in self.snapshot() {
+            s.archives += 1;
+            s.revisions += a.len();
+            s.bytes += emit(&a).len();
+        }
+        s
     }
 }
 
 impl Clone for MemRepository {
     fn clone(&self) -> Self {
         let copy = MemRepository::new();
-        for (k, a) in self.snapshot() {
-            copy.shard(&k).write().insert(k, a);
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, s) in guard.map.iter() {
+                let target = copy.shard(k);
+                let mut t = target.write();
+                t.bytes += s.bytes;
+                t.revisions += s.archive.len();
+                t.map.insert(
+                    k.clone(),
+                    Stored {
+                        archive: s.archive.clone(),
+                        bytes: s.bytes,
+                    },
+                );
+            }
         }
         copy
     }
@@ -177,17 +300,46 @@ impl fmt::Debug for MemRepository {
 
 impl Repository for MemRepository {
     fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError> {
-        Ok(self.shard(key).read().get(key).cloned())
+        Ok(self
+            .shard(key)
+            .read()
+            .map
+            .get(key)
+            .map(|s| s.archive.clone()))
     }
 
     fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+        // Serialize outside the guard (guards are never held across
+        // emit); the length feeds the shard's running counters.
+        let bytes = emit(archive).len();
+        let revisions = archive.len();
         let handle = Arc::new(archive.clone());
-        self.shard(key).write().insert(key.to_string(), handle);
+        let mut shard = self.shard(key).write();
+        if let Some(old) = shard.map.insert(
+            key.to_string(),
+            Stored {
+                archive: handle,
+                bytes,
+            },
+        ) {
+            shard.bytes -= old.bytes;
+            shard.revisions -= old.archive.len();
+        }
+        shard.bytes += bytes;
+        shard.revisions += revisions;
         Ok(())
     }
 
     fn remove(&self, key: &str) -> Result<bool, RepoError> {
-        Ok(self.shard(key).write().remove(key).is_some())
+        let mut shard = self.shard(key).write();
+        match shard.map.remove(key) {
+            Some(old) => {
+                shard.bytes -= old.bytes;
+                shard.revisions -= old.archive.len();
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     fn keys(&self) -> Result<Vec<String>, RepoError> {
@@ -196,55 +348,31 @@ impl Repository for MemRepository {
 
     fn stats(&self) -> Result<StorageStats, RepoError> {
         let mut s = StorageStats::default();
-        // Sizes are computed outside the shard guards: emit() can be
-        // expensive and must not block writers (ordering invariant:
-        // bucket guards are never held across serialization).
-        for (_, a) in self.snapshot() {
-            s.archives += 1;
-            s.revisions += a.len();
-            s.bytes += emit(&a).len();
+        for shard in &self.shards {
+            let guard = shard.read();
+            s.archives += guard.map.len();
+            s.revisions += guard.revisions;
+            s.bytes += guard.bytes;
         }
+        // In debug builds, reconcile the running counters against the
+        // full scan: any drift is a counter-maintenance bug.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            s,
+            self.scan_stats(),
+            "running stats counters drifted from the full scan"
+        );
         Ok(s)
     }
 
     fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
-        let mut v: Vec<(String, usize)> = self
-            .snapshot()
-            .into_iter()
-            .map(|(k, a)| (k, emit(&a).len()))
-            .collect();
+        let mut v: Vec<(String, usize)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            v.extend(guard.map.iter().map(|(k, s)| (k.clone(), s.bytes)));
+        }
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Ok(v)
-    }
-}
-
-/// A repository persisting each archive as `<escaped-key>,v` in a
-/// directory.
-///
-/// Distinct keys map to distinct files, so concurrent operations on
-/// different URLs are naturally independent; same-key writers rely on
-/// the caller's per-URL exclusion, like [`MemRepository`].
-#[derive(Debug)]
-pub struct DiskRepository {
-    dir: PathBuf,
-}
-
-impl DiskRepository {
-    /// Opens (creating if needed) a repository rooted at `dir`.
-    pub fn open(dir: impl AsRef<Path>) -> Result<DiskRepository, RepoError> {
-        std::fs::create_dir_all(dir.as_ref())?;
-        Ok(DiskRepository {
-            dir: dir.as_ref().to_path_buf(),
-        })
-    }
-
-    /// The directory backing this repository.
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    fn path_for(&self, key: &str) -> PathBuf {
-        self.dir.join(format!("{},v", escape_key(key)))
     }
 }
 
@@ -279,71 +407,6 @@ pub fn unescape_key(escaped: &str) -> Option<String> {
         }
     }
     String::from_utf8(out).ok()
-}
-
-impl Repository for DiskRepository {
-    fn load(&self, key: &str) -> Result<Option<Arc<Archive>>, RepoError> {
-        let path = self.path_for(key);
-        match std::fs::read_to_string(&path) {
-            Ok(text) => Ok(Some(Arc::new(parse(&text)?))),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
-        // Write-then-rename so a crash never leaves a torn archive.
-        let path = self.path_for(key);
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, emit(archive))?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(())
-    }
-
-    fn remove(&self, key: &str) -> Result<bool, RepoError> {
-        match std::fs::remove_file(self.path_for(key)) {
-            Ok(()) => Ok(true),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    fn keys(&self) -> Result<Vec<String>, RepoError> {
-        let mut keys = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
-            if let Some(stem) = name.strip_suffix(",v") {
-                if let Some(key) = unescape_key(stem) {
-                    keys.push(key);
-                }
-            }
-        }
-        keys.sort();
-        Ok(keys)
-    }
-
-    fn stats(&self) -> Result<StorageStats, RepoError> {
-        let mut s = StorageStats::default();
-        for key in self.keys()? {
-            if let Some(a) = self.load(&key)? {
-                s.archives += 1;
-                s.revisions += a.len();
-                s.bytes += std::fs::metadata(self.path_for(&key))?.len() as usize;
-            }
-        }
-        Ok(s)
-    }
-
-    fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
-        let mut v = Vec::new();
-        for key in self.keys()? {
-            let len = std::fs::metadata(self.path_for(&key))?.len() as usize;
-            v.push((key, len));
-        }
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        Ok(v)
-    }
 }
 
 #[cfg(test)]
@@ -389,6 +452,37 @@ mod tests {
     }
 
     #[test]
+    fn mem_running_counters_match_scan_through_churn() {
+        let r = MemRepository::new();
+        for i in 0..40 {
+            let mut a = archive(&format!("page {i}\nline\n"));
+            for rev in 0..(i % 5) {
+                a.checkin(
+                    &format!("page {i}\nrevised {rev}\n"),
+                    "me",
+                    "change",
+                    Timestamp(200 + rev as u64),
+                )
+                .unwrap();
+            }
+            r.store(&format!("http://h{}/p{i}", i % 7), &a).unwrap();
+        }
+        // Overwrite some, remove others: counters must track exactly.
+        for i in 0..40 {
+            if i % 3 == 0 {
+                r.store(&format!("http://h{}/p{i}", i % 7), &archive("tiny\n"))
+                    .unwrap();
+            } else if i % 3 == 1 {
+                r.remove(&format!("http://h{}/p{i}", i % 7)).unwrap();
+            }
+        }
+        let fast = r.stats().unwrap();
+        assert_eq!(fast, r.scan_stats(), "O(shards) stats == full scan");
+        let from_sizes: usize = r.sizes().unwrap().iter().map(|(_, b)| b).sum();
+        assert_eq!(fast.bytes, from_sizes);
+    }
+
+    #[test]
     fn mem_clone_is_deep_snapshot() {
         let r = MemRepository::new();
         r.store("a", &archive("one\n")).unwrap();
@@ -400,6 +494,7 @@ mod tests {
             "clone unaffected by later stores"
         );
         assert_eq!(r.keys().unwrap(), vec!["a", "b"]);
+        assert_eq!(snap.stats().unwrap(), snap.scan_stats());
     }
 
     #[test]
@@ -420,6 +515,14 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(r.stats().unwrap().archives, 160);
+    }
+
+    #[test]
+    fn corrupt_error_displays_key_and_detail() {
+        let e = RepoError::corrupt("http://x/", "crc mismatch in frame 3");
+        let msg = e.to_string();
+        assert!(msg.contains("http://x/"), "{msg}");
+        assert!(msg.contains("crc mismatch"), "{msg}");
     }
 
     #[test]
@@ -448,28 +551,5 @@ mod tests {
         assert_eq!(unescape_key("%"), None);
         assert_eq!(unescape_key("%Z9"), None);
         assert_eq!(unescape_key("%2"), None);
-    }
-
-    #[test]
-    fn disk_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("aide-rcs-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let r = DiskRepository::open(&dir).unwrap();
-        let mut a = archive("v1\n");
-        a.checkin("v2\n", "me", "second", Timestamp(200)).unwrap();
-        r.store("http://host/page.html", &a).unwrap();
-
-        let r2 = DiskRepository::open(&dir).unwrap();
-        let loaded = r2.load("http://host/page.html").unwrap().unwrap();
-        assert_eq!(*loaded, a);
-        assert_eq!(r2.keys().unwrap(), vec!["http://host/page.html"]);
-        let stats = r2.stats().unwrap();
-        assert_eq!(stats.archives, 1);
-        assert_eq!(stats.revisions, 2);
-
-        let r3 = DiskRepository::open(&dir).unwrap();
-        assert!(r3.remove("http://host/page.html").unwrap());
-        assert!(r3.load("http://host/page.html").unwrap().is_none());
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

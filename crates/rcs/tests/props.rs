@@ -106,4 +106,66 @@ proptest! {
     fn key_escape_roundtrip(key in "[ -~]{0,40}") {
         prop_assert_eq!(unescape_key(&escape_key(&key)), Some(key));
     }
+
+    /// The on-disk format must be identity for bodies full of RCS
+    /// keywords — both the collapsed markers (`$Id$`) users write and the
+    /// expanded forms (`$Id: page,v 1.3 ...$`) the CGI layer serves,
+    /// which contain `$`, `:` and `,v` sequences that must not confuse
+    /// the `,v` emitter.
+    #[test]
+    fn archive_roundtrip_with_keyword_expansion(
+        texts in proptest::collection::vec(text_strategy(), 1..6),
+        expand_rev in any::<bool>(),
+    ) {
+        let mut archive = Archive::create("k", &texts[0], "user@host", "init", Timestamp(0));
+        for (i, t) in texts.iter().enumerate().skip(1) {
+            let mut body = format!("$Id$\n$Revision$ $Date$\n{t}");
+            if expand_rev {
+                // Feed back an *expanded* keyword block, as a page saved
+                // from the viewer would contain.
+                let meta = archive.metas().last().unwrap();
+                body = aide_rcs::keyword::expand(&body, meta, "page,v");
+            }
+            archive.checkin(&body, "user@host", "kw", Timestamp(i as u64 * 100)).unwrap();
+        }
+        let parsed = parse(&emit(&archive)).unwrap();
+        prop_assert_eq!(&parsed, &archive);
+        for meta in archive.metas() {
+            prop_assert_eq!(
+                parsed.checkout(meta.id).unwrap(),
+                archive.checkout(meta.id).unwrap()
+            );
+        }
+        // Collapsing the expanded keywords is stable across the round trip.
+        let head = parsed.checkout(parsed.head()).unwrap();
+        prop_assert_eq!(
+            aide_rcs::keyword::collapse(&head),
+            aide_rcs::keyword::collapse(archive.head_text())
+        );
+    }
+
+    /// Histories that pass through the empty body — pages that were
+    /// cleared, then repopulated — round-trip exactly, including an
+    /// archive *created* empty.
+    #[test]
+    fn archive_roundtrip_through_empty_bodies(
+        texts in proptest::collection::vec(text_strategy(), 1..6),
+    ) {
+        let mut archive = Archive::create("k", "", "u", "init", Timestamp(0));
+        for (i, t) in texts.iter().enumerate() {
+            // Alternate real text with empties so deltas cross the
+            // zero-length boundary in both directions.
+            archive.checkin(t, "u", "fill", Timestamp(i as u64 * 100 + 10)).unwrap();
+            archive.checkin("", "u", "clear", Timestamp(i as u64 * 100 + 20)).unwrap();
+        }
+        let parsed = parse(&emit(&archive)).unwrap();
+        prop_assert_eq!(&parsed, &archive);
+        prop_assert_eq!(parsed.checkout(parsed.head()).unwrap(), "");
+        for meta in archive.metas() {
+            prop_assert_eq!(
+                parsed.checkout(meta.id).unwrap(),
+                archive.checkout(meta.id).unwrap()
+            );
+        }
+    }
 }

@@ -53,6 +53,7 @@ use aide_util::time::{Clock, Duration, Timestamp};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A user identifier — an email address in the open model, an opaque
 /// account id in the authenticated one.
@@ -159,6 +160,9 @@ pub struct ServiceStats {
     pub remembers: u64,
     /// Remember operations that stored nothing (unchanged page).
     pub unchanged_remembers: u64,
+    /// Archive loads the repository reported as corrupt and the service
+    /// degraded to "not archived" instead of failing the request.
+    pub degraded_loads: u64,
 }
 
 /// Lock-free counter cells behind [`ServiceStats`].
@@ -167,6 +171,7 @@ struct StatCells {
     htmldiff_invocations: AtomicU64,
     remembers: AtomicU64,
     unchanged_remembers: AtomicU64,
+    degraded_loads: AtomicU64,
 }
 
 /// Sentinel for "no concurrency cap".
@@ -301,6 +306,26 @@ impl<R: Repository> SnapshotService<R> {
         &self.locks
     }
 
+    /// Loads `url`'s archive, degrading gracefully on per-key damage: a
+    /// [`RepoError::Corrupt`] report is counted and served as "not
+    /// archived" rather than failing the request, so one damaged record
+    /// never takes the facility down — every other URL keeps serving,
+    /// and a subsequent Remember of this URL self-heals it by storing a
+    /// fresh archive over the damaged one. Infrastructure failures
+    /// (`Io`/`Storage`) still surface as errors: those say the backend
+    /// is sick, not the record.
+    fn load_degraded(&self, url: &str) -> Result<Option<Arc<Archive>>, ServiceError> {
+        match self.repo.load(url) {
+            Ok(found) => Ok(found),
+            Err(RepoError::Corrupt { .. }) => {
+                self.stats.degraded_loads.fetch_add(1, Ordering::Relaxed);
+                aide_obs::counter("snapshot.degraded.corrupt", 1);
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Remember: checks `body` in as the state of `url` on behalf of
     /// `user`.
     ///
@@ -317,7 +342,7 @@ impl<R: Repository> SnapshotService<R> {
         let _slot = self.admit()?;
         let now = self.clock.now();
         let url_guard = self.locks.lock(&LockTable::url_key(url));
-        let (outcome, created) = match self.repo.load(url)? {
+        let (outcome, created) = match self.load_degraded(url)? {
             Some(existing) => {
                 if existing.head_text() == body {
                     // Unchanged: no clone, no store — the same early-out
@@ -416,8 +441,7 @@ impl<R: Repository> SnapshotService<R> {
             });
         }
         let archive = self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         let old = archive.checkout(from)?;
         let new = archive.checkout(to)?;
@@ -496,8 +520,7 @@ impl<R: Repository> SnapshotService<R> {
     ) -> Result<Vec<(RevisionMeta, bool)>, ServiceError> {
         aide_obs::counter("snapshot.history", 1);
         let archive = self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         Ok(self.controls.read(user, |c| {
             let seen = c.and_then(|c| c.get(url));
@@ -517,8 +540,7 @@ impl<R: Repository> SnapshotService<R> {
     pub fn view(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
         aide_obs::counter("snapshot.view", 1);
         let archive = self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         let body = archive.checkout(rev)?;
         drop(archive);
@@ -533,8 +555,7 @@ impl<R: Repository> SnapshotService<R> {
     /// behalf.
     pub fn revision_text(&self, url: &str, rev: RevId) -> Result<String, ServiceError> {
         let archive = self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         Ok(archive.checkout(rev)?)
     }
@@ -542,8 +563,7 @@ impl<R: Repository> SnapshotService<R> {
     /// The revision in force at `date` (RCS `co -d`).
     pub fn view_at(&self, url: &str, date: Timestamp) -> Result<(RevId, String), ServiceError> {
         let archive = self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
         Ok(archive.checkout_at(date)?)
     }
@@ -551,8 +571,7 @@ impl<R: Repository> SnapshotService<R> {
     /// The head revision of `url`, if archived.
     pub fn head(&self, url: &str) -> Result<Option<(RevId, Timestamp)>, ServiceError> {
         Ok(self
-            .repo
-            .load(url)?
+            .load_degraded(url)?
             .and_then(|a| a.metas().last().map(|m| (m.id, m.date))))
     }
 
@@ -585,6 +604,7 @@ impl<R: Repository> SnapshotService<R> {
             htmldiff_invocations: self.stats.htmldiff_invocations.load(Ordering::Relaxed),
             remembers: self.stats.remembers.load(Ordering::Relaxed),
             unchanged_remembers: self.stats.unchanged_remembers.load(Ordering::Relaxed),
+            degraded_loads: self.stats.degraded_loads.load(Ordering::Relaxed),
         }
     }
 
@@ -613,6 +633,7 @@ impl<R: Repository> SnapshotService<R> {
         aide_obs::gauge("snapshot.remembers", s.remembers);
         aide_obs::gauge("snapshot.unchanged_remembers", s.unchanged_remembers);
         aide_obs::gauge("snapshot.htmldiff_invocations", s.htmldiff_invocations);
+        aide_obs::gauge("snapshot.degraded_loads", s.degraded_loads);
         let l = self.locks.stats();
         aide_obs::gauge("snapshot.locks.acquisitions", l.acquisitions);
         aide_obs::gauge("snapshot.locks.contended", l.contended);
@@ -969,6 +990,85 @@ mod tests {
         assert_eq!(s.snapshot_stats().remembers, 80);
         // Distinct keys: the named locks never collided.
         assert_eq!(s.locks().stats().contended, 0);
+    }
+
+    /// A repository stub whose `load` reports designated keys as
+    /// corrupt — the shape `DiskRepository` produces when a record's
+    /// checksum no longer matches its bytes.
+    struct CorruptingRepo {
+        inner: MemRepository,
+        poisoned: RwLock<std::collections::BTreeSet<String>>,
+    }
+
+    impl CorruptingRepo {
+        fn new() -> CorruptingRepo {
+            CorruptingRepo {
+                inner: MemRepository::new(),
+                poisoned: RwLock::new(Default::default()),
+            }
+        }
+
+        fn poison(&self, key: &str) {
+            self.poisoned.write().insert(key.to_string());
+        }
+    }
+
+    impl Repository for CorruptingRepo {
+        fn load(&self, key: &str) -> Result<Option<std::sync::Arc<Archive>>, RepoError> {
+            if self.poisoned.read().contains(key) {
+                return Err(RepoError::corrupt(key, "checksum mismatch (stubbed)"));
+            }
+            self.inner.load(key)
+        }
+        fn store(&self, key: &str, archive: &Archive) -> Result<(), RepoError> {
+            // Storing fresh content over a damaged record heals it.
+            self.poisoned.write().remove(key);
+            self.inner.store(key, archive)
+        }
+        fn remove(&self, key: &str) -> Result<bool, RepoError> {
+            self.inner.remove(key)
+        }
+        fn keys(&self) -> Result<Vec<String>, RepoError> {
+            self.inner.keys()
+        }
+        fn stats(&self) -> Result<StorageStats, RepoError> {
+            self.inner.stats()
+        }
+        fn sizes(&self) -> Result<Vec<(String, usize)>, RepoError> {
+            self.inner.sizes()
+        }
+    }
+
+    #[test]
+    fn corrupt_archive_degrades_instead_of_failing() {
+        let clock = Clock::starting_at(Timestamp(1_000_000));
+        let repo = CorruptingRepo::new();
+        let s = SnapshotService::new(repo, clock.clone(), 64, Duration::hours(4));
+        s.remember(&fred(), URL, "<P>good body.").unwrap();
+        s.remember(&fred(), "http://other/", "<P>unrelated.")
+            .unwrap();
+
+        // The record rots on disk.
+        s.repo.poison(URL);
+
+        // Reads degrade to "not archived" — the request completes with a
+        // well-defined answer instead of a storage error...
+        assert!(matches!(
+            s.history(&fred(), URL),
+            Err(ServiceError::NeverArchived(_))
+        ));
+        assert_eq!(s.head(URL).unwrap(), None);
+        // ...while untouched URLs are unaffected.
+        assert_eq!(s.history(&fred(), "http://other/").unwrap().len(), 1);
+        let degraded = s.snapshot_stats().degraded_loads;
+        assert!(degraded >= 2, "degradations counted: {degraded}");
+
+        // A fresh Remember self-heals: it sees "no archive", creates a
+        // new one, and the URL serves again.
+        let out = s.remember(&fred(), URL, "<P>good body.").unwrap();
+        assert!(out.created_archive, "healed by storing a fresh archive");
+        assert_eq!(s.history(&fred(), URL).unwrap().len(), 1);
+        assert_eq!(s.head(URL).unwrap().map(|(r, _)| r), Some(RevId(1)));
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! The checksummed record framing shared by the WAL and segment files.
+//!
+//! Every durable record — a stored archive or a tombstone — is one
+//! frame:
+//!
+//! ```text
+//! +------+----+---------+----------+-----------+-----------+---------+
+//! | 0xA5 | op | key_len | data_len | key bytes | data ...  |  crc64  |
+//! | 1 B  | 1B | u32 LE  | u32 LE   | key_len B | data_len B| u64 LE  |
+//! +------+----+---------+----------+-----------+-----------+---------+
+//! ```
+//!
+//! For a store record (`op = 1`) the data is a 4-byte little-endian
+//! revision count followed by the archive's `,v` serialization (the
+//! revision count lets recovery account stats without parsing every
+//! archive body). A tombstone (`op = 2`) carries no data. The trailing
+//! checksum is FNV-1a over everything between the magic byte and the
+//! checksum itself, so a torn append — the only in-file damage a
+//! crashed append-only writer can produce — is detected at the exact
+//! frame where the tear begins, and recovery truncates from there
+//! (the prefix-consistency invariant, DESIGN.md §4i).
+
+use aide_util::checksum::fnv1a64;
+
+/// Frame magic byte: catches scans that drift off frame boundaries.
+pub const MAGIC: u8 = 0xA5;
+/// Op code: the frame's data is an archive record.
+pub const OP_STORE: u8 = 1;
+/// Op code: the key was removed; the frame masks any older record.
+pub const OP_REMOVE: u8 = 2;
+
+/// Fixed bytes before the key: magic, op, key_len, data_len.
+pub const HEADER_LEN: usize = 1 + 1 + 4 + 4;
+/// Fixed bytes after the data: the FNV-1a checksum.
+pub const TRAILER_LEN: usize = 8;
+
+/// Sanity cap on key length: no URL is this long; a larger value in a
+/// header means we are reading garbage.
+const MAX_KEY_LEN: u32 = 1 << 20;
+/// Sanity cap on record payloads (256 MiB per archive).
+const MAX_DATA_LEN: u32 = 1 << 28;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// [`OP_STORE`] or [`OP_REMOVE`].
+    pub op: u8,
+    /// The repository key.
+    pub key: String,
+    /// Payload (revision count + `,v` text for stores, empty for
+    /// tombstones).
+    pub data: Vec<u8>,
+    /// Total encoded length of this frame in bytes.
+    pub len: usize,
+}
+
+/// Why a frame failed to decode. Any variant at offset `o` of a file
+/// means bytes `o..` are a torn tail (or corruption) — nothing beyond
+/// the failure point can be trusted, because lengths come from the
+/// frame itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a complete frame.
+    Truncated,
+    /// First byte is not [`MAGIC`].
+    BadMagic,
+    /// Unknown op code.
+    BadOp,
+    /// A length field exceeds its sanity cap.
+    BadLength,
+    /// The checksum does not match the bytes.
+    BadCrc,
+    /// The key bytes are not UTF-8.
+    BadKey,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FrameError::Truncated => "truncated frame",
+            FrameError::BadMagic => "bad frame magic",
+            FrameError::BadOp => "bad frame op",
+            FrameError::BadLength => "frame length exceeds sanity cap",
+            FrameError::BadCrc => "frame checksum mismatch",
+            FrameError::BadKey => "frame key is not UTF-8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Encodes one frame.
+pub fn encode(op: u8, key: &str, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + key.len() + data.len() + TRAILER_LEN);
+    out.push(MAGIC);
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(data);
+    let crc = fnv1a64(&out[1..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Total encoded size of a frame for `key` with `data_len` payload bytes.
+pub fn encoded_len(key: &str, data_len: usize) -> usize {
+    HEADER_LEN + key.len() + data_len + TRAILER_LEN
+}
+
+fn read_u32(buf: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Decodes the frame starting at the beginning of `buf`.
+pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+    if buf.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    if buf[0] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let op = buf[1];
+    if op != OP_STORE && op != OP_REMOVE {
+        return Err(FrameError::BadOp);
+    }
+    let key_len = read_u32(buf, 2);
+    let data_len = read_u32(buf, 6);
+    if key_len > MAX_KEY_LEN || data_len > MAX_DATA_LEN {
+        return Err(FrameError::BadLength);
+    }
+    let total = HEADER_LEN + key_len as usize + data_len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let crc_off = total - TRAILER_LEN;
+    let mut crc_bytes = [0u8; 8];
+    crc_bytes.copy_from_slice(&buf[crc_off..total]);
+    if fnv1a64(&buf[1..crc_off]) != u64::from_le_bytes(crc_bytes) {
+        return Err(FrameError::BadCrc);
+    }
+    let key = std::str::from_utf8(&buf[HEADER_LEN..HEADER_LEN + key_len as usize])
+        .map_err(|_| FrameError::BadKey)?
+        .to_string();
+    let data = buf[HEADER_LEN + key_len as usize..crc_off].to_vec();
+    Ok(Frame {
+        op,
+        key,
+        data,
+        len: total,
+    })
+}
+
+/// Iterates the frames of a whole file image, yielding each frame with
+/// its byte offset; stops at the first undecodable byte and reports the
+/// clean prefix length (`== buf.len()` when the file is whole).
+pub fn scan(buf: &[u8]) -> (Vec<(u64, Frame)>, usize, Option<FrameError>) {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    while off < buf.len() {
+        match decode(&buf[off..]) {
+            Ok(f) => {
+                let len = f.len;
+                frames.push((off as u64, f));
+                off += len;
+            }
+            Err(e) => return (frames, off, Some(e)),
+        }
+    }
+    (frames, off, None)
+}
+
+/// Builds the payload of a store frame: revision count + `,v` text.
+pub fn store_payload(revisions: u32, emitted: &str) -> Vec<u8> {
+    let mut data = Vec::with_capacity(4 + emitted.len());
+    data.extend_from_slice(&revisions.to_le_bytes());
+    data.extend_from_slice(emitted.as_bytes());
+    data
+}
+
+/// Splits a store frame's payload back into (revisions, `,v` text).
+pub fn split_payload(data: &[u8]) -> Result<(u32, &str), FrameError> {
+    if data.len() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let revisions = read_u32(data, 0);
+    let text = std::str::from_utf8(&data[4..]).map_err(|_| FrameError::BadKey)?;
+    Ok((revisions, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_store_and_tombstone() {
+        let payload = store_payload(3, "head 1.3\ntext\n");
+        let buf = encode(OP_STORE, "http://h/p", &payload);
+        let f = decode(&buf).unwrap();
+        assert_eq!(f.op, OP_STORE);
+        assert_eq!(f.key, "http://h/p");
+        assert_eq!(f.len, buf.len());
+        assert_eq!(f.len, encoded_len("http://h/p", payload.len()));
+        let (revs, text) = split_payload(&f.data).unwrap();
+        assert_eq!(revs, 3);
+        assert_eq!(text, "head 1.3\ntext\n");
+
+        let t = decode(&encode(OP_REMOVE, "k", &[])).unwrap();
+        assert_eq!(t.op, OP_REMOVE);
+        assert!(t.data.is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let buf = encode(OP_STORE, "key", &store_payload(1, "body\n"));
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at byte {i} must not decode cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let buf = encode(OP_STORE, "key", &store_payload(1, "body\n"));
+        for keep in 0..buf.len() {
+            assert!(decode(&buf[..keep]).is_err(), "prefix {keep} decoded");
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut buf = encode(OP_STORE, "a", &store_payload(1, "x\n"));
+        let first = buf.len();
+        buf.extend_from_slice(&encode(OP_REMOVE, "b", &[]));
+        let whole = buf.len();
+        let (frames, clean, err) = scan(&buf);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].0, first as u64);
+        assert_eq!(clean, whole);
+        assert!(err.is_none());
+
+        // Tear the second frame: scan keeps the first, reports the tear.
+        let torn = &buf[..whole - 3];
+        let (frames, clean, err) = scan(torn);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(clean, first);
+        assert_eq!(err, Some(FrameError::Truncated));
+    }
+
+    #[test]
+    fn insane_lengths_are_rejected_not_allocated() {
+        let mut buf = encode(OP_STORE, "k", &store_payload(1, "x\n"));
+        buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&buf), Err(FrameError::BadLength));
+    }
+}

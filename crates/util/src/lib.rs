@@ -20,6 +20,10 @@
 //!   external lock crate is available).
 //! - [`rng`]: the deterministic xorshift64* PRNG shared by the workload
 //!   generators and the simulated Web's fault injection.
+//! - [`vfs`]: the virtual-filesystem seam the storage engine writes
+//!   through, with in-memory and fault-injecting implementations (the
+//!   real-filesystem one lives in `aide-store`, the only module allowed
+//!   to touch `std::fs`).
 
 pub mod checksum;
 pub mod lines;
@@ -28,6 +32,7 @@ pub mod rng;
 pub mod robots;
 pub mod sync;
 pub mod time;
+pub mod vfs;
 
 pub use checksum::{crc32, fnv1a64, PageChecksum};
 pub use pattern::Pattern;

@@ -146,6 +146,62 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`], with the same
+/// poison-recovering policy as the lock wrappers. Needed by the storage
+/// engine's group commit (waiters park until the leader's fsync covers
+/// their sequence number); lives here because [`MutexGuard`]'s inner
+/// `std` guard is private to this module.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// reacquires the lock.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            inner: self
+                .inner
+                .wait(guard.inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Blocks like [`wait`](Condvar::wait) until `condition` holds.
+    pub fn wait_while<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 /// A reader-writer lock whose guard access never fails.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
@@ -251,8 +307,9 @@ pub mod lockrank {
 
     /// The lock-rank table (DESIGN.md §4h). Order of acquisition is
     /// ascending rank: single-flight key, then per-URL named lock, then
-    /// per-user named lock, then structure (shard/bucket) guards, which
-    /// are leaves.
+    /// per-user named lock, then the storage engine's per-shard lock
+    /// (held across WAL commits while the caller still holds the URL
+    /// lock), then structure (shard/bucket) guards, which are leaves.
     pub const TABLE: &[LockClass] = &[
         LockClass {
             name: "flight",
@@ -267,6 +324,11 @@ pub mod lockrank {
         LockClass {
             name: "user",
             rank: 20,
+            exclusive: true,
+        },
+        LockClass {
+            name: "store",
+            rank: 25,
             exclusive: true,
         },
         LockClass {
@@ -449,9 +511,10 @@ mod tests {
             drop(f);
             let url = lockrank::acquire("url", "url:http://x/");
             let user = lockrank::acquire("user", "user:fred");
+            let store = lockrank::acquire("store", "store:shard:7");
             let s1 = lockrank::acquire("structure", "shard:3");
             let s2 = lockrank::acquire("structure", "shard:4");
-            drop((s1, s2, user, url));
+            drop((s1, s2, store, user, url));
         })
         .unwrap();
     }

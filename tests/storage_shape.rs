@@ -7,19 +7,42 @@
 //! bytes depend on 1995's pages; the *shape* — modest per-URL average,
 //! heavy concentration in a few churners, delta storage far below full
 //! copies — must reproduce.
+//!
+//! The shape suite runs against **both** repository backends — the
+//! in-memory reference and the persistent `aide-store` engine (over an
+//! in-memory VFS, with thresholds low enough that checkpoints and
+//! compactions fire mid-workload) — and the two must agree byte for
+//! byte, because `StorageStats` accounts the same `,v` serialization
+//! either way.
 
-use aide_rcs::repo::{MemRepository, Repository};
+use aide_rcs::repo::{MemRepository, Repository, StorageStats};
 use aide_simweb::net::Web;
 use aide_snapshot::service::{SnapshotService, UserId};
+use aide_store::{DiskRepository, StoreOptions};
 use aide_util::time::{Clock, Duration, Timestamp};
+use aide_util::vfs::{MemVfs, Vfs};
 use aide_workloads::evolve::tick_all;
 use aide_workloads::sites::{population, PopulationConfig};
+use std::sync::Arc;
 
-#[test]
-fn archive_storage_has_the_section7_shape() {
+/// A disk repository over a fresh in-memory VFS, tuned so the §7
+/// workload actually exercises checkpointing and compaction.
+fn disk_repo() -> DiskRepository {
+    let opts = StoreOptions {
+        checkpoint_wal_bytes: 256 << 10,
+        compact_min_dead_bytes: 128 << 10,
+        max_segments: 4,
+        ..StoreOptions::default()
+    };
+    DiskRepository::open(MemVfs::shared() as Arc<dyn Vfs>, "aide", opts).unwrap()
+}
+
+/// Runs the scaled-down §7 archival workload (120 URLs, 3 churners,
+/// 90 days at weekly polling) against `repo`, asserts the three shape
+/// claims, and returns the final stats for cross-backend comparison.
+fn section7_shape_on<R: Repository>(repo: R) -> StorageStats {
     let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 6, 1, 0, 0, 0));
     let web = Web::new(clock.clone());
-    // Scaled-down population (test speed): 120 URLs, 3 churners.
     let cfg = PopulationConfig {
         urls: 120,
         hosts: 12,
@@ -28,7 +51,7 @@ fn archive_storage_has_the_section7_shape() {
         churner_bytes: 40_000,
     };
     let mut pages = population(&web, 2025, &cfg);
-    let service = SnapshotService::new(MemRepository::new(), clock.clone(), 16, Duration::hours(1));
+    let service = SnapshotService::new(repo, clock.clone(), 16, Duration::hours(1));
     let daemon = UserId::new("archive@daemon");
 
     // 90 days of automatic archival on change (weekly polling cadence).
@@ -87,37 +110,52 @@ fn archive_storage_has_the_section7_shape() {
             .unwrap();
         assert!(idx < 3, "top-3 by size should be the churners, got {url}");
     }
+    stats
+}
+
+#[test]
+fn archive_storage_has_the_section7_shape() {
+    let mem = section7_shape_on(MemRepository::new());
+    let disk = section7_shape_on(disk_repo());
+    // Same seeded workload, same accounting rules: the persistent
+    // backend must agree with the in-memory reference to the byte.
+    assert_eq!(mem, disk, "backends disagree on §7 accounting");
 }
 
 #[test]
 fn unchanged_pages_cost_one_revision_forever() {
-    let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 6, 1, 0, 0, 0));
-    let web = Web::new(clock.clone());
-    web.set_page(
-        "http://quiet/page.html",
-        "<HTML>never changes</HTML>",
-        clock.now(),
-    )
-    .unwrap();
-    let service = SnapshotService::new(MemRepository::new(), clock.clone(), 16, Duration::hours(1));
-    let daemon = UserId::new("archive@daemon");
-    let mut size_after_first = 0;
-    for day in 0..30 {
-        clock.advance(Duration::days(1));
-        let body = web
-            .request(&aide_simweb::http::Request::get("http://quiet/page.html"))
-            .unwrap()
-            .body;
-        service
-            .remember(&daemon, "http://quiet/page.html", &body)
-            .unwrap();
-        if day == 0 {
-            size_after_first = service.storage().unwrap().bytes;
+    for repo in [
+        Box::new(MemRepository::new()) as Box<dyn Repository>,
+        Box::new(disk_repo()) as Box<dyn Repository>,
+    ] {
+        let clock = Clock::starting_at(Timestamp::from_ymd_hms(1995, 6, 1, 0, 0, 0));
+        let web = Web::new(clock.clone());
+        web.set_page(
+            "http://quiet/page.html",
+            "<HTML>never changes</HTML>",
+            clock.now(),
+        )
+        .unwrap();
+        let service = SnapshotService::new(repo, clock.clone(), 16, Duration::hours(1));
+        let daemon = UserId::new("archive@daemon");
+        let mut size_after_first = 0;
+        for day in 0..30 {
+            clock.advance(Duration::days(1));
+            let body = web
+                .request(&aide_simweb::http::Request::get("http://quiet/page.html"))
+                .unwrap()
+                .body;
+            service
+                .remember(&daemon, "http://quiet/page.html", &body)
+                .unwrap();
+            if day == 0 {
+                size_after_first = service.storage().unwrap().bytes;
+            }
         }
+        let stats = service.storage().unwrap();
+        assert_eq!(stats.revisions, 1, "no-op check-ins stored nothing");
+        assert_eq!(stats.bytes, size_after_first);
     }
-    let stats = service.storage().unwrap();
-    assert_eq!(stats.revisions, 1, "no-op check-ins stored nothing");
-    assert_eq!(stats.bytes, size_after_first);
 }
 
 #[test]
@@ -134,8 +172,10 @@ fn disk_repository_roundtrips_a_small_deployment() {
         churner_bytes: 9_000,
     };
     let mut pages = population(&web, 77, &cfg);
+    // Real filesystem this time: the whole WAL/segment/recovery stack
+    // runs against actual files under a temp directory.
     let service = SnapshotService::new(
-        aide_rcs::repo::DiskRepository::open(&dir).unwrap(),
+        DiskRepository::open_dir(&dir).unwrap(),
         clock.clone(),
         16,
         Duration::hours(1),
@@ -152,8 +192,9 @@ fn disk_repository_roundtrips_a_small_deployment() {
             service.remember(&daemon, &p.url, &body).unwrap();
         }
     }
-    // A fresh repository handle over the same directory sees everything.
-    let reopened = aide_rcs::repo::DiskRepository::open(&dir).unwrap();
+    drop(service);
+    // A fresh repository over the same directory recovers everything.
+    let reopened = DiskRepository::open_dir(&dir).unwrap();
     let stats = reopened.stats().unwrap();
     assert_eq!(stats.archives, 10);
     assert!(stats.revisions >= 10);
