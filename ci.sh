@@ -47,4 +47,15 @@ AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench htmldiff_e2e >/dev/null
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench snapshot_contention >/dev/null
 AIDE_BENCH_SMOKE=1 cargo bench -q -p aide-bench --bench storage_engine >/dev/null
 
+echo "== bench regression guard (committed BENCH_htmldiff.json vs budget)"
+cargo run -q --release -p aide-bench --bin bench_guard -- \
+    BENCH_htmldiff.json crates/bench/benches/htmldiff_budget.json
+
+echo "== capacity curve determinism (same seed => byte-identical curves)"
+cargo run -q --release -p aide-bench --bin exp_capacity -- \
+    --out target/capacity_a.json
+cargo run -q --release -p aide-bench --bin exp_capacity -- \
+    --out target/capacity_b.json
+cmp target/capacity_a.json target/capacity_b.json
+
 echo "CI green."

@@ -60,6 +60,12 @@ fn bench_tokenize(c: &mut Criterion) {
 
 fn bench_length_screen(c: &mut Criterion) {
     // The §5.1 speed-optimization ablation as a wall-clock measurement.
+    // Both arms force the naive full DP: under the anchored fast path
+    // almost no sentence pair is ever probed, so the screen's effect
+    // drowns in tokenize/render overhead (the two arms used to measure
+    // within noise of each other). The naive path probes every old×new
+    // sentence pair, which is exactly the traffic the screen exists to
+    // cut, so the on/off delta isolates the screen and nothing else.
     use aide_htmldiff::compare::{compare_tokens, CompareOptions};
     let (old, new) = pair(16 * 1024, EditModel::InPlaceEdit { sentences: 4 });
     let old_t = tokenize(&old);
@@ -73,6 +79,7 @@ fn bench_length_screen(c: &mut Criterion) {
                 &CompareOptions {
                     match_threshold: 0.5,
                     length_screen: Some(0.4),
+                    force_naive: true,
                     ..CompareOptions::default()
                 },
             ))
@@ -86,6 +93,7 @@ fn bench_length_screen(c: &mut Criterion) {
                 &CompareOptions {
                     match_threshold: 0.5,
                     length_screen: None,
+                    force_naive: true,
                     ..CompareOptions::default()
                 },
             ))

@@ -1,0 +1,97 @@
+//! Bench regression guard: checks the committed `BENCH_htmldiff.json`
+//! against the budget in `crates/bench/benches/htmldiff_budget.json`.
+//!
+//! The PR that killed the anchorless quadratic fallback bounded the
+//! full-replacement outlier: the 8KB `replace` edit model must stay
+//! within `replace_over_inplace_max` times the `inplace` baseline and
+//! under `replace_max_ns` absolutely. Whenever the bench file is
+//! regenerated, this guard fails CI if the worst case has crept back.
+//!
+//! Both files are flat, machine-written JSON; parsing is a line scan
+//! (no serde in the workspace). Usage:
+//!
+//! ```text
+//! bench_guard [BENCH_htmldiff.json [htmldiff_budget.json]]
+//! ```
+
+use std::process::ExitCode;
+
+/// Extracts the first `"key": <number>` after position `from`.
+fn number_after(text: &str, key: &str, from: usize) -> Option<f64> {
+    let at = text[from..].find(&format!("\"{key}\""))? + from;
+    let rest = &text[at + key.len() + 2..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// `ns_per_iter` of the named benchmark entry.
+fn bench_ns(text: &str, name: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{name}\""))?;
+    number_after(text, "ns_per_iter", at)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_htmldiff.json".into());
+    let budget_path = args
+        .next()
+        .unwrap_or_else(|| "crates/bench/benches/htmldiff_budget.json".into());
+
+    let bench = match std::fs::read_to_string(&bench_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budget = match std::fs::read_to_string(&budget_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {budget_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (Some(replace), Some(inplace)) = (
+        bench_ns(&bench, "htmldiff_8kb_by_edit_model/replace"),
+        bench_ns(&bench, "htmldiff_8kb_by_edit_model/inplace"),
+    ) else {
+        eprintln!("bench_guard: {bench_path} lacks the 8kb replace/inplace entries");
+        return ExitCode::FAILURE;
+    };
+    let (Some(max_ratio), Some(max_ns)) = (
+        number_after(&budget, "replace_over_inplace_max", 0),
+        number_after(&budget, "replace_max_ns", 0),
+    ) else {
+        eprintln!("bench_guard: {budget_path} lacks the budget keys");
+        return ExitCode::FAILURE;
+    };
+
+    let ratio = replace / inplace;
+    println!(
+        "bench_guard: replace {:.2}ms / inplace {:.2}ms = {ratio:.2}x (budget {max_ratio}x, \
+         abs {:.1}ms)",
+        replace / 1e6,
+        inplace / 1e6,
+        max_ns / 1e6
+    );
+    let mut ok = true;
+    if ratio > max_ratio {
+        eprintln!("bench_guard: FAIL replace/inplace {ratio:.2}x exceeds budget {max_ratio}x");
+        ok = false;
+    }
+    if replace > max_ns {
+        eprintln!("bench_guard: FAIL replace {replace:.0}ns exceeds absolute budget {max_ns:.0}ns");
+        ok = false;
+    }
+    if ok {
+        println!("bench_guard: within budget");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

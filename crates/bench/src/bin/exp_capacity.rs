@@ -1,0 +1,328 @@
+//! Open-loop capacity experiment: latency percentiles and saturation
+//! curves for the snapshot service under a fixed arrival schedule.
+//!
+//! §4.2 worries that "the need to execute HtmlDiff on the server can
+//! result in high processor loads" and floats admission control as the
+//! remedy; SiteStory's evaluation (Brunelle & Nelson, PAPERS.md) answers
+//! the same question with ApacheBench-style open-loop load. This
+//! experiment reproduces that methodology deterministically:
+//!
+//! - the arrival schedule is Poisson with a fixed seed
+//!   ([`aide_workloads::openloop::schedule`]);
+//! - every request *really executes* against a [`SnapshotService`] —
+//!   archives are stored, HtmlDiff runs, the diff cache fills — on a
+//!   virtual clock;
+//! - each request's service time is charged from a deterministic
+//!   work-unit model (below), and a FIFO queue simulation turns offered
+//!   rate + service times into per-request latencies;
+//! - latencies are observed into `aide-obs` histograms
+//!   (`capacity.latency_us.*`) and the reported percentiles are read
+//!   back off those histograms.
+//!
+//! No wall clock is read anywhere, so two runs emit byte-identical
+//! `BENCH_capacity.json` files — ci.sh runs the experiment twice and
+//! `cmp`s the outputs.
+//!
+//! # Service-time model
+//!
+//! Virtual microseconds, calibrated against the measured BENCH_htmldiff
+//! numbers (sub-millisecond small-edit diffs at 8KB, ~2.5ms worst case):
+//!
+//! - poll (head + view):        `150 + body/64`
+//! - check-in (remember):       `250 + body/32 + store`
+//! - diff (diff_since_last):    cache hit `200 + html/64`, miss
+//!   `600 + html/16 + store`
+//! - `store` (per request, from obs counter deltas — inline
+//!   maintenance, single driver thread, so the deltas are exact):
+//!   `fsyncs·400 + wal_bytes/64 + seg_bytes/128`. The mem backend
+//!   performs no store I/O, so its `store` term is always zero; the
+//!   difference between the two curves is exactly the storage engine.
+
+use aide_htmldiff::Options as DiffOptions;
+use aide_obs::MetricsRegistry;
+use aide_rcs::repo::{MemRepository, Repository};
+use aide_snapshot::service::{SnapshotService, UserId};
+use aide_store::repo::{DiskRepository, StoreOptions};
+use aide_util::time::{Clock, Duration, Timestamp};
+use aide_util::vfs::{MemVfs, Vfs};
+use aide_workloads::edits::EditModel;
+use aide_workloads::openloop::{schedule, simulate_queue, OpenLoopConfig, RequestKind, RequestMix};
+use aide_workloads::page::Page;
+use aide_workloads::rng::Rng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const SEED: u64 = 1021;
+const REQUESTS: usize = 2_000;
+const URLS: usize = 24;
+const USERS: usize = 8;
+const RATES: &[u64] = &[250, 500, 1_000, 2_000, 4_000, 8_000];
+const BASE_TIME: Timestamp = Timestamp(1_000_000);
+
+/// Latency histogram bounds in µs: log-spaced from 100µs to 60s.
+const LATENCY_BOUNDS: &[u64] = &[
+    100, 150, 200, 300, 500, 750, 1_000, 1_500, 2_000, 3_000, 5_000, 7_500, 10_000, 15_000, 20_000,
+    30_000, 50_000, 75_000, 100_000, 150_000, 200_000, 300_000, 500_000, 750_000, 1_000_000,
+    2_000_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// One point on a backend's capacity curve.
+struct CurvePoint {
+    rate_per_sec: u64,
+    throughput_per_sec: u64,
+    utilization_permille: u64,
+    mean_service_us: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    diff_cache_hit_permille: u64,
+}
+
+/// Store-I/O counter readings used to delta per-request store cost.
+#[derive(Default, Clone, Copy)]
+struct StoreCounters {
+    fsyncs: u64,
+    wal_bytes: u64,
+    seg_bytes: u64,
+}
+
+fn store_counters(reg: &MetricsRegistry) -> StoreCounters {
+    let snap = reg.snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    StoreCounters {
+        fsyncs: get("store.wal.fsync"),
+        wal_bytes: get("store.wal.append.bytes"),
+        seg_bytes: get("store.append.bytes"),
+    }
+}
+
+fn store_cost_us(before: StoreCounters, after: StoreCounters) -> u64 {
+    (after.fsyncs - before.fsyncs) * 400
+        + (after.wal_bytes - before.wal_bytes) / 64
+        + (after.seg_bytes - before.seg_bytes) / 128
+}
+
+fn url_name(u: usize) -> String {
+    format!("http://cap/doc{u:02}.html")
+}
+
+/// Runs the full request schedule at one offered rate against a fresh
+/// service over `repo`, returning the curve point.
+fn run_rate<R: Repository>(repo: R, rate: u64, reg: &Arc<MetricsRegistry>) -> CurvePoint {
+    let clock = Clock::starting_at(BASE_TIME);
+    let service = SnapshotService::new(repo, clock.clone(), 256, Duration::hours(8));
+    let users: Vec<UserId> = (0..USERS)
+        .map(|u| UserId::new(&format!("u{u}@cap")))
+        .collect();
+    let diff_opts = DiffOptions::default();
+
+    // Page population: ~4KB structured pages, each with its own edit
+    // stream so check-ins change real content.
+    let mut rng = Rng::new(SEED ^ 0x9e37_79b9);
+    let mut pages: Vec<Page> = (0..URLS)
+        .map(|_| Page::generate(&mut rng, 4 * 1024))
+        .collect();
+    let mut steps = [0u64; URLS];
+
+    // Prepopulate: every user has seen revision 1 of every page, so
+    // diff_since_last always has a baseline.
+    for (u, page) in pages.iter().enumerate() {
+        let body = page.render();
+        for user in &users {
+            service.remember(user, &url_name(u), &body).unwrap();
+        }
+    }
+
+    let arrivals = schedule(&OpenLoopConfig {
+        seed: SEED,
+        requests: REQUESTS,
+        rate_per_sec: rate,
+        urls: URLS,
+        users: USERS,
+        mix: RequestMix::default(),
+    });
+
+    let mut service_us = Vec::with_capacity(arrivals.len());
+    let mut arrival_us = Vec::with_capacity(arrivals.len());
+    let mut diff_requests = 0u64;
+    let mut diff_cache_hits = 0u64;
+    for a in &arrivals {
+        clock.set(Timestamp(BASE_TIME.0 + a.at_us / 1_000_000));
+        let url = url_name(a.url);
+        let user = &users[a.user];
+        let before = store_counters(reg);
+        let cost = match a.kind {
+            RequestKind::Poll => {
+                let (rev, _) = service.head(&url).unwrap().unwrap();
+                let body = service.view(&url, rev).unwrap();
+                150 + body.len() as u64 / 64
+            }
+            RequestKind::CheckIn => {
+                let edit = EditModel::InPlaceEdit { sentences: 1 };
+                steps[a.url] += 1;
+                edit.apply(&mut pages[a.url], &mut rng, steps[a.url]);
+                let body = pages[a.url].render();
+                service.remember(user, &url, &body).unwrap();
+                let after = store_counters(reg);
+                250 + body.len() as u64 / 32 + store_cost_us(before, after)
+            }
+            RequestKind::Diff => {
+                diff_requests += 1;
+                let body = pages[a.url].render();
+                let out = service
+                    .diff_since_last(user, &url, &body, &diff_opts)
+                    .unwrap();
+                let after = store_counters(reg);
+                if out.from_cache {
+                    diff_cache_hits += 1;
+                    200 + out.html.len() as u64 / 64
+                } else {
+                    600 + out.html.len() as u64 / 16 + store_cost_us(before, after)
+                }
+            }
+        };
+        arrival_us.push(a.at_us);
+        service_us.push(cost);
+    }
+
+    let latencies = simulate_queue(&arrival_us, &service_us, 1);
+    for (a, &lat) in arrivals.iter().zip(&latencies) {
+        let kind = match a.kind {
+            RequestKind::Poll => "poll",
+            RequestKind::CheckIn => "checkin",
+            RequestKind::Diff => "diff",
+        };
+        reg.observe_with(&format!("capacity.latency_us.{kind}"), lat, LATENCY_BOUNDS);
+        reg.observe_with("capacity.latency_us.all", lat, LATENCY_BOUNDS);
+    }
+
+    let snap = reg.snapshot();
+    let hist = &snap.histograms["capacity.latency_us.all"];
+    let total_service: u64 = service_us.iter().sum();
+    let makespan = arrival_us
+        .iter()
+        .zip(&latencies)
+        .map(|(a, l)| a + l)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    CurvePoint {
+        rate_per_sec: rate,
+        throughput_per_sec: REQUESTS as u64 * 1_000_000 / makespan,
+        utilization_permille: total_service * 1_000 / makespan,
+        mean_service_us: total_service / REQUESTS as u64,
+        p50_us: hist.quantile(0.50),
+        p90_us: hist.quantile(0.90),
+        p99_us: hist.quantile(0.99),
+        max_us: latencies.iter().copied().max().unwrap_or(0),
+        diff_cache_hit_permille: (diff_cache_hits * 1_000)
+            .checked_div(diff_requests)
+            .unwrap_or(0),
+    }
+}
+
+fn run_backend(backend: &str) -> (Vec<CurvePoint>, Option<u64>) {
+    let mut curve = Vec::new();
+    for &rate in RATES {
+        // Fresh registry + fresh service per point: histogram and
+        // store-counter state never leaks between rates.
+        let reg = Arc::new(MetricsRegistry::new());
+        let prev = aide_obs::install(reg.clone());
+        let point = match backend {
+            "mem" => run_rate(MemRepository::new(), rate, &reg),
+            "disk" => {
+                let vfs: Arc<dyn Vfs> = MemVfs::shared();
+                let repo = DiskRepository::open(vfs, "capacity", StoreOptions::default()).unwrap();
+                run_rate(repo, rate, &reg)
+            }
+            _ => unreachable!("unknown backend"),
+        };
+        aide_obs::uninstall();
+        if let Some(prev) = prev {
+            aide_obs::install(prev);
+        }
+        curve.push(point);
+    }
+    let saturation = curve
+        .iter()
+        .find(|p| p.utilization_permille >= 950)
+        .map(|p| p.rate_per_sec);
+    (curve, saturation)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_capacity.json".to_string());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seed\": {SEED}, \"requests\": {REQUESTS}, \"urls\": {URLS}, \
+         \"users\": {USERS}, \"mix\": \"poll:6 checkin:3 diff:1\", \"servers\": 1}},"
+    );
+    json.push_str("  \"backends\": [\n");
+
+    for (bi, backend) in ["mem", "disk"].iter().enumerate() {
+        println!("=== backend: {backend} ===");
+        println!(
+            "{:>10} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "rate/s", "thruput/s", "util%", "p50 µs", "p90 µs", "p99 µs", "max µs", "hit%"
+        );
+        let (curve, saturation) = run_backend(backend);
+        let _ = writeln!(json, "    {{\"backend\": \"{backend}\", \"curve\": [");
+        for (i, p) in curve.iter().enumerate() {
+            println!(
+                "{:>10} {:>12} {:>8.1} {:>10} {:>10} {:>10} {:>10} {:>10.1}",
+                p.rate_per_sec,
+                p.throughput_per_sec,
+                p.utilization_permille as f64 / 10.0,
+                p.p50_us,
+                p.p90_us,
+                p.p99_us,
+                p.max_us,
+                p.diff_cache_hit_permille as f64 / 10.0,
+            );
+            let _ = write!(
+                json,
+                "      {{\"rate_per_sec\": {}, \"throughput_per_sec\": {}, \
+                 \"utilization_permille\": {}, \"mean_service_us\": {}, \"p50_us\": {}, \
+                 \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+                 \"diff_cache_hit_permille\": {}}}",
+                p.rate_per_sec,
+                p.throughput_per_sec,
+                p.utilization_permille,
+                p.mean_service_us,
+                p.p50_us,
+                p.p90_us,
+                p.p99_us,
+                p.max_us,
+                p.diff_cache_hit_permille,
+            );
+            json.push_str(if i + 1 < curve.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("    ],\n");
+        match saturation {
+            Some(rate) => {
+                println!("saturation: {rate} req/s\n");
+                let _ = writeln!(json, "    \"saturation_rate_per_sec\": {rate}}}");
+            }
+            None => {
+                println!("saturation: not reached in sweep\n");
+                let _ = writeln!(json, "    \"saturation_rate_per_sec\": null}}");
+            }
+        }
+        if bi == 0 {
+            // Rewrite the closing brace line to carry the separator.
+            json.truncate(json.len() - 1);
+            json.push_str(",\n");
+        }
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}

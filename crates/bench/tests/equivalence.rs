@@ -69,3 +69,38 @@ fn fast_path_matches_naive_across_all_edit_models() {
         }
     }
 }
+
+/// The full-replacement model is the adversarial case for anchoring:
+/// almost no token survives, so the alignment degenerates to the
+/// rescue-anchor + Hirschberg fallback. Sweep it wider and at the bench
+/// target size (8KB) to pin the fallback's byte-identical contract.
+#[test]
+fn full_replacement_sweep_matches_naive() {
+    let naive = Options {
+        compare: CompareOptions {
+            force_naive: true,
+            ..CompareOptions::default()
+        },
+        ..Options::default()
+    };
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed * 101 + 13);
+        let bytes = 4 * 1024 + (seed as usize % 5) * 1024; // 4–8KB
+        let mut page = Page::generate(&mut rng, bytes);
+        let old = page.render();
+        EditModel::FullReplace.apply(&mut page, &mut rng, seed);
+        let new = page.render();
+
+        let f = html_diff(&old, &new, &Options::default());
+        let n = html_diff(&old, &new, &naive);
+        assert_eq!(
+            f.html, n.html,
+            "full replacement, seed {seed}: fast path diverged from naive DP"
+        );
+        assert_eq!(
+            format!("{:?}", f.stats),
+            format!("{:?}", n.stats),
+            "full replacement, seed {seed}: stats diverged"
+        );
+    }
+}

@@ -19,14 +19,20 @@
 //!    at the same cost.
 //! 2. **Anchor** the remaining region at tokens whose class id occurs
 //!    exactly once on each side (patience-style) and whose *context
-//!    confirms them*: a neighboring pair must also be verified identical
-//!    on at least one side, which every anchor inside unchanged material
-//!    is, while a unique pair stranded in churn — where the DP may
-//!    prefer a weight-tied exchange over it — is not. If any confirmed
+//!    confirms them*: on at least one side, the verified-identical run
+//!    adjacent to the anchor must contain another *unique* pair (or
+//!    reach a region corner) — which every anchor inside unchanged
+//!    material does, while a unique pair stranded in churn — where the
+//!    DP may prefer a weight-tied exchange over it — does not, even
+//!    when mass-repeated filler (`<P>` against `<P>`) happens to agree
+//!    next to it. If any confirmed
 //!    pair has to be discarded to keep anchors mutually non-crossing,
 //!    the input transposed content across other matches — the one
 //!    regime where forcing anchors can lose weight — and the whole
-//!    region is aligned as a single gap instead.
+//!    region is aligned as a single gap instead. When *no* unique pair
+//!    survives (full-replacement pages), a secondary rescue retries on
+//!    rare-but-not-unique hashes confirmed by runs of consecutive
+//!    verified-identical pairs — see [`AnchorConfig::rescue_max_freq`].
 //! 3. **Align the gaps** between consecutive anchors independently with
 //!    the weighted LCS, each gap scored through a flat dense memo keyed
 //!    by gap-local indices. Gaps whose tokens all match with weight ≤ 1
@@ -50,6 +56,19 @@
 //! one; the property suite asserts pair-for-pair equality across the
 //! workload edit models. Inputs that transpose unique content violate
 //! the premise; crossing anchors detect (and defuse) the pairwise case.
+//!
+//! The premise has a second failure mode with no transposition at all:
+//! in a page that was replaced wholesale, a *stray* surviving pair (one
+//! image tag amid churn) is unique and verified, yet a chain of partial
+//! sentence matches crossing it can outweigh it, so the canonical DP
+//! alignment routes around it. No local confirmation can rule this out —
+//! it is a global weight question — so anchors are only ever *forced*
+//! when they are dense ([`AnchorConfig::min_density_permille`]): on real
+//! edit-structured revisions confirmed anchors blanket the unchanged
+//! majority of the page (measured ≥ 570‰ across the workload edit
+//! models), while replacement-churn middles measure under 100‰ and fall
+//! through to the single-gap exact alignment, whose dense, banded, and
+//! Hirschberg paths all replay the canonical backtrack by construction.
 //! Callers that need the naive path unconditionally (ablation
 //! experiments counting score probes) must bypass this module — in
 //! HtmlDiff, via `CompareOptions::force_naive`.
@@ -59,8 +78,10 @@
 //! or anchor decision, so a hash collision can degrade the decomposition
 //! but never corrupt the alignment.
 
+use crate::hirschberg::weighted_lcs_hirschberg;
 use crate::lcs::weighted_lcs;
 use crate::myers::myers_diff;
+use crate::scratch;
 use aide_util::sync::parallel_map;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -76,6 +97,23 @@ pub struct AnchorConfig {
     pub myers_min_cells: usize,
     /// Worker threads for scoring independent gaps (1 = inline/serial).
     pub workers: usize,
+    /// When no unique-hash anchor survives, retry anchoring on hashes
+    /// occurring the same number of times on both sides, up to this
+    /// frequency ("secondary-anchor rescue"). `< 2` disables rescue.
+    pub rescue_max_freq: u32,
+    /// A rescue candidate must sit inside a run of at least this many
+    /// consecutive verified-identical pairs (with at least one on each
+    /// side), so only shared structural material — headers, footers,
+    /// navigation — can rescue-anchor, never a coincidental repeat.
+    pub rescue_min_run: usize,
+    /// Anchors (unique or rescue) are *forced* into the alignment only
+    /// when they cover at least this many permille of the shorter middle
+    /// side. Below the gate the middle aligns as one exact gap instead:
+    /// in anchor-sparse churn the weighted DP can legitimately route
+    /// around any individual verified pair (a chain of partial sentence
+    /// matches outweighs it), so forcing sparse anchors risks diverging
+    /// from the canonical alignment. `0` disables the gate.
+    pub min_density_permille: u32,
 }
 
 impl Default for AnchorConfig {
@@ -84,6 +122,9 @@ impl Default for AnchorConfig {
             small_cells: 1 << 12,
             myers_min_cells: 1 << 12,
             workers: 1,
+            rescue_max_freq: 3,
+            rescue_min_run: 3,
+            min_density_permille: 300,
         }
     }
 }
@@ -106,6 +147,20 @@ pub struct AnchorStats {
     pub gap_cells: usize,
     /// Cells the naive full DP would have evaluated (`n·m`).
     pub full_cells: usize,
+    /// Anchors recovered by the secondary (rare-hash) rescue after every
+    /// unique-hash anchor died.
+    pub rescue_anchors: usize,
+    /// Gaps aligned through the dense flat memo.
+    pub dense_gaps: usize,
+    /// Gaps aligned by the banded (Myers-bounded) DP.
+    pub banded_gaps: usize,
+    /// Gaps aligned by the linear-space Hirschberg replay (too large for
+    /// the dense memo).
+    pub hirschberg_gaps: usize,
+    /// Confirmed anchors withheld by the density gate
+    /// ([`AnchorConfig::min_density_permille`]); the middle was aligned
+    /// as a single exact gap instead of being split at them.
+    pub gated_anchors: usize,
 }
 
 impl AnchorStats {
@@ -123,8 +178,9 @@ impl AnchorStats {
     }
 }
 
-/// Dense-memo size cap per gap; larger gaps fall back to a hash-map memo
-/// so memory stays bounded on pathological inputs.
+/// Dense-memo size cap per gap; larger gaps fall back to the
+/// linear-space Hirschberg replay (unmemoized) so memory stays bounded
+/// on pathological inputs.
 const DENSE_MEMO_CELL_LIMIT: usize = 1 << 24;
 
 /// Computes a maximum-weight alignment of `0..a_ids.len()` against
@@ -180,7 +236,7 @@ pub fn anchored_weighted_lcs(
 
     if !mid_a.is_empty() && !mid_b.is_empty() {
         let cells = mid_a.len().saturating_mul(mid_b.len());
-        let anchors = if cells <= cfg.small_cells {
+        let mut anchors = if cells <= cfg.small_cells {
             Vec::new()
         } else {
             let (chain, crossed) =
@@ -190,10 +246,33 @@ pub fn anchored_weighted_lcs(
                 // Transposed content: forcing any of these anchors could
                 // cost weight the full DP would keep. One gap, no forcing.
                 Vec::new()
+            } else if chain.is_empty() && cfg.rescue_max_freq >= 2 {
+                // Every unique hash died (full-replacement pages): retry
+                // on rare-but-not-unique hashes before surrendering the
+                // whole middle to one giant gap DP.
+                let rescue =
+                    find_rescue_anchors(a_ids, b_ids, mid_a.clone(), mid_b.clone(), cfg, verify_eq);
+                stats.rescue_anchors = rescue.len();
+                rescue
             } else {
                 chain
             }
         };
+        // Density gate: forcing anchors is only trusted in the
+        // anchor-dense regime (edit-structured revisions, where confirmed
+        // anchors blanket the unchanged material). A sparse chain amid
+        // churn — a full replacement that happens to keep one image tag —
+        // is exactly where the weighted DP can route *around* a verified
+        // unique pair, so those anchors are withheld and the middle runs
+        // as one exact gap.
+        let min_side = mid_a.len().min(mid_b.len());
+        if cfg.min_density_permille > 0
+            && anchors.len() * 1000 < cfg.min_density_permille as usize * min_side
+        {
+            stats.gated_anchors = anchors.len();
+            stats.rescue_anchors = 0;
+            anchors = Vec::new();
+        }
         stats.anchors = anchors.len();
 
         // 2. Decompose into gaps between consecutive anchors.
@@ -232,7 +311,13 @@ pub fn anchored_weighted_lcs(
 
         // Stitch: gap k precedes anchor k; the final gap follows the last
         // anchor.
-        for (k, mut chunk) in gap_pairs.into_iter().enumerate() {
+        for (k, (mut chunk, path)) in gap_pairs.into_iter().enumerate() {
+            match path {
+                GapPath::Empty => {}
+                GapPath::Dense => stats.dense_gaps += 1,
+                GapPath::Banded => stats.banded_gaps += 1,
+                GapPath::Hirschberg => stats.hirschberg_gaps += 1,
+            }
             pairs.append(&mut chunk);
             if let Some(&anchor) = anchors.get(k) {
                 pairs.push(anchor);
@@ -283,23 +368,142 @@ fn find_anchors(
         .collect();
     cands.sort_unstable();
     cands.retain(|&(i, j)| verify_eq(i, j));
-    // Context confirmation: keep only anchors with a verified-identical
-    // neighbor pair on at least one side (a region boundary counts).
-    // A unique pair stranded inside churn — e.g. adjacent delete+insert
-    // edits that locally transpose it across a repeated token — can tie
-    // with an exchange the DP's backtrack prefers; an anchor inside
-    // unchanged material never can, and unchanged material is exactly
-    // where neighbors also agree.
+    // Context confirmation: keep only anchors whose verified-identical
+    // neighborhood contains *another unique pair* (or extends to a region
+    // corner) on at least one side. A unique pair stranded inside churn —
+    // an image tag a link-churn edit moved across its neighbor, a stray
+    // survivor of a full replacement — can tie with (or lose to) an
+    // exchange the DP's backtrack prefers; an anchor inside unchanged
+    // material never can, and unchanged material is exactly where unique
+    // neighbors also agree. Crucially, a neighboring pair of
+    // mass-repeated filler (`<P>` against `<P>`) confirms nothing — every
+    // filler token matches every other — so the walk skips through
+    // verified filler pairs until it reaches a unique pair (confirmed), a
+    // mismatch (not confirmed), or the walk cap (not confirmed; a longer
+    // filler run carries no more meaning than a short one).
     let pair_eq = |i: usize, j: usize| a_ids[i] == b_ids[j] && verify_eq(i, j);
-    cands.retain(|&(i, j)| {
-        let prev = (i == 0 && j == 0) || (i > 0 && j > 0 && pair_eq(i - 1, j - 1));
-        let next = (i + 1 == end_a && j + 1 == end_b)
-            || (i + 1 < end_a && j + 1 < end_b && pair_eq(i + 1, j + 1));
-        prev || next
-    });
+    let unique_pair = |i: usize, j: usize| {
+        a_ids[i] == b_ids[j]
+            && occ
+                .get(&a_ids[i])
+                .is_some_and(|o| o.a_count == 1 && o.b_count == 1)
+    };
+    const CONFIRM_WALK_CAP: usize = 32;
+    let confirmed_back = |i: usize, j: usize| {
+        for k in 1..=CONFIRM_WALK_CAP {
+            if i < k && j < k {
+                return true; // verified run reaches the region corner
+            }
+            if i < k || j < k || !pair_eq(i - k, j - k) {
+                return false;
+            }
+            if unique_pair(i - k, j - k) {
+                return true;
+            }
+        }
+        false
+    };
+    let confirmed_fwd = |i: usize, j: usize| {
+        for k in 1..=CONFIRM_WALK_CAP {
+            if i + k == end_a && j + k == end_b {
+                return true;
+            }
+            if i + k >= end_a || j + k >= end_b || !pair_eq(i + k, j + k) {
+                return false;
+            }
+            if unique_pair(i + k, j + k) {
+                return true;
+            }
+        }
+        false
+    };
+    cands.retain(|&(i, j)| confirmed_back(i, j) || confirmed_fwd(i, j));
     let chain = longest_increasing_chain(&cands);
     let crossed = cands.len() - chain.len();
     (chain, crossed)
+}
+
+/// Secondary-anchor rescue: anchor pairs drawn from hashes that are
+/// *rare but not unique* — occurring the same number of times (2 to
+/// `rescue_max_freq`) on both sides.
+///
+/// Occurrences are paired positionally (the p-th on one side with the
+/// p-th on the other), verified by `verify_eq`, and kept only when the
+/// pair sits inside a run of at least `rescue_min_run` consecutive
+/// verified-identical pairs with at least one neighbor pair on *each*
+/// side. Real pages that replace their entire body keep shared
+/// structural material — headers, footers, navigation bars — whose
+/// tokens repeat across revisions without being unique; those runs are
+/// exactly what this recovers. A coincidental repeat inside churn has no
+/// surrounding run and is rejected, and — as with unique anchors — any
+/// crossing among survivors means transposed content, in which case
+/// **all** rescue anchors are dropped and the middle stays one exact
+/// gap. The equivalence premise is the same as the unique-anchor one
+/// (edits do not move surviving runs across other surviving runs), with
+/// strictly stronger local evidence; the property and equivalence suites
+/// enforce pair-for-pair DP equality over every edit model, rescue
+/// included.
+fn find_rescue_anchors(
+    a_ids: &[u64],
+    b_ids: &[u64],
+    mid_a: Range<usize>,
+    mid_b: Range<usize>,
+    cfg: &AnchorConfig,
+    verify_eq: &impl Fn(usize, usize) -> bool,
+) -> Vec<(usize, usize)> {
+    let max_freq = cfg.rescue_max_freq as usize;
+    let mut occ_a: HashMap<u64, Vec<usize>> = HashMap::new();
+    for i in mid_a.clone() {
+        occ_a.entry(a_ids[i]).or_default().push(i);
+    }
+    let mut occ_b: HashMap<u64, Vec<usize>> = HashMap::new();
+    for j in mid_b.clone() {
+        occ_b.entry(b_ids[j]).or_default().push(j);
+    }
+    let mut cands: Vec<(usize, usize)> = Vec::new();
+    for (id, pos_a) in &occ_a {
+        if pos_a.len() < 2 || pos_a.len() > max_freq {
+            continue;
+        }
+        let Some(pos_b) = occ_b.get(id) else { continue };
+        if pos_b.len() != pos_a.len() {
+            continue;
+        }
+        for (&i, &j) in pos_a.iter().zip(pos_b) {
+            if verify_eq(i, j) {
+                cands.push((i, j));
+            }
+        }
+    }
+    cands.sort_unstable();
+    cands.dedup();
+    // Run confirmation: count consecutive verified-identical pairs
+    // through the candidate at the same relative offset.
+    let pair_eq = |i: usize, j: usize| a_ids[i] == b_ids[j] && verify_eq(i, j);
+    cands.retain(|&(i, j)| {
+        let mut back = 0usize;
+        while i > mid_a.start + back
+            && j > mid_b.start + back
+            && pair_eq(i - back - 1, j - back - 1)
+        {
+            back += 1;
+        }
+        let mut fwd = 0usize;
+        while i + fwd + 1 < mid_a.end
+            && j + fwd + 1 < mid_b.end
+            && pair_eq(i + fwd + 1, j + fwd + 1)
+        {
+            fwd += 1;
+        }
+        back >= 1 && fwd >= 1 && back + fwd + 1 >= cfg.rescue_min_run
+    });
+    // Positional pairing can itself produce crossings when occurrence
+    // order differs between sides; treat any crossing as transposition.
+    let chain = longest_increasing_chain(&cands);
+    if chain.len() != cands.len() {
+        return Vec::new();
+    }
+    chain
 }
 
 /// Longest subsequence of `cands` (already sorted by first component,
@@ -332,7 +536,23 @@ fn longest_increasing_chain(cands: &[(usize, usize)]) -> Vec<(usize, usize)> {
     chain
 }
 
-/// Aligns one gap, returning absolute-index pairs.
+/// Which algorithm aligned a gap (aggregated into [`AnchorStats`] and,
+/// upstream, the `diff.fallback.*` observability counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GapPath {
+    /// One side of the gap was empty; nothing to align.
+    Empty,
+    /// Dense flat memo (possibly walked by the linear-space replay, but
+    /// memory is bounded by the dense memo).
+    Dense,
+    /// Banded (Myers-bounded) DP.
+    Banded,
+    /// Linear-space Hirschberg replay, unmemoized: the gap was too large
+    /// for any dense memo.
+    Hirschberg,
+}
+
+/// Aligns one gap, returning absolute-index pairs and the path taken.
 #[allow(clippy::too_many_arguments)]
 fn align_gap(
     ra: Range<usize>,
@@ -344,11 +564,11 @@ fn align_gap(
     cfg: &AnchorConfig,
     score: &impl Fn(usize, usize) -> u64,
     verify_eq: &impl Fn(usize, usize) -> bool,
-) -> Vec<(usize, usize)> {
+) -> (Vec<(usize, usize)>, GapPath) {
     let gn = ra.len();
     let gm = rb.len();
     if gn == 0 || gm == 0 {
-        return Vec::new();
+        return (Vec::new(), GapPath::Empty);
     }
     let cells = gn.saturating_mul(gm);
 
@@ -360,15 +580,27 @@ fn align_gap(
     {
         if let Some(pairs) = banded_unit_gap(ra.clone(), rb.clone(), a_ids, b_ids, score, verify_eq)
         {
-            return pairs;
+            return (pairs, GapPath::Banded);
         }
     }
 
-    // Gap DP through a flat memo keyed by gap-local indices. The memo
-    // matters because the backtrack (and Hirschberg's recursion, for big
-    // gaps) revisit cells whose scoring is the expensive part.
-    if cells <= DENSE_MEMO_CELL_LIMIT {
-        let memo: Vec<Cell<u64>> = vec![Cell::new(u64::MAX); cells];
+    let (gap_pairs, path) = if cells <= crate::lcs::DP_CELL_LIMIT {
+        // Small enough for the full-matrix DP, which probes each cell
+        // exactly once in its forward pass; only the backtrack re-probes
+        // (O(gn + gm) cells of a pure score), so a memo would cost more
+        // in fill and checks than the recomputation it avoids.
+        let pairs = weighted_lcs(gn, gm, &|gi, gj| score(ra.start + gi, rb.start + gj));
+        (pairs, GapPath::Dense)
+    } else if cells <= DENSE_MEMO_CELL_LIMIT {
+        // Gap DP through a flat memo keyed by gap-local indices. The
+        // memo matters because the linear-space replay's recursion
+        // revisits cells (a log factor) whose scoring is the expensive
+        // part. The memo buffer is pooled scratch viewed as cells
+        // (`u64::MAX` = unscored) so back-to-back diffs reuse the
+        // allocation.
+        let mut memo_buf = scratch::take_u64_buf();
+        memo_buf.resize(cells, u64::MAX);
+        let memo = Cell::from_mut(memo_buf.as_mut_slice()).as_slice_of_cells();
         let gscore = |gi: usize, gj: usize| {
             let c = &memo[gi * gm + gj];
             if c.get() == u64::MAX {
@@ -376,23 +608,27 @@ fn align_gap(
             }
             c.get()
         };
-        weighted_lcs(gn, gm, &gscore)
+        let pairs = weighted_lcs(gn, gm, &gscore);
+        scratch::give_u64_buf(memo_buf);
+        (pairs, GapPath::Dense)
     } else {
-        let memo: std::cell::RefCell<HashMap<(usize, usize), u64>> =
-            std::cell::RefCell::new(HashMap::new());
-        let gscore = |gi: usize, gj: usize| {
-            if let Some(&w) = memo.borrow().get(&(gi, gj)) {
-                return w;
-            }
-            let w = score(ra.start + gi, rb.start + gj);
-            memo.borrow_mut().insert((gi, gj), w);
-            w
-        };
-        weighted_lcs(gn, gm, &gscore)
-    }
-    .into_iter()
-    .map(|(gi, gj)| (ra.start + gi, rb.start + gj))
-    .collect()
+        // Too large for any dense memo: the linear-space replay, scoring
+        // cells on demand. It recomputes scores (a log factor in the
+        // worst case) but keeps memory at O(gm·log gn) where the old
+        // hash-map memo grew with every cell the recursion touched —
+        // quadratic on exactly the inputs this path exists for.
+        (
+            weighted_lcs_hirschberg(gn, gm, &|gi, gj| score(ra.start + gi, rb.start + gj)),
+            GapPath::Hirschberg,
+        )
+    };
+    (
+        gap_pairs
+            .into_iter()
+            .map(|(gi, gj)| (ra.start + gi, rb.start + gj))
+            .collect(),
+        path,
+    )
 }
 
 /// Banded DP over an all-unit-weight gap, reproducing the full DP's
@@ -506,7 +742,7 @@ mod tests {
         AnchorConfig {
             small_cells: 0,
             myers_min_cells: usize::MAX,
-            workers: 1,
+            ..AnchorConfig::default()
         }
     }
 
@@ -640,7 +876,7 @@ mod tests {
         let cfg = AnchorConfig {
             small_cells: 0,
             myers_min_cells: 16,
-            workers: 1,
+            ..AnchorConfig::default()
         };
         let (pairs, _) = run(&a, &b, &cfg);
         assert_eq!(pairs, dp(&a, &b));
@@ -657,6 +893,111 @@ mod tests {
             let cfg = AnchorConfig { workers, ..eager() };
             assert_eq!(run(&a, &b, &cfg).0, serial, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn rescue_anchors_recover_shared_runs() {
+        // Replaced body (all-fresh ids on both sides) framed by a shared
+        // header and footer whose tokens repeat twice per side — never
+        // unique, so the old path saw zero anchors and ran one giant
+        // gap. The shared structure dominates the page (as on real
+        // mostly-boilerplate sites), keeping the rescue chain above the
+        // density gate; the rescue must anchor inside the header/footer
+        // runs and still reproduce the DP exactly.
+        let header = [60u64, 61, 62, 60, 61, 62];
+        let footer = [70u64, 71, 72, 70, 71, 72];
+        let mut a: Vec<u64> = header.to_vec();
+        a.extend(1000..1012u64);
+        a.extend(footer);
+        a.push(900); // distinct tails keep the suffix trim out
+        let mut b: Vec<u64> = header.to_vec();
+        b.extend(2000..2012u64);
+        b.extend(footer);
+        b.push(901);
+        let (pairs, stats) = run(&a, &b, &eager());
+        assert_eq!(pairs, dp(&a, &b));
+        assert!(stats.rescue_anchors > 0, "{stats:?}");
+        assert!(
+            stats.gap_cells < stats.full_cells,
+            "rescue saved no work: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn rescue_rejects_transposed_runs() {
+        // Two repeated runs swap places: positional pairing crosses, so
+        // every rescue anchor must be dropped and the middle aligned as
+        // one exact gap.
+        let run_a = [60u64, 61, 62, 60, 61, 62];
+        let run_b = [70u64, 71, 72, 70, 71, 72];
+        let mut a: Vec<u64> = run_a.to_vec();
+        a.extend(run_b);
+        a.push(900);
+        let mut b: Vec<u64> = run_b.to_vec();
+        b.extend(run_a);
+        b.push(901);
+        let (pairs, stats) = run(&a, &b, &eager());
+        assert_eq!(pairs, dp(&a, &b));
+        assert_eq!(stats.rescue_anchors, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn sparse_anchors_are_density_gated() {
+        // The stray-survivor regime: a page replaced wholesale except for
+        // one short shared run (an image tag between two <P>s). The run
+        // is unique, verified, and context-confirmed — and still not
+        // trustworthy, because a weighted DP can route partial matches
+        // around it. The gate must withhold it and align one exact gap.
+        let mut a: Vec<u64> = (1000..1030).collect();
+        a.extend([5000, 5001, 5002]);
+        a.extend(1030..1060);
+        let mut b: Vec<u64> = (2000..2045).collect();
+        b.extend([5000, 5001, 5002]);
+        b.extend(2045..2060);
+        let (pairs, stats) = run(&a, &b, &eager());
+        assert_eq!(pairs, dp(&a, &b));
+        assert_eq!(stats.anchors, 0, "{stats:?}");
+        assert_eq!(stats.gated_anchors, 3, "{stats:?}");
+        assert_eq!(stats.gaps, 1, "{stats:?}");
+
+        // Disabling the gate forces them again (the pre-gate behavior,
+        // still DP-exact on this input where the run is genuinely part
+        // of the optimum).
+        let cfg = AnchorConfig {
+            min_density_permille: 0,
+            ..eager()
+        };
+        let (pairs, stats) = run(&a, &b, &cfg);
+        assert_eq!(pairs, dp(&a, &b));
+        assert_eq!(stats.anchors, 3, "{stats:?}");
+        assert_eq!(stats.gated_anchors, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn rescue_disabled_still_matches_dp() {
+        let mut a: Vec<u64> = (0..30).map(|x| 100 + x % 3).collect();
+        let mut b = a.clone();
+        a.push(900);
+        b.push(901);
+        let cfg = AnchorConfig {
+            rescue_max_freq: 0,
+            ..eager()
+        };
+        let (pairs, stats) = run(&a, &b, &cfg);
+        assert_eq!(pairs, dp(&a, &b));
+        assert_eq!(stats.rescue_anchors, 0);
+    }
+
+    #[test]
+    fn gap_path_stats_classify_gaps() {
+        // A middle too churned to anchor runs exactly one dense gap.
+        let a: Vec<u64> = (0..100).map(|x| 1000 + x).collect();
+        let b: Vec<u64> = (0..100).map(|x| 2000 + x).collect();
+        let (pairs, stats) = run(&a, &b, &eager());
+        assert_eq!(pairs, dp(&a, &b));
+        assert_eq!(stats.dense_gaps, 1, "{stats:?}");
+        assert_eq!(stats.banded_gaps, 0, "{stats:?}");
+        assert_eq!(stats.hirschberg_gaps, 0, "{stats:?}");
     }
 
     #[test]

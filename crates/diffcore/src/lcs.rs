@@ -10,11 +10,16 @@
 //! Two algorithms are provided:
 //!
 //! - [`weighted_lcs_dp`]: the classic full-matrix dynamic program,
-//!   `O(n·m)` time **and** space. Fast and simple for small inputs.
-//! - [`weighted_lcs_hirschberg`]: Hirschberg's divide-and-conquer
-//!   ([Hirschberg 1977], the paper's reference \[8\]), `O(n·m)` time but
-//!   only `O(n + m)` space, which is what makes sentence-level comparison
-//!   of large documents feasible.
+//!   `O(n·m)` time **and** space. Fast and simple for small inputs. Its
+//!   backtrack — prefer the diagonal, then up, then left — defines the
+//!   *canonical alignment* every other path in the workspace must
+//!   reproduce exactly (DESIGN.md §4e).
+//! - [`weighted_lcs_hirschberg`] (in [`crate::hirschberg`]): a
+//!   divide-and-conquer replay of that same backtrack in `O(m·log n)`
+//!   space ([Hirschberg 1977], the paper's reference \[8\], adapted so
+//!   the output is pair-for-pair identical to the DP rather than merely
+//!   weight-equal), which is what makes sentence-level comparison of
+//!   large documents feasible.
 //!
 //! [`weighted_lcs`] dispatches between them on input size.
 //!
@@ -23,7 +28,13 @@
 //! or apply cheap screens (the sentence-length test) before paying for a
 //! full comparison. A score of `0` means "these tokens do not match".
 //!
+//! DP tables and score rows come from the [`crate::scratch`] buffer
+//! pool, so back-to-back diffs on one thread reuse their allocations.
+//!
 //! [Hirschberg 1977]: https://doi.org/10.1145/322033.322044
+
+pub use crate::hirschberg::weighted_lcs_hirschberg;
+use crate::scratch;
 
 /// Scores a pair of tokens; `0` means no match.
 ///
@@ -41,14 +52,15 @@ impl<A: ?Sized, B: ?Sized, F: Fn(&A, &B) -> u64> Scorer<A, B> for F {
 }
 
 /// Size (in matrix cells) below which the full DP is used by
-/// [`weighted_lcs`]. Above it, Hirschberg's linear-space algorithm runs.
+/// [`weighted_lcs`]. Above it, the linear-space Hirschberg replay runs.
 pub const DP_CELL_LIMIT: usize = 1 << 21;
 
 /// Computes a maximum-weight alignment of `0..n` against `0..m`.
 ///
 /// Returns matched index pairs, strictly increasing in both components.
 /// Dispatches to [`weighted_lcs_dp`] for small inputs and
-/// [`weighted_lcs_hirschberg`] for large ones.
+/// [`weighted_lcs_hirschberg`] for large ones; the two produce identical
+/// pairs, so the dispatch threshold is invisible in the output.
 ///
 /// # Examples
 ///
@@ -93,7 +105,8 @@ pub fn weighted_lcs_dp(
 ) -> Vec<(usize, usize)> {
     // table[i][j] = best weight aligning a[..i] with b[..j].
     let width = m + 1;
-    let mut table = vec![0u64; (n + 1) * width];
+    let mut table = scratch::take_u64_buf();
+    table.resize((n + 1) * width, 0);
     for i in 1..=n {
         for j in 1..=m {
             let up = table[(i - 1) * width + j];
@@ -122,111 +135,9 @@ pub fn weighted_lcs_dp(
             j -= 1;
         }
     }
+    scratch::give_u64_buf(table);
     pairs.reverse();
     pairs
-}
-
-/// Forward score row: best[j] = weight of best alignment of
-/// `a[a_lo..a_hi]` against `b[b_lo..b_lo+j]`.
-fn score_row_forward(
-    a_lo: usize,
-    a_hi: usize,
-    b_lo: usize,
-    b_hi: usize,
-    score: &impl Fn(usize, usize) -> u64,
-) -> Vec<u64> {
-    let m = b_hi - b_lo;
-    let mut prev = vec![0u64; m + 1];
-    let mut cur = vec![0u64; m + 1];
-    for i in a_lo..a_hi {
-        cur[0] = 0;
-        for j in 1..=m {
-            let w = score(i, b_lo + j - 1);
-            let diag = if w > 0 { prev[j - 1] + w } else { 0 };
-            cur[j] = prev[j].max(cur[j - 1]).max(diag);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev
-}
-
-/// Backward score row: best[j] = weight of best alignment of
-/// `a[a_lo..a_hi]` against `b[b_lo+j..b_hi]`.
-fn score_row_backward(
-    a_lo: usize,
-    a_hi: usize,
-    b_lo: usize,
-    b_hi: usize,
-    score: &impl Fn(usize, usize) -> u64,
-) -> Vec<u64> {
-    let m = b_hi - b_lo;
-    let mut prev = vec![0u64; m + 1];
-    let mut cur = vec![0u64; m + 1];
-    for i in (a_lo..a_hi).rev() {
-        cur[m] = 0;
-        for j in (0..m).rev() {
-            let w = score(i, b_lo + j);
-            let diag = if w > 0 { prev[j + 1] + w } else { 0 };
-            cur[j] = prev[j].max(cur[j + 1]).max(diag);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev
-}
-
-/// Hirschberg's linear-space weighted LCS: `O(n·m)` time, `O(n+m)` space.
-pub fn weighted_lcs_hirschberg(
-    n: usize,
-    m: usize,
-    score: &impl Fn(usize, usize) -> u64,
-) -> Vec<(usize, usize)> {
-    let mut pairs = Vec::new();
-    hirschberg_rec(0, n, 0, m, score, &mut pairs);
-    pairs.sort_unstable();
-    pairs
-}
-
-fn hirschberg_rec(
-    a_lo: usize,
-    a_hi: usize,
-    b_lo: usize,
-    b_hi: usize,
-    score: &impl Fn(usize, usize) -> u64,
-    out: &mut Vec<(usize, usize)>,
-) {
-    let n = a_hi - a_lo;
-    let m = b_hi - b_lo;
-    if n == 0 || m == 0 {
-        return;
-    }
-    if n == 1 {
-        // Base case: best single match of a[a_lo] within b[b_lo..b_hi].
-        let mut best: Option<(u64, usize)> = None;
-        for j in b_lo..b_hi {
-            let w = score(a_lo, j);
-            if w > 0 && best.map(|(bw, _)| w > bw).unwrap_or(true) {
-                best = Some((w, j));
-            }
-        }
-        if let Some((_, j)) = best {
-            out.push((a_lo, j));
-        }
-        return;
-    }
-    let mid = a_lo + n / 2;
-    let fwd = score_row_forward(a_lo, mid, b_lo, b_hi, score);
-    let bwd = score_row_backward(mid, a_hi, b_lo, b_hi, score);
-    let mut split = 0;
-    let mut best = 0u64;
-    for j in 0..=m {
-        let total = fwd[j] + bwd[j];
-        if total > best || j == 0 {
-            best = total;
-            split = j;
-        }
-    }
-    hirschberg_rec(a_lo, mid, b_lo, b_lo + split, score, out);
-    hirschberg_rec(mid, a_hi, b_lo + split, b_hi, score, out);
 }
 
 /// Plain equality LCS over two slices (every match has weight 1).
@@ -327,8 +238,10 @@ mod tests {
     }
 
     #[test]
-    fn hirschberg_matches_dp_weight_on_random_inputs() {
+    fn hirschberg_matches_dp_pairs_on_random_inputs() {
         // Deterministic pseudo-random sequences over a small alphabet.
+        // Pair equality, not just weight equality: the linear-space path
+        // must reproduce the canonical backtrack exactly.
         let mut state = 0x12345678u64;
         let mut next = move || {
             state = state
@@ -345,17 +258,12 @@ mod tests {
             let dp = weighted_lcs_dp(n, m, &score);
             let hi = weighted_lcs_hirschberg(n, m, &score);
             check_valid(&dp, n, m);
-            check_valid(&hi, n, m);
-            assert_eq!(
-                alignment_weight(&dp, &score),
-                alignment_weight(&hi, &score),
-                "trial {trial}: dp and hirschberg weights differ"
-            );
+            assert_eq!(hi, dp, "trial {trial}: dp and hirschberg pairs differ");
         }
     }
 
     #[test]
-    fn hirschberg_matches_dp_with_weights() {
+    fn hirschberg_matches_dp_pairs_with_weights() {
         let mut state = 99u64;
         let mut next = move || {
             state = state
@@ -372,8 +280,7 @@ mod tests {
             let score = |i: usize, j: usize| weights[i][j];
             let dp = weighted_lcs_dp(n, m, &score);
             let hi = weighted_lcs_hirschberg(n, m, &score);
-            assert_eq!(alignment_weight(&dp, &score), alignment_weight(&hi, &score));
-            check_valid(&hi, n, m);
+            assert_eq!(hi, dp);
         }
     }
 
@@ -387,10 +294,10 @@ mod tests {
     }
 
     #[test]
-    fn single_row_base_case_picks_heaviest() {
+    fn single_row_base_case_picks_dp_choice() {
         let score = |_i: usize, j: usize| [2u64, 7, 3][j];
         let pairs = weighted_lcs_hirschberg(1, 3, &score);
-        assert_eq!(pairs, vec![(0, 1)]);
+        assert_eq!(pairs, weighted_lcs_dp(1, 3, &score));
     }
 
     #[test]

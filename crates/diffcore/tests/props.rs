@@ -129,7 +129,9 @@ proptest! {
     }
 
     #[test]
-    fn hirschberg_weight_equals_dp_weight(a in small_seq(), b in small_seq()) {
+    fn hirschberg_pairs_equal_dp_pairs(a in small_seq(), b in small_seq()) {
+        // Stronger than weight equality: the linear-space replay must
+        // reproduce the canonical backtrack pair for pair (§4e).
         let score = |i: usize, j: usize| u64::from(a[i] == b[j]);
         let dp = weighted_lcs_dp(a.len(), b.len(), &score);
         let hi = weighted_lcs_hirschberg(a.len(), b.len(), &score);
@@ -138,6 +140,7 @@ proptest! {
             alignment_weight(&hi, &score)
         );
         check_alignment_valid(&hi, &a, &b);
+        prop_assert_eq!(hi, dp);
     }
 
     #[test]
@@ -233,8 +236,13 @@ proptest! {
         // eager anchoring with plain gap DP, eager anchoring with the
         // banded unit-gap DP engaged, and the production default.
         for cfg in [
-            AnchorConfig { small_cells: 0, myers_min_cells: usize::MAX, workers: 1 },
-            AnchorConfig { small_cells: 0, myers_min_cells: 16, workers: 1 },
+            AnchorConfig {
+                small_cells: 0,
+                myers_min_cells: usize::MAX,
+                ..AnchorConfig::default()
+            },
+            AnchorConfig { small_cells: 0, myers_min_cells: 16, ..AnchorConfig::default() },
+            AnchorConfig { small_cells: 0, rescue_max_freq: 0, ..AnchorConfig::default() },
             AnchorConfig::default(),
         ] {
             let (pairs, _) =
@@ -273,5 +281,87 @@ proptest! {
             anchored_weighted_lcs(&a, &b, &unit_a, &unit_b, &parallel, &score, &verify);
         prop_assert_eq!(p1, p4);
         prop_assert_eq!(s1, s4);
+    }
+
+    // Degenerate inputs: the shapes the Hirschberg fallback and the
+    // rescue machinery must get byte-identical to the DP (ISSUE 7).
+    #[test]
+    fn degenerate_all_identical_tokens_match_dp(n in 0usize..40, m in 0usize..40) {
+        // One repeated id on both sides: maximal tie-break pressure, no
+        // unique anchors, rescue candidates only when counts coincide.
+        let a = vec![42u64; n];
+        let b = vec![42u64; m];
+        check_every_path_equals_dp(&a, &b);
+    }
+
+    #[test]
+    fn degenerate_all_unique_tokens_match_dp(n in 0usize..40, m in 0usize..40, shared in 0usize..10) {
+        // Fresh ids everywhere except an optional shared run in the
+        // middle — the full-replacement shape at token granularity.
+        let mut next = 0u64;
+        let mut fresh = |k: usize| -> Vec<u64> {
+            (0..k)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect()
+        };
+        let run: Vec<u64> = (0..shared).map(|k| 500_000 + k as u64).collect();
+        let mut a = fresh(n);
+        a.extend(&run);
+        a.extend(fresh(n / 2));
+        let mut b = fresh(m);
+        b.extend(&run);
+        b.extend(fresh(m / 2));
+        check_every_path_equals_dp(&a, &b);
+    }
+
+    #[test]
+    fn degenerate_single_token_sides_match_dp(a0 in 0u64..5, b in small_seq()) {
+        let a = vec![a0];
+        let b: Vec<u64> = b.into_iter().map(u64::from).collect();
+        check_every_path_equals_dp(&a, &b);
+        check_every_path_equals_dp(&b, &a);
+    }
+}
+
+/// Asserts the anchored decomposition (eager, banded, rescue-off,
+/// default) and the linear-space Hirschberg replay all reproduce the
+/// dense DP's pairs exactly on `a` vs `b`.
+fn check_every_path_equals_dp(a: &[u64], b: &[u64]) {
+    let score = |i: usize, j: usize| u64::from(a[i] == b[j]);
+    let verify = |i: usize, j: usize| a[i] == b[j];
+    let unit_a = vec![true; a.len()];
+    let unit_b = vec![true; b.len()];
+    let dp = weighted_lcs_dp(a.len(), b.len(), &score);
+    let hi = weighted_lcs_hirschberg(a.len(), b.len(), &score);
+    assert_eq!(hi, dp, "hirschberg diverged");
+    for cfg in [
+        AnchorConfig {
+            small_cells: 0,
+            myers_min_cells: usize::MAX,
+            ..AnchorConfig::default()
+        },
+        AnchorConfig {
+            small_cells: 0,
+            myers_min_cells: 16,
+            ..AnchorConfig::default()
+        },
+        AnchorConfig {
+            small_cells: 0,
+            rescue_max_freq: 0,
+            ..AnchorConfig::default()
+        },
+        AnchorConfig {
+            small_cells: 0,
+            rescue_max_freq: 8,
+            rescue_min_run: 2,
+            ..AnchorConfig::default()
+        },
+        AnchorConfig::default(),
+    ] {
+        let (pairs, _) = anchored_weighted_lcs(a, b, &unit_a, &unit_b, &cfg, &score, &verify);
+        assert_eq!(pairs, dp, "config {cfg:?}");
     }
 }

@@ -21,21 +21,31 @@
 //! By default the outer alignment runs through the anchored
 //! decomposition of [`aide_diffcore::anchor`] over per-token metadata
 //! precomputed once per stream: a match-class hash, the cached content
-//! length, and interned `u32` ids for every sentence item. Score probes
-//! are then O(1) screens plus an integer-compare inner LCS instead of
-//! deep re-walks of the item lists. The output is byte-identical to the
+//! length, and interned `u32` ids for every sentence item, stored in a
+//! per-diff arena drawn from the [`aide_diffcore::scratch`] pools so
+//! back-to-back diffs reuse their allocations. Score probes are then
+//! O(1) screens plus an integer-compare inner LCS instead of deep
+//! re-walks of the item lists — and before any inner LCS runs, a
+//! multiset-intersection bound over each sentence's *sorted* content ids
+//! proves most non-matching pairs apart in a single merge walk (the
+//! intersection size is an upper bound on the achievable `W`, so a pair
+//! whose bound already fails the `2W/L` threshold is rejected without
+//! the DP; pairs that could match still run the exact inner LCS). The
+//! output is byte-identical to the
 //! naive full DP on edit-structured inputs (the property suite asserts
 //! it across the workload edit models); every hash equality that feeds
 //! an alignment decision is confirmed with a deep comparison first, so
 //! hash collisions cannot corrupt the result. Ablation experiments that
 //! must measure the paper's algorithm (probe counts, screen traffic) set
 //! [`CompareOptions::force_naive`], which runs the full DP with
-//! unchanged counter semantics.
+//! unchanged counter semantics (the screen/inner-LCS counters increment
+//! at the same probe points on every path, prune or no prune).
 
 use crate::token::{token_class_hash, DiffToken, Inline, Sentence};
 use aide_diffcore::anchor::{anchored_weighted_lcs, AnchorConfig};
 use aide_diffcore::lcs::weighted_lcs;
 use aide_diffcore::metrics::lcs_ratio;
+use aide_diffcore::scratch;
 use aide_diffcore::script::Alignment;
 use aide_diffcore::Interner;
 use aide_htmlkit::lexer::TagKind;
@@ -172,47 +182,219 @@ fn item_key(item: &Inline) -> ItemKey {
     }
 }
 
+/// The per-diff metadata arena: every token's interned item ids live in
+/// one contiguous buffer (tokens hold ranges into it), with a parallel
+/// buffer of each sentence's content ids in *sorted* order for the
+/// intersection screen. Buffers come from the [`scratch`] pools and are
+/// returned when the diff completes, so consecutive diffs on a thread
+/// reuse their allocations instead of re-churning hundreds of tiny
+/// per-token `Vec`s.
+struct MetaArena {
+    /// Interned item ids, token-contiguous; shared across both streams
+    /// (one interner), so `id == id` ⇔ `Inline::matches`.
+    ids: Vec<u32>,
+    /// Per-sentence content ids in ascending order.
+    sorted_content: Vec<u32>,
+    /// Indexed by interned id: is the item content-defining? Content-ness
+    /// is a function of the item's match class ([`Inline::is_content`]
+    /// depends only on the word / tag name that the [`ItemKey`] carries),
+    /// so it is stored once per id, not once per occurrence.
+    id_is_content: Vec<bool>,
+}
+
+impl MetaArena {
+    fn take() -> Self {
+        MetaArena {
+            ids: scratch::take_u32_buf(),
+            sorted_content: scratch::take_u32_buf(),
+            id_is_content: Vec::new(),
+        }
+    }
+
+    fn give(self) {
+        scratch::give_u32_buf(self.ids);
+        scratch::give_u32_buf(self.sorted_content);
+    }
+}
+
 /// Per-token comparison metadata, precomputed once per stream so score
-/// probes never re-walk item lists.
+/// probes never re-walk item lists. Item data lives in the shared
+/// [`MetaArena`]; tokens hold ranges.
 struct TokenMeta {
     /// [`token_class_hash`]: equal is necessary for a maximal-weight
     /// identical match, unequal proves tokens differ.
     class_hash: u64,
     /// Cached [`Sentence::content_len`] (0 for breaks).
     content_len: usize,
-    /// Interned item ids (empty for breaks); ids are shared across both
-    /// streams, so `id == id` ⇔ `Inline::matches`.
-    item_ids: Vec<u32>,
-    /// Per-item [`Inline::is_content`].
-    item_is_content: Vec<bool>,
+    /// Range of this token's item ids in [`MetaArena::ids`].
+    items_start: usize,
+    items_end: usize,
+    /// Range of this sentence's sorted content ids in
+    /// [`MetaArena::sorted_content`].
+    sorted_start: usize,
+    sorted_end: usize,
+    /// Largest multiplicity of any single content id in this sentence
+    /// (`0` for breaks / contentless sentences) — the factor that turns
+    /// a distinct-id intersection count into a multiset bound.
+    max_mult: u64,
     /// True for break tokens (max match weight 1).
     is_break: bool,
 }
 
-fn build_meta(tokens: &[DiffToken], interner: &mut Interner<ItemKey>) -> Vec<TokenMeta> {
+fn build_meta(
+    tokens: &[DiffToken],
+    interner: &mut Interner<ItemKey>,
+    arena: &mut MetaArena,
+) -> Vec<TokenMeta> {
     tokens
         .iter()
         .map(|t| match t {
             DiffToken::Break(_) => TokenMeta {
                 class_hash: token_class_hash(t),
                 content_len: 0,
-                item_ids: Vec::new(),
-                item_is_content: Vec::new(),
+                items_start: arena.ids.len(),
+                items_end: arena.ids.len(),
+                sorted_start: arena.sorted_content.len(),
+                sorted_end: arena.sorted_content.len(),
+                max_mult: 0,
                 is_break: true,
             },
-            DiffToken::Sentence(s) => TokenMeta {
-                class_hash: token_class_hash(t),
-                content_len: s.content_len(),
-                item_ids: s
-                    .items
-                    .iter()
-                    .map(|it| interner.intern(item_key(it)))
-                    .collect(),
-                item_is_content: s.items.iter().map(Inline::is_content).collect(),
-                is_break: false,
-            },
+            DiffToken::Sentence(s) => {
+                let items_start = arena.ids.len();
+                for it in &s.items {
+                    let id = interner.intern(item_key(it));
+                    let slot = id as usize;
+                    if slot >= arena.id_is_content.len() {
+                        arena.id_is_content.resize(slot + 1, false);
+                        arena.id_is_content[slot] = it.is_content();
+                    }
+                    arena.ids.push(id);
+                }
+                let items_end = arena.ids.len();
+                let sorted_start = arena.sorted_content.len();
+                for k in items_start..items_end {
+                    let id = arena.ids[k];
+                    if arena.id_is_content[id as usize] {
+                        arena.sorted_content.push(id);
+                    }
+                }
+                arena.sorted_content[sorted_start..].sort_unstable();
+                let mut max_mult = 0u64;
+                let mut run = 0u64;
+                let mut prev = None;
+                for &id in &arena.sorted_content[sorted_start..] {
+                    run = if Some(id) == prev { run + 1 } else { 1 };
+                    prev = Some(id);
+                    max_mult = max_mult.max(run);
+                }
+                TokenMeta {
+                    class_hash: token_class_hash(t),
+                    content_len: s.content_len(),
+                    items_start,
+                    items_end,
+                    sorted_start,
+                    sorted_end: arena.sorted_content.len(),
+                    max_mult,
+                    is_break: false,
+                }
+            }
         })
         .collect()
+}
+
+/// Whether the multiset intersection of two ascending id slices — the
+/// largest possible number of disjoint equal-id pairs between them —
+/// reaches `needed`. Exits as soon as the answer is decided in either
+/// direction: `needed` matches accumulated (true), or too few candidates
+/// remain on the shorter side to ever get there (false), so mismatched
+/// sentence pairs pay far less than a full merge walk.
+fn intersection_reaches(a: &[u32], b: &[u32], needed: u64) -> bool {
+    let (mut x, mut y, mut got) = (0usize, 0usize, 0u64);
+    loop {
+        if got >= needed {
+            return true;
+        }
+        if got + ((a.len() - x).min(b.len() - y) as u64) < needed {
+            return false;
+        }
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                got += 1;
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+}
+
+/// Smallest weight `w` whose [`lcs_ratio`] against combined length `l`
+/// clears `threshold` — computed with the exact same float comparison
+/// the full scoring path uses ([`lcs_ratio`] depends only on `la + lb`),
+/// so prune and full path agree verdict-for-verdict. Never below 1: a
+/// zero-weight match is rejected unconditionally.
+fn min_weight_to_pass(l: usize, threshold: f64) -> u64 {
+    let mut w = ((threshold * l as f64) / 2.0).ceil() as u64;
+    while w > 1 && lcs_ratio(w - 1, l, 0) >= threshold {
+        w -= 1;
+    }
+    while lcs_ratio(w, l, 0) < threshold {
+        w += 1;
+    }
+    w.max(1)
+}
+
+/// Per-compare prune table: `needed[l]` is [`min_weight_to_pass`] for
+/// combined content length `l`, precomputed once so the hot probe path
+/// replaces float math with an indexed load.
+fn build_needed_table(mo: &[TokenMeta], mn: &[TokenMeta], threshold: f64) -> Vec<u64> {
+    let max_a = mo.iter().map(|m| m.content_len).max().unwrap_or(0);
+    let max_b = mn.iter().map(|m| m.content_len).max().unwrap_or(0);
+    (0..=max_a + max_b)
+        .map(|l| min_weight_to_pass(l, threshold))
+        .collect()
+}
+
+/// Per-compare probe acceleration tables: the prune-threshold lookup
+/// plus a per-token content-id bitmap matrix (one row per token, old
+/// stream first) over the shared interner's id space. The bitmaps are
+/// *exact*, not hashed — bit `id` is set iff the sentence contains
+/// content id `id` — so `popcount(row_a & row_b)` is exactly the number
+/// of distinct shared content ids, and `distinct · min(max_mult)` is a
+/// sound upper bound on the multiset intersection the merge walk would
+/// compute. Most mismatched sentence pairs are rejected by a few
+/// word-sized ANDs without ever entering the walk.
+struct ProbeTables {
+    needed: Vec<u64>,
+    sig: Vec<u64>,
+    sig_words: usize,
+    new_row_base: usize,
+}
+
+fn build_probe_tables(
+    mo: &[TokenMeta],
+    mn: &[TokenMeta],
+    arena: &MetaArena,
+    vocab: usize,
+    threshold: f64,
+) -> ProbeTables {
+    let sig_words = vocab.div_ceil(64);
+    let mut sig = scratch::take_u64_buf();
+    sig.clear();
+    sig.resize((mo.len() + mn.len()) * sig_words, 0);
+    for (row, m) in mo.iter().chain(mn.iter()).enumerate() {
+        let base = row * sig_words;
+        for &id in &arena.sorted_content[m.sorted_start..m.sorted_end] {
+            sig[base + (id as usize >> 6)] |= 1u64 << (id & 63);
+        }
+    }
+    ProbeTables {
+        needed: build_needed_table(mo, mn, threshold),
+        sig,
+        sig_words,
+        new_row_base: mo.len(),
+    }
 }
 
 /// Probe counters; atomic so the parallel gap scorers can share them.
@@ -234,50 +416,89 @@ fn score_with_meta(
     new: &[DiffToken],
     mo: &[TokenMeta],
     mn: &[TokenMeta],
+    arena: &MetaArena,
     i: usize,
     j: usize,
     opts: &CompareOptions,
+    tables: &ProbeTables,
     counters: &ScoreCounters,
 ) -> u64 {
-    match (&old[i], &new[j]) {
-        (DiffToken::Break(ta), DiffToken::Break(tb)) => {
-            u64::from(mo[i].class_hash == mn[j].class_hash && ta.matches_modulo_order(tb))
-        }
-        (DiffToken::Sentence(sa), DiffToken::Sentence(sb)) => {
-            // Track screen/inner-LCS traffic for the ablation experiment.
-            let la = mo[i].content_len;
-            let lb = mn[j].content_len;
-            if length_screened(la, lb, opts) {
-                counters.screened.fetch_add(1, Ordering::Relaxed);
-                return 0;
-            }
-            let eq = mo[i].class_hash == mn[j].class_hash && sa == sb;
-            if !eq {
-                counters.inner.fetch_add(1, Ordering::Relaxed);
-            }
-            if la == 0 && lb == 0 {
-                return u64::from(eq);
-            }
-            if eq {
-                return la.max(1) as u64;
-            }
-            let aid = &mo[i].item_ids;
-            let bid = &mn[j].item_ids;
-            let pairs = weighted_lcs(aid.len(), bid.len(), &|x, y| u64::from(aid[x] == bid[y]));
-            let w = pairs
-                .iter()
-                .filter(|&&(x, _)| mo[i].item_is_content[x])
-                .count() as u64;
-            if w == 0 {
-                return 0;
-            }
-            if lcs_ratio(w, la, lb) >= opts.match_threshold {
-                w
-            } else {
-                0
+    // Dispatch on the compact metadata, not the token enums: break
+    // probes decide on two meta loads and only a hash-equal break pair
+    // (a plausible match) pays for touching the tokens themselves.
+    if mo[i].is_break || mn[j].is_break {
+        if mo[i].is_break && mn[j].is_break && mo[i].class_hash == mn[j].class_hash {
+            if let (DiffToken::Break(ta), DiffToken::Break(tb)) = (&old[i], &new[j]) {
+                return u64::from(ta.matches_modulo_order(tb));
             }
         }
-        _ => 0,
+        return 0;
+    }
+    // Track screen/inner-LCS traffic for the ablation experiment.
+    let la = mo[i].content_len;
+    let lb = mn[j].content_len;
+    if length_screened(la, lb, opts) {
+        counters.screened.fetch_add(1, Ordering::Relaxed);
+        return 0;
+    }
+    let eq = mo[i].class_hash == mn[j].class_hash && old[i] == new[j];
+    if !eq {
+        counters.inner.fetch_add(1, Ordering::Relaxed);
+    }
+    if la == 0 && lb == 0 {
+        return u64::from(eq);
+    }
+    if eq {
+        return la.max(1) as u64;
+    }
+    // Intersection prune: the inner LCS's W counts content items
+    // matched by equal ids, and matched pairs are disjoint, so W
+    // can never exceed the multiset intersection of the two
+    // sentences' content-id multisets. A merge walk over the
+    // presorted ids decides whether that bound can reach the
+    // smallest weight the `2W/L` threshold accepts — bailing the
+    // moment the answer is known either way — and when it cannot,
+    // the exact DP is skipped with an identical verdict. This
+    // runs *after* the counter increments so probe statistics
+    // are unchanged.
+    let needed = tables.needed[la + lb];
+    if (la.min(lb) as u64) < needed {
+        return 0;
+    }
+    // Bitmap prefilter: count distinct shared content ids with word-wide
+    // ANDs; if even `distinct · min(max_mult)` cannot reach `needed`,
+    // neither can the multiset intersection, so the walk is skipped with
+    // an identical verdict.
+    let w = tables.sig_words;
+    let rowa = &tables.sig[i * w..(i + 1) * w];
+    let rowb = &tables.sig[(tables.new_row_base + j) * w..(tables.new_row_base + j + 1) * w];
+    let distinct: u32 = rowa
+        .iter()
+        .zip(rowb)
+        .map(|(x, y)| (x & y).count_ones())
+        .sum();
+    if u64::from(distinct) * mo[i].max_mult.min(mn[j].max_mult) < needed {
+        return 0;
+    }
+    let sca = &arena.sorted_content[mo[i].sorted_start..mo[i].sorted_end];
+    let scb = &arena.sorted_content[mn[j].sorted_start..mn[j].sorted_end];
+    if !intersection_reaches(sca, scb, needed) {
+        return 0;
+    }
+    let aid = &arena.ids[mo[i].items_start..mo[i].items_end];
+    let bid = &arena.ids[mn[j].items_start..mn[j].items_end];
+    let pairs = weighted_lcs(aid.len(), bid.len(), &|x, y| u64::from(aid[x] == bid[y]));
+    let w = pairs
+        .iter()
+        .filter(|&&(x, _)| arena.id_is_content[aid[x] as usize])
+        .count() as u64;
+    if w == 0 {
+        return 0;
+    }
+    if lcs_ratio(w, la, lb) >= opts.match_threshold {
+        w
+    } else {
+        0
     }
 }
 
@@ -337,18 +558,36 @@ pub fn compare_tokens(
     opts: &CompareOptions,
 ) -> TokenAlignment {
     let mut interner = Interner::new();
-    let mo = build_meta(old, &mut interner);
-    let mn = build_meta(new, &mut interner);
+    let mut arena = MetaArena::take();
+    let mo = build_meta(old, &mut interner, &mut arena);
+    let mn = build_meta(new, &mut interner, &mut arena);
     let counters = ScoreCounters::default();
-    let score = |i: usize, j: usize| score_with_meta(old, new, &mo, &mn, i, j, opts, &counters);
+    let tables = build_probe_tables(&mo, &mn, &arena, interner.len(), opts.match_threshold);
+    let arena_ref = &arena;
+    let score = |i: usize, j: usize| {
+        score_with_meta(
+            old, new, &mo, &mn, arena_ref, i, j, opts, &tables, &counters,
+        )
+    };
 
     aide_obs::counter("htmldiff.compare", 1);
     let pairs = if opts.force_naive {
         aide_obs::observe("htmldiff.naive.cells", (old.len() * new.len()) as u64);
+        // The naive path's one rectangle is its own "gap": classify it
+        // the way the anchored path classifies gaps so diff.fallback.*
+        // counters cover both paths.
+        const DENSE_MEMO_CELL_LIMIT: usize = 1 << 24;
+        if old.len().saturating_mul(new.len()) <= DENSE_MEMO_CELL_LIMIT {
+            aide_obs::counter("diff.fallback.dense", 1);
+        } else {
+            aide_obs::counter("diff.fallback.hirschberg", 1);
+        }
         naive_pairs(old.len(), new.len(), &score)
     } else {
-        let a_ids: Vec<u64> = mo.iter().map(|m| m.class_hash).collect();
-        let b_ids: Vec<u64> = mn.iter().map(|m| m.class_hash).collect();
+        let mut a_ids = scratch::take_u64_buf();
+        a_ids.extend(mo.iter().map(|m| m.class_hash));
+        let mut b_ids = scratch::take_u64_buf();
+        b_ids.extend(mn.iter().map(|m| m.class_hash));
         let a_unit: Vec<bool> = mo.iter().map(|m| m.is_break).collect();
         let b_unit: Vec<bool> = mn.iter().map(|m| m.is_break).collect();
         let verify = |i: usize, j: usize| tokens_identical(&old[i], &new[j]);
@@ -358,11 +597,20 @@ pub fn compare_tokens(
         };
         let (pairs, astats) =
             anchored_weighted_lcs(&a_ids, &b_ids, &a_unit, &b_unit, &cfg, &score, &verify);
+        scratch::give_u64_buf(a_ids);
+        scratch::give_u64_buf(b_ids);
+        aide_obs::counter("diff.fallback.dense", astats.dense_gaps as u64);
+        aide_obs::counter("diff.fallback.banded", astats.banded_gaps as u64);
+        aide_obs::counter("diff.fallback.hirschberg", astats.hirschberg_gaps as u64);
         if aide_obs::enabled() {
             // Per-diff alignment work, in deterministic units: the
             // virtual clock never advances during CPU work, so cell and
             // anchor counts stand in for stage timings.
             aide_obs::observe("htmldiff.anchor.anchors", astats.anchors as u64);
+            aide_obs::observe(
+                "htmldiff.anchor.rescue_anchors",
+                astats.rescue_anchors as u64,
+            );
             aide_obs::observe("htmldiff.anchor.gaps", astats.gaps as u64);
             aide_obs::observe("htmldiff.anchor.gap_cells", astats.gap_cells as u64);
             aide_obs::observe("htmldiff.anchor.full_cells", astats.full_cells as u64);
@@ -384,6 +632,8 @@ pub fn compare_tokens(
             _ => mo[i].class_hash == mn[j].class_hash && old[i] == new[j],
         })
         .collect();
+    arena.give();
+    scratch::give_u64_buf(tables.sig);
     if aide_obs::enabled() {
         aide_obs::observe(
             "htmldiff.compare.inner_lcs_evals",
@@ -393,6 +643,9 @@ pub fn compare_tokens(
             "htmldiff.compare.screened_out",
             counters.screened.load(Ordering::Relaxed) as u64,
         );
+        // Pooled scratch capacity on this thread after the diff — the
+        // arena-reuse health gauge.
+        aide_obs::gauge("diff.scratch.bytes", scratch::retained_bytes() as u64);
     }
     TokenAlignment {
         alignment: Alignment::new(pairs, old.len(), new.len()),

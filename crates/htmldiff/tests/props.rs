@@ -176,6 +176,23 @@ fn edit_structured_html_pair() -> impl Strategy<Value = (String, String)> {
     })
 }
 
+/// Renders `a` vs `b` through the default fast path and the forced
+/// naive full DP and asserts byte-identical pages and stats.
+fn assert_fast_equals_naive(a: &str, b: &str) -> Result<(), TestCaseError> {
+    let fast = html_diff(a, b, &Options::default());
+    let naive_opts = Options {
+        compare: CompareOptions {
+            force_naive: true,
+            ..CompareOptions::default()
+        },
+        ..Options::default()
+    };
+    let naive = html_diff(a, b, &naive_opts);
+    prop_assert_eq!(&fast.html, &naive.html);
+    prop_assert_eq!(format!("{:?}", fast.stats), format!("{:?}", naive.stats));
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -203,5 +220,41 @@ proptest! {
             html_diff(&a, &b, &Options::default()).html,
             html_diff(&a, &b, &par).html
         );
+    }
+
+    // Degenerate shapes where anchoring finds nothing to hold on to (or
+    // everything): the fast path must still reproduce the naive DP.
+
+    #[test]
+    fn degenerate_empty_document_matches_naive(doc in html_strategy()) {
+        assert_fast_equals_naive("", &doc)?;
+        assert_fast_equals_naive(&doc, "")?;
+        assert_fast_equals_naive("", "")?;
+    }
+
+    #[test]
+    fn degenerate_single_token_matches_naive(doc in html_strategy(), sel in 0u8..7) {
+        let single = piece(3, sel);
+        assert_fast_equals_naive(&single, &doc)?;
+        assert_fast_equals_naive(&doc, &single)?;
+        assert_fast_equals_naive(&single, &single)?;
+    }
+
+    #[test]
+    fn degenerate_all_identical_tokens_match_naive(n in 0usize..30, m in 0usize..30) {
+        // Every token hashes alike: zero unique anchors, zero rescue
+        // candidates (frequency far above the cap) — pure DP fallback.
+        let a = "same words every time. ".repeat(n);
+        let b = "same words every time. ".repeat(m);
+        assert_fast_equals_naive(&a, &b)?;
+    }
+
+    #[test]
+    fn degenerate_all_unique_tokens_match_naive(n in 0usize..30, m in 0usize..30) {
+        // No token appears on both sides: the alignment is one giant
+        // replacement and every anchor candidate dies at verification.
+        let a: String = (0..n).map(|i| format!("only old {i} here. ")).collect();
+        let b: String = (0..m).map(|i| format!("just new {i} there. ")).collect();
+        assert_fast_equals_naive(&a, &b)?;
     }
 }

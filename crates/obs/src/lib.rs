@@ -154,6 +154,34 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (`0.0 ..= 1.0`), zero when empty. Observations in
+    /// the overflow bucket report the last finite bound — quantiles
+    /// from a bucketed histogram are resolution-limited by
+    /// construction, and a saturated top bucket means "at least this".
+    /// Deterministic: pure integer walk over the snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(q * count), clamped to [1, count]: the rank of the
+        // observation the quantile names.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .or(self.bounds.last())
+                    .copied()
+                    .unwrap_or(0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
 }
 
 /// Plain-value snapshot of an entire registry: `BTreeMap`s so iteration

@@ -494,6 +494,10 @@ impl<R: Repository> SnapshotService<R> {
                 from_cache: true,
             });
         }
+        // `diff_tokens` draws its DP tables and token arenas from the
+        // per-thread `aide_diffcore::scratch` pools, so a service thread
+        // serving many diff requests reuses one set of buffers across
+        // calls; the pool's footprint is visible as `diff.scratch.bytes`.
         let result = diff_tokens(&old_tokens, &new_tokens, &labeled);
         self.stats
             .htmldiff_invocations

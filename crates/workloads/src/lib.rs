@@ -16,6 +16,8 @@
 //!   links) that renders to period HTML and can be *edited* structurally.
 //! - [`edits`]: the edit models and their application.
 //! - [`evolve`]: schedules that drive page evolution on a simulated Web.
+//! - [`openloop`]: deterministic open-loop (fixed arrival schedule)
+//!   load generation and queue simulation for the capacity experiments.
 //! - [`sites`]: prebuilt ensembles — the Table 1 scenario and bulk
 //!   populations for the storage and scalability experiments.
 //! - [`usenix`]: reconstructed USENIX home pages for the Figure 2
@@ -23,6 +25,7 @@
 
 pub mod edits;
 pub mod evolve;
+pub mod openloop;
 pub mod page;
 pub mod rng;
 pub mod sites;

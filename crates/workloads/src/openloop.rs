@@ -1,0 +1,265 @@
+//! Deterministic open-loop load generation (SiteStory-style).
+//!
+//! An *open-loop* load generator issues requests on a fixed arrival
+//! schedule regardless of how fast the server answers — the
+//! ApacheBench/SiteStory methodology (Brunelle & Nelson, PAPERS.md) —
+//! so when the offered rate exceeds capacity, queueing delay grows
+//! without bound instead of the generator politely slowing down. That
+//! makes the knee of the latency-vs-rate curve *the* capacity number.
+//!
+//! Everything here is virtual-time: arrivals are sampled from a seeded
+//! [`Rng`] (Poisson, exponential inter-arrival gaps), service times are
+//! supplied by the caller in deterministic work units, and the queue is
+//! simulated analytically. Two runs with the same seed and the same
+//! service-time model produce byte-identical results — no wall clock
+//! anywhere — which is what lets ci.sh double-run the capacity
+//! experiment and `cmp` the outputs.
+//!
+//! The module is deliberately engine-agnostic: it produces a schedule
+//! ([`schedule`]) and turns per-request service times into per-request
+//! latencies ([`simulate_queue`]). Driving real engine paths (poll /
+//! check-in / diff) and costing them belongs to the capacity experiment
+//! binary in `aide-bench`, which owns the service-time model.
+
+use crate::rng::Rng;
+
+/// What a simulated client asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Fetch the current stored head of a page (the tracker's poll /
+    /// "view" path).
+    Poll,
+    /// Check in a (possibly changed) page body (`remember`).
+    CheckIn,
+    /// Render the changes since the user's last-seen revision
+    /// (`diff_since_last` — check-in plus HtmlDiff plus cache).
+    Diff,
+}
+
+/// Relative frequencies of the three request kinds.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMix {
+    /// Weight of [`RequestKind::Poll`].
+    pub poll: u32,
+    /// Weight of [`RequestKind::CheckIn`].
+    pub checkin: u32,
+    /// Weight of [`RequestKind::Diff`].
+    pub diff: u32,
+}
+
+impl Default for RequestMix {
+    /// The tracking steady state: mostly polls, a fair number of
+    /// check-ins (changed pages being remembered), diffs when a user
+    /// actually looks.
+    fn default() -> Self {
+        RequestMix {
+            poll: 6,
+            checkin: 3,
+            diff: 1,
+        }
+    }
+}
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Arrival time in virtual microseconds from the start of the run.
+    pub at_us: u64,
+    /// Which engine path the request exercises.
+    pub kind: RequestKind,
+    /// Index of the target page in the experiment's URL population.
+    pub url: usize,
+    /// Index of the requesting user.
+    pub user: usize,
+}
+
+/// Configuration for one open-loop run at one offered rate.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Seed for the arrival process (gaps, kinds, targets).
+    pub seed: u64,
+    /// Number of requests to schedule.
+    pub requests: usize,
+    /// Offered rate in requests per virtual second.
+    pub rate_per_sec: u64,
+    /// Size of the URL population; targets are Zipf-distributed over it
+    /// (a few hot pages, a long tail — the §7 access pattern).
+    pub urls: usize,
+    /// Number of distinct users issuing requests (uniform).
+    pub users: usize,
+    /// Request-kind mix.
+    pub mix: RequestMix,
+}
+
+/// Builds the deterministic arrival schedule for `cfg`.
+///
+/// Inter-arrival gaps are exponential with mean `1e6 / rate_per_sec`
+/// microseconds (a Poisson arrival process — the standard open-loop
+/// model), quantized to whole microseconds. Kinds are drawn from the
+/// mix, URLs from a Zipf over the population, users uniformly; all four
+/// streams come from one seeded [`Rng`], so the schedule is a pure
+/// function of `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use aide_workloads::openloop::{schedule, OpenLoopConfig, RequestMix};
+///
+/// let cfg = OpenLoopConfig {
+///     seed: 7,
+///     requests: 100,
+///     rate_per_sec: 50,
+///     urls: 10,
+///     users: 4,
+///     mix: RequestMix::default(),
+/// };
+/// let a = schedule(&cfg);
+/// let b = schedule(&cfg);
+/// assert_eq!(a.len(), 100);
+/// assert!(a.iter().zip(&b).all(|(x, y)| x.at_us == y.at_us));
+/// ```
+pub fn schedule(cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    assert!(cfg.rate_per_sec > 0, "offered rate must be positive");
+    assert!(cfg.urls > 0 && cfg.users > 0, "need at least one target");
+    let total = cfg.mix.poll + cfg.mix.checkin + cfg.mix.diff;
+    assert!(total > 0, "request mix must have positive total weight");
+    let mut rng = Rng::new(cfg.seed);
+    let mean_gap_us = 1_000_000.0 / cfg.rate_per_sec as f64;
+    let mut now_us = 0u64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        // Exponential gap via inverse transform; clamp the uniform away
+        // from 1.0 so ln never sees zero.
+        let u = rng.f64().min(0.999_999_999);
+        let gap = (-(1.0 - u).ln() * mean_gap_us).round() as u64;
+        now_us += gap;
+        let pick = rng.below(u64::from(total)) as u32;
+        let kind = if pick < cfg.mix.poll {
+            RequestKind::Poll
+        } else if pick < cfg.mix.poll + cfg.mix.checkin {
+            RequestKind::CheckIn
+        } else {
+            RequestKind::Diff
+        };
+        out.push(Arrival {
+            at_us: now_us,
+            kind,
+            url: rng.zipf(cfg.urls),
+            user: rng.index(cfg.users),
+        });
+    }
+    out
+}
+
+/// Simulates a FIFO queue with `servers` identical workers over an
+/// open-loop arrival schedule, returning each request's latency
+/// (queueing delay + service time) in microseconds.
+///
+/// `arrival_us[i]` must be non-decreasing; `service_us[i]` is request
+/// `i`'s service time. A request begins service at the later of its
+/// arrival and the earliest server-free time; with the open loop,
+/// arrivals never wait to be *issued*, so past saturation the queue —
+/// and the reported latency — grows without bound. Pure integer
+/// arithmetic: byte-identical across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use aide_workloads::openloop::simulate_queue;
+///
+/// // Two requests, 100µs service, arriving together on one server:
+/// // the second waits for the first.
+/// let lat = simulate_queue(&[0, 0], &[100, 100], 1);
+/// assert_eq!(lat, vec![100, 200]);
+/// ```
+pub fn simulate_queue(arrival_us: &[u64], service_us: &[u64], servers: usize) -> Vec<u64> {
+    assert_eq!(arrival_us.len(), service_us.len());
+    assert!(servers > 0, "need at least one server");
+    assert!(
+        arrival_us.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    // Earliest-free-server selection; ties broken by server index so
+    // the simulation is deterministic.
+    let mut free_at = vec![0u64; servers];
+    let mut out = Vec::with_capacity(arrival_us.len());
+    for (&at, &svc) in arrival_us.iter().zip(service_us) {
+        let slot = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .map_or(0, |(i, _)| i);
+        let start = at.max(free_at[slot]);
+        let finish = start + svc;
+        free_at[slot] = finish;
+        out.push(finish - at);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            seed: 42,
+            requests: 2_000,
+            rate_per_sec: rate,
+            urls: 20,
+            users: 8,
+            mix: RequestMix::default(),
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let a = schedule(&cfg(100));
+        let b = schedule(&cfg(100));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_us, y.at_us);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.user, y.user);
+        }
+        assert!(a.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn schedule_rate_matches_offered_rate() {
+        let a = schedule(&cfg(100));
+        let span_s = a.last().unwrap().at_us as f64 / 1e6;
+        let rate = a.len() as f64 / span_s;
+        // Poisson with n = 2000: the empirical rate is within a few
+        // percent of the offered one.
+        assert!((rate - 100.0).abs() < 10.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let a = schedule(&cfg(100));
+        let polls = a.iter().filter(|r| r.kind == RequestKind::Poll).count() as f64;
+        let frac = polls / a.len() as f64;
+        assert!((frac - 0.6).abs() < 0.1, "poll fraction {frac}");
+    }
+
+    #[test]
+    fn queue_is_empty_below_capacity_and_grows_past_it() {
+        // 1000 requests at 10µs spacing. 5µs service: no queueing, every
+        // latency equals the service time. 20µs service (2× capacity):
+        // the open loop piles up and the last latency dwarfs the first.
+        let arrivals: Vec<u64> = (0..1000u64).map(|i| i * 10).collect();
+        let light = simulate_queue(&arrivals, &vec![5; 1000], 1);
+        assert!(light.iter().all(|&l| l == 5));
+        let heavy = simulate_queue(&arrivals, &vec![20; 1000], 1);
+        assert!(heavy.last().unwrap() > &(heavy[0] * 100));
+    }
+
+    #[test]
+    fn extra_servers_absorb_load() {
+        let arrivals: Vec<u64> = (0..1000u64).map(|i| i * 10).collect();
+        let two = simulate_queue(&arrivals, &vec![20; 1000], 2);
+        assert!(two.iter().all(|&l| l == 20));
+    }
+}
