@@ -58,4 +58,18 @@ cargo run -q --release -p aide-bench --bin exp_capacity -- \
     --out target/capacity_b.json
 cmp target/capacity_a.json target/capacity_b.json
 
+echo "== serve transcript determinism (same fixture => byte-identical responses)"
+AIDE_SERVE_DUMP="$PWD/target/serve_transcript_a.txt" \
+    cargo test -q -p aide-serve --test memento >/dev/null
+AIDE_SERVE_DUMP="$PWD/target/serve_transcript_b.txt" \
+    cargo test -q -p aide-serve --test memento >/dev/null
+cmp target/serve_transcript_a.txt target/serve_transcript_b.txt
+
+echo "== serve capacity determinism (same seed => byte-identical curves)"
+cargo run -q --release -p aide-bench --bin exp_capacity -- --serve \
+    --out target/serve_a.json
+cargo run -q --release -p aide-bench --bin exp_capacity -- --serve \
+    --out target/serve_b.json
+cmp target/serve_a.json target/serve_b.json
+
 echo "CI green."

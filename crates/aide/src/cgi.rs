@@ -18,6 +18,7 @@ use aide_diffcore::lines::diff_lines;
 use aide_htmldiff::Options as DiffOptions;
 use aide_htmlkit::entity::encode_entities;
 use aide_rcs::archive::RevId;
+use aide_rcs::repo::Repository;
 use aide_snapshot::keepalive::{run as keepalive_run, KeepaliveConfig, KeepaliveOutcome};
 use aide_util::time::Duration;
 use std::collections::BTreeMap;
@@ -125,7 +126,10 @@ pub fn parse_query(query: &str) -> CgiRequest {
 }
 
 /// Dispatches one GET request against the engine on behalf of `user`.
-pub fn dispatch(engine: &AideEngine, user: &str, query: &str) -> CgiResponse {
+/// Generic over the storage backend, like the engine itself: the CGI
+/// façade and `aide-serve` run identically on `MemRepository` and
+/// `DiskRepository`.
+pub fn dispatch<R: Repository>(engine: &AideEngine<R>, user: &str, query: &str) -> CgiResponse {
     let req = parse_query(query);
     let Some(url) = req.params.get("url") else {
         return CgiResponse::error(400, "missing url parameter");
@@ -240,7 +244,11 @@ pub fn dispatch(engine: &AideEngine, user: &str, query: &str) -> CgiResponse {
 
 /// Dispatches a POST: always refused, per §8.4 ("services that use POST
 /// cannot be accessed, because the input to the services is not stored").
-pub fn dispatch_post(_engine: &AideEngine, _user: &str, _query: &str) -> CgiResponse {
+pub fn dispatch_post<R: Repository>(
+    _engine: &AideEngine<R>,
+    _user: &str,
+    _query: &str,
+) -> CgiResponse {
     CgiResponse::error(
         501,
         "AIDE cannot track POST services: the form input is not stored. \
@@ -251,8 +259,8 @@ pub fn dispatch_post(_engine: &AideEngine, _user: &str, _query: &str) -> CgiResp
 /// Runs a dispatch under httpd's CGI timeout with the snapshot
 /// keep-alive child. `work_estimate` is the simulated time the operation
 /// takes (retrieval plus HtmlDiff).
-pub fn dispatch_with_keepalive(
-    engine: &AideEngine,
+pub fn dispatch_with_keepalive<R: Repository>(
+    engine: &AideEngine<R>,
     user: &str,
     query: &str,
     work_estimate: Duration,

@@ -38,15 +38,22 @@
 //!   performs no store I/O, so its `store` term is always zero; the
 //!   difference between the two curves is exactly the storage engine.
 
+use aide::engine::AideEngine;
 use aide_htmldiff::Options as DiffOptions;
 use aide_obs::MetricsRegistry;
 use aide_rcs::repo::{MemRepository, Repository};
+use aide_serve::{AideServer, ScriptedConn};
+use aide_simweb::net::Web;
 use aide_snapshot::service::{SnapshotService, UserId};
 use aide_store::repo::{DiskRepository, StoreOptions};
 use aide_util::time::{Clock, Duration, Timestamp};
 use aide_util::vfs::{MemVfs, Vfs};
+use aide_w3newer::config::ThresholdConfig;
 use aide_workloads::edits::EditModel;
-use aide_workloads::openloop::{schedule, simulate_queue, OpenLoopConfig, RequestKind, RequestMix};
+use aide_workloads::openloop::{
+    schedule, serve_schedule, simulate_queue, OpenLoopConfig, RequestKind, RequestMix, ServeKind,
+    ServeMix,
+};
 use aide_workloads::page::Page;
 use aide_workloads::rng::Rng;
 use std::fmt::Write as _;
@@ -251,11 +258,499 @@ fn run_backend(backend: &str) -> (Vec<CurvePoint>, Option<u64>) {
     (curve, saturation)
 }
 
+// ---------------------------------------------------------------------------
+// Serving-layer capacity (`--serve` → BENCH_serve.json)
+// ---------------------------------------------------------------------------
+//
+// The same open-loop methodology pointed at `aide-serve`: a browsing
+// mix (report / history / diff page / TimeGate) over Zipf-distributed
+// URLs, every request really executed through the HTTP layer via a
+// scripted connection. The simulated client remembers ETags per target,
+// so the hot head of the Zipf distribution quickly turns into
+// conditional GETs — the experiment records how much cheaper that 304
+// path is than a cold diff render (the paper's §4.2 processor-load
+// worry, answered by validators instead of admission control).
+//
+// Serve service-time model (virtual µs, from per-request meter deltas):
+//
+// - every HTTP exchange:       `40 + response_bytes/64`
+// - each HtmlDiff invocation:  `+600` (the §4.2 expensive path)
+// - each render-cache miss:    `+150` (checkout + page assembly)
+// - each render-cache hit:     `+25`  (clone out of the cache)
+//
+// A 304 touches none of the render machinery, so its cost is the bare
+// exchange term — the ratio to a cold diff render is the headline.
+
+const SERVE_RATES: &[u64] = &[500, 1_000, 2_000, 4_000, 8_000, 16_000];
+
+/// One point on a backend's serving-capacity curve.
+struct ServePoint {
+    rate_per_sec: u64,
+    throughput_per_sec: u64,
+    utilization_permille: u64,
+    mean_service_us: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    not_modified_permille: u64,
+    render_hit_permille: u64,
+}
+
+/// Cost comparison between the conditional and cold paths, aggregated
+/// over a whole sweep.
+#[derive(Default)]
+struct ServeSummary {
+    cold_diff_renders: u64,
+    cold_diff_total_us: u64,
+    not_modified: u64,
+    not_modified_total_us: u64,
+}
+
+impl ServeSummary {
+    fn cold_mean_us(&self) -> u64 {
+        self.cold_diff_total_us
+            .checked_div(self.cold_diff_renders)
+            .unwrap_or(0)
+    }
+
+    fn nm_mean_us(&self) -> u64 {
+        self.not_modified_total_us
+            .checked_div(self.not_modified)
+            .unwrap_or(0)
+    }
+}
+
+/// Meter readings deltaed around each HTTP exchange to derive its cost.
+#[derive(Clone, Copy)]
+struct ServeMeters {
+    htmldiff: u64,
+    hits: u64,
+    misses: u64,
+    bytes_out: u64,
+}
+
+fn serve_meters<R: Repository>(server: &AideServer<R>) -> ServeMeters {
+    ServeMeters {
+        htmldiff: server
+            .engine()
+            .snapshot()
+            .snapshot_stats()
+            .htmldiff_invocations,
+        hits: server.cache_stats().hits(),
+        misses: server.cache_stats().misses(),
+        bytes_out: server.stats().bytes_out(),
+    }
+}
+
+fn exchange_cost_us(before: ServeMeters, after: ServeMeters) -> u64 {
+    40 + (after.bytes_out - before.bytes_out) / 64
+        + (after.htmldiff - before.htmldiff) * 600
+        + (after.misses - before.misses) * 150
+        + (after.hits - before.hits) * 25
+}
+
+fn user_name(u: usize) -> String {
+    format!("u{u}@cap")
+}
+
+/// The serving fixture: `URLS` structured pages, three revisions each,
+/// every user subscribed to every page (so histories and reports have
+/// content and TimeGates have a range to negotiate over).
+fn serve_engine<R: Repository>(repo: R) -> Arc<AideEngine<R>> {
+    let clock = Clock::starting_at(BASE_TIME);
+    let web = Web::new(clock);
+    let mut rng = Rng::new(SEED ^ 0x5bd1_e995);
+    let mut pages: Vec<Page> = (0..URLS)
+        .map(|_| Page::generate(&mut rng, 4 * 1024))
+        .collect();
+    for (u, page) in pages.iter().enumerate() {
+        web.set_page(&url_name(u), &page.render(), BASE_TIME - Duration::days(1))
+            .unwrap();
+    }
+    let engine = Arc::new(AideEngine::with_repository(web, repo));
+    for u in 0..USERS {
+        engine.register_user(&user_name(u), ThresholdConfig::default());
+    }
+    for url in 0..URLS {
+        for u in 0..USERS {
+            engine.remember(&user_name(u), &url_name(url)).unwrap();
+        }
+    }
+    for step in 1..=2u64 {
+        engine.clock().advance(Duration::days(7));
+        for (idx, page) in pages.iter_mut().enumerate() {
+            EditModel::InPlaceEdit { sentences: 2 }.apply(page, &mut rng, step);
+            engine
+                .web()
+                .touch_page(&url_name(idx), &page.render(), engine.clock().now())
+                .unwrap();
+        }
+        for url in 0..URLS {
+            for u in 0..USERS {
+                engine.remember(&user_name(u), &url_name(url)).unwrap();
+            }
+        }
+    }
+    engine
+}
+
+/// One HTTP exchange over a scripted connection. Returns the status
+/// code plus any `ETag` / `Location` the client should remember.
+fn serve_exchange<R: Repository>(
+    server: &AideServer<R>,
+    target: &str,
+    extra: &[(String, String)],
+) -> (u16, Option<String>, Option<String>) {
+    let mut req = format!("GET {target} HTTP/1.1\r\nHost: cap\r\n");
+    for (name, value) in extra {
+        let _ = write!(req, "{name}: {value}\r\n");
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    let mut conn = ScriptedConn::new(req.into_bytes());
+    server.handle_connection(&mut conn);
+    let resp = conn.output_text();
+    let status: u16 = resp
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let find = |name: &str| {
+        let prefix = format!("{name}:");
+        resp.split("\r\n\r\n")
+            .next()
+            .unwrap_or("")
+            .split("\r\n")
+            .find_map(|line| {
+                line.to_ascii_lowercase()
+                    .starts_with(&prefix)
+                    .then(|| line[prefix.len()..].trim().to_string())
+            })
+    };
+    (status, find("etag"), find("location"))
+}
+
+/// The conditional client: remembers the last ETag per target and
+/// replays it as `If-None-Match`.
+#[derive(Default)]
+struct EtagMemory {
+    seen: Vec<(String, String)>,
+}
+
+impl EtagMemory {
+    fn get(&self, target: &str) -> Option<&str> {
+        self.seen
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, e)| e.as_str())
+    }
+
+    fn put(&mut self, target: &str, etag: String) {
+        if let Some(slot) = self.seen.iter_mut().find(|(t, _)| t == target) {
+            slot.1 = etag;
+        } else {
+            self.seen.push((target.to_string(), etag));
+        }
+    }
+}
+
+/// Runs the serving schedule at one offered rate against a fresh server
+/// over `repo`, returning the curve point and folding cost comparisons
+/// into `summary`.
+fn run_serve_rate<R: Repository>(repo: R, rate: u64, summary: &mut ServeSummary) -> ServePoint {
+    let engine = serve_engine(repo);
+    let rev_dates: [Timestamp; 3] = [
+        BASE_TIME,
+        BASE_TIME + Duration::days(7),
+        BASE_TIME + Duration::days(14),
+    ];
+    let run_start = engine.clock().now();
+    let server = AideServer::new(engine);
+    let mut etags = EtagMemory::default();
+
+    let arrivals = serve_schedule(
+        &OpenLoopConfig {
+            seed: SEED,
+            requests: REQUESTS,
+            rate_per_sec: rate,
+            urls: URLS,
+            users: USERS,
+            mix: RequestMix::default(), // unused by serve_schedule
+        },
+        ServeMix::default(),
+    );
+
+    let mut arrival_us = Vec::with_capacity(arrivals.len());
+    let mut service_us = Vec::with_capacity(arrivals.len());
+    for (i, a) in arrivals.iter().enumerate() {
+        // Every fifth arrival models a first-time visitor with an empty
+        // browser cache: no validator, so a repeat target is answered
+        // from the render cache (a hit) instead of with a 304.
+        let fresh_visitor = i % 5 == 0;
+        server
+            .engine()
+            .clock()
+            .set(Timestamp(run_start.0 + a.at_us / 1_000_000));
+        let url = url_name(a.url);
+        let user = user_name(a.user);
+        let mut cost = 0u64;
+
+        // A conditional GET against one cacheable target, with meter
+        // deltas classified into the summary buckets.
+        let mut conditional = |target: &str, is_diff: bool| {
+            let mut headers = Vec::new();
+            if !fresh_visitor {
+                if let Some(etag) = etags.get(target) {
+                    headers.push(("If-None-Match".to_string(), etag.to_string()));
+                }
+            }
+            let before = serve_meters(&server);
+            let (status, etag, _) = serve_exchange(&server, target, &headers);
+            let after = serve_meters(&server);
+            let c = exchange_cost_us(before, after);
+            if status == 304 {
+                summary.not_modified += 1;
+                summary.not_modified_total_us += c;
+            } else if is_diff && after.htmldiff > before.htmldiff {
+                summary.cold_diff_renders += 1;
+                summary.cold_diff_total_us += c;
+            }
+            if let Some(etag) = etag {
+                etags.put(target, etag);
+            }
+            c
+        };
+
+        match a.kind {
+            ServeKind::Report => {
+                let before = serve_meters(&server);
+                serve_exchange(&server, &format!("/report?user={user}"), &[]);
+                cost += exchange_cost_us(before, serve_meters(&server));
+            }
+            ServeKind::History => {
+                cost += conditional(&format!("/history?url={url}&user={user}"), false);
+            }
+            ServeKind::DiffPage => {
+                let (from, to) = match (a.url + a.user) % 3 {
+                    0 => ("1.1", "1.2"),
+                    1 => ("1.2", "1.3"),
+                    _ => ("1.1", "1.3"),
+                };
+                cost += conditional(&format!("/diff?url={url}&from={from}&to={to}"), true);
+            }
+            ServeKind::TimeGate => {
+                // Negotiate near one of the revision instants, then
+                // follow the redirect chain to the memento itself.
+                let near = rev_dates[(a.url + a.user) % 3] + Duration::hours(2);
+                let before = serve_meters(&server);
+                let (_, _, location) = serve_exchange(
+                    &server,
+                    &format!("/timegate/{url}"),
+                    &[("Accept-Datetime".to_string(), near.to_http_date())],
+                );
+                cost += exchange_cost_us(before, serve_meters(&server));
+                let mut next = location;
+                let mut hops = 0;
+                while let Some(target) = next.take() {
+                    hops += 1;
+                    if hops > 3 {
+                        break;
+                    }
+                    let etag_known = etags.get(&target).is_some();
+                    let before = serve_meters(&server);
+                    let mut headers = Vec::new();
+                    if etag_known {
+                        headers.push((
+                            "If-None-Match".to_string(),
+                            etags.get(&target).unwrap_or_default().to_string(),
+                        ));
+                    }
+                    let (status, etag, location) = serve_exchange(&server, &target, &headers);
+                    let after = serve_meters(&server);
+                    let c = exchange_cost_us(before, after);
+                    if status == 304 {
+                        summary.not_modified += 1;
+                        summary.not_modified_total_us += c;
+                    }
+                    if let Some(etag) = etag {
+                        etags.put(&target, etag);
+                    }
+                    cost += c;
+                    next = location;
+                }
+            }
+        }
+
+        arrival_us.push(a.at_us);
+        service_us.push(cost);
+    }
+
+    let latencies = simulate_queue(&arrival_us, &service_us, 1);
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f).round() as usize];
+    let total_service: u64 = service_us.iter().sum();
+    let makespan = arrival_us
+        .iter()
+        .zip(&latencies)
+        .map(|(a, l)| a + l)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let stats = server.stats();
+    let cache = server.cache_stats();
+    let probes = cache.hits() + cache.misses();
+    ServePoint {
+        rate_per_sec: rate,
+        throughput_per_sec: REQUESTS as u64 * 1_000_000 / makespan,
+        utilization_permille: total_service * 1_000 / makespan,
+        mean_service_us: total_service / REQUESTS as u64,
+        p50_us: q(0.50),
+        p90_us: q(0.90),
+        p99_us: q(0.99),
+        max_us: *sorted.last().unwrap_or(&0),
+        not_modified_permille: stats.not_modified() * 1_000 / stats.requests().max(1),
+        render_hit_permille: (cache.hits() * 1_000).checked_div(probes).unwrap_or(0),
+    }
+}
+
+fn run_serve_backend(backend: &str, summary: &mut ServeSummary) -> (Vec<ServePoint>, Option<u64>) {
+    let mut curve = Vec::new();
+    for &rate in SERVE_RATES {
+        let point = match backend {
+            "mem" => run_serve_rate(MemRepository::new(), rate, summary),
+            "disk" => {
+                let vfs: Arc<dyn Vfs> = MemVfs::shared();
+                let repo = DiskRepository::open(vfs, "capacity", StoreOptions::default()).unwrap();
+                run_serve_rate(repo, rate, summary)
+            }
+            _ => unreachable!("unknown backend"),
+        };
+        curve.push(point);
+    }
+    let saturation = curve
+        .iter()
+        .find(|p| p.utilization_permille >= 950)
+        .map(|p| p.rate_per_sec);
+    (curve, saturation)
+}
+
+fn serve_main(out_path: &str) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seed\": {SEED}, \"requests\": {REQUESTS}, \"urls\": {URLS}, \
+         \"users\": {USERS}, \"mix\": \"report:2 history:4 diff_page:3 timegate:1\", \
+         \"servers\": 1}},"
+    );
+    json.push_str("  \"backends\": [\n");
+
+    let mut summary = ServeSummary::default();
+    for (bi, backend) in ["mem", "disk"].iter().enumerate() {
+        println!("=== serve backend: {backend} ===");
+        println!(
+            "{:>10} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}",
+            "rate/s", "thruput/s", "util%", "p50 µs", "p90 µs", "p99 µs", "max µs", "304%", "hit%"
+        );
+        let (curve, saturation) = run_serve_backend(backend, &mut summary);
+        let _ = writeln!(json, "    {{\"backend\": \"{backend}\", \"curve\": [");
+        for (i, p) in curve.iter().enumerate() {
+            println!(
+                "{:>10} {:>12} {:>8.1} {:>10} {:>10} {:>10} {:>10} {:>7.1} {:>7.1}",
+                p.rate_per_sec,
+                p.throughput_per_sec,
+                p.utilization_permille as f64 / 10.0,
+                p.p50_us,
+                p.p90_us,
+                p.p99_us,
+                p.max_us,
+                p.not_modified_permille as f64 / 10.0,
+                p.render_hit_permille as f64 / 10.0,
+            );
+            let _ = write!(
+                json,
+                "      {{\"rate_per_sec\": {}, \"throughput_per_sec\": {}, \
+                 \"utilization_permille\": {}, \"mean_service_us\": {}, \"p50_us\": {}, \
+                 \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+                 \"not_modified_permille\": {}, \"render_hit_permille\": {}}}",
+                p.rate_per_sec,
+                p.throughput_per_sec,
+                p.utilization_permille,
+                p.mean_service_us,
+                p.p50_us,
+                p.p90_us,
+                p.p99_us,
+                p.max_us,
+                p.not_modified_permille,
+                p.render_hit_permille,
+            );
+            json.push_str(if i + 1 < curve.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("    ],\n");
+        match saturation {
+            Some(rate) => {
+                println!("saturation: {rate} req/s\n");
+                let _ = writeln!(json, "    \"saturation_rate_per_sec\": {rate}}}");
+            }
+            None => {
+                println!("saturation: not reached in sweep\n");
+                let _ = writeln!(json, "    \"saturation_rate_per_sec\": null}}");
+            }
+        }
+        if bi == 0 {
+            json.truncate(json.len() - 1);
+            json.push_str(",\n");
+        }
+    }
+    json.push_str("  ],\n");
+
+    let cold = summary.cold_mean_us();
+    let nm = summary.nm_mean_us();
+    let ratio_x10 = (cold * 10).checked_div(nm.max(1)).unwrap_or(0);
+    println!(
+        "cold diff render mean: {cold} µs over {} renders",
+        summary.cold_diff_renders
+    );
+    println!(
+        "304 mean:              {nm} µs over {} responses",
+        summary.not_modified
+    );
+    println!("cold/304 ratio:        {:.1}x", ratio_x10 as f64 / 10.0);
+    assert!(
+        ratio_x10 >= 100,
+        "the 304 path must be >=10x cheaper than a cold diff render \
+         (cold {cold} µs vs 304 {nm} µs)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"conditional_path\": {{\"cold_diff_render_mean_us\": {cold}, \
+         \"cold_diff_renders\": {}, \"not_modified_mean_us\": {nm}, \
+         \"not_modified_responses\": {}, \"cold_to_304_ratio_x10\": {ratio_x10}}}",
+        summary.cold_diff_renders, summary.not_modified
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn main() {
+    let serve_mode = std::env::args().any(|a| a == "--serve");
     let out_path = std::env::args()
         .skip_while(|a| a != "--out")
         .nth(1)
-        .unwrap_or_else(|| "BENCH_capacity.json".to_string());
+        .unwrap_or_else(|| {
+            if serve_mode {
+                "BENCH_serve.json".to_string()
+            } else {
+                "BENCH_capacity.json".to_string()
+            }
+        });
+    if serve_mode {
+        serve_main(&out_path);
+        return;
+    }
 
     let mut json = String::new();
     json.push_str("{\n");

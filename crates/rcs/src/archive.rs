@@ -296,6 +296,24 @@ impl Archive {
         Ok((rev, self.checkout(rev)?))
     }
 
+    /// The revision *closest* to `date`, Memento TimeGate style
+    /// (RFC 7089 §4.5.3): dates before the first revision clamp to the
+    /// first, dates after the last clamp to the last, anything between
+    /// picks whichever neighbour is nearer in time — the earlier one on
+    /// an exact tie. Unlike [`Archive::checkout_at`] this never fails:
+    /// archives hold at least one revision by construction.
+    pub fn closest_to(&self, date: Timestamp) -> (RevId, Timestamp) {
+        let mut best = &self.metas[0];
+        for m in &self.metas {
+            let d_best = best.date.0.abs_diff(date.0);
+            let d_m = m.date.0.abs_diff(date.0);
+            if d_m < d_best {
+                best = m;
+            }
+        }
+        (best.id, best.date)
+    }
+
     /// `rcsdiff`: the delta transforming `from`'s text into `to`'s.
     pub fn diff(&self, from: RevId, to: RevId) -> Result<Delta, ArchiveError> {
         let a = self.checkout(from)?;
@@ -394,6 +412,31 @@ mod tests {
             a.checkout_at(Timestamp::EPOCH),
             Err(ArchiveError::NothingAtDate(_))
         ));
+    }
+
+    #[test]
+    fn closest_to_clamps_and_picks_nearest() {
+        let a = sample(); // revisions at t(0), t(1), t(2)
+                          // Before the first revision: clamp to the first (RFC 7089).
+        assert_eq!(a.closest_to(Timestamp::EPOCH), (RevId(1), t(0)));
+        // After the last: clamp to the last.
+        assert_eq!(a.closest_to(t(30)), (RevId(3), t(2)));
+        // Exact match wins outright.
+        assert_eq!(a.closest_to(t(1)), (RevId(2), t(1)));
+        // Between revisions: the nearer neighbour...
+        assert_eq!(
+            a.closest_to(t(1) + aide_util::time::Duration::hours(2)),
+            (RevId(2), t(1))
+        );
+        assert_eq!(
+            a.closest_to(t(2) - aide_util::time::Duration::hours(2)),
+            (RevId(3), t(2))
+        );
+        // ...and the earlier one on a dead-centre tie.
+        assert_eq!(
+            a.closest_to(t(1) + aide_util::time::Duration::hours(12)),
+            (RevId(2), t(1))
+        );
     }
 
     #[test]

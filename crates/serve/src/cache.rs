@@ -1,0 +1,190 @@
+//! The render cache: finished HTTP page bodies, keyed by ETag.
+//!
+//! `ShardedDiffCache` (in aide-snapshot) caches *token-level diff
+//! computations*; this cache sits a layer above it and stores the
+//! *final rendered page* — the HtmlDiff report wrapped in its HTML
+//! shell, the BASE-rewritten archived view, the history listing. Since
+//! every cacheable page already carries a content-derived ETag (see
+//! `DESIGN.md` §4j), the ETag doubles as the cache key: two requests
+//! that would produce byte-identical pages share one entry, across
+//! users and across backends.
+//!
+//! Eviction is sharded LRU with linear-scan shards: capacities are
+//! small (hundreds of pages), scans are over a `Vec`, and — unlike a
+//! `HashMap` walk — the order is fully deterministic, so two same-seed
+//! runs evict identically.
+
+use aide_util::checksum::fnv1a64;
+use aide_util::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+
+/// One cached page: what is needed to replay the 200 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedPage {
+    /// `Content-Type` of the rendered page.
+    pub content_type: String,
+    /// The rendered body.
+    pub body: Arc<String>,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// LRU order: front = coldest, back = hottest.
+    entries: Vec<(String, CachedPage)>,
+}
+
+/// Counters mirroring the `serve.render_cache.*` obs counters, kept as
+/// plain atomics so tests can assert on them without installing a
+/// metrics registry.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to render.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Pages pushed out by capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A sharded LRU of rendered pages, keyed by ETag.
+pub struct RenderCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    stats: CacheStats,
+}
+
+impl RenderCache {
+    /// A cache holding about `capacity` pages in total.
+    pub fn new(capacity: usize) -> RenderCache {
+        RenderCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, etag: &str) -> &Mutex<Shard> {
+        &self.shards[fnv1a64(etag.as_bytes()) as usize % SHARDS]
+    }
+
+    /// Looks up the page rendered under `etag`, refreshing its LRU
+    /// position. Counts a hit or a miss either way.
+    pub fn get(&self, etag: &str) -> Option<CachedPage> {
+        let mut shard = self.shard(etag).lock();
+        let found = shard.entries.iter().position(|(k, _)| k == etag);
+        match found {
+            Some(i) => {
+                let entry = shard.entries.remove(i);
+                let page = entry.1.clone();
+                shard.entries.push(entry);
+                drop(shard);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                aide_obs::counter("serve.render_cache.hit", 1);
+                Some(page)
+            }
+            None => {
+                drop(shard);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                aide_obs::counter("serve.render_cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores `page` under `etag`, evicting the coldest entry if the
+    /// shard is full. Re-inserting an existing key refreshes the page.
+    pub fn put(&self, etag: &str, page: CachedPage) {
+        let mut shard = self.shard(etag).lock();
+        if let Some(i) = shard.entries.iter().position(|(k, _)| k == etag) {
+            shard.entries.remove(i);
+        } else if shard.entries.len() >= self.per_shard_cap {
+            shard.entries.remove(0);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            aide_obs::counter("serve.render_cache.eviction", 1);
+        }
+        shard.entries.push((etag.to_string(), page));
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(body: &str) -> CachedPage {
+        CachedPage {
+            content_type: "text/html".to_string(),
+            body: Arc::new(body.to_string()),
+        }
+    }
+
+    #[test]
+    fn get_put_and_counters() {
+        let c = RenderCache::new(64);
+        assert!(c.get("v-1").is_none());
+        assert_eq!(c.stats().misses(), 1);
+        c.put("v-1", page("hello"));
+        let hit = c.get("v-1").unwrap();
+        assert_eq!(*hit.body, "hello");
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_per_shard() {
+        // Capacity 8 over 8 shards = 1 page per shard: a second key in
+        // the same shard evicts the first.
+        let c = RenderCache::new(8);
+        let mut keys = Vec::new();
+        for i in 0..64 {
+            let k = format!("k{i}");
+            c.put(&k, page(&k));
+            keys.push(k);
+        }
+        assert!(c.len() <= 8, "capacity respected: {}", c.len());
+        assert!(c.stats().evictions() > 0);
+        // The most recently inserted key of some shard is still present.
+        assert!(c.get("k63").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let c = RenderCache::new(64);
+        c.put("a", page("one"));
+        c.put("a", page("two"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get("a").unwrap().body, "two");
+    }
+}

@@ -1,0 +1,92 @@
+//! Real-socket smoke test.
+//!
+//! The deterministic suites drive the server through scripted
+//! connections; this one check proves the `Connection` seam genuinely
+//! carries a std TCP stream — bind an ephemeral port, serve accepted
+//! sockets with the same worker-pool idiom as `examples/serve_tcp.rs`,
+//! and make a few requests with a plain `TcpStream` client.
+
+mod common;
+
+use aide::engine::AideEngine;
+use aide_serve::{AideServer, ConnError, Connection};
+use common::{fixture_web, populate, URL, USER};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+struct TcpConn(TcpStream);
+
+impl Connection for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, ConnError> {
+        self.0.read(buf).map_err(|_| ConnError::Reset)
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), ConnError> {
+        self.0.write_all(bytes).map_err(|_| ConnError::Reset)
+    }
+}
+
+fn request_over_tcp(addr: std::net::SocketAddr, req: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn serves_real_sockets() {
+    let engine = Arc::new(AideEngine::new(fixture_web()));
+    populate(&engine);
+    let server = Arc::new(AideServer::new(engine));
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    const CONNS: usize = 4;
+
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            for _ in 0..CONNS {
+                let (stream, _) = listener.accept().unwrap();
+                let mut conn = TcpConn(stream);
+                server.handle_connection(&mut conn);
+            }
+        })
+    };
+
+    let resp = request_over_tcp(
+        addr,
+        &format!("GET /view?url={URL}&rev=1.2 HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    );
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+    assert!(resp.contains("version two body text."));
+
+    let resp = request_over_tcp(
+        addr,
+        &format!("GET /history?url={URL}&user={USER} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    );
+    assert!(resp.contains("1.3"));
+
+    // Keep-alive over a real socket: two requests, one connection.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "GET /view?url={URL}&rev=1.1 HTTP/1.1\r\n\r\n\
+                 GET /view?url={URL}&rev=1.3 HTTP/1.1\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 2);
+
+    // Garbage over a real socket: a 4xx, not a hang.
+    let resp = request_over_tcp(addr, "EXPLODE\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    acceptor.join().unwrap();
+}

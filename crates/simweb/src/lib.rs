@@ -19,6 +19,9 @@
 //! - [`net`]: the [`Web`] itself — the host registry, request dispatch,
 //!   conditional GET semantics, failure injection and global request
 //!   accounting (the quantity the §3 scalability experiments count).
+//! - [`wire`]: the HTTP/1.x byte format — an incremental request parser
+//!   and response serializer shared with `aide-serve`, so the simulated
+//!   net and the real server run the same parser.
 //! - [`fault`]: scripted, deterministic fault plans — probabilistic
 //!   per-host fault rates and time-windowed outage episodes layered over
 //!   the static server-state knobs.
@@ -41,6 +44,7 @@ pub mod net;
 pub mod proxy;
 pub mod resource;
 pub mod server;
+pub mod wire;
 
 pub use browser::Browser;
 pub use fault::{FaultEpisode, FaultKind, FaultPlan};

@@ -1,0 +1,159 @@
+//! Property-based tests for the shared HTTP/1.x wire module.
+//!
+//! Invariants:
+//! - the parser never panics, whatever bytes arrive;
+//! - a serialized well-formed request parses back to itself;
+//! - feeding bytes one at a time yields exactly the same request as one
+//!   big push (the incremental parser has no chunking-dependent state);
+//! - every parse error maps to a concrete 4xx/5xx status;
+//! - responses always frame their body with a correct Content-Length
+//!   (except 304, which must not carry one).
+
+use aide_simweb::wire::{HttpVersion, Limits, RequestParser, WireRequest, WireResponse};
+use proptest::prelude::*;
+
+fn token_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z!#$%&'*+.^_`|~-]{1,12}"
+}
+
+fn target_strategy() -> impl Strategy<Value = String> {
+    "/[a-zA-Z0-9/?=&._%-]{0,40}"
+}
+
+fn header_strategy() -> impl Strategy<Value = (String, String)> {
+    (token_strategy(), "[a-zA-Z0-9 ,;=/_.-]{0,30}")
+}
+
+/// A well-formed request whose serialization the parser must accept.
+fn build_request(
+    method: &str,
+    target: &str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+) -> WireRequest {
+    let mut headers: Vec<(String, String)> = headers
+        .into_iter()
+        // Values must survive the parser's trim to round-trip, and a
+        // random name colliding with Content-Length would break framing.
+        .filter(|(n, _)| !n.eq_ignore_ascii_case("content-length"))
+        .map(|(n, v)| (n, v.trim().to_string()))
+        .collect();
+    if !body.is_empty() {
+        headers.push(("Content-Length".to_string(), body.len().to_string()));
+    }
+    WireRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        version: HttpVersion::H11,
+        headers,
+        body,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let mut parser = RequestParser::new();
+        // Either outcome is fine; panicking or looping is not.
+        for chunk in bytes.chunks(97) {
+            parser.push(chunk);
+            if parser.take_request().is_err() {
+                return Ok(());
+            }
+        }
+    }
+
+    #[test]
+    fn serialize_then_parse_roundtrips(
+        method in token_strategy(),
+        target in target_strategy(),
+        headers in proptest::collection::vec(header_strategy(), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        let req = build_request(&method, &target, headers, body);
+        let wire = req.serialize();
+        let mut parser = RequestParser::new();
+        parser.push(&wire);
+        let parsed = parser.take_request().unwrap().expect("complete request");
+        prop_assert_eq!(&parsed.method, &req.method);
+        prop_assert_eq!(&parsed.target, &req.target);
+        prop_assert_eq!(&parsed.body, &req.body);
+        for (name, value) in &req.headers {
+            prop_assert_eq!(parsed.header(name), Some(value.as_str()));
+        }
+        prop_assert_eq!(parser.buffered(), 0, "nothing left over");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot(
+        target in target_strategy(),
+        headers in proptest::collection::vec(header_strategy(), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..40),
+        chunk in 1usize..7,
+    ) {
+        let wire = build_request("GET", &target, headers, body).serialize();
+
+        let mut oneshot = RequestParser::new();
+        oneshot.push(&wire);
+        let a = oneshot.take_request().unwrap().expect("oneshot complete");
+
+        let mut dribble = RequestParser::new();
+        let mut b = None;
+        for piece in wire.chunks(chunk) {
+            dribble.push(piece);
+        }
+        if let Some(req) = dribble.take_request().unwrap() {
+            b = Some(req);
+        }
+        let b = b.expect("dribble complete");
+
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_carry_a_real_status(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut parser = RequestParser::with_limits(Limits {
+            max_request_line: 64,
+            max_header_bytes: 128,
+            max_headers: 4,
+            max_body: 64,
+        });
+        parser.push(&bytes);
+        if let Err(e) = parser.take_request() {
+            let status = e.status();
+            prop_assert!(
+                matches!(status, 400 | 413 | 414 | 431 | 501),
+                "unexpected error status {} for {}", status, e
+            );
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn responses_frame_bodies_correctly(
+        status in prop_oneof![Just(200u16), Just(302u16), Just(304u16), Just(404u16), Just(500u16)],
+        body in "[ -~]{0,80}",
+    ) {
+        let resp = WireResponse::new(status).body(body.as_bytes().to_vec());
+        let wire = resp.serialize(false);
+        let text = String::from_utf8_lossy(&wire).into_owned();
+        if status == 304 {
+            prop_assert!(!text.to_ascii_lowercase().contains("content-length"));
+            prop_assert!(text.ends_with("\r\n\r\n"), "304 carries no body");
+        } else {
+            let expect = format!("Content-Length: {}\r\n", body.len());
+            prop_assert!(text.contains(&expect), "missing framing in {}", text);
+            prop_assert!(text.ends_with(&body), "body present");
+        }
+        // HEAD serialization keeps the head, drops the payload.
+        let head = resp.serialize(true);
+        let head_text = String::from_utf8_lossy(&head).into_owned();
+        prop_assert!(head_text.ends_with("\r\n\r\n"));
+    }
+}

@@ -572,6 +572,40 @@ impl<R: Repository> SnapshotService<R> {
         Ok(archive.checkout_at(date)?)
     }
 
+    /// Memento selection: the revision of `url` *closest* to `date`
+    /// (RFC 7089 TimeGate semantics — clamped to the archive's first and
+    /// last revisions, nearest neighbour in between, earlier on a tie),
+    /// with its BASE-rewritten text. Contrast [`SnapshotService::view_at`],
+    /// which is strict `co -d` and fails for dates before the first
+    /// revision.
+    pub fn memento_of(
+        &self,
+        url: &str,
+        date: Timestamp,
+    ) -> Result<(RevId, Timestamp, String), ServiceError> {
+        let archive = self
+            .load_degraded(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        let (rev, rev_date) = archive.closest_to(date);
+        let body = archive.checkout(rev)?;
+        drop(archive);
+        let body = match Url::parse(url) {
+            Ok(base) => serialize(&rewrite_base(&lex(&body), &base)),
+            Err(_) => body,
+        };
+        Ok((rev, rev_date, body))
+    }
+
+    /// Full revision metadata of `url`, oldest first — the TimeMap's
+    /// source of truth (user-independent, unlike
+    /// [`SnapshotService::history`]).
+    pub fn revisions(&self, url: &str) -> Result<Vec<RevisionMeta>, ServiceError> {
+        let archive = self
+            .load_degraded(url)?
+            .ok_or_else(|| ServiceError::NeverArchived(url.to_string()))?;
+        Ok(archive.metas().to_vec())
+    }
+
     /// The head revision of `url`, if archived.
     pub fn head(&self, url: &str) -> Result<Option<(RevId, Timestamp)>, ServiceError> {
         Ok(self
@@ -695,6 +729,43 @@ mod tests {
         assert!(!out.stored_new_revision);
         assert_eq!(out.rev, RevId(1));
         assert_eq!(s.snapshot_stats().unchanged_remembers, 1);
+    }
+
+    #[test]
+    fn memento_clamps_and_revisions_list_oldest_first() {
+        let (clock, s) = service();
+        let t1 = clock.now();
+        s.remember(&fred(), URL, "<HTML>v1</HTML>").unwrap();
+        clock.advance(Duration::days(2));
+        let t2 = clock.now();
+        s.remember(&fred(), URL, "<HTML>v2</HTML>").unwrap();
+
+        // Before the first revision: clamp to it (view_at would fail).
+        let (rev, date, body) = s.memento_of(URL, Timestamp::EPOCH).unwrap();
+        assert_eq!((rev, date), (RevId(1), t1));
+        assert!(body.contains("v1"));
+        // After the last: clamp to the head.
+        let (rev, date, _) = s.memento_of(URL, t2 + Duration::days(30)).unwrap();
+        assert_eq!((rev, date), (RevId(2), t2));
+        // Closer to the first: the first wins.
+        let (rev, _, _) = s.memento_of(URL, t1 + Duration::hours(1)).unwrap();
+        assert_eq!(rev, RevId(1));
+        // Memento bodies get the same BASE rewrite as view().
+        assert!(body.contains("BASE"), "{body}");
+
+        let metas = s.revisions(URL).unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!((metas[0].id, metas[0].date), (RevId(1), t1));
+        assert_eq!((metas[1].id, metas[1].date), (RevId(2), t2));
+
+        assert!(matches!(
+            s.revisions("http://nowhere/x"),
+            Err(ServiceError::NeverArchived(_))
+        ));
+        assert!(matches!(
+            s.memento_of("http://nowhere/x", t1),
+            Err(ServiceError::NeverArchived(_))
+        ));
     }
 
     #[test]

@@ -332,6 +332,43 @@ impl Timestamp {
         )
     }
 
+    /// Parses an RFC-1123 HTTP date produced by [`Timestamp::to_http_date`]
+    /// (`Fri, 29 Sep 1995 12:00:00 GMT`). The weekday name is ignored —
+    /// senders get it wrong often enough that RFC 7231 tells recipients
+    /// to use only the date fields — but the shape must match exactly:
+    /// this is the strict `IMF-fixdate` form, not the obsolete RFC-850
+    /// or asctime variants.
+    pub fn parse_http_date(s: &str) -> Option<Timestamp> {
+        let s = s.trim();
+        let rest = s.split_once(", ").map(|(_, r)| r)?;
+        let rest = rest.strip_suffix(" GMT")?;
+        // rest = "29 Sep 1995 12:00:00"
+        let mut parts = rest.split(' ');
+        let day: u64 = parts.next()?.parse().ok()?;
+        let mon_name = parts.next()?;
+        let month = MONTH_NAMES.iter().position(|m| *m == mon_name)? as u64 + 1;
+        let year: u64 = parts.next()?.parse().ok()?;
+        let hms = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let mut t = hms.split(':');
+        let hour: u64 = t.next()?.parse().ok()?;
+        let min: u64 = t.next()?.parse().ok()?;
+        let sec: u64 = t.next()?.parse().ok()?;
+        if t.next().is_some() {
+            return None;
+        }
+        if year < 1970 || hour >= 24 || min >= 60 || sec >= 60 {
+            return None;
+        }
+        let dim = DAYS_IN_MONTH[(month - 1) as usize] + u64::from(month == 2 && is_leap(year));
+        if !(1..=dim).contains(&day) {
+            return None;
+        }
+        Some(Timestamp::from_ymd_hms(year, month, day, hour, min, sec))
+    }
+
     /// Parses an RCS datestamp produced by [`Timestamp::to_rcs_date`].
     pub fn parse_rcs_date(s: &str) -> Option<Timestamp> {
         let parts: Vec<&str> = s.trim().split('.').collect();
@@ -494,6 +531,40 @@ mod tests {
         let after = leap + Duration::days(1);
         let c = after.calendar();
         assert_eq!((c.month, c.day), (3, 1));
+    }
+
+    #[test]
+    fn http_date_roundtrip() {
+        for t in [
+            Timestamp::EPOCH,
+            Timestamp::from_ymd_hms(1995, 9, 29, 12, 0, 0),
+            Timestamp::from_ymd_hms(1996, 2, 29, 23, 59, 59),
+            Timestamp::from_ymd_hms(2026, 8, 7, 6, 5, 4),
+        ] {
+            assert_eq!(Timestamp::parse_http_date(&t.to_http_date()), Some(t));
+        }
+        // Weekday name is not verified, only shape.
+        assert_eq!(
+            Timestamp::parse_http_date("Mon, 29 Sep 1995 12:00:00 GMT"),
+            Some(Timestamp::from_ymd_hms(1995, 9, 29, 12, 0, 0))
+        );
+    }
+
+    #[test]
+    fn http_date_rejects_garbage() {
+        for bad in [
+            "",
+            "29 Sep 1995 12:00:00 GMT",
+            "Fri, 29 Sep 1995 12:00:00",
+            "Fri, 32 Sep 1995 12:00:00 GMT",
+            "Fri, 29 Xxx 1995 12:00:00 GMT",
+            "Fri, 29 Sep 1995 25:00:00 GMT",
+            "Fri, 29 Sep 1969 12:00:00 GMT",
+            "Fri, 29 Sep 1995 12:00:00 GMT extra",
+            "Friday, 29-Sep-95 12:00:00 GMT",
+        ] {
+            assert_eq!(Timestamp::parse_http_date(bad), None, "accepted {bad:?}");
+        }
     }
 
     #[test]

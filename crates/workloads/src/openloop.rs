@@ -151,6 +151,123 @@ pub fn schedule(cfg: &OpenLoopConfig) -> Vec<Arrival> {
     out
 }
 
+/// What a simulated HTTP client asks the serving layer for.
+///
+/// The serving-layer mix is distinct from the tracker mix
+/// ([`RequestKind`]): these are read-side page requests against
+/// `aide-serve`, not engine mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeKind {
+    /// `GET /report?user=…` — the §5 what's-new report (uncacheable).
+    Report,
+    /// `GET /history?url=…&user=…` — the per-URL revision table.
+    History,
+    /// `GET /diff?url=…&from=…&to=…` — a rendered HtmlDiff page.
+    DiffPage,
+    /// `GET /timegate/<url>` with `Accept-Datetime` — Memento
+    /// negotiation plus the redirected memento fetch.
+    TimeGate,
+}
+
+/// Relative frequencies of the four serving-layer request kinds.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeMix {
+    /// Weight of [`ServeKind::Report`].
+    pub report: u32,
+    /// Weight of [`ServeKind::History`].
+    pub history: u32,
+    /// Weight of [`ServeKind::DiffPage`].
+    pub diff_page: u32,
+    /// Weight of [`ServeKind::TimeGate`].
+    pub timegate: u32,
+}
+
+impl Default for ServeMix {
+    /// Browsing steady state: histories and diff pages dominate, the
+    /// report is consulted occasionally, time-travel is the long tail.
+    fn default() -> Self {
+        ServeMix {
+            report: 2,
+            history: 4,
+            diff_page: 3,
+            timegate: 1,
+        }
+    }
+}
+
+/// One scheduled serving-layer request.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeArrival {
+    /// Arrival time in virtual microseconds from the start of the run.
+    pub at_us: u64,
+    /// Which route the request hits.
+    pub kind: ServeKind,
+    /// Index of the target page in the experiment's URL population
+    /// (Zipf: the same few hot pages keep being re-requested, which is
+    /// exactly what a conditional-GET client turns into 304s).
+    pub url: usize,
+    /// Index of the requesting user.
+    pub user: usize,
+}
+
+/// Builds the deterministic arrival schedule for a serving-layer run.
+///
+/// Same arrival process and draw order as [`schedule`] (exponential gap,
+/// kind, Zipf URL, uniform user — one seeded [`Rng`]) so the two
+/// generators share calibration; only the kind alphabet differs. The
+/// schedule is a pure function of `(cfg, mix)`.
+///
+/// # Examples
+///
+/// ```
+/// use aide_workloads::openloop::{serve_schedule, OpenLoopConfig, RequestMix, ServeMix};
+///
+/// let cfg = OpenLoopConfig {
+///     seed: 7,
+///     requests: 100,
+///     rate_per_sec: 50,
+///     urls: 10,
+///     users: 4,
+///     mix: RequestMix::default(), // unused by serve_schedule
+/// };
+/// let a = serve_schedule(&cfg, ServeMix::default());
+/// let b = serve_schedule(&cfg, ServeMix::default());
+/// assert_eq!(a.len(), 100);
+/// assert!(a.iter().zip(&b).all(|(x, y)| x.at_us == y.at_us && x.kind == y.kind));
+/// ```
+pub fn serve_schedule(cfg: &OpenLoopConfig, mix: ServeMix) -> Vec<ServeArrival> {
+    assert!(cfg.rate_per_sec > 0, "offered rate must be positive");
+    assert!(cfg.urls > 0 && cfg.users > 0, "need at least one target");
+    let total = mix.report + mix.history + mix.diff_page + mix.timegate;
+    assert!(total > 0, "serve mix must have positive total weight");
+    let mut rng = Rng::new(cfg.seed);
+    let mean_gap_us = 1_000_000.0 / cfg.rate_per_sec as f64;
+    let mut now_us = 0u64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        let u = rng.f64().min(0.999_999_999);
+        let gap = (-(1.0 - u).ln() * mean_gap_us).round() as u64;
+        now_us += gap;
+        let pick = rng.below(u64::from(total)) as u32;
+        let kind = if pick < mix.report {
+            ServeKind::Report
+        } else if pick < mix.report + mix.history {
+            ServeKind::History
+        } else if pick < mix.report + mix.history + mix.diff_page {
+            ServeKind::DiffPage
+        } else {
+            ServeKind::TimeGate
+        };
+        out.push(ServeArrival {
+            at_us: now_us,
+            kind,
+            url: rng.zipf(cfg.urls),
+            user: rng.index(cfg.users),
+        });
+    }
+    out
+}
+
 /// Simulates a FIFO queue with `servers` identical workers over an
 /// open-loop arrival schedule, returning each request's latency
 /// (queueing delay + service time) in microseconds.
@@ -242,6 +359,35 @@ mod tests {
         let polls = a.iter().filter(|r| r.kind == RequestKind::Poll).count() as f64;
         let frac = polls / a.len() as f64;
         assert!((frac - 0.6).abs() < 0.1, "poll fraction {frac}");
+    }
+
+    #[test]
+    fn serve_schedule_is_deterministic_and_matches_timing() {
+        let a = serve_schedule(&cfg(100), ServeMix::default());
+        let b = serve_schedule(&cfg(100), ServeMix::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_us, y.at_us);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.user, y.user);
+        }
+        // Same seed, same draw order: the serve schedule's arrival
+        // instants and targets coincide with the tracker schedule's —
+        // only the kind alphabet differs.
+        let t = schedule(&cfg(100));
+        for (s, t) in a.iter().zip(&t) {
+            assert_eq!(s.at_us, t.at_us);
+            assert_eq!(s.url, t.url);
+            assert_eq!(s.user, t.user);
+        }
+    }
+
+    #[test]
+    fn serve_mix_respects_weights() {
+        let a = serve_schedule(&cfg(100), ServeMix::default());
+        let hist = a.iter().filter(|r| r.kind == ServeKind::History).count() as f64;
+        let frac = hist / a.len() as f64;
+        assert!((frac - 0.4).abs() < 0.1, "history fraction {frac}");
     }
 
     #[test]
