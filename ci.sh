@@ -58,6 +58,14 @@ cargo run -q --release -p aide-bench --bin exp_capacity -- \
     --out target/capacity_b.json
 cmp target/capacity_a.json target/capacity_b.json
 
+echo "== scheduler experiment (adaptive must beat threshold; byte-identical)"
+cargo run -q --release -p aide-bench --bin exp_scheduler -- \
+    --out target/sched_a.json
+cargo run -q --release -p aide-bench --bin exp_scheduler -- \
+    --out target/sched_b.json
+cmp target/sched_a.json target/sched_b.json
+cmp target/sched_a.json BENCH_sched.json
+
 echo "== serve transcript determinism (same fixture => byte-identical responses)"
 AIDE_SERVE_DUMP="$PWD/target/serve_transcript_a.txt" \
     cargo test -q -p aide-serve --test memento >/dev/null

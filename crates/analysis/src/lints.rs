@@ -473,7 +473,7 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
                                     "lock-order inversion: acquiring `{}` (rank {}) while `{}` (rank {}) from line {} is held",
                                     class.name, class.rank, g.class.name, g.class.rank, g.line
                                 ),
-                                "acquire locks in ascending rank order (flight, url, user, then structure guards); \
+                                "acquire locks in ascending rank order (flight, url, user, sched, store, then structure guards); \
                                  see the shared rank table in aide_util::sync::lockrank",
                             );
                         } else if class.exclusive && g.class.name == class.name {

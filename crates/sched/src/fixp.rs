@@ -1,0 +1,202 @@
+//! Deterministic fixed-point exponential math.
+//!
+//! The scheduler's freshness model needs `1 − e^(−λΔ)` — the
+//! probability that a Poisson process with rate `λ` produced at least
+//! one event in a window of length `Δ`. Floating point would make that
+//! value (and therefore every schedule, every experiment JSON byte)
+//! depend on the host's rounding mode and math library, so everything
+//! here is integer arithmetic in *millionths*: a probability of
+//! `500_000` means 0.5, and rates are carried in nano-changes per
+//! second (`nanohz`, 10⁻⁹ s⁻¹ — one change per week ≈ 1_653 nanohz).
+//!
+//! Accuracy is a few parts in 10⁵ over the useful range, which is far
+//! below the resolution the gain quantizer (64 classes) can observe.
+
+/// One million — the fixed-point scale for probabilities ("millionths")
+/// and for the exponent argument ("micro-units").
+pub const MILLION: u64 = 1_000_000;
+
+/// Exponent magnitude beyond which `e^(−x)` is zero in millionths.
+/// `e^(−14) ≈ 8.3e-7` rounds below one millionth.
+const EXP_FLOOR_MICRO: u64 = 14 * MILLION;
+
+/// `e^(−1)` in millionths.
+const E_INV_MICRO: u128 = 367_879;
+
+/// Computes `e^(−x)` in millionths, where `x` is in micro-units
+/// (`x_micro = 1_500_000` means `x = 1.5`).
+///
+/// The fractional part is evaluated as `(e^(−f/4))⁴` with a five-term
+/// Taylor series on `f/4 ≤ 0.25` (truncation error < 1e-5), and the
+/// integer part by repeated multiplication with a stored `e^(−1)`.
+///
+/// # Examples
+///
+/// ```
+/// use aide_sched::fixp::neg_exp_millionths;
+/// assert_eq!(neg_exp_millionths(0), 1_000_000);
+/// // e^(-0.693147) = 0.5
+/// let half = neg_exp_millionths(693_147);
+/// assert!((half as i64 - 500_000).abs() < 200, "{half}");
+/// assert_eq!(neg_exp_millionths(50_000_000), 0);
+/// ```
+pub fn neg_exp_millionths(x_micro: u64) -> u64 {
+    if x_micro >= EXP_FLOOR_MICRO {
+        return 0;
+    }
+    let n = x_micro / MILLION;
+    let f = x_micro % MILLION;
+    let m = MILLION as u128;
+    // e^(−q) for q = f/4 ≤ 0.25, Taylor to the q⁴ term.
+    let q = (f / 4) as u128;
+    let q2 = q * q / m;
+    let q3 = q2 * q / m;
+    let q4 = q3 * q / m;
+    let e_q = (m + q2 / 2 + q4 / 24).saturating_sub(q + q3 / 6);
+    // Square twice: e^(−f) = (e^(−q))⁴.
+    let sq = e_q * e_q / m;
+    let mut acc = sq * sq / m;
+    for _ in 0..n {
+        acc = acc * E_INV_MICRO / m;
+    }
+    acc as u64
+}
+
+/// Probability (in millionths) that a Poisson process of `rate_nanohz`
+/// changed at least once over `elapsed_secs`: `1 − e^(−λΔ)`.
+///
+/// # Examples
+///
+/// ```
+/// use aide_sched::fixp::p_changed_millionths;
+/// // One change per day, observed for a day: 1 − e⁻¹ ≈ 0.632.
+/// let rate = 1_000_000_000 / 86_400;
+/// let p = p_changed_millionths(rate, 86_400);
+/// assert!((p as i64 - 632_121).abs() < 600, "{p}");
+/// assert_eq!(p_changed_millionths(rate, 0), 0);
+/// ```
+pub fn p_changed_millionths(rate_nanohz: u64, elapsed_secs: u64) -> u64 {
+    // λΔ in micro-units: nanohz · s = 10⁻⁹, so divide by 10³.
+    let x = (rate_nanohz as u128) * (elapsed_secs as u128) / 1_000;
+    let x = x.min(EXP_FLOOR_MICRO as u128) as u64;
+    MILLION - neg_exp_millionths(x)
+}
+
+/// Solves `1 − e^(−x) = target` for `x` (micro-units) by bisection
+/// against [`neg_exp_millionths`], so the inverse is consistent with
+/// the forward map to the last integer digit. `target` is clamped to
+/// `[1, 999_999]` millionths.
+///
+/// The result is the *horizon constant* `K = −ln(1 − p*)`: a URL whose
+/// estimated rate is `λ` reaches expected gain `p*` after `K/λ`
+/// seconds, which is how the scheduler turns a rate into a due time.
+///
+/// # Examples
+///
+/// ```
+/// use aide_sched::fixp::neg_log1m_micro;
+/// // −ln(0.5) = 0.693147
+/// let k = neg_log1m_micro(500_000);
+/// assert!((k as i64 - 693_147).abs() < 300, "{k}");
+/// ```
+pub fn neg_log1m_micro(target_millionths: u64) -> u64 {
+    let target = target_millionths.clamp(1, MILLION - 1);
+    let goal = MILLION - target; // want largest x with e^(−x) ≥ goal… see below
+    let (mut lo, mut hi) = (0u64, EXP_FLOOR_MICRO);
+    // Invariant: neg_exp(lo) ≥ goal > neg_exp(hi); return the boundary.
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if neg_exp_millionths(mid) >= goal {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Seconds until a process at `rate_nanohz` reaches the gain horizon
+/// `k_micro` (from [`neg_log1m_micro`]): `ceil(K/λ)`, saturating and
+/// never below one second.
+pub fn secs_to_gain(rate_nanohz: u64, k_micro: u64) -> u64 {
+    let rate = rate_nanohz.max(1) as u128;
+    // K micro-units → λΔ micro-units needs Δ = K·10³/nanohz seconds.
+    let t = ((k_micro as u128) * 1_000).div_ceil(rate);
+    (t.min(u64::MAX as u128) as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_exp_reference_points() {
+        // (x micro, e^-x millionths) reference values.
+        let cases: &[(u64, u64)] = &[
+            (0, 1_000_000),
+            (100_000, 904_837),
+            (250_000, 778_801),
+            (500_000, 606_531),
+            (1_000_000, 367_879),
+            (2_000_000, 135_335),
+            (3_000_000, 49_787),
+            (5_000_000, 6_738),
+            (10_000_000, 45),
+        ];
+        for &(x, want) in cases {
+            let got = neg_exp_millionths(x);
+            let err = (got as i64 - want as i64).abs();
+            assert!(err <= 120, "e^-({x}µ): got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn neg_exp_is_weakly_monotone_on_a_grid() {
+        let mut prev = neg_exp_millionths(0);
+        for x in (0..4_000_000).step_by(9_973) {
+            let v = neg_exp_millionths(x);
+            // Allow a ±2 ripple at segment boundaries from truncation.
+            assert!(v <= prev + 2, "non-monotone: e^-({x}µ)={v} after {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn p_changed_grows_with_elapsed_and_rate() {
+        let day = 86_400;
+        let rate = 1_000_000_000 / day; // 1/day in nanohz
+        assert_eq!(p_changed_millionths(rate, 0), 0);
+        let p1 = p_changed_millionths(rate, day / 2);
+        let p2 = p_changed_millionths(rate, day);
+        let p3 = p_changed_millionths(rate, 10 * day);
+        assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
+        assert!(p3 > 999_900, "ten mean periods ≈ certain: {p3}");
+        assert!(
+            p_changed_millionths(rate * 4, day / 2) > p1,
+            "faster page, same window, more gain"
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrips_through_forward_map() {
+        for target in [10_000, 100_000, 333_333, 500_000, 800_000, 990_000] {
+            let k = neg_log1m_micro(target);
+            let p = MILLION - neg_exp_millionths(k);
+            let err = (p as i64 - target as i64).abs();
+            assert!(err <= 150, "target {target}: K={k} gives p={p}");
+        }
+    }
+
+    #[test]
+    fn secs_to_gain_scales_inversely_with_rate() {
+        let k = neg_log1m_micro(500_000); // ≈ 0.693 in micro
+        let day = 86_400;
+        let daily = 1_000_000_000 / day;
+        let t = secs_to_gain(daily, k);
+        // Half-life of a 1/day process is ~0.693 days ≈ 59_888 s.
+        let want = 59_888;
+        assert!((t as i64 - want).abs() < 600, "{t}");
+        assert_eq!(secs_to_gain(daily * 2, k), t.div_ceil(2));
+        assert!(secs_to_gain(0, k) >= 1, "zero rate must not divide by zero");
+    }
+}

@@ -1,0 +1,150 @@
+//! O(1) highest-expected-gain dequeue via quantized gain classes.
+//!
+//! A strict max-priority-queue over a million ready polls would put an
+//! O(log n) comparison sort on the hot dequeue path. The scheduler
+//! doesn't need strict order: expected gain is already an estimate, so
+//! quantizing it into 64 classes loses nothing the estimator could
+//! defend. With one FIFO per class and a one-word occupancy bitmap,
+//! `push` is a class computation plus a queue append, and `pop` is a
+//! `leading_zeros` on the bitmap plus a queue pop — both O(1), both
+//! branch-predictable.
+//!
+//! Ties within a class dequeue FIFO, which keeps the order
+//! deterministic and starvation-free.
+
+use std::collections::VecDeque;
+
+/// Number of gain classes (and bits in the occupancy word).
+pub const CLASSES: usize = 64;
+
+/// Quantizes a probability in millionths into a gain class `0..=63`.
+///
+/// # Examples
+///
+/// ```
+/// use aide_sched::ready::gain_class;
+/// assert_eq!(gain_class(0), 0);
+/// assert_eq!(gain_class(500_000), 31);
+/// assert_eq!(gain_class(1_000_000), 63);
+/// ```
+pub fn gain_class(p_millionths: u64) -> u8 {
+    let c = p_millionths * CLASSES as u64 / 1_000_001;
+    c.min(CLASSES as u64 - 1) as u8
+}
+
+/// Per-class FIFOs plus an occupancy bitmap: bit `c` set means class
+/// `c` is non-empty.
+#[derive(Debug, Clone, Default)]
+pub struct GainQueues {
+    queues: Vec<VecDeque<u32>>,
+    occupied: u64,
+    len: usize,
+}
+
+impl GainQueues {
+    /// Empty queues.
+    pub fn new() -> GainQueues {
+        GainQueues {
+            queues: (0..CLASSES).map(|_| VecDeque::new()).collect(),
+            occupied: 0,
+            len: 0,
+        }
+    }
+
+    /// Queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `id` in gain class `class` (clamped to 63). O(1).
+    pub fn push(&mut self, class: u8, id: u32) {
+        let c = (class as usize).min(CLASSES - 1);
+        if self.queues.is_empty() {
+            self.queues = (0..CLASSES).map(|_| VecDeque::new()).collect();
+        }
+        self.queues[c].push_back(id);
+        self.occupied |= 1u64 << c;
+        self.len += 1;
+    }
+
+    /// Dequeues from the highest non-empty class, FIFO within the
+    /// class. O(1).
+    pub fn pop(&mut self) -> Option<(u8, u32)> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let c = (63 - self.occupied.leading_zeros()) as usize;
+        let id = self.queues[c].pop_front()?;
+        if self.queues[c].is_empty() {
+            self.occupied &= !(1u64 << c);
+        }
+        self.len -= 1;
+        Some((c as u8, id))
+    }
+
+    /// The highest non-empty class, if any, without dequeuing.
+    pub fn peek_class(&self) -> Option<u8> {
+        if self.occupied == 0 {
+            None
+        } else {
+            Some((63 - self.occupied.leading_zeros()) as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_highest_class_fifo_within() {
+        let mut q = GainQueues::new();
+        q.push(10, 1);
+        q.push(63, 2);
+        q.push(10, 3);
+        q.push(40, 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((63, 2)));
+        assert_eq!(q.pop(), Some((40, 4)));
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn class_overflow_clamps() {
+        let mut q = GainQueues::new();
+        q.push(200, 9);
+        assert_eq!(q.peek_class(), Some(63));
+        assert_eq!(q.pop(), Some((63, 9)));
+    }
+
+    #[test]
+    fn default_value_is_usable() {
+        let mut q = GainQueues::default();
+        assert!(q.pop().is_none());
+        q.push(0, 7);
+        assert_eq!(q.pop(), Some((0, 7)));
+    }
+
+    #[test]
+    fn gain_class_spans_the_range() {
+        assert_eq!(gain_class(0), 0);
+        assert_eq!(gain_class(15_625), 0);
+        assert_eq!(gain_class(15_626), 1);
+        assert_eq!(gain_class(999_999), 63);
+        assert_eq!(gain_class(1_000_000), 63);
+        let mut prev = 0;
+        for p in (0..=1_000_000).step_by(7_777) {
+            let c = gain_class(p);
+            assert!(c >= prev, "classes must be monotone in gain");
+            prev = c;
+        }
+    }
+}

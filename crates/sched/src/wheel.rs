@@ -1,0 +1,417 @@
+//! A hierarchical timer wheel sized for 10M tracked URLs.
+//!
+//! The scheduler needs "wake me when this URL's expected gain crosses
+//! the horizon" for millions of URLs, with per-tick cost independent of
+//! how many are tracked. A heap is O(log n) per operation and, worse,
+//! pointer-chasing cache misses under rebalancing; the classic hashed
+//! hierarchical timing wheel (Varghese & Lauck) is amortized O(1) per
+//! insert and per fired timer.
+//!
+//! Layout decisions that matter at 10M entries:
+//!
+//! * Timer nodes live in one flat arena with a free list — no
+//!   allocation per timer, no box per node. A node is 24 bytes, so 10M
+//!   armed timers is ~240 MB, most of it cold.
+//! * Slots are intrusive singly-linked lists threaded through the
+//!   arena (`next` indices), so insert is a two-word head push. An id
+//!   maps to its *current* node through `node_of`; re-arm and cancel
+//!   just redirect that mapping and let the stale node be reclaimed
+//!   when its slot next drains (lazy deletion keeps both O(1)).
+//! * 4 levels × 64 slots at one-second ticks cover ~194 days; anything
+//!   farther parks in the top level and re-files inward as the wheel
+//!   turns (amortized O(levels) = O(1) per timer).
+//! * Firing order within a tick is deterministic: the slot is drained
+//!   and the due entries sorted by insertion sequence, so dequeue
+//!   order is exactly "due tick, then insertion order" — the contract
+//!   the naive-model equivalence proptest checks.
+//!
+//! The wheel counts its own work ([`WheelOps`]) so the scheduler
+//! experiment can *prove* the O(1) claim with deterministic numbers
+//! instead of wall-clock noise.
+
+/// Sentinel for "no node" in the intrusive lists and in `node_of`.
+const NONE: u32 = u32::MAX;
+
+/// log₂(slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `l` slots are 64ˡ ticks wide.
+const LEVELS: usize = 4;
+
+/// One timer node in the arena.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Absolute due tick (clamped to `now + 1` at insert).
+    due: u64,
+    /// Insertion sequence, the within-tick tiebreak.
+    seq: u64,
+    /// The timer id this node was armed for.
+    id: u32,
+    /// Next node in the same slot list, or `NONE`.
+    next: u32,
+}
+
+/// Deterministic work counters for the O(1)-cost evidence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelOps {
+    /// Ticks the wheel advanced through.
+    pub ticks: u64,
+    /// Slot lists examined (level-0 drains plus cascade drains).
+    pub slot_visits: u64,
+    /// Nodes moved inward by cascades.
+    pub cascaded: u64,
+    /// Timers fired.
+    pub fired: u64,
+}
+
+impl WheelOps {
+    /// Total node/slot touches — the "work" the O(1) claim bounds.
+    pub fn touches(&self) -> u64 {
+        self.slot_visits + self.cascaded + self.fired
+    }
+}
+
+/// The hierarchical timer wheel. At most one pending timer per id;
+/// inserting an armed id moves it.
+#[derive(Debug, Clone)]
+pub struct TimerWheel {
+    /// Current tick. A timer fires when the wheel reaches its due tick.
+    now: u64,
+    /// `slots[level][i]` is the head of an intrusive node list.
+    slots: Vec<Vec<u32>>,
+    /// Node arena.
+    nodes: Vec<Node>,
+    /// Free node indices available for reuse.
+    free: Vec<u32>,
+    /// id → its current node, or `NONE` when disarmed.
+    node_of: Vec<u32>,
+    /// Insertion counter for the deterministic tiebreak.
+    seq: u64,
+    /// Armed-timer count.
+    len: usize,
+    /// Scratch for sorting a drained slot (kept to avoid re-allocation).
+    scratch: Vec<(u64, u32)>,
+}
+
+impl TimerWheel {
+    /// An empty wheel positioned at `now_tick`.
+    pub fn new(now_tick: u64) -> TimerWheel {
+        TimerWheel {
+            now: now_tick,
+            slots: vec![vec![NONE; SLOTS]; LEVELS],
+            nodes: Vec::new(),
+            free: Vec::new(),
+            node_of: Vec::new(),
+            seq: 0,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arena size in nodes (armed + not-yet-reclaimed stale), for
+    /// memory accounting.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Arms (or re-arms) timer `id` for absolute tick `due` — clamped
+    /// to `now + 1`, so a past-due insert fires on the next tick. O(1).
+    pub fn insert(&mut self, id: u32, due: u64) {
+        let idx = id as usize;
+        if idx >= self.node_of.len() {
+            self.node_of.resize(idx + 1, NONE);
+        }
+        if self.node_of[idx] == NONE {
+            self.len += 1;
+        }
+        // Any previous node for this id goes stale and is reclaimed
+        // when its slot next drains.
+        let due = due.max(self.now + 1);
+        self.seq += 1;
+        let (level, slot) = self.place(due);
+        let node = Node {
+            due,
+            seq: self.seq,
+            id,
+            next: self.slots[level][slot],
+        };
+        let n = match self.free.pop() {
+            Some(n) => {
+                self.nodes[n as usize] = node;
+                n
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.slots[level][slot] = n;
+        self.node_of[idx] = n;
+    }
+
+    /// Disarms timer `id` if armed; the node is reclaimed lazily. O(1).
+    pub fn cancel(&mut self, id: u32) -> bool {
+        let idx = id as usize;
+        if idx < self.node_of.len() && self.node_of[idx] != NONE {
+            self.node_of[idx] = NONE;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Which (level, slot) an absolute `due > now` belongs in.
+    fn place(&self, due: u64) -> (usize, usize) {
+        let delta = due.saturating_sub(self.now);
+        for level in 0..LEVELS - 1 {
+            if delta < 1u64 << (SLOT_BITS * (level as u32 + 1)) {
+                let slot = (due >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                return (level, slot);
+            }
+        }
+        let top = LEVELS - 1;
+        let slot = (due >> (SLOT_BITS * top as u32)) as usize & (SLOTS - 1);
+        (top, slot)
+    }
+
+    /// Advances the wheel to `tick`, appending fired timer ids to
+    /// `fired` in deterministic (due, insertion-seq) order.
+    ///
+    /// Cost: O(ticks advanced) slot visits plus amortized O(1) per
+    /// fired or cascaded node — independent of how many timers are
+    /// armed. An empty wheel fast-forwards in O(1), which is what makes
+    /// sparse virtual timelines (hours between polls) affordable.
+    pub fn advance_to(&mut self, tick: u64, fired: &mut Vec<u32>, ops: &mut WheelOps) {
+        while self.now < tick {
+            if self.len == 0 {
+                self.now = tick;
+                return;
+            }
+            self.now += 1;
+            ops.ticks += 1;
+            let t = self.now;
+            // Highest level whose digit wraps at t; cascade from the
+            // outside in so re-filed nodes keep trickling toward level
+            // 0 within this same tick.
+            let mut wrap = 0;
+            for level in 1..LEVELS {
+                if t & ((1u64 << (SLOT_BITS * level as u32)) - 1) == 0 {
+                    wrap = level;
+                } else {
+                    break;
+                }
+            }
+            for level in (1..=wrap).rev() {
+                let slot = (t >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                self.cascade(level, slot, ops);
+            }
+            self.drain_level0(t, fired, ops);
+        }
+    }
+
+    /// True if node `n` is still the live node for its id.
+    fn live(&self, n: u32) -> bool {
+        self.node_of[self.nodes[n as usize].id as usize] == n
+    }
+
+    /// Re-files every live node of an outer-level slot inward.
+    fn cascade(&mut self, level: usize, slot: usize, ops: &mut WheelOps) {
+        let mut head = std::mem::replace(&mut self.slots[level][slot], NONE);
+        ops.slot_visits += 1;
+        while head != NONE {
+            let n = head;
+            let node = self.nodes[n as usize];
+            head = node.next;
+            if !self.live(n) {
+                self.free.push(n);
+                continue;
+            }
+            ops.cascaded += 1;
+            // delta shrank below this level's span, so the node lands
+            // at a lower level (nodes past the top-level horizon may
+            // re-file into the same top slot until they come in range).
+            let (new_level, new_slot) = self.place(node.due);
+            self.nodes[n as usize].next = self.slots[new_level][new_slot];
+            self.slots[new_level][new_slot] = n;
+        }
+    }
+
+    /// Fires the level-0 slot for tick `t`.
+    fn drain_level0(&mut self, t: u64, fired: &mut Vec<u32>, ops: &mut WheelOps) {
+        let slot = t as usize & (SLOTS - 1);
+        let mut head = std::mem::replace(&mut self.slots[0][slot], NONE);
+        ops.slot_visits += 1;
+        self.scratch.clear();
+        while head != NONE {
+            let n = head;
+            let node = self.nodes[n as usize];
+            head = node.next;
+            if !self.live(n) {
+                self.free.push(n);
+                continue;
+            }
+            if node.due > t {
+                // Same slot index, a later 64-tick cycle: re-thread.
+                self.nodes[n as usize].next = self.slots[0][slot];
+                self.slots[0][slot] = n;
+                continue;
+            }
+            self.scratch.push((node.seq, n));
+        }
+        // Deterministic within-tick order: insertion sequence.
+        self.scratch.sort_unstable();
+        for i in 0..self.scratch.len() {
+            let (_, n) = self.scratch[i];
+            let id = self.nodes[n as usize].id;
+            self.node_of[id as usize] = NONE;
+            self.free.push(n);
+            self.len -= 1;
+            ops.fired += 1;
+            fired.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel, to: u64) -> Vec<u32> {
+        let mut fired = Vec::new();
+        let mut ops = WheelOps::default();
+        w.advance_to(to, &mut fired, &mut ops);
+        fired
+    }
+
+    #[test]
+    fn fires_in_due_then_insertion_order() {
+        let mut w = TimerWheel::new(0);
+        w.insert(7, 100);
+        w.insert(3, 10);
+        w.insert(9, 10);
+        w.insert(1, 5_000); // level 2
+        assert_eq!(w.len(), 4);
+        assert_eq!(drain(&mut w, 9), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 10), vec![3, 9]);
+        assert_eq!(drain(&mut w, 200), vec![7]);
+        assert_eq!(drain(&mut w, 6_000), vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_due_inserts_fire_on_the_next_tick() {
+        let mut w = TimerWheel::new(1_000);
+        w.insert(0, 3); // long past
+        w.insert(1, 1_000); // exactly now
+        assert_eq!(drain(&mut w, 1_001), vec![0, 1]);
+    }
+
+    #[test]
+    fn rearm_moves_the_timer_and_reclaims_the_stale_node() {
+        let mut w = TimerWheel::new(0);
+        w.insert(5, 10);
+        w.insert(5, 70); // moved before firing
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, 60), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 70), vec![5]);
+        assert!(w.is_empty());
+        // The stale node was freed when slot 10 drained.
+        assert!(w.capacity() <= 2);
+        w.insert(6, 100);
+        assert_eq!(w.capacity(), 2, "free list reuses reclaimed nodes");
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut w = TimerWheel::new(0);
+        w.insert(2, 40);
+        assert!(w.cancel(2));
+        assert!(!w.cancel(2));
+        assert_eq!(drain(&mut w, 100), Vec::<u32>::new());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn empty_wheel_fast_forwards() {
+        let mut w = TimerWheel::new(0);
+        let mut fired = Vec::new();
+        let mut ops = WheelOps::default();
+        w.advance_to(1 << 40, &mut fired, &mut ops);
+        assert_eq!(ops.ticks, 0, "no per-tick work when nothing is armed");
+        assert_eq!(w.now(), 1 << 40);
+        // And a timer armed afterwards still fires correctly.
+        w.insert(1, (1 << 40) + 130);
+        assert_eq!(drain(&mut w, (1 << 40) + 200), vec![1]);
+    }
+
+    #[test]
+    fn distant_timers_cascade_through_all_levels() {
+        let mut w = TimerWheel::new(0);
+        // Past the 64³-tick mark: parks in the top level and re-files
+        // inward through every level on the way down.
+        let far = (1u64 << 18) + 12_345;
+        w.insert(0, far);
+        w.insert(1, 65); // level 1
+        w.insert(2, 64 * 64 + 1); // level 2
+        assert_eq!(drain(&mut w, 65), vec![1]);
+        assert_eq!(drain(&mut w, 64 * 64 + 1), vec![2]);
+        assert_eq!(drain(&mut w, far - 1), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, far), vec![0]);
+    }
+
+    #[test]
+    fn level0_slot_collisions_do_not_fire_early() {
+        let mut w = TimerWheel::new(0);
+        // Same level-0 slot index (5), different cycles.
+        w.insert(0, 5);
+        w.insert(1, 5 + 64);
+        assert_eq!(drain(&mut w, 5), vec![0]);
+        assert_eq!(drain(&mut w, 68), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, 69), vec![1]);
+    }
+
+    #[test]
+    fn cascade_boundary_timers_fire_on_time() {
+        // Dues that sit exactly on cascade boundaries (multiples of 64
+        // and 64²) must fire at their tick, not a frame late.
+        let mut w = TimerWheel::new(0);
+        w.insert(0, 64);
+        w.insert(1, 128);
+        w.insert(2, 64 * 64);
+        assert_eq!(drain(&mut w, 64), vec![0]);
+        assert_eq!(drain(&mut w, 128), vec![1]);
+        assert_eq!(drain(&mut w, 64 * 64), vec![2]);
+    }
+
+    #[test]
+    fn ops_counters_add_up() {
+        let mut w = TimerWheel::new(0);
+        for id in 0..100u32 {
+            w.insert(id, 1 + (id as u64 % 50));
+        }
+        let mut fired = Vec::new();
+        let mut ops = WheelOps::default();
+        w.advance_to(50, &mut fired, &mut ops);
+        assert_eq!(ops.fired, 100);
+        assert_eq!(ops.ticks, 50);
+        assert_eq!(fired.len(), 100);
+        assert!(ops.touches() >= ops.fired);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests for the adaptive scheduler.
+//!
+//! Invariants:
+//! - The posterior mean rate always sits between the prior mean and the
+//!   empirical rate (mediant inequality), compared exactly by
+//!   cross-multiplication.
+//! - More observed changes over the same exposure never lower the
+//!   estimate (monotonicity).
+//! - Identical observation sequences produce byte-identical serialized
+//!   state (determinism), and emit/parse round-trips exactly.
+//! - The timer wheel fires exactly what a naive sorted model fires, in
+//!   the same (due tick, insertion order) sequence, under arbitrary
+//!   interleavings of insert / re-arm / cancel / advance.
+//! - The gain queues dequeue exactly like a naive stable sort by
+//!   (class descending, arrival order).
+
+use aide_sched::estimator::{PriorRules, RateBook, RatePrior, UrlRate};
+use aide_sched::wheel::{TimerWheel, WheelOps};
+use aide_util::time::Timestamp;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// (gap seconds, changed) poll sequences.
+fn obs_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((1u64..1_000_000, any::<bool>()), 0..40)
+}
+
+fn replay(prior: RatePrior, obs: &[(u64, bool)]) -> UrlRate {
+    let mut r = UrlRate::cold(prior);
+    let mut t = Timestamp(1_000);
+    r.observe(false, t); // baseline
+    for &(gap, changed) in obs {
+        t = t + aide_util::time::Duration::seconds(gap);
+        r.observe(changed, t);
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn posterior_sits_between_prior_and_empirical(
+        obs in obs_strategy(),
+        prior_period in 3_600u64..5_000_000,
+    ) {
+        let prior = RatePrior { alpha_milli: 1_000, beta_secs: prior_period };
+        let r = replay(prior, &obs);
+        // Empirical evidence accumulated beyond the prior.
+        let ea = (r.alpha_milli - prior.alpha_milli) as u128;
+        let eb = (r.beta_secs - prior.beta_secs) as u128;
+        prop_assume!(eb > 0);
+        let (pa, pb) = (prior.alpha_milli as u128, prior.beta_secs as u128);
+        let (qa, qb) = (r.alpha_milli as u128, r.beta_secs as u128);
+        // posterior vs prior: on the same side as empirical vs prior.
+        if ea * pb >= pa * eb {
+            prop_assert!(qa * pb >= pa * qb, "posterior fell below prior");
+            prop_assert!(qa * eb <= ea * qb, "posterior overshot empirical");
+        } else {
+            prop_assert!(qa * pb <= pa * qb, "posterior rose above prior");
+            prop_assert!(qa * eb >= ea * qb, "posterior undershot empirical");
+        }
+    }
+
+    #[test]
+    fn more_changes_never_lower_the_estimate(obs in obs_strategy()) {
+        // Same exposure timeline; the second sequence turns some
+        // no-change verdicts into changes (a superset of events).
+        let base = replay(RatePrior::WEEKLY, &obs);
+        let mut boosted_obs = obs.clone();
+        for (i, o) in boosted_obs.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                o.1 = true;
+            }
+        }
+        let boosted = replay(RatePrior::WEEKLY, &boosted_obs);
+        prop_assert!(boosted.changes >= base.changes);
+        prop_assert!(
+            boosted.rate_nanohz() >= base.rate_nanohz(),
+            "extra changes lowered the rate: {} -> {}",
+            base.rate_nanohz(),
+            boosted.rate_nanohz()
+        );
+    }
+
+    #[test]
+    fn estimation_is_deterministic(obs in obs_strategy()) {
+        let run = || {
+            let mut book = RateBook::new(PriorRules::default());
+            let mut t = Timestamp(500);
+            for (i, &(gap, changed)) in obs.iter().enumerate() {
+                t = t + aide_util::time::Duration::seconds(gap);
+                book.observe(&format!("http://h{}.example/", i % 5), changed, t);
+            }
+            book.emit()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rate_book_roundtrips_exactly(obs in obs_strategy()) {
+        let rules = PriorRules::default();
+        let mut book = RateBook::new(rules.clone());
+        let mut t = Timestamp(500);
+        for (i, &(gap, changed)) in obs.iter().enumerate() {
+            t = t + aide_util::time::Duration::seconds(gap);
+            book.observe(&format!("http://h{}.example/", i % 7), changed, t);
+        }
+        let text = book.emit();
+        let back = RateBook::parse(&text, rules).unwrap();
+        prop_assert_eq!(back.emit(), text);
+    }
+}
+
+// ---------------------------------------------------------------- wheel
+
+/// A scripted wheel operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Arm (or re-arm) id at now + delta.
+    Insert(u32, u64),
+    /// Cancel id.
+    Cancel(u32),
+    /// Advance the clock by this many ticks and compare fired sets.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Repeated arms bias the uniform choice toward inserts.
+    prop_oneof![
+        (0u32..24, 0u64..6_000).prop_map(|(id, d)| Op::Insert(id, d)),
+        (0u32..24, 0u64..6_000).prop_map(|(id, d)| Op::Insert(id, d)),
+        (0u32..24, 0u64..6_000).prop_map(|(id, d)| Op::Insert(id, d)),
+        (0u32..24).prop_map(Op::Cancel),
+        (1u64..300).prop_map(Op::Advance),
+        (1u64..300).prop_map(Op::Advance),
+    ]
+}
+
+/// The obviously-correct model: a sorted map keyed by (due, seq).
+#[derive(Default)]
+struct NaiveWheel {
+    now: u64,
+    seq: u64,
+    armed: BTreeMap<u32, (u64, u64)>,
+}
+
+impl NaiveWheel {
+    fn insert(&mut self, id: u32, due: u64) {
+        self.seq += 1;
+        self.armed.insert(id, (due.max(self.now + 1), self.seq));
+    }
+
+    fn cancel(&mut self, id: u32) {
+        self.armed.remove(&id);
+    }
+
+    fn advance_to(&mut self, t: u64) -> Vec<u32> {
+        self.now = self.now.max(t);
+        let mut due: Vec<(u64, u64, u32)> = self
+            .armed
+            .iter()
+            .filter(|(_, &(d, _))| d <= t)
+            .map(|(&id, &(d, s))| (d, s, id))
+            .collect();
+        due.sort_unstable();
+        for &(_, _, id) in &due {
+            self.armed.remove(&id);
+        }
+        due.into_iter().map(|(_, _, id)| id).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_matches_the_naive_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut wheel = TimerWheel::new(0);
+        let mut naive = NaiveWheel::default();
+        let mut wheel_ops = WheelOps::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(id, delta) => {
+                    wheel.insert(id, wheel.now() + delta);
+                    naive.insert(id, naive.now + delta);
+                }
+                Op::Cancel(id) => {
+                    let a = wheel.cancel(id);
+                    let b = naive.armed.contains_key(&id);
+                    naive.cancel(id);
+                    prop_assert_eq!(a, b, "cancel disagreed for id {}", id);
+                }
+                Op::Advance(by) => {
+                    let t = wheel.now() + by;
+                    let mut fired = Vec::new();
+                    wheel.advance_to(t, &mut fired, &mut wheel_ops);
+                    let expect = naive.advance_to(t);
+                    prop_assert_eq!(&fired, &expect, "dequeue order diverged at tick {}", t);
+                }
+            }
+            prop_assert_eq!(wheel.len(), naive.armed.len());
+        }
+        // Drain everything left and compare the tail too.
+        let t = wheel.now() + 2_000_000;
+        let mut fired = Vec::new();
+        wheel.advance_to(t, &mut fired, &mut wheel_ops);
+        prop_assert_eq!(fired, naive.advance_to(t));
+    }
+
+    #[test]
+    fn gain_queues_match_a_stable_sort(
+        pushes in proptest::collection::vec((0u8..64, 0u32..1000), 0..200),
+    ) {
+        let mut q = aide_sched::ready::GainQueues::new();
+        for &(class, id) in &pushes {
+            q.push(class, id);
+        }
+        let mut expect: Vec<(i16, usize, u32)> = pushes
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, id))| (-(class as i16), i, id))
+            .collect();
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some((_, id)) = q.pop() {
+            got.push(id);
+        }
+        let expect: Vec<u32> = expect.into_iter().map(|(_, _, id)| id).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

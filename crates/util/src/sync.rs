@@ -307,9 +307,12 @@ pub mod lockrank {
 
     /// The lock-rank table (DESIGN.md §4h). Order of acquisition is
     /// ascending rank: single-flight key, then per-URL named lock, then
-    /// per-user named lock, then the storage engine's per-shard lock
-    /// (held across WAL commits while the caller still holds the URL
-    /// lock), then structure (shard/bucket) guards, which are leaves.
+    /// per-user named lock, then the scheduler state lock (aide-sched;
+    /// held while snapshotting rate state, released or still-held when
+    /// the snapshot is persisted through the store's per-shard lock),
+    /// then the storage engine's per-shard lock (held across WAL commits
+    /// while the caller still holds the URL lock), then structure
+    /// (shard/bucket) guards, which are leaves.
     pub const TABLE: &[LockClass] = &[
         LockClass {
             name: "flight",
@@ -324,6 +327,11 @@ pub mod lockrank {
         LockClass {
             name: "user",
             rank: 20,
+            exclusive: true,
+        },
+        LockClass {
+            name: "sched",
+            rank: 22,
             exclusive: true,
         },
         LockClass {
@@ -511,10 +519,11 @@ mod tests {
             drop(f);
             let url = lockrank::acquire("url", "url:http://x/");
             let user = lockrank::acquire("user", "user:fred");
+            let sched = lockrank::acquire("sched", "sched:state");
             let store = lockrank::acquire("store", "store:shard:7");
             let s1 = lockrank::acquire("structure", "shard:3");
             let s2 = lockrank::acquire("structure", "shard:4");
-            drop((s1, s2, store, user, url));
+            drop((s1, s2, store, sched, user, url));
         })
         .unwrap();
     }

@@ -25,7 +25,9 @@ use crate::config::{Threshold, ThresholdConfig};
 use crate::retry::{
     retryable_net_error, FetchFailure, RetryPolicy, RetrySnapshot, RetryStats, TransientFailure,
 };
+use crate::schedule::SchedulePolicy;
 use aide_htmlkit::url::Url;
+use aide_sched::Gate;
 use aide_simweb::browser::Bookmark;
 use aide_simweb::http::{Method, Request, Response, Status};
 use aide_simweb::net::Web;
@@ -65,6 +67,9 @@ pub enum SkipReason {
     HostError,
     /// The run aborted before reaching this URL.
     RunAborted,
+    /// The adaptive scheduler's expected freshness gain is still below
+    /// target ([`SchedulePolicy::Adaptive`] only).
+    BelowExpectedGain,
 }
 
 /// The verdict for one URL.
@@ -200,6 +205,9 @@ pub struct W3Newer {
     /// Optional per-host circuit breaker, shared across the worker pool
     /// (and, via [`Arc`], across trackers polling the same Web).
     pub breaker: Option<Arc<CircuitBreaker>>,
+    /// When a URL is due for a network check: the paper's fixed
+    /// thresholds (the default) or the adaptive change-rate estimator.
+    pub schedule: SchedulePolicy,
     /// Retry/breaker accounting, shared with the worker pool.
     stats: Arc<RetryStats>,
 }
@@ -217,6 +225,7 @@ impl Clone for W3Newer {
             user_agent: self.user_agent.clone(),
             retry: self.retry,
             breaker: self.breaker.clone(),
+            schedule: self.schedule.clone(),
             stats: Arc::new(RetryStats::default()),
         }
     }
@@ -232,6 +241,7 @@ impl W3Newer {
             user_agent: "w3newer/1.0".to_string(),
             retry: RetryPolicy::disabled(),
             breaker: None,
+            schedule: SchedulePolicy::Threshold,
             stats: Arc::new(RetryStats::default()),
         }
     }
@@ -515,10 +525,43 @@ impl W3Newer {
 
     /// The per-URL decision procedure. Reads configuration from `self`
     /// and mutates only `cache` (plus the per-run `robots` /
-    /// `dead_hosts` scratch maps), so host pipelines can run it
+    /// `dead_hosts` scratch maps and, under
+    /// [`SchedulePolicy::Adaptive`], the shared estimator — whose
+    /// per-URL state makes that safe), so host pipelines can run it
     /// concurrently against host-local caches.
     #[allow(clippy::too_many_arguments)]
     fn check_url(
+        &self,
+        cache: &mut TrackerCache,
+        url: &str,
+        visited: Option<Timestamp>,
+        web: &Web,
+        proxy: Option<&ProxyCache>,
+        robots: &mut HashMap<String, RobotsTxt>,
+        dead_hosts: &mut HashSet<String>,
+        now: Timestamp,
+    ) -> UrlStatus {
+        let status = self.check_url_inner(cache, url, visited, web, proxy, robots, dead_hosts, now);
+        if let SchedulePolicy::Adaptive(sched) = &self.schedule {
+            // Feed the estimator every verdict backed by fresh
+            // modification info. The tracker's own cache is excluded:
+            // it carries no new evidence, and double-counting a window
+            // would bias the rate.
+            match &status {
+                UrlStatus::Changed { source, .. } if *source != CheckSource::Cache => {
+                    sched.record(url, true, now);
+                }
+                UrlStatus::Unchanged { source } if *source != CheckSource::Cache => {
+                    sched.record(url, false, now);
+                }
+                _ => {}
+            }
+        }
+        status
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_url_inner(
         &self,
         cache: &mut TrackerCache,
         url: &str,
@@ -565,22 +608,34 @@ impl W3Newer {
             }
         }
 
-        // Threshold gating of network checks.
-        if let Threshold::Every(d) = threshold {
-            if d > Duration::ZERO {
-                if let Some(v) = visited {
-                    if now - v < d {
-                        return UrlStatus::NotChecked {
-                            reason: SkipReason::RecentlyVisited,
-                        };
+        // Gating of network checks: fixed thresholds (the paper's
+        // rule) or the learned expected-gain gate.
+        match &self.schedule {
+            SchedulePolicy::Threshold => {
+                if let Threshold::Every(d) = threshold {
+                    if d > Duration::ZERO {
+                        if let Some(v) = visited {
+                            if now - v < d {
+                                return UrlStatus::NotChecked {
+                                    reason: SkipReason::RecentlyVisited,
+                                };
+                            }
+                        }
+                        if let Some(lc) = cache.get(url).and_then(|r| r.last_checked) {
+                            if now - lc < d {
+                                return UrlStatus::NotChecked {
+                                    reason: SkipReason::CheckedRecently,
+                                };
+                            }
+                        }
                     }
                 }
-                if let Some(lc) = cache.get(url).and_then(|r| r.last_checked) {
-                    if now - lc < d {
-                        return UrlStatus::NotChecked {
-                            reason: SkipReason::CheckedRecently,
-                        };
-                    }
+            }
+            SchedulePolicy::Adaptive(sched) => {
+                if let Gate::Skip { .. } = sched.gate_poll(url, now) {
+                    return UrlStatus::NotChecked {
+                        reason: SkipReason::BelowExpectedGain,
+                    };
                 }
             }
         }
@@ -972,6 +1027,7 @@ fn obs_skip_name(reason: SkipReason) -> &'static str {
         SkipReason::CheckedRecently => "w3newer.skip.checked_recently",
         SkipReason::HostError => "w3newer.skip.host_error",
         SkipReason::RunAborted => "w3newer.skip.run_aborted",
+        SkipReason::BelowExpectedGain => "w3newer.skip.below_expected_gain",
     }
 }
 
@@ -1882,5 +1938,180 @@ mod tests {
             None,
         );
         assert_eq!(r.changed_count(), 2);
+    }
+
+    // ------------------------------------------- adaptive scheduling
+
+    fn adaptive_tracker() -> W3Newer {
+        use aide_sched::{AdaptiveScheduler, PriorRules, SchedulerConfig};
+        let mut w = W3Newer::new(ThresholdConfig::default());
+        w.schedule = SchedulePolicy::Adaptive(Arc::new(AdaptiveScheduler::new(
+            SchedulerConfig::default(),
+            PriorRules::default(),
+        )));
+        // Make every run consult the gate instead of trusting fresh
+        // cached knowledge.
+        w.flags.staleness = Duration::ZERO;
+        w
+    }
+
+    #[test]
+    fn default_policy_is_the_paper_threshold_rule() {
+        let w = W3Newer::new(ThresholdConfig::default());
+        assert!(!w.schedule.is_adaptive());
+        assert!(w.schedule.scheduler().is_none());
+    }
+
+    #[test]
+    fn adaptive_gate_skips_until_gain_accrues() {
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(30);
+        web.set_page("http://h/p", "body", modified).unwrap();
+        let visited = clock.now() - Duration::days(2);
+        let history = move |_: &str| Some(visited);
+        let mut w = adaptive_tracker();
+
+        // Baseline poll: a never-polled URL is always worth a request.
+        let r = w.run(&[mark("http://h/p")], &history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Unchanged {
+                source: CheckSource::Head
+            }
+        ));
+
+        // An hour later the weekly-prior gain is ~0.6%: gated.
+        clock.advance(Duration::hours(1));
+        let before = web.stats().requests;
+        let r = w.run(&[mark("http://h/p")], &history, &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked {
+                reason: SkipReason::BelowExpectedGain
+            }
+        );
+        assert_eq!(web.stats().requests, before, "a gated URL costs nothing");
+
+        // Six days in, p = 1 − e^(−6/7) ≈ 0.58 ≥ the 0.5 target: polled.
+        clock.advance(Duration::days(6));
+        let r = w.run(&[mark("http://h/p")], &history, &web, None);
+        assert!(matches!(
+            &r.entries[0].status,
+            UrlStatus::Unchanged {
+                source: CheckSource::Head
+            }
+        ));
+        assert!(web.stats().requests > before);
+    }
+
+    #[test]
+    fn adaptive_gate_learns_a_page_is_quiet() {
+        let (clock, web) = setup();
+        let modified = clock.now() - Duration::days(300);
+        web.set_page("http://h/quiet", "body", modified).unwrap();
+        let visited = clock.now() - Duration::days(200);
+        let history = move |_: &str| Some(visited);
+        let mut w = adaptive_tracker();
+        {
+            // A 7-day ceiling forces a weekly poll cadence whatever the
+            // learned rate, so the estimator keeps accumulating quiet
+            // exposure instead of being gated mid-experiment.
+            use aide_sched::{AdaptiveScheduler, PriorRules, SchedulerConfig};
+            let cfg = SchedulerConfig {
+                max_interval: Duration::days(7),
+                ..SchedulerConfig::default()
+            };
+            w.schedule = SchedulePolicy::Adaptive(Arc::new(AdaptiveScheduler::new(
+                cfg,
+                PriorRules::default(),
+            )));
+        }
+
+        // Poll weekly for ten weeks; the page never changes, so the
+        // posterior rate sinks well below the 1/week prior.
+        for i in 0..10 {
+            if i > 0 {
+                clock.advance(Duration::days(7));
+            }
+            let r = w.run(&[mark("http://h/quiet")], &history, &web, None);
+            assert!(matches!(&r.entries[0].status, UrlStatus::Unchanged { .. }));
+        }
+        let sched = w.schedule.scheduler().unwrap().clone();
+        let learned = sched.rate_nanohz("http://h/quiet").unwrap();
+        assert!(
+            learned < aide_sched::RatePrior::WEEKLY.mean_nanohz() / 3,
+            "ten quiet weeks should drop the rate well below the prior (got {learned})"
+        );
+
+        // Six days after the last poll a *cold* URL would be due
+        // (p ≈ 0.58), but the learned quiet rate keeps this one gated.
+        clock.advance(Duration::days(6));
+        let r = w.run(&[mark("http://h/quiet")], &history, &web, None);
+        assert_eq!(
+            r.entries[0].status,
+            UrlStatus::NotChecked {
+                reason: SkipReason::BelowExpectedGain
+            }
+        );
+    }
+
+    #[test]
+    fn adaptive_serial_and_pooled_reports_match() {
+        // Estimator state is per-URL and each URL is checked once per
+        // run, so worker interleaving cannot change adaptive verdicts.
+        let build_world = || {
+            let (clock, web) = setup();
+            for h in 0..6 {
+                for p in 0..4 {
+                    let url = format!("http://host{h}.example/p{p}");
+                    let age = Duration::days(1 + (h * 4 + p) % 9);
+                    web.set_page(&url, "body", clock.now() - age).unwrap();
+                }
+            }
+            let hotlist: Vec<Bookmark> = (0..6)
+                .flat_map(|h| (0..4).map(move |p| mark(&format!("http://host{h}.example/p{p}"))))
+                .collect();
+            (clock, web, hotlist)
+        };
+        let run_twice = |pooled: bool| {
+            let (clock, web, hotlist) = build_world();
+            // Every page was seen after its last modification, so polls
+            // verdict Unchanged and the run reaches the gate (a cached
+            // Changed verdict would short-circuit before it).
+            let visited = clock.now() - Duration::hours(1);
+            let history = move |_: &str| Some(visited);
+            let mut w = adaptive_tracker();
+            let mut reports = Vec::new();
+            for _ in 0..3 {
+                let r = if pooled {
+                    w.run_pooled(&hotlist, &history, &web, None, 4)
+                } else {
+                    w.run_serial(&hotlist, &history, &web, None)
+                };
+                reports.push(r);
+                clock.advance(Duration::days(2));
+            }
+            let rates = w.schedule.scheduler().unwrap().snapshot_rates();
+            (reports, rates)
+        };
+        let (serial, serial_rates) = run_twice(false);
+        let (pooled, pooled_rates) = run_twice(true);
+        assert_eq!(
+            serial, pooled,
+            "adaptive reports must not depend on the pool"
+        );
+        assert_eq!(serial_rates, pooled_rates, "estimator state must match too");
+        // And the gate actually did something across the three runs.
+        let skipped = serial
+            .iter()
+            .flat_map(|r| &r.entries)
+            .filter(|e| {
+                e.status
+                    == UrlStatus::NotChecked {
+                        reason: SkipReason::BelowExpectedGain,
+                    }
+            })
+            .count();
+        assert!(skipped > 0, "some polls should have been gated");
     }
 }

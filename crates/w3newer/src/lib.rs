@@ -22,6 +22,9 @@
 //!   run reports.
 //! - [`breaker`]: a shared per-host circuit breaker so a dead host stops
 //!   absorbing the worker pool's time.
+//! - [`schedule`]: the polling policy — the paper's fixed thresholds
+//!   (default) or the `aide-sched` learned change-rate gate
+//!   (see SCHEDULING.md).
 //! - [`report`]: the Figure 1 HTML status report with
 //!   Remember / Diff / History links.
 
@@ -32,6 +35,7 @@ pub mod config;
 pub mod priority;
 pub mod report;
 pub mod retry;
+pub mod schedule;
 
 pub use breaker::{Admission, BreakerConfig, BreakerStats, CircuitBreaker};
 pub use cache::{TrackerCache, UrlRecord};
@@ -40,3 +44,4 @@ pub use config::{Threshold, ThresholdConfig};
 pub use priority::{Priority, PriorityConfig};
 pub use report::render_report;
 pub use retry::{FetchFailure, RetryPolicy, RetrySnapshot, RetryStats, TransientFailure};
+pub use schedule::SchedulePolicy;

@@ -70,6 +70,7 @@ fn status_note(status: &UrlStatus) -> String {
             SkipReason::CheckedRecently => "not checked (checked recently)".to_string(),
             SkipReason::HostError => "not checked (host error)".to_string(),
             SkipReason::RunAborted => "not checked (run aborted)".to_string(),
+            SkipReason::BelowExpectedGain => "not checked (unlikely to have changed)".to_string(),
         },
         UrlStatus::RobotExcluded => "not checked (robot exclusion)".to_string(),
         UrlStatus::Error { message } => format!("<B>error</B>: {}", encode_entities(message)),

@@ -1,0 +1,51 @@
+//! Pluggable polling policies: fixed thresholds vs. learned rates.
+//!
+//! The paper's w3newer decides when to re-check a URL from a static
+//! pattern → threshold table (Table 1): every matching URL waits at
+//! least `d` between checks, no matter how often it actually changes.
+//! [`SchedulePolicy::Adaptive`] replaces that gate with the
+//! `aide-sched` estimator: each URL is re-checked when its *expected
+//! freshness gain* — the posterior probability that it changed since
+//! the last poll — crosses the configured target, so volatile pages
+//! are polled often and static ones rarely, from the same request
+//! budget.
+//!
+//! The default is [`SchedulePolicy::Threshold`], and with it the
+//! tracker's behaviour (and report bytes) are exactly the paper's —
+//! the adaptive path is opt-in, like the retry and breaker layers.
+//! Under `Adaptive`, the threshold table still supplies the `never`
+//! exclusions and the proxy-currency window; only the "is it time to
+//! re-check?" question moves to the estimator.
+
+use aide_sched::AdaptiveScheduler;
+use std::sync::Arc;
+
+/// How the tracker decides whether a URL is due for a network check.
+#[derive(Debug, Clone, Default)]
+pub enum SchedulePolicy {
+    /// The paper's behaviour: per-pattern fixed thresholds gate both
+    /// user-visit recency and check recency.
+    #[default]
+    Threshold,
+    /// Estimator-driven gating: poll when the expected gain
+    /// ([`AdaptiveScheduler::gate_poll`]) says the page has probably
+    /// changed. The scheduler is shared (like the circuit breaker):
+    /// its learned rates are knowledge about the Web, not about one
+    /// tracker instance, so clones keep feeding the same estimator.
+    Adaptive(Arc<AdaptiveScheduler>),
+}
+
+impl SchedulePolicy {
+    /// True for [`SchedulePolicy::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, SchedulePolicy::Adaptive(_))
+    }
+
+    /// The shared scheduler, when adaptive.
+    pub fn scheduler(&self) -> Option<&Arc<AdaptiveScheduler>> {
+        match self {
+            SchedulePolicy::Threshold => None,
+            SchedulePolicy::Adaptive(s) => Some(s),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! OBSERVABILITY.md catalog ⇄ code consistency.
+//!
+//! The metric catalog is operator documentation, and documentation
+//! drifts: a renamed counter leaves a stale table row, a new counter
+//! ships undocumented. This suite greps both directions:
+//!
+//! - every name in the catalog tables (after `{a,b,c}` expansion) must
+//!   still exist in some `crates/*/src` source — as a full string
+//!   literal, or (for names assembled at runtime, like
+//!   `capacity.latency_us.{kind}`) as its dotted prefix plus its final
+//!   segment;
+//! - every *literal* metric name recorded through the `aide_obs`
+//!   emission APIs must appear in the catalog.
+//!
+//! Names are compared as plain strings, so this needs no registry at
+//! runtime and cannot be fooled by code that never executes in tests.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every `.rs` file under `crates/*/src`, with contents.
+fn rs_sources() -> Vec<(PathBuf, String)> {
+    fn walk(dir: &Path, out: &mut Vec<(PathBuf, String)>) {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(text) = fs::read_to_string(&path) {
+                    out.push((path, text));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let crates = repo_root().join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ must exist").flatten() {
+        walk(&entry.path().join("src"), &mut out);
+    }
+    assert!(
+        out.len() > 50,
+        "source walk looks broken: {} files",
+        out.len()
+    );
+    out
+}
+
+/// Expands one level of `{a,b,c}` alternation (recursively, so nested
+/// or repeated groups would also work).
+fn expand(name: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (name.find('{'), name.find('}')) else {
+        return vec![name.to_string()];
+    };
+    let (prefix, suffix) = (&name[..open], &name[close + 1..]);
+    name[open + 1..close]
+        .split(',')
+        .flat_map(|alt| expand(&format!("{prefix}{alt}{suffix}")))
+        .collect()
+}
+
+fn is_name_char(ch: char) -> bool {
+    ch.is_ascii_lowercase() || ch.is_ascii_digit() || matches!(ch, '.' | '_' | '{' | '}' | ',')
+}
+
+/// Metric names from OBSERVABILITY.md's catalog tables: the backticked
+/// spans of each row's first column, brace-expanded.
+fn doc_catalog() -> BTreeSet<String> {
+    let md = fs::read_to_string(repo_root().join("OBSERVABILITY.md"))
+        .expect("OBSERVABILITY.md must exist");
+    let mut names = BTreeSet::new();
+    for line in md.lines() {
+        let line = line.trim();
+        // Catalog rows look like `| `name` | unit | source |`.
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(first_cell) = rest.split('|').next() else {
+            continue;
+        };
+        // The cell may hold several names (`a` / `b`); take every
+        // backtick span. The stripped leading tick is restored so the
+        // odd split positions are exactly the quoted spans.
+        for span in format!("`{first_cell}").split('`').skip(1).step_by(2) {
+            if span.contains('.') && !span.is_empty() && span.chars().all(is_name_char) {
+                for n in expand(span) {
+                    names.insert(n);
+                }
+            }
+        }
+    }
+    assert!(
+        names.len() > 80,
+        "catalog parse looks broken: only {} names",
+        names.len()
+    );
+    names
+}
+
+/// The metric namespaces the catalog documents. Literals outside these
+/// (test fixtures, examples with toy names) are ignored.
+const NAMESPACES: &[&str] = &[
+    "simweb.",
+    "w3newer.",
+    "snapshot.",
+    "htmldiff.",
+    "diff.",
+    "rcs.",
+    "store.",
+    "serve.",
+    "sched.",
+    "capacity.",
+];
+
+fn in_namespace(name: &str) -> bool {
+    NAMESPACES.iter().any(|p| name.starts_with(p))
+}
+
+#[test]
+fn every_documented_metric_exists_in_code() {
+    let sources = rs_sources();
+    let found = |needle: &str| sources.iter().any(|(_, text)| text.contains(needle));
+    let mut stale = Vec::new();
+    for name in doc_catalog() {
+        if found(&name) {
+            continue;
+        }
+        // Runtime-assembled names: the dotted prefix and the final
+        // segment must both still exist somewhere.
+        let Some((prefix, last)) = name.rsplit_once('.') else {
+            stale.push(name);
+            continue;
+        };
+        if !(found(prefix) && found(last)) {
+            stale.push(name);
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "OBSERVABILITY.md documents metrics no source file mentions \
+         (renamed or removed?): {stale:?}"
+    );
+}
+
+#[test]
+fn every_emitted_metric_literal_is_documented() {
+    let catalog = doc_catalog();
+    // Emission APIs whose first argument is the metric name; covers
+    // both the free functions (`aide_obs::counter(...)`) and the
+    // registry methods (`reg.counter(...)`).
+    let calls = ["counter(\"", "gauge(\"", "observe(\"", "observe_with(\""];
+    let mut undocumented = Vec::new();
+    for (path, text) in rs_sources() {
+        // The obs crate's own sources use placeholder names in API
+        // docs and tests; every real site lives in the other crates.
+        if path.components().any(|c| c.as_os_str() == "obs") {
+            continue;
+        }
+        for call in calls {
+            for (at, _) in text.match_indices(call) {
+                let lit = &text[at + call.len()..];
+                let Some(end) = lit.find('"') else { continue };
+                let name = &lit[..end];
+                if !name.contains('.') || !name.chars().all(is_name_char) {
+                    continue;
+                }
+                if in_namespace(name) && !catalog.contains(name) {
+                    undocumented.push(format!("{name} ({})", path.display()));
+                }
+            }
+        }
+    }
+    undocumented.sort();
+    undocumented.dedup();
+    assert!(
+        undocumented.is_empty(),
+        "metric names recorded in code but missing from the \
+         OBSERVABILITY.md catalog: {undocumented:?}"
+    );
+}
