@@ -12,11 +12,17 @@ echo "== cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "== aide-lint (deny-by-default; see LINTS.md)"
-cargo run -q -p aide-analysis --bin aide-lint -- --root . --deny
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --deny \
+    --budget-ms "$(cat .aide-lint-budget-ms)"
 cargo run -q -p aide-analysis --bin aide-lint -- --root . --waivers \
     --max-waivers "$(cat .aide-lint-waivers)"
-cargo run -q -p aide-analysis --bin aide-lint -- --root . --json \
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --emit json \
     > target/aide-lint.json
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --emit json \
+    > target/aide-lint-rerun.json
+cmp target/aide-lint.json target/aide-lint-rerun.json
+cargo run -q -p aide-analysis --bin aide-lint -- --root . --emit sarif \
+    > target/aide-lint.sarif
 
 echo "== cargo test"
 cargo test -q

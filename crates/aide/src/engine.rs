@@ -195,6 +195,10 @@ impl<R: Repository> AideEngine<R> {
             }
         }
         let breaker = match &*self.robustness.lock() {
+            // aide-lint: allow(lock-order-interproc): name-based call
+            // resolution aliases CircuitBreaker::stats with the
+            // shard-locking Repository::stats; this receiver is the
+            // breaker, which takes no lock at all
             Some((_, b)) => b.stats(),
             None => BreakerStats::default(),
         };
@@ -322,6 +326,10 @@ impl<R: Repository> AideEngine<R> {
         let hotlist = state.browser.hotlist();
         let browser = state.browser.clone();
         let start = self.web.clock().now_secs();
+        // aide-lint: allow(lock-order-interproc): the run holds only
+        // this user's state mutex; the scheduler lock it reaches is an
+        // independent leaf subsystem that never calls back into the
+        // engine, so no cycle through user state is possible
         let report = state.tracker.run(
             &hotlist,
             &move |url| browser.last_visited(url),

@@ -1,0 +1,612 @@
+//! Workspace call graph: every call site in every (non-test,
+//! non-vendored) function body, resolved by name against the item table
+//! from [`crate::items`].
+//!
+//! Resolution is deliberately conservative and fully accounted:
+//!
+//! * **Lock acquisitions are not edges.** A call site the acquisition
+//!   classifier recognizes (`.lock()`, `.lock_shard(…)`, `.once(…)`,
+//!   `lockrank::acquire(…)`, …) is modeled as an *acquisition event* by
+//!   the summary layer, not as a call — blocking inside the acquisition
+//!   path (the WAL follower parked on the named-lock queue) is the
+//!   lock-order discipline's concern, not `blocking-while-locked`'s.
+//! * **Std-colliding method names are never resolved.** A bare method
+//!   call like `.remove(…)` or `.store(…)` could be `BTreeMap::remove`
+//!   or an atomic store just as well as `Repository::remove`; linking it
+//!   by name alone would invent lock acquisitions out of thin air. The
+//!   [`METHOD_DENY`] list names these; such sites are counted in
+//!   [`CallGraph::denied`]. Qualified calls (`Type::name(…)`) and calls
+//!   through `self` stay precise and are always resolved.
+//! * **Everything else that fails to resolve is counted**, never
+//!   guessed: [`CallGraph::unresolved`] is part of the report summary,
+//!   so a resolution regression is visible in CI diffs.
+
+use crate::items::FnItem;
+use crate::lints::{classify_acquisition, receiver_chain, statement_bounds};
+use crate::scope::FileMap;
+use std::collections::BTreeMap;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` or `module::helper(…)`.
+    Bare,
+    /// `receiver.method(…)`.
+    Method,
+    /// `Type::method(…)` (including `Self::method(…)`).
+    Qualified(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Byte offset of the callee name in the file.
+    pub off: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Callee name as written.
+    pub name: String,
+    /// Name shape at the site.
+    pub kind: CallKind,
+    /// Resolved callee item ids (may-aliasing: every same-named method).
+    pub targets: Vec<usize>,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Call sites per function, indexed by `FnItem` id.
+    pub sites: Vec<Vec<CallSite>>,
+    /// Number of call sites with at least one resolved target.
+    pub resolved: usize,
+    /// Number of call sites naming no known workspace function.
+    pub unresolved: usize,
+    /// Number of method-call sites skipped by the [`METHOD_DENY`]
+    /// std-collision policy.
+    pub denied: usize,
+}
+
+/// Method names a bare `.name(…)` call is never resolved by: each
+/// collides with a std collection / primitive / atomic method, so a
+/// name-only match would fabricate edges into same-named workspace
+/// methods (`BTreeMap::remove` vs `Repository::remove`, atomic `store`
+/// vs `Repository::store`). Qualified calls resolve these precisely.
+pub const METHOD_DENY: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "borrow",
+    "borrow_mut",
+    "bytes",
+    "capacity",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "concat",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "extend_from_slice",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_xor",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "insert_str",
+    "into_inner",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "list",
+    "load",
+    "lock",
+    "map",
+    "map_err",
+    "matches",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "next",
+    "next_back",
+    "ok",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "position",
+    "push",
+    "push_str",
+    "range",
+    "read",
+    "recv",
+    "recv_timeout",
+    "remove",
+    "repeat",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "reverse",
+    "rfind",
+    "send",
+    "skip",
+    "sleep",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "split_at",
+    "split_off",
+    "split_whitespace",
+    "starts_with",
+    "step_by",
+    "store",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "swap",
+    "swap_remove",
+    "sync",
+    "sync_all",
+    "sync_data",
+    "take",
+    "then",
+    "then_with",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_start",
+    "truncate",
+    "try_lock",
+    "try_recv",
+    "unwrap",
+    "unwrap_err",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// Keywords an `ident(` site must not be mistaken for.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "union", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Symbol table: name-keyed indexes over the workspace item list.
+pub struct Symbols {
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    by_qualified: BTreeMap<String, Vec<usize>>,
+}
+
+impl Symbols {
+    /// Builds the indexes. Test-only functions are never resolution
+    /// targets: a `#[cfg(test)]` helper must not absorb calls from
+    /// library code that happens to share its name.
+    pub fn build(fns: &[FnItem]) -> Symbols {
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qualified: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            match &f.self_ty {
+                Some(_) => {
+                    methods_by_name.entry(f.name.clone()).or_default().push(id);
+                    by_qualified.entry(f.qualified()).or_default().push(id);
+                }
+                None => free_by_name.entry(f.name.clone()).or_default().push(id),
+            }
+        }
+        Symbols {
+            methods_by_name,
+            free_by_name,
+            by_qualified,
+        }
+    }
+}
+
+/// Scans every function body and resolves its call sites.
+pub fn build(files: &[FileMap], fns: &[FnItem], syms: &Symbols) -> CallGraph {
+    let mut graph = CallGraph {
+        sites: vec![Vec::new(); fns.len()],
+        ..CallGraph::default()
+    };
+    for (id, f) in fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let fm = &files[f.file];
+        for range in own_ranges(fns, id) {
+            scan_range(fm, f, range, syms, id, &mut graph);
+        }
+        graph.sites[id].sort_by_key(|s| s.off);
+    }
+    // Counters were accumulated during the scan; recompute resolved from
+    // the final site lists for consistency.
+    graph.resolved = graph
+        .sites
+        .iter()
+        .flatten()
+        .filter(|s| !s.targets.is_empty())
+        .count();
+    graph
+}
+
+/// The parts of `fns[id]`'s body not covered by a nested `fn` item
+/// (whose calls belong to the nested function, not this one).
+pub fn own_ranges(fns: &[FnItem], id: usize) -> Vec<(usize, usize)> {
+    let f = &fns[id];
+    let mut children: Vec<(usize, usize)> = fns
+        .iter()
+        .enumerate()
+        .filter(|(cid, c)| {
+            *cid != id && c.file == f.file && c.sig_start > f.body.0 && c.body.1 <= f.body.1
+        })
+        .map(|(_, c)| (c.sig_start, c.body.1))
+        .collect();
+    children.sort_unstable();
+    let mut out = Vec::new();
+    let mut cursor = f.body.0;
+    for (a, b) in children {
+        if a > cursor {
+            out.push((cursor, a));
+        }
+        cursor = cursor.max(b);
+    }
+    if cursor < f.body.1 {
+        out.push((cursor, f.body.1));
+    }
+    out
+}
+
+/// Scans one byte range of `f`'s body for call sites into
+/// `graph.sites[id]`.
+fn scan_range(
+    fm: &FileMap,
+    f: &FnItem,
+    range: (usize, usize),
+    syms: &Symbols,
+    id: usize,
+    graph: &mut CallGraph,
+) {
+    let masked = &fm.masked;
+    let b = masked.as_bytes();
+    let mut i = range.0;
+    while i < range.1 {
+        if !crate::lexer::is_ident_byte(b[i]) || (i > 0 && crate::lexer::is_ident_byte(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < range.1 && crate::lexer::is_ident_byte(b[i]) {
+            i += 1;
+        }
+        let name = &masked[start..i];
+        // Skip whitespace and an optional `::<…>` turbofish to the
+        // decisive byte.
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if masked[j..].starts_with("::<") {
+            let mut depth = 0usize;
+            j += 2;
+            while j < b.len() {
+                match b[j] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if b.get(j) != Some(&b'(') {
+            continue; // not a call (also rejects `name!(` macros: `!` sits at j)
+        }
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        if name == "drop" {
+            continue; // a release event for the held-guard walkers, not an edge
+        }
+        // Tuple-struct constructors and enum variants (`Some(…)`,
+        // `RepoError::Corrupt(…)`): uppercase-initial names are data
+        // constructors, not calls; workspace methods are snake_case.
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            continue;
+        }
+        if prev_token_is_fn(masked, start) {
+            continue; // a nested definition's own name
+        }
+        let before = prev_nonspace(b, start);
+        let kind = match before {
+            Some((_, b'.')) => CallKind::Method,
+            Some((p, b':')) if p > 0 && b[p - 1] == b':' => {
+                let qual = path_qualifier(masked, p - 1);
+                match qual {
+                    Some(q) => CallKind::Qualified(q),
+                    None => CallKind::Bare,
+                }
+            }
+            _ => CallKind::Bare,
+        };
+        // Acquisition sites are events, not edges (see module docs).
+        if matches!(kind, CallKind::Method) {
+            let dot = before.map(|(p, _)| p).unwrap_or(start);
+            let stmt = statement_bounds(masked, f.body, dot);
+            if classify_acquisition(masked, dot, &masked[stmt.0..stmt.1]).is_some() {
+                continue;
+            }
+            if METHOD_DENY.contains(&name) {
+                graph.denied += 1;
+                continue;
+            }
+        }
+        if matches!(&kind, CallKind::Qualified(q) if q == "lockrank") && name == "acquire" {
+            continue; // modeled as an acquisition event
+        }
+        let targets = resolve(fm, f, start, name, &kind, syms);
+        let (line, _) = fm.line_col(start);
+        if targets.is_empty() {
+            graph.unresolved += 1;
+        }
+        graph.sites[id].push(CallSite {
+            off: start,
+            line,
+            name: name.to_string(),
+            kind,
+            targets,
+        });
+    }
+}
+
+/// Resolves one call site to workspace item ids.
+fn resolve(
+    fm: &FileMap,
+    f: &FnItem,
+    start: usize,
+    name: &str,
+    kind: &CallKind,
+    syms: &Symbols,
+) -> Vec<usize> {
+    match kind {
+        CallKind::Method => {
+            // `self.method(…)` resolves within the enclosing impl type
+            // when that type defines the method; otherwise fall back to
+            // every same-named workspace method (may-aliasing).
+            let chain = receiver_chain(&fm.masked, start.saturating_sub(1));
+            if chain.len() == 1 && chain[0] == "self" {
+                if let Some(ty) = &f.self_ty {
+                    if let Some(ids) = syms.by_qualified.get(&format!("{ty}::{name}")) {
+                        return ids.clone();
+                    }
+                }
+            }
+            syms.methods_by_name.get(name).cloned().unwrap_or_default()
+        }
+        CallKind::Qualified(q) => {
+            let ty = if q == "Self" {
+                f.self_ty.clone().unwrap_or_else(|| q.clone())
+            } else {
+                q.clone()
+            };
+            if let Some(ids) = syms.by_qualified.get(&format!("{ty}::{name}")) {
+                return ids.clone();
+            }
+            // A lowercase qualifier is a module path (`frame::decode`),
+            // so the callee is a free function.
+            if ty
+                .as_bytes()
+                .first()
+                .is_some_and(|c| c.is_ascii_lowercase())
+            {
+                return syms.free_by_name.get(name).cloned().unwrap_or_default();
+            }
+            Vec::new()
+        }
+        CallKind::Bare => syms.free_by_name.get(name).cloned().unwrap_or_default(),
+    }
+}
+
+/// The previous non-whitespace byte before `at`, with its position.
+fn prev_nonspace(b: &[u8], at: usize) -> Option<(usize, u8)> {
+    let mut i = at;
+    while i > 0 {
+        let c = b[i - 1];
+        if !c.is_ascii_whitespace() {
+            return Some((i - 1, c));
+        }
+        i -= 1;
+    }
+    None
+}
+
+/// Whether the token before `at` (skipping whitespace) is the `fn`
+/// keyword, i.e. `at` is a definition's name, not a call.
+fn prev_token_is_fn(masked: &str, at: usize) -> bool {
+    let b = masked.as_bytes();
+    let mut i = at;
+    // A raw-identifier name (`fn r#match`) puts `r#` between.
+    if i >= 2 && b[i - 1] == b'#' && b[i - 2] == b'r' {
+        i -= 2;
+    }
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    i >= 2 && &masked[i - 2..i] == "fn" && (i == 2 || !crate::lexer::is_ident_byte(b[i - 3]))
+}
+
+/// The identifier before the `::` whose first `:` is at `colon`.
+fn path_qualifier(masked: &str, colon: usize) -> Option<String> {
+    let b = masked.as_bytes();
+    let mut i = colon;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    // Skip a generic argument list: `Vec<u8>::new` — rare; give up.
+    let end = i;
+    while i > 0 && crate::lexer::is_ident_byte(b[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(masked[i..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+
+    fn graph_of(src: &str) -> (Vec<FnItem>, CallGraph) {
+        let fm = FileMap::new("crates/x/src/lib.rs", src);
+        let fns = items::collect(&fm, 0);
+        let syms = Symbols::build(&fns);
+        let g = build(std::slice::from_ref(&fm), &fns, &syms);
+        (fns, g)
+    }
+
+    fn edge(fns: &[FnItem], g: &CallGraph, from: &str, to: &str) -> bool {
+        let from_id = fns.iter().position(|f| f.name == from).expect("from");
+        g.sites[from_id]
+            .iter()
+            .any(|s| s.targets.iter().any(|&t| fns[t].name == to))
+    }
+
+    #[test]
+    fn bare_method_and_qualified_calls_resolve() {
+        let src = "fn helper() {}\n\
+                   struct Foo;\n\
+                   impl Foo {\n\
+                   \x20   fn step(&self) {}\n\
+                   \x20   fn run(&self) { helper(); self.step(); Foo::step(&self); }\n\
+                   }\n";
+        let (fns, g) = graph_of(src);
+        assert!(edge(&fns, &g, "run", "helper"));
+        assert!(edge(&fns, &g, "run", "step"));
+        assert_eq!(g.unresolved, 0);
+    }
+
+    #[test]
+    fn std_collision_names_are_denied_not_guessed() {
+        let src = "struct Repo;\n\
+                   impl Repo {\n    fn remove(&self, k: &str) {}\n}\n\
+                   fn caller(m: &mut std::collections::BTreeMap<u32, u32>) { m.remove(&1); }\n";
+        let (fns, g) = graph_of(src);
+        assert!(!edge(&fns, &g, "caller", "remove"));
+        assert_eq!(g.denied, 1);
+    }
+
+    #[test]
+    fn acquisitions_and_macros_are_not_edges() {
+        let src = "struct T;\nimpl T {\n    fn lock(&self, k: &str) {}\n}\n\
+                   fn caller(t: &T, m: &std::sync::Mutex<u32>) {\n\
+                   \x20   let g = m.lock();\n\
+                   \x20   println!(\"x\");\n\
+                   \x20   drop(g);\n\
+                   }\n";
+        let (fns, g) = graph_of(src);
+        let caller = fns.iter().position(|f| f.name == "caller").expect("caller");
+        assert!(
+            g.sites[caller].iter().all(|s| s.name != "lock"),
+            "{:?}",
+            g.sites[caller]
+        );
+    }
+
+    #[test]
+    fn unresolved_calls_are_counted() {
+        let (_, g) = graph_of("fn caller() { nonexistent_helper_xyz(); }\n");
+        assert_eq!(g.unresolved, 1);
+        assert_eq!(g.resolved, 0);
+    }
+
+    #[test]
+    fn test_helpers_are_not_targets() {
+        let src = "fn caller() { shared(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn shared() {}\n}\n";
+        let (fns, g) = graph_of(src);
+        assert!(!edge(&fns, &g, "caller", "shared"));
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_nested_fn() {
+        let src = "fn inner_target() {}\n\
+                   fn outer() {\n    fn inner() { inner_target(); }\n    inner();\n}\n";
+        let (fns, g) = graph_of(src);
+        assert!(edge(&fns, &g, "inner", "inner_target"));
+        assert!(!edge(&fns, &g, "outer", "inner_target"));
+        assert!(edge(&fns, &g, "outer", "inner"));
+    }
+}

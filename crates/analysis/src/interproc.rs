@@ -1,0 +1,759 @@
+//! The three interprocedural lint families, built on the call graph
+//! ([`crate::callgraph`]) and the effect summaries
+//! ([`crate::summaries`]):
+//!
+//! * **`lock-order-interproc`** — while a lock of rank R is held, no
+//!   call path may transitively acquire a lock of rank < R, nor a
+//!   second lock of the same exclusive named class. The diagnostic
+//!   prints the full offending call chain down to the acquiring line.
+//! * **`blocking-while-locked`** — while an *exclusive* lock is held,
+//!   no local statement or call path may reach an unbounded-latency
+//!   blocking operation: fsync, condvar wait, channel recv, or sleep.
+//!   (`Vfs` reads/appends under a shard lock are the store's design and
+//!   stay allowed.) Deliberate exceptions — the WAL group-commit leader
+//!   fsyncing under the shard lock — carry justification waivers.
+//! * **`panic-reach`** — no public function of the engine crates
+//!   (rcs, snapshot, diffcore, htmldiff, store, sched, serve) may
+//!   transitively reach an unwaived panic site. Findings anchor at the
+//!   panic *site*, so one waiver covers the site however many entry
+//!   points reach it.
+//!
+//! Held-lock regions are tracked with the same lexical discipline as the
+//! intraprocedural `lock-order` lint — let-bound (including
+//! destructured) guards, brace scoping, explicit `drop(…)` — extended
+//! with one interprocedural rule: a let-bound call to a *guard-returning
+//! helper* (per [`Summary::guards`]) holds that helper's lock classes in
+//! the caller.
+
+use crate::callgraph::{CallGraph, Symbols};
+use crate::config::{panic_entry, Config};
+use crate::items::{self, FnItem};
+use crate::lints::{binding_holds_guard, normalize, statement_bounds, Finding};
+use crate::scope::{bound_names, is_conditional_binding, FileMap};
+use crate::summaries::{
+    acquire_chain, block_chain, fixpoint, LocalFacts, Summary, DENIED_UNDER_LOCK,
+};
+use aide_util::sync::lockrank;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The whole-workspace analysis state: files, items, call graph, and
+/// fixpoint summaries. Built once, shared by all three lint passes.
+pub struct Workspace {
+    /// Parsed files, in input order.
+    pub files: Vec<FileMap>,
+    /// Every function item, workspace-wide.
+    pub fns: Vec<FnItem>,
+    /// The resolved call graph over `fns`.
+    pub graph: CallGraph,
+    /// Per-function transitive effect summaries.
+    pub sums: Vec<Summary>,
+    /// Per-function local acquisition/blocking sites.
+    pub facts: Vec<LocalFacts>,
+}
+
+/// Parses, indexes, and summarizes `files`.
+pub fn analyze(files: Vec<FileMap>) -> Workspace {
+    let mut fns = Vec::new();
+    for (idx, fm) in files.iter().enumerate() {
+        fns.extend(items::collect(fm, idx));
+    }
+    let syms = Symbols::build(&fns);
+    let graph = crate::callgraph::build(&files, &fns, &syms);
+    let (sums, facts) = fixpoint(&files, &fns, &graph);
+    Workspace {
+        files,
+        fns,
+        graph,
+        sums,
+        facts,
+    }
+}
+
+/// Runs the enabled interprocedural lints. Findings are sorted by
+/// (file, line, col) per file by the caller's merge.
+pub fn lint_graph(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.enabled("lock-order-interproc") || cfg.enabled("blocking-while-locked") {
+        for id in 0..ws.fns.len() {
+            held_walk(ws, cfg, id, &mut out);
+        }
+    }
+    if cfg.enabled("panic-reach") {
+        panic_reach(ws, &mut out);
+    }
+    out
+}
+
+/// One lock guard held at a point in the walk.
+struct HeldG {
+    class: &'static lockrank::LockClass,
+    /// Whether the acquisition mode is exclusive (a `.read()` is not).
+    exclusive: bool,
+    /// Whether the guard arrived through a guard-returning helper call
+    /// (the intraprocedural `lock-order` lint cannot see those, so
+    /// inversions against them are this lint's to report).
+    via_call: bool,
+    names: Vec<String>,
+    depth: usize,
+    line: u32,
+}
+
+/// An event the walker reacts to, in body order.
+enum Event {
+    /// Index into `facts[id].acquisitions`.
+    Acq(usize),
+    /// Index into `facts[id].blocks`.
+    Block(usize),
+    /// Index into `graph.sites[id]`.
+    Call(usize),
+}
+
+/// Walks one function body tracking held locks, firing
+/// `lock-order-interproc` at call sites whose transitive acquisitions
+/// invert the held ranks, and `blocking-while-locked` at local blocking
+/// sites and call sites that transitively block.
+fn held_walk(ws: &Workspace, cfg: &Config, id: usize, out: &mut Vec<Finding>) {
+    let f = &ws.fns[id];
+    if f.in_test || f.in_debug {
+        return;
+    }
+    let fm = &ws.files[f.file];
+    let masked = &fm.masked;
+    let b = masked.as_bytes();
+    let facts = &ws.facts[id];
+
+    let mut events: Vec<(usize, Event)> = Vec::new();
+    events.extend(
+        facts
+            .acquisitions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.off, Event::Acq(i))),
+    );
+    events.extend(
+        facts
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, bl)| (bl.off, Event::Block(i))),
+    );
+    events.extend(
+        ws.graph.sites[id]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.off, Event::Call(i))),
+    );
+    events.sort_by_key(|(off, _)| *off);
+
+    let mut held: Vec<HeldG> = Vec::new();
+    let mut depth = 0usize;
+    let mut ev = events.iter().peekable();
+    let mut i = f.body.0;
+    while i < f.body.1 {
+        while let Some((at, e)) = ev.peek() {
+            if *at != i {
+                break;
+            }
+            match e {
+                Event::Acq(k) => {
+                    on_acquire(ws, cfg, id, &facts.acquisitions[*k], depth, &mut held, out)
+                }
+                Event::Block(k) => {
+                    let bl = &facts.blocks[*k];
+                    if cfg.enabled("blocking-while-locked") && DENIED_UNDER_LOCK.contains(&bl.kind)
+                    {
+                        if let Some(g) = held.iter().find(|g| g.exclusive) {
+                            out.push(Finding {
+                                file: fm.rel.clone(),
+                                line: bl.line,
+                                col: fm.line_col(bl.off).1,
+                                lint: "blocking-while-locked",
+                                message: format!(
+                                    "{} operation while the exclusive `{}` lock from line {} is held",
+                                    bl.kind, g.class.name, g.line
+                                ),
+                                hint: BLOCK_HINT,
+                            });
+                        }
+                    }
+                }
+                Event::Call(k) => {
+                    on_call(ws, cfg, id, *k, &held, out);
+                    push_call_guards(ws, id, *k, depth, &mut held);
+                }
+            }
+            ev.next();
+        }
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|g| g.depth <= depth);
+            }
+            b'd' if masked[i..].starts_with("drop(") => {
+                let arg_end = masked[i + 5..f.body.1]
+                    .find(')')
+                    .map(|p| i + 5 + p)
+                    .unwrap_or(f.body.1);
+                let arg = normalize(&masked[i + 5..arg_end]);
+                held.retain(|g| !g.names.iter().any(|n| n == &arg));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+const ORDER_HINT: &str =
+    "acquire locks in ascending rank order on every call path (flight, url, user, sched, wal, store, \
+     then structure guards); hoist the inner acquisition out of the locked region or take it first";
+const BLOCK_HINT: &str =
+    "move the blocking operation outside the locked region, or waive with a justification if \
+     blocking under this lock is the design (e.g. the WAL group-commit leader)";
+
+/// Handles a local acquisition: first checks it against guards that
+/// arrived through helper calls (the intraprocedural `lock-order` lint
+/// cannot see those), then pushes a held guard when the statement
+/// let-binds the result (including destructuring patterns).
+fn on_acquire(
+    ws: &Workspace,
+    cfg: &Config,
+    id: usize,
+    a: &crate::summaries::AcqSite,
+    depth: usize,
+    held: &mut Vec<HeldG>,
+    out: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let fm = &ws.files[f.file];
+    let masked = &fm.masked;
+    let Some(class) = lockrank::class(a.class) else {
+        return;
+    };
+    if cfg.enabled("lock-order-interproc") {
+        let offender = held.iter().find(|g| {
+            g.via_call
+                && (class.rank < g.class.rank || (class.exclusive && g.class.name == class.name))
+        });
+        if let Some(g) = offender {
+            out.push(Finding {
+                file: fm.rel.clone(),
+                line: a.line,
+                col: fm.line_col(a.off).1,
+                lint: "lock-order-interproc",
+                message: format!(
+                    "acquiring `{}` (rank {}) while `{}` (rank {}) is held via the helper call at line {}",
+                    class.name, class.rank, g.class.name, g.class.rank, g.line
+                ),
+                hint: ORDER_HINT,
+            });
+        }
+    }
+    let (stmt_start, stmt_end) = statement_bounds(masked, f.body, a.off);
+    let stmt = &masked[stmt_start..stmt_end];
+    let names = bound_names(stmt);
+    if names.is_empty() || !binding_holds_guard(masked, a.off, (stmt_start, stmt_end)) {
+        return;
+    }
+    let guard_depth = if is_conditional_binding(stmt) {
+        depth + 1
+    } else {
+        depth
+    };
+    held.push(HeldG {
+        class,
+        exclusive: a.exclusive,
+        via_call: false,
+        names,
+        depth: guard_depth,
+        line: a.line,
+    });
+}
+
+/// Checks one call site against the held set, then (if the callee is a
+/// guard-returning helper and the call is let-bound) extends the held
+/// set with the callee's guard classes.
+fn on_call(
+    ws: &Workspace,
+    cfg: &Config,
+    id: usize,
+    site_idx: usize,
+    held: &[HeldG],
+    out: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let fm = &ws.files[f.file];
+    let site = &ws.graph.sites[id][site_idx];
+    if site.targets.is_empty() {
+        return;
+    }
+
+    // Union the targets' transitive effects, keeping the first target
+    // that exhibits each (deterministic: targets are in item order).
+    let mut acq: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut blk: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for &t in &site.targets {
+        for class in ws.sums[t].acquires.keys() {
+            acq.entry(class).or_insert(t);
+        }
+        for kind in ws.sums[t].blocks.keys() {
+            blk.entry(kind).or_insert(t);
+        }
+    }
+
+    if cfg.enabled("lock-order-interproc") {
+        for (&class_name, &t) in &acq {
+            let Some(class) = lockrank::class(class_name) else {
+                continue;
+            };
+            // The first held guard that the acquisition inverts: lower
+            // rank than held, or a second exclusive lock of the same
+            // named class. (Equal-rank `structure`-vs-`structure` never
+            // fires here — receivers are not comparable across calls.)
+            let offender = held.iter().find(|g| {
+                class.rank < g.class.rank || (class.exclusive && g.class.name == class.name)
+            });
+            if let Some(g) = offender {
+                let chain = acquire_chain(&ws.files, &ws.fns, &ws.sums, t, class_name);
+                out.push(Finding {
+                    file: fm.rel.clone(),
+                    line: site.line,
+                    col: fm.line_col(site.off).1,
+                    lint: "lock-order-interproc",
+                    message: format!(
+                        "call to `{}` may acquire `{}` (rank {}) while `{}` (rank {}) from line {} is held; via {}",
+                        ws.fns[t].qualified(),
+                        class.name,
+                        class.rank,
+                        g.class.name,
+                        g.class.rank,
+                        g.line,
+                        chain
+                    ),
+                    hint: ORDER_HINT,
+                });
+            }
+        }
+    }
+
+    if cfg.enabled("blocking-while-locked") {
+        if let Some(g) = held.iter().find(|g| g.exclusive) {
+            for (&kind, &t) in &blk {
+                if !DENIED_UNDER_LOCK.contains(&kind) {
+                    continue;
+                }
+                let chain = block_chain(&ws.files, &ws.fns, &ws.sums, t, kind);
+                out.push(Finding {
+                    file: fm.rel.clone(),
+                    line: site.line,
+                    col: fm.line_col(site.off).1,
+                    lint: "blocking-while-locked",
+                    message: format!(
+                        "call to `{}` may reach a {} operation while the exclusive `{}` lock from line {} is held; via {}",
+                        ws.fns[t].qualified(),
+                        kind,
+                        g.class.name,
+                        g.line,
+                        chain
+                    ),
+                    hint: BLOCK_HINT,
+                });
+            }
+        }
+    }
+}
+
+/// Extends the held set after a guard-returning call site has been
+/// checked. Separated from [`on_call`] so the call's own effects are
+/// judged against the *prior* held set.
+fn push_call_guards(
+    ws: &Workspace,
+    id: usize,
+    site_idx: usize,
+    depth: usize,
+    held: &mut Vec<HeldG>,
+) {
+    let f = &ws.fns[id];
+    let fm = &ws.files[f.file];
+    let masked = &fm.masked;
+    let site = &ws.graph.sites[id][site_idx];
+    let mut classes: Vec<(&'static str, bool)> = site
+        .targets
+        .iter()
+        .flat_map(|&t| ws.sums[t].guards.iter().copied())
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    if classes.is_empty() {
+        return;
+    }
+    let (stmt_start, stmt_end) = statement_bounds(masked, f.body, site.off);
+    let stmt = &masked[stmt_start..stmt_end];
+    let names = bound_names(stmt);
+    if names.is_empty() || !binding_holds_guard(masked, site.off, (stmt_start, stmt_end)) {
+        return;
+    }
+    let guard_depth = if is_conditional_binding(stmt) {
+        depth + 1
+    } else {
+        depth
+    };
+    for (class_name, exclusive) in classes {
+        let Some(class) = lockrank::class(class_name) else {
+            continue;
+        };
+        held.push(HeldG {
+            class,
+            exclusive,
+            via_call: true,
+            names: names.clone(),
+            depth: guard_depth,
+            line: site.line,
+        });
+    }
+}
+
+/// Breadth-first reachability from every public entry function of the
+/// engine crates to panic sites, with predecessor links for the chain
+/// diagnostic. Findings anchor at the panic site.
+fn panic_reach(ws: &Workspace, out: &mut Vec<Finding>) {
+    let n = ws.fns.len();
+    let mut visited = vec![false; n];
+    let mut pred: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut root = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_pub && !f.in_test && !f.in_debug && panic_entry(&ws.files[f.file].rel) {
+            visited[id] = true;
+            root[id] = id;
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for site in &ws.graph.sites[id] {
+            for &t in &site.targets {
+                if !visited[t] {
+                    visited[t] = true;
+                    pred[t] = Some((id, site.line));
+                    root[t] = root[id];
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    for id in 0..n {
+        if !visited[id] || ws.sums[id].panic_sites.is_empty() {
+            continue;
+        }
+        let entry = root[id];
+        let path = render_path(ws, &pred, entry, id);
+        let fm = &ws.files[ws.fns[id].file];
+        for &line in &ws.sums[id].panic_sites {
+            out.push(Finding {
+                file: fm.rel.clone(),
+                line,
+                col: 1,
+                lint: "panic-reach",
+                message: format!(
+                    "panic site reachable from public entry `{}` ({}:{}){}",
+                    ws.fns[entry].qualified(),
+                    ws.files[ws.fns[entry].file].rel,
+                    ws.fns[entry].line,
+                    path
+                ),
+                hint:
+                    "return a typed error along this path, or waive the site with a justification \
+                       if the panic guards a broken internal invariant",
+            });
+        }
+    }
+}
+
+/// Renders ` via a → b → c` from the BFS predecessor links (empty when
+/// the site is in the entry itself).
+fn render_path(ws: &Workspace, pred: &[Option<(usize, u32)>], entry: usize, id: usize) -> String {
+    let mut hops = Vec::new();
+    let mut cur = id;
+    while cur != entry {
+        let Some((p, line)) = pred[cur] else {
+            break;
+        };
+        hops.push(format!(
+            "`{}` (called at {}:{})",
+            ws.fns[cur].qualified(),
+            ws.files[ws.fns[p].file].rel,
+            line
+        ));
+        cur = p;
+    }
+    if hops.is_empty() {
+        return String::new();
+    }
+    hops.reverse();
+    format!("; via {}", hops.join(" → "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)], lints: &[&'static str]) -> Vec<Finding> {
+        let files: Vec<FileMap> = srcs.iter().map(|(rel, s)| FileMap::new(rel, s)).collect();
+        let ws = analyze(files);
+        let cfg = Config {
+            lints: lints.to_vec(),
+        };
+        lint_graph(&ws, &cfg)
+    }
+
+    #[test]
+    fn interproc_inversion_across_two_crates() {
+        let caller = "\
+pub fn ingest(t: &LockTable, s: &aide_store::Store) {
+    let g = t.lock(&LockTable::url_key(\"u\"));
+    aide_store::persist(s);
+    drop(g);
+}
+";
+        let callee = "\
+pub fn persist(s: &Store) { let f = s.flights.once(\"k\"); drop(f); }
+";
+        let out = run(
+            &[
+                ("crates/sched/src/a.rs", caller),
+                ("crates/store/src/b.rs", callee),
+            ],
+            &["lock-order-interproc"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, "lock-order-interproc");
+        assert!(
+            out[0].message.contains("`flight` (rank 5)"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("`persist` acquires `flight`"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn ascending_rank_call_is_clean() {
+        let src = "\
+fn leaf(v: &std::sync::Mutex<u32>) { let g = v.lock(); drop(g); }
+pub fn top(t: &LockTable, v: &std::sync::Mutex<u32>) {
+    let g = t.lock(&LockTable::url_key(\"u\"));
+    leaf(v);
+    drop(g);
+}
+";
+        let out = run(&[("crates/store/src/a.rs", src)], &["lock-order-interproc"]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn blocking_reached_through_call_under_lock() {
+        let src = "\
+fn flush(vfs: &dyn Vfs) { vfs.sync(\"wal\"); }
+pub fn commit(vfs: &dyn Vfs, v: &std::sync::Mutex<u32>) {
+    let g = v.lock();
+    flush(vfs);
+    drop(g);
+}
+";
+        let out = run(
+            &[("crates/store/src/a.rs", src)],
+            &["blocking-while-locked"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("fsync"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("`flush` reaches a fsync op"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn blocking_under_read_lock_is_allowed() {
+        let src = "\
+fn flush(vfs: &dyn Vfs) { vfs.sync(\"wal\"); }
+pub fn scan(vfs: &dyn Vfs, v: &std::sync::RwLock<u32>) {
+    let g = v.read();
+    flush(vfs);
+    drop(g);
+}
+";
+        let out = run(
+            &[("crates/store/src/a.rs", src)],
+            &["blocking-while-locked"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn local_blocking_under_lock_fires() {
+        let src = "\
+pub fn commit(vfs: &dyn Vfs, v: &std::sync::Mutex<u32>) {
+    let g = v.lock();
+    vfs.sync(\"wal\");
+    drop(g);
+}
+";
+        let out = run(
+            &[("crates/store/src/a.rs", src)],
+            &["blocking-while-locked"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn guard_returning_helper_holds_its_class() {
+        let src = "\
+struct Sched;
+impl Sched {
+    fn locked(&self) -> (lockrank::Held, MutexGuard<State>) {
+        let held = lockrank::acquire(\"sched\", \"sched:state\");
+        (held, self.state.lock())
+    }
+    pub fn tick(&self, t: &LockTable) {
+        let (held, st) = self.locked();
+        let g = t.lock(&LockTable::url_key(\"u\"));
+        drop(g);
+        drop(st);
+        drop(held);
+    }
+}
+";
+        let out = run(&[("crates/sched/src/a.rs", src)], &["lock-order-interproc"]);
+        // `tick` holds `sched` (rank 22) via the helper; the direct
+        // `url` (rank 10) acquisition inverts it. The intraprocedural
+        // lint cannot see helper-held guards, so this family reports it.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("held via the helper call"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn guard_returning_helper_then_inverting_call_fires() {
+        let src = "\
+struct Sched;
+impl Sched {
+    fn locked(&self) -> (lockrank::Held, MutexGuard<State>) {
+        let held = lockrank::acquire(\"sched\", \"sched:state\");
+        (held, self.state.lock())
+    }
+    pub fn tick(&self, t: &LockTable) {
+        let (held, st) = self.locked();
+        grab_url(t);
+        drop(st);
+        drop(held);
+    }
+}
+fn grab_url(t: &LockTable) { let g = t.lock(&LockTable::url_key(\"u\")); drop(g); }
+";
+        let out = run(&[("crates/sched/src/a.rs", src)], &["lock-order-interproc"]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0]
+                .message
+                .contains("`url` (rank 10) while `sched` (rank 22)"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn diamond_call_graph_reports_once_per_site() {
+        let src = "\
+fn leaf(t: &LockTable) { let g = t.lock(&LockTable::url_key(\"u\")); drop(g); }
+fn left(t: &LockTable) { leaf(t); }
+fn right(t: &LockTable) { leaf(t); }
+pub fn top(t: &LockTable, s: &Shards) {
+    let (h, sh) = s.lock_shard(0);
+    left(t);
+    right(t);
+    drop(sh);
+    drop(h);
+}
+";
+        let out = run(&[("crates/store/src/a.rs", src)], &["lock-order-interproc"]);
+        // One finding per call site (left, right), not per path.
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn drop_releases_before_the_call() {
+        let src = "\
+fn flush(vfs: &dyn Vfs) { vfs.sync(\"wal\"); }
+pub fn commit(vfs: &dyn Vfs, v: &std::sync::Mutex<u32>) {
+    let g = v.lock();
+    drop(g);
+    flush(vfs);
+}
+";
+        let out = run(
+            &[("crates/store/src/a.rs", src)],
+            &["blocking-while-locked"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn panic_reach_anchors_at_the_site() {
+        let helper = "\
+pub(crate) fn decode(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let entry = "\
+pub fn open(x: Option<u32>) -> u32 { aide_util::decode(x) }
+";
+        let out = run(
+            &[
+                ("crates/util/src/helper.rs", helper),
+                ("crates/rcs/src/lib.rs", entry),
+            ],
+            &["panic-reach"],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/util/src/helper.rs");
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("`open`"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("via `decode`"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_panic_site_is_quiet() {
+        let srcs = [
+            (
+                "crates/util/src/helper.rs",
+                "pub(crate) fn boom() { panic!(\"x\"); }\n",
+            ),
+            ("crates/rcs/src/lib.rs", "pub fn open() -> u32 { 1 }\n"),
+        ];
+        let out = run(&srcs, &["panic-reach"]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn non_entry_crate_pub_fns_are_not_entries() {
+        let out = run(
+            &[(
+                "crates/util/src/lib.rs",
+                "pub fn boom() { panic!(\"x\"); }\n",
+            )],
+            &["panic-reach"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! A lightweight item parser over the lexer/scope output: every `fn`
+//! item in the workspace, with its enclosing `impl` type, visibility,
+//! return-type text, and body span. This is the symbol table the call
+//! graph ([`crate::callgraph`]) resolves against.
+//!
+//! Like the rest of this crate it is lexical, not syntactic: `impl`
+//! headers are recognized by scanning the masked source, visibility by
+//! looking back from the `fn` keyword, and the self type by taking the
+//! final path segment of the `impl` (or `impl … for`) type. That is
+//! enough for name-based resolution; anything it cannot classify becomes
+//! a counted unresolved call rather than a wrong edge.
+
+use crate::lexer::is_ident_byte;
+use crate::scope::{brace_match, ident_occurrences, FileMap};
+
+/// One function item, workspace-wide.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// The function's name (raw identifiers are unescaped: `r#match` →
+    /// `match`).
+    pub name: String,
+    /// The `impl` type the function is a method of, if any (`impl Foo`
+    /// and `impl Trait for Foo` both yield `Foo`).
+    pub self_ty: Option<String>,
+    /// Whether the item carries a `pub` qualifier.
+    pub is_pub: bool,
+    /// Byte offset of the `fn` keyword in its file.
+    pub sig_start: usize,
+    /// Byte range of the `{ … }` body in its file.
+    pub body: (usize, usize),
+    /// Return-type text (masked), empty when the function returns `()`.
+    pub ret: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Whether the item sits inside a `#[cfg(debug_assertions)]` region.
+    pub in_debug: bool,
+}
+
+impl FnItem {
+    /// `Type::name` when the item is a method, else just `name`.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `impl` block: its self type and brace span.
+#[derive(Debug, Clone)]
+struct ImplSpan {
+    self_ty: String,
+    body: (usize, usize),
+}
+
+/// Collects every `fn` item in `fm`, tagged with file index `file_idx`.
+pub fn collect(fm: &FileMap, file_idx: usize) -> Vec<FnItem> {
+    let impls = find_impls(&fm.masked);
+    let mut out = Vec::new();
+    for f in &fm.fns {
+        let sig = &fm.masked[f.sig_start..f.body.0];
+        let ret = sig
+            .find("->")
+            .map(|arrow| ret_text(&sig[arrow + 2..]))
+            .unwrap_or_default();
+        let self_ty = impls
+            .iter()
+            .filter(|im| f.sig_start > im.body.0 && f.sig_start < im.body.1)
+            .min_by_key(|im| im.body.1 - im.body.0)
+            .map(|im| im.self_ty.clone());
+        let (line, _) = fm.line_col(f.sig_start);
+        out.push(FnItem {
+            file: file_idx,
+            name: f.name.clone(),
+            self_ty,
+            is_pub: is_pub(&fm.masked, f.sig_start),
+            sig_start: f.sig_start,
+            body: f.body,
+            ret,
+            line,
+            in_test: fm.in_test(f.sig_start),
+            in_debug: fm.in_debug(f.sig_start),
+        });
+    }
+    out
+}
+
+/// The return type up to the body's opening brace or a `where` clause,
+/// whitespace-normalized.
+fn ret_text(after_arrow: &str) -> String {
+    let cut = after_arrow
+        .find(" where ")
+        .or_else(|| after_arrow.find('{'))
+        .unwrap_or(after_arrow.len());
+    after_arrow[..cut]
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Whether the item declared at `sig_start` carries `pub`: scan the text
+/// back to the previous item boundary (`;`, `{`, `}`, or `]` closing an
+/// attribute) for a `pub` token. Masked comments are already blank, so
+/// prose cannot fool this.
+fn is_pub(masked: &str, sig_start: usize) -> bool {
+    let b = masked.as_bytes();
+    let mut i = sig_start;
+    while i > 0 {
+        match b[i - 1] {
+            b';' | b'{' | b'}' | b']' => break,
+            _ => i -= 1,
+        }
+    }
+    !ident_occurrences(&masked[i..sig_start], "pub").is_empty()
+}
+
+/// Locates every `impl` block and extracts its self type.
+fn find_impls(masked: &str) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    for at in ident_occurrences(masked, "impl") {
+        // Header runs to the block's opening brace. Generic bounds can
+        // contain `{` only inside const generics, which the workspace
+        // does not use in impl headers.
+        let Some(open_rel) = masked[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        let header = &masked[at + 4..open];
+        let ty_text = match header.rfind(" for ") {
+            Some(p) => &header[p + 5..],
+            None => skip_generics(header),
+        };
+        if let Some(name) = first_type_ident(ty_text) {
+            out.push(ImplSpan {
+                self_ty: name,
+                body: (open, brace_match(masked, open)),
+            });
+        }
+    }
+    out
+}
+
+/// Skips a leading `<…>` generic-parameter list.
+fn skip_generics(header: &str) -> &str {
+    let t = header.trim_start();
+    if !t.starts_with('<') {
+        return t;
+    }
+    let b = t.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'<' => depth += 1,
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return &t[i + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// The first meaningful type identifier in `ty_text`: skips `&`,
+/// lifetimes, `dyn` / `mut`, and module path prefixes, returning the
+/// last segment's head identifier (`fmt::Display` → `Display`,
+/// `AideEngine<R>` → `AideEngine`).
+fn first_type_ident(ty_text: &str) -> Option<String> {
+    let mut last: Option<String> = None;
+    let b = ty_text.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if is_ident_byte(c) {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            let word = &ty_text[start..i];
+            match word {
+                "dyn" | "mut" | "const" => continue,
+                _ => {}
+            }
+            last = Some(word.to_string());
+            // A `<` or end-of-path means this segment is the type head;
+            // `::` means another segment follows.
+            if !ty_text[i..].trim_start().starts_with("::") {
+                return last;
+            }
+        } else if c == b'\'' {
+            // Lifetime: skip the tick and its identifier.
+            i += 1;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let fm = FileMap::new("crates/x/src/lib.rs", src);
+        collect(&fm, 0)
+    }
+
+    #[test]
+    fn free_and_method_items() {
+        let src = "pub fn free() {}\n\
+                   struct Foo;\n\
+                   impl Foo {\n    pub fn method(&self) -> u32 { 1 }\n    fn hidden(&self) {}\n}\n\
+                   impl std::fmt::Display for Foo {\n    fn fmt(&self) {}\n}\n";
+        let it = items(src);
+        let by_name: Vec<(String, Option<String>, bool)> = it
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone(), f.is_pub))
+            .collect();
+        assert_eq!(
+            by_name,
+            [
+                ("free".into(), None, true),
+                ("method".into(), Some("Foo".into()), true),
+                ("hidden".into(), Some("Foo".into()), false),
+                ("fmt".into(), Some("Foo".into()), false),
+            ]
+        );
+        assert_eq!(it[1].ret, "u32");
+        assert_eq!(it[1].qualified(), "Foo::method");
+    }
+
+    #[test]
+    fn generic_impl_headers() {
+        let src = "impl<R: Repository> AideEngine<R> {\n    fn run(&self) {}\n}\n\
+                   impl<'a> Cursor<'a> {\n    fn next(&mut self) {}\n}\n";
+        let it = items(src);
+        assert_eq!(it[0].self_ty.as_deref(), Some("AideEngine"));
+        assert_eq!(it[1].self_ty.as_deref(), Some("Cursor"));
+    }
+
+    #[test]
+    fn test_and_debug_flags() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\
+                   #[cfg(debug_assertions)]\nmod dynamic {\n    fn note() {}\n}\n";
+        let it = items(src);
+        assert!(!it[0].in_test && !it[0].in_debug);
+        assert!(it[1].in_test);
+        assert!(it[2].in_debug);
+    }
+
+    #[test]
+    fn pub_crate_counts_as_pub() {
+        let it = items("pub(crate) fn f() {}\nfn g() {}\n");
+        assert!(it[0].is_pub);
+        assert!(!it[1].is_pub);
+    }
+}

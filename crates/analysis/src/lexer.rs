@@ -112,6 +112,15 @@ pub fn lex(src: &str) -> Lexed {
             b'"' => {
                 i = mask_plain_string(bytes, &mut out, i, &mut line, &mut line_start);
             }
+            b'r' if is_raw_ident_start(bytes, i) => {
+                // `r#match` / `r#type`: a raw identifier, not the start of
+                // a raw string. Consume the whole identifier as code so
+                // the `#` can never be mistaken for a string fence.
+                i += 2;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+            }
             b'r' | b'b' if starts_literal_prefix(bytes, i) => {
                 // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`.
                 let prefix_end = literal_prefix_end(bytes, i);
@@ -161,6 +170,18 @@ pub fn lex(src: &str) -> Lexed {
         Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
     };
     Lexed { masked, comments }
+}
+
+/// Whether the `r` at `i` starts a raw identifier (`r#match`): an `r` at
+/// an identifier boundary, a `#`, then an identifier character that is
+/// not a digit. `r#"…"#` fails the last test (the byte after `#` is a
+/// quote) and lexes as a raw string.
+pub fn is_raw_ident_start(bytes: &[u8], i: usize) -> bool {
+    (i == 0 || !is_ident_byte(bytes[i - 1]))
+        && bytes.get(i + 1) == Some(&b'#')
+        && bytes
+            .get(i + 2)
+            .is_some_and(|&b| is_ident_byte(b) && !b.is_ascii_digit())
 }
 
 /// Whether the `r`/`b` at `i` starts a literal prefix rather than being
@@ -407,5 +428,29 @@ mod tests {
         let l = lex("for r in rs { r.f(); } let var_b = b; expr\"s\"");
         assert!(l.masked.contains("for r in rs"));
         assert!(l.masked.contains("let var_b = b;"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let l = lex("fn r#match(r#type: u32) -> u32 { r#type + 1 } done();");
+        assert!(l.masked.contains("fn r#match(r#type: u32)"));
+        assert!(l.masked.contains("r#type + 1"));
+        assert!(l.masked.contains("done();"));
+    }
+
+    #[test]
+    fn raw_identifier_before_string_still_masks_the_string() {
+        let l = lex(r##"let r#type = 1; let s = "secret"; let raw = r#"panic!()"#;"##);
+        assert!(l.masked.contains("let r#type = 1;"));
+        assert!(!l.masked.contains("secret"));
+        assert!(!l.masked.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_string_is_not_a_raw_identifier() {
+        let l = lex(r##"let a = r#"unwrap()"#; let b = r"also masked";"##);
+        assert!(!l.masked.contains("unwrap"));
+        assert!(!l.masked.contains("also masked"));
+        assert!(l.masked.contains("let b ="));
     }
 }

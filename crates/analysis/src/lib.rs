@@ -22,66 +22,110 @@
 //! waivers, which the tool parses, applies, counts (`--waivers`), and
 //! caps in CI (`--max-waivers`). See LINTS.md for the catalog.
 
+pub mod callgraph;
 pub mod config;
+pub mod interproc;
+pub mod items;
 pub mod lexer;
 pub mod lints;
 pub mod report;
 pub mod scope;
+pub mod summaries;
 pub mod waivers;
 
 use config::Config;
 use lints::Finding;
-use report::{Report, UnusedWaiver};
+use report::{GraphStats, Report, UnusedWaiver};
 use scope::FileMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Lints a set of files together: the per-file lexical lints plus the
+/// interprocedural families (which need the whole set to build the call
+/// graph). Vendored files are skipped. Waivers are parsed per file and
+/// applied to whichever findings anchor there, whatever pass produced
+/// them.
+pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Report {
+    let files: Vec<FileMap> = sources
+        .iter()
+        .filter(|(rel, _)| !config::is_vendored(rel))
+        .map(|(rel, src)| FileMap::new(rel, src))
+        .collect();
+    let mut by_file: Vec<Vec<Finding>> = files.iter().map(|fm| lints::lint_file(fm, cfg)).collect();
+
+    let index: std::collections::BTreeMap<String, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, fm)| (fm.rel.clone(), i))
+        .collect();
+    let ws = interproc::analyze(files);
+    for f in interproc::lint_graph(&ws, cfg) {
+        if let Some(&i) = index.get(&f.file) {
+            by_file[i].push(f);
+        }
+    }
+
+    let mut report = Report {
+        files: ws.files.len(),
+        graph: GraphStats {
+            functions: ws.fns.len(),
+            calls_resolved: ws.graph.resolved,
+            calls_unresolved: ws.graph.unresolved,
+            calls_denied: ws.graph.denied,
+        },
+        ..Report::default()
+    };
+    for (i, fm) in ws.files.iter().enumerate() {
+        let mut raw = std::mem::take(&mut by_file[i]);
+        raw.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+        raw.dedup();
+        let waivers = waivers::parse(&fm.comments);
+        let mut used = vec![false; waivers.len()];
+        for f in raw {
+            let mut hit = false;
+            for (k, w) in waivers.iter().enumerate() {
+                if w.applies_to == f.line && w.lints.iter().any(|l| l == f.lint) {
+                    used[k] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                report.waived.push(f);
+            } else {
+                report.findings.push(f);
+            }
+        }
+        report.unused_waivers.extend(
+            waivers
+                .iter()
+                .zip(used)
+                .filter(|(w, used)| {
+                    // A waiver for a disabled lint is not "unused" — it
+                    // simply did not get a chance to fire this run.
+                    !used && w.lints.iter().any(|l| cfg.enabled(l))
+                })
+                .map(|(w, _)| UnusedWaiver {
+                    file: fm.rel.clone(),
+                    line: w.line,
+                    lints: w.lints.clone(),
+                }),
+        );
+    }
+    report
+}
+
 /// Lints one file's source text under its repo-relative path, applying
-/// waivers. Returns `(active, waived, unused_waivers)`.
+/// waivers. Returns `(active, waived, unused_waivers)`. Interprocedural
+/// families see a one-file call graph — cross-file paths need
+/// [`lint_sources`].
 pub fn lint_source(
     rel: &str,
     src: &str,
     cfg: &Config,
 ) -> (Vec<Finding>, Vec<Finding>, Vec<UnusedWaiver>) {
-    if config::is_vendored(rel) {
-        return (Vec::new(), Vec::new(), Vec::new());
-    }
-    let fm = FileMap::new(rel, src);
-    let raw = lints::lint_file(&fm, cfg);
-    let waivers = waivers::parse(&fm.comments);
-    let mut used = vec![false; waivers.len()];
-    let mut active = Vec::new();
-    let mut waived = Vec::new();
-    for f in raw {
-        let mut hit = false;
-        for (i, w) in waivers.iter().enumerate() {
-            if w.applies_to == f.line && w.lints.iter().any(|l| l == f.lint) {
-                used[i] = true;
-                hit = true;
-            }
-        }
-        if hit {
-            waived.push(f);
-        } else {
-            active.push(f);
-        }
-    }
-    let unused = waivers
-        .iter()
-        .zip(used)
-        .filter(|(w, used)| {
-            // A waiver for a disabled lint is not "unused" — it simply
-            // did not get a chance to fire this run.
-            !used && w.lints.iter().any(|l| cfg.enabled(l))
-        })
-        .map(|(w, _)| UnusedWaiver {
-            file: rel.to_string(),
-            line: w.line,
-            lints: w.lints.clone(),
-        })
-        .collect();
-    (active, waived, unused)
+    let report = lint_sources(&[(rel.to_string(), src.to_string())], cfg);
+    (report.findings, report.waived, report.unused_waivers)
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for output
@@ -106,15 +150,17 @@ fn rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints every `crates/*/src` tree under `root` (the workspace root).
+/// Lints every `crates/*/src` tree under `root` (the workspace root),
+/// building one whole-workspace call graph for the interprocedural
+/// families.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
-    let mut report = Report::default();
     let crates_dir = root.join("crates");
     let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.is_dir())
         .collect();
     members.sort();
+    let mut sources = Vec::new();
     for member in members {
         let src = member.join("src");
         if !src.is_dir() {
@@ -126,15 +172,10 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let text = fs::read_to_string(&file)?;
-            let (active, waived, unused) = lint_source(&rel, &text, cfg);
-            report.files += 1;
-            report.findings.extend(active);
-            report.waived.extend(waived);
-            report.unused_waivers.extend(unused);
+            sources.push((rel, fs::read_to_string(&file)?));
         }
     }
-    Ok(report)
+    Ok(lint_sources(&sources, cfg))
 }
 
 #[cfg(test)]

@@ -332,7 +332,7 @@ fn declared_name(seg: &str) -> Option<String> {
 /// Walks the method-call chain leftward from the `.` at `dot_at`,
 /// collecting the base identifiers (`self.diff_cache.shard(url).lock()`
 /// → `["lock", "shard", "diff_cache", "self"]`-ish, minus `self`).
-fn receiver_chain(masked: &str, dot_at: usize) -> Vec<String> {
+pub(crate) fn receiver_chain(masked: &str, dot_at: usize) -> Vec<String> {
     let b = masked.as_bytes();
     let mut idents = Vec::new();
     let mut i = dot_at;
@@ -389,7 +389,10 @@ fn receiver_chain(masked: &str, dot_at: usize) -> Vec<String> {
 struct HeldGuard {
     class: &'static lockrank::LockClass,
     receiver: String,
-    binding: Option<String>,
+    /// Names the guard is reachable through (destructuring can bind it
+    /// under several, e.g. `let (g, h) = …`); `drop(name)` releases when
+    /// `name` is any of them.
+    names: Vec<String>,
     depth: usize,
     line: u32,
 }
@@ -404,7 +407,7 @@ fn lock_order(fm: &FileMap, out: &mut Vec<Finding>) {
 }
 
 /// Classifies one acquisition site; `None` means "not an acquisition".
-fn classify_acquisition(masked: &str, at: usize, stmt: &str) -> Option<&'static str> {
+pub(crate) fn classify_acquisition(masked: &str, at: usize, stmt: &str) -> Option<&'static str> {
     let after = &masked[at..];
     if after.starts_with(".lock()") || after.starts_with(".read()") || after.starts_with(".write()")
     {
@@ -473,7 +476,7 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
                                     "lock-order inversion: acquiring `{}` (rank {}) while `{}` (rank {}) from line {} is held",
                                     class.name, class.rank, g.class.name, g.class.rank, g.line
                                 ),
-                                "acquire locks in ascending rank order (flight, url, user, sched, store, then structure guards); \
+                                "acquire locks in ascending rank order (flight, url, user, sched, wal, store, then structure guards); \
                                  see the shared rank table in aide_util::sync::lockrank",
                             );
                         } else if class.exclusive && g.class.name == class.name {
@@ -506,16 +509,23 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
                             );
                         }
                     }
-                    if let Some(binding) = let_binding(stmt) {
-                        if binding_holds_guard(masked, at, (stmt_start, stmt_end)) {
-                            held.push(HeldGuard {
-                                class,
-                                receiver,
-                                binding: Some(binding),
-                                depth,
-                                line,
-                            });
-                        }
+                    let names = crate::scope::bound_names(stmt);
+                    if !names.is_empty() && binding_holds_guard(masked, at, (stmt_start, stmt_end))
+                    {
+                        // An `if let` / `while let` guard scopes to the
+                        // block that follows, not the enclosing one.
+                        let guard_depth = if crate::scope::is_conditional_binding(stmt) {
+                            depth + 1
+                        } else {
+                            depth
+                        };
+                        held.push(HeldGuard {
+                            class,
+                            receiver,
+                            names,
+                            depth: guard_depth,
+                            line,
+                        });
                     }
                 }
             }
@@ -532,7 +542,7 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
                     .map(|p| i + 5 + p)
                     .unwrap_or(body.1);
                 let arg = normalize(&masked[i + 5..arg_end]);
-                held.retain(|g| g.binding.as_deref() != Some(arg.as_str()));
+                held.retain(|g| !g.names.iter().any(|n| n == &arg));
             }
             _ => {}
         }
@@ -542,7 +552,7 @@ fn lock_order_fn(fm: &FileMap, body: (usize, usize), out: &mut Vec<Finding>) {
 
 /// Finds the statement containing `at` within `body`: bounded by `;`,
 /// `{`, or `}` at the statement's own nesting level.
-fn statement_bounds(masked: &str, body: (usize, usize), at: usize) -> (usize, usize) {
+pub(crate) fn statement_bounds(masked: &str, body: (usize, usize), at: usize) -> (usize, usize) {
     let b = masked.as_bytes();
     // Backward: stop at `;`/`{`/`}` at depth 0 (counting groups we back
     // over).
@@ -583,7 +593,7 @@ fn statement_bounds(masked: &str, body: (usize, usize), at: usize) -> (usize, us
 
 /// The receiver expression text before the `.` at `at` (for
 /// self-deadlock detection), bounded by the statement start.
-fn receiver_text(masked: &str, at: usize, stmt_start: usize) -> String {
+pub(crate) fn receiver_text(masked: &str, at: usize, stmt_start: usize) -> String {
     let b = masked.as_bytes();
     let mut i = at;
     let mut depth = 0usize;
@@ -611,7 +621,7 @@ fn receiver_text(masked: &str, at: usize, stmt_start: usize) -> String {
 /// derived from it (`let v = m.lock().entries.get(k).cloned()` drops the
 /// temporary guard at the end of the statement). The guard survives only
 /// when nothing but unwrap-style adapters follow the lock call.
-fn binding_holds_guard(masked: &str, at: usize, stmt: (usize, usize)) -> bool {
+pub(crate) fn binding_holds_guard(masked: &str, at: usize, stmt: (usize, usize)) -> bool {
     let b = masked.as_bytes();
     // Find the close of the acquisition call's argument list.
     let Some(open_rel) = masked[at..stmt.1].find('(') else {
@@ -675,24 +685,7 @@ fn binding_holds_guard(masked: &str, at: usize, stmt: (usize, usize)) -> bool {
     }
 }
 
-/// If `stmt` is a `let` binding, returns the bound name (`None` for `_`
-/// or destructuring patterns, which cannot be tracked).
-fn let_binding(stmt: &str) -> Option<String> {
-    let t = stmt.trim_start();
-    let rest = t.strip_prefix("let ")?.trim_start();
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() || name == "_" {
-        None
-    } else {
-        Some(name)
-    }
-}
-
-fn normalize(s: &str) -> String {
+pub(crate) fn normalize(s: &str) -> String {
     s.chars().filter(|c| !c.is_whitespace()).collect()
 }
 
@@ -829,6 +822,60 @@ mod tests {
         assert!(c.contains(&"shard".to_string()));
         assert!(c.contains(&"cache".to_string()));
         assert!(c.contains(&"self".to_string()));
+    }
+
+    #[test]
+    fn destructured_guard_cannot_dodge_lock_order() {
+        let src = "pub fn f(t: &LockTable, repo: &Repo) {\n\
+                   \x20   let (_held, mut sh) = repo.lock_shard(0);\n\
+                   \x20   let g = t.lock(&LockTable::url_key(\"u\"));\n\
+                   \x20   sh.touch();\n\
+                   \x20   drop(g);\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "lock-order");
+        assert!(f[0].message.contains("`url`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn destructured_guard_released_by_drop() {
+        let src = "pub fn f(t: &LockTable, repo: &Repo) {\n\
+                   \x20   let (_held, sh) = repo.lock_shard(0);\n\
+                   \x20   drop(sh);\n\
+                   \x20   drop(_held);\n\
+                   \x20   let g = t.lock(&LockTable::url_key(\"u\"));\n\
+                   \x20   drop(g);\n\
+                   }\n";
+        let f = run(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn if_let_guard_scopes_to_its_block() {
+        let src = "pub fn f(t: &LockTable, m: &Mutex<u32>) {\n\
+                   \x20   if let Ok(g) = m.lock() {\n\
+                   \x20       g.touch();\n\
+                   \x20   }\n\
+                   \x20   let u = t.lock(&LockTable::url_key(\"u\"));\n\
+                   \x20   drop(u);\n\
+                   }\n";
+        let f = run(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn if_let_guard_is_held_inside_its_block() {
+        let src = "pub fn f(t: &LockTable, repo: &Repo) {\n\
+                   \x20   if let Ok(g) = repo.lock_shard(0) {\n\
+                   \x20       let u = t.lock(&LockTable::url_key(\"u\"));\n\
+                   \x20       drop(u);\n\
+                   \x20       drop(g);\n\
+                   \x20   }\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, "lock-order");
     }
 
     #[test]

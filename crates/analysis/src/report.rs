@@ -15,6 +15,22 @@ pub struct UnusedWaiver {
     pub lints: Vec<String>,
 }
 
+/// Call-graph resolution accounting: how much of the workspace the
+/// interprocedural families actually see. A resolution regression (new
+/// unresolved calls) shows up as a diff in the committed JSON artifact.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Function items indexed.
+    pub functions: usize,
+    /// Call sites resolved to at least one workspace function.
+    pub calls_resolved: usize,
+    /// Call sites naming no known workspace function (std/primitive
+    /// calls, mostly).
+    pub calls_unresolved: usize,
+    /// Method-call sites skipped by the std-collision deny list.
+    pub calls_denied: usize,
+}
+
 /// The outcome of linting a tree.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -26,6 +42,8 @@ pub struct Report {
     pub unused_waivers: Vec<UnusedWaiver>,
     /// Number of files scanned.
     pub files: usize,
+    /// Call-graph resolution accounting.
+    pub graph: GraphStats,
 }
 
 impl Report {
@@ -64,6 +82,14 @@ impl Report {
             self.files,
             self.findings.len(),
             self.waived.len()
+        );
+        let _ = writeln!(
+            out,
+            "    call graph: {} fns, {} calls resolved, {} unresolved, {} denied by the std-collision policy",
+            self.graph.functions,
+            self.graph.calls_resolved,
+            self.graph.calls_unresolved,
+            self.graph.calls_denied
         );
         if !self.findings.is_empty() {
             for (lint, n) in self.findings_by_lint() {
@@ -120,12 +146,54 @@ impl Report {
         }
         let _ = write!(
             out,
-            "}},\n  \"summary\": {{\"files\": {}, \"violations\": {}, \"waived\": {}, \"unused_waivers\": {}}}\n}}\n",
+            "}},\n  \"graph\": {{\"functions\": {}, \"calls_resolved\": {}, \"calls_unresolved\": {}, \"calls_denied\": {}}},\n  \"summary\": {{\"files\": {}, \"violations\": {}, \"waived\": {}, \"unused_waivers\": {}}}\n}}\n",
+            self.graph.functions,
+            self.graph.calls_resolved,
+            self.graph.calls_unresolved,
+            self.graph.calls_denied,
             self.files,
             self.findings.len(),
             self.waived.len(),
             self.unused_waivers.len()
         );
+        out
+    }
+
+    /// SARIF 2.1.0 rendering of the active findings, for code-scanning
+    /// upload. Deterministic key and result order, like `render_json`.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\"name\": \"aide-lint\", \"rules\": [",
+        );
+        for (i, l) in crate::config::LINTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(l.name),
+                json_str(l.description)
+            );
+        }
+        out.push_str("\n    ]}},\n    \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+                json_str(f.lint),
+                json_str(&format!("{} (hint: {})", f.message, f.hint)),
+                json_str(&f.file),
+                f.line,
+                f.col
+            );
+        }
+        out.push_str("\n    ]\n  }]\n}\n");
         out
     }
 }
@@ -177,5 +245,27 @@ mod tests {
         let j = r.render_json();
         assert!(j.contains("\"lint\": \"no-panic\""));
         assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"calls_unresolved\": 0"));
+    }
+
+    #[test]
+    fn sarif_shape() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            lint: "panic-reach",
+            message: "m".into(),
+            hint: "h",
+        });
+        let s = r.render_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"panic-reach\""));
+        assert!(s.contains("\"startLine\": 3"));
+        // Every lint family is declared as a rule.
+        for l in crate::config::LINTS {
+            assert!(s.contains(&format!("\"id\": \"{}\"", l.name)), "{}", l.name);
+        }
     }
 }

@@ -5,13 +5,16 @@
 //! so brace matching and keyword scanning cannot be fooled by braces or
 //! keywords inside strings and comments.
 
-use crate::lexer::{is_ident_byte, lex, Comment};
+use crate::lexer::{is_ident_byte, is_raw_ident_start, lex, Comment};
 
 /// A lexed file plus the structural indexes the lints navigate by.
 #[derive(Debug)]
 pub struct FileMap {
     /// Path relative to the repository root, with `/` separators.
     pub rel: String,
+    /// The original source (for reading string-literal contents that the
+    /// masked copy blanks, e.g. lock-class names).
+    pub src: String,
     /// The masked source (same byte offsets as the original).
     pub masked: String,
     /// All comments, in file order.
@@ -20,6 +23,10 @@ pub struct FileMap {
     pub line_starts: Vec<usize>,
     /// Byte ranges covered by `#[cfg(test)]` items.
     pub test_spans: Vec<(usize, usize)>,
+    /// Byte ranges covered by `#[cfg(debug_assertions)]` items (the
+    /// debug-only runtime checker panics by design; panic-reachability
+    /// must not count those sites).
+    pub debug_spans: Vec<(usize, usize)>,
     /// Function bodies, outermost first.
     pub fns: Vec<FnSpan>,
 }
@@ -47,14 +54,17 @@ impl FileMap {
                 line_starts.push(i + 1);
             }
         }
-        let test_spans = find_test_spans(&masked);
+        let test_spans = find_attr_spans(&masked, &["#[cfg(test)]", "#[cfg(all(test", "#[test]"]);
+        let debug_spans = find_attr_spans(&masked, &["#[cfg(debug_assertions)]"]);
         let fns = find_fns(&masked);
         FileMap {
             rel: rel.to_string(),
+            src: src.to_string(),
             masked,
             comments: lexed.comments,
             line_starts,
             test_spans,
+            debug_spans,
             fns,
         }
     }
@@ -76,6 +86,11 @@ impl FileMap {
         self.test_spans.iter().any(|&(a, b)| off >= a && off < b)
     }
 
+    /// Whether `off` falls inside a `#[cfg(debug_assertions)]` region.
+    pub fn in_debug(&self, off: usize) -> bool {
+        self.debug_spans.iter().any(|&(a, b)| off >= a && off < b)
+    }
+
     /// The innermost function body containing `off`, if any.
     pub fn enclosing_fn(&self, off: usize) -> Option<&FnSpan> {
         self.fns
@@ -92,7 +107,10 @@ pub fn ident_occurrences(hay: &str, needle: &str) -> Vec<usize> {
     let mut from = 0usize;
     while let Some(pos) = hay[from..].find(needle) {
         let at = from + pos;
-        let left_ok = at == 0 || !is_ident_byte(hb[at - 1]);
+        // `r#match` must not match the needle `match`: a raw-identifier
+        // prefix immediately before the match site is a hard boundary.
+        let raw_prefixed = at >= 2 && is_raw_ident_start(hb, at - 2);
+        let left_ok = (at == 0 || !is_ident_byte(hb[at - 1])) && !raw_prefixed;
         let end = at + needle.len();
         // A path needle ending in `::` (or any non-ident byte) has no
         // right boundary to respect.
@@ -153,11 +171,12 @@ pub fn brace_match(masked: &str, open: usize) -> usize {
     b.len()
 }
 
-/// Locates the spans of items annotated `#[cfg(test)]` (and `#[test]`).
-fn find_test_spans(masked: &str) -> Vec<(usize, usize)> {
+/// Locates the spans of items (or statement-level blocks) annotated with
+/// any of `markers` (e.g. `#[cfg(test)]`, `#[cfg(debug_assertions)]`).
+fn find_attr_spans(masked: &str, markers: &[&str]) -> Vec<(usize, usize)> {
     let b = masked.as_bytes();
     let mut spans = Vec::new();
-    for marker in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+    for marker in markers {
         for at in substring_occurrences(masked, marker) {
             // Skip past this attribute and any further ones, then find
             // the item's opening `{` (or terminating `;`).
@@ -213,6 +232,10 @@ fn find_fns(masked: &str) -> Vec<FnSpan> {
         while i < b.len() && b[i].is_ascii_whitespace() {
             i += 1;
         }
+        // `fn r#match` names the function `match`, not `r`.
+        if is_raw_ident_start(b, i) {
+            i += 2;
+        }
         let name_start = i;
         while i < b.len() && is_ident_byte(b[i]) {
             i += 1;
@@ -244,6 +267,78 @@ fn find_fns(masked: &str) -> Vec<FnSpan> {
         }
     }
     out
+}
+
+/// The identifiers bound by `stmt` when it is a `let` statement
+/// (including `if let` / `while let` and destructuring patterns such as
+/// `let (g, _) = …` or `if let Ok(g) = …`) or a plain reassignment of an
+/// existing binding (`st = self.state.lock();`). Identifiers starting
+/// with an uppercase letter (enum constructors, struct names) and the
+/// pattern keywords `mut`/`ref` are not bindings and are skipped; `_`
+/// binds nothing. Returns an empty vector when nothing trackable is
+/// bound.
+pub fn bound_names(stmt: &str) -> Vec<String> {
+    let t = stmt.trim_start();
+    let t = t.strip_prefix("if ").unwrap_or(t).trim_start();
+    let t = t.strip_prefix("while ").unwrap_or(t).trim_start();
+    let pat: &str = if let Some(rest) = t.strip_prefix("let ") {
+        match rest.find('=') {
+            Some(eq) => &rest[..eq],
+            None => return Vec::new(),
+        }
+    } else {
+        // `name = rhs;` reassignment. Compound operators (`+=`, `<=`,
+        // `==`) all put a non-`=` byte where we require `=`.
+        let b = t.as_bytes();
+        let mut i = 0usize;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        if i == 0 {
+            return Vec::new();
+        }
+        let rest = t[i..].trim_start();
+        if !rest.starts_with('=') || rest.starts_with("==") {
+            return Vec::new();
+        }
+        &t[..i]
+    };
+    // Cut a type annotation (`let g: MutexGuard<T> = …`); the first `:`
+    // outside any pattern nesting ends the pattern proper. Struct
+    // patterns with field renames are beyond this parser.
+    let pat = pat.split(':').next().unwrap_or(pat);
+    let mut out = Vec::new();
+    let pb = pat.as_bytes();
+    let mut i = 0usize;
+    while i < pb.len() {
+        if is_ident_byte(pb[i]) {
+            let start = i;
+            while i < pb.len() && is_ident_byte(pb[i]) {
+                i += 1;
+            }
+            let name = &pat[start..i];
+            let first = name.as_bytes()[0];
+            if name != "_"
+                && name != "mut"
+                && name != "ref"
+                && !first.is_ascii_uppercase()
+                && !first.is_ascii_digit()
+                && !out.iter().any(|n| n == name)
+            {
+                out.push(name.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether `stmt` is an `if let` / `while let` binding, whose bindings
+/// scope to the block that follows rather than the enclosing one.
+pub fn is_conditional_binding(stmt: &str) -> bool {
+    let t = stmt.trim_start();
+    t.starts_with("if ") || t.starts_with("while ")
 }
 
 #[cfg(test)]
@@ -291,6 +386,56 @@ mod tests {
     fn ident_boundaries_respected() {
         let occ = ident_occurrences("Instant x InstantLike y my_Instant z Instant", "Instant");
         assert_eq!(occ.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        assert!(ident_occurrences("let r#match = 1; r#match + 2", "match").is_empty());
+        assert_eq!(
+            ident_occurrences("match x { _ => r#match }", "match").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifier_fn_names() {
+        let fm = FileMap::new("x.rs", "fn r#match(x: u32) -> u32 { x }");
+        assert_eq!(fm.fns[0].name, "match");
+    }
+
+    #[test]
+    fn debug_spans_cover_cfg_blocks() {
+        let src = "pub fn f() {\n    #[cfg(debug_assertions)]\n    {\n        check();\n    }\n    #[cfg(not(debug_assertions))]\n    {\n        fast();\n    }\n}\n";
+        let fm = FileMap::new("x.rs", src);
+        let check_at = src.find("check").expect("check");
+        let fast_at = src.find("fast").expect("fast");
+        assert!(fm.in_debug(check_at));
+        assert!(!fm.in_debug(fast_at));
+    }
+
+    #[test]
+    fn bound_names_cover_destructuring() {
+        assert_eq!(bound_names("let g = m.lock()"), ["g"]);
+        assert_eq!(bound_names("let (g, _) = pair()"), ["g"]);
+        assert_eq!(
+            bound_names("let (_held, mut sh) = self.lock_shard(si)"),
+            ["_held", "sh"]
+        );
+        assert_eq!(bound_names("if let Ok(g) = m.lock()"), ["g"]);
+        assert_eq!(bound_names("while let Some(x) = it.next()"), ["x"]);
+        assert_eq!(bound_names("st = self.state.lock()"), ["st"]);
+        assert_eq!(bound_names("let g: MutexGuard<u32> = m.lock()"), ["g"]);
+        assert!(bound_names("let _ = m.lock()").is_empty());
+        assert!(bound_names("x += 1").is_empty());
+        assert!(bound_names("a == b").is_empty());
+        assert!(bound_names("m.lock().touch()").is_empty());
+    }
+
+    #[test]
+    fn conditional_bindings_detected() {
+        assert!(is_conditional_binding("if let Ok(g) = m.lock()"));
+        assert!(is_conditional_binding("  while let Some(x) = q.pop()"));
+        assert!(!is_conditional_binding("let g = m.lock()"));
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Per-function effect summaries and the bottom-up fixpoint that
+//! propagates them over the call graph.
+//!
+//! A summary answers, for one function, three may-questions: which lock
+//! classes can a call to it acquire (directly or transitively), which
+//! blocking operations can it reach (fsync, condvar wait, channel recv,
+//! sleep, `Vfs` I/O), and can it reach a panic site. Each effect carries
+//! a *witness* — the local line or the call edge it first arrived
+//! through — so diagnostics can print the full offending chain rather
+//! than just "somewhere below here".
+//!
+//! The fixpoint is monotone over finite sets (lock classes × functions,
+//! blocking kinds × functions, one panic bit per function), so iteration
+//! terminates even on recursive cycles; witnesses are set once and never
+//! rewritten, which keeps chains deterministic run to run.
+//!
+//! Effects in `#[cfg(test)]` and `#[cfg(debug_assertions)]` regions are
+//! not collected: test scaffolding may block and panic at will, and the
+//! debug-only runtime lock-rank checker panics by design.
+
+use crate::callgraph::CallGraph;
+use crate::items::FnItem;
+use crate::lints::{classify_acquisition, receiver_chain, statement_bounds};
+use crate::scope::{ident_occurrences, FileMap};
+use aide_util::sync::lockrank;
+use std::collections::BTreeMap;
+
+/// The blocking kinds denied while an exclusive lock is held. `vfs-io`
+/// is tracked but deliberately absent: buffered reads and WAL appends
+/// under a shard lock are the store's design (DESIGN.md §4i); only the
+/// latency-unbounded kinds are deny-by-default.
+pub const DENIED_UNDER_LOCK: &[&str] = &["fsync", "condvar-wait", "chan-recv", "sleep"];
+
+/// How an effect entered a function's summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// The effect happens in the function's own body at this line.
+    Local { line: u32 },
+    /// The effect arrives through a call to `callee` at this line.
+    Call { callee: usize, line: u32 },
+}
+
+/// One function's effect summary.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Lock classes a call may acquire, with the witness that first
+    /// introduced each.
+    pub acquires: BTreeMap<&'static str, Witness>,
+    /// Blocking kinds a call may reach.
+    pub blocks: BTreeMap<&'static str, Witness>,
+    /// Whether a call may reach a panic site, and through what.
+    pub panics: Option<Witness>,
+    /// Lines of panic sites in this function's own body (not
+    /// propagated; `panic-reach` anchors findings and waivers here).
+    pub panic_sites: Vec<u32>,
+    /// Lock classes a *let-bound call* to this function leaves held in
+    /// the caller, with per-class exclusivity — non-empty only for
+    /// guard-returning helpers (`lock_shard`, `locked()`,
+    /// `begin_commit`). When a helper performs a named `lockrank`
+    /// acquisition, the backing structure mutex is that named lock's
+    /// implementation detail and is not double-counted.
+    pub guards: Vec<(&'static str, bool)>,
+}
+
+/// One locally-detected acquisition site.
+#[derive(Debug, Clone)]
+pub struct AcqSite {
+    /// Byte offset of the acquisition pattern.
+    pub off: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Lock-class name from the shared rank table.
+    pub class: &'static str,
+    /// Whether the acquisition takes the lock exclusively (`.read()`
+    /// does not; every other mode does).
+    pub exclusive: bool,
+}
+
+/// One locally-detected blocking site.
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// Byte offset of the pattern.
+    pub off: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Blocking kind (`fsync`, `condvar-wait`, `chan-recv`, `sleep`,
+    /// `vfs-io`).
+    pub kind: &'static str,
+}
+
+/// Intra-body facts about one function, kept for the interprocedural
+/// walkers (which need site order and offsets, not just the may-sets).
+#[derive(Debug, Clone, Default)]
+pub struct LocalFacts {
+    /// Acquisition sites in body order.
+    pub acquisitions: Vec<AcqSite>,
+    /// Blocking sites in body order.
+    pub blocks: Vec<BlockSite>,
+}
+
+/// The acquisition patterns shared with the intraprocedural lint.
+const ACQ_PATTERNS: &[&str] = &[".lock(", ".lock_shard(", ".read()", ".write()", ".once("];
+
+/// Collects the local acquisition sites of `fns[id]`, including
+/// `lockrank::acquire("class", …)` calls with a literal class name (the
+/// literal's bytes live in the unmasked source).
+pub fn local_acquisitions(fm: &FileMap, fns: &[FnItem], id: usize) -> Vec<AcqSite> {
+    let masked = &fm.masked;
+    let mut out = Vec::new();
+    for range in crate::callgraph::own_ranges(fns, id) {
+        for pat in ACQ_PATTERNS {
+            let mut from = range.0;
+            while let Some(pos) = masked[from..range.1].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if fm.in_test(at) || fm.in_debug(at) {
+                    continue;
+                }
+                let stmt = statement_bounds(masked, fns[id].body, at);
+                let Some(class) = classify_acquisition(masked, at, &masked[stmt.0..stmt.1]) else {
+                    continue;
+                };
+                out.push(AcqSite {
+                    off: at,
+                    line: fm.line_col(at).0,
+                    class,
+                    exclusive: !masked[at..].starts_with(".read()"),
+                });
+            }
+        }
+        for rel in ident_occurrences(&masked[range.0..range.1], "lockrank") {
+            let at = range.0 + rel;
+            if fm.in_test(at) || fm.in_debug(at) {
+                continue;
+            }
+            let Some(rest) = masked[at..].strip_prefix("lockrank::acquire(") else {
+                continue;
+            };
+            let lead = rest.len() - rest.trim_start().len();
+            if !rest[lead..].starts_with('"') {
+                continue; // dynamic class name: untracked
+            }
+            // Masking blanks literal contents but keeps the quotes, at
+            // identical byte offsets — read the name from the original.
+            let lit_start = at + "lockrank::acquire(".len() + lead + 1;
+            let Some(lit_len) = fm.src[lit_start..].find('"') else {
+                continue;
+            };
+            let Some(class) = lockrank::class(&fm.src[lit_start..lit_start + lit_len]) else {
+                continue;
+            };
+            out.push(AcqSite {
+                off: at,
+                line: fm.line_col(at).0,
+                class: class.name,
+                exclusive: class.exclusive,
+            });
+        }
+    }
+    out.sort_by_key(|a| a.off);
+    out.dedup_by_key(|a| a.off);
+    out
+}
+
+/// Blocking-operation patterns: `(kind, pattern, needs_vfs_receiver)`.
+/// The vfs-io patterns collide with collection methods (`.remove(…)`,
+/// `.append(…)`, `.len(…)`), so they only count when the receiver chain
+/// passes through an identifier containing `vfs`.
+const BLOCK_PATTERNS: &[(&str, &str, bool)] = &[
+    ("fsync", ".sync(", false),
+    ("fsync", ".sync_all(", false),
+    ("fsync", ".sync_data(", false),
+    ("condvar-wait", ".wait(", false),
+    ("condvar-wait", ".wait_while(", false),
+    ("condvar-wait", ".wait_timeout(", false),
+    ("chan-recv", ".recv()", false),
+    ("chan-recv", ".recv_timeout(", false),
+    ("vfs-io", ".append(", true),
+    ("vfs-io", ".read(", true),
+    ("vfs-io", ".read_range(", true),
+    ("vfs-io", ".truncate(", true),
+    ("vfs-io", ".remove(", true),
+    ("vfs-io", ".list(", true),
+    ("vfs-io", ".create_dir_all(", true),
+    ("vfs-io", ".len(", true),
+];
+
+/// Collects the local blocking sites of `fns[id]`.
+pub fn local_blocks(fm: &FileMap, fns: &[FnItem], id: usize) -> Vec<BlockSite> {
+    let masked = &fm.masked;
+    let mut out = Vec::new();
+    for range in crate::callgraph::own_ranges(fns, id) {
+        for &(kind, pat, needs_vfs) in BLOCK_PATTERNS {
+            let mut from = range.0;
+            while let Some(pos) = masked[from..range.1].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if fm.in_test(at) || fm.in_debug(at) {
+                    continue;
+                }
+                if needs_vfs && !receiver_chain(masked, at).iter().any(|c| c.contains("vfs")) {
+                    continue;
+                }
+                out.push(BlockSite {
+                    off: at,
+                    line: fm.line_col(at).0,
+                    kind,
+                });
+            }
+        }
+        // `thread::sleep(…)` / bare `sleep(…)`.
+        for rel in ident_occurrences(&masked[range.0..range.1], "sleep") {
+            let at = range.0 + rel;
+            if fm.in_test(at) || fm.in_debug(at) {
+                continue;
+            }
+            if masked[at + "sleep".len()..].trim_start().starts_with('(') {
+                out.push(BlockSite {
+                    off: at,
+                    line: fm.line_col(at).0,
+                    kind: "sleep",
+                });
+            }
+        }
+    }
+    out.sort_by_key(|b| b.off);
+    out.dedup_by(|a, b| a.off == b.off && a.kind == b.kind);
+    out
+}
+
+/// Lines of panic-capable sites in `fns[id]`'s own body, using the same
+/// shapes as the intraprocedural `no-panic` lint.
+pub fn local_panic_sites(fm: &FileMap, fns: &[FnItem], id: usize) -> Vec<u32> {
+    let masked = &fm.masked;
+    let mut offs: Vec<usize> = Vec::new();
+    for range in crate::callgraph::own_ranges(fns, id) {
+        for pat in [".unwrap()", ".expect("] {
+            let mut from = range.0;
+            while let Some(pos) = masked[from..range.1].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if fm.in_test(at) || fm.in_debug(at) {
+                    continue;
+                }
+                // Only the string-message form of `.expect(…)` is a
+                // panic shape; a parser's `expect(Token)` is control
+                // flow. (`.unwrap()`'s closing paren excludes
+                // `unwrap_or*`.)
+                if pat == ".expect(" && !masked[at + pat.len()..].trim_start().starts_with('"') {
+                    continue;
+                }
+                offs.push(at);
+            }
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            for rel in ident_occurrences(&masked[range.0..range.1], mac) {
+                let at = range.0 + rel;
+                if fm.in_test(at) || fm.in_debug(at) {
+                    continue;
+                }
+                if masked[at + mac.len()..].starts_with("!(") {
+                    offs.push(at);
+                }
+            }
+        }
+    }
+    offs.sort_unstable();
+    offs.dedup();
+    offs.iter().map(|&o| fm.line_col(o).0).collect()
+}
+
+/// Return types that mean "a let-binding of this call keeps something
+/// alive in the caller" — lock guards and RAII permits.
+fn returns_guard(ret: &str) -> bool {
+    ["Guard", "Held", "Permit", "Pause", "DerefMut"]
+        .iter()
+        .any(|m| ret.contains(m))
+}
+
+/// Builds local facts and summaries for every function, then runs the
+/// fixpoint over `graph`. Returns `(summaries, local_facts)`.
+pub fn fixpoint(
+    files: &[FileMap],
+    fns: &[FnItem],
+    graph: &CallGraph,
+) -> (Vec<Summary>, Vec<LocalFacts>) {
+    let mut sums: Vec<Summary> = vec![Summary::default(); fns.len()];
+    let mut facts: Vec<LocalFacts> = vec![LocalFacts::default(); fns.len()];
+
+    for (id, f) in fns.iter().enumerate() {
+        if f.in_test || f.in_debug {
+            continue;
+        }
+        let fm = &files[f.file];
+        let acq = local_acquisitions(fm, fns, id);
+        let blk = local_blocks(fm, fns, id);
+        for a in &acq {
+            sums[id]
+                .acquires
+                .entry(a.class)
+                .or_insert(Witness::Local { line: a.line });
+        }
+        for b in &blk {
+            sums[id]
+                .blocks
+                .entry(b.kind)
+                .or_insert(Witness::Local { line: b.line });
+        }
+        let panic_lines = local_panic_sites(fm, fns, id);
+        if let Some(&line) = panic_lines.first() {
+            sums[id].panics = Some(Witness::Local { line });
+        }
+        sums[id].panic_sites = panic_lines;
+        if returns_guard(&f.ret) {
+            // A named-class acquisition subsumes its backing structure
+            // mutex: `Scheduler::locked()` takes the `sched` rank *and*
+            // locks the state mutex that implements it, but a caller
+            // holds one logical lock, not two.
+            let named: Vec<(&'static str, bool)> = acq
+                .iter()
+                .filter(|a| a.class != "structure")
+                .map(|a| (a.class, a.exclusive))
+                .collect();
+            let mut guards = if named.is_empty() {
+                acq.iter().map(|a| (a.class, a.exclusive)).collect()
+            } else {
+                named
+            };
+            guards.sort_unstable();
+            guards.dedup();
+            sums[id].guards = guards;
+        }
+        facts[id] = LocalFacts {
+            acquisitions: acq,
+            blocks: blk,
+        };
+    }
+
+    // Bottom-up propagation to a fixed point. Witnesses are
+    // first-writer-wins over a deterministic iteration order.
+    loop {
+        let mut changed = false;
+        for id in 0..fns.len() {
+            if fns[id].in_test || fns[id].in_debug {
+                continue;
+            }
+            for s in 0..graph.sites[id].len() {
+                let (line, targets) = {
+                    let site = &graph.sites[id][s];
+                    (site.line, site.targets.clone())
+                };
+                for t in targets {
+                    let acq: Vec<&'static str> = sums[t].acquires.keys().copied().collect();
+                    let blk: Vec<&'static str> = sums[t].blocks.keys().copied().collect();
+                    let pan = sums[t].panics.is_some();
+                    for class in acq {
+                        sums[id].acquires.entry(class).or_insert_with(|| {
+                            changed = true;
+                            Witness::Call { callee: t, line }
+                        });
+                    }
+                    for kind in blk {
+                        sums[id].blocks.entry(kind).or_insert_with(|| {
+                            changed = true;
+                            Witness::Call { callee: t, line }
+                        });
+                    }
+                    if pan && sums[id].panics.is_none() {
+                        changed = true;
+                        sums[id].panics = Some(Witness::Call { callee: t, line });
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (sums, facts)
+}
+
+/// Renders the call chain by which `fns[id]` reaches the acquisition of
+/// `class`, ending at the acquiring function's local line.
+pub fn acquire_chain(
+    files: &[FileMap],
+    fns: &[FnItem],
+    sums: &[Summary],
+    id: usize,
+    class: &str,
+) -> String {
+    chain(
+        files,
+        fns,
+        id,
+        |f| sums[f].acquires.get(class).cloned(),
+        &format!("acquires `{class}`"),
+    )
+}
+
+/// Renders the call chain by which `fns[id]` reaches a blocking
+/// operation of `kind`.
+pub fn block_chain(
+    files: &[FileMap],
+    fns: &[FnItem],
+    sums: &[Summary],
+    id: usize,
+    kind: &str,
+) -> String {
+    chain(
+        files,
+        fns,
+        id,
+        |f| sums[f].blocks.get(kind).cloned(),
+        &format!("reaches a {kind} op"),
+    )
+}
+
+/// Renders the call chain by which `fns[id]` reaches a panic site.
+pub fn panic_chain(files: &[FileMap], fns: &[FnItem], sums: &[Summary], id: usize) -> String {
+    chain(files, fns, id, |f| sums[f].panics.clone(), "can panic")
+}
+
+/// Follows witnesses from `start` until a `Local` one, printing each
+/// hop as `` `fn` (file:line) ``. A cycle or over-long chain ends in
+/// `…` rather than looping.
+fn chain(
+    files: &[FileMap],
+    fns: &[FnItem],
+    start: usize,
+    witness_of: impl Fn(usize) -> Option<Witness>,
+    terminal: &str,
+) -> String {
+    let mut parts = Vec::new();
+    let mut cur = start;
+    let mut seen = vec![start];
+    loop {
+        let file = &files[fns[cur].file].rel;
+        match witness_of(cur) {
+            Some(Witness::Local { line }) => {
+                parts.push(format!(
+                    "`{}` {terminal} at {file}:{line}",
+                    fns[cur].qualified()
+                ));
+                break;
+            }
+            Some(Witness::Call { callee, line }) => {
+                parts.push(format!("`{}` ({file}:{line})", fns[cur].qualified()));
+                if seen.contains(&callee) || parts.len() > 12 {
+                    parts.push("…".to_string());
+                    break;
+                }
+                seen.push(callee);
+                cur = callee;
+            }
+            None => break,
+        }
+    }
+    parts.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{self, Symbols};
+    use crate::items;
+
+    fn setup(src: &str) -> (Vec<FileMap>, Vec<FnItem>, CallGraph, Vec<Summary>) {
+        let files = vec![FileMap::new("crates/x/src/lib.rs", src)];
+        let fns = items::collect(&files[0], 0);
+        let syms = Symbols::build(&fns);
+        let graph = callgraph::build(&files, &fns, &syms);
+        let (sums, _) = fixpoint(&files, &fns, &graph);
+        (files, fns, graph, sums)
+    }
+
+    fn id_of(fns: &[FnItem], name: &str) -> usize {
+        fns.iter().position(|f| f.name == name).expect("fn")
+    }
+
+    #[test]
+    fn effects_propagate_transitively() {
+        let src = "\
+fn leaf(t: &LockTable) { let g = t.lock(&LockTable::url_key(\"u\")); drop(g); }
+fn mid(t: &LockTable) { leaf(t); }
+pub fn top(t: &LockTable) { mid(t); }
+";
+        let (files, fns, _, sums) = setup(src);
+        let top = id_of(&fns, "top");
+        assert!(sums[top].acquires.contains_key("url"), "{:?}", sums[top]);
+        let chain = acquire_chain(&files, &fns, &sums, top, "url");
+        assert!(chain.contains("`top`"), "{chain}");
+        assert!(chain.contains("`leaf` acquires `url`"), "{chain}");
+    }
+
+    #[test]
+    fn recursive_cycle_converges() {
+        let src = "\
+fn ping(n: u32, v: &std::sync::Mutex<u32>) { if n > 0 { pong(n - 1, v); } }
+fn pong(n: u32, v: &std::sync::Mutex<u32>) { let g = v.lock(); drop(g); ping(n, v); }
+";
+        let (_, fns, _, sums) = setup(src);
+        assert!(sums[id_of(&fns, "ping")].acquires.contains_key("structure"));
+        assert!(sums[id_of(&fns, "pong")].acquires.contains_key("structure"));
+    }
+
+    #[test]
+    fn blocking_and_panic_effects() {
+        let src = "\
+fn flush(vfs: &dyn Vfs) { vfs.sync(\"wal\"); }
+fn boom(x: Option<u32>) -> u32 { x.unwrap() }
+pub fn top(vfs: &dyn Vfs, x: Option<u32>) -> u32 { flush(vfs); boom(x) }
+";
+        let (_, fns, _, sums) = setup(src);
+        let top = id_of(&fns, "top");
+        assert!(sums[top].blocks.contains_key("fsync"), "{:?}", sums[top]);
+        assert!(sums[top].panics.is_some());
+        assert_eq!(sums[id_of(&fns, "boom")].panic_sites.len(), 1);
+    }
+
+    #[test]
+    fn named_acquisition_subsumes_backing_mutex_in_guards() {
+        let src = "\
+struct Sched;
+impl Sched {
+    fn locked(&self) -> (lockrank::Held, MutexGuard<State>) {
+        let held = lockrank::acquire(\"sched\", \"sched:state\");
+        (held, self.state.lock())
+    }
+}
+";
+        let (_, fns, _, sums) = setup(src);
+        let id = id_of(&fns, "locked");
+        assert_eq!(sums[id].guards, [("sched", true)], "{:?}", sums[id]);
+        assert!(sums[id].acquires.contains_key("sched"));
+        assert!(sums[id].acquires.contains_key("structure"));
+    }
+
+    #[test]
+    fn vfs_receiver_gate_on_io_patterns() {
+        let src = "\
+fn a(vfs: &dyn Vfs, path: &str) { vfs.append(path, b\"x\"); }
+fn b(v: &mut Vec<u8>, w: Vec<u8>) { let mut w = w; v.append(&mut w); }
+";
+        let (_, fns, _, sums) = setup(src);
+        assert!(sums[id_of(&fns, "a")].blocks.contains_key("vfs-io"));
+        assert!(sums[id_of(&fns, "b")].blocks.is_empty(), "{:?}", sums[1]);
+    }
+
+    #[test]
+    fn test_and_debug_effects_are_invisible() {
+        let src = "\
+pub fn lib(v: &std::sync::Mutex<u32>) { let _ = v; }
+#[cfg(debug_assertions)]
+fn checker() { panic!(\"debug only\"); }
+#[cfg(test)]
+mod tests {
+    fn helper() { std::thread::sleep(d); }
+}
+";
+        let (_, fns, _, sums) = setup(src);
+        assert!(sums[id_of(&fns, "lib")].panics.is_none());
+        assert!(sums.iter().all(|s| s.blocks.is_empty()));
+    }
+}

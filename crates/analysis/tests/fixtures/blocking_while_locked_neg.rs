@@ -1,0 +1,16 @@
+//! Negative fixture: blocking is fine under a shared (read) guard —
+//! readers stall nobody — and fine after the exclusive guard is
+//! explicitly dropped. Expected: no findings.
+
+use crate::queue::Inbox;
+
+pub fn drain_shared(inbox: &Inbox) {
+    let _snapshot = inbox.config.read();
+    let _ = inbox.rx.recv();
+}
+
+pub fn drain_after_release(inbox: &Inbox) {
+    let state = inbox.state.lock();
+    drop(state);
+    let _ = inbox.rx.recv();
+}

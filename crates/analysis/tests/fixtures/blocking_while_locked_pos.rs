@@ -1,0 +1,20 @@
+//! Positive fixture: blocking operations reached while an exclusive
+//! structure guard is held — one directly (a channel receive under the
+//! state mutex), one through a call whose summary says it blocks.
+//! Expected: `blocking-while-locked` fires.
+
+use crate::queue::Inbox;
+
+pub fn drain(inbox: &Inbox) {
+    let _state = inbox.state.lock();
+    let _ = inbox.rx.recv();
+}
+
+pub fn drain_via_helper(inbox: &Inbox) {
+    let _state = inbox.state.lock();
+    pull_one(inbox);
+}
+
+fn pull_one(inbox: &Inbox) {
+    let _ = inbox.rx.recv();
+}

@@ -1,0 +1,21 @@
+//! Negative fixture: the caller holds the url lock (rank 10) and calls
+//! a helper that acquires a store shard (rank 25) — ascending rank
+//! across the call, exactly the documented order. Expected: no
+//! findings.
+
+use crate::locks::LockTable;
+use crate::shards::ShardedMap;
+
+pub fn refresh(table: &LockTable, map: &ShardedMap, url: &str) {
+    let _guard = table.lock(&url_key(url));
+    bump_shard(map, url);
+}
+
+fn bump_shard(map: &ShardedMap, key: &str) {
+    let mut shard = map.lock_shard(key);
+    shard.touch(key);
+}
+
+fn url_key(u: &str) -> String {
+    format!("url:{u}")
+}

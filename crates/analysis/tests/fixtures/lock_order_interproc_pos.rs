@@ -1,0 +1,16 @@
+//! Positive fixture: the caller holds a structure guard (rank 30) and
+//! calls a helper whose summary says it acquires a store shard lock
+//! (rank 25) — an inversion invisible to any single function.
+//! Expected: `lock-order-interproc` fires at the call site.
+
+use crate::shards::ShardedMap;
+
+pub fn refresh(index: &std::sync::Mutex<Vec<u64>>, map: &ShardedMap, key: &str) {
+    let _guard = index.lock();
+    bump_shard(map, key);
+}
+
+fn bump_shard(map: &ShardedMap, key: &str) {
+    let mut shard = map.lock_shard(key);
+    shard.touch(key);
+}

@@ -1,0 +1,18 @@
+//! Negative fixture: the same shape of public entry over helper calls,
+//! but every failure propagates as a typed error — no panic site is
+//! reachable (or present at all). Expected: no findings.
+
+#[derive(Debug)]
+pub struct NotFound;
+
+pub fn lookup(ids: &[u64], want: u64) -> Result<u64, NotFound> {
+    position_of(ids, want)
+}
+
+fn position_of(ids: &[u64], want: u64) -> Result<u64, NotFound> {
+    first_match(ids, want)
+}
+
+fn first_match(ids: &[u64], want: u64) -> Result<u64, NotFound> {
+    ids.iter().copied().find(|id| *id == want).ok_or(NotFound)
+}

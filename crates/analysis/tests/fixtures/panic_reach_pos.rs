@@ -1,0 +1,19 @@
+//! Positive fixture: a public entry function reaches a panic site two
+//! calls down. The site itself carries a `no-panic` waiver so this
+//! fixture isolates the reachability lint: only `panic-reach` fires,
+//! anchored at the site with the entry named in the message.
+//! Expected: `panic-reach` fires (and the waived `no-panic` does not).
+
+pub fn lookup(ids: &[u64], want: u64) -> u64 {
+    position_of(ids, want)
+}
+
+fn position_of(ids: &[u64], want: u64) -> u64 {
+    first_match(ids, want)
+}
+
+fn first_match(ids: &[u64], want: u64) -> u64 {
+    // aide-lint: allow(no-panic): the reachability target this fixture
+    // exists to detect; waived here so only panic-reach fires
+    ids.iter().copied().find(|id| *id == want).unwrap()
+}

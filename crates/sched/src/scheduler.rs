@@ -382,8 +382,10 @@ impl AdaptiveScheduler {
     }
 
     /// The current posterior rate for `url` in nano-changes/second, if
-    /// the estimator has state for it.
-    pub fn rate_nanohz(&self, url: &str) -> Option<u64> {
+    /// the estimator has state for it. (Named distinctly from
+    /// [`crate::estimator::UrlRate::rate_nanohz`], the per-record accessor
+    /// it delegates to.)
+    pub fn url_rate_nanohz(&self, url: &str) -> Option<u64> {
         let (_held, st) = self.locked();
         st.book.get(url).map(|r| r.rate_nanohz())
     }

@@ -225,9 +225,14 @@ impl<R: Repository> AideServer<R> {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(slot) = slots.get(i) else { break };
-                    let mut guard = slot.lock();
-                    if let Some(conn) = guard.as_mut() {
-                        self.handle_connection(conn);
+                    // Take the connection out rather than holding the
+                    // slot mutex across the handler: handling reaches
+                    // the engine's own locks, which must not nest under
+                    // a structure guard.
+                    let taken = slot.lock().take();
+                    if let Some(mut conn) = taken {
+                        self.handle_connection(&mut conn);
+                        *slot.lock() = Some(conn);
                     }
                 });
             }

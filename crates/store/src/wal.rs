@@ -28,17 +28,23 @@
 //! never sees an index entry pointing into log space it is about to
 //! truncate.
 
-use aide_util::sync::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use aide_util::sync::{lockrank, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use aide_util::vfs::{Vfs, VfsError};
 use std::sync::Arc;
 
 /// Shared-mode permit: commits may proceed while any of these are alive.
+/// Carries the `wal` lock rank (24, between `sched` and `store`): the
+/// gate is always acquired before any shard lock, and the debug-build
+/// rank checker enforces that.
 pub struct CommitPermit<'a> {
+    _rank: lockrank::Held,
     _guard: RwLockReadGuard<'a, ()>,
 }
 
 /// Exclusive-mode permit: no commit is in flight and none can start.
+/// Ranked like [`CommitPermit`].
 pub struct Pause<'a> {
+    _rank: lockrank::Held,
     _guard: RwLockWriteGuard<'a, ()>,
 }
 
@@ -94,6 +100,7 @@ impl Wal {
     /// [`commit`](Wal::commit) *and* the index update it covers.
     pub fn begin_commit(&self) -> CommitPermit<'_> {
         CommitPermit {
+            _rank: lockrank::acquire("wal", "wal:gate"),
             _guard: self.gate.read(),
         }
     }
@@ -102,6 +109,7 @@ impl Wal {
     /// gate in shared mode until their index update lands).
     pub fn pause_commits(&self) -> Pause<'_> {
         Pause {
+            _rank: lockrank::acquire("wal", "wal:gate"),
             _guard: self.gate.write(),
         }
     }
@@ -186,6 +194,9 @@ impl Wal {
             if let Err(e) = self
                 .vfs
                 .truncate(&self.path, 0)
+                // aide-lint: allow(blocking-while-locked): cold path —
+                // reset runs only under pause_commits, with no
+                // committer in flight to stall on the state lock
                 .and_then(|()| self.vfs.sync(&self.path))
             {
                 st.broken = Some(e.clone());

@@ -66,8 +66,9 @@ where
             })
             .collect();
         for h in handles {
-            // aide-lint: allow(no-panic): a worker panic must propagate
-            // to the caller, not be swallowed into a partial result
+            // aide-lint: allow(no-panic, panic-reach): a worker panic
+            // must propagate to the caller, not be swallowed into a
+            // partial result
             indexed.extend(h.join().expect("parallel_map worker panicked"));
         }
     });
@@ -310,8 +311,10 @@ pub mod lockrank {
     /// per-user named lock, then the scheduler state lock (aide-sched;
     /// held while snapshotting rate state, released or still-held when
     /// the snapshot is persisted through the store's per-shard lock),
-    /// then the storage engine's per-shard lock (held across WAL commits
-    /// while the caller still holds the URL lock), then structure
+    /// then the WAL commit gate (shared for committers, exclusive for
+    /// checkpoint pause — always taken before any shard lock), then the
+    /// storage engine's per-shard lock (held across WAL commits while
+    /// the caller still holds the URL lock), then structure
     /// (shard/bucket) guards, which are leaves.
     pub const TABLE: &[LockClass] = &[
         LockClass {
@@ -333,6 +336,11 @@ pub mod lockrank {
             name: "sched",
             rank: 22,
             exclusive: true,
+        },
+        LockClass {
+            name: "wal",
+            rank: 24,
+            exclusive: false,
         },
         LockClass {
             name: "store",
@@ -520,10 +528,11 @@ mod tests {
             let url = lockrank::acquire("url", "url:http://x/");
             let user = lockrank::acquire("user", "user:fred");
             let sched = lockrank::acquire("sched", "sched:state");
+            let wal = lockrank::acquire("wal", "wal:gate");
             let store = lockrank::acquire("store", "store:shard:7");
             let s1 = lockrank::acquire("structure", "shard:3");
             let s2 = lockrank::acquire("structure", "shard:4");
-            drop((s1, s2, store, sched, user, url));
+            drop((s1, s2, store, wal, sched, user, url));
         })
         .unwrap();
     }

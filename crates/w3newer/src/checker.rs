@@ -457,8 +457,9 @@ impl W3Newer {
                 .collect();
             handles
                 .into_iter()
-                // aide-lint: allow(no-panic): a worker panic must
-                // propagate to the caller, not vanish into a partial run
+                // aide-lint: allow(no-panic, panic-reach): a worker
+                // panic must propagate to the caller, not vanish into a
+                // partial run
                 .map(|h| h.join().expect("w3newer worker panicked"))
                 .collect()
         });
@@ -483,9 +484,10 @@ impl W3Newer {
         }
         let mut entries: Vec<UrlReport> = slots
             .into_iter()
-            // aide-lint: allow(no-panic): each hotlist index is written
-            // exactly once by the host group that owns it; a hole here
-            // is a merge bug that must not be silently dropped
+            // aide-lint: allow(no-panic, panic-reach): each hotlist
+            // index is written exactly once by the host group that owns
+            // it; a hole here is a merge bug that must not be silently
+            // dropped
             .map(|r| r.expect("every hotlist entry produced a report"))
             .collect();
 
@@ -2037,7 +2039,7 @@ mod tests {
             assert!(matches!(&r.entries[0].status, UrlStatus::Unchanged { .. }));
         }
         let sched = w.schedule.scheduler().unwrap().clone();
-        let learned = sched.rate_nanohz("http://h/quiet").unwrap();
+        let learned = sched.url_rate_nanohz("http://h/quiet").unwrap();
         assert!(
             learned < aide_sched::RatePrior::WEEKLY.mean_nanohz() / 3,
             "ten quiet weeks should drop the rate well below the prior (got {learned})"
